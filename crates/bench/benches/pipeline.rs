@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks: one group per pipeline stage, so a
+//! performance regression anywhere in the toolflow is visible.
+//!
+//! ```sh
+//! cargo bench -p isax-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use isax::{Customizer, MatchOptions};
+use isax_compiler::{compile, CompileOptions, Mdes, VliwModel};
+use isax_explore::{explore_dfg, ExploreConfig};
+use isax_graph::vf2;
+use isax_hwlib::HwLibrary;
+use isax_ir::function_dfgs;
+use isax_select::{combine, select_greedy, SelectConfig};
+
+fn bench_exploration(c: &mut Criterion) {
+    let hw = HwLibrary::micron_018();
+    let mut g = c.benchmark_group("explore");
+    for name in ["blowfish", "rijndael", "rawdaudio"] {
+        let w = isax_workloads::by_name(name).unwrap();
+        let dfgs = function_dfgs(&w.program.functions[0]);
+        // The hot block is always block 1 in these kernels.
+        let dfg = dfgs[1].clone();
+        g.bench_function(name, |b| {
+            b.iter(|| explore_dfg(&dfg, &hw, &ExploreConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let cz = Customizer::new();
+    let w = isax_workloads::by_name("blowfish").unwrap();
+    let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+    let dfgs = function_dfgs(&w.program.functions[0]);
+    let target = dfgs[1].to_digraph();
+    let pattern = mdes.cfus[0].pattern.clone();
+    c.bench_function("vf2/cfu0-in-blowfish-hot-block", |b| {
+        b.iter(|| {
+            vf2::Matcher::new(&pattern, &target)
+                .node_compat(isax_ir::DfgLabel::matches_exact)
+                .commutative(|l| l.opcode.is_commutative())
+                .find_all()
+        })
+    });
+}
+
+fn bench_combination_and_selection(c: &mut Criterion) {
+    let hw = HwLibrary::micron_018();
+    let w = isax_workloads::by_name("rawdaudio").unwrap();
+    let dfgs: Vec<_> = w.program.functions.iter().flat_map(function_dfgs).collect();
+    let found = isax_explore::explore_app(&dfgs, &hw, &ExploreConfig::default());
+    c.bench_function("combine/rawdaudio", |b| {
+        b.iter(|| combine(&dfgs, &found.candidates, &hw))
+    });
+    let cfus = combine(&dfgs, &found.candidates, &hw);
+    c.bench_function("select-greedy/rawdaudio@15", |b| {
+        b.iter(|| select_greedy(&cfus, &SelectConfig::with_budget(15.0)))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let cz = Customizer::new();
+    let hw = HwLibrary::micron_018();
+    let mut g = c.benchmark_group("compile");
+    for name in ["blowfish", "mpeg2dec"] {
+        let w = isax_workloads::by_name(name).unwrap();
+        let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+        g.bench_function(format!("{name}@15"), |b| {
+            b.iter_batched(
+                || (w.program.clone(), mdes.clone()),
+                |(p, m)| compile(&p, &m, &hw, &CompileOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("{name}-baseline"), |b| {
+            b.iter_batched(
+                || w.program.clone(),
+                |p| compile(&p, &Mdes::baseline(), &hw, &CompileOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+    let _ = VliwModel::default();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cz = Customizer::new();
+    let w = isax_workloads::by_name("crc").unwrap();
+    c.bench_function("pipeline/crc-analyze-select-evaluate", |b| {
+        b.iter(|| {
+            let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+            cz.evaluate(&w.program, &mdes, MatchOptions::exact()).speedup
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exploration,
+    bench_matching,
+    bench_combination_and_selection,
+    bench_compile,
+    bench_end_to_end
+);
+criterion_main!(benches);

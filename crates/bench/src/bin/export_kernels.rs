@@ -1,0 +1,25 @@
+//! Dumps the thirteen benchmark kernels as textual IR under `kernels/`,
+//! ready for the `isax` command-line tool:
+//!
+//! ```sh
+//! cargo run --release -p isax-bench --bin export_kernels
+//! cargo run --release -p isax-cli --bin isax -- explore kernels/blowfish.isax
+//! ```
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("kernels");
+    std::fs::create_dir_all(dir)?;
+    for w in isax_workloads::all() {
+        let text: String = w
+            .program
+            .functions
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let path = dir.join(format!("{}.isax", w.name));
+        std::fs::write(&path, text)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Figure 7: speedup versus CFU area budget, native (left four graphs)
+//! and cross-compiled within each domain (right four graphs).
+//!
+//! ```sh
+//! cargo run --release -p isax-bench --bin figure7 -- native
+//! cargo run --release -p isax-bench --bin figure7 -- cross
+//! cargo run --release -p isax-bench --bin figure7            # both
+//! ```
+//!
+//! Each table row is one curve of the figure. The summary footer prints
+//! the per-application 15-adder speedups and the suite average — the
+//! paper's headline numbers ("as much as 1.94 for rawdaudio and an
+//! average of 1.47").
+
+use isax::{Customizer, MatchOptions};
+use isax_bench::{analyze_suite, cross, native, print_series, BUDGETS, HEADLINE_BUDGET};
+use isax_workloads::{domain_members, Domain};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let run_native = arg.is_empty() || arg == "native";
+    let run_cross = arg.is_empty() || arg == "cross";
+
+    let cz = Customizer::new();
+    eprintln!("analyzing the thirteen benchmarks ...");
+    let suite = analyze_suite(&cz);
+
+    if run_native {
+        for d in Domain::ALL {
+            let rows: Vec<(String, Vec<f64>)> = domain_members(d)
+                .iter()
+                .map(|name| {
+                    let app = &suite[name];
+                    let curve = BUDGETS.iter().map(|&b| native(&cz, app, b)).collect();
+                    (name.to_string(), curve)
+                })
+                .collect();
+            print_series(&format!("Figure 7 (native): {d}"), &rows);
+        }
+    }
+
+    if run_cross {
+        for d in Domain::ALL {
+            let members = domain_members(d);
+            let mut rows = Vec::new();
+            for app_name in &members {
+                for src_name in &members {
+                    if app_name == src_name {
+                        continue;
+                    }
+                    let curve = BUDGETS
+                        .iter()
+                        .map(|&b| {
+                            cross(
+                                &cz,
+                                &suite[src_name],
+                                &suite[app_name],
+                                b,
+                                MatchOptions::exact(),
+                            )
+                        })
+                        .collect();
+                    rows.push((format!("{app_name}-{src_name}"), curve));
+                }
+            }
+            print_series(&format!("Figure 7 (cross): {d}"), &rows);
+        }
+    }
+
+    // Summary footer: §6's headline numbers.
+    println!("\n=== summary @ {HEADLINE_BUDGET} adders (native) ===");
+    let mut total = 0.0;
+    let mut peak = (0.0f64, "");
+    for (name, app) in &suite {
+        let s = native(&cz, app, HEADLINE_BUDGET);
+        println!("  {name:<10} {s:.2}x");
+        total += s;
+        if s > peak.0 {
+            peak = (s, name);
+        }
+    }
+    println!(
+        "  peak {:.2}x ({}); suite average {:.2}x   [paper: 1.94x rawdaudio, avg 1.47x]",
+        peak.0,
+        peak.1,
+        total / suite.len() as f64
+    );
+}

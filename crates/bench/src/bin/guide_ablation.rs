@@ -1,0 +1,66 @@
+//! The in-text guide-weight experiment (§3.2): "Many experiments have
+//! been performed varying the weights of each of these factors and they
+//! point to the general conclusion that evenly balancing the factors
+//! yields the best candidates."
+//!
+//! ```sh
+//! cargo run --release -p isax-bench --bin guide_ablation
+//! ```
+//!
+//! Each configuration redistributes the 40 desirability points (the
+//! acceptance threshold stays at half the total): balanced (the paper's
+//! default), one category dropped at a time, and one category dominant at
+//! a time. Reported: average 15-adder native speedup over the suite and
+//! total candidates examined (search cost).
+
+use isax::{Customizer, MatchOptions};
+use isax_explore::{ExploreConfig, GuideWeights};
+
+fn weights(c: f64, l: f64, a: f64, i: f64) -> GuideWeights {
+    GuideWeights {
+        criticality: c,
+        latency: l,
+        area: a,
+        io: i,
+    }
+}
+
+fn main() {
+    let configs: Vec<(&str, GuideWeights)> = vec![
+        ("balanced (paper)", weights(10.0, 10.0, 10.0, 10.0)),
+        ("no criticality", weights(0.0, 13.33, 13.33, 13.33)),
+        ("no latency", weights(13.33, 0.0, 13.33, 13.33)),
+        ("no area", weights(13.33, 13.33, 0.0, 13.33)),
+        ("no io", weights(13.33, 13.33, 13.33, 0.0)),
+        ("criticality-heavy", weights(25.0, 5.0, 5.0, 5.0)),
+        ("latency-heavy", weights(5.0, 25.0, 5.0, 5.0)),
+        ("area-heavy", weights(5.0, 5.0, 25.0, 5.0)),
+        ("io-heavy", weights(5.0, 5.0, 5.0, 25.0)),
+    ];
+    let suite = isax_workloads::all();
+    println!(
+        "{:<20} {:>10} {:>12}",
+        "guide weights", "avg spd", "examined"
+    );
+    for (name, w) in configs {
+        let mut cz = Customizer::new();
+        cz.explore = ExploreConfig::default().with_weights(w);
+        let mut total_speedup = 0.0;
+        let mut examined = 0u64;
+        for wl in &suite {
+            let analysis = cz.analyze(&wl.program);
+            examined += analysis.stats.examined;
+            let (mdes, _) = cz.select(wl.name, &analysis, 15.0);
+            total_speedup += cz
+                .evaluate(&wl.program, &mdes, MatchOptions::exact())
+                .speedup;
+        }
+        println!(
+            "{:<20} {:>9.3}x {:>12}",
+            name,
+            total_speedup / suite.len() as f64,
+            examined
+        );
+    }
+    println!("\n(threshold held at half the weight total; budget 15 adders)");
+}

@@ -1,0 +1,56 @@
+//! The §6 memory relaxation, measured: "In the future, we plan to relax
+//! the memory ... restrictions in the present system."
+//!
+//! ```sh
+//! cargo run --release -p isax-bench --bin memory_cfu_ablation
+//! ```
+//!
+//! Loads may join CFUs as deterministic one-cycle SRAM accesses; a
+//! load-bearing unit reserves the machine's cache port for one cycle per
+//! load, and load latency is never counted as savings (the port balance
+//! is neutral). Reported per benchmark at 15 adders: the paper's baseline
+//! system, the relaxed system under ratio-greedy, and the relaxed system
+//! under value-greedy (whose larger picks actually reach the load-bearing
+//! units).
+
+use isax::{Customizer, MatchOptions, Mdes};
+use isax_select::{select_greedy, Objective, SelectConfig};
+
+fn main() {
+    let plain = Customizer::new();
+    let relaxed = Customizer::with_memory_cfus();
+    println!(
+        "{:<11} {:>8} {:>10} {:>12}",
+        "app", "paper", "mem-ratio", "mem-value"
+    );
+    let mut sums = [0.0f64; 3];
+    let suite = isax_workloads::all();
+    for w in &suite {
+        let (m0, _) = plain.customize(w.name, &w.program, 15.0);
+        let s0 = plain.evaluate(&w.program, &m0, MatchOptions::exact()).speedup;
+        let analysis = relaxed.analyze(&w.program);
+        let (m1, _) = relaxed.select(w.name, &analysis, 15.0);
+        let s1 = relaxed.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+        let sel = select_greedy(
+            &analysis.cfus,
+            &SelectConfig {
+                objective: Objective::Value,
+                ..SelectConfig::with_budget(15.0)
+            },
+        );
+        let m2 = Mdes::from_selection(w.name, &analysis.cfus, &sel, &relaxed.hw, 64);
+        let s2 = relaxed.evaluate(&w.program, &m2, MatchOptions::exact()).speedup;
+        println!("{:<11} {:>7.2}x {:>9.2}x {:>11.2}x", w.name, s0, s1, s2);
+        sums[0] += s0;
+        sums[1] += s1;
+        sums[2] += s2;
+    }
+    let n = suite.len() as f64;
+    println!(
+        "{:<11} {:>7.2}x {:>9.2}x {:>11.2}x   (averages)",
+        "--",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+}

@@ -1,0 +1,65 @@
+//! The §3.4 selection ablation: ratio-greedy (the paper's default) versus
+//! value-greedy versus the dynamic-programming knapsack.
+//!
+//! ```sh
+//! cargo run --release -p isax-bench --bin selection_ablation
+//! ```
+//!
+//! The paper observes that ratio-greedy wins at low budgets, value-greedy
+//! at high budgets, and that DP "generally does better (roughly 5-10% on
+//! average) than greedy solutions, however it suffers from a much slower
+//! runtime". The table reports speedups at a low (3-adder) and a high
+//! (15-adder) budget for every benchmark, plus suite averages.
+
+use isax::{Customizer, MatchOptions, Mdes};
+use isax_bench::analyze_suite;
+use isax_select::{select_greedy, select_knapsack, Objective, SelectConfig, Selection};
+
+fn main() {
+    let cz = Customizer::new();
+    eprintln!("analyzing the thirteen benchmarks ...");
+    let suite = analyze_suite(&cz);
+
+    for budget in [3.0, 15.0] {
+        println!("\n=== budget {budget} adders ===");
+        println!(
+            "{:<11} {:>8} {:>8} {:>8}",
+            "app", "ratio", "value", "dp"
+        );
+        let mut sums = [0.0f64; 3];
+        for (name, app) in &suite {
+            let eval = |sel: Selection| {
+                let mdes = Mdes::from_selection(name, &app.analysis.cfus, &sel, &cz.hw, 64);
+                cz.evaluate(&app.workload.program, &mdes, MatchOptions::exact())
+                    .speedup
+            };
+            let ratio = eval(select_greedy(
+                &app.analysis.cfus,
+                &SelectConfig::with_budget(budget),
+            ));
+            let value = eval(select_greedy(
+                &app.analysis.cfus,
+                &SelectConfig {
+                    objective: Objective::Value,
+                    ..SelectConfig::with_budget(budget)
+                },
+            ));
+            let dp = eval(select_knapsack(
+                &app.analysis.cfus,
+                &SelectConfig::with_budget(budget),
+            ));
+            println!("{name:<11} {ratio:>7.2}x {value:>7.2}x {dp:>7.2}x");
+            sums[0] += ratio;
+            sums[1] += value;
+            sums[2] += dp;
+        }
+        let n = suite.len() as f64;
+        println!(
+            "{:<11} {:>7.2}x {:>7.2}x {:>7.2}x   (averages)",
+            "--",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one evaluation artifact of the
+//! paper (see `DESIGN.md`'s experiment index). This library holds the
+//! pieces they share: an analysis cache (exploration is budget-independent
+//! and expensive), the budget axis, and small table-printing helpers.
+
+use isax::{Customizer, MatchOptions};
+use isax_workloads::{all, Workload};
+use std::collections::BTreeMap;
+
+/// The paper's area-budget axis: one through fifteen adders.
+pub const BUDGETS: [f64; 15] = [
+    1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+];
+
+/// The headline cost point used by Figures 8/9 and the summary numbers.
+pub const HEADLINE_BUDGET: f64 = 15.0;
+
+/// A workload together with its (cached) budget-independent analysis.
+pub struct AnalyzedApp {
+    /// The benchmark.
+    pub workload: Workload,
+    /// Its exploration/combination result.
+    pub analysis: isax::Analysis,
+}
+
+/// Analyzes every benchmark once.
+pub fn analyze_suite(cz: &Customizer) -> BTreeMap<&'static str, AnalyzedApp> {
+    all()
+        .into_iter()
+        .map(|w| {
+            let analysis = cz.analyze(&w.program);
+            (w.name, AnalyzedApp { workload: w, analysis })
+        })
+        .collect()
+}
+
+/// Native speedup of `app` at `budget`.
+pub fn native(cz: &Customizer, app: &AnalyzedApp, budget: f64) -> f64 {
+    let (mdes, _) = cz.select(app.workload.name, &app.analysis, budget);
+    cz.evaluate(&app.workload.program, &mdes, MatchOptions::exact())
+        .speedup
+}
+
+/// Speedup of `app` on `src`'s CFUs at `budget` with the given matching.
+pub fn cross(
+    cz: &Customizer,
+    src: &AnalyzedApp,
+    app: &AnalyzedApp,
+    budget: f64,
+    matching: MatchOptions,
+) -> f64 {
+    let (mdes, _) = cz.select(src.workload.name, &src.analysis, budget);
+    cz.evaluate(&app.workload.program, &mdes, matching).speedup
+}
+
+/// Prints a speedup table: one row per series, one column per budget.
+pub fn print_series(title: &str, rows: &[(String, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<24}", "series \\ budget");
+    for b in BUDGETS {
+        print!(" {:>5}", b as u32);
+    }
+    println!();
+    for (name, values) in rows {
+        print!("{name:<24}");
+        for v in values {
+            print!(" {v:>5.2}");
+        }
+        println!();
+    }
+}

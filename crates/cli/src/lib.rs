@@ -1,0 +1,569 @@
+//! Implementation of the `isax` command-line tool.
+//!
+//! The binary drives the whole toolflow over textual IR files (the
+//! `Display`/[`isax_ir::parse`] assembly format):
+//!
+//! ```text
+//! isax explore  kernel.isax                      # exploration stats + top CFU candidates
+//! isax customize kernel.isax --budget 15 -o m.json   # generate a machine description
+//! isax compile  kernel.isax --mdes m.json [--subsumed] [--wildcard] [--emit out.isax]
+//! isax run      kernel.isax --entry f --args 1,2,3
+//! isax simulate kernel.isax --entry f --args 1,2,3    # with VLIW cycle counts
+//! isax dot      kernel.isax --function f --block 1    # Graphviz dump of one DFG
+//! ```
+//!
+//! The library half exists so the argument parsing and command logic are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use isax::{Customizer, MatchMode, MatchOptions, Mdes};
+use isax_ir::{parse_program, Program};
+use isax_machine::Memory;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `explore <file>`
+    Explore {
+        /// IR file.
+        file: String,
+    },
+    /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction]`
+    Customize {
+        /// IR file.
+        file: String,
+        /// Area budget (adders).
+        budget: f64,
+        /// Application name recorded in the MDES.
+        name: String,
+        /// Where to write the MDES JSON (stdout when `None`).
+        out: Option<String>,
+        /// Use multifunction-family selection.
+        multifunction: bool,
+    },
+    /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH]`
+    Compile {
+        /// IR file.
+        file: String,
+        /// MDES JSON path.
+        mdes: String,
+        /// Enable subsumed-subgraph matching.
+        subsumed: bool,
+        /// Enable opcode-class wildcard matching.
+        wildcard: bool,
+        /// Optional path for the customized assembly.
+        emit: Option<String>,
+    },
+    /// `simulate <file> --entry NAME [--args a,b,c] [--fuel N]`
+    Simulate {
+        /// IR file.
+        file: String,
+        /// Entry function.
+        entry: String,
+        /// Arguments.
+        args: Vec<u32>,
+        /// Instruction budget.
+        fuel: u64,
+    },
+    /// `run <file> --entry NAME [--args a,b,c] [--fuel N]`
+    Run {
+        /// IR file.
+        file: String,
+        /// Entry function.
+        entry: String,
+        /// Arguments.
+        args: Vec<u32>,
+        /// Instruction budget.
+        fuel: u64,
+    },
+    /// `dot <file> [--function NAME] [--block N]`
+    Dot {
+        /// IR file.
+        file: String,
+        /// Function name (first function when `None`).
+        function: Option<String>,
+        /// Block index.
+        block: usize,
+    },
+}
+
+/// A usage/argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The help text.
+pub const USAGE: &str = "\
+isax — automated instruction-set customization (MICRO-36 2003 reproduction)
+
+USAGE:
+    isax explore   <file.isax>
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction]
+    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax]
+    isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
+    isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
+    isax dot       <file.isax> [--function FUNC] [--block N]
+";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the first problem.
+pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let Some(cmd) = args.first() else {
+        return Err(UsageError(USAGE.into()));
+    };
+    let file = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or_else(|| UsageError(format!("{cmd}: missing input file\n\n{USAGE}")))?;
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "explore" => Ok(Command::Explore { file }),
+        "customize" => {
+            let budget = match flag_value(rest, "--budget") {
+                Some(b) => b
+                    .parse::<f64>()
+                    .map_err(|_| UsageError(format!("bad --budget `{b}`")))?,
+                None => 15.0,
+            };
+            let name = flag_value(rest, "--name")
+                .map(str::to_string)
+                .unwrap_or_else(|| {
+                    std::path::Path::new(&file)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "app".into())
+                });
+            Ok(Command::Customize {
+                file,
+                budget,
+                name,
+                out: flag_value(rest, "--out").map(str::to_string),
+                multifunction: has_flag(rest, "--multifunction"),
+            })
+        }
+        "compile" => {
+            let mdes = flag_value(rest, "--mdes")
+                .ok_or_else(|| UsageError("compile: --mdes is required".into()))?
+                .to_string();
+            Ok(Command::Compile {
+                file,
+                mdes,
+                subsumed: has_flag(rest, "--subsumed"),
+                wildcard: has_flag(rest, "--wildcard"),
+                emit: flag_value(rest, "--emit").map(str::to_string),
+            })
+        }
+        "run" | "simulate" => {
+            let entry = flag_value(rest, "--entry")
+                .ok_or_else(|| UsageError("run: --entry is required".into()))?
+                .to_string();
+            let args_list = match flag_value(rest, "--args") {
+                Some(list) => list
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| {
+                        let t = t.trim();
+                        if let Some(hex) = t.strip_prefix("0x") {
+                            u32::from_str_radix(hex, 16)
+                        } else {
+                            t.parse::<u32>()
+                        }
+                        .map_err(|_| UsageError(format!("bad argument `{t}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            let fuel = match flag_value(rest, "--fuel") {
+                Some(f) => f
+                    .parse::<u64>()
+                    .map_err(|_| UsageError(format!("bad --fuel `{f}`")))?,
+                None => 10_000_000,
+            };
+            if cmd == "simulate" {
+                Ok(Command::Simulate {
+                    file,
+                    entry,
+                    args: args_list,
+                    fuel,
+                })
+            } else {
+                Ok(Command::Run {
+                    file,
+                    entry,
+                    args: args_list,
+                    fuel,
+                })
+            }
+        }
+        "dot" => Ok(Command::Dot {
+            file,
+            function: flag_value(rest, "--function").map(str::to_string),
+            block: match flag_value(rest, "--block") {
+                Some(b) => b
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("bad --block `{b}`")))?,
+                None => 0,
+            },
+        }),
+        other => Err(UsageError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_program(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+/// Executes a command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns a description of the failure (file, parse, or execution).
+pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    match cmd {
+        Command::Explore { file } => {
+            let p = load_program(file)?;
+            let cz = Customizer::new();
+            let analysis = cz.analyze(&p);
+            w(out, format!(
+                "{}: {} instructions, {} blocks",
+                file,
+                p.inst_count(),
+                analysis.dfgs.len()
+            ))?;
+            w(out, format!(
+                "explored {} candidate subgraphs ({} directions pruned) -> {} CFU candidates",
+                analysis.stats.examined, analysis.stats.directions_pruned, analysis.cfus.len()
+            ))?;
+            let mut ranked: Vec<_> = analysis.cfus.iter().collect();
+            ranked.sort_by_key(|c| std::cmp::Reverse(c.estimated_value()));
+            w(out, "top candidates by estimated value:".into())?;
+            for c in ranked.iter().take(10) {
+                w(out, format!(
+                    "  {:<28} {:2} ops  {:6.2} adders  {:2} occurrence(s)  value {}",
+                    c.describe(),
+                    c.size(),
+                    c.area,
+                    c.occurrences.len(),
+                    c.estimated_value()
+                ))?;
+            }
+            Ok(())
+        }
+        Command::Customize {
+            file,
+            budget,
+            name,
+            out: out_path,
+            multifunction,
+        } => {
+            let p = load_program(file)?;
+            let cz = Customizer::new();
+            let analysis = cz.analyze(&p);
+            let (mdes, sel) = if *multifunction {
+                cz.select_multifunction(name, &analysis, *budget)
+            } else {
+                cz.select(name, &analysis, *budget)
+            };
+            let json = mdes.to_json().map_err(|e| e.to_string())?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                    w(out, format!(
+                        "wrote {} CFUs ({:.2} adders charged) to {path}",
+                        mdes.cfus.len(),
+                        sel.total_area
+                    ))?;
+                }
+                None => w(out, json)?,
+            }
+            Ok(())
+        }
+        Command::Compile {
+            file,
+            mdes,
+            subsumed,
+            wildcard,
+            emit,
+        } => {
+            let p = load_program(file)?;
+            let text = std::fs::read_to_string(mdes).map_err(|e| format!("{mdes}: {e}"))?;
+            let mdes = Mdes::from_json(&text).map_err(|e| format!("{mdes}: {e}"))?;
+            let cz = Customizer::new();
+            let matching = MatchOptions {
+                mode: if *wildcard { MatchMode::Wildcard } else { MatchMode::Exact },
+                allow_subsumed: *subsumed,
+            };
+            let ev = cz.evaluate(&p, &mdes, matching);
+            w(out, format!(
+                "baseline {} cycles -> customized {} cycles  (speedup {:.3}x)",
+                ev.baseline_cycles, ev.custom_cycles, ev.speedup
+            ))?;
+            w(out, format!(
+                "{} replacement(s): {} exact, {} subsumed",
+                ev.compiled.applied.len(),
+                ev.compiled.exact_matches(),
+                ev.compiled.subsumed_matches()
+            ))?;
+            if let Some(path) = emit {
+                let text: String = ev
+                    .compiled
+                    .program
+                    .functions
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                w(out, format!("customized assembly written to {path}"))?;
+            }
+            Ok(())
+        }
+        Command::Run {
+            file,
+            entry,
+            args,
+            fuel,
+        } => {
+            let p = load_program(file)?;
+            let mut mem = Memory::new();
+            let r = isax_machine::run(&p, entry, args, &mut mem, *fuel)
+                .map_err(|e| e.to_string())?;
+            w(out, format!(
+                "{entry}({}) = {:?}   [{} dynamic instructions]",
+                args.iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                r.ret,
+                r.steps
+            ))?;
+            Ok(())
+        }
+        Command::Simulate {
+            file,
+            entry,
+            args,
+            fuel,
+        } => {
+            let p = load_program(file)?;
+            let mut mem = Memory::new();
+            let r = isax_machine::simulate(
+                &p,
+                entry,
+                args,
+                &mut mem,
+                &isax_compiler::CustomInfo::new(),
+                &isax_hwlib::HwLibrary::micron_018(),
+                &isax_compiler::VliwModel::default(),
+                *fuel,
+            )
+            .map_err(|e| e.to_string())?;
+            w(out, format!(
+                "{entry}({}) = {:?}   [{} cycles, {} dynamic instructions]",
+                args.iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                r.outcome.ret,
+                r.cycles,
+                r.outcome.steps
+            ))?;
+            Ok(())
+        }
+        Command::Dot {
+            file,
+            function,
+            block,
+        } => {
+            let p = load_program(file)?;
+            let f = match function {
+                Some(name) => p
+                    .function(name)
+                    .ok_or_else(|| format!("no function `{name}`"))?,
+                None => &p.functions[0],
+            };
+            let dfgs = isax_ir::function_dfgs(f);
+            let dfg = dfgs
+                .get(*block)
+                .ok_or_else(|| format!("{} has no block {block}", f.name))?;
+            w(out, dfg.to_dot(&format!("{}_b{block}", f.name)))?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_all_commands() {
+        assert!(matches!(
+            parse_args(&argv("explore k.isax")).unwrap(),
+            Command::Explore { .. }
+        ));
+        let c = parse_args(&argv("customize k.isax --budget 7.5 --name bf --out m.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Customize {
+                file: "k.isax".into(),
+                budget: 7.5,
+                name: "bf".into(),
+                out: Some("m.json".into()),
+                multifunction: false,
+            }
+        );
+        let c = parse_args(&argv("compile k.isax --mdes m.json --subsumed --wildcard")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Compile { subsumed: true, wildcard: true, .. }
+        ));
+        let c = parse_args(&argv("run k.isax --entry f --args 1,0x10,3")).unwrap();
+        match c {
+            Command::Run { args, .. } => assert_eq!(args, vec![1, 16, 3]),
+            _ => panic!(),
+        }
+        assert!(matches!(
+            parse_args(&argv("dot k.isax --block 1")).unwrap(),
+            Command::Dot { block: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn budget_defaults_and_name_from_filename() {
+        let c = parse_args(&argv("customize path/to/blowfish.isax")).unwrap();
+        match c {
+            Command::Customize { budget, name, .. } => {
+                assert_eq!(budget, 15.0);
+                assert_eq!(name, "blowfish");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn missing_pieces_are_usage_errors() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("explore")).is_err());
+        assert!(parse_args(&argv("compile k.isax")).is_err());
+        assert!(parse_args(&argv("run k.isax")).is_err());
+        assert!(parse_args(&argv("frobnicate k.isax")).is_err());
+        assert!(parse_args(&argv("customize k.isax --budget nope")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join(format!("isax-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("kern.isax");
+        std::fs::write(
+            &src,
+            "func kern(v0, v1)\n\
+             b0:  ; weight 10000\n\
+             \txor v2, v0, v1\n\
+             \tshl v3, v2, #5\n\
+             \tadd v4, v3, v1\n\
+             \tret v4\n",
+        )
+        .unwrap();
+        let src_s = src.to_string_lossy().into_owned();
+        let mdes_path = dir.join("m.json").to_string_lossy().into_owned();
+
+        // explore
+        let mut buf = Vec::new();
+        execute(&parse_args(&argv(&format!("explore {src_s}"))).unwrap(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("CFU candidates"), "{text}");
+
+        // customize -> mdes file
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!(
+                "customize {src_s} --budget 4 --name kern --out {mdes_path}"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(std::path::Path::new(&mdes_path).exists());
+
+        // compile against it
+        let emit = dir.join("out.isax").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!(
+                "compile {src_s} --mdes {mdes_path} --emit {emit}"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("speedup"), "{text}");
+        let emitted = std::fs::read_to_string(&emit).unwrap();
+        assert!(emitted.contains("cfu"), "custom instruction emitted:\n{emitted}");
+
+        // run the original
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("run {src_s} --entry kern --args 3,4"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let expect = ((3u32 ^ 4) << 5).wrapping_add(4);
+        assert!(text.contains(&format!("[{expect}]")), "{text}");
+
+        // simulate
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("simulate {src_s} --entry kern --args 3,4"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("cycles"));
+
+        // dot
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("dot {src_s} --function kern --block 0"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("digraph kern_b0"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

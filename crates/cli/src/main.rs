@@ -1,0 +1,17 @@
+//! Thin shim over the `isax-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match isax_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = isax_cli::execute(&cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The end-to-end compiler driver (Figure 5).
+//!
+//! "Given the assembly code and MDES, the compiler performs dataflow
+//! analysis to generate a DFG, discovers all subgraphs in the DFG that
+//! match available CFUs, prioritizes these matches, replaces the matches
+//! with custom instructions, and finally performs the typical tasks of
+//! register allocation and scheduling."
+
+use crate::matching::{find_matches, MatchOptions};
+use crate::mdes::Mdes;
+use crate::prioritize::prioritize;
+use crate::regalloc::allocate_registers;
+use crate::replace::{apply_matches, AppliedMatch};
+use crate::schedule::{function_cycles, CustomInfo, CustomOpInfo, VliwModel};
+use isax_hwlib::HwLibrary;
+use isax_ir::{function_dfgs, Program};
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileOptions {
+    /// Matching generality (exact / subsumed / wildcard).
+    pub matching: MatchOptions,
+    /// Baseline machine shape.
+    pub model: VliwModel,
+}
+
+/// A fully compiled program with its performance estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The program after replacement (original program when compiled for
+    /// the baseline). Custom-instruction semantics are registered inside.
+    pub program: Program,
+    /// Estimated cycles, Σ over blocks (schedule length × weight).
+    pub cycles: u64,
+    /// Per-function, per-block schedule lengths.
+    pub block_cycles: Vec<Vec<u32>>,
+    /// Scheduling facts (latency, cache-port reads) for the emitted
+    /// custom opcodes.
+    pub custom_info: CustomInfo,
+    /// Every replacement performed.
+    pub applied: Vec<AppliedMatch>,
+    /// Registers spilled by the allocator (expected empty for the
+    /// benchmark kernels; reported for honesty).
+    pub spills: usize,
+}
+
+impl CompiledProgram {
+    /// Replacements that used exact pattern matches.
+    pub fn exact_matches(&self) -> usize {
+        self.applied.iter().filter(|a| !a.via_subsumption).count()
+    }
+
+    /// Replacements that mapped subsumed (contracted) shapes.
+    pub fn subsumed_matches(&self) -> usize {
+        self.applied.iter().filter(|a| a.via_subsumption).count()
+    }
+}
+
+/// Compiles a program against a machine description.
+///
+/// Passing [`Mdes::baseline`] yields the baseline measurement (no
+/// replacement, same scheduler) — the denominator of every speedup in the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use isax_compiler::{compile, CompileOptions, Mdes};
+/// use isax_hwlib::HwLibrary;
+/// use isax_ir::{FunctionBuilder, Program};
+///
+/// let mut fb = FunctionBuilder::new("f", 2);
+/// let (a, b) = (fb.param(0), fb.param(1));
+/// let t = fb.add(a, b);
+/// fb.ret(&[t.into()]);
+/// let p = Program::new(vec![fb.finish()]);
+///
+/// let hw = HwLibrary::micron_018();
+/// let out = compile(&p, &Mdes::baseline(), &hw, &CompileOptions::default());
+/// assert!(out.cycles >= 1);
+/// assert!(out.applied.is_empty());
+/// ```
+pub fn compile(
+    program: &Program,
+    mdes: &Mdes,
+    hw: &HwLibrary,
+    opts: &CompileOptions,
+) -> CompiledProgram {
+    let mut out_program = Program::new(Vec::with_capacity(program.functions.len()));
+    let mut custom_info: CustomInfo = CustomInfo::new();
+    let mut applied = Vec::new();
+    let mut sem_base: u16 = 0;
+    for f in &program.functions {
+        let dfgs = function_dfgs(f);
+        let matches = find_matches(&dfgs, mdes, hw, &opts.matching);
+        let accepted = prioritize(matches, mdes, &dfgs);
+        let mut cf = apply_matches(f, &dfgs, &accepted, mdes, sem_base);
+        sem_base = sem_base.max(
+            cf.semantics
+                .keys()
+                .next_back()
+                .map(|&k| k + 1)
+                .unwrap_or(sem_base),
+        );
+        for (&id, sem) in &cf.semantics {
+            custom_info.insert(
+                id,
+                CustomOpInfo {
+                    latency: cf.sem_latency.get(&id).copied().unwrap_or(1),
+                    mem_reads: sem.load_count(),
+                },
+            );
+        }
+        out_program
+            .cfu_semantics
+            .append(&mut std::mem::take(&mut cf.semantics));
+        applied.extend(cf.applied);
+        out_program.functions.push(cf.function);
+    }
+    // Schedule + allocate.
+    let mut cycles = 0u64;
+    let mut block_cycles = Vec::new();
+    let mut spills = 0usize;
+    for f in &out_program.functions {
+        let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
+        cycles += c;
+        block_cycles.push(per_block);
+        spills += allocate_registers(f).spilled.len();
+    }
+    CompiledProgram {
+        program: out_program,
+        cycles,
+        block_cycles,
+        custom_info,
+        applied,
+        spills,
+    }
+}
+
+/// Convenience: baseline cycle count of a program.
+pub fn baseline_cycles(program: &Program, hw: &HwLibrary, model: &VliwModel) -> u64 {
+    compile(
+        program,
+        &Mdes::baseline(),
+        hw,
+        &CompileOptions {
+            matching: MatchOptions::exact(),
+            model: *model,
+        },
+    )
+    .cycles
+}
+
+/// Speedup of `custom` relative to `baseline` cycle counts.
+pub fn speedup(baseline: u64, custom: u64) -> f64 {
+    if custom == 0 {
+        1.0
+    } else {
+        baseline as f64 / custom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_explore::{explore_app, ExploreConfig};
+    use isax_ir::{verify_program, FunctionBuilder};
+    use isax_select::{combine, select_greedy, SelectConfig};
+
+    fn hw() -> HwLibrary {
+        HwLibrary::micron_018()
+    }
+
+    /// Build an app + its own MDES at the given budget.
+    fn app_and_mdes(budget: f64) -> (Program, Mdes) {
+        let mut fb = FunctionBuilder::new("kern", 3);
+        fb.set_entry_weight(10_000);
+        let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));
+        let t = fb.xor(a, k);
+        let l = fb.shl(t, 5i64);
+        let r = fb.shr(t, 27i64);
+        let rot = fb.or(l, r);
+        let s = fb.add(rot, b);
+        let u = fb.and(s, 0xFFFFi64);
+        fb.ret(&[u.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        let dfgs = function_dfgs(&p.functions[0]);
+        let found = explore_app(&dfgs, &hw(), &ExploreConfig::default());
+        let cfus = combine(&dfgs, &found.candidates, &hw());
+        let sel = select_greedy(&cfus, &SelectConfig::with_budget(budget));
+        let mdes = Mdes::from_selection("kern", &cfus, &sel, &hw(), 64);
+        (p, mdes)
+    }
+
+    #[test]
+    fn customization_accelerates_the_kernel() {
+        let (p, mdes) = app_and_mdes(15.0);
+        let base = baseline_cycles(&p, &hw(), &VliwModel::default());
+        let custom = compile(&p, &mdes, &hw(), &CompileOptions::default());
+        assert!(verify_program(&custom.program).is_ok());
+        assert!(
+            custom.cycles < base,
+            "custom {} must beat baseline {}",
+            custom.cycles,
+            base
+        );
+        let s = speedup(base, custom.cycles);
+        assert!(s > 1.3, "expected a solid speedup, got {s:.2}");
+        assert!(!custom.applied.is_empty());
+        assert_eq!(custom.spills, 0);
+    }
+
+    #[test]
+    fn baseline_compile_is_identity_on_code() {
+        let (p, _) = app_and_mdes(15.0);
+        let out = compile(&p, &Mdes::baseline(), &hw(), &CompileOptions::default());
+        assert_eq!(out.program.functions[0].blocks, p.functions[0].blocks);
+        assert!(out.applied.is_empty());
+    }
+
+    #[test]
+    fn bigger_budget_never_slows_the_program() {
+        let budgets = [1.0, 2.0, 4.0, 8.0, 15.0];
+        let mut last = u64::MAX;
+        for &b in &budgets {
+            let (p, mdes) = app_and_mdes(b);
+            let out = compile(&p, &mdes, &hw(), &CompileOptions::default());
+            assert!(
+                out.cycles <= last || out.cycles.abs_diff(last) <= 1,
+                "budget {b}: {} vs previous {}",
+                out.cycles,
+                last
+            );
+            last = last.min(out.cycles);
+        }
+    }
+
+    #[test]
+    fn semantic_ids_are_unique_across_functions() {
+        let mk = |name: &str| {
+            let mut fb = FunctionBuilder::new(name, 3);
+            fb.set_entry_weight(100);
+            let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+            let t = fb.and(a, b);
+            let u = fb.add(t, c);
+            fb.ret(&[u.into()]);
+            fb.finish()
+        };
+        let p = Program::new(vec![mk("f"), mk("g")]);
+        let dfgs = function_dfgs(&p.functions[0]);
+        let found = explore_app(&dfgs, &hw(), &ExploreConfig::default());
+        let cfus = combine(&dfgs, &found.candidates, &hw());
+        let sel = select_greedy(&cfus, &SelectConfig::with_budget(4.0));
+        let mdes = Mdes::from_selection("f", &cfus, &sel, &hw(), 16);
+        let out = compile(&p, &mdes, &hw(), &CompileOptions::default());
+        assert!(verify_program(&out.program).is_ok());
+        assert!(out.applied.len() >= 2, "both functions got replacements");
+    }
+}

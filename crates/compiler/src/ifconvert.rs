@@ -1,0 +1,546 @@
+//! If-conversion: folding branch diamonds and triangles into straight-line
+//! code with `select` operations.
+//!
+//! The paper's §6 names relaxing the **control flow** restriction as
+//! future work; in the Trimaran infrastructure the standard lever is
+//! hyperblock formation. This pass implements the conservative core of
+//! it: a two-sided diamond (`P → {T, F} → J`) or one-sided triangle
+//! (`P → {T, J}`, `T → J`) whose conditional blocks are side-effect free
+//! (no stores) and privately reachable (single predecessor) is merged
+//! into `P`, with every conditionally defined register reconciled by a
+//! `select` on the branch condition.
+//!
+//! The IR is not SSA, so both sides' definitions are first renamed to
+//! fresh registers; the original names are then re-established by the
+//! selects. Bigger blocks mean more combinable dataflow — branchy kernels
+//! like mpeg2dec's clip and cjpeg's quantizer become CFU-eligible (the
+//! `ifconvert_ablation` bench measures the effect).
+
+use isax_ir::{
+    BasicBlock, BlockId, Function, Inst, Opcode, Operand, Program, Terminator, VReg,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Limits for the transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfConvertConfig {
+    /// Maximum instructions a conditional side may hold (if-conversion
+    /// executes both sides unconditionally, so large sides do not pay).
+    pub max_side_insts: usize,
+    /// Fixpoint iterations (nested diamonds collapse one level per pass).
+    pub passes: usize,
+}
+
+impl Default for IfConvertConfig {
+    fn default() -> Self {
+        IfConvertConfig {
+            max_side_insts: 12,
+            passes: 3,
+        }
+    }
+}
+
+/// Statistics from a conversion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfConvertStats {
+    /// Diamonds merged.
+    pub diamonds: usize,
+    /// Triangles merged.
+    pub triangles: usize,
+    /// `select` operations inserted.
+    pub selects: usize,
+}
+
+/// A conditional side is convertible when it is straight-line compute:
+/// no stores (they would need guarding), no custom ops (shape unknown)
+/// and no divides (speculating a ten-cycle divider never pays).
+fn side_convertible(b: &BasicBlock, cfg: &IfConvertConfig) -> bool {
+    b.insts.len() <= cfg.max_side_insts
+        && b.insts.iter().all(|i| {
+            !i.opcode.is_store()
+                && !i.opcode.is_custom()
+                && !matches!(i.opcode, Opcode::Div | Opcode::Rem)
+        })
+}
+
+/// Clones a side's instructions with every definition renamed to a fresh
+/// register; returns the emitted instructions and the final name of each
+/// originally defined register.
+fn rename_side(
+    b: &BasicBlock,
+    next_reg: &mut u32,
+) -> (Vec<Inst>, BTreeMap<VReg, VReg>) {
+    let mut map: BTreeMap<VReg, VReg> = BTreeMap::new();
+    let mut out = Vec::with_capacity(b.insts.len());
+    for inst in &b.insts {
+        let srcs = inst
+            .srcs
+            .iter()
+            .map(|o| match o {
+                Operand::Reg(r) => Operand::Reg(*map.get(r).unwrap_or(r)),
+                imm => *imm,
+            })
+            .collect();
+        let dsts = inst
+            .dsts
+            .iter()
+            .map(|d| {
+                let fresh = VReg(*next_reg);
+                *next_reg += 1;
+                map.insert(*d, fresh);
+                fresh
+            })
+            .collect();
+        out.push(Inst {
+            opcode: inst.opcode,
+            dsts,
+            srcs,
+        });
+    }
+    (out, map)
+}
+
+/// Runs if-conversion on one function until fixpoint (bounded by
+/// `cfg.passes`).
+pub fn if_convert_function(f: &Function, cfg: &IfConvertConfig) -> (Function, IfConvertStats) {
+    let mut f = f.clone();
+    let mut stats = IfConvertStats::default();
+    for _ in 0..cfg.passes {
+        if !convert_once(&mut f, cfg, &mut stats) {
+            break;
+        }
+    }
+    (f, stats)
+}
+
+/// One sweep; returns true when something was merged.
+fn convert_once(f: &mut Function, cfg: &IfConvertConfig, stats: &mut IfConvertStats) -> bool {
+    let liveness = f.liveness();
+    let preds = f.predecessors();
+    let single_pred = |b: BlockId, p: BlockId| preds[b.index()] == vec![p];
+    let mut changed = false;
+    for pi in 0..f.blocks.len() {
+        let p = BlockId(pi as u32);
+        let Terminator::Branch { cond, taken, not_taken } = f.blocks[pi].term.clone() else {
+            continue;
+        };
+        if taken == not_taken {
+            // Degenerate branch: both arms identical.
+            f.blocks[pi].term = Terminator::Jump(taken);
+            changed = true;
+            continue;
+        }
+        if taken == p || not_taken == p {
+            continue; // self loop
+        }
+        let t = &f.blocks[taken.index()];
+        let nt = &f.blocks[not_taken.index()];
+        // Diamond: P -> {T, F}; T -> J; F -> J.
+        if let (Terminator::Jump(jt), Terminator::Jump(jf)) = (&t.term, &nt.term) {
+            if jt == jf
+                && *jt != p
+                && *jt != taken
+                && *jt != not_taken
+                && single_pred(taken, p)
+                && single_pred(not_taken, p)
+                && side_convertible(t, cfg)
+                && side_convertible(nt, cfg)
+            {
+                let join = *jt;
+                merge_diamond(
+                    f,
+                    p,
+                    cond,
+                    taken,
+                    not_taken,
+                    join,
+                    &liveness.live_in[join.index()],
+                    stats,
+                );
+                changed = true;
+                continue;
+            }
+        }
+        // Triangle: P -> {T, J}; T -> J (either orientation).
+        for (side, join, side_is_taken) in
+            [(taken, not_taken, true), (not_taken, taken, false)]
+        {
+            let sb = &f.blocks[side.index()];
+            if let Terminator::Jump(j) = sb.term {
+                if j == join
+                    && j != p
+                    && j != side
+                    && single_pred(side, p)
+                    && side_convertible(sb, cfg)
+                {
+                    merge_triangle(
+                        f,
+                        p,
+                        cond,
+                        side,
+                        join,
+                        side_is_taken,
+                        &liveness.live_in[join.index()],
+                        stats,
+                    );
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn retire_block(f: &mut Function, b: BlockId, join: BlockId) {
+    // The block is unreachable after the merge; keep ids stable but make
+    // it free: empty, weightless, jumping somewhere valid.
+    let blk = &mut f.blocks[b.index()];
+    blk.insts.clear();
+    blk.weight = 0;
+    blk.term = Terminator::Jump(join);
+}
+
+/// An operand for the "keep the incoming value" leg of a select. A
+/// register never defined on the incoming path reads as zero under the
+/// machine ABI (registers are zero-initialized), so materialize that.
+fn incoming(f: &Function, sides: &[BlockId], r: VReg) -> Operand {
+    let defined_before = f.params.contains(&r)
+        || f.blocks.iter().enumerate().any(|(bi, b)| {
+            !sides.iter().any(|s| s.index() == bi) && b.defs().any(|d| d == r)
+        });
+    if defined_before {
+        Operand::Reg(r)
+    } else {
+        Operand::Imm(0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_diamond(
+    f: &mut Function,
+    p: BlockId,
+    cond: VReg,
+    taken: BlockId,
+    not_taken: BlockId,
+    join: BlockId,
+    live_at_join: &BTreeSet<VReg>,
+    stats: &mut IfConvertStats,
+) {
+    let mut next_reg = f.vreg_count;
+    let (t_insts, t_map) = rename_side(&f.blocks[taken.index()], &mut next_reg);
+    let (f_insts, f_map) = rename_side(&f.blocks[not_taken.index()], &mut next_reg);
+    // Reconcile the registers a side defines that are still needed at the
+    // join; side-local temporaries need no select.
+    let mut defined: Vec<VReg> = t_map.keys().chain(f_map.keys()).copied().collect();
+    defined.sort_unstable();
+    defined.dedup();
+    defined.retain(|r| live_at_join.contains(r));
+    let selects: Vec<Inst> = defined
+        .iter()
+        .map(|&r| {
+            let tv = t_map
+                .get(&r)
+                .map(|&v| Operand::Reg(v))
+                .unwrap_or_else(|| incoming(f, &[taken, not_taken], r));
+            let fv = f_map
+                .get(&r)
+                .map(|&v| Operand::Reg(v))
+                .unwrap_or_else(|| incoming(f, &[taken, not_taken], r));
+            Inst::new(Opcode::Select, vec![r], vec![cond.into(), tv, fv])
+        })
+        .collect();
+    let pb = &mut f.blocks[p.index()];
+    pb.insts.extend(t_insts);
+    pb.insts.extend(f_insts);
+    stats.selects += selects.len();
+    pb.insts.extend(selects);
+    pb.term = Terminator::Jump(join);
+    f.vreg_count = next_reg;
+    retire_block(f, taken, join);
+    retire_block(f, not_taken, join);
+    stats.diamonds += 1;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_triangle(
+    f: &mut Function,
+    p: BlockId,
+    cond: VReg,
+    side: BlockId,
+    join: BlockId,
+    side_is_taken: bool,
+    live_at_join: &BTreeSet<VReg>,
+    stats: &mut IfConvertStats,
+) {
+    let mut next_reg = f.vreg_count;
+    let (s_insts, s_map) = rename_side(&f.blocks[side.index()], &mut next_reg);
+    let selects: Vec<Inst> = s_map
+        .iter()
+        .filter(|(r, _)| live_at_join.contains(r))
+        .map(|(&r, &rv)| {
+            // On the through path the register keeps its incoming value.
+            let through = incoming(f, &[side], r);
+            let (tv, fv) = if side_is_taken {
+                (Operand::Reg(rv), through)
+            } else {
+                (through, Operand::Reg(rv))
+            };
+            Inst::new(Opcode::Select, vec![r], vec![cond.into(), tv, fv])
+        })
+        .collect();
+    let pb = &mut f.blocks[p.index()];
+    pb.insts.extend(s_insts);
+    stats.selects += selects.len();
+    pb.insts.extend(selects);
+    pb.term = Terminator::Jump(join);
+    f.vreg_count = next_reg;
+    retire_block(f, side, join);
+    stats.triangles += 1;
+}
+
+/// If-converts every function of a program.
+///
+/// # Example
+///
+/// ```
+/// use isax_compiler::ifconvert::{if_convert_program, IfConvertConfig};
+/// use isax_ir::{FunctionBuilder, Program};
+///
+/// // v = |a| via a triangle.
+/// let mut fb = FunctionBuilder::new("abs", 1);
+/// let a = fb.param(0);
+/// let flip = fb.new_block(40);
+/// let join = fb.new_block(100);
+/// let v = fb.fresh();
+/// fb.copy_to(v, a);
+/// let neg = fb.lt(a, 0i64);
+/// fb.branch(neg, flip, join);
+/// fb.switch_to(flip);
+/// let n = fb.sub(0i64, a);
+/// fb.copy_to(v, n);
+/// fb.jump(join);
+/// fb.switch_to(join);
+/// fb.ret(&[v.into()]);
+/// let p = Program::new(vec![fb.finish()]);
+///
+/// let (converted, stats) = if_convert_program(&p, &IfConvertConfig::default());
+/// assert_eq!(stats.triangles, 1);
+/// // The entry now ends in a jump, not a branch.
+/// assert!(matches!(converted.functions[0].blocks[0].term,
+///                  isax_ir::Terminator::Jump(_)));
+/// ```
+pub fn if_convert_program(p: &Program, cfg: &IfConvertConfig) -> (Program, IfConvertStats) {
+    let mut stats = IfConvertStats::default();
+    let functions = p
+        .functions
+        .iter()
+        .map(|f| {
+            let (nf, s) = if_convert_function(f, cfg);
+            stats.diamonds += s.diamonds;
+            stats.triangles += s.triangles;
+            stats.selects += s.selects;
+            nf
+        })
+        .collect();
+    (
+        Program {
+            functions,
+            cfu_semantics: p.cfu_semantics.clone(),
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::{verify_function, FunctionBuilder};
+
+    /// max(a, b) via a diamond.
+    fn diamond_max() -> Function {
+        let mut fb = FunctionBuilder::new("max", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let yes = fb.new_block(60);
+        let no = fb.new_block(40);
+        let join = fb.new_block(100);
+        let m = fb.fresh();
+        let c = fb.gt(a, b);
+        fb.branch(c, yes, no);
+        fb.switch_to(yes);
+        fb.copy_to(m, a);
+        fb.jump(join);
+        fb.switch_to(no);
+        fb.copy_to(m, b);
+        fb.jump(join);
+        fb.switch_to(join);
+        let r = fb.add(m, 1i64);
+        fb.ret(&[r.into()]);
+        fb.finish()
+    }
+
+    #[test]
+    fn diamond_becomes_selects() {
+        let f = diamond_max();
+        let (g, stats) = if_convert_function(&f, &IfConvertConfig::default());
+        assert_eq!(stats.diamonds, 1);
+        assert_eq!(stats.selects, 1);
+        assert!(matches!(g.blocks[0].term, Terminator::Jump(_)));
+        assert!(verify_function(&g).is_ok());
+        // Semantics preserved.
+        use isax_machine_equivalence::*;
+        check_equivalent(&f, &g, &[[5, 9], [9, 5], [7, 7], [0, u32::MAX]]);
+    }
+
+    #[test]
+    fn nested_diamonds_collapse_over_passes() {
+        // clamp(v, lo, hi): two chained triangles.
+        let mut fb = FunctionBuilder::new("clamp", 3);
+        let (v, lo, hi) = (fb.param(0), fb.param(1), fb.param(2));
+        let clip_lo = fb.new_block(10);
+        let mid = fb.new_block(100);
+        let clip_hi = fb.new_block(10);
+        let join = fb.new_block(100);
+        let out = fb.fresh();
+        fb.copy_to(out, v);
+        let below = fb.lt(v, lo);
+        fb.branch(below, clip_lo, mid);
+        fb.switch_to(clip_lo);
+        fb.copy_to(out, lo);
+        fb.jump(mid);
+        fb.switch_to(mid);
+        let above = fb.gt(out, hi);
+        fb.branch(above, clip_hi, join);
+        fb.switch_to(clip_hi);
+        fb.copy_to(out, hi);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[out.into()]);
+        let f = fb.finish();
+
+        let (g, stats) = if_convert_function(&f, &IfConvertConfig::default());
+        assert_eq!(stats.triangles, 2);
+        assert!(verify_function(&g).is_ok());
+        use isax_machine_equivalence::*;
+        check_equivalent(
+            &f,
+            &g,
+            &[[5, 1, 9], [0, 3, 9], [20, 3, 9], [7, 7, 7]],
+        );
+    }
+
+    #[test]
+    fn stores_block_conversion() {
+        let mut fb = FunctionBuilder::new("guarded", 2);
+        let (p, v) = (fb.param(0), fb.param(1));
+        let write = fb.new_block(10);
+        let join = fb.new_block(100);
+        let c = fb.ne(v, 0i64);
+        fb.branch(c, write, join);
+        fb.switch_to(write);
+        fb.stw(p, v); // side effect: must not be speculated
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let (g, stats) = if_convert_function(&f, &IfConvertConfig::default());
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(g.blocks, f.blocks, "guarded store left untouched");
+    }
+
+    #[test]
+    fn loops_are_left_alone() {
+        let mut fb = FunctionBuilder::new("loop", 1);
+        let n = fb.param(0);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+        fb.jump(body);
+        fb.switch_to(body);
+        let n1 = fb.sub(n, 1i64);
+        fb.copy_to(n, n1);
+        let c = fb.ne(n, 0i64);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[n.into()]);
+        let f = fb.finish();
+        let (g, stats) = if_convert_function(&f, &IfConvertConfig::default());
+        assert_eq!(stats.diamonds + stats.triangles, 0);
+        assert_eq!(g.blocks, f.blocks);
+    }
+
+    #[test]
+    fn oversized_sides_are_skipped() {
+        let mut fb = FunctionBuilder::new("big", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let side = fb.new_block(10);
+        let join = fb.new_block(100);
+        let r = fb.fresh();
+        fb.copy_to(r, a);
+        let c = fb.gt(a, b);
+        fb.branch(c, side, join);
+        fb.switch_to(side);
+        let mut v = a;
+        for _ in 0..20 {
+            v = fb.add(v, 1i64);
+        }
+        fb.copy_to(r, v);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[r.into()]);
+        let f = fb.finish();
+        let (g, stats) =
+            if_convert_function(&f, &IfConvertConfig { max_side_insts: 12, passes: 3 });
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(g.blocks, f.blocks);
+    }
+
+    /// Minimal interpreter-free equivalence harness (the compiler crate
+    /// cannot depend on `isax-machine`): evaluate straight-line CFGs by
+    /// walking blocks directly.
+    mod isax_machine_equivalence {
+        use super::*;
+
+        fn exec(f: &Function, args: &[u32]) -> Vec<u32> {
+            let mut regs = vec![0u32; f.vreg_count as usize];
+            for (p, &a) in f.params.iter().zip(args) {
+                regs[p.index()] = a;
+            }
+            let mut b = BlockId(0);
+            for _ in 0..10_000 {
+                for inst in &f.blocks[b.index()].insts {
+                    let vals: Vec<u32> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| match o {
+                            Operand::Reg(r) => regs[r.index()],
+                            Operand::Imm(v) => *v as u32,
+                        })
+                        .collect();
+                    regs[inst.dsts[0].index()] = isax_ir::eval(inst.opcode, &vals);
+                }
+                match &f.blocks[b.index()].term {
+                    Terminator::Jump(t) => b = *t,
+                    Terminator::Branch { cond, taken, not_taken } => {
+                        b = if regs[cond.index()] != 0 { *taken } else { *not_taken };
+                    }
+                    Terminator::Ret(vals) => {
+                        return vals
+                            .iter()
+                            .map(|o| match o {
+                                Operand::Reg(r) => regs[r.index()],
+                                Operand::Imm(v) => *v as u32,
+                            })
+                            .collect();
+                    }
+                }
+            }
+            panic!("no termination");
+        }
+
+        pub fn check_equivalent<const N: usize>(f: &Function, g: &Function, cases: &[[u32; N]]) {
+            for case in cases {
+                assert_eq!(exec(f, case), exec(g, case), "inputs {case:?}");
+            }
+        }
+    }
+}

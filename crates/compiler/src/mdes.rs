@@ -1,0 +1,232 @@
+//! The machine description (MDES): the contract between the hardware
+//! compiler and the retargetable compiler.
+//!
+//! "The prioritized list of CFUs is converted in a machine description
+//! (MDES) form that can be fed to the compiler" (§3). The MDES records,
+//! for each custom function unit: the dataflow pattern it implements, its
+//! pipelined latency, port counts, area, replacement priority, and —
+//! because the compiler's generalized matching needs them — the contraction
+//! closure of patterns the unit subsumes.
+//!
+//! The MDES serializes to JSON so a CFU set generated for one application
+//! can be stored and reused to compile another (the cross-compilation
+//! experiments of Figure 7).
+
+use isax_graph::DiGraph;
+use isax_hwlib::HwLibrary;
+use isax_ir::DfgLabel;
+use isax_select::{contraction_closure, CfuCandidate, Selection};
+use serde::{Deserialize, Serialize};
+
+/// One custom function unit in the machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfuSpec {
+    /// Identifier; `Opcode::Custom(id)` instructions reference the unit.
+    pub id: u16,
+    /// Human-readable name (sorted mnemonics, e.g. `"add-and-shl"`).
+    pub name: String,
+    /// The exact dataflow pattern the hardware implements.
+    pub pattern: DiGraph<DfgLabel>,
+    /// Pipelined execution latency in cycles.
+    pub latency: u32,
+    /// Die area in adder units.
+    pub area: f64,
+    /// Register read ports.
+    pub inputs: u8,
+    /// Register write ports.
+    pub outputs: u8,
+    /// Replacement priority (0 = replace first) — the selection order.
+    pub priority: usize,
+    /// Estimated cycle savings recorded at selection time.
+    pub estimated_value: u64,
+    /// Patterns this unit can also execute by feeding identity constants
+    /// (the contraction closure), used by subsumed matching.
+    pub subsumed_patterns: Vec<DiGraph<DfgLabel>>,
+}
+
+/// A complete machine description: the baseline VLIW plus the CFU set.
+///
+/// # Example
+///
+/// ```
+/// use isax_compiler::Mdes;
+///
+/// let mdes = Mdes::baseline();
+/// assert!(mdes.cfus.is_empty());
+/// let json = mdes.to_json().unwrap();
+/// let back = Mdes::from_json(&json).unwrap();
+/// assert_eq!(mdes, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mdes {
+    /// The custom function units, in priority order.
+    pub cfus: Vec<CfuSpec>,
+    /// Machine-wide register read port limit for custom instructions.
+    pub max_inputs: u8,
+    /// Machine-wide register write port limit for custom instructions.
+    pub max_outputs: u8,
+    /// Name of the application the CFUs were generated for (reporting).
+    pub source_app: String,
+}
+
+impl Mdes {
+    /// The baseline machine: no custom function units.
+    pub fn baseline() -> Self {
+        Mdes {
+            cfus: Vec::new(),
+            max_inputs: 5,
+            max_outputs: 3,
+            source_app: String::new(),
+        }
+    }
+
+    /// Builds the MDES from a selection over combined candidates.
+    ///
+    /// `closure_cap` bounds the subsumed-pattern list per CFU (see
+    /// [`isax_select::contraction_closure`]).
+    pub fn from_selection(
+        source_app: &str,
+        cands: &[CfuCandidate],
+        selection: &Selection,
+        hw: &HwLibrary,
+        closure_cap: usize,
+    ) -> Self {
+        let _ = hw; // latency is already folded into the candidates
+        let cfus = selection
+            .chosen
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| {
+                let c = &cands[sc.candidate];
+                CfuSpec {
+                    id: i as u16,
+                    name: c.describe(),
+                    pattern: c.pattern.clone(),
+                    latency: c.hw_cycles,
+                    area: c.area,
+                    inputs: c.inputs.min(255) as u8,
+                    outputs: c.outputs.min(255) as u8,
+                    priority: sc.priority,
+                    estimated_value: sc.estimated_value,
+                    subsumed_patterns: contraction_closure(&c.pattern, closure_cap),
+                }
+            })
+            .collect();
+        Mdes {
+            cfus,
+            max_inputs: 5,
+            max_outputs: 3,
+            source_app: source_app.to_string(),
+        }
+    }
+
+    /// Looks up a CFU by id.
+    pub fn cfu(&self, id: u16) -> Option<&CfuSpec> {
+        self.cfus.iter().find(|c| c.id == id)
+    }
+
+    /// Total area of the CFU set (undiscounted sum).
+    pub fn total_area(&self) -> f64 {
+        self.cfus.iter().map(|c| c.area).sum()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures (none are expected for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_explore::{explore_app, ExploreConfig};
+    use isax_ir::{function_dfgs, FunctionBuilder};
+    use isax_select::{combine, select_greedy, SelectConfig};
+
+    fn build_mdes() -> Mdes {
+        let mut fb = FunctionBuilder::new("kern", 3);
+        fb.set_entry_weight(1000);
+        let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));
+        let t = fb.xor(a, k);
+        let u = fb.shl(t, 5i64);
+        let v = fb.add(u, b);
+        let w = fb.and(v, 0xFFi64);
+        fb.ret(&[w.into()]);
+        let dfgs = function_dfgs(&fb.finish());
+        let hw = HwLibrary::micron_018();
+        let found = explore_app(&dfgs, &hw, &ExploreConfig::default());
+        let cfus = combine(&dfgs, &found.candidates, &hw);
+        let sel = select_greedy(&cfus, &SelectConfig::with_budget(8.0));
+        Mdes::from_selection("kern", &cfus, &sel, &hw, 64)
+    }
+
+    #[test]
+    fn selection_order_becomes_priority() {
+        let mdes = build_mdes();
+        assert!(!mdes.cfus.is_empty());
+        for (i, c) in mdes.cfus.iter().enumerate() {
+            assert_eq!(c.priority, i);
+            assert_eq!(c.id, i as u16);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mdes = build_mdes();
+        let json = mdes.to_json().unwrap();
+        let back = Mdes::from_json(&json).unwrap();
+        // Areas are floats; JSON round-trips them to the nearest shortest
+        // representation, so compare them with a tolerance and everything
+        // else exactly.
+        assert_eq!(mdes.cfus.len(), back.cfus.len());
+        for (a, b) in mdes.cfus.iter().zip(back.cfus.iter()) {
+            assert!((a.area - b.area).abs() < 1e-9);
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.subsumed_patterns, b.subsumed_patterns);
+            assert_eq!(
+                (a.id, &a.name, a.latency, a.inputs, a.outputs, a.priority, a.estimated_value),
+                (b.id, &b.name, b.latency, b.inputs, b.outputs, b.priority, b.estimated_value)
+            );
+        }
+        assert_eq!(back.source_app, "kern");
+        // A second round-trip is exact: the parse already normalized.
+        let json2 = back.to_json().unwrap();
+        assert_eq!(Mdes::from_json(&json2).unwrap(), back);
+    }
+
+    #[test]
+    fn subsumed_patterns_are_smaller() {
+        let mdes = build_mdes();
+        for c in &mdes.cfus {
+            for s in &c.subsumed_patterns {
+                assert!(s.node_count() < c.pattern.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Mdes::from_json("{не json").is_err());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let mdes = build_mdes();
+        let first = &mdes.cfus[0];
+        assert_eq!(mdes.cfu(first.id).unwrap().name, first.name);
+        assert!(mdes.cfu(9999).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Experiment drivers shared by the figure-regeneration harness, the
+//! examples and the integration tests.
+//!
+//! Each function corresponds to a measurement the paper's evaluation
+//! reports; the `isax-bench` binaries iterate them over the thirteen
+//! benchmarks to regenerate the figures.
+
+use crate::pipeline::{Analysis, Customizer};
+use isax_compiler::{MatchOptions, Mdes};
+use isax_ir::Program;
+use isax_machine::SpeedupReport;
+
+/// Measures an application's speedup on a given CFU set.
+pub fn speedup_on(
+    cz: &Customizer,
+    app_name: &str,
+    program: &Program,
+    mdes: &Mdes,
+    budget: f64,
+    matching: MatchOptions,
+) -> SpeedupReport {
+    let ev = cz.evaluate(program, mdes, matching);
+    SpeedupReport::new(
+        app_name,
+        &mdes.source_app,
+        budget,
+        ev.baseline_cycles,
+        ev.custom_cycles,
+    )
+}
+
+/// Native measurement: customize at `budget`, evaluate on itself
+/// (one point of the left half of Figure 7).
+pub fn native_speedup(
+    cz: &Customizer,
+    app_name: &str,
+    program: &Program,
+    analysis: &Analysis,
+    budget: f64,
+) -> SpeedupReport {
+    let (mdes, _) = cz.select(app_name, analysis, budget);
+    speedup_on(cz, app_name, program, &mdes, budget, MatchOptions::exact())
+}
+
+/// Cross measurement: application `b` compiled on `a`'s CFUs
+/// (one point of the right half of Figure 7).
+pub fn cross_speedup(
+    cz: &Customizer,
+    a_name: &str,
+    a_analysis: &Analysis,
+    b_name: &str,
+    b_program: &Program,
+    budget: f64,
+    matching: MatchOptions,
+) -> SpeedupReport {
+    let (mdes, _) = cz.select(a_name, a_analysis, budget);
+    speedup_on(cz, b_name, b_program, &mdes, budget, matching)
+}
+
+/// The four bars of Figures 8/9 for one (app, CFU-source) pair at a fixed
+/// budget: exact and exact+subsumed speedups, for plain and wildcarded
+/// hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralizationBars {
+    /// Application measured.
+    pub app: String,
+    /// CFU source application.
+    pub cfu_source: String,
+    /// Exact matches only, exact hardware (grey, left bar).
+    pub exact: f64,
+    /// Exact + subsumed, exact hardware (full left bar).
+    pub subsumed: f64,
+    /// Exact matches, opcode-class hardware (grey, right bar).
+    pub wild_exact: f64,
+    /// Exact + subsumed, opcode-class hardware (full right bar).
+    pub wild_subsumed: f64,
+}
+
+/// Computes the Figure 8/9 bars for one pair.
+pub fn generalization_bars(
+    cz: &Customizer,
+    src_name: &str,
+    src_analysis: &Analysis,
+    app_name: &str,
+    app_program: &Program,
+    budget: f64,
+) -> GeneralizationBars {
+    let (mdes, _) = cz.select(src_name, src_analysis, budget);
+    let s = |m: MatchOptions| cz.evaluate(app_program, &mdes, m).speedup;
+    GeneralizationBars {
+        app: app_name.to_string(),
+        cfu_source: src_name.to_string(),
+        exact: s(MatchOptions::exact()),
+        subsumed: s(MatchOptions::with_subsumed()),
+        wild_exact: s(MatchOptions {
+            mode: isax_compiler::MatchMode::Wildcard,
+            allow_subsumed: false,
+        }),
+        wild_subsumed: s(MatchOptions::generalized()),
+    }
+}
+
+/// The in-text limit study: unconstrained ports and area.
+///
+/// The candidate pool is the **union** of the default (constrained)
+/// exploration and the unconstrained one, so the limit is a true upper
+/// bound on the constrained result: the unconstrained walk tapers
+/// aggressively to stay tractable on wide blocks and could otherwise
+/// miss mid-sized candidates the constrained search covers exhaustively.
+pub fn limit_speedup(cz: &Customizer, app_name: &str, program: &Program) -> SpeedupReport {
+    use isax_select::{combine, find_wildcard_partners, mark_subsumptions, select_greedy, SelectConfig};
+
+    let mut dfgs = Vec::new();
+    for f in &program.functions {
+        dfgs.extend(isax_ir::function_dfgs(f));
+    }
+    let base = isax_explore::explore_app(&dfgs, &cz.hw, &cz.explore);
+    let wide = isax_explore::explore_app(
+        &dfgs,
+        &cz.hw,
+        &isax_explore::ExploreConfig::unconstrained(),
+    );
+    // Union, deduplicated by (dfg, node set) so occurrence values are not
+    // double counted.
+    let mut seen = std::collections::HashSet::new();
+    let mut candidates = Vec::new();
+    for c in base.candidates.into_iter().chain(wide.candidates) {
+        if seen.insert((c.dfg, c.nodes.clone())) {
+            candidates.push(c);
+        }
+    }
+    let mut cfus = combine(&dfgs, &candidates, &cz.hw);
+    mark_subsumptions(&mut cfus, cz.closure_cap);
+    find_wildcard_partners(&mut cfus);
+    let sel = select_greedy(&cfus, &SelectConfig::with_budget(f64::INFINITY));
+    let mut mdes =
+        isax_compiler::Mdes::from_selection(app_name, &cfus, &sel, &cz.hw, cz.closure_cap);
+    // Lift the machine port limits too.
+    mdes.max_inputs = u8::MAX;
+    mdes.max_outputs = u8::MAX;
+    speedup_on(
+        cz,
+        app_name,
+        program,
+        &mdes,
+        f64::INFINITY,
+        MatchOptions::exact(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::FunctionBuilder;
+
+    fn kernel(name: &str, flavor: u32) -> Program {
+        let mut fb = FunctionBuilder::new(name, 3);
+        fb.set_entry_weight(20_000);
+        let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));
+        let t = fb.xor(a, k);
+        let u = fb.shl(t, (3 + flavor as i64) % 8);
+        let v = if flavor % 2 == 0 { fb.add(u, b) } else { fb.sub(u, b) };
+        let w = fb.and(v, 0xFFFFi64);
+        fb.ret(&[w.into()]);
+        Program::new(vec![fb.finish()])
+    }
+
+    #[test]
+    fn native_and_cross_reports() {
+        let cz = Customizer::new();
+        let pa = kernel("appa", 0);
+        let pb = kernel("appb", 0); // same flavor: cross matches exactly
+        let aa = cz.analyze(&pa);
+        let native = native_speedup(&cz, "appa", &pa, &aa, 15.0);
+        assert!(native.is_native());
+        assert!(native.speedup > 1.0);
+        let cross = cross_speedup(&cz, "appa", &aa, "appb", &pb, 15.0, MatchOptions::exact());
+        assert!(!cross.is_native());
+        assert!(
+            cross.speedup >= native.speedup * 0.99,
+            "identical kernels transfer fully"
+        );
+    }
+
+    #[test]
+    fn wildcards_recover_cross_losses() {
+        let cz = Customizer::new();
+        let pa = kernel("appa", 0); // uses add
+        let pb = kernel("appb", 1); // uses sub and a different shift
+        let aa = cz.analyze(&pa);
+        let bars = generalization_bars(&cz, "appa", &aa, "appb", &pb, 15.0);
+        // Exact cross-matching finds little; opcode classes recover the
+        // add/sub and shift-amount differences.
+        assert!(
+            bars.wild_subsumed >= bars.exact,
+            "wildcard {} < exact {}",
+            bars.wild_subsumed,
+            bars.exact
+        );
+        assert!(bars.wild_subsumed > 1.0);
+    }
+
+    #[test]
+    fn limit_study_dominates_constrained() {
+        let cz = Customizer::new();
+        let p = kernel("app", 0);
+        let a = cz.analyze(&p);
+        let constrained = native_speedup(&cz, "app", &p, &a, 15.0);
+        let limit = limit_speedup(&cz, "app", &p);
+        assert!(limit.speedup >= constrained.speedup * 0.999);
+    }
+}

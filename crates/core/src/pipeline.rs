@@ -1,0 +1,261 @@
+//! The end-to-end customization pipeline (Figure 1 + Figure 5).
+//!
+//! [`Customizer`] wires the stages together:
+//!
+//! 1. **analyze** — build per-block DFGs for the whole application, run
+//!    the guided design-space explorer, group candidates into CFU
+//!    candidates, mark subsumption and wildcard structure;
+//! 2. **select** — run the greedy knapsack at an area budget and emit the
+//!    machine description;
+//! 3. **evaluate** — compile the application against an MDES (its own or
+//!    another application's) and compare cycle estimates against the
+//!    baseline.
+//!
+//! Analysis is budget-independent and by far the most expensive stage, so
+//! it is separated from selection: a budget sweep (Figure 7) analyzes once
+//! and selects fifteen times.
+
+use isax_compiler::{
+    baseline_cycles, compile, CompileOptions, CompiledProgram, MatchOptions, Mdes, VliwModel,
+};
+use isax_explore::{explore_app, Candidate, ExploreConfig, ExploreStats};
+use isax_hwlib::HwLibrary;
+use isax_ir::{function_dfgs, Dfg, Program};
+use isax_select::{
+    combine, find_wildcard_partners, mark_subsumptions, select_greedy, select_knapsack,
+    select_multifunction, CfuCandidate, SelectConfig, Selection,
+};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Customizer {
+    /// Hardware timing/area library.
+    pub hw: HwLibrary,
+    /// Exploration constraints (ports, area caps, guide tuning).
+    pub explore: ExploreConfig,
+    /// Cap on each CFU's contraction closure.
+    pub closure_cap: usize,
+    /// Baseline machine shape.
+    pub model: VliwModel,
+}
+
+impl Default for Customizer {
+    fn default() -> Self {
+        Customizer::new()
+    }
+}
+
+/// Budget-independent result of the hardware compiler's front half.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All per-block DFGs of the application, in function-then-block
+    /// order (candidate/occurrence indices refer into this).
+    pub dfgs: Vec<Dfg>,
+    /// Raw candidates from exploration.
+    pub raw_candidates: Vec<Candidate>,
+    /// Combined CFU candidates with subsumption/wildcard annotations.
+    pub cfus: Vec<CfuCandidate>,
+    /// Exploration statistics (Figure 3 material).
+    pub stats: ExploreStats,
+}
+
+/// Result of compiling an application against a CFU set.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Cycle estimate on the baseline machine.
+    pub baseline_cycles: u64,
+    /// Cycle estimate with custom instructions.
+    pub custom_cycles: u64,
+    /// `baseline / custom`.
+    pub speedup: f64,
+    /// The compiled program (customized code, semantics, statistics).
+    pub compiled: CompiledProgram,
+}
+
+impl Customizer {
+    /// Creates a pipeline with the paper's defaults: 0.18 µ library,
+    /// 5-in/3-out ports, ten-point guide categories, 4-wide VLIW.
+    pub fn new() -> Self {
+        Customizer {
+            hw: HwLibrary::micron_018(),
+            explore: ExploreConfig::default(),
+            closure_cap: 64,
+            model: VliwModel::default(),
+        }
+    }
+
+    /// A pipeline with the §6 memory relaxation enabled: loads may join
+    /// custom function units (priced as deterministic SRAM accesses that
+    /// reserve the machine's cache port). Everything else matches
+    /// [`Customizer::new`].
+    pub fn with_memory_cfus() -> Self {
+        Customizer {
+            hw: HwLibrary::micron_018_with_memory(),
+            ..Customizer::new()
+        }
+    }
+
+    /// Runs exploration + combination + subsumption + wildcard analyses.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use isax::Customizer;
+    /// use isax_ir::{FunctionBuilder, Program};
+    ///
+    /// let mut fb = FunctionBuilder::new("f", 2);
+    /// fb.set_entry_weight(1_000);
+    /// let (a, b) = (fb.param(0), fb.param(1));
+    /// let t = fb.xor(a, b);
+    /// let u = fb.shl(t, 3i64);
+    /// let v = fb.add(u, b);
+    /// fb.ret(&[v.into()]);
+    /// let p = Program::new(vec![fb.finish()]);
+    ///
+    /// let analysis = Customizer::new().analyze(&p);
+    /// assert!(!analysis.cfus.is_empty());
+    /// ```
+    pub fn analyze(&self, program: &Program) -> Analysis {
+        let mut dfgs = Vec::new();
+        for f in &program.functions {
+            dfgs.extend(function_dfgs(f));
+        }
+        let result = explore_app(&dfgs, &self.hw, &self.explore);
+        let mut cfus = combine(&dfgs, &result.candidates, &self.hw);
+        mark_subsumptions(&mut cfus, self.closure_cap);
+        find_wildcard_partners(&mut cfus);
+        Analysis {
+            dfgs,
+            raw_candidates: result.candidates,
+            cfus,
+            stats: result.stats,
+        }
+    }
+
+    /// Selects CFUs for an area budget (greedy, the paper's default) and
+    /// emits the machine description.
+    pub fn select(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
+        let sel = select_greedy(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        (mdes, sel)
+    }
+
+    /// Selection via the dynamic-programming ablation variant.
+    pub fn select_dp(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
+        let sel = select_knapsack(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        (mdes, sel)
+    }
+
+    /// Selection with multifunction CFUs: wildcard-partner families are
+    /// offered as merged units at shared-hardware cost (the paper's §6
+    /// future-work item, implemented).
+    pub fn select_multifunction(
+        &self,
+        app_name: &str,
+        analysis: &Analysis,
+        budget: f64,
+    ) -> (Mdes, Selection) {
+        let sel = select_multifunction(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        (mdes, sel)
+    }
+
+    /// One-shot: analyze + select at a budget.
+    pub fn customize(&self, app_name: &str, program: &Program, budget: f64) -> (Mdes, Selection) {
+        let analysis = self.analyze(program);
+        self.select(app_name, &analysis, budget)
+    }
+
+    /// Compiles `program` against `mdes` and reports cycles/speedup.
+    ///
+    /// `matching` controls generality: exact, exact+subsumed, or
+    /// wildcarded (Figures 8/9 compare these).
+    pub fn evaluate(&self, program: &Program, mdes: &Mdes, matching: MatchOptions) -> Evaluation {
+        let base = baseline_cycles(program, &self.hw, &self.model);
+        let compiled = compile(
+            program,
+            mdes,
+            &self.hw,
+            &CompileOptions {
+                matching,
+                model: self.model,
+            },
+        );
+        Evaluation {
+            baseline_cycles: base,
+            custom_cycles: compiled.cycles,
+            speedup: if compiled.cycles == 0 {
+                1.0
+            } else {
+                base as f64 / compiled.cycles as f64
+            },
+            compiled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::FunctionBuilder;
+
+    fn crypto_kernel() -> Program {
+        let mut fb = FunctionBuilder::new("kern", 3);
+        fb.set_entry_weight(50_000);
+        let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));
+        let t = fb.xor(a, k);
+        let l = fb.shl(t, 5i64);
+        let r = fb.shr(t, 27i64);
+        let rot = fb.or(l, r);
+        let m = fb.and(rot, b);
+        let s = fb.add(m, k);
+        let u = fb.xor(s, b);
+        fb.ret(&[u.into()]);
+        Program::new(vec![fb.finish()])
+    }
+
+    #[test]
+    fn end_to_end_native_speedup() {
+        let p = crypto_kernel();
+        let cz = Customizer::new();
+        let (mdes, sel) = cz.customize("kern", &p, 15.0);
+        assert!(!mdes.cfus.is_empty());
+        assert!(sel.total_value > 0);
+        let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
+        assert!(ev.speedup > 1.2, "speedup {:.3}", ev.speedup);
+        assert!(isax_ir::verify_program(&ev.compiled.program).is_ok());
+    }
+
+    #[test]
+    fn analysis_is_budget_independent_and_reusable() {
+        let p = crypto_kernel();
+        let cz = Customizer::new();
+        let analysis = cz.analyze(&p);
+        let (m1, _) = cz.select("kern", &analysis, 2.0);
+        let (m15, _) = cz.select("kern", &analysis, 15.0);
+        assert!(m15.cfus.len() >= m1.cfus.len());
+        assert!(m15.total_area() >= m1.total_area());
+    }
+
+    #[test]
+    fn dp_selection_also_works() {
+        let p = crypto_kernel();
+        let cz = Customizer::new();
+        let analysis = cz.analyze(&p);
+        let (mdes, sel) = cz.select_dp("kern", &analysis, 15.0);
+        assert!(!mdes.cfus.is_empty());
+        assert!(sel.total_value > 0);
+    }
+
+    #[test]
+    fn empty_budget_means_baseline_performance() {
+        let p = crypto_kernel();
+        let cz = Customizer::new();
+        let (mdes, _) = cz.customize("kern", &p, 0.0);
+        assert!(mdes.cfus.is_empty());
+        let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
+        assert_eq!(ev.baseline_cycles, ev.custom_cycles);
+        assert_eq!(ev.speedup, 1.0);
+    }
+}

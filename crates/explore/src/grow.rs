@@ -1,0 +1,354 @@
+//! Guided candidate growth: the DFG space explorer proper.
+//!
+//! "Exploration starts by examining each node in the DFG and using it as a
+//! seed for a candidate subgraph" (§3.1). From each seed the candidate
+//! grows along data edges; every possible growth direction is scored by
+//! the [guide function](crate::guide) and directions scoring under the
+//! threshold are not explored. Pruning directions — not candidates —
+//! leaves open "the possibility that a low ranking candidate will grow
+//! into a useful one".
+
+use crate::candidate::{extract_pattern, Candidate, ExploreResult};
+use crate::config::ExploreConfig;
+use crate::guide::{score, CandidateMetrics};
+use isax_graph::BitSet;
+use isax_hwlib::HwLibrary;
+use isax_ir::{Dfg, SlackInfo};
+use std::collections::HashSet;
+
+/// Full candidate metrics including the split port counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FullMetrics {
+    pub delay: f64,
+    pub area: f64,
+    pub inputs: usize,
+    pub outputs: usize,
+}
+
+impl FullMetrics {
+    pub(crate) fn as_guide(&self) -> CandidateMetrics {
+        CandidateMetrics {
+            delay: self.delay,
+            area: self.area,
+            ports: self.inputs + self.outputs,
+        }
+    }
+}
+
+/// Computes delay/area/port metrics of a node set, or `None` when some
+/// node is not implementable in hardware.
+pub(crate) fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<FullMetrics> {
+    let pattern = extract_pattern(dfg, nodes);
+    Some(FullMetrics {
+        delay: hw.subgraph_delay(&pattern)?,
+        area: hw.subgraph_area(&pattern)?,
+        inputs: dfg.input_count(nodes),
+        outputs: dfg.output_count(nodes),
+    })
+}
+
+/// True if the instruction may participate in a custom function unit.
+pub(crate) fn node_eligible(dfg: &Dfg, v: usize, hw: &HwLibrary) -> bool {
+    let inst = dfg.inst(v);
+    !inst.opcode.is_custom() && hw.cost_of_inst(inst).is_some()
+}
+
+/// True if a candidate with these metrics may be *recorded* as a CFU
+/// (structural constraints are strict at record time even when growth is
+/// allowed to overshoot).
+pub(crate) fn recordable(m: &FullMetrics, cfg: &ExploreConfig) -> bool {
+    m.inputs <= cfg.max_inputs
+        && m.outputs <= cfg.max_outputs
+        && m.outputs >= 1
+        && cfg.max_area.map_or(true, |cap| m.area <= cap)
+}
+
+/// True if growth may pass through a candidate with these metrics.
+pub(crate) fn growable(m: &FullMetrics, cfg: &ExploreConfig) -> bool {
+    m.inputs <= cfg.max_inputs.saturating_add(cfg.io_overshoot)
+        && m.outputs <= cfg.max_outputs.saturating_add(cfg.io_overshoot)
+        && cfg.max_area.map_or(true, |cap| m.area <= cap)
+}
+
+/// Explores one dataflow graph with the guided heuristic and returns the
+/// deduplicated viable candidates plus search statistics.
+///
+/// # Example
+///
+/// ```
+/// use isax_explore::{explore_dfg, ExploreConfig};
+/// use isax_hwlib::HwLibrary;
+/// use isax_ir::{function_dfgs, FunctionBuilder};
+///
+/// let mut fb = FunctionBuilder::new("f", 2);
+/// let a = fb.param(0);
+/// let b = fb.param(1);
+/// let t = fb.and(a, b);
+/// let u = fb.add(t, b);
+/// fb.ret(&[u.into()]);
+/// let dfg = &function_dfgs(&fb.finish())[0];
+///
+/// let r = explore_dfg(dfg, &HwLibrary::micron_018(), &ExploreConfig::default());
+/// assert!(r.stats.examined >= 3); // two seeds + at least one grown candidate
+/// ```
+pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreResult {
+    let slack_info = dfg.schedule_info(|i| hw.sw_latency_of(i));
+    let mut walker = Walker {
+        dfg,
+        hw,
+        cfg,
+        slack_info: &slack_info,
+        seen: HashSet::new(),
+        result: ExploreResult::default(),
+    };
+    for seed in 0..dfg.len() {
+        if !node_eligible(dfg, seed, hw) {
+            continue;
+        }
+        let nodes: BitSet = [seed].into_iter().collect();
+        if let Some(m) = metrics_of(dfg, &nodes, hw) {
+            walker.grow(nodes, m);
+        }
+    }
+    walker.result
+}
+
+/// Explores every DFG of an application (e.g. all blocks of all
+/// functions), stamping each candidate with the index of the DFG it was
+/// found in and merging the statistics.
+pub fn explore_app(dfgs: &[Dfg], hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreResult {
+    let mut out = ExploreResult::default();
+    for (i, dfg) in dfgs.iter().enumerate() {
+        let mut r = explore_dfg(dfg, hw, cfg);
+        for c in &mut r.candidates {
+            c.dfg = i;
+        }
+        out.merge(r);
+    }
+    out
+}
+
+struct Walker<'a> {
+    dfg: &'a Dfg,
+    hw: &'a HwLibrary,
+    cfg: &'a ExploreConfig,
+    slack_info: &'a SlackInfo,
+    seen: HashSet<BitSet>,
+    result: ExploreResult,
+}
+
+impl Walker<'_> {
+    fn grow(&mut self, nodes: BitSet, m: FullMetrics) {
+        if !self.seen.insert(nodes.clone()) {
+            return;
+        }
+        self.result.stats.note_examined(nodes.len());
+        if recordable(&m, self.cfg) && self.dfg.is_convex(&nodes) {
+            self.result.stats.recorded += 1;
+            self.result.candidates.push(Candidate {
+                dfg: 0,
+                nodes: nodes.clone(),
+                delay: m.delay,
+                area: m.area,
+                inputs: m.inputs,
+                outputs: m.outputs,
+            });
+        }
+        if nodes.len() >= self.cfg.max_nodes {
+            return;
+        }
+        // Score every eligible direction.
+        let old = m.as_guide();
+        let mut dirs: Vec<(f64, usize, FullMetrics)> = Vec::new();
+        for dir in self.dfg.neighbours(&nodes) {
+            if !node_eligible(self.dfg, dir, self.hw) {
+                continue;
+            }
+            let grown = nodes.with(dir);
+            let Some(nm) = metrics_of(self.dfg, &grown, self.hw) else {
+                continue;
+            };
+            if !growable(&nm, self.cfg) {
+                continue;
+            }
+            let s = score(&old, &nm.as_guide(), self.slack_info.slack[dir], self.cfg);
+            if s.total() < self.cfg.threshold {
+                self.result.stats.directions_pruned += 1;
+                continue;
+            }
+            dirs.push((s.total(), dir, nm));
+        }
+        // Best directions first; optionally cap the fanout — with the
+        // adaptive taper tightening the cap once candidates grow large.
+        dirs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut cap = self.cfg.max_fanout;
+        if let Some(ts) = self.cfg.taper_size {
+            if nodes.len() >= ts {
+                cap = Some(cap.unwrap_or(usize::MAX).min(self.cfg.taper_fanout));
+            }
+        }
+        if let Some(cap) = cap {
+            if dirs.len() > cap {
+                self.result.stats.directions_pruned += (dirs.len() - cap) as u64;
+                dirs.truncate(cap);
+            }
+        }
+        for (_, dir, nm) in dirs {
+            self.grow(nodes.with(dir), nm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::{function_dfgs, FunctionBuilder};
+
+    fn hw() -> HwLibrary {
+        HwLibrary::micron_018()
+    }
+
+    /// A small encryption-flavoured kernel: two xor-shift-or "rotate"
+    /// diamonds joined by an add.
+    fn kernel_dfg() -> Dfg {
+        let mut fb = FunctionBuilder::new("k", 3);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let k = fb.param(2);
+        let t = fb.xor(a, k); // 0
+        let l = fb.shl(t, 5i64); // 1
+        let r = fb.shr(t, 27i64); // 2
+        let rot = fb.or(l, r); // 3
+        let s = fb.add(rot, b); // 4
+        let u = fb.and(s, 0xFFFFi64); // 5
+        fb.ret(&[u.into()]);
+        function_dfgs(&fb.finish()).remove(0)
+    }
+
+    #[test]
+    fn finds_the_full_chain() {
+        let dfg = kernel_dfg();
+        let r = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        assert!(
+            r.candidates.iter().any(|c| c.nodes.len() == 6),
+            "the whole 6-node kernel is a viable 3-in/1-out candidate"
+        );
+        // Everything recorded satisfies the port constraints.
+        for c in &r.candidates {
+            assert!(c.inputs <= 5 && c.outputs <= 3);
+            assert!(c.outputs >= 1);
+        }
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let dfg = kernel_dfg();
+        let r = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let mut sets: Vec<_> = r.candidates.iter().map(|c| c.nodes.clone()).collect();
+        let before = sets.len();
+        sets.sort();
+        sets.dedup();
+        assert_eq!(sets.len(), before, "no duplicate node sets");
+        assert_eq!(r.stats.recorded, before as u64);
+    }
+
+    #[test]
+    fn memory_nodes_are_never_included() {
+        let mut fb = FunctionBuilder::new("m", 2);
+        let p = fb.param(0);
+        let k = fb.param(1);
+        let v = fb.ldw(p); // 0: load
+        let t = fb.xor(v, k); // 1
+        let u = fb.add(t, 1i64); // 2
+        fb.stw(p, u); // 3: store
+        fb.ret(&[]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+        let r = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        for c in &r.candidates {
+            assert!(!c.nodes.contains(0), "load excluded");
+            assert!(!c.nodes.contains(3), "store excluded");
+        }
+        assert!(r.candidates.iter().any(|c| c.nodes.len() == 2));
+    }
+
+    #[test]
+    fn area_cap_is_respected() {
+        let dfg = kernel_dfg();
+        let cfg = ExploreConfig {
+            max_area: Some(0.3),
+            ..ExploreConfig::default()
+        };
+        let r = explore_dfg(&dfg, &hw(), &cfg);
+        assert!(!r.candidates.is_empty());
+        for c in &r.candidates {
+            assert!(c.area <= 0.3, "candidate area {} exceeds cap", c.area);
+        }
+    }
+
+    #[test]
+    fn fanout_cap_reduces_exploration() {
+        let dfg = kernel_dfg();
+        let full = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let capped_cfg = ExploreConfig {
+            max_fanout: Some(1),
+            ..ExploreConfig::default()
+        };
+        let capped = explore_dfg(&dfg, &hw(), &capped_cfg);
+        assert!(capped.stats.examined <= full.stats.examined);
+    }
+
+    #[test]
+    fn max_nodes_limits_candidate_size() {
+        let dfg = kernel_dfg();
+        let cfg = ExploreConfig {
+            max_nodes: 2,
+            ..ExploreConfig::default()
+        };
+        let r = explore_dfg(&dfg, &hw(), &cfg);
+        assert!(r.candidates.iter().all(|c| c.nodes.len() <= 2));
+    }
+
+    #[test]
+    fn guide_prunes_against_naive_on_wide_graphs() {
+        // A long cheap critical chain with expensive, high-slack multiply
+        // fingers hanging off it: growing into the multiplies loses on
+        // every guide category, so the guided walk examines fewer
+        // candidates than the exhaustive search.
+        let mut fb = FunctionBuilder::new("wide", 6);
+        let mut acc = fb.param(0);
+        let mut tap = None;
+        for i in 0..30 {
+            let p = fb.param(i % 6);
+            acc = fb.xor(acc, p);
+            if i == 2 {
+                tap = Some(acc);
+            }
+        }
+        // A chain of multiplies off an early tap: every entry into a
+        // multi-multiply subgraph loses badly on latency and area, and the
+        // long xor chain gives the multiplies plenty of slack.
+        let mut m = tap.unwrap();
+        for j in 0..4 {
+            let p = fb.param(2 + j);
+            m = fb.mul(m, p);
+        }
+        let merged = fb.xor(acc, m);
+        fb.ret(&[merged.into()]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+        let guided = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let naive = crate::naive::explore_dfg_naive(&dfg, &hw(), &ExploreConfig::default(), None);
+        assert!(
+            guided.stats.examined < naive.stats.examined,
+            "guided {} !< naive {}",
+            guided.stats.examined,
+            naive.stats.examined
+        );
+        assert!(guided.stats.directions_pruned > 0);
+        // And guided candidates are a subset of naive's.
+        let naive_sets: std::collections::HashSet<_> =
+            naive.candidates.iter().map(|c| c.nodes.clone()).collect();
+        for c in &guided.candidates {
+            assert!(naive_sets.contains(&c.nodes));
+        }
+    }
+}

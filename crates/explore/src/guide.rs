@@ -1,0 +1,209 @@
+//! The guide function: heuristic ranking of candidate growth directions.
+//!
+//! "The guide function essentially tries to replace the architect by making
+//! design decisions" (§3.2). Four categories score each direction, each
+//! worth `category_weight` (ten) points:
+//!
+//! * **criticality** — `10 / (slack + 1)`: reward directions on or near the
+//!   critical path;
+//! * **latency** — `old/new × 10` over the candidate's critical-path
+//!   delay: reward cheap (combinable) operations;
+//! * **area** — `old/new × 10` with both areas rounded **up** to the
+//!   nearest half adder, so tiny seeds are not penalized unfairly;
+//! * **input/output** — `min(old/new × 10, 10)` over the port sum: reward
+//!   directions that do not consume scarce register ports (reconvergence
+//!   can even reduce ports, hence the `min`).
+
+use crate::config::ExploreConfig;
+use isax_hwlib::{round_up_half_adder, HwLibrary};
+use isax_ir::{Dfg, SlackInfo};
+
+/// The per-category and total score of one growth direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuideScore {
+    /// Criticality points (`10/(slack+1)`).
+    pub criticality: f64,
+    /// Latency points (`old/new × 10`).
+    pub latency: f64,
+    /// Area points (`old/new × 10`, half-adder rounded).
+    pub area: f64,
+    /// I/O points (`min(old/new × 10, 10)`).
+    pub io: f64,
+}
+
+impl GuideScore {
+    /// Sum of the four categories.
+    pub fn total(&self) -> f64 {
+        self.criticality + self.latency + self.area + self.io
+    }
+}
+
+/// Pre-computed candidate metrics the scorer compares against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateMetrics {
+    /// Critical-path delay (cycle fractions).
+    pub delay: f64,
+    /// Area (adders).
+    pub area: f64,
+    /// Input + output port count.
+    pub ports: usize,
+}
+
+/// Scores growing the candidate (described by `old`) toward direction
+/// node metrics `new`; `slack` is the direction node's schedule slack.
+///
+/// # Example
+///
+/// ```
+/// use isax_explore::guide::{score, CandidateMetrics};
+/// use isax_explore::ExploreConfig;
+///
+/// let cfg = ExploreConfig::default();
+/// let old = CandidateMetrics { delay: 0.15, area: 0.24, ports: 3 };
+/// // Growing toward a zero-slack, zero-delay wire shift that adds no port:
+/// let new = CandidateMetrics { delay: 0.15, area: 0.26, ports: 3 };
+/// let s = score(&old, &new, 0, &cfg);
+/// assert_eq!(s.criticality, 10.0);
+/// assert_eq!(s.latency, 10.0);
+/// assert_eq!(s.io, 10.0);
+/// assert!(s.total() > cfg.threshold);
+/// ```
+pub fn score(
+    old: &CandidateMetrics,
+    new: &CandidateMetrics,
+    slack: u32,
+    cfg: &ExploreConfig,
+) -> GuideScore {
+    let w = &cfg.weights;
+    let criticality = w.criticality / (slack as f64 + 1.0);
+    let latency = if new.delay <= 0.0 {
+        w.latency
+    } else {
+        (old.delay / new.delay) * w.latency
+    };
+    let (oa, na) = (round_up_half_adder(old.area), round_up_half_adder(new.area));
+    let area = if na <= 0.0 { w.area } else { (oa / na) * w.area };
+    let io = ((old.ports as f64 / new.ports.max(1) as f64) * w.io).min(w.io);
+    GuideScore {
+        criticality,
+        latency,
+        area,
+        io,
+    }
+}
+
+/// Convenience wrapper: scores growing candidate `nodes` (with metrics
+/// `old`) toward DFG node `dir`, computing the new metrics from the
+/// hardware library. Returns `None` if the grown subgraph is not
+/// implementable (should not happen for eligible directions).
+#[allow(clippy::too_many_arguments)]
+pub fn score_direction(
+    dfg: &Dfg,
+    nodes: &isax_graph::BitSet,
+    old: &CandidateMetrics,
+    dir: usize,
+    slack_info: &SlackInfo,
+    hw: &HwLibrary,
+    cfg: &ExploreConfig,
+) -> Option<(GuideScore, CandidateMetrics)> {
+    let grown = nodes.with(dir);
+    let pattern = crate::candidate::extract_pattern(dfg, &grown);
+    let delay = hw.subgraph_delay(&pattern)?;
+    let area = hw.subgraph_area(&pattern)?;
+    let ports = dfg.input_count(&grown) + dfg.output_count(&grown);
+    let new = CandidateMetrics { delay, area, ports };
+    Some((score(old, &new, slack_info.slack[dir], cfg), new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExploreConfig {
+        ExploreConfig::default()
+    }
+
+    #[test]
+    fn criticality_follows_paper_examples() {
+        // "node 1 would get 10/(0+1) = 10 points and node 9 would get
+        //  10/(2+1) = 3.33 points"
+        let m = CandidateMetrics { delay: 0.1, area: 0.1, ports: 2 };
+        let s0 = score(&m, &m, 0, &cfg());
+        assert!((s0.criticality - 10.0).abs() < 1e-9);
+        let s2 = score(&m, &m, 2, &cfg());
+        assert!((s2.criticality - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_follows_paper_examples() {
+        // "candidate 4-6 ... 0.15 cycles. Exploring the direction of node
+        //  1, which has a latency of 0.3 cycles, would get
+        //  0.15/(0.15+0.30)*10 = 3.3 points"
+        let old = CandidateMetrics { delay: 0.15, area: 0.5, ports: 2 };
+        let new = CandidateMetrics { delay: 0.45, area: 1.5, ports: 2 };
+        let s = score(&old, &new, 0, &cfg());
+        assert!((s.latency - 10.0 * 0.15 / 0.45).abs() < 1e-9);
+        // "growing toward node 10 we would get nearly all
+        //  (0.15/(0.15+0)*10 = 10) the points"
+        let free = CandidateMetrics { delay: 0.15, area: 0.52, ports: 2 };
+        let s = score(&old, &free, 0, &cfg());
+        assert!((s.latency - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_rounding_protects_small_seeds() {
+        // Without rounding 0.02/0.18 would score 1.1; with rounding both
+        // round to 0.5 and the direction gets full area points.
+        let old = CandidateMetrics { delay: 0.0, area: 0.02, ports: 2 };
+        let new = CandidateMetrics { delay: 0.05, area: 0.18, ports: 2 };
+        let s = score(&old, &new, 0, &cfg());
+        assert!((s.area - 10.0).abs() < 1e-9);
+        // Larger candidates do feel area growth.
+        let old = CandidateMetrics { delay: 0.3, area: 1.0, ports: 2 };
+        let new = CandidateMetrics { delay: 0.6, area: 2.0, ports: 2 };
+        let s = score(&old, &new, 0, &cfg());
+        assert!((s.area - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_follows_paper_examples() {
+        // "growing toward node 14 would not increase the number of inputs
+        //  or outputs, yielding ... points" — the paper's 2/(2+1) example
+        // counts the port total before/after; reproducing the formula:
+        let old = CandidateMetrics { delay: 0.1, area: 0.2, ports: 2 };
+        let worse = CandidateMetrics { delay: 0.1, area: 0.2, ports: 3 };
+        let s = score(&old, &worse, 0, &cfg());
+        assert!((s.io - 10.0 * 2.0 / 3.0).abs() < 1e-9);
+        let much_worse = CandidateMetrics { delay: 0.1, area: 0.2, ports: 5 };
+        let s = score(&old, &much_worse, 0, &cfg());
+        assert!((s.io - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_is_capped_when_ports_shrink() {
+        // Reconvergence can reduce ports; the score is capped at 10.
+        let old = CandidateMetrics { delay: 0.1, area: 0.2, ports: 4 };
+        let better = CandidateMetrics { delay: 0.1, area: 0.2, ports: 2 };
+        let s = score(&old, &better, 0, &cfg());
+        assert_eq!(s.io, 10.0);
+    }
+
+    #[test]
+    fn total_sums_categories() {
+        let old = CandidateMetrics { delay: 0.1, area: 0.4, ports: 2 };
+        let new = CandidateMetrics { delay: 0.2, area: 0.9, ports: 3 };
+        let s = score(&old, &new, 1, &cfg());
+        let expect = s.criticality + s.latency + s.area + s.io;
+        assert!((s.total() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_path_expensive_directions_fail_threshold() {
+        // A high-slack, delay-doubling, port-increasing direction should
+        // fall below the half-of-total threshold.
+        let old = CandidateMetrics { delay: 0.3, area: 1.0, ports: 3 };
+        let new = CandidateMetrics { delay: 0.9, area: 3.0, ports: 6 };
+        let s = score(&old, &new, 5, &cfg());
+        assert!(s.total() < cfg().threshold, "total {}", s.total());
+    }
+}

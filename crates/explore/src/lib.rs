@@ -1,0 +1,54 @@
+//! Dataflow-graph design-space exploration: the paper's core contribution.
+//!
+//! Candidate discovery examines subgraphs of an application's dataflow
+//! graph as potential custom function units. Done naively, each of the
+//! `2^N` node subsets is a candidate; this crate implements the paper's
+//! answer — grow candidates outward from every seed node, but rank each
+//! possible growth **direction** with a [`guide`] function (criticality,
+//! latency, area, input/output; ten points each) and refuse directions
+//! scoring below half the total. Pruning *directions* rather than
+//! *candidates* keeps alive low-ranked candidates that may yet grow into
+//! useful ones, which is the paper's stated improvement over Sun et al.
+//!
+//! The [`naive`] module implements the unguided exponential search used as
+//! the comparison baseline in Figure 3 and as the oracle in the §3.2
+//! validation experiment ("both approaches selected identical sets of
+//! candidates").
+//!
+//! # Example
+//!
+//! ```
+//! use isax_explore::{explore_dfg, ExploreConfig};
+//! use isax_hwlib::HwLibrary;
+//! use isax_ir::{function_dfgs, FunctionBuilder};
+//!
+//! let mut fb = FunctionBuilder::new("kernel", 2);
+//! let a = fb.param(0);
+//! let b = fb.param(1);
+//! let t = fb.xor(a, b);
+//! let u = fb.shl(t, 3i64);
+//! let v = fb.add(u, b);
+//! fb.ret(&[v.into()]);
+//! let f = fb.finish();
+//! let dfg = &function_dfgs(&f)[0];
+//!
+//! let hw = HwLibrary::micron_018();
+//! let result = explore_dfg(dfg, &hw, &ExploreConfig::default());
+//! // The full xor-shl-add chain is among the candidates.
+//! assert!(result.candidates.iter().any(|c| c.nodes.len() == 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod config;
+pub mod grow;
+pub mod guide;
+pub mod naive;
+
+pub use candidate::{Candidate, ExploreResult, ExploreStats};
+pub use config::{ExploreConfig, GuideWeights};
+pub use grow::{explore_app, explore_dfg};
+pub use guide::{score_direction, GuideScore};
+pub use naive::explore_dfg_naive;

@@ -1,0 +1,203 @@
+//! Unguided exponential candidate enumeration.
+//!
+//! This is the paper's strawman ("the system used a naïve implementation
+//! that looked at all possible directions to grow the seed nodes") and the
+//! oracle for two evaluation artifacts:
+//!
+//! * **Figure 3** plots candidates examined by this search against the
+//!   guided heuristic;
+//! * the **§3.2 validation** compares candidate sets between the two under
+//!   restricted constraints.
+//!
+//! The search applies the same structural constraints as the guided walk
+//! (eligibility, port limits, area cap, node cap) but follows *every*
+//! direction. An optional examination budget keeps Figure 3 runs finite.
+
+use crate::candidate::{Candidate, ExploreResult};
+use crate::config::ExploreConfig;
+use crate::grow::{growable, metrics_of, node_eligible, recordable, FullMetrics};
+use isax_graph::BitSet;
+use isax_hwlib::HwLibrary;
+use isax_ir::Dfg;
+use std::collections::HashSet;
+
+/// Exhaustively enumerates connected candidate subgraphs, optionally
+/// stopping after `budget` distinct candidates have been examined.
+///
+/// # Example
+///
+/// ```
+/// use isax_explore::{explore_dfg_naive, ExploreConfig};
+/// use isax_hwlib::HwLibrary;
+/// use isax_ir::{function_dfgs, FunctionBuilder};
+///
+/// let mut fb = FunctionBuilder::new("f", 2);
+/// let a = fb.param(0);
+/// let b = fb.param(1);
+/// let t = fb.xor(a, b);
+/// let u = fb.add(t, b);
+/// fb.ret(&[u.into()]);
+/// let dfg = &function_dfgs(&fb.finish())[0];
+///
+/// let r = explore_dfg_naive(dfg, &HwLibrary::micron_018(), &ExploreConfig::default(), None);
+/// // {xor}, {add}, {xor, add}
+/// assert_eq!(r.stats.examined, 3);
+/// ```
+pub fn explore_dfg_naive(
+    dfg: &Dfg,
+    hw: &HwLibrary,
+    cfg: &ExploreConfig,
+    budget: Option<u64>,
+) -> ExploreResult {
+    let mut walker = NaiveWalker {
+        dfg,
+        hw,
+        cfg,
+        budget: budget.unwrap_or(u64::MAX),
+        seen: HashSet::new(),
+        result: ExploreResult::default(),
+    };
+    for seed in 0..dfg.len() {
+        if !node_eligible(dfg, seed, hw) {
+            continue;
+        }
+        let nodes: BitSet = [seed].into_iter().collect();
+        if let Some(m) = metrics_of(dfg, &nodes, hw) {
+            walker.grow(nodes, m);
+        }
+        if walker.result.stats.truncated {
+            break;
+        }
+    }
+    walker.result
+}
+
+struct NaiveWalker<'a> {
+    dfg: &'a Dfg,
+    hw: &'a HwLibrary,
+    cfg: &'a ExploreConfig,
+    budget: u64,
+    seen: HashSet<BitSet>,
+    result: ExploreResult,
+}
+
+impl NaiveWalker<'_> {
+    fn grow(&mut self, nodes: BitSet, m: FullMetrics) {
+        if self.result.stats.truncated {
+            return;
+        }
+        if !self.seen.insert(nodes.clone()) {
+            return;
+        }
+        if self.result.stats.examined >= self.budget {
+            self.result.stats.truncated = true;
+            return;
+        }
+        self.result.stats.note_examined(nodes.len());
+        if recordable(&m, self.cfg) && self.dfg.is_convex(&nodes) {
+            self.result.stats.recorded += 1;
+            self.result.candidates.push(Candidate {
+                dfg: 0,
+                nodes: nodes.clone(),
+                delay: m.delay,
+                area: m.area,
+                inputs: m.inputs,
+                outputs: m.outputs,
+            });
+        }
+        if nodes.len() >= self.cfg.max_nodes {
+            return;
+        }
+        for dir in self.dfg.neighbours(&nodes) {
+            if !node_eligible(self.dfg, dir, self.hw) {
+                continue;
+            }
+            let grown = nodes.with(dir);
+            let Some(nm) = metrics_of(self.dfg, &grown, self.hw) else {
+                continue;
+            };
+            if !growable(&nm, self.cfg) {
+                continue;
+            }
+            self.grow(grown, nm);
+            if self.result.stats.truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grow::explore_dfg;
+    use isax_ir::{function_dfgs, FunctionBuilder};
+
+    fn hw() -> HwLibrary {
+        HwLibrary::micron_018()
+    }
+
+    /// Chain of n dependent xors.
+    fn chain_dfg(n: usize) -> Dfg {
+        let mut fb = FunctionBuilder::new("chain", 2);
+        let mut acc = fb.param(0);
+        let k = fb.param(1);
+        for _ in 0..n {
+            acc = fb.xor(acc, k);
+        }
+        fb.ret(&[acc.into()]);
+        function_dfgs(&fb.finish()).remove(0)
+    }
+
+    #[test]
+    fn chain_candidate_count_is_quadratic() {
+        // Connected subgraphs of a path of n nodes: n(n+1)/2.
+        let dfg = chain_dfg(6);
+        let r = explore_dfg_naive(&dfg, &hw(), &ExploreConfig::default(), None);
+        assert_eq!(r.stats.examined, 6 * 7 / 2);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let dfg = chain_dfg(8);
+        let r = explore_dfg_naive(&dfg, &hw(), &ExploreConfig::default(), Some(5));
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.examined, 5);
+    }
+
+    #[test]
+    fn guided_matches_naive_on_small_kernels() {
+        // The §3.2 validation: on small benchmarks the heuristic selects
+        // identical candidate sets.
+        let mut fb = FunctionBuilder::new("small", 3);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let k = fb.param(2);
+        let t = fb.xor(a, k);
+        let u = fb.shl(t, 2i64);
+        let v = fb.add(u, b);
+        let w = fb.and(v, 255i64);
+        fb.ret(&[w.into()]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+
+        let guided = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let naive = explore_dfg_naive(&dfg, &hw(), &ExploreConfig::default(), None);
+        let gs: std::collections::BTreeSet<_> =
+            guided.candidates.iter().map(|c| c.nodes.clone()).collect();
+        let ns: std::collections::BTreeSet<_> =
+            naive.candidates.iter().map(|c| c.nodes.clone()).collect();
+        assert_eq!(gs, ns, "guided and exhaustive candidate sets agree");
+    }
+
+    #[test]
+    fn restricted_constraints_shrink_the_space() {
+        let dfg = chain_dfg(6);
+        let tight = ExploreConfig {
+            max_nodes: 3,
+            ..ExploreConfig::default()
+        };
+        let r = explore_dfg_naive(&dfg, &hw(), &tight, None);
+        // Subpaths of length 1..=3 of a 6-path: 6 + 5 + 4 = 15.
+        assert_eq!(r.stats.examined, 15);
+    }
+}

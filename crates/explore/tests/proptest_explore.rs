@@ -1,0 +1,91 @@
+//! Exploration invariants on random dataflow graphs.
+
+use isax_explore::{explore_dfg, explore_dfg_naive, ExploreConfig};
+use isax_hwlib::HwLibrary;
+use isax_ir::{function_dfgs, Dfg, FunctionBuilder, VReg};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn random_dfg(ops: &[(usize, usize, i64)]) -> Dfg {
+    let mut fb = FunctionBuilder::new("r", 4);
+    let mut pool: Vec<VReg> = (0..4).map(|i| fb.param(i)).collect();
+    for &(which, pick, imm) in ops {
+        let a = pool[pick % pool.len()];
+        let b = pool[(pick + 1) % pool.len()];
+        let d = match which % 8 {
+            0 => fb.add(a, b),
+            1 => fb.xor(a, b),
+            2 => fb.shl(a, (imm & 31).abs()),
+            3 => fb.and(a, imm),
+            4 => fb.sub(a, b),
+            5 => fb.or(a, b),
+            6 => fb.ldw(a),
+            _ => fb.mul(a, b),
+        };
+        pool.push(d);
+    }
+    let last = *pool.last().unwrap();
+    fb.ret(&[last.into()]);
+    function_dfgs(&fb.finish()).remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The guided search never invents candidates: its recorded set is a
+    /// subset of the exhaustive oracle's, and everything it records obeys
+    /// the structural constraints.
+    #[test]
+    fn guided_is_a_sound_subset(
+        ops in proptest::collection::vec((0usize..8, 0usize..6, -64i64..64), 2..22),
+    ) {
+        let dfg = random_dfg(&ops);
+        let hw = HwLibrary::micron_018();
+        let cfg = ExploreConfig::default();
+        let guided = explore_dfg(&dfg, &hw, &cfg);
+        let naive = explore_dfg_naive(&dfg, &hw, &cfg, Some(500_000));
+        prop_assume!(!naive.stats.truncated);
+        let nset: BTreeSet<Vec<usize>> = naive
+            .candidates
+            .iter()
+            .map(|c| c.nodes.iter().collect())
+            .collect();
+        for c in &guided.candidates {
+            let key: Vec<usize> = c.nodes.iter().collect();
+            prop_assert!(nset.contains(&key), "guided-only candidate {key:?}");
+            prop_assert!(c.inputs <= cfg.max_inputs);
+            prop_assert!(c.outputs >= 1 && c.outputs <= cfg.max_outputs);
+            prop_assert!(dfg.is_convex(&c.nodes), "non-convex candidate recorded");
+            prop_assert!(c.delay >= 0.0 && c.area >= 0.0);
+            // Connected: the pattern must be one piece.
+            prop_assert!(c.pattern(&dfg).is_weakly_connected());
+        }
+        prop_assert!(guided.stats.examined <= naive.stats.examined);
+    }
+
+    /// Tapered exploration stays a subset of untapered exploration.
+    #[test]
+    fn taper_only_removes_candidates(
+        ops in proptest::collection::vec((0usize..8, 0usize..6, -64i64..64), 2..22),
+    ) {
+        let dfg = random_dfg(&ops);
+        let hw = HwLibrary::micron_018();
+        let full = explore_dfg(&dfg, &hw, &ExploreConfig::default());
+        let tapered_cfg = ExploreConfig {
+            taper_size: Some(3),
+            taper_fanout: 1,
+            ..ExploreConfig::default()
+        };
+        let tapered = explore_dfg(&dfg, &hw, &tapered_cfg);
+        let fset: BTreeSet<Vec<usize>> = full
+            .candidates
+            .iter()
+            .map(|c| c.nodes.iter().collect())
+            .collect();
+        for c in &tapered.candidates {
+            let key: Vec<usize> = c.nodes.iter().collect();
+            prop_assert!(fset.contains(&key));
+        }
+        prop_assert!(tapered.stats.examined <= full.stats.examined);
+    }
+}

@@ -1,0 +1,319 @@
+//! Order-independent structural fingerprints for labelled digraphs.
+//!
+//! The candidate-combination stage of the hardware compiler must decide,
+//! thousands of times, whether two discovered subgraphs describe the same
+//! custom function unit ("a simple test which checks graph equivalence,
+//! while taking into account commutativity" — §3.3 of the paper). Exact
+//! canonical labelling is overkill for graphs this small; instead we use a
+//! Weisfeiler-Lehman-style colour refinement hash:
+//!
+//! 1. every node starts from a hash of its label,
+//! 2. each round re-hashes a node with the sorted multisets of its
+//!    neighbours' colours (tagging in-edges with their port unless the node
+//!    is commutative),
+//! 3. the graph fingerprint combines node and edge counts with the sorted
+//!    multiset of final colours.
+//!
+//! Isomorphic graphs (commutativity-aware) always receive equal
+//! fingerprints; unequal graphs collide only with hash probability, and
+//! callers that need certainty confirm with [`crate::vf2::are_isomorphic`]
+//! inside fingerprint buckets.
+
+use crate::digraph::DiGraph;
+
+/// Tuning for the refinement hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonConfig {
+    /// Number of refinement rounds. Diameter-many rounds distinguish
+    /// everything the scheme can distinguish; the default of 4 covers the
+    /// subgraphs the explorer produces.
+    pub rounds: usize,
+}
+
+impl Default for CanonConfig {
+    fn default() -> Self {
+        CanonConfig { rounds: 4 }
+    }
+}
+
+/// A structural fingerprint; equal for isomorphic graphs.
+///
+/// # Example
+///
+/// ```
+/// use isax_graph::{DiGraph, canon};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("shl");
+/// let b = g.add_node("add");
+/// g.add_edge(a, b, 0);
+///
+/// let mut h = DiGraph::new();
+/// let y = h.add_node("add");
+/// let x = h.add_node("shl");
+/// h.add_edge(x, y, 1);
+///
+/// let lab = |l: &&str| canon::hash_str(l);
+/// let comm = |l: &&str| *l == "add";
+/// let fg = canon::fingerprint(&g, lab, comm, &Default::default());
+/// let fh = canon::fingerprint(&h, lab, comm, &Default::default());
+/// assert_eq!(fg, fh, "insertion order and commutative ports do not matter");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// splitmix64 finalizer: cheap, deterministic, well-mixed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn combine(a: u64, b: u64) -> u64 {
+    mix(a ^ b.wrapping_mul(0x2545f4914f6cdd1d))
+}
+
+/// Hashes a string label deterministically (FNV-1a, then mixed).
+///
+/// Convenience for callers whose node labels are strings.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    mix(h)
+}
+
+/// Port tag used for edges whose destination treats ports as
+/// interchangeable.
+const COMMUTATIVE_PORT: u64 = 0xFFFF;
+
+/// Computes the commutativity-aware structural fingerprint of `g`.
+///
+/// `label` must map node weights to a hash that captures everything that
+/// distinguishes one operation from another (opcode, hardwired immediates,
+/// ...). `commutative` marks nodes whose input ports are interchangeable.
+pub fn fingerprint<N>(
+    g: &DiGraph<N>,
+    label: impl Fn(&N) -> u64,
+    commutative: impl Fn(&N) -> bool,
+    cfg: &CanonConfig,
+) -> Fingerprint {
+    let n = g.node_count();
+    if n == 0 {
+        return Fingerprint(mix(0));
+    }
+    let comm: Vec<bool> = g.node_ids().map(|v| commutative(&g[v])).collect();
+    let base: Vec<u64> = g.node_ids().map(|v| mix(label(&g[v]))).collect();
+    let mut colour = base.clone();
+    let mut next = vec![0u64; n];
+    let mut scratch: Vec<u64> = Vec::new();
+    for _round in 0..cfg.rounds {
+        for v in g.node_ids() {
+            let vi = v.index();
+            let mut h = combine(base[vi], 0x1d);
+            // In-neighbourhood, tagged with ports unless v is commutative.
+            scratch.clear();
+            for e in g.preds(v) {
+                let port = if comm[vi] { COMMUTATIVE_PORT } else { e.port as u64 };
+                scratch.push(combine(colour[e.src.index()], mix(port)));
+            }
+            scratch.sort_unstable();
+            for &s in &scratch {
+                h = combine(h, combine(s, 0xA11CE));
+            }
+            // Out-neighbourhood, tagged with the consumer port unless the
+            // consumer is commutative.
+            scratch.clear();
+            for e in g.succs(v) {
+                let port = if comm[e.dst.index()] {
+                    COMMUTATIVE_PORT
+                } else {
+                    e.port as u64
+                };
+                scratch.push(combine(colour[e.dst.index()], mix(port ^ 0x0DD)));
+            }
+            scratch.sort_unstable();
+            for &s in &scratch {
+                h = combine(h, combine(s, 0xB0B));
+            }
+            next[vi] = h;
+        }
+        std::mem::swap(&mut colour, &mut next);
+    }
+    colour.sort_unstable();
+    let mut out = combine(n as u64, g.edge_count() as u64);
+    for c in colour {
+        out = combine(out, c);
+    }
+    Fingerprint(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::NodeId;
+
+    fn lab(l: &&str) -> u64 {
+        hash_str(l)
+    }
+
+    fn comm(l: &&str) -> bool {
+        matches!(*l, "add" | "and" | "or" | "xor" | "mul")
+    }
+
+    fn fp(g: &DiGraph<&str>) -> Fingerprint {
+        fingerprint(g, lab, comm, &CanonConfig::default())
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let mut g1 = DiGraph::new();
+        let a = g1.add_node("shl");
+        let b = g1.add_node("and");
+        let c = g1.add_node("add");
+        g1.add_edge(a, b, 0);
+        g1.add_edge(b, c, 0);
+
+        let mut g2 = DiGraph::new();
+        let c2 = g2.add_node("add");
+        let a2 = g2.add_node("shl");
+        let b2 = g2.add_node("and");
+        g2.add_edge(a2, b2, 0);
+        g2.add_edge(b2, c2, 0);
+
+        assert_eq!(fp(&g1), fp(&g2));
+    }
+
+    #[test]
+    fn commutative_port_swap_is_equivalent() {
+        let mut g1 = DiGraph::new();
+        let x = g1.add_node("shl");
+        let y = g1.add_node("shr");
+        let s = g1.add_node("or");
+        g1.add_edge(x, s, 0);
+        g1.add_edge(y, s, 1);
+
+        let mut g2 = DiGraph::new();
+        let x2 = g2.add_node("shl");
+        let y2 = g2.add_node("shr");
+        let s2 = g2.add_node("or");
+        g2.add_edge(x2, s2, 1);
+        g2.add_edge(y2, s2, 0);
+
+        assert_eq!(fp(&g1), fp(&g2));
+    }
+
+    #[test]
+    fn noncommutative_port_swap_differs() {
+        let mut g1 = DiGraph::new();
+        let x = g1.add_node("shl");
+        let y = g1.add_node("shr");
+        let s = g1.add_node("sub");
+        g1.add_edge(x, s, 0);
+        g1.add_edge(y, s, 1);
+
+        let mut g2 = DiGraph::new();
+        let x2 = g2.add_node("shl");
+        let y2 = g2.add_node("shr");
+        let s2 = g2.add_node("sub");
+        g2.add_edge(x2, s2, 1);
+        g2.add_edge(y2, s2, 0);
+
+        assert_ne!(fp(&g1), fp(&g2), "x<<k - y>>k differs from y>>k - x<<k");
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut g1 = DiGraph::new();
+        let a = g1.add_node("and");
+        let b = g1.add_node("add");
+        g1.add_edge(a, b, 0);
+        let mut g2 = DiGraph::new();
+        let a2 = g2.add_node("or");
+        let b2 = g2.add_node("add");
+        g2.add_edge(a2, b2, 0);
+        assert_ne!(fp(&g1), fp(&g2));
+    }
+
+    #[test]
+    fn different_shape_differs() {
+        // chain a->b->c vs fork a->b, a->c
+        let mut chain = DiGraph::new();
+        let a = chain.add_node("xor");
+        let b = chain.add_node("xor");
+        let c = chain.add_node("xor");
+        chain.add_edge(a, b, 0);
+        chain.add_edge(b, c, 0);
+
+        let mut fork = DiGraph::new();
+        let a2 = fork.add_node("xor");
+        let b2 = fork.add_node("xor");
+        let c2 = fork.add_node("xor");
+        fork.add_edge(a2, b2, 0);
+        fork.add_edge(a2, c2, 0);
+
+        assert_ne!(fp(&chain), fp(&fork));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: DiGraph<&str> = DiGraph::new();
+        let mut single = DiGraph::new();
+        single.add_node("add");
+        assert_ne!(fp(&empty), fp(&single));
+        assert_eq!(fp(&empty), fp(&DiGraph::<&str>::new()));
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        // add(x, x) vs add(x, external): different internal edge counts.
+        let mut both = DiGraph::new();
+        let x = both.add_node("shl");
+        let a = both.add_node("add");
+        both.add_edge(x, a, 0);
+        both.add_edge(x, a, 1);
+
+        let mut one = DiGraph::new();
+        let x2 = one.add_node("shl");
+        let a2 = one.add_node("add");
+        one.add_edge(x2, a2, 0);
+
+        assert_ne!(fp(&both), fp(&one));
+    }
+
+    #[test]
+    fn agrees_with_vf2_on_permutations() {
+        // Build a fixed graph, permute node insertion order several ways,
+        // confirm fingerprints match and vf2 confirms isomorphism.
+        let build = |perm: &[usize]| {
+            // canonical node labels by original index
+            let labels = ["shl", "and", "add", "xor", "or"];
+            // edges in original index space: 0->1@0, 1->2@1, 0->3@0, 3->2@0, 2->4@0
+            let edges = [(0, 1, 0u8), (1, 2, 1), (0, 3, 0), (3, 2, 0), (2, 4, 0)];
+            let mut g = DiGraph::new();
+            let mut ids = vec![NodeId(0); 5];
+            for &orig in perm {
+                ids[orig] = g.add_node(labels[orig]);
+            }
+            for &(s, d, p) in &edges {
+                g.add_edge(ids[s], ids[d], p);
+            }
+            g
+        };
+        let g1 = build(&[0, 1, 2, 3, 4]);
+        let g2 = build(&[4, 3, 2, 1, 0]);
+        let g3 = build(&[2, 0, 4, 1, 3]);
+        assert_eq!(fp(&g1), fp(&g2));
+        assert_eq!(fp(&g1), fp(&g3));
+        assert!(crate::vf2::are_isomorphic(&g1, &g3, |p, t| p == t, comm));
+    }
+}

@@ -1,0 +1,82 @@
+//! Graphviz (DOT) rendering for labelled digraphs.
+//!
+//! Developer tooling: dump a CFU pattern or any small graph for visual
+//! inspection with `dot -Tpng`. The dataflow-graph variant with edge-kind
+//! styling lives in `isax-ir` (`Dfg::to_dot`), built on this.
+
+use crate::digraph::DiGraph;
+
+/// Renders a digraph in DOT syntax; node text comes from `label`.
+///
+/// # Example
+///
+/// ```
+/// use isax_graph::{DiGraph, dot::to_dot};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("shl");
+/// let b = g.add_node("add");
+/// g.add_edge(a, b, 1);
+/// let text = to_dot(&g, "pattern", |l| l.to_string());
+/// assert!(text.contains("digraph pattern"));
+/// assert!(text.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N>(g: &DiGraph<N>, name: &str, label: impl Fn(&N) -> String) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {name} {{\n"));
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for n in g.node_ids() {
+        out.push_str(&format!(
+            "  n{} [label=\"{}\"];\n",
+            n.index(),
+            escape(&label(&g[n]))
+        ));
+    }
+    for e in g.edges() {
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\"];\n",
+            e.src.index(),
+            e.dst.index(),
+            e.port
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_ports() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        g.add_edge(a, b, 1);
+        let d = to_dot(&g, "t", |v| format!("op{v}"));
+        assert!(d.contains("n0 [label=\"op1\"]"));
+        assert!(d.contains("n1 [label=\"op2\"]"));
+        assert!(d.contains("n0 -> n1 [label=\"1\"]"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let d = to_dot(&g, "q", |v| v.to_string());
+        assert!(d.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let g: DiGraph<u8> = DiGraph::new();
+        let d = to_dot(&g, "empty", |v| v.to_string());
+        assert!(d.starts_with("digraph empty {"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,60 @@
+//! Small labelled digraphs, canonical forms and VF2-style subgraph
+//! isomorphism for the `isax` instruction-set customization suite.
+//!
+//! The MICRO-2003 system this workspace reproduces leans on graph machinery
+//! in three places:
+//!
+//! * the **design-space explorer** manipulates candidate subgraphs of a
+//!   dataflow graph and must deduplicate structurally equivalent candidates
+//!   (→ [`canon`]),
+//! * the **candidate combiner** groups isomorphic candidates discovered in
+//!   different places into one custom function unit (→ [`canon`] + exact
+//!   verification via [`vf2`]),
+//! * the **compiler** finds every occurrence of a custom function unit's
+//!   pattern inside an application dataflow graph — the classic subgraph
+//!   isomorphism problem the paper solves with the vflib library
+//!   (→ [`vf2`], our reimplementation).
+//!
+//! The graphs involved are tiny (patterns of 2–40 nodes, per-block dataflow
+//! graphs of at most a few hundred nodes), so the representation favours
+//! simplicity and cache friendliness over asymptotics: dense node vectors
+//! and flat edge lists.
+//!
+//! # Example
+//!
+//! ```
+//! use isax_graph::{DiGraph, vf2};
+//!
+//! // Pattern: a << b  feeding port 0 of an AND.
+//! let mut pat = DiGraph::new();
+//! let shl = pat.add_node("shl");
+//! let and = pat.add_node("and");
+//! pat.add_edge(shl, and, 0);
+//!
+//! // Target contains the same shape twice.
+//! let mut dfg = DiGraph::new();
+//! let a = dfg.add_node("shl");
+//! let b = dfg.add_node("and");
+//! let c = dfg.add_node("shl");
+//! let d = dfg.add_node("and");
+//! dfg.add_edge(a, b, 0);
+//! dfg.add_edge(c, d, 0);
+//!
+//! let m = vf2::Matcher::new(&pat, &dfg)
+//!     .node_compat(|p, t| p == t)
+//!     .find_all();
+//! assert_eq!(m.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod canon;
+pub mod digraph;
+pub mod dot;
+pub mod vf2;
+
+pub use bitset::BitSet;
+pub use canon::{CanonConfig, Fingerprint};
+pub use digraph::{DiGraph, EdgeRef, NodeId};

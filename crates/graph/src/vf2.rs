@@ -1,0 +1,663 @@
+//! VF2-style subgraph isomorphism with dataflow-aware edge semantics.
+//!
+//! This module reimplements the role the vflib library plays in the paper's
+//! compiler: given a custom-function-unit *pattern* and an application
+//! dataflow graph (*target*), enumerate every embedding of the pattern.
+//!
+//! Matching is **induced** on the matched node set: an edge between two
+//! matched target nodes must exist *iff* the corresponding pattern edge
+//! exists. This is the correct notion for hardware patterns — if a value
+//! flowed between two operations in the program but not inside the CFU, the
+//! CFU would compute a different function.
+//!
+//! Edges carry operand **ports**. By default a pattern edge into port `k`
+//! only matches a target edge into port `k`; nodes reported as
+//! *commutative* by the [`Matcher::commutative`] hook may match with
+//! permuted ports (e.g. `add`, `and`, but not `sub` or `shl`).
+//!
+//! The search is the classic VF2 scheme: grow a partial mapping one pattern
+//! node at a time, always choosing a pattern node adjacent to the mapped
+//! region, pruning with degree and adjacency consistency, and verifying the
+//! complete mapping with an exact port-multiset check.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// A complete embedding: `mapping[p]` is the target node matched to
+/// pattern node `p`.
+pub type Mapping = Vec<NodeId>;
+
+/// Configurable subgraph-isomorphism search between a pattern and a target
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use isax_graph::{DiGraph, vf2::Matcher};
+///
+/// let mut pat = DiGraph::new();
+/// let a = pat.add_node("and");
+/// let b = pat.add_node("add");
+/// pat.add_edge(a, b, 1);
+///
+/// let mut tgt = DiGraph::new();
+/// let x = tgt.add_node("and");
+/// let y = tgt.add_node("add");
+/// tgt.add_edge(x, y, 0); // different port ...
+///
+/// // ... still matches because `add` is commutative:
+/// let found = Matcher::new(&pat, &tgt)
+///     .node_compat(|p, t| p == t)
+///     .commutative(|p| *p == "add" || *p == "and")
+///     .find_all();
+/// assert_eq!(found.len(), 1);
+/// ```
+pub struct Matcher<'a, P, T, C, K> {
+    pattern: &'a DiGraph<P>,
+    target: &'a DiGraph<T>,
+    compat: C,
+    commutative: K,
+    max_matches: usize,
+}
+
+impl<'a, P, T> Matcher<'a, P, T, fn(&P, &T) -> bool, fn(&P) -> bool> {
+    /// Creates a matcher with permissive defaults: every node pair is
+    /// label-compatible and no node is commutative.
+    pub fn new(pattern: &'a DiGraph<P>, target: &'a DiGraph<T>) -> Self {
+        fn always<P, T>(_: &P, _: &T) -> bool {
+            true
+        }
+        fn never<P>(_: &P) -> bool {
+            false
+        }
+        Matcher {
+            pattern,
+            target,
+            compat: always::<P, T>,
+            commutative: never::<P>,
+            max_matches: usize::MAX,
+        }
+    }
+}
+
+impl<'a, P, T, C, K> Matcher<'a, P, T, C, K>
+where
+    C: Fn(&P, &T) -> bool,
+    K: Fn(&P) -> bool,
+{
+    /// Sets the node label compatibility predicate.
+    pub fn node_compat<C2>(self, compat: C2) -> Matcher<'a, P, T, C2, K>
+    where
+        C2: Fn(&P, &T) -> bool,
+    {
+        Matcher {
+            pattern: self.pattern,
+            target: self.target,
+            compat,
+            commutative: self.commutative,
+            max_matches: self.max_matches,
+        }
+    }
+
+    /// Sets the predicate that marks pattern nodes whose input ports may be
+    /// permuted during matching.
+    pub fn commutative<K2>(self, commutative: K2) -> Matcher<'a, P, T, C, K2>
+    where
+        K2: Fn(&P) -> bool,
+    {
+        Matcher {
+            pattern: self.pattern,
+            target: self.target,
+            compat: self.compat,
+            commutative,
+            max_matches: self.max_matches,
+        }
+    }
+
+    /// Caps the number of embeddings returned.
+    pub fn max_matches(mut self, cap: usize) -> Self {
+        self.max_matches = cap;
+        self
+    }
+
+    /// Enumerates embeddings of the pattern in the target, up to the
+    /// configured cap.
+    ///
+    /// Returns an empty vector when the pattern is empty or larger than the
+    /// target.
+    pub fn find_all(&self) -> Vec<Mapping> {
+        let np = self.pattern.node_count();
+        if np == 0 || np > self.target.node_count() {
+            return Vec::new();
+        }
+        let order = self.search_order();
+        let mut state = State {
+            p2t: vec![None; np],
+            used: vec![false; self.target.node_count()],
+            found: Vec::new(),
+        };
+        self.extend(&order, 0, &mut state);
+        state.found
+    }
+
+    /// Returns the first embedding found, if any.
+    pub fn find_first(&self) -> Option<Mapping> {
+        let mut capped = Matcher {
+            pattern: self.pattern,
+            target: self.target,
+            compat: &self.compat,
+            commutative: &self.commutative,
+            max_matches: 1,
+        };
+        capped.max_matches = 1;
+        capped.find_all().into_iter().next()
+    }
+
+    /// Counts embeddings (up to the cap).
+    pub fn count(&self) -> usize {
+        self.find_all().len()
+    }
+
+    /// Pattern-node visit order: a BFS over the (weakly connected) pattern
+    /// so every node after the first is adjacent to an already-mapped one.
+    /// Disconnected leftovers are appended afterwards so the search stays
+    /// complete even for non-connected patterns.
+    fn search_order(&self) -> Vec<NodeId> {
+        let np = self.pattern.node_count();
+        let mut order: Vec<NodeId> = Vec::with_capacity(np);
+        let mut seen = vec![false; np];
+        // Start from the node with the largest total degree: most
+        // constrained first.
+        let start = self
+            .pattern
+            .node_ids()
+            .max_by_key(|&n| self.pattern.in_degree(n) + self.pattern.out_degree(n))
+            .expect("non-empty pattern");
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        seen[start.index()] = true;
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for e in self.pattern.succs(n) {
+                if !seen[e.dst.index()] {
+                    seen[e.dst.index()] = true;
+                    queue.push_back(e.dst);
+                }
+            }
+            for e in self.pattern.preds(n) {
+                if !seen[e.src.index()] {
+                    seen[e.src.index()] = true;
+                    queue.push_back(e.src);
+                }
+            }
+        }
+        for n in self.pattern.node_ids() {
+            if !seen[n.index()] {
+                order.push(n);
+            }
+        }
+        order
+    }
+
+    fn extend(&self, order: &[NodeId], depth: usize, state: &mut State) {
+        if state.found.len() >= self.max_matches {
+            return;
+        }
+        if depth == order.len() {
+            let mapping: Mapping = state.p2t.iter().map(|m| m.unwrap()).collect();
+            if self.verify(&mapping) {
+                state.found.push(mapping);
+            }
+            return;
+        }
+        let p = order[depth];
+        let candidates = self.candidates_for(p, state);
+        for t in candidates {
+            if state.used[t.index()] {
+                continue;
+            }
+            if !self.feasible(p, t, state) {
+                continue;
+            }
+            state.p2t[p.index()] = Some(t);
+            state.used[t.index()] = true;
+            self.extend(order, depth + 1, state);
+            state.p2t[p.index()] = None;
+            state.used[t.index()] = false;
+            if state.found.len() >= self.max_matches {
+                return;
+            }
+        }
+    }
+
+    /// Candidate target nodes for pattern node `p`: derived from the target
+    /// adjacency of an already-mapped pattern neighbour when one exists,
+    /// otherwise all target nodes.
+    fn candidates_for(&self, p: NodeId, state: &State) -> Vec<NodeId> {
+        // Prefer a mapped predecessor in the pattern: targets are then the
+        // successors of its image.
+        for e in self.pattern.preds(p) {
+            if let Some(t_src) = state.p2t[e.src.index()] {
+                let mut v: Vec<NodeId> = self.target.succs(t_src).map(|te| te.dst).collect();
+                v.sort_unstable();
+                v.dedup();
+                return v;
+            }
+        }
+        for e in self.pattern.succs(p) {
+            if let Some(t_dst) = state.p2t[e.dst.index()] {
+                let mut v: Vec<NodeId> = self.target.preds(t_dst).map(|te| te.src).collect();
+                v.sort_unstable();
+                v.dedup();
+                return v;
+            }
+        }
+        self.target.node_ids().collect()
+    }
+
+    /// Local consistency of the candidate pair `(p, t)` against the current
+    /// partial mapping.
+    fn feasible(&self, p: NodeId, t: NodeId, state: &State) -> bool {
+        if !(self.compat)(&self.pattern[p], &self.target[t]) {
+            return false;
+        }
+        // Degree pruning: every internal pattern edge must find a distinct
+        // target edge, and matching is induced, so counts must not exceed.
+        if self.pattern.in_degree(p) > self.target.in_degree(t)
+            || self.pattern.out_degree(p) > self.target.out_degree(t)
+        {
+            return false;
+        }
+        let comm_p = (self.commutative)(&self.pattern[p]);
+        // Pattern in-edges whose source is mapped must exist in the target.
+        for e in self.pattern.preds(p) {
+            if let Some(ts) = state.p2t[e.src.index()] {
+                let ok = if comm_p {
+                    self.target.has_edge(ts, t)
+                } else {
+                    self.target.has_edge_on_port(ts, t, e.port)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        // Pattern out-edges whose destination is mapped must exist.
+        for e in self.pattern.succs(p) {
+            if let Some(td) = state.p2t[e.dst.index()] {
+                let comm_dst = (self.commutative)(&self.pattern[e.dst]);
+                let ok = if comm_dst {
+                    self.target.has_edge(t, td)
+                } else {
+                    self.target.has_edge_on_port(t, td, e.port)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        // Induced check: target edges between t and mapped nodes must be
+        // mirrored by pattern edges.
+        for te in self.target.preds(t) {
+            if let Some(ps) = state.t2p(te.src) {
+                let mirrored = if comm_p {
+                    self.pattern.has_edge(ps, p)
+                } else {
+                    self.pattern.has_edge_on_port(ps, p, te.port)
+                };
+                if !mirrored {
+                    return false;
+                }
+            }
+        }
+        for te in self.target.succs(t) {
+            if let Some(pd) = state.t2p(te.dst) {
+                let comm_dst = (self.commutative)(&self.pattern[pd]);
+                let mirrored = if comm_dst {
+                    self.pattern.has_edge(p, pd)
+                } else {
+                    self.pattern.has_edge_on_port(p, pd, te.port)
+                };
+                if !mirrored {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Exact verification of a complete mapping: for every pattern node the
+    /// multiset of internal in-edges must equal the target's, port-exact for
+    /// non-commutative nodes and source-exact (ports free) for commutative
+    /// ones.
+    fn verify(&self, mapping: &Mapping) -> bool {
+        let in_match = |t: NodeId| mapping.contains(&t);
+        for p in self.pattern.node_ids() {
+            let t = mapping[p.index()];
+            let comm = (self.commutative)(&self.pattern[p]);
+            let mut pat_in: Vec<(u8, NodeId)> = self
+                .pattern
+                .preds(p)
+                .map(|e| (e.port, mapping[e.src.index()]))
+                .collect();
+            let mut tgt_in: Vec<(u8, NodeId)> = self
+                .target
+                .preds(t)
+                .filter(|e| in_match(e.src))
+                .map(|e| (e.port, e.src))
+                .collect();
+            if comm {
+                pat_in.sort_unstable_by_key(|&(_, s)| s);
+                tgt_in.sort_unstable_by_key(|&(_, s)| s);
+                // Ports must still be distinct on both sides (a producer
+                // feeding ports {0,1} can only match a producer pair that
+                // also covers two distinct ports). With sources sorted,
+                // compare source multisets and port-set cardinalities.
+                let ps: Vec<NodeId> = pat_in.iter().map(|&(_, s)| s).collect();
+                let ts: Vec<NodeId> = tgt_in.iter().map(|&(_, s)| s).collect();
+                if ps != ts {
+                    return false;
+                }
+                let mut pports: Vec<u8> = pat_in.iter().map(|&(p, _)| p).collect();
+                let mut tports: Vec<u8> = tgt_in.iter().map(|&(p, _)| p).collect();
+                pports.sort_unstable();
+                tports.sort_unstable();
+                pports.dedup();
+                tports.dedup();
+                if pports.len() != tports.len() {
+                    return false;
+                }
+            } else {
+                pat_in.sort_unstable();
+                tgt_in.sort_unstable();
+                if pat_in != tgt_in {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+struct State {
+    p2t: Vec<Option<NodeId>>,
+    used: Vec<bool>,
+    found: Vec<Mapping>,
+}
+
+impl State {
+    fn t2p(&self, t: NodeId) -> Option<NodeId> {
+        self.p2t
+            .iter()
+            .position(|&m| m == Some(t))
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Tests whether two graphs are isomorphic under the given label
+/// compatibility and commutativity hooks.
+///
+/// # Example
+///
+/// ```
+/// use isax_graph::{DiGraph, vf2::are_isomorphic};
+///
+/// let mut a = DiGraph::new();
+/// let x = a.add_node("shl");
+/// let y = a.add_node("and");
+/// a.add_edge(x, y, 0);
+///
+/// let mut b = DiGraph::new();
+/// let v = b.add_node("and");
+/// let u = b.add_node("shl");
+/// b.add_edge(u, v, 0);
+///
+/// assert!(are_isomorphic(&a, &b, |p, t| p == t, |_| false));
+/// ```
+pub fn are_isomorphic<P, T>(
+    a: &DiGraph<P>,
+    b: &DiGraph<T>,
+    compat: impl Fn(&P, &T) -> bool,
+    commutative: impl Fn(&P) -> bool,
+) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.node_count() == 0 {
+        return true;
+    }
+    Matcher::new(a, b)
+        .node_compat(compat)
+        .commutative(commutative)
+        .max_matches(1)
+        .find_first()
+        .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq_labels(p: &&str, t: &&str) -> bool {
+        p == t
+    }
+
+    #[test]
+    fn single_node_matches_everywhere() {
+        let mut pat = DiGraph::new();
+        pat.add_node("add");
+        let mut tgt = DiGraph::new();
+        tgt.add_node("add");
+        tgt.add_node("add");
+        tgt.add_node("sub");
+        let m = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn chain_matches_with_ports() {
+        // pattern: shl ->(port1) sub
+        let mut pat = DiGraph::new();
+        let s = pat.add_node("shl");
+        let b = pat.add_node("sub");
+        pat.add_edge(s, b, 1);
+
+        // target: one sub fed on port 1, one fed on port 0.
+        let mut tgt = DiGraph::new();
+        let s1 = tgt.add_node("shl");
+        let b1 = tgt.add_node("sub");
+        tgt.add_edge(s1, b1, 1);
+        let s2 = tgt.add_node("shl");
+        let b2 = tgt.add_node("sub");
+        tgt.add_edge(s2, b2, 0);
+
+        let m = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert_eq!(m.len(), 1, "sub is not commutative: port must match");
+        assert_eq!(m[0], vec![s1, b1]);
+    }
+
+    #[test]
+    fn commutative_ports_are_free() {
+        let mut pat = DiGraph::new();
+        let s = pat.add_node("shl");
+        let a = pat.add_node("add");
+        pat.add_edge(s, a, 1);
+
+        let mut tgt = DiGraph::new();
+        let s2 = tgt.add_node("shl");
+        let a2 = tgt.add_node("add");
+        tgt.add_edge(s2, a2, 0);
+
+        let strict = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert!(strict.is_empty());
+        let relaxed = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .commutative(|l| *l == "add")
+            .find_all();
+        assert_eq!(relaxed.len(), 1);
+    }
+
+    #[test]
+    fn induced_semantics_reject_extra_internal_edge() {
+        // Pattern: a -> c, b -> c (no a -> b edge).
+        let mut pat = DiGraph::new();
+        let a = pat.add_node("and");
+        let b = pat.add_node("or");
+        let c = pat.add_node("xor");
+        pat.add_edge(a, c, 0);
+        pat.add_edge(b, c, 1);
+
+        // Target has an additional a->b edge among the matched nodes: the
+        // CFU would not implement that dataflow, so the match must fail.
+        let mut tgt = DiGraph::new();
+        let ta = tgt.add_node("and");
+        let tb = tgt.add_node("or");
+        let tc = tgt.add_node("xor");
+        tgt.add_edge(ta, tc, 0);
+        tgt.add_edge(tb, tc, 1);
+        tgt.add_edge(ta, tb, 0);
+
+        let m = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn multiple_disjoint_matches() {
+        let mut pat = DiGraph::new();
+        let x = pat.add_node("shl");
+        let y = pat.add_node("and");
+        pat.add_edge(x, y, 0);
+
+        let mut tgt = DiGraph::new();
+        for _ in 0..3 {
+            let s = tgt.add_node("shl");
+            let a = tgt.add_node("and");
+            tgt.add_edge(s, a, 0);
+        }
+        let m = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn max_matches_caps_enumeration() {
+        let mut pat = DiGraph::new();
+        pat.add_node("add");
+        let mut tgt = DiGraph::new();
+        for _ in 0..10 {
+            tgt.add_node("add");
+        }
+        let m = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .max_matches(4)
+            .find_all();
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn parallel_edge_same_producer() {
+        // pattern: x feeds both ports of add (add v, x, x).
+        let mut pat = DiGraph::new();
+        let x = pat.add_node("shl");
+        let a = pat.add_node("add");
+        pat.add_edge(x, a, 0);
+        pat.add_edge(x, a, 1);
+
+        // Target 1: same shape -> match.
+        let mut t1 = DiGraph::new();
+        let tx = t1.add_node("shl");
+        let ta = t1.add_node("add");
+        t1.add_edge(tx, ta, 0);
+        t1.add_edge(tx, ta, 1);
+        assert_eq!(
+            Matcher::new(&pat, &t1)
+                .node_compat(eq_labels)
+                .commutative(|l| *l == "add")
+                .count(),
+            1
+        );
+
+        // Target 2: add has only one port from the shl -> no match.
+        let mut t2 = DiGraph::new();
+        let ux = t2.add_node("shl");
+        let ua = t2.add_node("add");
+        t2.add_edge(ux, ua, 0);
+        assert_eq!(
+            Matcher::new(&pat, &t2)
+                .node_compat(eq_labels)
+                .commutative(|l| *l == "add")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn isomorphism_detects_commutative_twins() {
+        // a + b == b + a under commutativity, not without.
+        let mut g1 = DiGraph::new();
+        let a1 = g1.add_node("ld");
+        let b1 = g1.add_node("shl");
+        let p1 = g1.add_node("add");
+        g1.add_edge(a1, p1, 0);
+        g1.add_edge(b1, p1, 1);
+
+        let mut g2 = DiGraph::new();
+        let a2 = g2.add_node("ld");
+        let b2 = g2.add_node("shl");
+        let p2 = g2.add_node("add");
+        g2.add_edge(a2, p2, 1);
+        g2.add_edge(b2, p2, 0);
+
+        assert!(!are_isomorphic(&g1, &g2, |p, t| p == t, |_| false));
+        assert!(are_isomorphic(&g1, &g2, |p, t| p == t, |l| *l == "add"));
+    }
+
+    #[test]
+    fn empty_pattern_yields_nothing() {
+        let pat: DiGraph<&str> = DiGraph::new();
+        let mut tgt = DiGraph::new();
+        tgt.add_node("add");
+        assert!(Matcher::new(&pat, &tgt).find_all().is_empty());
+    }
+
+    #[test]
+    fn pattern_larger_than_target_yields_nothing() {
+        let mut pat = DiGraph::new();
+        let a = pat.add_node("add");
+        let b = pat.add_node("add");
+        pat.add_edge(a, b, 0);
+        let mut tgt = DiGraph::new();
+        tgt.add_node("add");
+        assert!(Matcher::new(&pat, &tgt).find_all().is_empty());
+    }
+
+    #[test]
+    fn diamond_in_larger_graph() {
+        // Pattern: the blowfish-style diamond  a -> b, a -> c, b -> d, c -> d.
+        let mut pat = DiGraph::new();
+        let a = pat.add_node("xor");
+        let b = pat.add_node("shl");
+        let c = pat.add_node("shr");
+        let d = pat.add_node("or");
+        pat.add_edge(a, b, 0);
+        pat.add_edge(a, c, 0);
+        pat.add_edge(b, d, 0);
+        pat.add_edge(c, d, 1);
+
+        let mut tgt = DiGraph::new();
+        let pre = tgt.add_node("add");
+        let ta = tgt.add_node("xor");
+        let tb = tgt.add_node("shl");
+        let tc = tgt.add_node("shr");
+        let td = tgt.add_node("or");
+        let post = tgt.add_node("and");
+        tgt.add_edge(pre, ta, 0);
+        tgt.add_edge(ta, tb, 0);
+        tgt.add_edge(ta, tc, 0);
+        tgt.add_edge(tb, td, 0);
+        tgt.add_edge(tc, td, 1);
+        tgt.add_edge(td, post, 0);
+
+        let m = Matcher::new(&pat, &tgt).node_compat(eq_labels).find_all();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0], vec![ta, tb, tc, td]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests tying the fingerprint to ground-truth isomorphism.
+
+use isax_graph::{canon, vf2, DiGraph, NodeId};
+use proptest::prelude::*;
+
+const LABELS: [&str; 6] = ["add", "sub", "and", "xor", "shl", "mul"];
+
+fn commutative(l: &&str) -> bool {
+    matches!(*l, "add" | "and" | "xor" | "mul")
+}
+
+fn label_key(l: &&str) -> u64 {
+    canon::hash_str(l)
+}
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    labels: Vec<usize>,
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (2usize..9).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..LABELS.len(), n..=n),
+            proptest::collection::vec((0..n, 0..n, 0u8..2), 0..(2 * n)),
+        )
+            .prop_map(|(labels, edges)| GraphSpec { labels, edges })
+    })
+}
+
+fn build(spec: &GraphSpec, perm: &[usize]) -> DiGraph<&'static str> {
+    // perm[i] = insertion position of original node i.
+    let n = spec.labels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| perm[i]);
+    let mut g = DiGraph::new();
+    let mut ids = vec![NodeId(0); n];
+    for &orig in &order {
+        ids[orig] = g.add_node(LABELS[spec.labels[orig]]);
+    }
+    // Forward edges only (keep it a DAG like a dataflow graph). Drop
+    // duplicate (src, dst, port) triples so both permutations agree.
+    let mut seen = std::collections::BTreeSet::new();
+    for &(a, b, port) in &spec.edges {
+        let (src, dst) = if a < b { (a, b) } else if b < a { (b, a) } else { continue };
+        if seen.insert((src, dst, port)) {
+            g.add_edge(ids[src], ids[dst], port);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: isomorphic graphs (same structure, shuffled insertion
+    /// order) always share a fingerprint, and VF2 agrees.
+    #[test]
+    fn permuted_graphs_share_fingerprints(spec in graph_spec(), seed in 0u64..1000) {
+        let n = spec.labels.len();
+        let identity: Vec<usize> = (0..n).collect();
+        // Derive a permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            perm.swap(i, (s as usize) % (i + 1));
+        }
+        let g1 = build(&spec, &identity);
+        let g2 = build(&spec, &perm);
+        let f1 = canon::fingerprint(&g1, label_key, commutative, &Default::default());
+        let f2 = canon::fingerprint(&g2, label_key, commutative, &Default::default());
+        prop_assert_eq!(f1, f2, "permutation changed the fingerprint");
+        prop_assert!(vf2::are_isomorphic(&g1, &g2, |a, b| a == b, commutative));
+    }
+
+    /// Consistency: when fingerprints differ the graphs are truly
+    /// non-isomorphic (the converse of soundness; collisions are allowed,
+    /// false distinctions are not).
+    #[test]
+    fn distinct_fingerprints_imply_non_isomorphic(a in graph_spec(), b in graph_spec()) {
+        let identity_a: Vec<usize> = (0..a.labels.len()).collect();
+        let identity_b: Vec<usize> = (0..b.labels.len()).collect();
+        let ga = build(&a, &identity_a);
+        let gb = build(&b, &identity_b);
+        let fa = canon::fingerprint(&ga, label_key, commutative, &Default::default());
+        let fb = canon::fingerprint(&gb, label_key, commutative, &Default::default());
+        if fa != fb {
+            prop_assert!(!vf2::are_isomorphic(&ga, &gb, |x, y| x == y, commutative));
+        }
+    }
+
+    /// Every VF2 self-match of a graph is an automorphism: mapped labels
+    /// agree and edges are preserved.
+    #[test]
+    fn self_matches_are_automorphisms(spec in graph_spec()) {
+        let identity: Vec<usize> = (0..spec.labels.len()).collect();
+        let g = build(&spec, &identity);
+        let matches = vf2::Matcher::new(&g, &g)
+            .node_compat(|a, b| a == b)
+            .commutative(commutative)
+            .max_matches(16)
+            .find_all();
+        prop_assert!(!matches.is_empty(), "identity mapping always exists");
+        for m in matches {
+            for v in g.node_ids() {
+                prop_assert_eq!(g[v], g[m[v.index()]]);
+            }
+        }
+    }
+}

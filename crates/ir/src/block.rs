@@ -1,0 +1,147 @@
+//! Basic blocks, terminators and profile weights.
+
+use crate::inst::{Inst, Operand, VReg};
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block inside a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Control transfer at the end of a block.
+///
+/// Branches never appear *inside* blocks: the paper's system forbids custom
+/// instructions from containing branches or crossing control-flow
+/// boundaries, and representing control flow purely as terminators makes
+/// that restriction structural.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register (taken when non-zero).
+        cond: VReg,
+        /// Target when the condition is non-zero.
+        taken: BlockId,
+        /// Target when the condition is zero.
+        not_taken: BlockId,
+    },
+    /// Function return with the produced values.
+    Ret(Vec<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Terminator::Jump(_) => vec![],
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Ret(vals) => vals.iter().filter_map(|o| o.reg()).collect(),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions, a terminator, and a profile
+/// weight (dynamic execution count from profiling).
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{BasicBlock, BlockId, Inst, Opcode, Terminator, VReg};
+///
+/// let mut b = BasicBlock::new(1000);
+/// b.insts.push(Inst::new(Opcode::Add, vec![VReg(2)], vec![VReg(0).into(), VReg(1).into()]));
+/// b.term = Terminator::Ret(vec![VReg(2).into()]);
+/// assert_eq!(b.weight, 1000);
+/// assert_eq!(b.term.successors(), vec![]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line instructions in program order (unscheduled).
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+    /// Profile weight: how many times this block executes in the profiled
+    /// run. Drives the value estimate of every candidate found here.
+    pub weight: u64,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given profile weight, terminated by
+    /// an empty return (builders overwrite the terminator).
+    pub fn new(weight: u64) -> Self {
+        BasicBlock {
+            insts: Vec::new(),
+            term: Terminator::Ret(vec![]),
+            weight,
+        }
+    }
+
+    /// Registers defined anywhere in the block.
+    pub fn defs(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.insts.iter().flat_map(|i| i.dsts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn terminator_successors_and_uses() {
+        let j = Terminator::Jump(BlockId(3));
+        assert_eq!(j.successors(), vec![BlockId(3)]);
+        assert!(j.uses().is_empty());
+
+        let br = Terminator::Branch {
+            cond: VReg(5),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(br.uses(), vec![VReg(5)]);
+
+        let r = Terminator::Ret(vec![VReg(1).into(), Operand::Imm(0)]);
+        assert!(r.successors().is_empty());
+        assert_eq!(r.uses(), vec![VReg(1)]);
+    }
+
+    #[test]
+    fn block_defs() {
+        let mut b = BasicBlock::new(1);
+        b.insts.push(Inst::new(
+            Opcode::Add,
+            vec![VReg(1)],
+            vec![VReg(0).into(), VReg(0).into()],
+        ));
+        b.insts.push(Inst::new(
+            Opcode::StW,
+            vec![],
+            vec![VReg(1).into(), VReg(0).into()],
+        ));
+        assert_eq!(b.defs().collect::<Vec<_>>(), vec![VReg(1)]);
+    }
+}

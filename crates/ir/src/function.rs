@@ -1,0 +1,224 @@
+//! Functions, the control-flow graph and liveness analysis.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::inst::VReg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A function: named, with parameter registers and a CFG of basic blocks.
+/// Block 0 is the entry.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{Function, FunctionBuilder};
+///
+/// let mut fb = FunctionBuilder::new("double", 1);
+/// let x = fb.param(0);
+/// let d = fb.add(x, x);
+/// fb.ret(&[d.into()]);
+/// let f: Function = fb.finish();
+/// assert_eq!(f.name, "double");
+/// assert_eq!(f.blocks.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (used in reports and the experiment index).
+    pub name: String,
+    /// Parameter registers, live into the entry block.
+    pub params: Vec<VReg>,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// One past the highest virtual register number in use.
+    pub vreg_count: u32,
+}
+
+/// Per-block live-in/live-out register sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Liveness {
+    /// `live_in[b]`: registers whose values are needed on entry to block `b`.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// `live_out[b]`: registers whose values are needed after block `b`.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+impl Function {
+    /// Predecessor lists of every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Classic backward iterative liveness over the CFG.
+    ///
+    /// Within a block, uses and defs are processed in reverse order; the
+    /// terminator's uses count as uses at the end of the block.
+    pub fn liveness(&self) -> Liveness {
+        let n = self.blocks.len();
+        // use[b]: used before any def in b; def[b]: defined in b.
+        let mut use_set = vec![BTreeSet::new(); n];
+        let mut def_set = vec![BTreeSet::new(); n];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                for (_, r) in inst.reg_srcs() {
+                    if !def_set[bi].contains(&r) {
+                        use_set[bi].insert(r);
+                    }
+                }
+                for &d in &inst.dsts {
+                    def_set[bi].insert(d);
+                }
+            }
+            for r in b.term.uses() {
+                if !def_set[bi].contains(&r) {
+                    use_set[bi].insert(r);
+                }
+            }
+        }
+        let mut live_in: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = BTreeSet::new();
+                for s in self.blocks[bi].term.successors() {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = use_set[bi].clone();
+                for &r in &out {
+                    if !def_set[bi].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "func {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ")")?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{bi}:  ; weight {}", b.weight)?;
+            for inst in &b.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            match &b.term {
+                crate::block::Terminator::Jump(t) => writeln!(f, "    jmp {t}")?,
+                crate::block::Terminator::Branch { cond, taken, not_taken } => {
+                    writeln!(f, "    br {cond}, {taken}, {not_taken}")?
+                }
+                crate::block::Terminator::Ret(vals) => {
+                    write!(f, "    ret")?;
+                    for (i, v) in vals.iter().enumerate() {
+                        write!(f, "{} {v}", if i == 0 { "" } else { "," })?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+    use crate::builder::FunctionBuilder;
+
+    /// loop: acc = acc + x; i = i - 1; if i != 0 goto loop else exit
+    fn loop_function() -> Function {
+        let mut fb = FunctionBuilder::new("loop", 2);
+        let x = fb.param(0);
+        let n = fb.param(1);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+
+        // entry
+        let acc0 = fb.mov(0i64);
+        fb.jump(body);
+
+        fb.switch_to(body);
+        // Non-SSA loop-carried values: redefinitions of acc and i.
+        let acc = fb.add(acc0, x);
+        fb.copy_to(acc0, acc); // acc0 = acc
+        let n2 = fb.sub(n, 1i64);
+        fb.copy_to(n, n2);
+        let c = fb.ne(n, 0i64);
+        fb.branch(c, body, exit);
+
+        fb.switch_to(exit);
+        fb.ret(&[acc0.into()]);
+        fb.finish()
+    }
+
+    #[test]
+    fn predecessors_of_loop() {
+        let f = loop_function();
+        let preds = f.predecessors();
+        // body (block 1) has preds entry (0) and itself.
+        assert!(preds[1].contains(&BlockId(0)));
+        assert!(preds[1].contains(&BlockId(1)));
+        // exit (block 2) has pred body.
+        assert_eq!(preds[2], vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn liveness_carries_loop_variables() {
+        let f = loop_function();
+        let lv = f.liveness();
+        let x = f.params[0];
+        let n = f.params[1];
+        // x and n are live into the loop body.
+        assert!(lv.live_in[1].contains(&x));
+        assert!(lv.live_in[1].contains(&n));
+        // x is live out of the body (used again next iteration).
+        assert!(lv.live_out[1].contains(&x));
+    }
+
+    #[test]
+    fn ret_values_are_live() {
+        let f = loop_function();
+        let lv = f.liveness();
+        // The returned accumulator is live into the exit block.
+        let Terminator::Ret(vals) = &f.blocks[2].term else {
+            panic!("exit must return")
+        };
+        let r = vals[0].reg().unwrap();
+        assert!(lv.live_in[2].contains(&r));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let f = loop_function();
+        let s = f.to_string();
+        assert!(s.contains("func loop"));
+        assert!(s.contains("weight 100"));
+        assert!(s.contains("br "));
+    }
+}

@@ -1,0 +1,247 @@
+//! Virtual registers, operands and instructions.
+
+use crate::opcode::Opcode;
+use serde::{Deserialize, Serialize};
+
+/// A virtual register.
+///
+/// The input to the customization pipeline is deliberately *pre* register
+/// allocation ("the code ... has not passed through register allocation,
+/// which is important so that false dependences within the DFG are not
+/// created"), so the IR names an unbounded supply of virtual registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Dense index of the register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A source operand: a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Value produced by an instruction (or live into the function).
+    Reg(VReg),
+    /// Immediate constant; 32-bit payloads are stored sign-agnostically as
+    /// `i64` and truncated at evaluation time.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Returns the register, if this is a register operand.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the immediate, if this is an immediate operand.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+
+    /// True if this is an immediate operand.
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v as i64)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v as i64)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// One (unscheduled) assembly instruction.
+///
+/// Most operations define exactly one register; stores define none and
+/// custom-function-unit invocations may define up to the machine's output
+/// port limit.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{Inst, Opcode, Operand, VReg};
+///
+/// let i = Inst::new(Opcode::Add, vec![VReg(2)], vec![VReg(0).into(), Operand::Imm(4)]);
+/// assert_eq!(i.to_string(), "add v2, v0, #4");
+/// assert_eq!(i.dst(), Some(VReg(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Destination registers.
+    pub dsts: Vec<VReg>,
+    /// Source operands, in port order.
+    pub srcs: Vec<Operand>,
+}
+
+impl Inst {
+    /// Creates an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand or result count contradicts the opcode (custom
+    /// opcodes are exempt — their shape is dictated by the machine
+    /// description).
+    pub fn new(opcode: Opcode, dsts: Vec<VReg>, srcs: Vec<Operand>) -> Self {
+        if !opcode.is_custom() {
+            assert_eq!(
+                srcs.len(),
+                opcode.arity(),
+                "{opcode} expects {} sources, got {}",
+                opcode.arity(),
+                srcs.len()
+            );
+            assert_eq!(
+                dsts.len(),
+                opcode.result_count(),
+                "{opcode} expects {} destinations, got {}",
+                opcode.result_count(),
+                dsts.len()
+            );
+        }
+        Inst { opcode, dsts, srcs }
+    }
+
+    /// First (usually only) destination register.
+    pub fn dst(&self) -> Option<VReg> {
+        self.dsts.first().copied()
+    }
+
+    /// Iterates over the register source operands (skipping immediates),
+    /// yielding `(port, reg)`.
+    pub fn reg_srcs(&self) -> impl Iterator<Item = (u8, VReg)> + '_ {
+        self.srcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.reg().map(|r| (i as u8, r)))
+    }
+
+    /// The immediates hardwired into this instruction, as `(port, value)`.
+    pub fn imm_srcs(&self) -> impl Iterator<Item = (u8, i64)> + '_ {
+        self.srcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.imm().map(|v| (i as u8, v)))
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        for d in &self.dsts {
+            write!(f, "{} {d}", if first { "" } else { "," })?;
+            first = false;
+        }
+        // Custom operations have a variable shape, so the textual form
+        // separates destinations from sources explicitly.
+        if self.opcode.is_custom() {
+            write!(f, " <-")?;
+            first = true;
+        }
+        for s in &self.srcs {
+            write!(f, "{} {s}", if first { "" } else { "," })?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_store() {
+        let st = Inst::new(
+            Opcode::StW,
+            vec![],
+            vec![VReg(1).into(), VReg(2).into()],
+        );
+        assert_eq!(st.to_string(), "stw v1, v2");
+        assert_eq!(st.dst(), None);
+    }
+
+    #[test]
+    fn reg_and_imm_sources() {
+        let i = Inst::new(Opcode::Shl, vec![VReg(9)], vec![VReg(3).into(), 4i64.into()]);
+        assert_eq!(i.reg_srcs().collect::<Vec<_>>(), vec![(0, VReg(3))]);
+        assert_eq!(i.imm_srcs().collect::<Vec<_>>(), vec![(1, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 sources")]
+    fn arity_is_enforced() {
+        let _ = Inst::new(Opcode::Add, vec![VReg(0)], vec![VReg(1).into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 0 destinations")]
+    fn store_has_no_destination() {
+        let _ = Inst::new(Opcode::StW, vec![VReg(0)], vec![VReg(1).into(), VReg(2).into()]);
+    }
+
+    #[test]
+    fn custom_shape_is_free() {
+        let i = Inst::new(
+            Opcode::Custom(0),
+            vec![VReg(1), VReg(2)],
+            vec![VReg(3).into(), VReg(4).into(), VReg(5).into(), 7i64.into()],
+        );
+        assert_eq!(i.dsts.len(), 2);
+        assert_eq!(i.srcs.len(), 4);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = VReg(3).into();
+        assert_eq!(o.reg(), Some(VReg(3)));
+        let o: Operand = 5i32.into();
+        assert_eq!(o.imm(), Some(5));
+        assert!(o.is_imm());
+        let o: Operand = 0xFFFF_FFFFu32.into();
+        assert_eq!(o.imm(), Some(0xFFFF_FFFF));
+    }
+}

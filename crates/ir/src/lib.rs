@@ -1,0 +1,61 @@
+//! Generic RISC intermediate representation for the `isax` suite.
+//!
+//! The MICRO-2003 customization system consumes "profiled assembly code
+//! \[that\] has not been scheduled and has not passed through register
+//! allocation". This crate defines exactly that input language:
+//!
+//! * a small ARM7-like operation set ([`Opcode`]) with the structural
+//!   properties later stages query — commutativity, identity elements,
+//!   wildcard classes, issue slots;
+//! * unscheduled instructions over virtual registers ([`Inst`], [`VReg`]);
+//! * basic blocks with profile weights and explicit terminators
+//!   ([`BasicBlock`], [`Terminator`]) forming a CFG ([`Function`],
+//!   [`Program`]);
+//! * per-block dataflow graphs with dependence, slack, convexity and
+//!   port-count analysis ([`Dfg`]) — the data structure every pipeline
+//!   stage is built around;
+//! * an ergonomic [`FunctionBuilder`] used to author the benchmark
+//!   kernels, and a [`verify`] pass that catches malformed IR.
+//!
+//! # Example: build a kernel and inspect its dataflow graph
+//!
+//! ```
+//! use isax_ir::{Dfg, FunctionBuilder, function_dfgs};
+//!
+//! let mut fb = FunctionBuilder::new("round", 2);
+//! let x = fb.param(0);
+//! let k = fb.param(1);
+//! let t = fb.xor(x, k);
+//! let r = fb.ror(t, 7i64);
+//! let y = fb.add(r, k);
+//! fb.ret(&[y.into()]);
+//! let f = fb.finish();
+//!
+//! let dfgs = function_dfgs(&f);
+//! assert_eq!(dfgs[0].len(), 3);
+//! let info = dfgs[0].schedule_info(|_| 1);
+//! assert_eq!(info.length, 3); // a pure dependence chain
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod builder;
+pub mod dfg;
+pub mod function;
+pub mod inst;
+pub mod opcode;
+pub mod parse;
+pub mod program;
+pub mod verify;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::FunctionBuilder;
+pub use dfg::{function_dfgs, Dfg, DfgLabel, SlackInfo};
+pub use function::{Function, Liveness};
+pub use inst::{Inst, Operand, VReg};
+pub use opcode::{eval, FuKind, OpClass, Opcode};
+pub use parse::{parse_function, parse_program, ParseError};
+pub use program::{CfuSemantics, Program, SemOp, SemSrc};
+pub use verify::{verify_function, verify_program, VerifyError};

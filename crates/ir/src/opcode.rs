@@ -1,0 +1,532 @@
+//! The primitive operation set of the generic RISC target.
+//!
+//! The paper's system consumes "profiled assembly code" for "a generic RISC
+//! architecture, such as Add, Or, and Load" with an instruction set
+//! "similar to ... the ARM-7". This module defines that operation set
+//! together with the structural properties every later stage queries:
+//! operand arity, commutativity, identity elements (for subsumed-subgraph
+//! contraction), opcode classes (for wildcard generalization) and the VLIW
+//! function-unit slot each operation issues to.
+
+use serde::{Deserialize, Serialize};
+
+/// Which VLIW issue slot an operation occupies.
+///
+/// The baseline machine of the paper is a four-wide VLIW issuing one
+/// integer, one floating-point, one memory and one branch operation per
+/// cycle; custom function units share the **integer** slot so speedups are
+/// attributable to the custom instructions rather than to added issue
+/// width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU slot (also used by custom function units).
+    Int,
+    /// Floating-point slot (present in the machine model; unused by the
+    /// integer kernels).
+    Float,
+    /// Memory (load/store) slot.
+    Mem,
+    /// Branch slot (occupied by block terminators).
+    Branch,
+}
+
+/// Wildcard opcode classes (§5, "opcode classes are groups of opcodes that
+/// can match each node of a CFU graph").
+///
+/// Operations in the same class are "similar in their hardware
+/// implementation or ... can be added with little cost overhead", so a CFU
+/// node can be generalized to its class to make the unit multifunctional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Adders: `ADD` and `SUB` share a carry chain.
+    AddSub,
+    /// Bitwise logic: `AND`, `OR`, `XOR`, `ANDN`, `NOT`.
+    Logical,
+    /// Barrel-shifter family: `SHL`, `SHR`, `SAR`, `ROR`.
+    Shift,
+    /// Comparisons producing 0/1.
+    Compare,
+    /// Multiply/divide array.
+    MulDiv,
+    /// Select / conditional-move.
+    Select,
+    /// Moves and sub-word extensions (wiring).
+    Move,
+    /// Memory accesses (never inside a CFU).
+    Mem,
+}
+
+/// A primitive operation of the baseline instruction set.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{Opcode, OpClass};
+///
+/// assert!(Opcode::Add.is_commutative());
+/// assert!(!Opcode::Sub.is_commutative());
+/// assert_eq!(Opcode::Add.class(), OpClass::AddSub);
+/// assert_eq!(Opcode::Add.arity(), 2);
+/// assert!(Opcode::LdW.is_memory());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Opcode {
+    /// `d = a + b` (wrapping 32-bit).
+    Add,
+    /// `d = a - b`.
+    Sub,
+    /// `d = a * b` (low 32 bits).
+    Mul,
+    /// `d = a / b` (signed; traps on zero in hardware, defined as 0 here).
+    Div,
+    /// `d = a % b` (signed; 0 when `b == 0`).
+    Rem,
+    /// `d = a & b`.
+    And,
+    /// `d = a | b`.
+    Or,
+    /// `d = a ^ b`.
+    Xor,
+    /// `d = a & !b` (ARM `BIC`).
+    AndN,
+    /// `d = !a` (bitwise complement).
+    Not,
+    /// `d = a << (b & 31)`.
+    Shl,
+    /// `d = a >> (b & 31)` (logical).
+    Shr,
+    /// `d = a >> (b & 31)` (arithmetic).
+    Sar,
+    /// `d = rotate_right(a, b & 31)`.
+    Ror,
+    /// `d = (a == b) ? 1 : 0`.
+    Eq,
+    /// `d = (a != b) ? 1 : 0`.
+    Ne,
+    /// `d = (a < b) ? 1 : 0` (signed).
+    Lt,
+    /// `d = (a <= b) ? 1 : 0` (signed).
+    Le,
+    /// `d = (a > b) ? 1 : 0` (signed).
+    Gt,
+    /// `d = (a >= b) ? 1 : 0` (signed).
+    Ge,
+    /// `d = (a < b) ? 1 : 0` (unsigned).
+    Ltu,
+    /// `d = (a <= b) ? 1 : 0` (unsigned).
+    Leu,
+    /// `d = (a > b) ? 1 : 0` (unsigned).
+    Gtu,
+    /// `d = (a >= b) ? 1 : 0` (unsigned).
+    Geu,
+    /// `d = c != 0 ? a : b` (3 inputs: c, a, b).
+    Select,
+    /// `d = a` (register copy or immediate materialization).
+    Mov,
+    /// `d = sign_extend_8(a)`.
+    SxtB,
+    /// `d = sign_extend_16(a)`.
+    SxtH,
+    /// `d = a & 0xFF`.
+    ZxtB,
+    /// `d = a & 0xFFFF`.
+    ZxtH,
+    /// `d = sign_extend_8(mem[a])`.
+    LdB,
+    /// `d = zero_extend_8(mem[a])`.
+    LdBu,
+    /// `d = sign_extend_16(mem[a])`.
+    LdH,
+    /// `d = zero_extend_16(mem[a])`.
+    LdHu,
+    /// `d = mem32[a]`.
+    LdW,
+    /// `mem8[a] = b`.
+    StB,
+    /// `mem16[a] = b`.
+    StH,
+    /// `mem32[a] = b`.
+    StW,
+    /// Custom function unit invocation; the payload is the CFU id from the
+    /// machine description. Inserted only by the compiler's replacement
+    /// pass — never written by hand.
+    Custom(u16),
+}
+
+impl Opcode {
+    /// All non-custom opcodes, in declaration order.
+    pub const ALL: [Opcode; 38] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::AndN,
+        Opcode::Not,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::Ror,
+        Opcode::Eq,
+        Opcode::Ne,
+        Opcode::Lt,
+        Opcode::Le,
+        Opcode::Gt,
+        Opcode::Ge,
+        Opcode::Ltu,
+        Opcode::Leu,
+        Opcode::Gtu,
+        Opcode::Geu,
+        Opcode::Select,
+        Opcode::Mov,
+        Opcode::SxtB,
+        Opcode::SxtH,
+        Opcode::ZxtB,
+        Opcode::ZxtH,
+        Opcode::LdB,
+        Opcode::LdBu,
+        Opcode::LdH,
+        Opcode::LdHu,
+        Opcode::LdW,
+        Opcode::StB,
+        Opcode::StH,
+        Opcode::StW,
+    ];
+
+    /// Number of source operands.
+    pub fn arity(self) -> usize {
+        use Opcode::*;
+        match self {
+            Not | Mov | SxtB | SxtH | ZxtB | ZxtH | LdB | LdBu | LdH | LdHu | LdW => 1,
+            Select => 3,
+            Custom(_) => usize::MAX, // variable; validated against the MDES
+            _ => 2,
+        }
+    }
+
+    /// Number of destination registers (0 for stores, 1 otherwise; custom
+    /// operations are variable).
+    pub fn result_count(self) -> usize {
+        use Opcode::*;
+        match self {
+            StB | StH | StW => 0,
+            Custom(_) => usize::MAX,
+            _ => 1,
+        }
+    }
+
+    /// True when the operand order is semantically irrelevant.
+    pub fn is_commutative(self) -> bool {
+        use Opcode::*;
+        matches!(self, Add | Mul | And | Or | Xor | Eq | Ne)
+    }
+
+    /// True for loads and stores.
+    pub fn is_memory(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// True for loads.
+    pub fn is_load(self) -> bool {
+        use Opcode::*;
+        matches!(self, LdB | LdBu | LdH | LdHu | LdW)
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        use Opcode::*;
+        matches!(self, StB | StH | StW)
+    }
+
+    /// True for the custom-instruction pseudo-opcode.
+    pub fn is_custom(self) -> bool {
+        matches!(self, Opcode::Custom(_))
+    }
+
+    /// The issue slot this operation occupies.
+    pub fn fu(self) -> FuKind {
+        if self.is_memory() {
+            FuKind::Mem
+        } else {
+            // Custom function units deliberately share the integer slot.
+            FuKind::Int
+        }
+    }
+
+    /// Wildcard class of the operation.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub => OpClass::AddSub,
+            And | Or | Xor | AndN | Not => OpClass::Logical,
+            Shl | Shr | Sar | Ror => OpClass::Shift,
+            Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu => OpClass::Compare,
+            Mul | Div | Rem => OpClass::MulDiv,
+            Select => OpClass::Select,
+            Mov | SxtB | SxtH | ZxtB | ZxtH => OpClass::Move,
+            LdB | LdBu | LdH | LdHu | LdW | StB | StH | StW => OpClass::Mem,
+            Custom(_) => OpClass::Move, // never classed in practice
+        }
+    }
+
+    /// Identity-element description used by subsumed-subgraph contraction:
+    /// if `Some((pass, ident))`, setting source port `1 - pass` — or, for
+    /// one-input shapes, the documented constant — to `ident` makes the
+    /// operation forward source port `pass` unchanged.
+    ///
+    /// Examples: `x + 0 = x`, `x - 0 = x`, `x ^ 0 = x`, `x | 0 = x`,
+    /// `x & 0xFFFF_FFFF = x`, `x << 0 = x`, `x * 1 = x`.
+    ///
+    /// Commutative operations may pass either port; this returns the
+    /// canonical `(pass = 0, ident)` and callers consult
+    /// [`Opcode::is_commutative`] for the symmetric case.
+    pub fn identity(self) -> Option<(u8, u32)> {
+        use Opcode::*;
+        match self {
+            Add | Or | Xor => Some((0, 0)),
+            Sub => Some((0, 0)),
+            And => Some((0, u32::MAX)),
+            AndN => Some((0, 0)),
+            Shl | Shr | Sar | Ror => Some((0, 0)),
+            Mul => Some((0, 1)),
+            _ => None,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            AndN => "andn",
+            Not => "not",
+            Shl => "shl",
+            Shr => "shr",
+            Sar => "sar",
+            Ror => "ror",
+            Eq => "eq",
+            Ne => "ne",
+            Lt => "lt",
+            Le => "le",
+            Gt => "gt",
+            Ge => "ge",
+            Ltu => "ltu",
+            Leu => "leu",
+            Gtu => "gtu",
+            Geu => "geu",
+            Select => "sel",
+            Mov => "mov",
+            SxtB => "sxtb",
+            SxtH => "sxth",
+            ZxtB => "zxtb",
+            ZxtH => "zxth",
+            LdB => "ldb",
+            LdBu => "ldbu",
+            LdH => "ldh",
+            LdHu => "ldhu",
+            LdW => "ldw",
+            StB => "stb",
+            StH => "sth",
+            StW => "stw",
+            Custom(_) => "cfu",
+        }
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Opcode::Custom(id) = self {
+            write!(f, "cfu{id}")
+        } else {
+            f.write_str(self.mnemonic())
+        }
+    }
+}
+
+/// Evaluates a (non-memory, non-custom) opcode on 32-bit values.
+///
+/// This is the single source of truth for operation semantics: the
+/// functional interpreter, the custom-instruction expansion evaluator and
+/// the subsumption identity checks all call it.
+///
+/// # Panics
+///
+/// Panics if called with a memory or custom opcode, or with the wrong
+/// number of operands.
+pub fn eval(op: Opcode, args: &[u32]) -> u32 {
+    use Opcode::*;
+    let a = |i: usize| args[i];
+    let s = |i: usize| args[i] as i32;
+    match op {
+        Add => a(0).wrapping_add(a(1)),
+        Sub => a(0).wrapping_sub(a(1)),
+        Mul => a(0).wrapping_mul(a(1)),
+        Div => {
+            if a(1) == 0 {
+                0
+            } else if s(0) == i32::MIN && s(1) == -1 {
+                s(0) as u32
+            } else {
+                (s(0) / s(1)) as u32
+            }
+        }
+        Rem => {
+            if a(1) == 0 {
+                0
+            } else if s(0) == i32::MIN && s(1) == -1 {
+                0
+            } else {
+                (s(0) % s(1)) as u32
+            }
+        }
+        And => a(0) & a(1),
+        Or => a(0) | a(1),
+        Xor => a(0) ^ a(1),
+        AndN => a(0) & !a(1),
+        Not => !a(0),
+        Shl => a(0).wrapping_shl(a(1) & 31),
+        Shr => a(0).wrapping_shr(a(1) & 31),
+        Sar => (s(0) >> (a(1) & 31)) as u32,
+        Ror => a(0).rotate_right(a(1) & 31),
+        Eq => (a(0) == a(1)) as u32,
+        Ne => (a(0) != a(1)) as u32,
+        Lt => (s(0) < s(1)) as u32,
+        Le => (s(0) <= s(1)) as u32,
+        Gt => (s(0) > s(1)) as u32,
+        Ge => (s(0) >= s(1)) as u32,
+        Ltu => (a(0) < a(1)) as u32,
+        Leu => (a(0) <= a(1)) as u32,
+        Gtu => (a(0) > a(1)) as u32,
+        Geu => (a(0) >= a(1)) as u32,
+        Select => {
+            if a(0) != 0 {
+                a(1)
+            } else {
+                a(2)
+            }
+        }
+        Mov => a(0),
+        SxtB => a(0) as u8 as i8 as i32 as u32,
+        SxtH => a(0) as u16 as i16 as i32 as u32,
+        ZxtB => a(0) & 0xFF,
+        ZxtH => a(0) & 0xFFFF,
+        LdB | LdBu | LdH | LdHu | LdW | StB | StH | StW => {
+            panic!("memory opcode {op} cannot be evaluated without a memory")
+        }
+        Custom(id) => panic!("custom opcode cfu{id} requires registered semantics"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        for op in Opcode::ALL {
+            if op.is_memory() || op == Opcode::Select {
+                continue;
+            }
+            let args = vec![5u32; op.arity()];
+            let _ = eval(op, &args); // must not panic
+        }
+    }
+
+    #[test]
+    fn commutative_ops_commute_in_eval() {
+        for op in Opcode::ALL {
+            if !op.is_commutative() {
+                continue;
+            }
+            for (x, y) in [(3u32, 9u32), (0, u32::MAX), (0x8000_0000, 1)] {
+                assert_eq!(eval(op, &[x, y]), eval(op, &[y, x]), "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn identities_actually_pass_through() {
+        for op in Opcode::ALL {
+            let Some((pass, ident)) = op.identity() else {
+                continue;
+            };
+            assert_eq!(pass, 0, "canonical pass port is 0");
+            for x in [0u32, 1, 42, 0xdead_beef, u32::MAX] {
+                let out = eval(op, &[x, ident]);
+                assert_eq!(out, x, "{op} with identity {ident:#x} must pass x");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_semantics() {
+        assert_eq!(eval(Opcode::Shl, &[1, 4]), 16);
+        assert_eq!(eval(Opcode::Shr, &[0x8000_0000, 31]), 1);
+        assert_eq!(eval(Opcode::Sar, &[0x8000_0000, 31]), u32::MAX);
+        assert_eq!(eval(Opcode::Ror, &[0x1, 1]), 0x8000_0000);
+        // shift amounts are masked to 5 bits, like ARM/RISC cores
+        assert_eq!(eval(Opcode::Shl, &[1, 33]), 2);
+    }
+
+    #[test]
+    fn division_edge_cases_are_total() {
+        assert_eq!(eval(Opcode::Div, &[7, 0]), 0);
+        assert_eq!(eval(Opcode::Rem, &[7, 0]), 0);
+        assert_eq!(eval(Opcode::Div, &[i32::MIN as u32, (-1i32) as u32]), i32::MIN as u32);
+        assert_eq!(eval(Opcode::Rem, &[i32::MIN as u32, (-1i32) as u32]), 0);
+    }
+
+    #[test]
+    fn sign_extensions() {
+        assert_eq!(eval(Opcode::SxtB, &[0x80]), 0xFFFF_FF80);
+        assert_eq!(eval(Opcode::SxtH, &[0x8000]), 0xFFFF_8000);
+        assert_eq!(eval(Opcode::ZxtB, &[0x1FF]), 0xFF);
+        assert_eq!(eval(Opcode::ZxtH, &[0x1_FFFF]), 0xFFFF);
+    }
+
+    #[test]
+    fn comparisons_signed_vs_unsigned() {
+        let neg1 = (-1i32) as u32;
+        assert_eq!(eval(Opcode::Lt, &[neg1, 1]), 1);
+        assert_eq!(eval(Opcode::Ltu, &[neg1, 1]), 0);
+        assert_eq!(eval(Opcode::Ge, &[neg1, 1]), 0);
+        assert_eq!(eval(Opcode::Geu, &[neg1, 1]), 1);
+    }
+
+    #[test]
+    fn select_picks_by_condition() {
+        assert_eq!(eval(Opcode::Select, &[1, 10, 20]), 10);
+        assert_eq!(eval(Opcode::Select, &[0, 10, 20]), 20);
+        assert_eq!(eval(Opcode::Select, &[0xFFFF, 10, 20]), 10);
+    }
+
+    #[test]
+    fn fu_slots() {
+        assert_eq!(Opcode::Add.fu(), FuKind::Int);
+        assert_eq!(Opcode::LdW.fu(), FuKind::Mem);
+        assert_eq!(Opcode::StB.fu(), FuKind::Mem);
+        assert_eq!(Opcode::Custom(3).fu(), FuKind::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory opcode")]
+    fn eval_rejects_memory_ops() {
+        let _ = eval(Opcode::LdW, &[0]);
+    }
+
+    #[test]
+    fn display_custom() {
+        assert_eq!(Opcode::Custom(7).to_string(), "cfu7");
+        assert_eq!(Opcode::AndN.to_string(), "andn");
+    }
+}

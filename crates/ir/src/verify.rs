@@ -1,0 +1,239 @@
+//! Structural validation of IR programs.
+//!
+//! The verifier catches malformed IR early — chiefly hand-authoring
+//! mistakes in workload kernels and compiler-pass bugs (a replacement pass
+//! that drops a definition, a terminator pointing at a removed block).
+
+use crate::block::Terminator;
+use crate::inst::VReg;
+use crate::program::Program;
+use crate::Function;
+use std::collections::BTreeSet;
+
+/// A single verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function the error occurred in.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "in {}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a function. Checks:
+///
+/// * operand/destination counts match each opcode's shape,
+/// * terminator targets are in range,
+/// * every used register has *some* definition (a parameter or a
+///   definition in any block — the IR is not SSA, so flow-sensitive
+///   undefined-use detection is done only for the entry block),
+/// * virtual register numbers stay below `vreg_count`.
+///
+/// # Errors
+///
+/// Returns all problems found (empty `Ok` means the function is
+/// well-formed).
+pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    fn push_err(errors: &mut Vec<VerifyError>, fname: &str, msg: String) {
+        errors.push(VerifyError {
+            function: fname.to_string(),
+            message: msg,
+        });
+    }
+    macro_rules! err {
+        ($($t:tt)*) => { push_err(&mut errors, &f.name, format!($($t)*)) };
+    }
+
+    let mut defined: BTreeSet<VReg> = f.params.iter().copied().collect();
+    for b in &f.blocks {
+        defined.extend(b.defs());
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        // Flow-sensitive check in the entry block only (conservative but
+        // catches the common authoring mistake).
+        let mut seen: BTreeSet<VReg> = f.params.iter().copied().collect();
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if !inst.opcode.is_custom() {
+                if inst.srcs.len() != inst.opcode.arity() {
+                    err!("b{bi}:{ii} {}: wrong operand count", inst.opcode);
+                }
+                if inst.dsts.len() != inst.opcode.result_count() {
+                    err!("b{bi}:{ii} {}: wrong result count", inst.opcode);
+                }
+            }
+            for (_, r) in inst.reg_srcs() {
+                if r.0 >= f.vreg_count {
+                    err!("b{bi}:{ii}: register {r} out of range");
+                }
+                if !defined.contains(&r) {
+                    err!("b{bi}:{ii}: use of undefined register {r}");
+                }
+                if bi == 0 && !seen.contains(&r) && !defined_in_later_block(f, r) {
+                    err!("b{bi}:{ii}: use of {r} before its definition");
+                }
+            }
+            for &d in &inst.dsts {
+                if d.0 >= f.vreg_count {
+                    err!("b{bi}:{ii}: destination {d} out of range");
+                }
+                seen.insert(d);
+            }
+        }
+        let check_target = |t: crate::BlockId, errors: &mut Vec<VerifyError>| {
+            if t.index() >= f.blocks.len() {
+                errors.push(VerifyError {
+                    function: f.name.clone(),
+                    message: format!("b{bi}: terminator targets unknown block {t}"),
+                });
+            }
+        };
+        match &b.term {
+            Terminator::Jump(t) => check_target(*t, &mut errors),
+            Terminator::Branch { cond, taken, not_taken } => {
+                check_target(*taken, &mut errors);
+                check_target(*not_taken, &mut errors);
+                if !defined.contains(cond) {
+                    err!("b{bi}: branch on undefined register {cond}");
+                }
+            }
+            Terminator::Ret(vals) => {
+                for v in vals {
+                    if let Some(r) = v.reg() {
+                        if !defined.contains(&r) {
+                            err!("b{bi}: return of undefined register {r}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn defined_in_later_block(f: &Function, r: VReg) -> bool {
+    f.blocks.iter().skip(1).any(|b| b.defs().any(|d| d == r))
+}
+
+/// Verifies every function of a program, and that every custom opcode used
+/// has registered semantics.
+///
+/// # Errors
+///
+/// Returns the concatenated error list from all functions.
+pub fn verify_program(p: &Program) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    for f in &p.functions {
+        if let Err(mut e) = verify_function(f) {
+            errors.append(&mut e);
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if let crate::Opcode::Custom(id) = inst.opcode {
+                    if !p.cfu_semantics.contains_key(&id) {
+                        errors.push(VerifyError {
+                            function: f.name.clone(),
+                            message: format!("b{bi}:{ii}: cfu{id} has no registered semantics"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut fb = FunctionBuilder::new("ok", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let c = fb.add(a, b);
+        fb.ret(&[c.into()]);
+        assert!(verify_function(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn undefined_use_detected() {
+        let mut fb = FunctionBuilder::new("bad", 1);
+        let a = fb.param(0);
+        let ghost = VReg(99);
+        fb.push(Inst::new(Opcode::Add, vec![VReg(50)], vec![a.into(), ghost.into()]));
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        f.vreg_count = 100;
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undefined register v99")));
+    }
+
+    #[test]
+    fn out_of_range_register_detected() {
+        let mut fb = FunctionBuilder::new("bad", 1);
+        let a = fb.param(0);
+        fb.push(Inst::new(Opcode::Mov, vec![VReg(1000)], vec![a.into()]));
+        fb.ret(&[]);
+        let f = fb.finish();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn bad_branch_target_detected() {
+        let mut fb = FunctionBuilder::new("bad", 1);
+        let a = fb.param(0);
+        let c = fb.ne(a, 0i64);
+        fb.branch(c, crate::BlockId(7), crate::BlockId(0));
+        let f = fb.finish();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown block b7")));
+    }
+
+    #[test]
+    fn custom_without_semantics_detected() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let a = fb.param(0);
+        fb.push(Inst::new(Opcode::Custom(3), vec![VReg(1)], vec![a.into()]));
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        f.vreg_count = 2;
+        let p = Program::new(vec![f]);
+        let errs = verify_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("cfu3 has no registered semantics")));
+    }
+
+    #[test]
+    fn use_before_def_in_entry_detected() {
+        let mut fb = FunctionBuilder::new("bad", 0);
+        let r = fb.fresh();
+        let _x = fb.add(r, 1i64); // r defined only *after* this use
+        let r2 = fb.mov(5i64);
+        fb.copy_to(r, r2);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("before its definition")));
+    }
+}

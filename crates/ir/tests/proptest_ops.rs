@@ -1,0 +1,90 @@
+//! Algebraic properties of the operation semantics — the single source of
+//! truth every other layer (interpreter, CFU semantics, subsumption)
+//! relies on.
+
+use isax_ir::{eval, Opcode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every opcode flagged commutative really commutes.
+    #[test]
+    fn commutativity_flag_is_truthful(x in any::<u32>(), y in any::<u32>()) {
+        for op in Opcode::ALL {
+            if op.is_commutative() {
+                prop_assert_eq!(eval(op, &[x, y]), eval(op, &[y, x]), "{}", op);
+            }
+        }
+    }
+
+    /// Every declared identity element actually passes the value through
+    /// — the soundness premise of subsumed-subgraph contraction.
+    #[test]
+    fn identity_elements_pass_through(x in any::<u32>()) {
+        for op in Opcode::ALL {
+            if let Some((pass, ident)) = op.identity() {
+                prop_assert_eq!(pass, 0);
+                prop_assert_eq!(eval(op, &[x, ident]), x, "{}", op);
+                if op.is_commutative() {
+                    prop_assert_eq!(eval(op, &[ident, x]), x, "{} swapped", op);
+                }
+            }
+        }
+    }
+
+    /// Shift amounts are masked to five bits, as the ISA documents.
+    #[test]
+    fn shift_amounts_are_masked(x in any::<u32>(), s in any::<u32>()) {
+        for op in [Opcode::Shl, Opcode::Shr, Opcode::Sar, Opcode::Ror] {
+            prop_assert_eq!(eval(op, &[x, s]), eval(op, &[x, s & 31]), "{}", op);
+        }
+    }
+
+    /// Comparison results are boolean and mutually consistent.
+    #[test]
+    fn comparisons_are_consistent(x in any::<u32>(), y in any::<u32>()) {
+        let b = |op| eval(op, &[x, y]);
+        for op in [Opcode::Eq, Opcode::Ne, Opcode::Lt, Opcode::Le, Opcode::Gt,
+                   Opcode::Ge, Opcode::Ltu, Opcode::Leu, Opcode::Gtu, Opcode::Geu] {
+            prop_assert!(b(op) <= 1);
+        }
+        prop_assert_eq!(b(Opcode::Eq) ^ b(Opcode::Ne), 1);
+        prop_assert_eq!(b(Opcode::Lt) ^ b(Opcode::Ge), 1);
+        prop_assert_eq!(b(Opcode::Ltu) ^ b(Opcode::Geu), 1);
+        prop_assert_eq!(b(Opcode::Le) ^ b(Opcode::Gt), 1);
+        prop_assert_eq!(b(Opcode::Leu) ^ b(Opcode::Gtu), 1);
+        // Unsigned strict order agrees with native comparison.
+        prop_assert_eq!(b(Opcode::Ltu), (x < y) as u32);
+        prop_assert_eq!(b(Opcode::Lt), ((x as i32) < (y as i32)) as u32);
+    }
+
+    /// Rotation decomposes into the shift/or diamond the kernels use.
+    #[test]
+    fn rotate_is_the_shift_or_diamond(x in any::<u32>(), s in 1u32..31) {
+        let rot = eval(Opcode::Ror, &[x, s]);
+        let lo = eval(Opcode::Shr, &[x, s]);
+        let hi = eval(Opcode::Shl, &[x, 32 - s]);
+        prop_assert_eq!(rot, lo | hi);
+    }
+
+    /// AndN is the BIC identity used by SHA-1's choose function.
+    #[test]
+    fn andn_matches_definition(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(eval(Opcode::AndN, &[x, y]), x & !y);
+        // choose(b, c, d) = (b & c) | (~b & d), both spellings agree:
+        let (b, c, d) = (x, y, x.rotate_left(7));
+        let via_andn = (b & c) | eval(Opcode::AndN, &[d, b]);
+        let direct = (b & c) | (!b & d);
+        prop_assert_eq!(via_andn, direct);
+    }
+
+    /// Sub-word extensions are projections (idempotent).
+    #[test]
+    fn extensions_are_idempotent(x in any::<u32>()) {
+        for op in [Opcode::SxtB, Opcode::SxtH, Opcode::ZxtB, Opcode::ZxtH] {
+            let once = eval(op, &[x]);
+            prop_assert_eq!(eval(op, &[once]), once, "{}", op);
+        }
+    }
+}

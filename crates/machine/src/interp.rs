@@ -1,0 +1,448 @@
+//! Functional interpreter for `isax-ir` programs.
+//!
+//! The paper evaluates performance with compile-time schedule estimates;
+//! *correctness* of the compiler's pattern replacement, however, deserves
+//! stronger evidence than inspection. This interpreter executes programs —
+//! including custom instructions, via the semantics the replacement pass
+//! registered — so the test suite can require that a kernel computes
+//! **identical results before and after customization** on arbitrary
+//! inputs. It also validates the workload kernels against native Rust
+//! reference implementations (CRC-32, ADPCM, SHA-1 rounds, ...).
+
+use isax_ir::{eval, BlockId, Opcode, Operand, Program, Terminator};
+use std::collections::BTreeMap;
+
+/// Byte-addressed little-endian sparse memory.
+///
+/// # Example
+///
+/// ```
+/// use isax_machine::Memory;
+///
+/// let mut m = Memory::new();
+/// m.store32(0x100, 0xdead_beef);
+/// assert_eq!(m.load32(0x100), 0xdead_beef);
+/// assert_eq!(m.load8(0x100), 0xef); // little-endian
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    bytes: BTreeMap<u32, u8>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads one byte (unmapped bytes read as zero).
+    pub fn load8(&self, addr: u32) -> u8 {
+        *self.bytes.get(&addr).unwrap_or(&0)
+    }
+
+    /// Reads a little-endian 16-bit value.
+    pub fn load16(&self, addr: u32) -> u16 {
+        self.load8(addr) as u16 | ((self.load8(addr.wrapping_add(1)) as u16) << 8)
+    }
+
+    /// Reads a little-endian 32-bit value.
+    pub fn load32(&self, addr: u32) -> u32 {
+        self.load16(addr) as u32 | ((self.load16(addr.wrapping_add(2)) as u32) << 16)
+    }
+
+    /// Writes one byte.
+    pub fn store8(&mut self, addr: u32, v: u8) {
+        self.bytes.insert(addr, v);
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn store16(&mut self, addr: u32, v: u16) {
+        self.store8(addr, v as u8);
+        self.store8(addr.wrapping_add(1), (v >> 8) as u8);
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn store32(&mut self, addr: u32, v: u32) {
+        self.store16(addr, v as u16);
+        self.store16(addr.wrapping_add(2), (v >> 16) as u16);
+    }
+
+    /// Writes a slice of words starting at `addr` (4 bytes apart).
+    pub fn store_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.store32(addr.wrapping_add(4 * i as u32), w);
+        }
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    pub fn store_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `n` words starting at `addr`.
+    pub fn load_words(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| self.load32(addr.wrapping_add(4 * i as u32)))
+            .collect()
+    }
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The requested function does not exist.
+    UnknownFunction(String),
+    /// Fewer arguments than parameters were supplied.
+    MissingArguments {
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments given.
+        given: usize,
+    },
+    /// The fuel budget ran out (probable infinite loop).
+    OutOfFuel,
+    /// A custom opcode had no registered semantics.
+    UnregisteredCfu(u16),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExecError::MissingArguments { expected, given } => {
+                write!(f, "expected {expected} arguments, got {given}")
+            }
+            ExecError::OutOfFuel => write!(f, "fuel exhausted (infinite loop?)"),
+            ExecError::UnregisteredCfu(id) => write!(f, "cfu{id} has no semantics"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Values the function returned.
+    pub ret: Vec<u32>,
+    /// Instructions executed (dynamic count, terminators included).
+    pub steps: u64,
+}
+
+/// Executes `function` of `program` with the given arguments and memory.
+///
+/// `fuel` bounds the number of dynamic instructions (use a few million
+/// for the workload kernels).
+///
+/// # Errors
+///
+/// See [`ExecError`]. Loads/stores to unmapped memory are defined (zero
+/// fill), so programs cannot fault.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{FunctionBuilder, Program};
+/// use isax_machine::{run, Memory};
+///
+/// let mut fb = FunctionBuilder::new("mac", 3);
+/// let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+/// let m = fb.mul(a, b);
+/// let s = fb.add(m, c);
+/// fb.ret(&[s.into()]);
+/// let p = Program::new(vec![fb.finish()]);
+///
+/// let out = run(&p, "mac", &[3, 4, 5], &mut Memory::new(), 1000).unwrap();
+/// assert_eq!(out.ret, vec![17]);
+/// ```
+pub fn run(
+    program: &Program,
+    function: &str,
+    args: &[u32],
+    mem: &mut Memory,
+    fuel: u64,
+) -> Result<ExecOutcome, ExecError> {
+    let f = program
+        .function(function)
+        .ok_or_else(|| ExecError::UnknownFunction(function.to_string()))?;
+    if args.len() < f.params.len() {
+        return Err(ExecError::MissingArguments {
+            expected: f.params.len(),
+            given: args.len(),
+        });
+    }
+    let mut regs: Vec<u32> = vec![0; f.vreg_count as usize];
+    for (p, &a) in f.params.iter().zip(args.iter()) {
+        regs[p.index()] = a;
+    }
+    let mut steps = 0u64;
+    let mut block = BlockId(0);
+    loop {
+        let b = &f.blocks[block.index()];
+        for inst in &b.insts {
+            steps += 1;
+            if steps > fuel {
+                return Err(ExecError::OutOfFuel);
+            }
+            let read = |o: &Operand, regs: &[u32]| -> u32 {
+                match o {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Imm(v) => *v as u32,
+                }
+            };
+            match inst.opcode {
+                Opcode::LdB => {
+                    let a = read(&inst.srcs[0], &regs);
+                    regs[inst.dsts[0].index()] = mem.load8(a) as i8 as i32 as u32;
+                }
+                Opcode::LdBu => {
+                    let a = read(&inst.srcs[0], &regs);
+                    regs[inst.dsts[0].index()] = mem.load8(a) as u32;
+                }
+                Opcode::LdH => {
+                    let a = read(&inst.srcs[0], &regs);
+                    regs[inst.dsts[0].index()] = mem.load16(a) as i16 as i32 as u32;
+                }
+                Opcode::LdHu => {
+                    let a = read(&inst.srcs[0], &regs);
+                    regs[inst.dsts[0].index()] = mem.load16(a) as u32;
+                }
+                Opcode::LdW => {
+                    let a = read(&inst.srcs[0], &regs);
+                    regs[inst.dsts[0].index()] = mem.load32(a);
+                }
+                Opcode::StB => {
+                    let a = read(&inst.srcs[0], &regs);
+                    let v = read(&inst.srcs[1], &regs);
+                    mem.store8(a, v as u8);
+                }
+                Opcode::StH => {
+                    let a = read(&inst.srcs[0], &regs);
+                    let v = read(&inst.srcs[1], &regs);
+                    mem.store16(a, v as u16);
+                }
+                Opcode::StW => {
+                    let a = read(&inst.srcs[0], &regs);
+                    let v = read(&inst.srcs[1], &regs);
+                    mem.store32(a, v);
+                }
+                Opcode::Custom(id) => {
+                    let sem = program
+                        .cfu_semantics
+                        .get(&id)
+                        .ok_or(ExecError::UnregisteredCfu(id))?;
+                    let inputs: Vec<u32> = inst.srcs.iter().map(|o| read(o, &regs)).collect();
+                    let outs = sem.eval_with(&inputs, |op, addr| load_as(op, addr, mem));
+                    for (d, v) in inst.dsts.iter().zip(outs) {
+                        regs[d.index()] = v;
+                    }
+                }
+                op => {
+                    let operands: Vec<u32> = inst.srcs.iter().map(|o| read(o, &regs)).collect();
+                    regs[inst.dsts[0].index()] = eval(op, &operands);
+                }
+            }
+        }
+        steps += 1;
+        if steps > fuel {
+            return Err(ExecError::OutOfFuel);
+        }
+        match &b.term {
+            Terminator::Jump(t) => block = *t,
+            Terminator::Branch { cond, taken, not_taken } => {
+                block = if regs[cond.index()] != 0 { *taken } else { *not_taken };
+            }
+            Terminator::Ret(vals) => {
+                let ret = vals
+                    .iter()
+                    .map(|o| match o {
+                        Operand::Reg(r) => regs[r.index()],
+                        Operand::Imm(v) => *v as u32,
+                    })
+                    .collect();
+                return Ok(ExecOutcome { ret, steps });
+            }
+        }
+    }
+}
+
+/// Performs a load with the opcode's width/sign semantics (shared by the
+/// scalar loads and load-bearing custom units).
+pub(crate) fn load_as(op: Opcode, addr: u32, mem: &Memory) -> u32 {
+    match op {
+        Opcode::LdB => mem.load8(addr) as i8 as i32 as u32,
+        Opcode::LdBu => mem.load8(addr) as u32,
+        Opcode::LdH => mem.load16(addr) as i16 as i32 as u32,
+        Opcode::LdHu => mem.load16(addr) as u32,
+        Opcode::LdW => mem.load32(addr),
+        _ => panic!("{op} is not a load"),
+    }
+}
+
+/// Reads a register after running — convenience used by a few tests.
+pub fn reg(outcome: &ExecOutcome, i: usize) -> u32 {
+    outcome.ret[i]
+}
+
+/// Asserts two programs compute the same function: runs both on the same
+/// arguments and initial memory, returns both outcomes for inspection.
+///
+/// # Errors
+///
+/// Propagates the first execution error from either program.
+pub fn run_both(
+    a: &Program,
+    b: &Program,
+    function: &str,
+    args: &[u32],
+    mem_init: &Memory,
+    fuel: u64,
+) -> Result<(ExecOutcome, ExecOutcome, Memory, Memory), ExecError> {
+    let mut ma = mem_init.clone();
+    let mut mb = mem_init.clone();
+    let oa = run(a, function, args, &mut ma, fuel)?;
+    let ob = run(b, function, args, &mut mb, fuel)?;
+    Ok((oa, ob, ma, mb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::{CfuSemantics, FunctionBuilder, SemOp, SemSrc};
+
+    #[test]
+    fn loop_sums_correctly() {
+        // sum = Σ i for i in 1..=n
+        let mut fb = FunctionBuilder::new("sum", 1);
+        let n = fb.param(0);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+        let acc = fb.mov(0i64);
+        let i = fb.mov(1i64);
+        fb.jump(body);
+        fb.switch_to(body);
+        let acc2 = fb.add(acc, i);
+        fb.copy_to(acc, acc2);
+        let i2 = fb.add(i, 1i64);
+        fb.copy_to(i, i2);
+        let c = fb.leu(i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[acc.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        let out = run(&p, "sum", &[10], &mut Memory::new(), 10_000).unwrap();
+        assert_eq!(out.ret, vec![55]);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_ir() {
+        let mut fb = FunctionBuilder::new("m", 2);
+        let (addr, v) = (fb.param(0), fb.param(1));
+        fb.stw(addr, v);
+        let b = fb.ldw(addr);
+        let c = fb.ldbu(addr); // low byte, little-endian
+        fb.ret(&[b.into(), c.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        let out = run(&p, "m", &[0x40, 0x1234_56AB], &mut Memory::new(), 100).unwrap();
+        assert_eq!(out.ret, vec![0x1234_56AB, 0xAB]);
+    }
+
+    #[test]
+    fn custom_instruction_executes_registered_semantics() {
+        let mut fb = FunctionBuilder::new("c", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        fb.push(isax_ir::Inst::new(
+            Opcode::Custom(7),
+            vec![isax_ir::VReg(2)],
+            vec![a.into(), b.into()],
+        ));
+        fb.ret(&[isax_ir::VReg(2).into()]);
+        let mut f = fb.finish();
+        f.vreg_count = 3;
+        let mut p = Program::new(vec![f]);
+        p.cfu_semantics.insert(
+            7,
+            CfuSemantics {
+                ops: vec![
+                    SemOp {
+                        opcode: Opcode::Xor,
+                        srcs: vec![SemSrc::Input(0), SemSrc::Input(1)],
+                    },
+                    SemOp {
+                        opcode: Opcode::Shl,
+                        srcs: vec![SemSrc::Node(0), SemSrc::Imm(4)],
+                    },
+                ],
+                outputs: vec![1],
+                inputs: 2,
+            },
+        );
+        let out = run(&p, "c", &[0xF0, 0x0F], &mut Memory::new(), 100).unwrap();
+        assert_eq!(out.ret, vec![0xFF0]);
+    }
+
+    #[test]
+    fn unregistered_cfu_is_an_error() {
+        let mut fb = FunctionBuilder::new("c", 1);
+        let a = fb.param(0);
+        fb.push(isax_ir::Inst::new(
+            Opcode::Custom(3),
+            vec![isax_ir::VReg(1)],
+            vec![a.into()],
+        ));
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        f.vreg_count = 2;
+        let p = Program::new(vec![f]);
+        assert_eq!(
+            run(&p, "c", &[1], &mut Memory::new(), 100),
+            Err(ExecError::UnregisteredCfu(3))
+        );
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let mut fb = FunctionBuilder::new("spin", 0);
+        let body = fb.new_block(1);
+        fb.jump(body);
+        fb.switch_to(body);
+        fb.jump(body);
+        let p = Program::new(vec![fb.finish()]);
+        assert_eq!(
+            run(&p, "spin", &[], &mut Memory::new(), 1000),
+            Err(ExecError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn unknown_function_and_bad_args() {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let a = fb.param(0);
+        fb.ret(&[a.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        assert!(matches!(
+            run(&p, "nope", &[], &mut Memory::new(), 10),
+            Err(ExecError::UnknownFunction(_))
+        ));
+        assert_eq!(
+            run(&p, "f", &[1], &mut Memory::new(), 10),
+            Err(ExecError::MissingArguments { expected: 2, given: 1 })
+        );
+    }
+
+    #[test]
+    fn sign_extending_loads() {
+        let mut fb = FunctionBuilder::new("lds", 1);
+        let a = fb.param(0);
+        let sb = fb.ldb(a);
+        let sh = fb.ldh(a);
+        fb.ret(&[sb.into(), sh.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        let mut mem = Memory::new();
+        mem.store16(0x10, 0x80FF);
+        let out = run(&p, "lds", &[0x10], &mut mem, 100).unwrap();
+        assert_eq!(out.ret, vec![0xFFFF_FFFF, 0xFFFF_80FF]);
+    }
+}

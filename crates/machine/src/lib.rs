@@ -1,0 +1,30 @@
+//! Machine-side substrate: functional execution and performance summary.
+//!
+//! This crate hosts the pieces of the evaluation machine that sit *next
+//! to* the compiler back end:
+//!
+//! * [`interp`] — a functional interpreter for `isax-ir` programs
+//!   (including custom instructions via their registered semantics) with a
+//!   byte-addressed sparse [`Memory`]. It provides the ground truth the
+//!   test suite uses to prove that custom-instruction replacement
+//!   preserves program behaviour and that the workload kernels implement
+//!   their reference algorithms.
+//! * [`report`] — speedup bookkeeping shared by the figure-regeneration
+//!   harness.
+//! * [`sim`] — a cycle-stepped timing simulation that charges each
+//!   dynamically executed block its scheduled VLIW length, used to
+//!   validate the profile-weighted estimates.
+//!
+//! The VLIW resource model and cycle estimator live in `isax-compiler`
+//! (scheduling *is* the estimate, as in the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod report;
+pub mod sim;
+
+pub use interp::{run, run_both, ExecError, ExecOutcome, Memory};
+pub use sim::{simulate, SimResult};
+pub use report::SpeedupReport;

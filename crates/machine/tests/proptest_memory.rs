@@ -1,0 +1,57 @@
+//! Properties of the byte-addressed little-endian memory.
+
+use isax_machine::Memory;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn word_roundtrip(addr in any::<u32>(), v in any::<u32>()) {
+        let mut m = Memory::new();
+        m.store32(addr, v);
+        prop_assert_eq!(m.load32(addr), v);
+        // Little-endian byte order.
+        prop_assert_eq!(m.load8(addr) as u32, v & 0xFF);
+        prop_assert_eq!(m.load8(addr.wrapping_add(3)) as u32, v >> 24);
+    }
+
+    #[test]
+    fn half_roundtrip(addr in any::<u32>(), v in any::<u16>()) {
+        let mut m = Memory::new();
+        m.store16(addr, v);
+        prop_assert_eq!(m.load16(addr), v);
+    }
+
+    #[test]
+    fn disjoint_words_do_not_interfere(a in any::<u32>(), b in any::<u32>(),
+                                       va in any::<u32>(), vb in any::<u32>()) {
+        prop_assume!(a.abs_diff(b) >= 4 && a.abs_diff(b) <= u32::MAX - 4);
+        let mut m = Memory::new();
+        m.store32(a, va);
+        m.store32(b, vb);
+        prop_assert_eq!(m.load32(b), vb);
+        if b.abs_diff(a) >= 4 {
+            prop_assert_eq!(m.load32(a), va);
+        }
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero(addr in any::<u32>()) {
+        let m = Memory::new();
+        prop_assert_eq!(m.load32(addr), 0);
+        prop_assert_eq!(m.load8(addr), 0);
+    }
+
+    #[test]
+    fn bulk_helpers_agree_with_scalar_ops(base in any::<u32>(),
+                                          words in proptest::collection::vec(any::<u32>(), 1..16)) {
+        prop_assume!(base <= u32::MAX - 4 * words.len() as u32);
+        let mut m = Memory::new();
+        m.store_words(base, &words);
+        prop_assert_eq!(m.load_words(base, words.len()), words.clone());
+        for (i, &w) in words.iter().enumerate() {
+            prop_assert_eq!(m.load32(base + 4 * i as u32), w);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Wildcard CFUs: candidates identical except at a single node.
+//!
+//! "Wildcards are CFUs with identical subgraphs except for different
+//! operations at one node. Combining two CFUs with similar structure like
+//! this allows us to cheaply add another CFU without greatly increasing
+//! the associated cost, as much of the hardware can be shared" (§3.3).
+//!
+//! Detection wildcards one node at a time: replace node `v`'s label with a
+//! sentinel, fingerprint the result, and bucket candidates by that
+//! fingerprint; bucket collisions are confirmed by exact isomorphism of
+//! the sentinel-labelled graphs. The evaluation's stronger *opcode-class*
+//! generalization (Figures 8 and 9) lives in the compiler's matching mode;
+//! this module supplies the partner structure selection uses to discount
+//! shared hardware.
+
+use crate::combine::CfuCandidate;
+use isax_graph::{canon, vf2, DiGraph, Fingerprint, NodeId};
+use isax_ir::DfgLabel;
+use std::collections::HashMap;
+
+/// Replaces one node's label with the wildcard sentinel.
+fn wildcarded(g: &DiGraph<DfgLabel>, v: NodeId) -> DiGraph<WildLabel> {
+    g.map(|n, l| {
+        if n == v {
+            WildLabel::Wild {
+                arity: l.opcode.arity(),
+            }
+        } else {
+            WildLabel::Exact(l.clone())
+        }
+    })
+}
+
+/// A label that may be the wildcard sentinel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WildLabel {
+    Exact(DfgLabel),
+    /// The wildcard node; arity is kept so a two-input node never pairs
+    /// with a one-input node.
+    Wild { arity: usize },
+}
+
+impl WildLabel {
+    fn key(&self) -> u64 {
+        match self {
+            WildLabel::Exact(l) => l.key(),
+            WildLabel::Wild { arity } => canon::hash_str(&format!("*{arity}")),
+        }
+    }
+
+    fn commutative(&self) -> bool {
+        match self {
+            WildLabel::Exact(l) => l.opcode.is_commutative(),
+            // Conservative: treat the wildcard as commutative so that a
+            // commutative replacement is not missed; exactness is restored
+            // by the isomorphism verification.
+            WildLabel::Wild { .. } => true,
+        }
+    }
+}
+
+fn wild_fingerprint(g: &DiGraph<WildLabel>) -> Fingerprint {
+    canon::fingerprint(g, WildLabel::key, WildLabel::commutative, &Default::default())
+}
+
+/// Fills in [`CfuCandidate::wildcard_partners`]: `i` and `j` are partners
+/// when their patterns are isomorphic after wildcarding one node on each
+/// side.
+///
+/// # Example
+///
+/// ```
+/// use isax_explore::{explore_app, ExploreConfig};
+/// use isax_hwlib::HwLibrary;
+/// use isax_ir::{function_dfgs, FunctionBuilder};
+/// use isax_select::{combine, wildcard::find_wildcard_partners};
+///
+/// let mut fb = FunctionBuilder::new("f", 3);
+/// let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+/// let t1 = fb.and(a, b);
+/// let u1 = fb.add(t1, c);   // and -> add
+/// let t2 = fb.and(u1, b);
+/// let u2 = fb.sub(t2, c);   // and -> sub : wildcard partner of and -> add
+/// fb.ret(&[u2.into()]);
+/// let dfgs = function_dfgs(&fb.finish());
+/// let hw = HwLibrary::micron_018();
+/// let found = explore_app(&dfgs, &hw, &ExploreConfig::default());
+/// let mut cfus = combine(&dfgs, &found.candidates, &hw);
+/// find_wildcard_partners(&mut cfus);
+///
+/// let aa = cfus.iter().position(|c| c.describe() == "add-and").unwrap();
+/// let as_ = cfus.iter().position(|c| c.describe() == "and-sub").unwrap();
+/// assert!(cfus[aa].wildcard_partners.contains(&as_));
+/// assert!(cfus[as_].wildcard_partners.contains(&aa));
+/// ```
+pub fn find_wildcard_partners(cands: &mut [CfuCandidate]) {
+    // Bucket (candidate, wildcarded node) by fingerprint.
+    let mut buckets: HashMap<(usize, Fingerprint), Vec<(usize, NodeId)>> = HashMap::new();
+    let mut wild_graphs: HashMap<(usize, u32), DiGraph<WildLabel>> = HashMap::new();
+    for (i, c) in cands.iter().enumerate() {
+        for v in c.pattern.node_ids() {
+            let wg = wildcarded(&c.pattern, v);
+            let fp = wild_fingerprint(&wg);
+            buckets
+                .entry((c.pattern.node_count(), fp))
+                .or_default()
+                .push((i, v));
+            wild_graphs.insert((i, v.0), wg);
+        }
+    }
+    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); cands.len()];
+    for ((_, _), members) in buckets {
+        for (ai, &(i, vi)) in members.iter().enumerate() {
+            for &(j, vj) in members.iter().skip(ai + 1) {
+                if i == j {
+                    continue;
+                }
+                let gi = &wild_graphs[&(i, vi.0)];
+                let gj = &wild_graphs[&(j, vj.0)];
+                // The two labels at the wildcard position must differ,
+                // otherwise the candidates would already be one group.
+                let li = &cands[i].pattern[vi];
+                let lj = &cands[j].pattern[vj];
+                if li == lj {
+                    continue;
+                }
+                if vf2::are_isomorphic(gi, gj, |a, b| a == b, WildLabel::commutative) {
+                    partners[i].push(j);
+                    partners[j].push(i);
+                }
+            }
+        }
+    }
+    for (c, mut p) in cands.iter_mut().zip(partners) {
+        p.sort_unstable();
+        p.dedup();
+        c.wildcard_partners = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::combine;
+    use isax_explore::{explore_app, ExploreConfig};
+    use isax_hwlib::HwLibrary;
+    use isax_ir::{function_dfgs, FunctionBuilder};
+
+    fn analyzed(fb: FunctionBuilder) -> Vec<CfuCandidate> {
+        let dfgs = function_dfgs(&fb.finish());
+        let hw = HwLibrary::micron_018();
+        let found = explore_app(&dfgs, &hw, &ExploreConfig::default());
+        let mut cfus = combine(&dfgs, &found.candidates, &hw);
+        find_wildcard_partners(&mut cfus);
+        cfus
+    }
+
+    #[test]
+    fn add_sub_chains_are_partners() {
+        let mut fb = FunctionBuilder::new("f", 3);
+        let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+        let t1 = fb.xor(a, b);
+        let u1 = fb.add(t1, c);
+        let t2 = fb.xor(u1, b);
+        let u2 = fb.sub(t2, c);
+        fb.ret(&[u2.into()]);
+        let cfus = analyzed(fb);
+        let xa = cfus.iter().position(|c| c.describe() == "add-xor").unwrap();
+        let xs = cfus.iter().position(|c| c.describe() == "sub-xor").unwrap();
+        assert!(cfus[xa].wildcard_partners.contains(&xs));
+    }
+
+    #[test]
+    fn two_node_differences_are_not_partners() {
+        let mut fb = FunctionBuilder::new("f", 3);
+        let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+        let t1 = fb.xor(a, b);
+        let u1 = fb.add(t1, c); // xor -> add
+        let t2 = fb.and(u1, b);
+        let u2 = fb.sub(t2, c); // and -> sub : differs at both nodes
+        fb.ret(&[u2.into()]);
+        let cfus = analyzed(fb);
+        let xa = cfus.iter().position(|c| c.describe() == "add-xor").unwrap();
+        let as_ = cfus.iter().position(|c| c.describe() == "and-sub").unwrap();
+        assert!(!cfus[xa].wildcard_partners.contains(&as_));
+    }
+
+    #[test]
+    fn singleton_opcodes_are_partners() {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let x = fb.and(a, b);
+        let y = fb.or(x, b);
+        fb.ret(&[y.into()]);
+        let cfus = analyzed(fb);
+        let and1 = cfus
+            .iter()
+            .position(|c| c.size() == 1 && c.describe() == "and")
+            .unwrap();
+        let or1 = cfus
+            .iter()
+            .position(|c| c.size() == 1 && c.describe() == "or")
+            .unwrap();
+        assert!(cfus[and1].wildcard_partners.contains(&or1));
+    }
+
+    #[test]
+    fn partner_relation_is_symmetric() {
+        let mut fb = FunctionBuilder::new("f", 3);
+        let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+        let t1 = fb.shl(a, 4i64);
+        let u1 = fb.add(t1, b);
+        let t2 = fb.shl(c, 4i64);
+        let u2 = fb.xor(t2, b);
+        let z = fb.or(u1, u2);
+        fb.ret(&[z.into()]);
+        let cfus = analyzed(fb);
+        for (i, c) in cfus.iter().enumerate() {
+            for &j in &c.wildcard_partners {
+                assert!(
+                    cfus[j].wildcard_partners.contains(&i),
+                    "partner lists must be symmetric"
+                );
+            }
+        }
+    }
+}

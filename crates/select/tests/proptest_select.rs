@@ -1,0 +1,110 @@
+//! Selection invariants on random candidate pools.
+
+use isax_graph::{BitSet, DiGraph};
+use isax_ir::{DfgLabel, Opcode};
+use isax_select::{
+    select_greedy, select_knapsack, select_multifunction, CfuCandidate, Occurrence, SelectConfig,
+};
+use proptest::prelude::*;
+
+fn mk_candidate(seedling: &(u8, f64, Vec<(u8, u8, u16)>)) -> CfuCandidate {
+    let (shape, area, occs) = seedling;
+    let ops = [Opcode::Add, Opcode::Xor, Opcode::Shl, Opcode::And, Opcode::Sub];
+    let mut pattern = DiGraph::new();
+    let mut prev = None;
+    for k in 0..(*shape % 3 + 1) {
+        let n = pattern.add_node(DfgLabel {
+            opcode: ops[(shape + k) as usize % ops.len()],
+            imms: vec![],
+        });
+        if let Some(p) = prev {
+            pattern.add_edge(p, n, 0);
+        }
+        prev = Some(n);
+    }
+    let fingerprint = isax_select::pattern_fingerprint(&pattern);
+    CfuCandidate {
+        pattern,
+        fingerprint,
+        delay: 0.4,
+        area: *area,
+        inputs: 2,
+        outputs: 1,
+        hw_cycles: 1,
+        occurrences: occs
+            .iter()
+            .map(|&(dfg, start, weight)| Occurrence {
+                dfg: dfg as usize % 4,
+                nodes: (start as usize..start as usize + 2).collect::<BitSet>(),
+                weight: weight as u64 + 1,
+                savings_per_exec: 1 + (start % 3) as u64,
+            })
+            .collect(),
+        subsumes: vec![],
+        wildcard_partners: vec![],
+    }
+}
+
+fn pool() -> impl Strategy<Value = Vec<CfuCandidate>> {
+    proptest::collection::vec(
+        (
+            any::<u8>(),
+            0.05f64..6.0,
+            proptest::collection::vec((any::<u8>(), 0u8..40, any::<u16>()), 1..4),
+        ),
+        1..12,
+    )
+    .prop_map(|seeds| seeds.iter().map(mk_candidate).collect())
+}
+
+/// Recomputes the true (non-overlapping) value of a selection by claiming
+/// operations in priority order, independent of the selector's own
+/// bookkeeping.
+fn recount(cands: &[CfuCandidate], chosen: &[isax_select::SelectedCfu]) -> u64 {
+    let mut claimed = std::collections::HashSet::new();
+    let mut total = 0;
+    for sc in chosen {
+        for o in &cands[sc.candidate].occurrences {
+            if o.nodes.iter().all(|n| !claimed.contains(&(o.dfg, n))) {
+                total += o.value();
+                for n in o.nodes.iter() {
+                    claimed.insert((o.dfg, n));
+                }
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// All three selectors respect the budget, never select duplicates,
+    /// and report values that an independent recount confirms.
+    #[test]
+    fn selectors_are_honest(cands in pool(), budget in 0.0f64..20.0) {
+        let cfg = SelectConfig::with_budget(budget);
+        for (name, sel) in [
+            ("greedy", select_greedy(&cands, &cfg)),
+            ("dp", select_knapsack(&cands, &cfg)),
+            ("multi", select_multifunction(&cands, &cfg)),
+        ] {
+            prop_assert!(sel.total_area <= budget + 1e-9, "{name} overspent");
+            let mut seen = std::collections::HashSet::new();
+            for sc in &sel.chosen {
+                prop_assert!(seen.insert(sc.candidate), "{name} picked twice");
+                prop_assert!(sc.candidate < cands.len());
+            }
+            let recounted = recount(&cands, &sel.chosen);
+            prop_assert_eq!(sel.total_value, recounted, "{} value claim", name);
+        }
+    }
+
+    /// A bigger budget never yields less greedy value.
+    #[test]
+    fn greedy_value_is_monotone_in_budget(cands in pool(), b in 0.5f64..10.0) {
+        let lo = select_greedy(&cands, &SelectConfig::with_budget(b));
+        let hi = select_greedy(&cands, &SelectConfig::with_budget(b * 2.0));
+        prop_assert!(hi.total_value >= lo.total_value);
+    }
+}

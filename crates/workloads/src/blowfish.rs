@@ -1,0 +1,387 @@
+//! `blowfish` (MiBench security): the Feistel encryption kernel.
+//!
+//! The hot loop of Blowfish encrypts one 64-bit block with sixteen Feistel
+//! rounds. Each round xors in a subkey and pushes half the block through
+//! the F function
+//!
+//! ```text
+//! F(x) = ((S0[x>>24] + S1[(x>>16)&FF]) ^ S2[(x>>8)&FF]) + S3[x&FF]
+//! ```
+//!
+//! — byte extraction and address arithmetic are long chains of cheap
+//! shifts/ands/adds, exactly the shapes the paper's Figure 2 illustrates
+//! with this benchmark. Four S-box loads per round keep the memory port
+//! busy but leave plenty of combinable ALU work: blowfish reaches a 1.62
+//! speedup in the paper.
+//!
+//! The S-boxes and P-array are synthesized from a deterministic generator
+//! (standing in for the digits-of-π constants) — identical tables are
+//! installed in the interpreter memory and used by the native oracle.
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program};
+use isax_machine::Memory;
+
+/// P-array base address (18 words).
+pub const P_BASE: u32 = 0x1000;
+/// S-box base address (4 × 256 words, contiguous).
+pub const S_BASE: u32 = 0x2000;
+/// Number of Feistel rounds.
+pub const ROUNDS: u32 = 16;
+/// Profile weight of the round loop (blocks encrypted × rounds).
+const HOT_WEIGHT: u64 = 16 * 4_000;
+
+/// Generates the key-schedule tables for a seed: (P\[18\], S\[4×256\]).
+pub fn tables(seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut g = Xorshift::new(seed ^ 0xB10F15D);
+    (g.words(18), g.words(4 * 256))
+}
+
+/// Native reference implementation of one whole encryption.
+pub fn encrypt_reference(seed: u64, mut xl: u32, mut xr: u32) -> (u32, u32) {
+    let (p, s) = tables(seed);
+    // F(x) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d].
+    let f = |x: u32| -> u32 {
+        let a = (x >> 24) as usize;
+        let b = ((x >> 16) & 0xFF) as usize;
+        let c = ((x >> 8) & 0xFF) as usize;
+        let d = (x & 0xFF) as usize;
+        (s[a].wrapping_add(s[256 + b]) ^ s[512 + c]).wrapping_add(s[768 + d])
+    };
+    for i in 0..ROUNDS as usize {
+        xl ^= p[i];
+        xr ^= f(xl);
+        std::mem::swap(&mut xl, &mut xr);
+    }
+    std::mem::swap(&mut xl, &mut xr);
+    xr ^= p[16];
+    xl ^= p[17];
+    (xl, xr)
+}
+
+/// Builds an **unrolled** variant of the round loop: `unroll` Feistel
+/// rounds per basic block, as an optimizing compiler (Trimaran with loop
+/// unrolling, in the paper's setting) would produce. The paper notes that
+/// naive exponential candidate discovery breaks down "for very large
+/// basic blocks or in the presence of optimizations that create large
+/// basic blocks, such as loop unrolling" — this variant feeds Figure 3.
+///
+/// # Panics
+///
+/// Panics unless `unroll` divides [`ROUNDS`].
+pub fn program_unrolled(unroll: u32) -> Program {
+    assert!(unroll > 0 && ROUNDS % unroll == 0, "unroll must divide ROUNDS");
+    let mut fb = FunctionBuilder::new("blowfish_encrypt", 2);
+    let xl_in = fb.param(0);
+    let xr_in = fb.param(1);
+    let round = fb.new_block(HOT_WEIGHT / unroll as u64);
+    let fini = fb.new_block(4_000);
+
+    let xl = fb.fresh();
+    let xr = fb.fresh();
+    let i = fb.fresh();
+    let pp = fb.fresh();
+    fb.copy_to(xl, xl_in);
+    fb.copy_to(xr, xr_in);
+    fb.copy_to(i, 0i64);
+    fb.copy_to(pp, P_BASE as i64);
+    fb.jump(round);
+
+    fb.switch_to(round);
+    for u in 0..unroll {
+        let pa = fb.add(pp, (4 * u) as i64);
+        let pi = fb.ldw(pa);
+        let xl1 = fb.xor(xl, pi);
+        let fx = emit_f(&mut fb, xl1);
+        let xr1 = fb.xor(xr, fx);
+        fb.copy_to(xl, xr1);
+        fb.copy_to(xr, xl1);
+    }
+    let pp1 = fb.add(pp, (4 * unroll) as i64);
+    fb.copy_to(pp, pp1);
+    let i1 = fb.add(i, unroll as i64);
+    fb.copy_to(i, i1);
+    let more = fb.ltu(i, ROUNDS as i64);
+    fb.branch(more, round, fini);
+
+    fb.switch_to(fini);
+    let xl_f = fb.mov(xr);
+    let xr_f = fb.mov(xl);
+    let p16 = fb.ldw((P_BASE + 16 * 4) as i64);
+    let p17 = fb.ldw((P_BASE + 17 * 4) as i64);
+    let xr_o = fb.xor(xr_f, p16);
+    let xl_o = fb.xor(xl_f, p17);
+    fb.ret(&[xl_o.into(), xr_o.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Emits the F function body and returns the result register.
+fn emit_f(fb: &mut FunctionBuilder, xl1: isax_ir::VReg) -> isax_ir::VReg {
+    let a = fb.shr(xl1, 24i64);
+    let b0 = fb.shr(xl1, 16i64);
+    let b = fb.and(b0, 0xFFi64);
+    let c0 = fb.shr(xl1, 8i64);
+    let c = fb.and(c0, 0xFFi64);
+    let d = fb.and(xl1, 0xFFi64);
+    let aa = fb.shl(a, 2i64);
+    let a_addr = fb.add(aa, S_BASE as i64);
+    let ba = fb.shl(b, 2i64);
+    let b_addr = fb.add(ba, (S_BASE + 0x400) as i64);
+    let ca = fb.shl(c, 2i64);
+    let c_addr = fb.add(ca, (S_BASE + 0x800) as i64);
+    let da = fb.shl(d, 2i64);
+    let d_addr = fb.add(da, (S_BASE + 0xC00) as i64);
+    let s0 = fb.ldw(a_addr);
+    let s1 = fb.ldw(b_addr);
+    let s2 = fb.ldw(c_addr);
+    let s3 = fb.ldw(d_addr);
+    let t0 = fb.add(s0, s1);
+    let t1 = fb.xor(t0, s2);
+    fb.add(t1, s3)
+}
+
+/// Builds the kernel program: `blowfish_encrypt(xl, xr) -> (xl, xr)`.
+pub fn program() -> Program {
+    let mut fb = FunctionBuilder::new("blowfish_encrypt", 2);
+    let xl_in = fb.param(0);
+    let xr_in = fb.param(1);
+    let round = fb.new_block(HOT_WEIGHT);
+    let fini = fb.new_block(4_000);
+
+    // entry: loop-carried registers
+    let xl = fb.fresh();
+    let xr = fb.fresh();
+    let i = fb.fresh();
+    let pp = fb.fresh();
+    fb.copy_to(xl, xl_in);
+    fb.copy_to(xr, xr_in);
+    fb.copy_to(i, 0i64);
+    fb.copy_to(pp, P_BASE as i64);
+    fb.jump(round);
+
+    // round body
+    fb.switch_to(round);
+    let pi = fb.ldw(pp);
+    let xl1 = fb.xor(xl, pi);
+    // F(xl1): byte extraction + address arithmetic.
+    let a = fb.shr(xl1, 24i64);
+    let b0 = fb.shr(xl1, 16i64);
+    let b = fb.and(b0, 0xFFi64);
+    let c0 = fb.shr(xl1, 8i64);
+    let c = fb.and(c0, 0xFFi64);
+    let d = fb.and(xl1, 0xFFi64);
+    let aa = fb.shl(a, 2i64);
+    let a_addr = fb.add(aa, S_BASE as i64);
+    let ba = fb.shl(b, 2i64);
+    let b_addr = fb.add(ba, (S_BASE + 0x400) as i64);
+    let ca = fb.shl(c, 2i64);
+    let c_addr = fb.add(ca, (S_BASE + 0x800) as i64);
+    let da = fb.shl(d, 2i64);
+    let d_addr = fb.add(da, (S_BASE + 0xC00) as i64);
+    let s0 = fb.ldw(a_addr);
+    let s1 = fb.ldw(b_addr);
+    let s2 = fb.ldw(c_addr);
+    let s3 = fb.ldw(d_addr);
+    let t0 = fb.add(s0, s1);
+    let t1 = fb.xor(t0, s2);
+    let fx = fb.add(t1, s3);
+    let xr1 = fb.xor(xr, fx);
+    // Swap halves for the next round.
+    fb.copy_to(xl, xr1);
+    fb.copy_to(xr, xl1);
+    // Loop bookkeeping.
+    let pp1 = fb.add(pp, 4i64);
+    fb.copy_to(pp, pp1);
+    let i1 = fb.add(i, 1i64);
+    fb.copy_to(i, i1);
+    let more = fb.ltu(i, ROUNDS as i64);
+    fb.branch(more, round, fini);
+
+    // finalization: undo the last swap, fold in P[16], P[17].
+    fb.switch_to(fini);
+    let xl_f = fb.mov(xr); // undo swap
+    let xr_f = fb.mov(xl);
+    let p16 = fb.ldw((P_BASE + 16 * 4) as i64);
+    let p17 = fb.ldw((P_BASE + 17 * 4) as i64);
+    let xr_o = fb.xor(xr_f, p16);
+    let xl_o = fb.xor(xl_f, p17);
+    fb.ret(&[xl_o.into(), xr_o.into()]);
+
+    Program::new(vec![fb.finish()])
+}
+
+/// Builds `blowfish_decrypt(xl, xr) -> (xl, xr)` — the inverse cipher:
+/// identical round structure with the P-array walked backwards. Present in
+/// the same program, as in the real application, so the explorer sees both
+/// hot loops and their shared CFU shapes.
+pub fn decrypt_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("blowfish_decrypt", 2);
+    let xl_in = fb.param(0);
+    let xr_in = fb.param(1);
+    let round = fb.new_block(16 * 1_000);
+    let fini = fb.new_block(1_000);
+
+    let xl = fb.fresh();
+    let xr = fb.fresh();
+    let i = fb.fresh();
+    let pp = fb.fresh();
+    fb.copy_to(xl, xl_in);
+    fb.copy_to(xr, xr_in);
+    fb.copy_to(i, 0i64);
+    fb.copy_to(pp, (P_BASE + 17 * 4) as i64);
+    fb.jump(round);
+
+    fb.switch_to(round);
+    let pi = fb.ldw(pp);
+    let xl1 = fb.xor(xl, pi);
+    let fx = emit_f(&mut fb, xl1);
+    let xr1 = fb.xor(xr, fx);
+    fb.copy_to(xl, xr1);
+    fb.copy_to(xr, xl1);
+    let pp1 = fb.sub(pp, 4i64);
+    fb.copy_to(pp, pp1);
+    let i1 = fb.add(i, 1i64);
+    fb.copy_to(i, i1);
+    let more = fb.ltu(i, ROUNDS as i64);
+    fb.branch(more, round, fini);
+
+    fb.switch_to(fini);
+    let xl_f = fb.mov(xr);
+    let xr_f = fb.mov(xl);
+    let p1 = fb.ldw((P_BASE + 4) as i64);
+    let p0 = fb.ldw(P_BASE as i64);
+    let xr_o = fb.xor(xr_f, p1);
+    let xl_o = fb.xor(xl_f, p0);
+    fb.ret(&[xl_o.into(), xr_o.into()]);
+    fb.finish()
+}
+
+/// Native reference for the inverse cipher.
+pub fn decrypt_reference(seed: u64, mut xl: u32, mut xr: u32) -> (u32, u32) {
+    let (p, s) = tables(seed);
+    let f = |x: u32| -> u32 {
+        let a = (x >> 24) as usize;
+        let b = ((x >> 16) & 0xFF) as usize;
+        let c = ((x >> 8) & 0xFF) as usize;
+        let d = (x & 0xFF) as usize;
+        (s[a].wrapping_add(s[256 + b]) ^ s[512 + c]).wrapping_add(s[768 + d])
+    };
+    for i in (2..=17usize).rev() {
+        xl ^= p[i];
+        xr ^= f(xl);
+        std::mem::swap(&mut xl, &mut xr);
+    }
+    std::mem::swap(&mut xl, &mut xr);
+    xr ^= p[1];
+    xl ^= p[0];
+    (xl, xr)
+}
+
+/// Installs the P-array and S-boxes.
+pub fn init_memory(mem: &mut Memory, seed: u64) {
+    let (p, s) = tables(seed);
+    mem.store_words(P_BASE, &p);
+    mem.store_words(S_BASE, &s);
+}
+
+fn args(seed: u64) -> Vec<u32> {
+    let mut g = Xorshift::new(seed ^ 0xAB);
+    vec![g.next_u32(), g.next_u32()]
+}
+
+/// The packaged workload: encryption and decryption hot loops.
+pub fn workload() -> Workload {
+    let mut program = program();
+    program.functions.push(decrypt_function());
+    Workload {
+        name: "blowfish",
+        domain: Domain::Encryption,
+        program,
+        entry: "blowfish_encrypt",
+        init_memory,
+        args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "blowfish_decrypt",
+            args,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn ir_matches_reference_for_many_inputs() {
+        let p = program();
+        for seed in 1..6u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let mut g = Xorshift::new(seed.wrapping_mul(77));
+            for _ in 0..5 {
+                let (xl, xr) = (g.next_u32(), g.next_u32());
+                let out = run(&p, "blowfish_encrypt", &[xl, xr], &mut mem.clone(), 100_000)
+                    .expect("runs");
+                let (el, er) = encrypt_reference(seed, xl, xr);
+                assert_eq!(out.ret, vec![el, er], "seed {seed} input {xl:08x}/{xr:08x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let p = workload().program;
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let (xl, xr) = (0x0123_4567u32, 0x89AB_CDEFu32);
+            let enc = run(&p, "blowfish_encrypt", &[xl, xr], &mut mem.clone(), 100_000).unwrap();
+            let dec = run(&p, "blowfish_decrypt", &[enc.ret[0], enc.ret[1]], &mut mem.clone(), 100_000)
+                .unwrap();
+            assert_eq!(dec.ret, vec![xl, xr], "decrypt(encrypt(x)) == x, seed {seed}");
+            // And the IR decryptor matches its own oracle.
+            let (dl, dr) = decrypt_reference(seed, enc.ret[0], enc.ret[1]);
+            assert_eq!((dl, dr), (xl, xr));
+        }
+    }
+
+    #[test]
+    fn unrolled_variant_is_equivalent() {
+        let rolled = program();
+        for unroll in [2u32, 4, 8] {
+            let unrolled = program_unrolled(unroll);
+            let mut mem = Memory::new();
+            init_memory(&mut mem, 3);
+            let out_r =
+                run(&rolled, "blowfish_encrypt", &[7, 9], &mut mem.clone(), 100_000).unwrap();
+            let out_u =
+                run(&unrolled, "blowfish_encrypt", &[7, 9], &mut mem.clone(), 100_000).unwrap();
+            assert_eq!(out_r.ret, out_u.ret, "unroll {unroll}");
+        }
+        // The 4x-unrolled hot block is the large-DFG input of Figure 3.
+        let p4 = program_unrolled(4);
+        assert!(p4.functions[0].blocks[1].insts.len() > 100);
+    }
+
+    #[test]
+    fn encryption_is_input_sensitive() {
+        let (a, _) = encrypt_reference(1, 0, 0);
+        let (b, _) = encrypt_reference(1, 1, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kernel_shape_is_alu_dominated() {
+        let p = program();
+        let round = &p.functions[0].blocks[1];
+        let mem_ops = round
+            .insts
+            .iter()
+            .filter(|i| i.opcode.is_memory())
+            .count();
+        let alu_ops = round.insts.len() - mem_ops;
+        assert!(alu_ops >= 3 * mem_ops, "{alu_ops} alu vs {mem_ops} mem");
+    }
+}

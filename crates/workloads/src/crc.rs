@@ -1,0 +1,234 @@
+//! `crc` (NetBench): table-driven CRC-32 over a message buffer.
+//!
+//! The classic byte-at-a-time loop:
+//!
+//! ```text
+//! crc = table[(crc ^ *p++) & 0xFF] ^ (crc >> 8)
+//! ```
+//!
+//! Two loads per byte (message byte + table entry) against a handful of
+//! cheap ALU operations: the memory port and load latency bound the loop,
+//! so custom instructions help, but less than in the encryption codes —
+//! matching crc's middling curve in Figure 7.
+//!
+//! The table is the *real* CRC-32 (reflected, polynomial `0xEDB88320`)
+//! and the oracle checks against a from-scratch bitwise implementation,
+//! so the kernel is verifiably computing CRC-32.
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program};
+use isax_machine::Memory;
+
+/// CRC table base (256 words).
+pub const TABLE_BASE: u32 = 0x8000;
+/// Message buffer base.
+pub const MSG_BASE: u32 = 0x9000;
+/// Message length in bytes.
+pub const MSG_LEN: u32 = 256;
+const HOT_WEIGHT: u64 = 64 * 1_024;
+
+/// The standard reflected CRC-32 table.
+pub fn crc_table() -> Vec<u32> {
+    (0..256u32)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            c
+        })
+        .collect()
+}
+
+/// Deterministic message for a seed.
+pub fn message(seed: u64) -> Vec<u8> {
+    Xorshift::new(seed ^ 0xC4C).bytes(MSG_LEN as usize)
+}
+
+/// Bitwise (table-free) reference CRC-32 of the seed's message.
+pub fn crc_reference(seed: u64, init: u32) -> u32 {
+    let mut crc = init;
+    for &b in &message(seed) {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+        }
+    }
+    crc
+}
+
+/// Builds `crc32(init) -> crc`.
+pub fn program() -> Program {
+    let mut fb = FunctionBuilder::new("crc32", 1);
+    let init = fb.param(0);
+    let body = fb.new_block(HOT_WEIGHT);
+    let exit = fb.new_block(1_024);
+
+    let crc = fb.fresh();
+    let p = fb.fresh();
+    let n = fb.fresh();
+    fb.copy_to(crc, init);
+    fb.copy_to(p, MSG_BASE as i64);
+    fb.copy_to(n, MSG_LEN as i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    let byte = fb.ldbu(p);
+    let x = fb.xor(crc, byte);
+    let idx = fb.and(x, 0xFFi64);
+    let off = fb.shl(idx, 2i64);
+    let addr = fb.add(off, TABLE_BASE as i64);
+    let te = fb.ldw(addr);
+    let hi = fb.shr(crc, 8i64);
+    let crc1 = fb.xor(te, hi);
+    fb.copy_to(crc, crc1);
+    let p1 = fb.add(p, 1i64);
+    fb.copy_to(p, p1);
+    let n1 = fb.sub(n, 1i64);
+    fb.copy_to(n, n1);
+    let more = fb.ne(n, 0i64);
+    fb.branch(more, body, exit);
+
+    fb.switch_to(exit);
+    fb.ret(&[crc.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Where `crc_table_gen` writes its table.
+pub const GEN_BASE: u32 = 0x8800;
+
+/// Builds the table *generator* — the other hot loop of the benchmark's
+/// startup: 256 × 8 iterations of the branchy shift/xor recurrence. Its
+/// data-dependent branch fragments the inner dataflow graph, a realistic
+/// contrast to the streaming lookup loop.
+pub fn table_gen_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("crc_table_gen", 0);
+    let outer = fb.new_block(256 * 40);
+    let inner = fb.new_block(256 * 8 * 40);
+    let odd = fb.new_block(256 * 4 * 40);
+    let even = fb.new_block(256 * 4 * 40);
+    let inner_next = fb.new_block(256 * 8 * 40);
+    let outer_next = fb.new_block(256 * 40);
+    let exit = fb.new_block(40);
+
+    let i = fb.fresh();
+    let c = fb.fresh();
+    let k = fb.fresh();
+    fb.copy_to(i, 0i64);
+    fb.copy_to(c, 0i64);
+    fb.copy_to(k, 0i64);
+    fb.jump(outer);
+
+    fb.switch_to(outer);
+    fb.copy_to(c, i);
+    fb.copy_to(k, 8i64);
+    fb.jump(inner);
+
+    fb.switch_to(inner);
+    let bit = fb.and(c, 1i64);
+    let is_odd = fb.ne(bit, 0i64);
+    fb.branch(is_odd, odd, even);
+
+    fb.switch_to(odd);
+    let sh = fb.shr(c, 1i64);
+    let x = fb.xor(sh, 0xEDB8_8320u32);
+    fb.copy_to(c, x);
+    fb.jump(inner_next);
+
+    fb.switch_to(even);
+    let sh2 = fb.shr(c, 1i64);
+    fb.copy_to(c, sh2);
+    fb.jump(inner_next);
+
+    fb.switch_to(inner_next);
+    let k1 = fb.sub(k, 1i64);
+    fb.copy_to(k, k1);
+    let more_bits = fb.ne(k, 0i64);
+    fb.branch(more_bits, inner, outer_next);
+
+    fb.switch_to(outer_next);
+    let off = fb.shl(i, 2i64);
+    let addr = fb.add(off, GEN_BASE as i64);
+    fb.stw(addr, c);
+    let i1 = fb.add(i, 1i64);
+    fb.copy_to(i, i1);
+    let more = fb.ltu(i, 256i64);
+    fb.branch(more, outer, exit);
+
+    fb.switch_to(exit);
+    let first = fb.ldw((GEN_BASE + 4) as i64);
+    fb.ret(&[first.into()]);
+    fb.finish()
+}
+
+/// Installs the CRC table and the message.
+pub fn init_memory(mem: &mut Memory, seed: u64) {
+    mem.store_words(TABLE_BASE, &crc_table());
+    mem.store_bytes(MSG_BASE, &message(seed));
+}
+
+fn args(seed: u64) -> Vec<u32> {
+    vec![Xorshift::new(seed ^ 0xFEED).next_u32()]
+}
+
+/// The packaged workload: the lookup loop plus the table generator.
+pub fn workload() -> Workload {
+    let mut program = program();
+    program.functions.push(table_gen_function());
+    Workload {
+        name: "crc",
+        domain: Domain::Network,
+        program,
+        entry: "crc32",
+        init_memory,
+        args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "crc_table_gen",
+            args: |_| vec![],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn ir_computes_real_crc32() {
+        let p = program();
+        for seed in 1..6u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let init = 0xFFFF_FFFFu32;
+            let out = run(&p, "crc32", &[init], &mut mem, 100_000).expect("runs");
+            assert_eq!(out.ret, vec![crc_reference(seed, init)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_table_matches_the_real_one() {
+        let p = workload().program;
+        let mut mem = Memory::new();
+        init_memory(&mut mem, 1);
+        let out = run(&p, "crc_table_gen", &[], &mut mem, 1_000_000).expect("runs");
+        let expect = crc_table();
+        for (k, &e) in expect.iter().enumerate() {
+            assert_eq!(mem.load32(GEN_BASE + 4 * k as u32), e, "entry {k}");
+        }
+        assert_eq!(out.ret, vec![expect[1]]);
+    }
+
+    #[test]
+    fn known_answer_check_for_the_table() {
+        // table[1] of the reflected CRC-32 is a well-known constant.
+        assert_eq!(crc_table()[1], 0x7707_3096);
+        assert_eq!(crc_table()[255], 0x2D02_EF8D);
+    }
+
+    #[test]
+    fn init_value_matters() {
+        assert_ne!(crc_reference(1, 0), crc_reference(1, 0xFFFF_FFFF));
+    }
+}

@@ -1,0 +1,408 @@
+//! `gsmdecode` / `gsmencode` (MediaBench): GSM 06.10 full-rate kernels.
+//!
+//! * **gsmdecode** models the short-term synthesis filter: per sample,
+//!   eight lattice taps of `GSM_MULT_R` (Q15 rounded multiply with
+//!   saturation) and `GSM_ADD`/`GSM_SUB` (saturated 16-bit adds). The
+//!   saturation idiom — add, compare, select, compare, select — combines
+//!   nicely, but every tap contains two genuine multiplies whose area
+//!   (≈17 adders each) makes large CFUs expensive: the gsm curves rise
+//!   slowly with budget, as in Figure 7.
+//! * **gsmencode** models the long-term-predictor lag search: a
+//!   multiply-accumulate cross-correlation over 40-sample windows, scaled
+//!   with arithmetic shifts.
+//!
+//! Both kernels follow the bit-exact GSM arithmetic macros
+//! (`GSM_MULT_R(a,b) = (a*b + 16384) >> 15`, saturated) and are verified
+//! against native oracles.
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program, VReg};
+use isax_machine::Memory;
+
+/// Reflection coefficients (8 words, Q15).
+pub const RRP_BASE: u32 = 0xF000;
+/// Lattice state (9 words).
+pub const V_BASE: u32 = 0xF100;
+/// Input samples (decoder) / short-term residual (encoder).
+pub const IN_BASE: u32 = 0xF400;
+/// Second operand window for the encoder's correlation.
+pub const WT_BASE: u32 = 0xF800;
+/// Samples per frame processed by the kernels.
+pub const FRAME: u32 = 40;
+/// Lattice order.
+pub const ORDER: u32 = 8;
+const HOT_WEIGHT: u64 = 40 * 8 * 300;
+
+/// Saturated 16-bit add (GSM_ADD).
+pub fn gsm_add(a: i32, b: i32) -> i32 {
+    (a + b).clamp(-32768, 32767)
+}
+
+/// Saturated 16-bit subtract (GSM_SUB).
+pub fn gsm_sub(a: i32, b: i32) -> i32 {
+    (a - b).clamp(-32768, 32767)
+}
+
+/// Rounded Q15 multiply with saturation (GSM_MULT_R).
+pub fn gsm_mult_r(a: i32, b: i32) -> i32 {
+    ((a * b + 16384) >> 15).clamp(-32768, 32767)
+}
+
+/// Deterministic Q15 coefficient/sample tables.
+pub fn frame_data(seed: u64) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+    let mut g = Xorshift::new(seed ^ 0x65E6);
+    let rrp: Vec<i32> = (0..ORDER).map(|_| g.below(26_000) as i32 - 13_000).collect();
+    let input: Vec<i32> = (0..FRAME).map(|_| g.below(8_192) as i32 - 4_096).collect();
+    let wt: Vec<i32> = (0..FRAME).map(|_| g.below(8_192) as i32 - 4_096).collect();
+    (rrp, input, wt)
+}
+
+/// Reference short-term synthesis filter: returns the final lattice state
+/// word `v[0]` and a checksum of the outputs.
+pub fn decode_reference(seed: u64) -> (i32, u32) {
+    let (rrp, input, _) = frame_data(seed);
+    let mut v = [0i32; 9];
+    let mut checksum = 0u32;
+    for &s in &input {
+        let mut sri = s;
+        for i in (0..ORDER as usize).rev() {
+            sri = gsm_sub(sri, gsm_mult_r(rrp[i], v[i]));
+            v[i + 1] = gsm_add(v[i], gsm_mult_r(rrp[i], sri));
+        }
+        v[0] = sri;
+        checksum = checksum.wrapping_mul(31).wrapping_add(sri as u32);
+    }
+    (v[0], checksum)
+}
+
+/// Reference LTP cross-correlation: Σ `in[k] * wt[k]` over the frame, scaled.
+pub fn encode_reference(seed: u64) -> i32 {
+    let (_, input, wt) = frame_data(seed);
+    let mut acc = 0i64;
+    for k in 0..FRAME as usize {
+        acc += (input[k] as i64) * (wt[k] as i64);
+    }
+    (acc >> 6) as i32
+}
+
+/// Emits GSM_MULT_R with saturation.
+fn emit_mult_r(fb: &mut FunctionBuilder, a: VReg, b: VReg) -> VReg {
+    let prod = fb.mul(a, b);
+    let rounded = fb.add(prod, 16_384i64);
+    let shifted = fb.sar(rounded, 15i64);
+    emit_sat(fb, shifted)
+}
+
+/// Emits the saturating clamp to [-32768, 32767].
+fn emit_sat(fb: &mut FunctionBuilder, v: VReg) -> VReg {
+    let hi = fb.gt(v, 32_767i64);
+    let v1 = fb.select(hi, 32_767i64, v);
+    let lo = fb.lt(v1, -32_768i64);
+    fb.select(lo, -32_768i64, v1)
+}
+
+/// Builds `gsm_decode() -> (v0, checksum)` — the synthesis lattice.
+pub fn decode_program() -> Program {
+    let mut fb = FunctionBuilder::new("gsm_decode", 0);
+    let sample_loop = fb.new_block(40 * 300);
+    let tap_loop = fb.new_block(HOT_WEIGHT);
+    let sample_done = fb.new_block(40 * 300);
+    let exit = fb.new_block(300);
+
+    let sp = fb.fresh(); // sample pointer
+    let nsamp = fb.fresh();
+    let checksum = fb.fresh();
+    fb.copy_to(sp, IN_BASE as i64);
+    fb.copy_to(nsamp, FRAME as i64);
+    fb.copy_to(checksum, 0i64);
+    fb.jump(sample_loop);
+
+    // Per-sample setup.
+    fb.switch_to(sample_loop);
+    let sri = fb.fresh();
+    let s0 = fb.ldh(sp);
+    fb.copy_to(sri, s0);
+    let i = fb.fresh(); // tap index, runs 7..=0
+    fb.copy_to(i, (ORDER - 1) as i64);
+    fb.jump(tap_loop);
+
+    // Per-tap lattice step.
+    fb.switch_to(tap_loop);
+    let ioff = fb.shl(i, 2i64);
+    let rrp_addr = fb.add(ioff, RRP_BASE as i64);
+    let rrpi = fb.ldw(rrp_addr);
+    let v_addr = fb.add(ioff, V_BASE as i64);
+    let vi = fb.ldw(v_addr);
+    let m1 = emit_mult_r(&mut fb, rrpi, vi);
+    let sub = fb.sub(sri, m1);
+    let sri1 = emit_sat(&mut fb, sub);
+    fb.copy_to(sri, sri1);
+    let m2 = emit_mult_r(&mut fb, rrpi, sri);
+    let addv = fb.add(vi, m2);
+    let vnew = emit_sat(&mut fb, addv);
+    let v1_addr = fb.add(v_addr, 4i64);
+    fb.stw(v1_addr, vnew);
+    let i1 = fb.sub(i, 1i64);
+    fb.copy_to(i, i1);
+    let cont = fb.ge(i, 0i64);
+    fb.branch(cont, tap_loop, sample_done);
+
+    // Per-sample finish.
+    fb.switch_to(sample_done);
+    fb.stw(V_BASE as i64, sri);
+    let c31 = fb.mul(checksum, 31i64);
+    let c1 = fb.add(c31, sri);
+    fb.copy_to(checksum, c1);
+    let sp1 = fb.add(sp, 2i64);
+    fb.copy_to(sp, sp1);
+    let n1 = fb.sub(nsamp, 1i64);
+    fb.copy_to(nsamp, n1);
+    let more = fb.ne(nsamp, 0i64);
+    fb.branch(more, sample_loop, exit);
+
+    fb.switch_to(exit);
+    let v0 = fb.ldw(V_BASE as i64);
+    fb.ret(&[v0.into(), checksum.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Builds `gsm_encode() -> acc` — the LTP cross-correlation.
+pub fn encode_program() -> Program {
+    let mut fb = FunctionBuilder::new("gsm_encode", 0);
+    let body = fb.new_block(40 * 2_500);
+    let exit = fb.new_block(2_500);
+
+    let acc = fb.fresh();
+    let ip = fb.fresh();
+    let wp = fb.fresh();
+    let n = fb.fresh();
+    fb.copy_to(acc, 0i64);
+    fb.copy_to(ip, IN_BASE as i64);
+    fb.copy_to(wp, WT_BASE as i64);
+    fb.copy_to(n, FRAME as i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    let a = fb.ldh(ip);
+    let b = fb.ldh(wp);
+    let prod = fb.mul(a, b);
+    let acc1 = fb.add(acc, prod);
+    fb.copy_to(acc, acc1);
+    let ip1 = fb.add(ip, 2i64);
+    fb.copy_to(ip, ip1);
+    let wp1 = fb.add(wp, 2i64);
+    fb.copy_to(wp, wp1);
+    let n1 = fb.sub(n, 1i64);
+    fb.copy_to(n, n1);
+    let more = fb.ne(n, 0i64);
+    fb.branch(more, body, exit);
+
+    fb.switch_to(exit);
+    let scaled = fb.sar(acc, 6i64);
+    fb.ret(&[scaled.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Builds the encoder's second hot function, the APCM block-maximum
+/// quantizer (`gsm_encode`'s xmaxc computation): find the largest sample
+/// magnitude in a sub-block, then derive the exponent with the standard
+/// shift-until-small loop — select-friendly max/abs against a branchy
+/// normalization loop.
+pub fn xmax_quant_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("gsm_xmax_quant", 0);
+    let scan = fb.new_block(13 * 1_500);
+    let norm = fb.new_block(6 * 1_500);
+    let exit = fb.new_block(1_500);
+
+    let xmax = fb.fresh();
+    let p = fb.fresh();
+    let n = fb.fresh();
+    fb.copy_to(xmax, 0i64);
+    fb.copy_to(p, IN_BASE as i64);
+    fb.copy_to(n, 13i64);
+    fb.jump(scan);
+
+    // abs + running max over 13 samples.
+    fb.switch_to(scan);
+    let x = fb.ldh(p);
+    let neg = fb.lt(x, 0i64);
+    let nx = fb.sub(0i64, x);
+    let ax = fb.select(neg, nx, x);
+    let bigger = fb.gt(ax, xmax);
+    let m2 = fb.select(bigger, ax, xmax);
+    fb.copy_to(xmax, m2);
+    let p1 = fb.add(p, 2i64);
+    fb.copy_to(p, p1);
+    let n1 = fb.sub(n, 1i64);
+    fb.copy_to(n, n1);
+    let more = fb.ne(n, 0i64);
+    fb.branch(more, scan, norm);
+
+    // exponent = number of right shifts until xmax fits in 6 bits.
+    fb.switch_to(norm);
+    let exp = fb.fresh();
+    // First visit initializes exp via the dominating scan block? The IR is
+    // not SSA: initialize in scan's fallthrough instead — simplest is to
+    // zero it before the loop re-entry check.
+    let fits = fb.gt(xmax, 63i64);
+    let shifted = fb.shr(xmax, 1i64);
+    let x2 = fb.select(fits, shifted, xmax);
+    fb.copy_to(xmax, x2);
+    let e1 = fb.add(exp, fits);
+    fb.copy_to(exp, e1);
+    fb.branch(fits, norm, exit);
+
+    fb.switch_to(exit);
+    fb.ret(&[xmax.into(), exp.into()]);
+    let mut f = fb.finish();
+    // exp starts at zero: registers are zero-initialized by the machine
+    // ABI modelled in the interpreter, but make it explicit for the
+    // verifier by defining it in the entry block.
+    let entry = &mut f.blocks[0];
+    entry.insts.push(isax_ir::Inst::new(
+        isax_ir::Opcode::Mov,
+        vec![exp],
+        vec![isax_ir::Operand::Imm(0)],
+    ));
+    f
+}
+
+/// Native oracle for [`xmax_quant_function`].
+pub fn xmax_quant_reference(seed: u64) -> (i32, u32) {
+    let (_, input, _) = frame_data(seed);
+    let mut xmax = 0i32;
+    for &x in input.iter().take(13) {
+        xmax = xmax.max(x.abs());
+    }
+    let mut exp = 0u32;
+    while xmax > 63 {
+        xmax >>= 1;
+        exp += 1;
+    }
+    (xmax, exp)
+}
+
+/// Decoder memory: coefficients, zeroed lattice state, input samples.
+pub fn init_decode_memory(mem: &mut Memory, seed: u64) {
+    let (rrp, input, _) = frame_data(seed);
+    let rrp_u: Vec<u32> = rrp.iter().map(|&v| v as u32).collect();
+    mem.store_words(RRP_BASE, &rrp_u);
+    mem.store_words(V_BASE, &[0; 9]);
+    for (k, &s) in input.iter().enumerate() {
+        mem.store16(IN_BASE + 2 * k as u32, s as u16);
+    }
+}
+
+/// Encoder memory: the two correlation windows.
+pub fn init_encode_memory(mem: &mut Memory, seed: u64) {
+    let (_, input, wt) = frame_data(seed);
+    for (k, &s) in input.iter().enumerate() {
+        mem.store16(IN_BASE + 2 * k as u32, s as u16);
+    }
+    for (k, &s) in wt.iter().enumerate() {
+        mem.store16(WT_BASE + 2 * k as u32, s as u16);
+    }
+}
+
+fn no_args(_seed: u64) -> Vec<u32> {
+    vec![]
+}
+
+/// gsmdecode workload.
+pub fn decode_workload() -> Workload {
+    Workload {
+        name: "gsmdecode",
+        domain: Domain::Audio,
+        program: decode_program(),
+        entry: "gsm_decode",
+        init_memory: init_decode_memory,
+        args: no_args,
+        extra_entries: vec![],
+    }
+}
+
+/// gsmencode workload: LTP correlation plus the xmax quantizer.
+pub fn encode_workload() -> Workload {
+    let mut program = encode_program();
+    program.functions.push(xmax_quant_function());
+    Workload {
+        name: "gsmencode",
+        domain: Domain::Audio,
+        program,
+        entry: "gsm_encode",
+        init_memory: init_encode_memory,
+        args: no_args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "gsm_xmax_quant",
+            args: no_args,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn decoder_matches_reference() {
+        let p = decode_program();
+        for seed in 1..5u64 {
+            let mut mem = Memory::new();
+            init_decode_memory(&mut mem, seed);
+            let out = run(&p, "gsm_decode", &[], &mut mem, 2_000_000).expect("runs");
+            let (v0, checksum) = decode_reference(seed);
+            assert_eq!(out.ret, vec![v0 as u32, checksum], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encoder_matches_reference() {
+        let p = encode_program();
+        for seed in 1..5u64 {
+            let mut mem = Memory::new();
+            init_encode_memory(&mut mem, seed);
+            let out = run(&p, "gsm_encode", &[], &mut mem, 1_000_000).expect("runs");
+            assert_eq!(out.ret, vec![encode_reference(seed) as u32], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn xmax_quantizer_matches_reference() {
+        let p = encode_workload().program;
+        for seed in 1..5u64 {
+            let mut mem = Memory::new();
+            init_encode_memory(&mut mem, seed);
+            let out = run(&p, "gsm_xmax_quant", &[], &mut mem, 100_000).expect("runs");
+            let (xmax, exp) = xmax_quant_reference(seed);
+            assert_eq!(out.ret, vec![xmax as u32, exp], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gsm_arithmetic_saturates() {
+        assert_eq!(gsm_add(32_000, 32_000), 32_767);
+        assert_eq!(gsm_sub(-32_000, 32_000), -32_768);
+        assert_eq!(gsm_mult_r(32_767, 32_767), 32_766);
+        assert_eq!(gsm_mult_r(-32_768, 32_767), -32_767);
+    }
+
+    #[test]
+    fn tap_loop_contains_multiplies_and_selects() {
+        let p = decode_program();
+        let tap = &p.functions[0].blocks[2];
+        let muls = tap
+            .insts
+            .iter()
+            .filter(|i| i.opcode == isax_ir::Opcode::Mul)
+            .count();
+        assert_eq!(muls, 2, "two GSM_MULT_R per lattice tap");
+        let sels = tap
+            .insts
+            .iter()
+            .filter(|i| i.opcode == isax_ir::Opcode::Select)
+            .count();
+        assert!(sels >= 6, "three saturations, two selects each");
+    }
+}

@@ -1,0 +1,326 @@
+//! `ipchains` (NetBench): firewall rule matching.
+//!
+//! The hot path walks a rule chain for every packet, testing masked
+//! source/destination addresses and port ranges, branching out of each
+//! comparison. Basic blocks are tiny and separated by branches, and half
+//! the operations are loads of rule fields — precisely the structure the
+//! paper points at to explain why "several applications in other domains
+//! show very little speedup (e.g. mpeg2dec and ipchains)": the DFG
+//! explorer finds almost nothing to combine.
+//!
+//! The oracle is a straightforward first-match evaluation of the same rule
+//! table.
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program};
+use isax_machine::Memory;
+
+/// Rule table base. Each rule is 6 words:
+/// `src_mask, src_val, dst_mask, dst_val, port_lo, port_hi`.
+pub const RULE_BASE: u32 = 0xA000;
+/// Number of rules in the chain.
+pub const NUM_RULES: u32 = 32;
+/// Words per rule.
+pub const RULE_WORDS: u32 = 6;
+const HOT_WEIGHT: u64 = 20_000;
+
+/// A firewall rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Mask applied to the source address.
+    pub src_mask: u32,
+    /// Required masked source value.
+    pub src_val: u32,
+    /// Mask applied to the destination address.
+    pub dst_mask: u32,
+    /// Required masked destination value.
+    pub dst_val: u32,
+    /// Inclusive lower port bound.
+    pub port_lo: u32,
+    /// Inclusive upper port bound.
+    pub port_hi: u32,
+}
+
+/// Deterministic rule chain for a seed.
+pub fn rules(seed: u64) -> Vec<Rule> {
+    let mut g = Xorshift::new(seed ^ 0x19C5);
+    (0..NUM_RULES)
+        .map(|_| {
+            let prefix = 8 + g.below(17); // /8 .. /24
+            let mask = u32::MAX << (32 - prefix);
+            let lo = g.below(60_000);
+            Rule {
+                src_mask: mask,
+                src_val: g.next_u32() & mask,
+                dst_mask: mask,
+                dst_val: g.next_u32() & mask,
+                port_lo: lo,
+                port_hi: lo + g.below(2_000),
+            }
+        })
+        .collect()
+}
+
+/// First matching rule index, or `NUM_RULES` when none matches.
+pub fn match_reference(seed: u64, src: u32, dst: u32, port: u32) -> u32 {
+    for (i, r) in rules(seed).iter().enumerate() {
+        if (src & r.src_mask) == r.src_val
+            && (dst & r.dst_mask) == r.dst_val
+            && port >= r.port_lo
+            && port <= r.port_hi
+        {
+            return i as u32;
+        }
+    }
+    NUM_RULES
+}
+
+/// Builds `ipchains_match(src, dst, port) -> rule_index`.
+pub fn program() -> Program {
+    let mut fb = FunctionBuilder::new("ipchains_match", 3);
+    let src = fb.param(0);
+    let dst = fb.param(1);
+    let port = fb.param(2);
+
+    // Per-packet chain walk: the four tests live in separate blocks, as
+    // the compiled C does.
+    let head = fb.new_block(HOT_WEIGHT);
+    let test_dst = fb.new_block(HOT_WEIGHT / 4);
+    let test_plo = fb.new_block(HOT_WEIGHT / 8);
+    let test_phi = fb.new_block(HOT_WEIGHT / 10);
+    let next_rule = fb.new_block(HOT_WEIGHT);
+    let matched = fb.new_block(700);
+    let nomatch = fb.new_block(300);
+
+    let i = fb.fresh();
+    let rp = fb.fresh();
+    fb.copy_to(i, 0i64);
+    fb.copy_to(rp, RULE_BASE as i64);
+    fb.jump(head);
+
+    // src test
+    fb.switch_to(head);
+    let smask = fb.ldw(rp);
+    let sa = fb.add(rp, 4i64);
+    let sval = fb.ldw(sa);
+    let ms = fb.and(src, smask);
+    let seq = fb.eq(ms, sval);
+    fb.branch(seq, test_dst, next_rule);
+
+    // dst test
+    fb.switch_to(test_dst);
+    let da = fb.add(rp, 8i64);
+    let dmask = fb.ldw(da);
+    let dva = fb.add(rp, 12i64);
+    let dval = fb.ldw(dva);
+    let md = fb.and(dst, dmask);
+    let deq = fb.eq(md, dval);
+    fb.branch(deq, test_plo, next_rule);
+
+    // port lower bound
+    fb.switch_to(test_plo);
+    let pla = fb.add(rp, 16i64);
+    let plo = fb.ldw(pla);
+    let ge = fb.geu(port, plo);
+    fb.branch(ge, test_phi, next_rule);
+
+    // port upper bound
+    fb.switch_to(test_phi);
+    let pha = fb.add(rp, 20i64);
+    let phi = fb.ldw(pha);
+    let le = fb.leu(port, phi);
+    fb.branch(le, matched, next_rule);
+
+    // advance
+    fb.switch_to(next_rule);
+    let i1 = fb.add(i, 1i64);
+    fb.copy_to(i, i1);
+    let rp1 = fb.add(rp, (RULE_WORDS * 4) as i64);
+    fb.copy_to(rp, rp1);
+    let more = fb.ltu(i, NUM_RULES as i64);
+    fb.branch(more, head, nomatch);
+
+    fb.switch_to(matched);
+    fb.ret(&[i.into()]);
+    fb.switch_to(nomatch);
+    fb.ret(&[NUM_RULES.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Packet payload base (16-bit words for the checksum).
+pub const PKT_BASE: u32 = 0xA800;
+/// Payload length in 16-bit words.
+pub const PKT_WORDS: u32 = 40;
+
+/// Builds the other netfilter hot function: the ones-complement Internet
+/// checksum (RFC 1071) over the packet payload — an add/fold loop with
+/// one load per word.
+pub fn checksum_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("ip_checksum", 0);
+    let body = fb.new_block(PKT_WORDS as u64 * 400);
+    let fold = fb.new_block(2 * 400);
+    let exit = fb.new_block(400);
+
+    let acc = fb.fresh();
+    let p = fb.fresh();
+    let n = fb.fresh();
+    fb.copy_to(acc, 0i64);
+    fb.copy_to(p, PKT_BASE as i64);
+    fb.copy_to(n, PKT_WORDS as i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    let wv = fb.ldhu(p);
+    let a1 = fb.add(acc, wv);
+    fb.copy_to(acc, a1);
+    let p1 = fb.add(p, 2i64);
+    fb.copy_to(p, p1);
+    let n1 = fb.sub(n, 1i64);
+    fb.copy_to(n, n1);
+    let more = fb.ne(n, 0i64);
+    fb.branch(more, body, fold);
+
+    // Fold the carries twice: acc = (acc & 0xFFFF) + (acc >> 16).
+    fb.switch_to(fold);
+    let lo = fb.and(acc, 0xFFFFi64);
+    let hi = fb.shr(acc, 16i64);
+    let f1 = fb.add(lo, hi);
+    let lo2 = fb.and(f1, 0xFFFFi64);
+    let hi2 = fb.shr(f1, 16i64);
+    let f2 = fb.add(lo2, hi2);
+    fb.copy_to(acc, f2);
+    fb.jump(exit);
+
+    fb.switch_to(exit);
+    let inv = fb.not_(acc);
+    let csum = fb.and(inv, 0xFFFFi64);
+    fb.ret(&[csum.into()]);
+    fb.finish()
+}
+
+/// Native oracle for [`checksum_function`].
+pub fn checksum_reference(seed: u64) -> u32 {
+    let words = packet_words(seed);
+    let mut acc: u32 = words.iter().map(|&w| w as u32).sum();
+    acc = (acc & 0xFFFF) + (acc >> 16);
+    acc = (acc & 0xFFFF) + (acc >> 16);
+    !acc & 0xFFFF
+}
+
+/// The packet payload for a seed.
+pub fn packet_words(seed: u64) -> Vec<u16> {
+    let mut g = Xorshift::new(seed ^ 0xC5C5);
+    (0..PKT_WORDS).map(|_| g.next_u32() as u16).collect()
+}
+
+/// Installs the rule table.
+pub fn init_memory(mem: &mut Memory, seed: u64) {
+    let mut words = Vec::new();
+    for r in rules(seed) {
+        words.extend_from_slice(&[
+            r.src_mask, r.src_val, r.dst_mask, r.dst_val, r.port_lo, r.port_hi,
+        ]);
+    }
+    mem.store_words(RULE_BASE, &words);
+    for (k, &w) in packet_words(seed).iter().enumerate() {
+        mem.store16(PKT_BASE + 2 * k as u32, w);
+    }
+}
+
+fn args(seed: u64) -> Vec<u32> {
+    let mut g = Xorshift::new(seed ^ 0xBEEF);
+    vec![g.next_u32(), g.next_u32(), g.below(65_536)]
+}
+
+/// The packaged workload: rule matching plus the Internet checksum.
+pub fn workload() -> Workload {
+    let mut program = program();
+    program.functions.push(checksum_function());
+    Workload {
+        name: "ipchains",
+        domain: Domain::Network,
+        program,
+        entry: "ipchains_match",
+        init_memory,
+        args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "ip_checksum",
+            args: |_| vec![],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn ir_matches_reference_over_many_packets() {
+        let p = program();
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let mut g = Xorshift::new(seed * 17);
+            for _ in 0..20 {
+                let (s, d, port) = (g.next_u32(), g.next_u32(), g.below(65_536));
+                let out = run(&p, "ipchains_match", &[s, d, port], &mut mem.clone(), 100_000)
+                    .expect("runs");
+                assert_eq!(out.ret, vec![match_reference(seed, s, d, port)]);
+            }
+        }
+    }
+
+    #[test]
+    fn crafted_packet_hits_a_chosen_rule() {
+        let seed = 2;
+        let rs = rules(seed);
+        let k = 7usize;
+        // Build a packet matching rule k exactly (may match an earlier
+        // rule instead; reference tells the truth either way).
+        let src = rs[k].src_val;
+        let dst = rs[k].dst_val;
+        let port = rs[k].port_lo;
+        let expect = match_reference(seed, src, dst, port);
+        assert!(expect <= k as u32);
+        let p = program();
+        let mut mem = Memory::new();
+        init_memory(&mut mem, seed);
+        let out = run(&p, "ipchains_match", &[src, dst, port], &mut mem, 100_000).unwrap();
+        assert_eq!(out.ret, vec![expect]);
+    }
+
+    #[test]
+    fn checksum_matches_reference() {
+        let p = workload().program;
+        for seed in 1..5u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let out = run(&p, "ip_checksum", &[], &mut mem, 100_000).expect("runs");
+            assert_eq!(out.ret, vec![checksum_reference(seed)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn checksum_of_own_checksum_verifies() {
+        // RFC 1071 property: appending the checksum makes the total sum
+        // fold to 0xFFFF (i.e. the complemented fold is zero).
+        let seed = 3;
+        let mut words = packet_words(seed);
+        words.push(checksum_reference(seed) as u16);
+        let mut acc: u32 = words.iter().map(|&w| w as u32).sum();
+        acc = (acc & 0xFFFF) + (acc >> 16);
+        acc = (acc & 0xFFFF) + (acc >> 16);
+        assert_eq!(acc, 0xFFFF);
+    }
+
+    #[test]
+    fn blocks_are_small_and_branchy() {
+        let p = program();
+        let f = &p.functions[0];
+        assert!(f.blocks.len() >= 6, "control-heavy kernel");
+        let max_block = f.blocks.iter().map(|b| b.insts.len()).max().unwrap();
+        assert!(max_block <= 8, "no big straight-line regions");
+    }
+}

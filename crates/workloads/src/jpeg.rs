@@ -1,0 +1,610 @@
+//! `cjpeg` / `djpeg` (MediaBench): the integer DCT kernels.
+//!
+//! cjpeg's hot loop is the forward DCT (`jfdctint.c`, the accurate
+//! Loeffler-Ligtenberg-Moshovitz integer DCT); djpeg's is the matching
+//! inverse (`jidctint.c`). One row pass is a single enormous basic block:
+//! eight loads, a butterfly network of adds/subs, **twelve genuine
+//! multiplies** by fixed-point constants, descale rounds, eight stores.
+//!
+//! The multiplies are why the paper singles these benchmarks out: "very
+//! large CFUs are necessary to achieve the speedup limit ... the system
+//! created a CFU for djpeg requiring 24 register file read ports and
+//! having an area greater than 8 multipliers". At realistic budgets only
+//! the cheap butterfly fragments fit, so the curves climb slowly.
+//!
+//! The row passes below are bit-faithful to the libjpeg algorithm
+//! (CONST_BITS = 13, PASS1_BITS = 2) and are validated against native
+//! oracles using the same formulas.
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program, VReg};
+use isax_machine::Memory;
+
+/// Input coefficient/sample base (8×8 i16).
+pub const IN_BASE: u32 = 0x1_2000;
+/// Output base (8×8 i32 words).
+pub const OUT_BASE: u32 = 0x1_3000;
+/// Rows per block.
+pub const ROWS: u32 = 8;
+const HOT_WEIGHT: u64 = 8 * 1_200;
+
+// libjpeg fixed-point constants, CONST_BITS = 13.
+const FIX_0_298631336: i64 = 2446;
+const FIX_0_390180644: i64 = 3196;
+const FIX_0_541196100: i64 = 4433;
+const FIX_0_765366865: i64 = 6270;
+const FIX_0_899976223: i64 = 7373;
+const FIX_1_175875602: i64 = 9633;
+const FIX_1_501321110: i64 = 12299;
+const FIX_1_847759065: i64 = 15137;
+const FIX_1_961570560: i64 = 16069;
+const FIX_2_053119869: i64 = 16819;
+const FIX_2_562915447: i64 = 20995;
+const FIX_3_072711026: i64 = 25172;
+
+/// `DESCALE(x, 11)`: round-to-nearest shift used by both row passes.
+fn descale11(x: i32) -> i32 {
+    (x + 1024) >> 11
+}
+
+/// Native forward-DCT row pass (jfdctint pass 1).
+pub fn fdct_row_reference(d: [i32; 8]) -> [i32; 8] {
+    let tmp0 = d[0] + d[7];
+    let tmp7 = d[0] - d[7];
+    let tmp1 = d[1] + d[6];
+    let tmp6 = d[1] - d[6];
+    let tmp2 = d[2] + d[5];
+    let tmp5 = d[2] - d[5];
+    let tmp3 = d[3] + d[4];
+    let tmp4 = d[3] - d[4];
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+    let mut o = [0i32; 8];
+    o[0] = (tmp10 + tmp11) << 2;
+    o[4] = (tmp10 - tmp11) << 2;
+    let z1 = (tmp12 + tmp13) * FIX_0_541196100 as i32;
+    o[2] = descale11(z1 + tmp13 * FIX_0_765366865 as i32);
+    o[6] = descale11(z1 - tmp12 * FIX_1_847759065 as i32);
+    let z1 = tmp4 + tmp7;
+    let z2 = tmp5 + tmp6;
+    let z3 = tmp4 + tmp6;
+    let z4 = tmp5 + tmp7;
+    let z5 = (z3 + z4) * FIX_1_175875602 as i32;
+    let t4 = tmp4 * FIX_0_298631336 as i32;
+    let t5 = tmp5 * FIX_2_053119869 as i32;
+    let t6 = tmp6 * FIX_3_072711026 as i32;
+    let t7 = tmp7 * FIX_1_501321110 as i32;
+    let z1 = z1 * -(FIX_0_899976223 as i32);
+    let z2 = z2 * -(FIX_2_562915447 as i32);
+    let z3 = z3 * -(FIX_1_961570560 as i32) + z5;
+    let z4 = z4 * -(FIX_0_390180644 as i32) + z5;
+    o[7] = descale11(t4 + z1 + z3);
+    o[5] = descale11(t5 + z2 + z4);
+    o[3] = descale11(t6 + z2 + z3);
+    o[1] = descale11(t7 + z1 + z4);
+    o
+}
+
+/// Native inverse-DCT row pass (jidctint pass 1).
+pub fn idct_row_reference(d: [i32; 8]) -> [i32; 8] {
+    let z2 = d[2];
+    let z3 = d[6];
+    let z1 = (z2 + z3) * FIX_0_541196100 as i32;
+    let tmp2 = z1 - z3 * FIX_1_847759065 as i32;
+    let tmp3 = z1 + z2 * FIX_0_765366865 as i32;
+    let z2 = d[0];
+    let z3 = d[4];
+    let tmp0 = (z2 + z3) << 13;
+    let tmp1 = (z2 - z3) << 13;
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+    let t0 = d[7];
+    let t1 = d[5];
+    let t2 = d[3];
+    let t3 = d[1];
+    let z1 = t0 + t3;
+    let z2 = t1 + t2;
+    let z3 = t0 + t2;
+    let z4 = t1 + t3;
+    let z5 = (z3 + z4) * FIX_1_175875602 as i32;
+    let t0 = t0 * FIX_0_298631336 as i32;
+    let t1 = t1 * FIX_2_053119869 as i32;
+    let t2 = t2 * FIX_3_072711026 as i32;
+    let t3 = t3 * FIX_1_501321110 as i32;
+    let z1 = z1 * -(FIX_0_899976223 as i32);
+    let z2 = z2 * -(FIX_2_562915447 as i32);
+    let z3 = z3 * -(FIX_1_961570560 as i32) + z5;
+    let z4 = z4 * -(FIX_0_390180644 as i32) + z5;
+    let t0 = t0 + z1 + z3;
+    let t1 = t1 + z2 + z4;
+    let t2 = t2 + z2 + z3;
+    let t3 = t3 + z1 + z4;
+    [
+        descale11(tmp10 + t3),
+        descale11(tmp11 + t2),
+        descale11(tmp12 + t1),
+        descale11(tmp13 + t0),
+        descale11(tmp13 - t0),
+        descale11(tmp12 - t1),
+        descale11(tmp11 - t2),
+        descale11(tmp10 - t3),
+    ]
+}
+
+/// Emits `DESCALE(x, 11)`.
+fn emit_descale(fb: &mut FunctionBuilder, x: VReg) -> VReg {
+    let r = fb.add(x, 1024i64);
+    fb.sar(r, 11i64)
+}
+
+/// Emits one row's loads.
+fn emit_row_loads(fb: &mut FunctionBuilder, rowp: VReg) -> Vec<VReg> {
+    (0..8)
+        .map(|k| {
+            let a = fb.add(rowp, (2 * k) as i64);
+            fb.ldh(a)
+        })
+        .collect()
+}
+
+/// Emits one row's stores (32-bit outputs).
+fn emit_row_stores(fb: &mut FunctionBuilder, outp: VReg, o: &[VReg; 8]) {
+    for (k, &v) in o.iter().enumerate() {
+        let a = fb.add(outp, (4 * k) as i64);
+        fb.stw(a, v);
+    }
+}
+
+fn build_dct(name: &'static str, forward: bool) -> Program {
+    let mut fb = FunctionBuilder::new(name, 0);
+    let body = fb.new_block(HOT_WEIGHT);
+    let exit = fb.new_block(1_200);
+
+    let rowp = fb.fresh();
+    let outp = fb.fresh();
+    let row = fb.fresh();
+    fb.copy_to(rowp, IN_BASE as i64);
+    fb.copy_to(outp, OUT_BASE as i64);
+    fb.copy_to(row, 0i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    let d = emit_row_loads(&mut fb, rowp);
+    let o = if forward {
+        emit_fdct_row(&mut fb, &d)
+    } else {
+        emit_idct_row(&mut fb, &d)
+    };
+    emit_row_stores(&mut fb, outp, &o);
+    let rp1 = fb.add(rowp, 16i64);
+    fb.copy_to(rowp, rp1);
+    let op1 = fb.add(outp, 32i64);
+    fb.copy_to(outp, op1);
+    let r1 = fb.add(row, 1i64);
+    fb.copy_to(row, r1);
+    let more = fb.ltu(row, ROWS as i64);
+    fb.branch(more, body, exit);
+
+    fb.switch_to(exit);
+    let first = fb.ldw(OUT_BASE as i64);
+    fb.ret(&[first.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+fn emit_fdct_row(fb: &mut FunctionBuilder, d: &[VReg]) -> [VReg; 8] {
+    let tmp0 = fb.add(d[0], d[7]);
+    let tmp7 = fb.sub(d[0], d[7]);
+    let tmp1 = fb.add(d[1], d[6]);
+    let tmp6 = fb.sub(d[1], d[6]);
+    let tmp2 = fb.add(d[2], d[5]);
+    let tmp5 = fb.sub(d[2], d[5]);
+    let tmp3 = fb.add(d[3], d[4]);
+    let tmp4 = fb.sub(d[3], d[4]);
+    let tmp10 = fb.add(tmp0, tmp3);
+    let tmp13 = fb.sub(tmp0, tmp3);
+    let tmp11 = fb.add(tmp1, tmp2);
+    let tmp12 = fb.sub(tmp1, tmp2);
+    let e0 = fb.add(tmp10, tmp11);
+    let o0 = fb.shl(e0, 2i64);
+    let e4 = fb.sub(tmp10, tmp11);
+    let o4 = fb.shl(e4, 2i64);
+    let zsum = fb.add(tmp12, tmp13);
+    let z1 = fb.mul(zsum, FIX_0_541196100);
+    let m2 = fb.mul(tmp13, FIX_0_765366865);
+    let s2 = fb.add(z1, m2);
+    let o2 = emit_descale(fb, s2);
+    let m6 = fb.mul(tmp12, FIX_1_847759065);
+    let s6 = fb.sub(z1, m6);
+    let o6 = emit_descale(fb, s6);
+    let z1o = fb.add(tmp4, tmp7);
+    let z2o = fb.add(tmp5, tmp6);
+    let z3o = fb.add(tmp4, tmp6);
+    let z4o = fb.add(tmp5, tmp7);
+    let z34 = fb.add(z3o, z4o);
+    let z5 = fb.mul(z34, FIX_1_175875602);
+    let t4 = fb.mul(tmp4, FIX_0_298631336);
+    let t5 = fb.mul(tmp5, FIX_2_053119869);
+    let t6 = fb.mul(tmp6, FIX_3_072711026);
+    let t7 = fb.mul(tmp7, FIX_1_501321110);
+    let z1m = fb.mul(z1o, -FIX_0_899976223);
+    let z2m = fb.mul(z2o, -FIX_2_562915447);
+    let z3m0 = fb.mul(z3o, -FIX_1_961570560);
+    let z3m = fb.add(z3m0, z5);
+    let z4m0 = fb.mul(z4o, -FIX_0_390180644);
+    let z4m = fb.add(z4m0, z5);
+    let s7a = fb.add(t4, z1m);
+    let s7 = fb.add(s7a, z3m);
+    let o7 = emit_descale(fb, s7);
+    let s5a = fb.add(t5, z2m);
+    let s5 = fb.add(s5a, z4m);
+    let o5 = emit_descale(fb, s5);
+    let s3a = fb.add(t6, z2m);
+    let s3 = fb.add(s3a, z3m);
+    let o3 = emit_descale(fb, s3);
+    let s1a = fb.add(t7, z1m);
+    let s1 = fb.add(s1a, z4m);
+    let o1 = emit_descale(fb, s1);
+    [o0, o1, o2, o3, o4, o5, o6, o7]
+}
+
+fn emit_idct_row(fb: &mut FunctionBuilder, d: &[VReg]) -> [VReg; 8] {
+    let z23 = fb.add(d[2], d[6]);
+    let z1 = fb.mul(z23, FIX_0_541196100);
+    let m2 = fb.mul(d[6], FIX_1_847759065);
+    let tmp2 = fb.sub(z1, m2);
+    let m3 = fb.mul(d[2], FIX_0_765366865);
+    let tmp3 = fb.add(z1, m3);
+    let e_sum = fb.add(d[0], d[4]);
+    let tmp0 = fb.shl(e_sum, 13i64);
+    let e_dif = fb.sub(d[0], d[4]);
+    let tmp1 = fb.shl(e_dif, 13i64);
+    let tmp10 = fb.add(tmp0, tmp3);
+    let tmp13 = fb.sub(tmp0, tmp3);
+    let tmp11 = fb.add(tmp1, tmp2);
+    let tmp12 = fb.sub(tmp1, tmp2);
+    let (t0i, t1i, t2i, t3i) = (d[7], d[5], d[3], d[1]);
+    let z1o = fb.add(t0i, t3i);
+    let z2o = fb.add(t1i, t2i);
+    let z3o = fb.add(t0i, t2i);
+    let z4o = fb.add(t1i, t3i);
+    let z34 = fb.add(z3o, z4o);
+    let z5 = fb.mul(z34, FIX_1_175875602);
+    let t0 = fb.mul(t0i, FIX_0_298631336);
+    let t1 = fb.mul(t1i, FIX_2_053119869);
+    let t2 = fb.mul(t2i, FIX_3_072711026);
+    let t3 = fb.mul(t3i, FIX_1_501321110);
+    let z1m = fb.mul(z1o, -FIX_0_899976223);
+    let z2m = fb.mul(z2o, -FIX_2_562915447);
+    let z3m0 = fb.mul(z3o, -FIX_1_961570560);
+    let z3m = fb.add(z3m0, z5);
+    let z4m0 = fb.mul(z4o, -FIX_0_390180644);
+    let z4m = fb.add(z4m0, z5);
+    let t0a = fb.add(t0, z1m);
+    let t0f = fb.add(t0a, z3m);
+    let t1a = fb.add(t1, z2m);
+    let t1f = fb.add(t1a, z4m);
+    let t2a = fb.add(t2, z2m);
+    let t2f = fb.add(t2a, z3m);
+    let t3a = fb.add(t3, z1m);
+    let t3f = fb.add(t3a, z4m);
+    let descale_pair = |fb: &mut FunctionBuilder, a: VReg, b: VReg| {
+        let s = fb.add(a, b);
+        let p = emit_descale(fb, s);
+        let df = fb.sub(a, b);
+        let m = emit_descale(fb, df);
+        (p, m)
+    };
+    let (o0, o7) = descale_pair(fb, tmp10, t3f);
+    let (o1, o6) = descale_pair(fb, tmp11, t2f);
+    let (o2, o5) = descale_pair(fb, tmp12, t1f);
+    let (o3, o4) = descale_pair(fb, tmp13, t0f);
+    [o0, o1, o2, o3, o4, o5, o6, o7]
+}
+
+/// Builds the forward DCT kernel.
+pub fn cjpeg_program() -> Program {
+    build_dct("fdct_rows", true)
+}
+
+/// Builds the inverse DCT kernel.
+pub fn djpeg_program() -> Program {
+    build_dct("idct_rows", false)
+}
+
+/// Quantization table base (64 words).
+pub const QTAB_BASE: u32 = 0x1_4000;
+/// Quantized/dequantized output base (64 words).
+pub const QOUT_BASE: u32 = 0x1_5000;
+
+/// Builds cjpeg's second hot function, the coefficient quantizer
+/// (`jcdctmgr.c`): per coefficient, add half the divisor for rounding and
+/// **divide** — with the sign handled by branches, exactly as the C code
+/// does. Division cannot join a CFU and the branches fragment the DFG, so
+/// this function contributes realistic "uncombinable" weight to cjpeg.
+pub fn quantize_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("jpeg_quantize", 0);
+    let head = fb.new_block(10_000);
+    let neg_path = fb.new_block(5_000);
+    let pos_path = fb.new_block(5_000);
+    let store = fb.new_block(10_000);
+    let exit = fb.new_block(160);
+
+    let k = fb.fresh();
+    let out = fb.fresh();
+    fb.copy_to(k, 0i64);
+    fb.copy_to(out, 0i64);
+    fb.jump(head);
+
+    fb.switch_to(head);
+    let koff2 = fb.shl(k, 1i64);
+    let ca = fb.add(koff2, IN_BASE as i64);
+    let c = fb.ldh(ca);
+    let koff4 = fb.shl(k, 2i64);
+    let qa = fb.add(koff4, QTAB_BASE as i64);
+    let q = fb.ldw(qa);
+    let half = fb.shr(q, 1i64);
+    let isneg = fb.lt(c, 0i64);
+    fb.branch(isneg, neg_path, pos_path);
+
+    fb.switch_to(neg_path);
+    let nc = fb.sub(0i64, c);
+    let nr = fb.add(nc, half);
+    let nq = fb.div(nr, q);
+    let nv = fb.sub(0i64, nq);
+    fb.copy_to(out, nv);
+    fb.jump(store);
+
+    fb.switch_to(pos_path);
+    let pr = fb.add(c, half);
+    let pv = fb.div(pr, q);
+    fb.copy_to(out, pv);
+    fb.jump(store);
+
+    fb.switch_to(store);
+    let oa = fb.add(koff4, QOUT_BASE as i64);
+    fb.stw(oa, out);
+    let k1 = fb.add(k, 1i64);
+    fb.copy_to(k, k1);
+    let more = fb.ltu(k, 64i64);
+    fb.branch(more, head, exit);
+
+    fb.switch_to(exit);
+    let first = fb.ldw(QOUT_BASE as i64);
+    fb.ret(&[first.into()]);
+    fb.finish()
+}
+
+/// Native oracle for [`quantize_function`].
+pub fn quantize_reference(seed: u64) -> Vec<i32> {
+    let block = input_block(seed);
+    let q = qtable(seed);
+    let mut out = Vec::with_capacity(64);
+    for (k, &c) in block.iter().flatten().enumerate() {
+        let d = q[k] as i32;
+        let v = if c < 0 { -((-c + (d >> 1)) / d) } else { (c + (d >> 1)) / d };
+        out.push(v);
+    }
+    out
+}
+
+/// Builds djpeg's second hot function, the dequantize + range-limit pass:
+/// a multiply per coefficient and a select-based clamp — combinable, but
+/// multiplier-priced.
+pub fn dequantize_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("jpeg_dequantize", 0);
+    let body = fb.new_block(10_000);
+    let exit = fb.new_block(160);
+
+    let k = fb.fresh();
+    fb.copy_to(k, 0i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    let koff2 = fb.shl(k, 1i64);
+    let ca = fb.add(koff2, IN_BASE as i64);
+    let c = fb.ldh(ca);
+    let koff4 = fb.shl(k, 2i64);
+    let qa = fb.add(koff4, QTAB_BASE as i64);
+    let q = fb.ldw(qa);
+    let v = fb.mul(c, q);
+    let hi = fb.gt(v, 2047i64);
+    let v1 = fb.select(hi, 2047i64, v);
+    let lo = fb.lt(v1, -2048i64);
+    let v2 = fb.select(lo, -2048i64, v1);
+    let oa = fb.add(koff4, QOUT_BASE as i64);
+    fb.stw(oa, v2);
+    let k1 = fb.add(k, 1i64);
+    fb.copy_to(k, k1);
+    let more = fb.ltu(k, 64i64);
+    fb.branch(more, body, exit);
+
+    fb.switch_to(exit);
+    let first = fb.ldw(QOUT_BASE as i64);
+    fb.ret(&[first.into()]);
+    fb.finish()
+}
+
+/// Native oracle for [`dequantize_function`].
+pub fn dequantize_reference(seed: u64) -> Vec<i32> {
+    let block = input_block(seed);
+    let q = qtable(seed);
+    block
+        .iter()
+        .flatten()
+        .enumerate()
+        .map(|(k, &c)| (c * q[k] as i32).clamp(-2048, 2047))
+        .collect()
+}
+
+/// The (synthesized) quantization table: divisors in 4..64.
+pub fn qtable(seed: u64) -> Vec<u32> {
+    let mut g = Xorshift::new(seed ^ 0x07AB);
+    (0..64).map(|_| 4 + g.below(60)).collect()
+}
+
+/// Installs an 8×8 block of 16-bit inputs.
+pub fn init_memory(mem: &mut Memory, seed: u64) {
+    let mut g = Xorshift::new(seed ^ 0x1DC7);
+    for k in 0..64u32 {
+        let v = (g.below(512) as i32 - 256) as i16;
+        mem.store16(IN_BASE + 2 * k, v as u16);
+    }
+    mem.store_words(QTAB_BASE, &qtable(seed));
+}
+
+/// Reads the input block (for the oracles).
+pub fn input_block(seed: u64) -> [[i32; 8]; 8] {
+    let mut g = Xorshift::new(seed ^ 0x1DC7);
+    let mut rows = [[0i32; 8]; 8];
+    for row in rows.iter_mut() {
+        for v in row.iter_mut() {
+            *v = g.below(512) as i32 - 256;
+        }
+    }
+    rows
+}
+
+fn no_args(_seed: u64) -> Vec<u32> {
+    vec![]
+}
+
+/// cjpeg workload: forward DCT plus the division-bound quantizer.
+pub fn cjpeg_workload() -> Workload {
+    let mut program = cjpeg_program();
+    program.functions.push(quantize_function());
+    Workload {
+        name: "cjpeg",
+        domain: Domain::Image,
+        program,
+        entry: "fdct_rows",
+        init_memory,
+        args: no_args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "jpeg_quantize",
+            args: no_args,
+        }],
+    }
+}
+
+/// djpeg workload: inverse DCT plus dequantize/range-limit.
+pub fn djpeg_workload() -> Workload {
+    let mut program = djpeg_program();
+    program.functions.push(dequantize_function());
+    Workload {
+        name: "djpeg",
+        domain: Domain::Image,
+        program,
+        entry: "idct_rows",
+        init_memory,
+        args: no_args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "jpeg_dequantize",
+            args: no_args,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn fdct_rows_match_reference() {
+        let p = cjpeg_program();
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            run(&p, "fdct_rows", &[], &mut mem, 1_000_000).expect("runs");
+            for (r, row) in input_block(seed).iter().enumerate() {
+                let expect = fdct_row_reference(*row);
+                let got = mem.load_words(OUT_BASE + 32 * r as u32, 8);
+                let got_i: Vec<i32> = got.iter().map(|&w| w as i32).collect();
+                assert_eq!(got_i, expect.to_vec(), "seed {seed} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn idct_rows_match_reference() {
+        let p = djpeg_program();
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            run(&p, "idct_rows", &[], &mut mem, 1_000_000).expect("runs");
+            for (r, row) in input_block(seed).iter().enumerate() {
+                let expect = idct_row_reference(*row);
+                let got = mem.load_words(OUT_BASE + 32 * r as u32, 8);
+                let got_i: Vec<i32> = got.iter().map(|&w| w as i32).collect();
+                assert_eq!(got_i, expect.to_vec(), "seed {seed} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantizer_matches_reference() {
+        let p = cjpeg_workload().program;
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            run(&p, "jpeg_quantize", &[], &mut mem, 1_000_000).expect("runs");
+            for (k, &e) in quantize_reference(seed).iter().enumerate() {
+                assert_eq!(
+                    mem.load32(QOUT_BASE + 4 * k as u32) as i32,
+                    e,
+                    "coeff {k} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dequantizer_matches_reference() {
+        let p = djpeg_workload().program;
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            run(&p, "jpeg_dequantize", &[], &mut mem, 1_000_000).expect("runs");
+            for (k, &e) in dequantize_reference(seed).iter().enumerate() {
+                assert_eq!(
+                    mem.load32(QOUT_BASE + 4 * k as u32) as i32,
+                    e,
+                    "coeff {k} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fdct_dc_term_is_the_scaled_sum() {
+        // Row of identical values: o0 = 8*v << 2, everything else 0 except
+        // rounding in the odd terms.
+        let o = fdct_row_reference([3; 8]);
+        assert_eq!(o[0], 8 * 3 << 2);
+        assert_eq!(o[4], 0);
+    }
+
+    #[test]
+    fn idct_of_dc_only_is_flat() {
+        let o = idct_row_reference([64, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(o.iter().all(|&v| v == o[0]), "{o:?}");
+    }
+
+    #[test]
+    fn row_blocks_carry_twelve_multiplies() {
+        for p in [cjpeg_program(), djpeg_program()] {
+            let body = &p.functions[0].blocks[1];
+            let muls = body
+                .insts
+                .iter()
+                .filter(|i| i.opcode == isax_ir::Opcode::Mul)
+                .count();
+            assert_eq!(muls, 12, "{}", p.functions[0].name);
+        }
+    }
+}

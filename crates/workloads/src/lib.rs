@@ -1,0 +1,234 @@
+//! The thirteen benchmark kernels of the MICRO-2003 evaluation, as
+//! `isax-ir` programs.
+//!
+//! The paper profiles thirteen applications from four suites:
+//!
+//! | domain     | benchmarks                                        | suite      |
+//! |------------|---------------------------------------------------|------------|
+//! | encryption | blowfish, rijndael, sha                           | MiBench    |
+//! | network    | crc, ipchains, url                                | NetBench   |
+//! | audio      | gsmdecode, gsmencode, rawcaudio, rawdaudio        | MediaBench |
+//! | image      | cjpeg, djpeg, mpeg2dec                            | MediaBench |
+//!
+//! The original binaries and profiling infrastructure are unavailable, so
+//! each benchmark is reproduced as the IR of its *hot kernel* — the loops
+//! the paper's DFG explorer actually feeds on — with profile weights
+//! modelling the hot-loop trip counts. The kernels are real programs, not
+//! shaped noise: each module carries a native-Rust **reference oracle**
+//! and the test suite executes the IR against it through the
+//! `isax-machine` interpreter (blowfish's Feistel F, AES's round, SHA-1's
+//! compression, CRC-32, IMA-ADPCM, GSM saturation arithmetic, the JPEG
+//! DCTs, MPEG-2 motion compensation).
+//!
+//! Domain character matches the paper's analysis: encryption kernels are
+//! dominated by long chains of cheap ALU operations (ideal CFU material);
+//! mpeg2dec and ipchains are laced with memory operations and branches
+//! that fragment the dataflow graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use isax_workloads::{all, by_name, Domain};
+//!
+//! assert_eq!(all().len(), 13);
+//! let bf = by_name("blowfish").unwrap();
+//! assert_eq!(bf.domain, Domain::Encryption);
+//! assert!(bf.program.inst_count() > 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adpcm;
+pub mod blowfish;
+pub mod common;
+pub mod crc;
+pub mod gsm;
+pub mod ipchains;
+pub mod jpeg;
+pub mod mpeg2;
+pub mod rijndael;
+pub mod sha;
+pub mod url;
+
+use isax_ir::Program;
+use isax_machine::Memory;
+
+/// Benchmark domain (the four categories of Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// blowfish, rijndael, sha.
+    Encryption,
+    /// crc, ipchains, url.
+    Network,
+    /// gsmdecode, gsmencode, rawcaudio, rawdaudio.
+    Audio,
+    /// cjpeg, djpeg, mpeg2dec.
+    Image,
+}
+
+impl Domain {
+    /// All four domains, in the paper's order.
+    pub const ALL: [Domain; 4] = [
+        Domain::Encryption,
+        Domain::Network,
+        Domain::Audio,
+        Domain::Image,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Encryption => "encryption",
+            Domain::Network => "network",
+            Domain::Audio => "audio",
+            Domain::Image => "image",
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A secondary entry point of a benchmark (real applications have more
+/// than one hot function; the explorer sees them all).
+pub struct ExtraEntry {
+    /// Function name.
+    pub entry: &'static str,
+    /// Produces its arguments from a test seed.
+    pub args: fn(u64) -> Vec<u32>,
+}
+
+/// A benchmark: its IR, how to set up its memory, and how to drive it.
+pub struct Workload {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// Domain it belongs to.
+    pub domain: Domain,
+    /// The kernel program.
+    pub program: Program,
+    /// Primary entry function for interpreter-based testing.
+    pub entry: &'static str,
+    /// Installs the benchmark's constant tables / input buffers.
+    pub init_memory: fn(&mut Memory, u64),
+    /// Produces entry arguments from a test seed.
+    pub args: fn(u64) -> Vec<u32>,
+    /// Additional hot functions in the same program.
+    pub extra_entries: Vec<ExtraEntry>,
+}
+
+impl Workload {
+    /// Every driveable entry of the program: the primary one plus extras,
+    /// as `(function, args)` pairs.
+    pub fn entries(&self) -> Vec<(&'static str, fn(u64) -> Vec<u32>)> {
+        let mut v = vec![(self.entry, self.args)];
+        v.extend(self.extra_entries.iter().map(|e| (e.entry, e.args)));
+        v
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .field("insts", &self.program.inst_count())
+            .finish()
+    }
+}
+
+/// All thirteen benchmarks, grouped by domain in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        blowfish::workload(),
+        rijndael::workload(),
+        sha::workload(),
+        crc::workload(),
+        ipchains::workload(),
+        url::workload(),
+        gsm::decode_workload(),
+        gsm::encode_workload(),
+        adpcm::rawcaudio_workload(),
+        adpcm::rawdaudio_workload(),
+        jpeg::cjpeg_workload(),
+        jpeg::djpeg_workload(),
+        mpeg2::workload(),
+    ]
+}
+
+/// Looks a benchmark up by its paper name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Names of the benchmarks in a domain, in the paper's order.
+pub fn domain_members(d: Domain) -> Vec<&'static str> {
+    match d {
+        Domain::Encryption => vec!["blowfish", "rijndael", "sha"],
+        Domain::Network => vec!["crc", "ipchains", "url"],
+        Domain::Audio => vec!["gsmdecode", "gsmencode", "rawcaudio", "rawdaudio"],
+        Domain::Image => vec!["cjpeg", "djpeg", "mpeg2dec"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_benchmarks_verify() {
+        let ws = all();
+        assert_eq!(ws.len(), 13);
+        for w in &ws {
+            isax_ir::verify_program(&w.program)
+                .unwrap_or_else(|e| panic!("{} fails verification: {:?}", w.name, e));
+        }
+    }
+
+    #[test]
+    fn names_match_domain_membership() {
+        for d in Domain::ALL {
+            for name in domain_members(d) {
+                let w = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+                assert_eq!(w.domain, d, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_runs_under_the_interpreter() {
+        for w in all() {
+            for (entry, args_fn) in w.entries() {
+                let mut mem = Memory::new();
+                (w.init_memory)(&mut mem, 1);
+                let args = args_fn(1);
+                let out = isax_machine::run(&w.program, entry, &args, &mut mem, 50_000_000)
+                    .unwrap_or_else(|e| panic!("{}::{entry} failed: {e}", w.name));
+                assert!(out.steps > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_blocks_carry_weight() {
+        for w in all() {
+            let max_weight = w
+                .program
+                .functions
+                .iter()
+                .flat_map(|f| f.blocks.iter())
+                .map(|b| b.weight)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_weight >= 1000,
+                "{}: hot loop weight {} too small",
+                w.name,
+                max_weight
+            );
+        }
+    }
+}

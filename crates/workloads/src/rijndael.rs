@@ -1,0 +1,298 @@
+//! `rijndael` (MiBench security): T-table AES encryption rounds.
+//!
+//! MiBench's rijndael uses Gladman's table-driven implementation: each
+//! round produces four state words, each as
+//!
+//! ```text
+//! t[j] = T0[s0>>24] ^ T1[(s1>>16)&FF] ^ T2[(s2>>8)&FF] ^ T3[s3&FF] ^ rk[j]
+//! ```
+//!
+//! with the column indices rotating per output word. One round is a single
+//! huge basic block — sixteen byte-extract/address chains feeding sixteen
+//! table loads, folded by xor trees. It is the most CFU-friendly kernel in
+//! the suite (the paper reports its best speedup, 1.87) because nearly
+//! every non-load operation is a cheap shift/and/add/xor that combines
+//! freely.
+//!
+//! T-tables and round keys are synthesized deterministically and shared
+//! with the native oracle; the kernel is the *round structure* of AES, not
+//! a keyed standard vector (the original's key schedule runs outside the
+//! hot loop).
+
+use crate::common::Xorshift;
+use crate::{Domain, Workload};
+use isax_ir::{FunctionBuilder, Program, VReg};
+use isax_machine::Memory;
+
+/// Base of the four T-tables (4 × 256 words, contiguous).
+pub const T_BASE: u32 = 0x1_0000;
+/// Base of the round keys (4 words × `ROUNDS`).
+pub const RK_BASE: u32 = 0x2_0000;
+/// Rounds in the hot loop.
+pub const ROUNDS: u32 = 10;
+const HOT_WEIGHT: u64 = 10 * 2_500;
+
+/// Synthesized tables: (T\[4×256\], RK\[4 × ROUNDS\]).
+pub fn tables(seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut g = Xorshift::new(seed ^ 0xAE5AE5);
+    (g.words(4 * 256), g.words(4 * ROUNDS as usize))
+}
+
+/// Native reference: runs the same `ROUNDS` of the T-table round function.
+pub fn rounds_reference(seed: u64, mut s: [u32; 4]) -> [u32; 4] {
+    let (t, rk) = tables(seed);
+    let tt = |k: usize, b: u32| t[256 * k + b as usize];
+    for r in 0..ROUNDS as usize {
+        let mut n = [0u32; 4];
+        for (j, nj) in n.iter_mut().enumerate() {
+            *nj = tt(0, s[j] >> 24)
+                ^ tt(1, (s[(j + 1) & 3] >> 16) & 0xFF)
+                ^ tt(2, (s[(j + 2) & 3] >> 8) & 0xFF)
+                ^ tt(3, s[(j + 3) & 3] & 0xFF)
+                ^ rk[4 * r + j];
+        }
+        s = n;
+    }
+    s
+}
+
+/// Emits the extract + lookup chain for one byte of one T-table.
+fn lookup(fb: &mut FunctionBuilder, word: VReg, shift: i64, table: u32) -> VReg {
+    let b = if shift > 0 {
+        let sh = fb.shr(word, shift);
+        if shift < 24 {
+            fb.and(sh, 0xFFi64)
+        } else {
+            sh
+        }
+    } else {
+        fb.and(word, 0xFFi64)
+    };
+    let off = fb.shl(b, 2i64);
+    let addr = fb.add(off, (T_BASE + 0x400 * table) as i64);
+    fb.ldw(addr)
+}
+
+/// Builds `aes_rounds(s0, s1, s2, s3) -> (s0, s1, s2, s3)`.
+pub fn program() -> Program {
+    let mut fb = FunctionBuilder::new("aes_rounds", 4);
+    let s_in: Vec<VReg> = (0..4).map(|i| fb.param(i)).collect();
+    let round = fb.new_block(HOT_WEIGHT);
+    let exit = fb.new_block(2_500);
+
+    let s: Vec<VReg> = (0..4).map(|_| fb.fresh()).collect();
+    let r = fb.fresh();
+    let rkp = fb.fresh();
+    for (dst, src) in s.iter().zip(&s_in) {
+        fb.copy_to(*dst, *src);
+    }
+    fb.copy_to(r, 0i64);
+    fb.copy_to(rkp, RK_BASE as i64);
+    fb.jump(round);
+
+    fb.switch_to(round);
+    let mut new_words = Vec::with_capacity(4);
+    for j in 0..4usize {
+        let l0 = lookup(&mut fb, s[j], 24, 0);
+        let l1 = lookup(&mut fb, s[(j + 1) & 3], 16, 1);
+        let l2 = lookup(&mut fb, s[(j + 2) & 3], 8, 2);
+        let l3 = lookup(&mut fb, s[(j + 3) & 3], 0, 3);
+        let rk_addr = fb.add(rkp, (4 * j) as i64);
+        let rkw = fb.ldw(rk_addr);
+        let x0 = fb.xor(l0, l1);
+        let x1 = fb.xor(x0, l2);
+        let x2 = fb.xor(x1, l3);
+        let nw = fb.xor(x2, rkw);
+        new_words.push(nw);
+    }
+    for (dst, nw) in s.iter().zip(&new_words) {
+        fb.copy_to(*dst, *nw);
+    }
+    let rkp1 = fb.add(rkp, 16i64);
+    fb.copy_to(rkp, rkp1);
+    let r1 = fb.add(r, 1i64);
+    fb.copy_to(r, r1);
+    let more = fb.ltu(r, ROUNDS as i64);
+    fb.branch(more, round, exit);
+
+    fb.switch_to(exit);
+    fb.ret(&[s[0].into(), s[1].into(), s[2].into(), s[3].into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// Base of the expanded-key output buffer written by `aes_key_mix`.
+pub const KX_BASE: u32 = 0x2_1000;
+
+/// Builds `aes_key_mix(w0, w1, w2, w3) -> w7` — one block of the key
+/// schedule: `w[i] = w[i-4] ^ Sub(Rot(w[i-1])) ^ rcon` for the first word
+/// of the group and plain xor chaining for the rest, with `Sub` standing
+/// on the byte-substitution tables. The schedule is the application's
+/// *other* hot function; it shares the byte-extract/lookup CFU shapes with
+/// the round loop.
+pub fn key_mix_function() -> isax_ir::Function {
+    let mut fb = FunctionBuilder::new("aes_key_mix", 4);
+    let w: Vec<_> = (0..4).map(|i| fb.param(i)).collect();
+    let body = fb.new_block(4_000);
+    let exit = fb.new_block(400);
+
+    let regs: Vec<_> = (0..4).map(|_| fb.fresh()).collect();
+    let r = fb.fresh();
+    let rcon = fb.fresh();
+    for (dst, src) in regs.iter().zip(&w) {
+        fb.copy_to(*dst, *src);
+    }
+    fb.copy_to(r, 0i64);
+    fb.copy_to(rcon, 1i64);
+    fb.jump(body);
+
+    fb.switch_to(body);
+    // temp = RotWord(w3): rotate left by 8.
+    let hi = fb.shl(regs[3], 8i64);
+    let lo = fb.shr(regs[3], 24i64);
+    let rot = fb.or(hi, lo);
+    // SubWord via the substitution tables (byte-sliced lookups).
+    let l0 = lookup(&mut fb, rot, 24, 0);
+    let l1 = lookup(&mut fb, rot, 16, 1);
+    let l2 = lookup(&mut fb, rot, 8, 2);
+    let l3 = lookup(&mut fb, rot, 0, 3);
+    let x0 = fb.xor(l0, l1);
+    let x1 = fb.xor(x0, l2);
+    let sub = fb.xor(x1, l3);
+    let t0 = fb.xor(sub, rcon);
+    let n0 = fb.xor(regs[0], t0);
+    let n1 = fb.xor(regs[1], n0);
+    let n2 = fb.xor(regs[2], n1);
+    let n3 = fb.xor(regs[3], n2);
+    // Store the group and advance.
+    let roff = fb.shl(r, 4i64);
+    let base = fb.add(roff, KX_BASE as i64);
+    fb.stw(base, n0);
+    let a1 = fb.add(base, 4i64);
+    fb.stw(a1, n1);
+    let a2 = fb.add(base, 8i64);
+    fb.stw(a2, n2);
+    let a3 = fb.add(base, 12i64);
+    fb.stw(a3, n3);
+    for (dst, src) in regs.iter().zip([n0, n1, n2, n3]) {
+        fb.copy_to(*dst, src);
+    }
+    let rc2 = fb.shl(rcon, 1i64);
+    fb.copy_to(rcon, rc2);
+    let r1 = fb.add(r, 1i64);
+    fb.copy_to(r, r1);
+    let more = fb.ltu(r, 10i64);
+    fb.branch(more, body, exit);
+
+    fb.switch_to(exit);
+    fb.ret(&[regs[3].into()]);
+    fb.finish()
+}
+
+/// Native oracle for [`key_mix_function`].
+pub fn key_mix_reference(seed: u64, mut w: [u32; 4]) -> u32 {
+    let (t, _) = tables(seed);
+    let tt = |k: usize, b: u32| t[256 * k + b as usize];
+    let mut rcon = 1u32;
+    for _ in 0..10 {
+        let rot = (w[3] << 8) | (w[3] >> 24);
+        let sub = tt(0, rot >> 24)
+            ^ tt(1, (rot >> 16) & 0xFF)
+            ^ tt(2, (rot >> 8) & 0xFF)
+            ^ tt(3, rot & 0xFF);
+        let n0 = w[0] ^ sub ^ rcon;
+        let n1 = w[1] ^ n0;
+        let n2 = w[2] ^ n1;
+        let n3 = w[3] ^ n2;
+        w = [n0, n1, n2, n3];
+        rcon <<= 1;
+    }
+    w[3]
+}
+
+/// Installs the T-tables and round keys.
+pub fn init_memory(mem: &mut Memory, seed: u64) {
+    let (t, rk) = tables(seed);
+    mem.store_words(T_BASE, &t);
+    mem.store_words(RK_BASE, &rk);
+}
+
+fn args(seed: u64) -> Vec<u32> {
+    let mut g = Xorshift::new(seed ^ 0x5EED);
+    g.words(4)
+}
+
+/// The packaged workload: rounds plus the key schedule.
+pub fn workload() -> Workload {
+    let mut program = program();
+    program.functions.push(key_mix_function());
+    Workload {
+        name: "rijndael",
+        domain: Domain::Encryption,
+        program,
+        entry: "aes_rounds",
+        init_memory,
+        args,
+        extra_entries: vec![crate::ExtraEntry {
+            entry: "aes_key_mix",
+            args,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_machine::run;
+
+    #[test]
+    fn ir_matches_reference() {
+        let p = program();
+        for seed in 1..5u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let mut g = Xorshift::new(seed * 3 + 1);
+            for _ in 0..4 {
+                let s = [g.next_u32(), g.next_u32(), g.next_u32(), g.next_u32()];
+                let out = run(&p, "aes_rounds", &s, &mut mem.clone(), 200_000).expect("runs");
+                let expect = rounds_reference(seed, s);
+                assert_eq!(out.ret, expect.to_vec(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_mix_matches_reference() {
+        let p = workload().program;
+        for seed in 1..4u64 {
+            let mut mem = Memory::new();
+            init_memory(&mut mem, seed);
+            let mut g = Xorshift::new(seed * 5 + 3);
+            let w = [g.next_u32(), g.next_u32(), g.next_u32(), g.next_u32()];
+            let out = run(&p, "aes_key_mix", &w, &mut mem, 200_000).expect("runs");
+            assert_eq!(out.ret, vec![key_mix_reference(seed, w)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_block_has_twenty_loads() {
+        let p = program();
+        let round = &p.functions[0].blocks[1];
+        let loads = round.insts.iter().filter(|i| i.opcode.is_load()).count();
+        assert_eq!(loads, 20, "16 T-table + 4 round-key loads");
+        // And several times more combinable ALU work.
+        let alu = round
+            .insts
+            .iter()
+            .filter(|i| !i.opcode.is_memory())
+            .count();
+        assert!(alu > 2 * loads);
+    }
+
+    #[test]
+    fn rounds_diffuse_state() {
+        let a = rounds_reference(1, [1, 0, 0, 0]);
+        let b = rounds_reference(1, [2, 0, 0, 0]);
+        assert_ne!(a, b);
+        assert_ne!(a[3], b[3], "difference reaches every word");
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the `isax` reproduction workspace.
+//!
+//! This crate only hosts the repository-level examples and integration
+//! tests; the functionality lives in the `isax*` member crates. See
+//! [`isax`] for the end-to-end pipeline entry point.
+
+pub use isax as pipeline;

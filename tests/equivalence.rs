@@ -1,0 +1,106 @@
+//! The strongest correctness property in the repository: for every
+//! benchmark, compiling against customized hardware must not change what
+//! the program computes.
+//!
+//! Each workload is customized at several budgets and matching
+//! generalities, then the original and the rewritten programs are
+//! executed by the `isax-machine` interpreter on multiple seeds; returned
+//! values must agree exactly. (Custom instructions execute through the
+//! semantics the replacement pass registered, so this exercises matching,
+//! reordering, operand wiring and output selection end to end.)
+
+use isax::{Customizer, MatchOptions};
+use isax_machine::{run, Memory};
+use isax_workloads::{all, Workload};
+
+const FUEL: u64 = 50_000_000;
+
+fn check_equivalence(w: &Workload, budget: f64, matching: MatchOptions, seeds: &[u64]) {
+    let cz = Customizer::new();
+    let (mdes, _) = cz.customize(w.name, &w.program, budget);
+    let ev = cz.evaluate(&w.program, &mdes, matching);
+    isax_ir::verify_program(&ev.compiled.program)
+        .unwrap_or_else(|e| panic!("{}: customized program invalid: {e:?}", w.name));
+    for &seed in seeds {
+        for (entry, args_fn) in w.entries() {
+            let mut mem_a = Memory::new();
+            (w.init_memory)(&mut mem_a, seed);
+            let mut mem_b = mem_a.clone();
+            let args = args_fn(seed);
+            let a = run(&w.program, entry, &args, &mut mem_a, FUEL)
+                .unwrap_or_else(|e| panic!("{}::{entry} baseline run failed: {e}", w.name));
+            let b = run(&ev.compiled.program, entry, &args, &mut mem_b, FUEL)
+                .unwrap_or_else(|e| panic!("{}::{entry} customized run failed: {e}", w.name));
+            assert_eq!(
+                a.ret, b.ret,
+                "{}::{entry} @ {budget} adders ({matching:?}): outputs diverge on seed {seed}",
+                w.name
+            );
+            assert_eq!(
+                mem_a, mem_b,
+                "{}::{entry} @ {budget} adders ({matching:?}): memory diverges on seed {seed}",
+                w.name
+            );
+            assert!(
+                b.steps <= a.steps,
+                "{}::{entry}: custom instructions never add dynamic operations",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_exact_matching_budget_15() {
+    for w in all() {
+        check_equivalence(&w, 15.0, MatchOptions::exact(), &[1, 2, 3]);
+    }
+}
+
+#[test]
+fn all_benchmarks_subsumed_matching_budget_15() {
+    for w in all() {
+        check_equivalence(&w, 15.0, MatchOptions::with_subsumed(), &[4, 5]);
+    }
+}
+
+#[test]
+fn all_benchmarks_wildcard_matching_budget_15() {
+    for w in all() {
+        check_equivalence(&w, 15.0, MatchOptions::generalized(), &[6, 7]);
+    }
+}
+
+#[test]
+fn small_budgets_are_equally_sound() {
+    for w in all() {
+        for budget in [1.0, 3.0] {
+            check_equivalence(&w, budget, MatchOptions::exact(), &[8]);
+        }
+    }
+}
+
+#[test]
+fn cross_compiled_programs_stay_correct() {
+    // Compile each benchmark against a *different* benchmark's CFUs with
+    // the most aggressive matching — still must compute the same thing.
+    let ws = all();
+    let cz = Customizer::new();
+    for d in isax_workloads::Domain::ALL {
+        let members: Vec<&Workload> = ws.iter().filter(|w| w.domain == d).collect();
+        let src = members[0];
+        let (mdes, _) = cz.customize(src.name, &src.program, 15.0);
+        for w in members.iter().skip(1) {
+            let ev = cz.evaluate(&w.program, &mdes, MatchOptions::generalized());
+            isax_ir::verify_program(&ev.compiled.program).expect("valid");
+            let mut mem_a = Memory::new();
+            (w.init_memory)(&mut mem_a, 11);
+            let mut mem_b = mem_a.clone();
+            let args = (w.args)(11);
+            let a = run(&w.program, w.entry, &args, &mut mem_a, FUEL).expect("base");
+            let b = run(&ev.compiled.program, w.entry, &args, &mut mem_b, FUEL).expect("custom");
+            assert_eq!(a.ret, b.ret, "{} on {}'s CFUs", w.name, src.name);
+            assert_eq!(mem_a, mem_b, "{} on {}'s CFUs", w.name, src.name);
+        }
+    }
+}

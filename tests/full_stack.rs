@@ -1,0 +1,87 @@
+//! Everything at once: if-conversion, memory-relaxed hardware,
+//! value-objective selection, wildcard + subsumed matching — the most
+//! aggressive configuration the repository supports must still compute
+//! exactly what the original benchmarks compute.
+
+use isax::{Customizer, MatchOptions, Mdes};
+use isax_compiler::{if_convert_program, IfConvertConfig};
+use isax_machine::{run, Memory};
+use isax_select::{select_greedy, Objective, SelectConfig};
+
+const FUEL: u64 = 50_000_000;
+
+#[test]
+fn most_aggressive_configuration_is_still_sound() {
+    let cz = Customizer::with_memory_cfus();
+    for w in isax_workloads::all() {
+        let (converted, _) = if_convert_program(&w.program, &IfConvertConfig::default());
+        let analysis = cz.analyze(&converted);
+        let sel = select_greedy(
+            &analysis.cfus,
+            &SelectConfig {
+                objective: Objective::Value,
+                ..SelectConfig::with_budget(15.0)
+            },
+        );
+        let mdes = Mdes::from_selection(w.name, &analysis.cfus, &sel, &cz.hw, 64);
+        let ev = cz.evaluate(&converted, &mdes, MatchOptions::generalized());
+        isax_ir::verify_program(&ev.compiled.program)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+        for (entry, args_fn) in w.entries() {
+            let mut mem_a = Memory::new();
+            (w.init_memory)(&mut mem_a, 6);
+            let mut mem_b = mem_a.clone();
+            let args = args_fn(6);
+            let a = run(&w.program, entry, &args, &mut mem_a, FUEL).unwrap();
+            let b = run(&ev.compiled.program, entry, &args, &mut mem_b, FUEL)
+                .unwrap_or_else(|e| panic!("{}::{entry}: {e}", w.name));
+            assert_eq!(a.ret, b.ret, "{}::{entry}", w.name);
+            assert_eq!(mem_a, mem_b, "{}::{entry}", w.name);
+        }
+        // And the aggressive configuration must actually be fast.
+        assert!(
+            ev.custom_cycles <= ev.baseline_cycles,
+            "{}: aggressive config slowed the program",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn aggressive_configuration_beats_the_paper_system_on_average() {
+    let paper = Customizer::new();
+    let aggressive = Customizer::with_memory_cfus();
+    let mut paper_sum = 0.0;
+    let mut aggressive_sum = 0.0;
+    let suite = isax_workloads::all();
+    for w in &suite {
+        let (m1, _) = paper.customize(w.name, &w.program, 15.0);
+        paper_sum += paper.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+
+        let (converted, _) = if_convert_program(&w.program, &IfConvertConfig::default());
+        let analysis = aggressive.analyze(&converted);
+        let sel = select_greedy(
+            &analysis.cfus,
+            &SelectConfig {
+                objective: Objective::Value,
+                ..SelectConfig::with_budget(15.0)
+            },
+        );
+        let mdes = Mdes::from_selection(w.name, &analysis.cfus, &sel, &aggressive.hw, 64);
+        // Speedup relative to the ORIGINAL program's baseline.
+        let base = paper
+            .evaluate(&w.program, &Mdes::baseline(), MatchOptions::exact())
+            .baseline_cycles;
+        let custom = aggressive
+            .evaluate(&converted, &mdes, MatchOptions::generalized())
+            .custom_cycles;
+        aggressive_sum += base as f64 / custom.max(1) as f64;
+    }
+    let n = suite.len() as f64;
+    assert!(
+        aggressive_sum / n > paper_sum / n + 0.3,
+        "aggressive {:.2} vs paper {:.2}",
+        aggressive_sum / n,
+        paper_sum / n
+    );
+}

@@ -1,0 +1,133 @@
+//! Control-flow relaxation (§6) end to end: if-converted programs must
+//! compute identical results, and conversion + customization must
+//! compound on branchy kernels.
+
+use isax::{Customizer, MatchOptions};
+use isax_compiler::{if_convert_program, IfConvertConfig};
+use isax_machine::{run, Memory};
+use proptest::prelude::*;
+
+const FUEL: u64 = 50_000_000;
+
+#[test]
+fn every_benchmark_survives_if_conversion() {
+    let cfg = IfConvertConfig::default();
+    for w in isax_workloads::all() {
+        let (converted, _) = if_convert_program(&w.program, &cfg);
+        isax_ir::verify_program(&converted)
+            .unwrap_or_else(|e| panic!("{}: invalid after if-conversion: {e:?}", w.name));
+        for (entry, args_fn) in w.entries() {
+            for seed in [1u64, 4] {
+                let mut mem_a = Memory::new();
+                (w.init_memory)(&mut mem_a, seed);
+                let mut mem_b = mem_a.clone();
+                let args = args_fn(seed);
+                let a = run(&w.program, entry, &args, &mut mem_a, FUEL).unwrap();
+                let b = run(&converted, entry, &args, &mut mem_b, FUEL)
+                    .unwrap_or_else(|e| panic!("{}::{entry}: {e}", w.name));
+                assert_eq!(a.ret, b.ret, "{}::{entry} seed {seed}", w.name);
+                assert_eq!(mem_a, mem_b, "{}::{entry} seed {seed}", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn conversion_plus_customization_stays_correct() {
+    let cfg = IfConvertConfig::default();
+    let cz = Customizer::new();
+    for name in ["mpeg2dec", "cjpeg", "ipchains", "crc"] {
+        let w = isax_workloads::by_name(name).unwrap();
+        let (converted, stats) = if_convert_program(&w.program, &cfg);
+        let (mdes, _) = cz.customize(w.name, &converted, 15.0);
+        let ev = cz.evaluate(&converted, &mdes, MatchOptions::exact());
+        isax_ir::verify_program(&ev.compiled.program).expect("valid");
+        if name == "mpeg2dec" {
+            assert!(
+                stats.diamonds + stats.triangles > 0,
+                "mpeg2dec's clip must convert"
+            );
+        }
+        let mut mem_a = Memory::new();
+        (w.init_memory)(&mut mem_a, 2);
+        let mut mem_b = mem_a.clone();
+        let args = (w.args)(2);
+        let a = run(&w.program, w.entry, &args, &mut mem_a, FUEL).unwrap();
+        let b = run(&ev.compiled.program, w.entry, &args, &mut mem_b, FUEL).unwrap();
+        assert_eq!(a.ret, b.ret, "{name}");
+        assert_eq!(mem_a, mem_b, "{name}");
+    }
+}
+
+#[test]
+fn branchy_kernels_speed_up_with_conversion() {
+    // The point of the relaxation: if-conversion exposes the clip /
+    // quantize dataflow to the explorer.
+    let cz = Customizer::new();
+    let mut helped = 0;
+    for name in ["mpeg2dec", "cjpeg"] {
+        let w = isax_workloads::by_name(name).unwrap();
+        let base = {
+            let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+            cz.evaluate(&w.program, &mdes, MatchOptions::exact())
+        };
+        let (converted, _) = if_convert_program(&w.program, &IfConvertConfig::default());
+        let conv = {
+            let (mdes, _) = cz.customize(w.name, &converted, 15.0);
+            cz.evaluate(&converted, &mdes, MatchOptions::exact())
+        };
+        // Compare absolute customized cycle counts: both versions do the
+        // same work.
+        if conv.custom_cycles < base.custom_cycles {
+            helped += 1;
+        }
+    }
+    assert!(helped >= 1, "conversion should pay off on a branchy kernel");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random diamond chains: if-converted programs agree with the
+    /// originals on random inputs.
+    #[test]
+    fn random_diamond_chains_are_equivalent(
+        shapes in proptest::collection::vec((any::<bool>(), 0usize..5, -50i64..50), 1..6),
+        args in proptest::array::uniform3(any::<u32>()),
+    ) {
+        let mut fb = isax_ir::FunctionBuilder::new("dia", 3);
+        let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+        let acc = fb.fresh();
+        fb.copy_to(acc, a);
+        let mut blocks = Vec::new();
+        for _ in &shapes {
+            blocks.push((fb.new_block(10), fb.new_block(10), fb.new_block(20)));
+        }
+        // Entry branches into the first diamond.
+        for (i, &(diamond, pick, imm)) in shapes.iter().enumerate() {
+            let (yes, no, join) = blocks[i];
+            let operand = [a, b, c][pick % 3];
+            let cond = fb.lt(acc, operand);
+            fb.branch(cond, yes, no);
+            fb.switch_to(yes);
+            let v1 = fb.add(acc, imm);
+            fb.copy_to(acc, v1);
+            fb.jump(join);
+            fb.switch_to(no);
+            if diamond {
+                let v2 = fb.xor(acc, operand);
+                fb.copy_to(acc, v2);
+            }
+            fb.jump(join);
+            fb.switch_to(join);
+        }
+        fb.ret(&[acc.into()]);
+        let f = fb.finish();
+        let p = isax_ir::Program::new(vec![f]);
+        let (converted, _) = if_convert_program(&p, &IfConvertConfig::default());
+        prop_assert!(isax_ir::verify_program(&converted).is_ok());
+        let x = run(&p, "dia", &args, &mut Memory::new(), 100_000).unwrap();
+        let y = run(&converted, "dia", &args, &mut Memory::new(), 100_000).unwrap();
+        prop_assert_eq!(x.ret, y.ret);
+    }
+}

@@ -1,0 +1,116 @@
+//! The §6 memory relaxation end to end: load-bearing custom function
+//! units must be discovered, selected, matched, replaced — and must
+//! compute exactly what the original code computed, on every benchmark.
+
+use isax::{Customizer, MatchOptions, Mdes};
+use isax_machine::{run, Memory};
+use isax_select::{select_greedy, Objective, SelectConfig};
+use isax_workloads::all;
+
+const FUEL: u64 = 50_000_000;
+
+#[test]
+fn memory_cfus_preserve_semantics_on_every_benchmark() {
+    let cz = Customizer::with_memory_cfus();
+    for w in all() {
+        let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+        let ev = cz.evaluate(&w.program, &mdes, MatchOptions::exact());
+        isax_ir::verify_program(&ev.compiled.program).expect("valid");
+        for (entry, args_fn) in w.entries() {
+            for seed in [1u64, 2] {
+                let mut mem_a = Memory::new();
+                (w.init_memory)(&mut mem_a, seed);
+                let mut mem_b = mem_a.clone();
+                let args = args_fn(seed);
+                let a = run(&w.program, entry, &args, &mut mem_a, FUEL).unwrap();
+                let b = run(&ev.compiled.program, entry, &args, &mut mem_b, FUEL)
+                    .unwrap_or_else(|e| panic!("{}::{entry}: {e}", w.name));
+                assert_eq!(a.ret, b.ret, "{}::{entry} seed {seed}", w.name);
+                assert_eq!(mem_a, mem_b, "{}::{entry} seed {seed}", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn table_lookup_codes_gain_from_memory_cfus() {
+    // The whole point of the relaxation: kernels built around table
+    // lookups fuse address arithmetic, the load and the combine into one
+    // unit. Ratio-greedy's granularity bias keeps it from picking the
+    // large load-bearing units (it must merely not regress); the
+    // value-greedy selector must show clear gains.
+    let plain = Customizer::new();
+    let relaxed = Customizer::with_memory_cfus();
+    let mut improved = 0;
+    for name in ["blowfish", "sha", "crc"] {
+        let w = isax_workloads::by_name(name).unwrap();
+        let (m1, _) = plain.customize(w.name, &w.program, 15.0);
+        let s1 = plain.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+        let analysis = relaxed.analyze(&w.program);
+        let (m2, _) = relaxed.select(w.name, &analysis, 15.0);
+        let s2 = relaxed.evaluate(&w.program, &m2, MatchOptions::exact()).speedup;
+        assert!(
+            s2 >= s1 * 0.98,
+            "{name}: relaxation must not lose much under ratio-greedy ({s1:.3} -> {s2:.3})"
+        );
+        let sel = select_greedy(
+            &analysis.cfus,
+            &SelectConfig {
+                objective: Objective::Value,
+                ..SelectConfig::with_budget(15.0)
+            },
+        );
+        let m3 = Mdes::from_selection(w.name, &analysis.cfus, &sel, &relaxed.hw, 64);
+        let s3 = relaxed.evaluate(&w.program, &m3, MatchOptions::exact()).speedup;
+        if s3 > s1 + 0.25 {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved >= 2,
+        "value-greedy must clearly exploit memory CFUs on the lookup kernels"
+    );
+}
+
+#[test]
+fn load_bearing_units_appear_in_the_mdes() {
+    // Value-objective selection reliably reaches the load-bearing units.
+    let cz = Customizer::with_memory_cfus();
+    let w = isax_workloads::by_name("blowfish").unwrap();
+    let analysis = cz.analyze(&w.program);
+    let sel = select_greedy(
+        &analysis.cfus,
+        &SelectConfig {
+            objective: Objective::Value,
+            ..SelectConfig::with_budget(15.0)
+        },
+    );
+    let mdes = Mdes::from_selection(w.name, &analysis.cfus, &sel, &cz.hw, 64);
+    let with_loads = mdes
+        .cfus
+        .iter()
+        .filter(|c| c.pattern.node_ids().any(|n| c.pattern[n].opcode.is_load()))
+        .count();
+    assert!(with_loads > 0, "no load-bearing CFU selected for blowfish");
+    // And the compiled program records their cache-port usage.
+    let ev = cz.evaluate(&w.program, &mdes, MatchOptions::exact());
+    assert!(ev.compiled.custom_info.values().any(|i| i.mem_reads > 0));
+}
+
+#[test]
+fn stores_never_join_units() {
+    let cz = Customizer::with_memory_cfus();
+    for w in all() {
+        let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+        for c in &mdes.cfus {
+            for n in c.pattern.node_ids() {
+                assert!(
+                    !c.pattern[n].opcode.is_store(),
+                    "{}: store inside {}",
+                    w.name,
+                    c.name
+                );
+            }
+        }
+    }
+}

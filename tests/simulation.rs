@@ -1,0 +1,115 @@
+//! Timing-simulation validation: the simulator and the estimator must
+//! tell a consistent story on every benchmark, and custom instructions
+//! must shorten *simulated* execution too (not just the static estimate).
+
+use isax::{Customizer, MatchOptions};
+use isax_compiler::VliwModel;
+use isax_hwlib::HwLibrary;
+use isax_machine::{simulate, Memory};
+use isax_compiler::CustomInfo;
+
+const FUEL: u64 = 50_000_000;
+
+#[test]
+fn customization_shortens_simulated_time_on_every_benchmark() {
+    let cz = Customizer::new();
+    let hw = HwLibrary::micron_018();
+    let model = VliwModel::default();
+    for w in isax_workloads::all() {
+        let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+        let ev = cz.evaluate(&w.program, &mdes, MatchOptions::exact());
+        let mut mem_a = Memory::new();
+        (w.init_memory)(&mut mem_a, 3);
+        let mut mem_b = mem_a.clone();
+        let args = (w.args)(3);
+        let base = simulate(
+            &w.program, w.entry, &args, &mut mem_a,
+            &CustomInfo::new(), &hw, &model, FUEL,
+        )
+        .unwrap_or_else(|e| panic!("{} baseline sim: {e}", w.name));
+        let custom = simulate(
+            &ev.compiled.program, w.entry, &args, &mut mem_b,
+            &ev.compiled.custom_info, &hw, &model, FUEL,
+        )
+        .unwrap_or_else(|e| panic!("{} custom sim: {e}", w.name));
+        assert_eq!(base.outcome.ret, custom.outcome.ret, "{}", w.name);
+        assert!(
+            custom.cycles <= base.cycles,
+            "{}: custom {} cycles > baseline {}",
+            w.name,
+            custom.cycles,
+            base.cycles
+        );
+        // And where the estimator predicts a win, the simulation agrees.
+        if ev.custom_cycles < ev.baseline_cycles {
+            assert!(
+                custom.cycles < base.cycles,
+                "{}: estimator predicts a win the simulator does not see",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn estimated_speedups_track_simulated_ones() {
+    // The §3.3 accuracy claim: the profile-weighted estimate is close to
+    // exact measurement. Our profile weights are synthetic, so demand
+    // agreement within 25% relative error on the speedup ratio.
+    let cz = Customizer::new();
+    let hw = HwLibrary::micron_018();
+    let model = VliwModel::default();
+    for w in isax_workloads::all() {
+        let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
+        let ev = cz.evaluate(&w.program, &mdes, MatchOptions::exact());
+        let estimated = ev.speedup;
+        let mut mem_a = Memory::new();
+        (w.init_memory)(&mut mem_a, 9);
+        let mut mem_b = mem_a.clone();
+        let args = (w.args)(9);
+        let base = simulate(&w.program, w.entry, &args, &mut mem_a, &CustomInfo::new(), &hw, &model, FUEL).unwrap();
+        let custom = simulate(
+            &ev.compiled.program, w.entry, &args, &mut mem_b,
+            &ev.compiled.custom_info, &hw, &model, FUEL,
+        )
+        .unwrap();
+        let simulated = base.cycles as f64 / custom.cycles.max(1) as f64;
+        let rel = (estimated - simulated).abs() / simulated;
+        assert!(
+            rel < 0.25,
+            "{}: estimated {estimated:.3} vs simulated {simulated:.3} ({:.0}% off)",
+            w.name,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn simulated_cycles_decompose_into_block_schedules() {
+    // cycles == Σ executions × schedule length, by construction — verify
+    // the invariant explicitly for one benchmark.
+    let hw = HwLibrary::micron_018();
+    let model = VliwModel::default();
+    let w = isax_workloads::by_name("crc").unwrap();
+    let mut mem = Memory::new();
+    (w.init_memory)(&mut mem, 1);
+    let r = simulate(
+        &w.program, w.entry, &(w.args)(1), &mut mem,
+        &CustomInfo::new(), &hw, &model, FUEL,
+    )
+    .unwrap();
+    let f = &w.program.functions[0];
+    let dfgs = isax_ir::function_dfgs(f);
+    let total: u64 = dfgs
+        .iter()
+        .enumerate()
+        .map(|(bi, dfg)| {
+            let s = isax_compiler::schedule_block(
+                dfg, &f.blocks[bi].term, &hw, &CustomInfo::new(), &model,
+            );
+            s.cycles as u64 * r.block_executions[bi]
+        })
+        .sum();
+    assert_eq!(r.cycles, total);
+    assert_eq!(r.block_executions[1], isax_workloads::crc::MSG_LEN as u64);
+}
