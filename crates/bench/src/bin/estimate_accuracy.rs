@@ -12,10 +12,10 @@
 //! simulation on concrete inputs (true dynamic block counts).
 
 use isax::{Customizer, MatchOptions};
+use isax_compiler::CustomInfo;
 use isax_compiler::VliwModel;
 use isax_hwlib::HwLibrary;
 use isax_machine::{simulate, Memory};
-use isax_compiler::CustomInfo;
 
 fn main() {
     let cz = Customizer::new();
@@ -34,13 +34,25 @@ fn main() {
         let mut mem_b = mem_a.clone();
         let args = (w.args)(1);
         let base = simulate(
-            &w.program, w.entry, &args, &mut mem_a,
-            &CustomInfo::new(), &hw, &model, 50_000_000,
+            &w.program,
+            w.entry,
+            &args,
+            &mut mem_a,
+            &CustomInfo::new(),
+            &hw,
+            &model,
+            50_000_000,
         )
         .expect("baseline simulation");
         let custom = simulate(
-            &ev.compiled.program, w.entry, &args, &mut mem_b,
-            &ev.compiled.custom_info, &hw, &model, 50_000_000,
+            &ev.compiled.program,
+            w.entry,
+            &args,
+            &mut mem_b,
+            &ev.compiled.custom_info,
+            &hw,
+            &model,
+            50_000_000,
         )
         .expect("custom simulation");
         let simulated = base.cycles as f64 / custom.cycles.max(1) as f64;
@@ -51,5 +63,7 @@ fn main() {
             w.name, ev.speedup, simulated, err
         );
     }
-    println!("\nworst absolute error {worst:.1}% — \"the estimate has proved reasonably accurate\"");
+    println!(
+        "\nworst absolute error {worst:.1}% — \"the estimate has proved reasonably accurate\""
+    );
 }

@@ -36,12 +36,7 @@ fn main() {
         let gain = base.custom_cycles as f64 / conv.custom_cycles.max(1) as f64;
         println!(
             "{:<11} {:>12} {:>12} {:>7.2}x {:>4}D{:>3}T",
-            w.name,
-            base.custom_cycles,
-            conv.custom_cycles,
-            gain,
-            stats.diamonds,
-            stats.triangles
+            w.name, base.custom_cycles, conv.custom_cycles, gain, stats.diamonds, stats.triangles
         );
     }
     println!("\n(gain > 1: the converted program finishes in fewer customized cycles)");

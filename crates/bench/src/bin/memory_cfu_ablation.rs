@@ -27,10 +27,14 @@ fn main() {
     let suite = isax_workloads::all();
     for w in &suite {
         let (m0, _) = plain.customize(w.name, &w.program, 15.0);
-        let s0 = plain.evaluate(&w.program, &m0, MatchOptions::exact()).speedup;
+        let s0 = plain
+            .evaluate(&w.program, &m0, MatchOptions::exact())
+            .speedup;
         let analysis = relaxed.analyze(&w.program);
         let (m1, _) = relaxed.select(w.name, &analysis, 15.0);
-        let s1 = relaxed.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+        let s1 = relaxed
+            .evaluate(&w.program, &m1, MatchOptions::exact())
+            .speedup;
         let sel = select_greedy(
             &analysis.cfus,
             &SelectConfig {
@@ -39,7 +43,9 @@ fn main() {
             },
         );
         let m2 = Mdes::from_selection(w.name, &analysis.cfus, &sel, &relaxed.hw, 64);
-        let s2 = relaxed.evaluate(&w.program, &m2, MatchOptions::exact()).speedup;
+        let s2 = relaxed
+            .evaluate(&w.program, &m2, MatchOptions::exact())
+            .speedup;
         println!("{:<11} {:>7.2}x {:>9.2}x {:>11.2}x", w.name, s0, s1, s2);
         sums[0] += s0;
         sums[1] += s1;

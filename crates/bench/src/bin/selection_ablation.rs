@@ -22,10 +22,7 @@ fn main() {
 
     for budget in [3.0, 15.0] {
         println!("\n=== budget {budget} adders ===");
-        println!(
-            "{:<11} {:>8} {:>8} {:>8}",
-            "app", "ratio", "value", "dp"
-        );
+        println!("{:<11} {:>8} {:>8} {:>8}", "app", "ratio", "value", "dp");
         let mut sums = [0.0f64; 3];
         for (name, app) in &suite {
             let eval = |sel: Selection| {

@@ -1,0 +1,151 @@
+//! Pipeline timing: serial vs parallel wall clock per stage.
+//!
+//! Runs the full customization pipeline over the benchmark suite twice —
+//! once pinned to one thread, once at the configured parallel width
+//! (`ISAX_THREADS` or every available core) — and writes
+//! `BENCH_pipeline.json` with per-stage wall-clock times, the thread
+//! count, and the speedups. It also cross-checks that both runs produce
+//! bit-identical cycle counts, which is the `isax_graph::par` contract.
+
+use isax::{Customizer, MatchOptions};
+use isax_bench::{analyze_suite, AnalyzedApp, HEADLINE_BUDGET};
+use isax_graph::par::{set_thread_override, thread_count};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Wall-clock seconds per pipeline stage for one run.
+struct StageTimes {
+    analyze_s: f64,
+    select_s: f64,
+    evaluate_s: f64,
+    /// Per-app customized cycle counts, for the identity cross-check.
+    cycles: BTreeMap<&'static str, u64>,
+}
+
+/// Summed canonical-fingerprint memo counters across the suite.
+struct MemoStats {
+    hits: u64,
+    misses: u64,
+}
+
+fn run_once(cz: &Customizer) -> (StageTimes, MemoStats) {
+    let t0 = Instant::now();
+    let apps = analyze_suite(cz);
+    let analyze_s = t0.elapsed().as_secs_f64();
+    let memo = MemoStats {
+        hits: apps.values().map(|a| a.analysis.stats.memo_hits).sum(),
+        misses: apps.values().map(|a| a.analysis.stats.memo_misses).sum(),
+    };
+
+    let t1 = Instant::now();
+    let selected: Vec<(&'static str, &AnalyzedApp, isax_compiler::Mdes)> = apps
+        .iter()
+        .map(|(&name, app)| {
+            let (mdes, _) = cz.select(name, &app.analysis, HEADLINE_BUDGET);
+            (name, app, mdes)
+        })
+        .collect();
+    let select_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let cycles: BTreeMap<&'static str, u64> = selected
+        .iter()
+        .map(|(name, app, mdes)| {
+            let ev = cz.evaluate(&app.workload.program, mdes, MatchOptions::with_subsumed());
+            (*name, ev.custom_cycles)
+        })
+        .collect();
+    let evaluate_s = t2.elapsed().as_secs_f64();
+
+    (
+        StageTimes {
+            analyze_s,
+            select_s,
+            evaluate_s,
+            cycles,
+        },
+        memo,
+    )
+}
+
+fn stage_entry(name: &str, serial_s: f64, parallel_s: f64) -> isax_json::Value {
+    isax_json::object([
+        ("stage", isax_json::Value::from(name)),
+        ("serial_s", serial_s.into()),
+        ("parallel_s", parallel_s.into()),
+        ("speedup", (serial_s / parallel_s.max(1e-9)).into()),
+    ])
+}
+
+fn main() {
+    let parallel_threads = thread_count();
+    eprintln!("timing the pipeline: 1 thread vs {parallel_threads} threads");
+
+    let cz = Customizer::new();
+    // Warm-up run so neither measured run pays first-touch costs.
+    set_thread_override(Some(1));
+    let _ = analyze_suite(&cz);
+
+    set_thread_override(Some(1));
+    let (serial, memo) = run_once(&cz);
+    set_thread_override(Some(parallel_threads));
+    let (parallel, _) = run_once(&cz);
+    set_thread_override(None);
+
+    assert_eq!(
+        serial.cycles, parallel.cycles,
+        "parallel pipeline diverged from serial — determinism contract broken"
+    );
+
+    let serial_total = serial.analyze_s + serial.select_s + serial.evaluate_s;
+    let parallel_total = parallel.analyze_s + parallel.select_s + parallel.evaluate_s;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = isax_json::object([
+        ("threads_serial", isax_json::Value::from(1u32)),
+        ("threads_parallel", parallel_threads.into()),
+        // Physical parallelism of the measuring host: with one CPU the
+        // parallel run can only demonstrate determinism, not speedup.
+        ("host_cpus", host_cpus.into()),
+        ("budget", HEADLINE_BUDGET.into()),
+        (
+            "stages",
+            isax_json::array([
+                stage_entry("analyze", serial.analyze_s, parallel.analyze_s),
+                stage_entry("select", serial.select_s, parallel.select_s),
+                stage_entry("evaluate", serial.evaluate_s, parallel.evaluate_s),
+                stage_entry("total", serial_total, parallel_total),
+            ]),
+        ),
+        ("outputs_identical", true.into()),
+        (
+            "metrics_memo",
+            isax_json::object([
+                ("hits", isax_json::Value::from(memo.hits)),
+                ("misses", memo.misses.into()),
+                (
+                    "hit_rate",
+                    (memo.hits as f64 / (memo.hits + memo.misses).max(1) as f64).into(),
+                ),
+            ]),
+        ),
+        (
+            "custom_cycles",
+            isax_json::Value::Object(
+                serial
+                    .cycles
+                    .iter()
+                    .map(|(&name, &c)| (name.to_string(), isax_json::Value::from(c)))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let out = doc.to_string_pretty();
+    std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
+    println!("{out}");
+    eprintln!(
+        "total: {serial_total:.2}s serial vs {parallel_total:.2}s on {parallel_threads} threads \
+         ({:.2}x)",
+        serial_total / parallel_total.max(1e-9)
+    );
+}

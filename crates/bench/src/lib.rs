@@ -26,12 +26,24 @@ pub struct AnalyzedApp {
 }
 
 /// Analyzes every benchmark once.
+///
+/// Benchmarks are independent, so the expensive analyses fan out across
+/// threads (see [`isax_graph::par`]); collecting into a `BTreeMap` keyed
+/// by name makes the result order-independent anyway.
 pub fn analyze_suite(cz: &Customizer) -> BTreeMap<&'static str, AnalyzedApp> {
-    all()
+    let workloads = all();
+    let analyses = isax_graph::par::par_map(&workloads, |w| cz.analyze(&w.program));
+    workloads
         .into_iter()
-        .map(|w| {
-            let analysis = cz.analyze(&w.program);
-            (w.name, AnalyzedApp { workload: w, analysis })
+        .zip(analyses)
+        .map(|(w, analysis)| {
+            (
+                w.name,
+                AnalyzedApp {
+                    workload: w,
+                    analysis,
+                },
+            )
         })
         .collect()
 }

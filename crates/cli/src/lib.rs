@@ -244,36 +244,46 @@ fn load_program(path: &str) -> Result<Program, String> {
 ///
 /// Returns a description of the failure (file, parse, or execution).
 pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String> {
-    let w = |out: &mut dyn std::io::Write, s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    let w =
+        |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match cmd {
         Command::Explore { file } => {
             let p = load_program(file)?;
             let cz = Customizer::new();
             let analysis = cz.analyze(&p);
-            w(out, format!(
-                "{}: {} instructions, {} blocks",
-                file,
-                p.inst_count(),
-                analysis.dfgs.len()
-            ))?;
-            w(out, format!(
-                "explored {} candidate subgraphs ({} directions pruned) -> {} CFU candidates",
-                analysis.stats.examined, analysis.stats.directions_pruned, analysis.cfus.len()
-            ))?;
+            w(
+                out,
+                format!(
+                    "{}: {} instructions, {} blocks",
+                    file,
+                    p.inst_count(),
+                    analysis.dfgs.len()
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "explored {} candidate subgraphs ({} directions pruned) -> {} CFU candidates",
+                    analysis.stats.examined,
+                    analysis.stats.directions_pruned,
+                    analysis.cfus.len()
+                ),
+            )?;
             let mut ranked: Vec<_> = analysis.cfus.iter().collect();
             ranked.sort_by_key(|c| std::cmp::Reverse(c.estimated_value()));
             w(out, "top candidates by estimated value:".into())?;
             for c in ranked.iter().take(10) {
-                w(out, format!(
-                    "  {:<28} {:2} ops  {:6.2} adders  {:2} occurrence(s)  value {}",
-                    c.describe(),
-                    c.size(),
-                    c.area,
-                    c.occurrences.len(),
-                    c.estimated_value()
-                ))?;
+                w(
+                    out,
+                    format!(
+                        "  {:<28} {:2} ops  {:6.2} adders  {:2} occurrence(s)  value {}",
+                        c.describe(),
+                        c.size(),
+                        c.area,
+                        c.occurrences.len(),
+                        c.estimated_value()
+                    ),
+                )?;
             }
             Ok(())
         }
@@ -296,11 +306,14 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             match out_path {
                 Some(path) => {
                     std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
-                    w(out, format!(
-                        "wrote {} CFUs ({:.2} adders charged) to {path}",
-                        mdes.cfus.len(),
-                        sel.total_area
-                    ))?;
+                    w(
+                        out,
+                        format!(
+                            "wrote {} CFUs ({:.2} adders charged) to {path}",
+                            mdes.cfus.len(),
+                            sel.total_area
+                        ),
+                    )?;
                 }
                 None => w(out, json)?,
             }
@@ -318,20 +331,30 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             let mdes = Mdes::from_json(&text).map_err(|e| format!("{mdes}: {e}"))?;
             let cz = Customizer::new();
             let matching = MatchOptions {
-                mode: if *wildcard { MatchMode::Wildcard } else { MatchMode::Exact },
+                mode: if *wildcard {
+                    MatchMode::Wildcard
+                } else {
+                    MatchMode::Exact
+                },
                 allow_subsumed: *subsumed,
             };
             let ev = cz.evaluate(&p, &mdes, matching);
-            w(out, format!(
-                "baseline {} cycles -> customized {} cycles  (speedup {:.3}x)",
-                ev.baseline_cycles, ev.custom_cycles, ev.speedup
-            ))?;
-            w(out, format!(
-                "{} replacement(s): {} exact, {} subsumed",
-                ev.compiled.applied.len(),
-                ev.compiled.exact_matches(),
-                ev.compiled.subsumed_matches()
-            ))?;
+            w(
+                out,
+                format!(
+                    "baseline {} cycles -> customized {} cycles  (speedup {:.3}x)",
+                    ev.baseline_cycles, ev.custom_cycles, ev.speedup
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "{} replacement(s): {} exact, {} subsumed",
+                    ev.compiled.applied.len(),
+                    ev.compiled.exact_matches(),
+                    ev.compiled.subsumed_matches()
+                ),
+            )?;
             if let Some(path) = emit {
                 let text: String = ev
                     .compiled
@@ -354,17 +377,20 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
         } => {
             let p = load_program(file)?;
             let mut mem = Memory::new();
-            let r = isax_machine::run(&p, entry, args, &mut mem, *fuel)
-                .map_err(|e| e.to_string())?;
-            w(out, format!(
-                "{entry}({}) = {:?}   [{} dynamic instructions]",
-                args.iter()
-                    .map(u32::to_string)
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                r.ret,
-                r.steps
-            ))?;
+            let r =
+                isax_machine::run(&p, entry, args, &mut mem, *fuel).map_err(|e| e.to_string())?;
+            w(
+                out,
+                format!(
+                    "{entry}({}) = {:?}   [{} dynamic instructions]",
+                    args.iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    r.ret,
+                    r.steps
+                ),
+            )?;
             Ok(())
         }
         Command::Simulate {
@@ -386,16 +412,19 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
                 *fuel,
             )
             .map_err(|e| e.to_string())?;
-            w(out, format!(
-                "{entry}({}) = {:?}   [{} cycles, {} dynamic instructions]",
-                args.iter()
-                    .map(u32::to_string)
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                r.outcome.ret,
-                r.cycles,
-                r.outcome.steps
-            ))?;
+            w(
+                out,
+                format!(
+                    "{entry}({}) = {:?}   [{} cycles, {} dynamic instructions]",
+                    args.iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    r.outcome.ret,
+                    r.cycles,
+                    r.outcome.steps
+                ),
+            )?;
             Ok(())
         }
         Command::Dot {
@@ -434,7 +463,10 @@ mod tests {
             parse_args(&argv("explore k.isax")).unwrap(),
             Command::Explore { .. }
         ));
-        let c = parse_args(&argv("customize k.isax --budget 7.5 --name bf --out m.json")).unwrap();
+        let c = parse_args(&argv(
+            "customize k.isax --budget 7.5 --name bf --out m.json",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Customize {
@@ -448,7 +480,11 @@ mod tests {
         let c = parse_args(&argv("compile k.isax --mdes m.json --subsumed --wildcard")).unwrap();
         assert!(matches!(
             c,
-            Command::Compile { subsumed: true, wildcard: true, .. }
+            Command::Compile {
+                subsumed: true,
+                wildcard: true,
+                ..
+            }
         ));
         let c = parse_args(&argv("run k.isax --entry f --args 1,0x10,3")).unwrap();
         match c {
@@ -503,7 +539,11 @@ mod tests {
 
         // explore
         let mut buf = Vec::new();
-        execute(&parse_args(&argv(&format!("explore {src_s}"))).unwrap(), &mut buf).unwrap();
+        execute(
+            &parse_args(&argv(&format!("explore {src_s}"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("CFU candidates"), "{text}");
 
@@ -533,7 +573,10 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("speedup"), "{text}");
         let emitted = std::fs::read_to_string(&emit).unwrap();
-        assert!(emitted.contains("cfu"), "custom instruction emitted:\n{emitted}");
+        assert!(
+            emitted.contains("cfu"),
+            "custom instruction emitted:\n{emitted}"
+        );
 
         // run the original
         let mut buf = Vec::new();

@@ -117,15 +117,21 @@ pub fn compile(
         applied.extend(cf.applied);
         out_program.functions.push(cf.function);
     }
-    // Schedule + allocate.
+    // Schedule + allocate. Functions are independent once replacement
+    // has run, so they are processed in parallel and the per-function
+    // results folded in input order (identical to the serial loop).
+    let per_function = isax_graph::par::par_map(&out_program.functions, |f| {
+        let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
+        let spilled = allocate_registers(f).spilled.len();
+        (c, per_block, spilled)
+    });
     let mut cycles = 0u64;
     let mut block_cycles = Vec::new();
     let mut spills = 0usize;
-    for f in &out_program.functions {
-        let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
+    for (c, per_block, spilled) in per_function {
         cycles += c;
         block_cycles.push(per_block);
-        spills += allocate_registers(f).spilled.len();
+        spills += spilled;
     }
     CompiledProgram {
         program: out_program,

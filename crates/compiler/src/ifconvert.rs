@@ -16,9 +16,7 @@
 //! like mpeg2dec's clip and cjpeg's quantizer become CFU-eligible (the
 //! `ifconvert_ablation` bench measures the effect).
 
-use isax_ir::{
-    BasicBlock, BlockId, Function, Inst, Opcode, Operand, Program, Terminator, VReg,
-};
+use isax_ir::{BasicBlock, BlockId, Function, Inst, Opcode, Operand, Program, Terminator, VReg};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Limits for the transformation.
@@ -66,10 +64,7 @@ fn side_convertible(b: &BasicBlock, cfg: &IfConvertConfig) -> bool {
 /// Clones a side's instructions with every definition renamed to a fresh
 /// register; returns the emitted instructions and the final name of each
 /// originally defined register.
-fn rename_side(
-    b: &BasicBlock,
-    next_reg: &mut u32,
-) -> (Vec<Inst>, BTreeMap<VReg, VReg>) {
+fn rename_side(b: &BasicBlock, next_reg: &mut u32) -> (Vec<Inst>, BTreeMap<VReg, VReg>) {
     let mut map: BTreeMap<VReg, VReg> = BTreeMap::new();
     let mut out = Vec::with_capacity(b.insts.len());
     for inst in &b.insts {
@@ -121,7 +116,12 @@ fn convert_once(f: &mut Function, cfg: &IfConvertConfig, stats: &mut IfConvertSt
     let mut changed = false;
     for pi in 0..f.blocks.len() {
         let p = BlockId(pi as u32);
-        let Terminator::Branch { cond, taken, not_taken } = f.blocks[pi].term.clone() else {
+        let Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } = f.blocks[pi].term.clone()
+        else {
             continue;
         };
         if taken == not_taken {
@@ -162,9 +162,7 @@ fn convert_once(f: &mut Function, cfg: &IfConvertConfig, stats: &mut IfConvertSt
             }
         }
         // Triangle: P -> {T, J}; T -> J (either orientation).
-        for (side, join, side_is_taken) in
-            [(taken, not_taken, true), (not_taken, taken, false)]
-        {
+        for (side, join, side_is_taken) in [(taken, not_taken, true), (not_taken, taken, false)] {
             let sb = &f.blocks[side.index()];
             if let Terminator::Jump(j) = sb.term {
                 if j == join
@@ -206,9 +204,10 @@ fn retire_block(f: &mut Function, b: BlockId, join: BlockId) {
 /// machine ABI (registers are zero-initialized), so materialize that.
 fn incoming(f: &Function, sides: &[BlockId], r: VReg) -> Operand {
     let defined_before = f.params.contains(&r)
-        || f.blocks.iter().enumerate().any(|(bi, b)| {
-            !sides.iter().any(|s| s.index() == bi) && b.defs().any(|d| d == r)
-        });
+        || f.blocks
+            .iter()
+            .enumerate()
+            .any(|(bi, b)| !sides.iter().any(|s| s.index() == bi) && b.defs().any(|d| d == r));
     if defined_before {
         Operand::Reg(r)
     } else {
@@ -422,11 +421,7 @@ mod tests {
         assert_eq!(stats.triangles, 2);
         assert!(verify_function(&g).is_ok());
         use isax_machine_equivalence::*;
-        check_equivalent(
-            &f,
-            &g,
-            &[[5, 1, 9], [0, 3, 9], [20, 3, 9], [7, 7, 7]],
-        );
+        check_equivalent(&f, &g, &[[5, 1, 9], [0, 3, 9], [20, 3, 9], [7, 7, 7]]);
     }
 
     #[test]
@@ -488,8 +483,13 @@ mod tests {
         fb.switch_to(join);
         fb.ret(&[r.into()]);
         let f = fb.finish();
-        let (g, stats) =
-            if_convert_function(&f, &IfConvertConfig { max_side_insts: 12, passes: 3 });
+        let (g, stats) = if_convert_function(
+            &f,
+            &IfConvertConfig {
+                max_side_insts: 12,
+                passes: 3,
+            },
+        );
         assert_eq!(stats.triangles, 0);
         assert_eq!(g.blocks, f.blocks);
     }
@@ -520,8 +520,16 @@ mod tests {
                 }
                 match &f.blocks[b.index()].term {
                     Terminator::Jump(t) => b = *t,
-                    Terminator::Branch { cond, taken, not_taken } => {
-                        b = if regs[cond.index()] != 0 { *taken } else { *not_taken };
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => {
+                        b = if regs[cond.index()] != 0 {
+                            *taken
+                        } else {
+                            *not_taken
+                        };
                     }
                     Terminator::Ret(vals) => {
                         return vals

@@ -37,4 +37,7 @@ pub use mdes::{CfuSpec, Mdes};
 pub use prioritize::prioritize;
 pub use regalloc::{allocate_registers, RegAlloc, PHYS_REGS};
 pub use replace::{apply_matches, AppliedMatch, CustomizedFunction};
-pub use schedule::{function_cycles, inst_latency, schedule_block, BlockSchedule, CustomInfo, CustomOpInfo, VliwModel};
+pub use schedule::{
+    function_cycles, inst_latency, schedule_block, BlockSchedule, CustomInfo, CustomOpInfo,
+    VliwModel,
+};

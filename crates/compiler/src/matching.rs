@@ -15,13 +15,12 @@
 //! port limits, and annotated with its estimated cycle savings.
 
 use crate::mdes::Mdes;
-use isax_graph::{vf2, BitSet, DiGraph};
+use isax_graph::{canon, par, vf2, BitSet, DiGraph};
 use isax_hwlib::HwLibrary;
 use isax_ir::{Dfg, DfgLabel};
-use serde::{Deserialize, Serialize};
-
+use std::collections::HashMap;
 /// Node-compatibility level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatchMode {
     /// Opcode and immediates must match exactly.
     #[default]
@@ -32,7 +31,7 @@ pub enum MatchMode {
 }
 
 /// Matching configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MatchOptions {
     /// Node-compatibility level.
     pub mode: MatchMode,
@@ -94,6 +93,50 @@ pub struct PatternMatch {
 /// blow-ups on highly regular blocks.
 const MATCH_CAP: usize = 512;
 
+/// Coarse label key such that `compatible(mode, p, t)` implies
+/// `compat_key(mode, p) == compat_key(mode, t)`. Used by the multiset
+/// prefilter: a pattern whose key multiset is not contained in the
+/// block's cannot match, so its VF2 call is skipped entirely.
+fn compat_key(mode: MatchMode, l: &DfgLabel) -> u64 {
+    // Memory nodes require exact opcode equality in every mode.
+    if l.opcode.is_memory() {
+        return canon::hash_str(&format!("mem:{}", l.opcode.mnemonic()));
+    }
+    match mode {
+        MatchMode::Exact => l.key(),
+        MatchMode::Wildcard => {
+            // Mirrors `DfgLabel::matches_class`: opcode class plus the
+            // immediate *ports* (values generalize away).
+            let mut s = format!("cls:{:?}", l.opcode.class());
+            for (p, _) in &l.imms {
+                s.push('#');
+                s.push_str(&p.to_string());
+            }
+            canon::hash_str(&s)
+        }
+    }
+}
+
+/// Counts compatibility keys over a set of labels.
+fn key_counts<'a>(
+    mode: MatchMode,
+    labels: impl Iterator<Item = &'a DfgLabel>,
+) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    for l in labels {
+        *m.entry(compat_key(mode, l)).or_insert(0) += 1;
+    }
+    m
+}
+
+/// True when every pattern key occurs in the target at least as often —
+/// a necessary condition for any VF2 embedding to exist.
+fn could_embed(pattern: &HashMap<u64, usize>, target: &HashMap<u64, usize>) -> bool {
+    pattern
+        .iter()
+        .all(|(k, &c)| target.get(k).copied().unwrap_or(0) >= c)
+}
+
 fn compatible(mode: MatchMode, p: &DfgLabel, t: &DfgLabel) -> bool {
     if t.opcode.is_custom() || t.opcode.is_store() {
         return false;
@@ -110,6 +153,11 @@ fn compatible(mode: MatchMode, p: &DfgLabel, t: &DfgLabel) -> bool {
         MatchMode::Wildcard => p.matches_class(t),
     }
 }
+
+/// One matchable pattern of a CFU: the graph, whether it comes from the
+/// contraction closure (a subsumed shape), and its label-key multiset
+/// for the [`could_embed`] prefilter.
+type PreparedPattern<'a> = (&'a DiGraph<DfgLabel>, bool, HashMap<u64, usize>);
 
 /// Finds every legal match of every CFU in the given function DFGs.
 ///
@@ -147,79 +195,118 @@ pub fn find_matches(
     opts: &MatchOptions,
 ) -> Vec<PatternMatch> {
     let targets: Vec<DiGraph<DfgLabel>> = dfgs.iter().map(Dfg::to_digraph).collect();
-    let mut out = Vec::new();
-    for cfu in &mdes.cfus {
-        let mut patterns: Vec<(&DiGraph<DfgLabel>, bool)> = vec![(&cfu.pattern, false)];
-        if opts.allow_subsumed {
-            patterns.extend(cfu.subsumed_patterns.iter().map(|p| (p, true)));
-        }
-        for (block, (dfg, target)) in dfgs.iter().zip(targets.iter()).enumerate() {
-            // One node set may match several patterns (or the same pattern
-            // with permuted commutative ports): keep the best description
-            // (exact before subsumed, then first found).
-            let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
-            for &(pattern, via_subsumption) in &patterns {
-                if pattern.node_count() > dfg.len() {
+    // Per-block label-key multisets for the prefilter; nodes that can
+    // never be matched (custom instructions, stores) are left out.
+    let target_counts: Vec<HashMap<u64, usize>> = targets
+        .iter()
+        .map(|t| {
+            key_counts(
+                opts.mode,
+                t.node_ids()
+                    .map(|n| &t[n])
+                    .filter(|l| !l.opcode.is_custom() && !l.opcode.is_store()),
+            )
+        })
+        .collect();
+    // Patterns (own + contraction closure) per CFU, each with its key
+    // multiset.
+    let cfu_patterns: Vec<Vec<PreparedPattern<'_>>> = mdes
+        .cfus
+        .iter()
+        .map(|cfu| {
+            let mut patterns: Vec<(&DiGraph<DfgLabel>, bool)> = vec![(&cfu.pattern, false)];
+            if opts.allow_subsumed {
+                patterns.extend(cfu.subsumed_patterns.iter().map(|p| (p, true)));
+            }
+            patterns
+                .into_iter()
+                .map(|(p, via)| {
+                    let counts = key_counts(opts.mode, p.node_ids().map(|n| &p[n]));
+                    (p, via, counts)
+                })
+                .collect()
+        })
+        .collect();
+    // Every (CFU, block) pair is independent; fan them out and flatten
+    // in CFU-major order, which is exactly the serial nesting order.
+    let jobs: Vec<(usize, usize)> = (0..mdes.cfus.len())
+        .flat_map(|c| (0..dfgs.len()).map(move |b| (c, b)))
+        .collect();
+    let per_job = par::par_map(&jobs, |&(ci, block)| {
+        let cfu = &mdes.cfus[ci];
+        let dfg = &dfgs[block];
+        let target = &targets[block];
+        let mut out = Vec::new();
+        // One node set may match several patterns (or the same pattern
+        // with permuted commutative ports): keep the best description
+        // (exact before subsumed, then first found).
+        let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
+        for (pattern, via_subsumption, pattern_counts) in &cfu_patterns[ci] {
+            let (pattern, via_subsumption) = (*pattern, *via_subsumption);
+            if pattern.node_count() > dfg.len() {
+                continue;
+            }
+            if !could_embed(pattern_counts, &target_counts[block]) {
+                continue; // no embedding can exist: skip the VF2 call
+            }
+            let found = vf2::Matcher::new(pattern, target)
+                .node_compat(|p, t| compatible(opts.mode, p, t))
+                .commutative(|p| p.opcode.is_commutative())
+                .max_matches(MATCH_CAP)
+                .find_all();
+            for mapping in found {
+                let nodes: BitSet = mapping.iter().map(|n| n.index()).collect();
+                if seen.contains(&nodes) {
                     continue;
                 }
-                let found = vf2::Matcher::new(pattern, target)
-                    .node_compat(|p, t| compatible(opts.mode, p, t))
-                    .commutative(|p| p.opcode.is_commutative())
-                    .max_matches(MATCH_CAP)
-                    .find_all();
-                for mapping in found {
-                    let nodes: BitSet = mapping.iter().map(|n| n.index()).collect();
-                    if seen.contains(&nodes) {
-                        continue;
-                    }
-                    if !dfg.is_convex(&nodes) {
-                        continue;
-                    }
-                    if dfg.input_count(&nodes) > mdes.max_inputs as usize
-                        || dfg.output_count(&nodes) > mdes.max_outputs as usize
-                        || dfg.output_count(&nodes) == 0
-                    {
-                        continue;
-                    }
-                    // Loads contribute nothing: the baseline issues them
-                    // on the parallel memory slot, and a load-bearing
-                    // unit reserves the same port for as many cycles (see
-                    // `Candidate::sw_cycles`).
-                    let sw: u64 = nodes
-                        .iter()
-                        .map(|v| {
-                            let inst = dfg.inst(v);
-                            if inst.opcode.is_load() {
-                                0
-                            } else {
-                                hw.sw_latency_of(inst) as u64
-                            }
-                        })
-                        .sum();
-                    let savings = dfg.weight() * sw.saturating_sub(cfu.latency as u64);
-                    if savings == 0 {
-                        continue;
-                    }
-                    seen.insert(nodes.clone());
-                    let is_exact = mapping
-                        .iter()
-                        .zip(pattern.node_ids())
-                        .all(|(&t, p)| pattern[p].matches_exact(&target[t]));
-                    out.push(PatternMatch {
-                        cfu: cfu.id,
-                        block,
-                        nodes,
-                        mapping: mapping.iter().map(|n| n.index()).collect(),
-                        pattern: pattern.clone(),
-                        via_subsumption,
-                        is_exact,
-                        savings,
-                    });
+                if !dfg.is_convex(&nodes) {
+                    continue;
                 }
+                if dfg.input_count(&nodes) > mdes.max_inputs as usize
+                    || dfg.output_count(&nodes) > mdes.max_outputs as usize
+                    || dfg.output_count(&nodes) == 0
+                {
+                    continue;
+                }
+                // Loads contribute nothing: the baseline issues them
+                // on the parallel memory slot, and a load-bearing
+                // unit reserves the same port for as many cycles (see
+                // `Candidate::sw_cycles`).
+                let sw: u64 = nodes
+                    .iter()
+                    .map(|v| {
+                        let inst = dfg.inst(v);
+                        if inst.opcode.is_load() {
+                            0
+                        } else {
+                            hw.sw_latency_of(inst) as u64
+                        }
+                    })
+                    .sum();
+                let savings = dfg.weight() * sw.saturating_sub(cfu.latency as u64);
+                if savings == 0 {
+                    continue;
+                }
+                seen.insert(nodes.clone());
+                let is_exact = mapping
+                    .iter()
+                    .zip(pattern.node_ids())
+                    .all(|(&t, p)| pattern[p].matches_exact(&target[t]));
+                out.push(PatternMatch {
+                    cfu: cfu.id,
+                    block,
+                    nodes,
+                    mapping: mapping.iter().map(|n| n.index()).collect(),
+                    pattern: pattern.clone(),
+                    via_subsumption,
+                    is_exact,
+                    savings,
+                });
             }
         }
-    }
-    out
+        out
+    });
+    per_job.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -234,7 +321,10 @@ mod tests {
     }
 
     fn lab(op: Opcode) -> DfgLabel {
-        DfgLabel { opcode: op, imms: vec![] }
+        DfgLabel {
+            opcode: op,
+            imms: vec![],
+        }
     }
 
     /// Hand-written MDES with a single and→add CFU.
@@ -278,7 +368,7 @@ mod tests {
         let dfgs = function_dfgs(&fb.finish());
         let m = find_matches(&dfgs, &mdes_and_add(false), &hw(), &MatchOptions::exact());
         assert_eq!(m.len(), 1);
-        assert_eq!(m[0].savings, 50 * (2 - 1));
+        assert_eq!(m[0].savings, 50);
         assert!(!m[0].via_subsumption);
     }
 
@@ -294,7 +384,12 @@ mod tests {
         let dfgs = function_dfgs(&fb.finish());
         let exact = find_matches(&dfgs, &mdes_and_add(true), &hw(), &MatchOptions::exact());
         assert!(exact.is_empty(), "no and->add shape in the program");
-        let gen = find_matches(&dfgs, &mdes_and_add(true), &hw(), &MatchOptions::with_subsumed());
+        let gen = find_matches(
+            &dfgs,
+            &mdes_and_add(true),
+            &hw(),
+            &MatchOptions::with_subsumed(),
+        );
         // A lone `and` saves 0 cycles (1 sw vs 1 hw) so it is dropped; but
         // nothing else matches either. Use a two-op contraction instead:
         assert!(gen.iter().all(|m| !m.nodes.is_empty()));
@@ -429,7 +524,12 @@ mod tests {
         let dfgs = function_dfgs(&fb.finish());
         // Wildcard pattern of class Move would otherwise class-match; make
         // sure loads are refused even in wildcard mode.
-        let m = find_matches(&dfgs, &mdes_and_add(true), &hw(), &MatchOptions::generalized());
+        let m = find_matches(
+            &dfgs,
+            &mdes_and_add(true),
+            &hw(),
+            &MatchOptions::generalized(),
+        );
         for mm in &m {
             assert!(!mm.nodes.contains(0), "load must never be matched");
         }

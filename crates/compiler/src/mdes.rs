@@ -12,14 +12,14 @@
 //! can be stored and reused to compile another (the cross-compilation
 //! experiments of Figure 7).
 
-use isax_graph::DiGraph;
+use isax_graph::{DiGraph, NodeId};
 use isax_hwlib::HwLibrary;
-use isax_ir::DfgLabel;
+use isax_ir::{DfgLabel, Opcode};
+use isax_json::Value;
 use isax_select::{contraction_closure, CfuCandidate, Selection};
-use serde::{Deserialize, Serialize};
 
 /// One custom function unit in the machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CfuSpec {
     /// Identifier; `Opcode::Custom(id)` instructions reference the unit.
     pub id: u16,
@@ -57,7 +57,7 @@ pub struct CfuSpec {
 /// let back = Mdes::from_json(&json).unwrap();
 /// assert_eq!(mdes, back);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mdes {
     /// The custom function units, in priority order.
     pub cfus: Vec<CfuSpec>,
@@ -135,18 +135,206 @@ impl Mdes {
     /// # Errors
     ///
     /// Propagates serializer failures (none are expected for this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, isax_json::Error> {
+        Ok(self.to_value().to_string_pretty())
     }
 
     /// Parses from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the parse error for malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns the parse error for malformed input, or a schema error for
+    /// well-formed JSON that is not an MDES.
+    pub fn from_json(s: &str) -> Result<Self, isax_json::Error> {
+        Self::from_value(&isax_json::parse(s)?)
     }
+
+    fn to_value(&self) -> Value {
+        isax_json::object([
+            (
+                "cfus",
+                Value::Array(self.cfus.iter().map(CfuSpec::to_value).collect()),
+            ),
+            ("max_inputs", Value::from(self.max_inputs as u64)),
+            ("max_outputs", Value::from(self.max_outputs as u64)),
+            ("source_app", Value::from(self.source_app.clone())),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, isax_json::Error> {
+        Ok(Mdes {
+            cfus: field(v, "cfus")?
+                .as_array()
+                .ok_or_else(|| schema("cfus must be an array"))?
+                .iter()
+                .map(CfuSpec::from_value)
+                .collect::<Result<_, _>>()?,
+            max_inputs: get_int(v, "max_inputs")? as u8,
+            max_outputs: get_int(v, "max_outputs")? as u8,
+            source_app: field(v, "source_app")?
+                .as_str()
+                .ok_or_else(|| schema("source_app must be a string"))?
+                .to_string(),
+        })
+    }
+}
+
+impl CfuSpec {
+    fn to_value(&self) -> Value {
+        isax_json::object([
+            ("id", Value::from(self.id as u64)),
+            ("name", Value::from(self.name.clone())),
+            ("pattern", pattern_to_value(&self.pattern)),
+            ("latency", Value::from(self.latency as u64)),
+            ("area", Value::from(self.area)),
+            ("inputs", Value::from(self.inputs as u64)),
+            ("outputs", Value::from(self.outputs as u64)),
+            ("priority", Value::from(self.priority as u64)),
+            ("estimated_value", Value::from(self.estimated_value)),
+            (
+                "subsumed_patterns",
+                Value::Array(
+                    self.subsumed_patterns
+                        .iter()
+                        .map(pattern_to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, isax_json::Error> {
+        Ok(CfuSpec {
+            id: get_int(v, "id")? as u16,
+            name: field(v, "name")?
+                .as_str()
+                .ok_or_else(|| schema("name must be a string"))?
+                .to_string(),
+            pattern: pattern_from_value(field(v, "pattern")?)?,
+            latency: get_int(v, "latency")? as u32,
+            area: field(v, "area")?
+                .as_f64()
+                .ok_or_else(|| schema("area must be a number"))?,
+            inputs: get_int(v, "inputs")? as u8,
+            outputs: get_int(v, "outputs")? as u8,
+            priority: get_int(v, "priority")? as usize,
+            estimated_value: get_int(v, "estimated_value")?,
+            subsumed_patterns: field(v, "subsumed_patterns")?
+                .as_array()
+                .ok_or_else(|| schema("subsumed_patterns must be an array"))?
+                .iter()
+                .map(pattern_from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+fn schema(msg: &str) -> isax_json::Error {
+    isax_json::Error::msg(format!("mdes: {msg}"))
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, isax_json::Error> {
+    v.get(key)
+        .ok_or_else(|| schema(&format!("missing field `{key}`")))
+}
+
+fn get_int(v: &Value, key: &str) -> Result<u64, isax_json::Error> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| schema(&format!("`{key}` must be a non-negative integer")))
+}
+
+/// A pattern graph as JSON: nodes carry the opcode's display form plus
+/// hardwired immediates as `[port, value]` pairs; edges are
+/// `[src, dst, port]` triples in insertion order.
+fn pattern_to_value(g: &DiGraph<DfgLabel>) -> Value {
+    let nodes = g
+        .node_ids()
+        .map(|n| {
+            let label = &g[n];
+            isax_json::object([
+                ("op", Value::from(label.opcode.to_string())),
+                (
+                    "imms",
+                    Value::Array(
+                        label
+                            .imms
+                            .iter()
+                            .map(|&(port, val)| {
+                                Value::Array(vec![Value::from(port as u64), Value::from(val)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let edges = g
+        .edges()
+        .map(|e| {
+            Value::Array(vec![
+                Value::from(e.src.0 as u64),
+                Value::from(e.dst.0 as u64),
+                Value::from(e.port as u64),
+            ])
+        })
+        .collect();
+    isax_json::object([
+        ("nodes", Value::Array(nodes)),
+        ("edges", Value::Array(edges)),
+    ])
+}
+
+fn pattern_from_value(v: &Value) -> Result<DiGraph<DfgLabel>, isax_json::Error> {
+    let nodes = field(v, "nodes")?
+        .as_array()
+        .ok_or_else(|| schema("pattern nodes must be an array"))?;
+    let mut g = DiGraph::with_capacity(nodes.len());
+    for node in nodes {
+        let op_str = field(node, "op")?
+            .as_str()
+            .ok_or_else(|| schema("node op must be a string"))?;
+        let opcode = Opcode::from_mnemonic(op_str)
+            .ok_or_else(|| schema(&format!("unknown opcode `{op_str}`")))?;
+        let imms = field(node, "imms")?
+            .as_array()
+            .ok_or_else(|| schema("node imms must be an array"))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().filter(|a| a.len() == 2);
+                let items = items.ok_or_else(|| schema("imm must be a [port, value] pair"))?;
+                let port = items[0]
+                    .as_u64()
+                    .filter(|&p| p <= u8::MAX as u64)
+                    .ok_or_else(|| schema("imm port must fit in u8"))?;
+                let val = items[1]
+                    .as_i64()
+                    .ok_or_else(|| schema("imm value must be an integer"))?;
+                Ok((port as u8, val))
+            })
+            .collect::<Result<Vec<_>, isax_json::Error>>()?;
+        g.add_node(DfgLabel { opcode, imms });
+    }
+    for edge in field(v, "edges")?
+        .as_array()
+        .ok_or_else(|| schema("pattern edges must be an array"))?
+    {
+        let items = edge
+            .as_array()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| schema("edge must be a [src, dst, port] triple"))?;
+        let coord = |i: usize| {
+            items[i]
+                .as_u64()
+                .ok_or_else(|| schema("edge fields must be integers"))
+        };
+        let (src, dst, port) = (coord(0)?, coord(1)?, coord(2)?);
+        if src >= g.node_count() as u64 || dst >= g.node_count() as u64 || port > u8::MAX as u64 {
+            return Err(schema("edge endpoint out of range"));
+        }
+        g.add_edge(NodeId(src as u32), NodeId(dst as u32), port as u8);
+    }
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -197,8 +385,24 @@ mod tests {
             assert_eq!(a.pattern, b.pattern);
             assert_eq!(a.subsumed_patterns, b.subsumed_patterns);
             assert_eq!(
-                (a.id, &a.name, a.latency, a.inputs, a.outputs, a.priority, a.estimated_value),
-                (b.id, &b.name, b.latency, b.inputs, b.outputs, b.priority, b.estimated_value)
+                (
+                    a.id,
+                    &a.name,
+                    a.latency,
+                    a.inputs,
+                    a.outputs,
+                    a.priority,
+                    a.estimated_value
+                ),
+                (
+                    b.id,
+                    &b.name,
+                    b.latency,
+                    b.inputs,
+                    b.outputs,
+                    b.priority,
+                    b.estimated_value
+                )
             );
         }
         assert_eq!(back.source_app, "kern");

@@ -33,14 +33,8 @@ use std::collections::HashSet;
 /// # let dfgs: Vec<isax_ir::Dfg> = vec![];
 /// let accepted = prioritize(matches, &mdes, &dfgs);
 /// ```
-pub fn prioritize(
-    mut matches: Vec<PatternMatch>,
-    mdes: &Mdes,
-    dfgs: &[Dfg],
-) -> Vec<PatternMatch> {
-    let priority_of = |cfu: u16| {
-        mdes.cfu(cfu).map(|c| c.priority).unwrap_or(usize::MAX)
-    };
+pub fn prioritize(mut matches: Vec<PatternMatch>, mdes: &Mdes, dfgs: &[Dfg]) -> Vec<PatternMatch> {
+    let priority_of = |cfu: u16| mdes.cfu(cfu).map(|c| c.priority).unwrap_or(usize::MAX);
     // Assignment tiers keep generalization from *displacing* perfect
     // fits: every exact match (of any CFU) outranks every wildcarded
     // match, which outranks every subsumed match. §3.4 describes the
@@ -101,7 +95,10 @@ mod tests {
 
     fn spec(id: u16, priority: usize) -> CfuSpec {
         let mut pattern = DiGraph::new();
-        pattern.add_node(DfgLabel { opcode: Opcode::Add, imms: vec![] });
+        pattern.add_node(DfgLabel {
+            opcode: Opcode::Add,
+            imms: vec![],
+        });
         CfuSpec {
             id,
             name: format!("cfu{id}"),

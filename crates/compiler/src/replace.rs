@@ -143,8 +143,7 @@ pub fn apply_matches(
     let mut registry: Vec<(u16, CfuSemantics, u16)> = Vec::new();
     let mut next_sem = sem_base;
     for (bi, dfg) in dfgs.iter().enumerate() {
-        let block_matches: Vec<&PatternMatch> =
-            accepted.iter().filter(|m| m.block == bi).collect();
+        let block_matches: Vec<&PatternMatch> = accepted.iter().filter(|m| m.block == bi).collect();
         if block_matches.is_empty() {
             continue;
         }
@@ -179,7 +178,10 @@ fn rebuild_block(
     let mut owner: Vec<Option<usize>> = vec![None; n];
     for (k, m) in matches.iter().enumerate() {
         for v in m.nodes.iter() {
-            assert!(owner[v].is_none(), "overlapping matches reached replacement");
+            assert!(
+                owner[v].is_none(),
+                "overlapping matches reached replacement"
+            );
             owner[v] = Some(k);
         }
     }
@@ -215,9 +217,7 @@ fn rebuild_block(
     // slots carry no edges — everything was lifted to their match's
     // super-node). Always emit the ready super-node that appeared
     // earliest in the original block.
-    let emittable: Vec<bool> = (0..total)
-        .map(|s| s >= n || owner[s].is_none())
-        .collect();
+    let emittable: Vec<bool> = (0..total).map(|s| s >= n || owner[s].is_none()).collect();
     let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> = (0..total)
         .filter(|&s| emittable[s] && indeg[s] == 0)
         .map(|s| std::cmp::Reverse((min_pos[s], s)))
@@ -332,8 +332,8 @@ fn build_custom(
     let mut outputs: Vec<u16> = Vec::new();
     let mut dsts: Vec<VReg> = Vec::new();
     for &t in &order {
-        let escapes = dfg.is_block_output(t)
-            || dfg.data_succs(t).iter().any(|&(d, _)| !m.nodes.contains(d));
+        let escapes =
+            dfg.is_block_output(t) || dfg.data_succs(t).iter().any(|&(d, _)| !m.nodes.contains(d));
         if escapes {
             outputs.push(pos[&t]);
             dsts.push(dfg.inst(t).dst().expect("escaping node has a destination"));
@@ -356,11 +356,7 @@ fn build_custom(
             id
         });
     let _ = mdes;
-    (
-        Inst::new(Opcode::Custom(sem_id), dsts, srcs),
-        sem,
-        sem_id,
-    )
+    (Inst::new(Opcode::Custom(sem_id), dsts, srcs), sem, sem_id)
 }
 
 #[cfg(test)]
@@ -374,7 +370,10 @@ mod tests {
     use isax_ir::{function_dfgs, verify_function, DfgLabel, FunctionBuilder};
 
     fn lab(op: Opcode) -> DfgLabel {
-        DfgLabel { opcode: op, imms: vec![] }
+        DfgLabel {
+            opcode: op,
+            imms: vec![],
+        }
     }
 
     fn mdes_and_add() -> Mdes {

@@ -15,11 +15,10 @@
 
 use isax_hwlib::HwLibrary;
 use isax_ir::{Dfg, FuKind, Opcode, Terminator};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Issue-width description of the VLIW.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VliwModel {
     /// Integer ALU slots (shared by custom function units).
     pub int_slots: u8,
@@ -63,7 +62,7 @@ pub struct BlockSchedule {
 }
 
 /// Scheduling-relevant facts about one emitted custom opcode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CustomOpInfo {
     /// Pipelined result latency in cycles (from the executing CFU).
     pub latency: u32,
@@ -207,7 +206,10 @@ pub fn schedule_block(
         }
         cycle += 1;
         // Safety: cycle can never exceed serial issue plus max latency.
-        debug_assert!(cycle as usize <= n * 12 + 16, "scheduler failed to progress");
+        debug_assert!(
+            cycle as usize <= n * 12 + 16,
+            "scheduler failed to progress"
+        );
     }
     // The block ends when every result has landed, every operation has
     // issued, and — for conditional branches — the branch has issued a
@@ -303,7 +305,13 @@ mod tests {
         fb.ret(&[z.into()]);
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none(), &VliwModel::default());
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
         assert_eq!(s.cycles, 3);
         assert_eq!(s.issue, vec![0, 1, 2]);
     }
@@ -320,7 +328,13 @@ mod tests {
         fb.ret(&[z.into()]);
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none(), &VliwModel::default());
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
         // ld@0 (done at 2), add@0, add@1, add@2 -> ends at 3.
         assert_eq!(s.cycles, 3);
         assert_eq!(s.issue[0], 0);
@@ -342,8 +356,20 @@ mod tests {
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
         let mut lat = CustomInfo::new();
-        lat.insert(0u16, CustomOpInfo { latency: 1, mem_reads: 0 });
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &lat, &VliwModel::default());
+        lat.insert(
+            0u16,
+            CustomOpInfo {
+                latency: 1,
+                mem_reads: 0,
+            },
+        );
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &lat,
+            &VliwModel::default(),
+        );
         assert_ne!(s.issue[0], s.issue[1], "one integer slot only");
         assert_eq!(s.cycles, 2);
     }
@@ -362,8 +388,20 @@ mod tests {
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
         let mut lat = CustomInfo::new();
-        lat.insert(0u16, CustomOpInfo { latency: 3, mem_reads: 0 });
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &lat, &VliwModel::default());
+        lat.insert(
+            0u16,
+            CustomOpInfo {
+                latency: 3,
+                mem_reads: 0,
+            },
+        );
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &lat,
+            &VliwModel::default(),
+        );
         assert_eq!(s.issue[1], 3, "consumer waits for the 3-cycle CFU");
         assert_eq!(s.cycles, 4);
     }
@@ -384,8 +422,20 @@ mod tests {
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
         let mut info = CustomInfo::new();
-        info.insert(0u16, CustomOpInfo { latency: 2, mem_reads: 2 });
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &info, &VliwModel::default());
+        info.insert(
+            0u16,
+            CustomOpInfo {
+                latency: 2,
+                mem_reads: 2,
+            },
+        );
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &info,
+            &VliwModel::default(),
+        );
         assert_eq!(s.issue[0], 0, "custom issues first");
         assert!(
             s.issue[1] >= 2,
@@ -394,8 +444,20 @@ mod tests {
         );
         // A pure custom releases the port immediately.
         let mut pure = CustomInfo::new();
-        pure.insert(0u16, CustomOpInfo { latency: 2, mem_reads: 0 });
-        let s2 = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &pure, &VliwModel::default());
+        pure.insert(
+            0u16,
+            CustomOpInfo {
+                latency: 2,
+                mem_reads: 0,
+            },
+        );
+        let s2 = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &pure,
+            &VliwModel::default(),
+        );
         assert_eq!(s2.issue[1], 0, "load dual-issues with the pure custom");
     }
 
@@ -408,7 +470,13 @@ mod tests {
         fb.ret(&[a.into()]);
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none(), &VliwModel::default());
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
         // Different slots: both can go in cycle 0 (read-before-write).
         assert_eq!(s.issue[0], 0);
         assert_eq!(s.issue[1], 0);
@@ -420,7 +488,13 @@ mod tests {
         fb.ret(&[]);
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
-        let s = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none(), &VliwModel::default());
+        let s = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
         assert_eq!(s.cycles, 1);
     }
 
@@ -443,7 +517,7 @@ mod tests {
         assert_eq!(per_block.len(), 3);
         assert_eq!(
             total,
-            per_block[0] as u64 * 1 + per_block[1] as u64 * 100 + per_block[2] as u64
+            (per_block[0] as u64) + per_block[1] as u64 * 100 + per_block[2] as u64
         );
     }
 
@@ -457,7 +531,13 @@ mod tests {
         fb.ret(&[x.into(), y.into(), z.into()]);
         let f = fb.finish();
         let dfgs = function_dfgs(&f);
-        let narrow = schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none(), &VliwModel::default());
+        let narrow = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
         let wide = schedule_block(
             &dfgs[0],
             &f.blocks[0].term,

@@ -17,7 +17,11 @@ struct Step {
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
     proptest::collection::vec(
-        (0usize..10, 0usize..8, -64i64..64).prop_map(|(which, pick, imm)| Step { which, pick, imm }),
+        (0usize..10, 0usize..8, -64i64..64).prop_map(|(which, pick, imm)| Step {
+            which,
+            pick,
+            imm,
+        }),
         1..40,
     )
 }
@@ -52,6 +56,107 @@ fn build(steps: &[Step]) -> isax_ir::Function {
     let last = *pool.last().unwrap();
     fb.ret(&[last.into()]);
     fb.finish()
+}
+
+/// Reconstruction of the recorded regression
+/// (`proptest_schedule.proptest-regressions`, case 19a889f5):
+/// `steps = [Step { which: 0, pick: 2, imm: 0 }; 2]` builds
+/// `add v3 = v2, v2; add v4 = v2, v1` — two adds reading the same
+/// params. Kept as a deterministic unit test because the vendored
+/// proptest cannot replay upstream seeds.
+#[test]
+fn recorded_regression_identical_adds() {
+    let steps = vec![
+        Step {
+            which: 0,
+            pick: 2,
+            imm: 0,
+        },
+        Step {
+            which: 0,
+            pick: 2,
+            imm: 0,
+        },
+    ];
+    let f = build(&steps);
+    let hw = HwLibrary::micron_018();
+    let dfgs = function_dfgs(&f);
+    let dfg = &dfgs[0];
+    let s = schedule_block(
+        dfg,
+        &f.blocks[0].term,
+        &hw,
+        &BTreeMap::new(),
+        &VliwModel::default(),
+    );
+    let lat = |v: usize| hw.sw_latency_of(dfg.inst(v));
+    let mut per_cycle: BTreeMap<(u32, FuKind), u32> = BTreeMap::new();
+    for v in 0..dfg.len() {
+        assert_ne!(s.issue[v], u32::MAX, "{v} never issued");
+        for &(u, _) in dfg.data_preds(v) {
+            assert!(
+                s.issue[v] >= s.issue[u] + lat(u),
+                "data dep {u}->{v} violated"
+            );
+        }
+        assert!(
+            s.issue[v] + lat(v) <= s.cycles,
+            "{v} lands after the block ends"
+        );
+        *per_cycle
+            .entry((s.issue[v], dfg.inst(v).opcode.fu()))
+            .or_insert(0) += 1;
+    }
+    for ((cycle, fu), count) in per_cycle {
+        assert!(count <= 1, "{count} ops of {fu:?} in cycle {cycle}");
+    }
+    // The allocator half of the regression: intervals computed the same
+    // way `allocations_never_alias` does must not share a physical
+    // register while overlapping.
+    let ra = allocate_registers(&f);
+    assert!(ra.spilled.is_empty());
+    let mut touch: BTreeMap<VReg, (usize, usize)> = BTreeMap::new();
+    for &p in &f.params {
+        touch.insert(p, (0, 0));
+    }
+    let mut pos = 0usize;
+    for b in &f.blocks {
+        for inst in &b.insts {
+            for (_, r) in inst.reg_srcs() {
+                touch
+                    .entry(r)
+                    .and_modify(|iv| iv.1 = pos)
+                    .or_insert((pos, pos));
+            }
+            for &d in &inst.dsts {
+                touch
+                    .entry(d)
+                    .and_modify(|iv| iv.1 = pos)
+                    .or_insert((pos, pos));
+            }
+            pos += 1;
+        }
+        for r in b.term.uses() {
+            touch
+                .entry(r)
+                .and_modify(|iv| iv.1 = pos)
+                .or_insert((pos, pos));
+        }
+        pos += 1;
+    }
+    let assigned: Vec<(VReg, u32)> = ra.assignment.iter().map(|(&r, &p)| (r, p)).collect();
+    for (i, &(r1, p1)) in assigned.iter().enumerate() {
+        for &(r2, p2) in assigned.iter().skip(i + 1) {
+            if p1 != p2 {
+                continue;
+            }
+            let (a, b) = (touch[&r1], touch[&r2]);
+            assert!(
+                !(a.0 <= b.1 && b.0 <= a.1),
+                "{r1} and {r2} share p{p1} but live ranges overlap"
+            );
+        }
+    }
 }
 
 proptest! {

@@ -108,18 +108,17 @@ pub fn generalization_bars(
 /// aggressively to stay tractable on wide blocks and could otherwise
 /// miss mid-sized candidates the constrained search covers exhaustively.
 pub fn limit_speedup(cz: &Customizer, app_name: &str, program: &Program) -> SpeedupReport {
-    use isax_select::{combine, find_wildcard_partners, mark_subsumptions, select_greedy, SelectConfig};
+    use isax_select::{
+        combine, find_wildcard_partners, mark_subsumptions, select_greedy, SelectConfig,
+    };
 
     let mut dfgs = Vec::new();
     for f in &program.functions {
         dfgs.extend(isax_ir::function_dfgs(f));
     }
     let base = isax_explore::explore_app(&dfgs, &cz.hw, &cz.explore);
-    let wide = isax_explore::explore_app(
-        &dfgs,
-        &cz.hw,
-        &isax_explore::ExploreConfig::unconstrained(),
-    );
+    let wide =
+        isax_explore::explore_app(&dfgs, &cz.hw, &isax_explore::ExploreConfig::unconstrained());
     // Union, deduplicated by (dfg, node set) so occurrence values are not
     // double counted.
     let mut seen = std::collections::HashSet::new();
@@ -159,7 +158,11 @@ mod tests {
         let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));
         let t = fb.xor(a, k);
         let u = fb.shl(t, (3 + flavor as i64) % 8);
-        let v = if flavor % 2 == 0 { fb.add(u, b) } else { fb.sub(u, b) };
+        let v = if flavor.is_multiple_of(2) {
+            fb.add(u, b)
+        } else {
+            fb.sub(u, b)
+        };
         let w = fb.and(v, 0xFFFFi64);
         fb.ret(&[w.into()]);
         Program::new(vec![fb.finish()])

@@ -90,6 +90,10 @@ pub struct ExploreStats {
     pub examined_by_size: Vec<u64>,
     /// Growth directions rejected by the guide function.
     pub directions_pruned: u64,
+    /// Delay/area lookups answered by the canonical-fingerprint memo.
+    pub memo_hits: u64,
+    /// Delay/area lookups that had to query the hardware library.
+    pub memo_misses: u64,
     /// True if the search hit its examination budget and stopped early.
     pub truncated: bool,
 }
@@ -109,9 +113,12 @@ impl ExploreStats {
         self.examined += other.examined;
         self.recorded += other.recorded;
         self.directions_pruned += other.directions_pruned;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
         self.truncated |= other.truncated;
         if self.examined_by_size.len() < other.examined_by_size.len() {
-            self.examined_by_size.resize(other.examined_by_size.len(), 0);
+            self.examined_by_size
+                .resize(other.examined_by_size.len(), 0);
         }
         for (i, &v) in other.examined_by_size.iter().enumerate() {
             self.examined_by_size[i] += v;

@@ -1,14 +1,12 @@
 //! External constraints and tuning knobs for exploration.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-category guide-function weights. The paper: "each of the guide
 /// function categories is allotted 10 points of weight ... Many
 /// experiments have been performed varying the weights of each of these
 /// factors and they point to the general conclusion that evenly balancing
 /// the factors yields the best candidates" — the `guide_ablation` bench
 /// regenerates that experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GuideWeights {
     /// Points for on-critical-path directions.
     pub criticality: f64,
@@ -63,7 +61,7 @@ impl GuideWeights {
 /// };
 /// assert_eq!(tight.max_area, Some(5.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExploreConfig {
     /// Maximum register-file read ports a CFU may use (paper: 5).
     pub max_inputs: usize,

@@ -11,10 +11,10 @@
 use crate::candidate::{extract_pattern, Candidate, ExploreResult};
 use crate::config::ExploreConfig;
 use crate::guide::{score, CandidateMetrics};
-use isax_graph::BitSet;
+use isax_graph::{canon, par, BitSet, Fingerprint};
 use isax_hwlib::HwLibrary;
-use isax_ir::{Dfg, SlackInfo};
-use std::collections::HashSet;
+use isax_ir::{Dfg, DfgLabel, SlackInfo};
+use std::collections::{HashMap, HashSet};
 
 /// Full candidate metrics including the split port counts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +47,66 @@ pub(crate) fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<Fu
     })
 }
 
+/// Memoizes hardware delay/area by the canonical fingerprint of the
+/// extracted pattern.
+///
+/// The grow loop re-derives metrics for every (seed, growth-direction)
+/// pair, and structurally identical subgraphs recur constantly — every
+/// `xor → shl` pair in a crypto round hits the same shape. Delay and
+/// area depend only on the labelled pattern up to isomorphism (critical
+/// path over edges plus a per-node area sum), so they are safe to share
+/// across occurrences; input/output port counts depend on how the node
+/// set is embedded in its DFG and are recomputed fresh each time.
+///
+/// `None` results (a node with no hardware implementation) are cached
+/// too, so repeated attempts to grow into an unimplementable shape stay
+/// cheap.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsMemo {
+    map: HashMap<Fingerprint, Option<(f64, f64)>>,
+    /// Lookups answered from the cache.
+    pub(crate) hits: u64,
+    /// Lookups that had to compute delay/area.
+    pub(crate) misses: u64,
+}
+
+impl MetricsMemo {
+    /// Drop-in memoized equivalent of [`metrics_of`].
+    pub(crate) fn metrics_of(
+        &mut self,
+        dfg: &Dfg,
+        nodes: &BitSet,
+        hw: &HwLibrary,
+    ) -> Option<FullMetrics> {
+        let pattern = extract_pattern(dfg, nodes);
+        let fp = canon::fingerprint(
+            &pattern,
+            DfgLabel::key,
+            |l| l.opcode.is_commutative(),
+            &canon::CanonConfig::default(),
+        );
+        let delay_area = match self.map.get(&fp) {
+            Some(&cached) => {
+                self.hits += 1;
+                cached
+            }
+            None => {
+                self.misses += 1;
+                let computed = hw.subgraph_delay(&pattern).zip(hw.subgraph_area(&pattern));
+                self.map.insert(fp, computed);
+                computed
+            }
+        };
+        let (delay, area) = delay_area?;
+        Some(FullMetrics {
+            delay,
+            area,
+            inputs: dfg.input_count(nodes),
+            outputs: dfg.output_count(nodes),
+        })
+    }
+}
+
 /// True if the instruction may participate in a custom function unit.
 pub(crate) fn node_eligible(dfg: &Dfg, v: usize, hw: &HwLibrary) -> bool {
     let inst = dfg.inst(v);
@@ -60,14 +120,14 @@ pub(crate) fn recordable(m: &FullMetrics, cfg: &ExploreConfig) -> bool {
     m.inputs <= cfg.max_inputs
         && m.outputs <= cfg.max_outputs
         && m.outputs >= 1
-        && cfg.max_area.map_or(true, |cap| m.area <= cap)
+        && cfg.max_area.is_none_or(|cap| m.area <= cap)
 }
 
 /// True if growth may pass through a candidate with these metrics.
 pub(crate) fn growable(m: &FullMetrics, cfg: &ExploreConfig) -> bool {
     m.inputs <= cfg.max_inputs.saturating_add(cfg.io_overshoot)
         && m.outputs <= cfg.max_outputs.saturating_add(cfg.io_overshoot)
-        && cfg.max_area.map_or(true, |cap| m.area <= cap)
+        && cfg.max_area.is_none_or(|cap| m.area <= cap)
 }
 
 /// Explores one dataflow graph with the guided heuristic and returns the
@@ -99,6 +159,7 @@ pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreRes
         cfg,
         slack_info: &slack_info,
         seen: HashSet::new(),
+        memo: MetricsMemo::default(),
         result: ExploreResult::default(),
     };
     for seed in 0..dfg.len() {
@@ -106,23 +167,32 @@ pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreRes
             continue;
         }
         let nodes: BitSet = [seed].into_iter().collect();
-        if let Some(m) = metrics_of(dfg, &nodes, hw) {
+        if let Some(m) = walker.memo.metrics_of(dfg, &nodes, hw) {
             walker.grow(nodes, m);
         }
     }
+    walker.result.stats.memo_hits = walker.memo.hits;
+    walker.result.stats.memo_misses = walker.memo.misses;
     walker.result
 }
 
 /// Explores every DFG of an application (e.g. all blocks of all
 /// functions), stamping each candidate with the index of the DFG it was
 /// found in and merging the statistics.
+///
+/// DFGs are independent, so they are explored in parallel (see
+/// [`isax_graph::par`]); results are merged in DFG index order, so the
+/// output is identical to the serial loop for any thread count.
 pub fn explore_app(dfgs: &[Dfg], hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreResult {
-    let mut out = ExploreResult::default();
-    for (i, dfg) in dfgs.iter().enumerate() {
-        let mut r = explore_dfg(dfg, hw, cfg);
+    let per_dfg = par::par_map_indexed(dfgs.len(), |i| {
+        let mut r = explore_dfg(&dfgs[i], hw, cfg);
         for c in &mut r.candidates {
             c.dfg = i;
         }
+        r
+    });
+    let mut out = ExploreResult::default();
+    for r in per_dfg {
         out.merge(r);
     }
     out
@@ -134,6 +204,7 @@ struct Walker<'a> {
     cfg: &'a ExploreConfig,
     slack_info: &'a SlackInfo,
     seen: HashSet<BitSet>,
+    memo: MetricsMemo,
     result: ExploreResult,
 }
 
@@ -165,7 +236,7 @@ impl Walker<'_> {
                 continue;
             }
             let grown = nodes.with(dir);
-            let Some(nm) = metrics_of(self.dfg, &grown, self.hw) else {
+            let Some(nm) = self.memo.metrics_of(self.dfg, &grown, self.hw) else {
                 continue;
             };
             if !growable(&nm, self.cfg) {
@@ -306,6 +377,95 @@ mod tests {
         };
         let r = explore_dfg(&dfg, &hw(), &cfg);
         assert!(r.candidates.iter().all(|c| c.nodes.len() <= 2));
+    }
+
+    #[test]
+    fn memo_hits_on_repeated_shapes_and_agrees_with_fresh_metrics() {
+        // Two structurally identical xor→shl pairs at different node
+        // indices: the second lookup of the shape must come from the
+        // cache and still agree with a fresh computation byte for byte.
+        let mut fb = FunctionBuilder::new("m", 4);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let c = fb.param(2);
+        let d = fb.param(3);
+        let t1 = fb.xor(a, b); // 0
+        let s1 = fb.shl(t1, 3i64); // 1
+        let t2 = fb.xor(c, d); // 2
+        let s2 = fb.shl(t2, 3i64); // 3
+        let j = fb.or(s1, s2); // 4
+        fb.ret(&[j.into()]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+        let hw = hw();
+        let mut memo = MetricsMemo::default();
+        let first: BitSet = [0usize, 1].into_iter().collect();
+        let second: BitSet = [2usize, 3].into_iter().collect();
+        let m1 = memo.metrics_of(&dfg, &first, &hw).unwrap();
+        assert_eq!((memo.hits, memo.misses), (0, 1));
+        let m2 = memo.metrics_of(&dfg, &second, &hw).unwrap();
+        assert_eq!((memo.hits, memo.misses), (1, 1), "same shape must hit");
+        // The cached answer is exactly what a fresh computation gives.
+        assert_eq!(m2, metrics_of(&dfg, &second, &hw).unwrap());
+        assert_eq!(m1.delay, m2.delay);
+        assert_eq!(m1.area, m2.area);
+        // Re-asking for the first set hits as well.
+        let m1_again = memo.metrics_of(&dfg, &first, &hw).unwrap();
+        assert_eq!((memo.hits, memo.misses), (2, 1));
+        assert_eq!(m1_again, m1);
+    }
+
+    #[test]
+    fn memo_ports_stay_per_node_set() {
+        // Same pattern shape, different embedding: node 1's value also
+        // feeds node 3, so {0,1} has an extra output compared to {2,3}.
+        // The memo must not leak port counts across occurrences.
+        let mut fb = FunctionBuilder::new("p", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let t1 = fb.xor(a, b); // 0
+        let s1 = fb.add(t1, b); // 1
+        let t2 = fb.xor(s1, a); // 2   (consumes node 1 → node 1 escapes)
+        let s2 = fb.add(t2, b); // 3
+        fb.ret(&[s2.into()]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+        let hw = hw();
+        let mut memo = MetricsMemo::default();
+        let first: BitSet = [0usize, 1].into_iter().collect();
+        let second: BitSet = [2usize, 3].into_iter().collect();
+        let m1 = memo.metrics_of(&dfg, &first, &hw).unwrap();
+        let m2 = memo.metrics_of(&dfg, &second, &hw).unwrap();
+        assert_eq!(memo.hits, 1, "shapes are canonically equal");
+        assert_eq!(m1.delay, m2.delay);
+        assert_eq!(m1.area, m2.area);
+        assert_eq!(m1, metrics_of(&dfg, &first, &hw).unwrap());
+        assert_eq!(m2, metrics_of(&dfg, &second, &hw).unwrap());
+    }
+
+    #[test]
+    fn memo_caches_unimplementable_shapes() {
+        let mut fb = FunctionBuilder::new("u", 2);
+        let p = fb.param(0);
+        let q = fb.param(1);
+        let v = fb.div(p, q); // 0: no hardware implementation
+        fb.ret(&[v.into()]);
+        let dfg = function_dfgs(&fb.finish()).remove(0);
+        let hw = hw();
+        let mut memo = MetricsMemo::default();
+        let nodes: BitSet = [0usize].into_iter().collect();
+        assert!(memo.metrics_of(&dfg, &nodes, &hw).is_none());
+        assert!(memo.metrics_of(&dfg, &nodes, &hw).is_none());
+        assert_eq!((memo.hits, memo.misses), (1, 1), "None is cached too");
+    }
+
+    #[test]
+    fn explore_reports_memo_counters() {
+        let dfg = kernel_dfg();
+        let r = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        assert!(r.stats.memo_misses > 0, "fresh shapes were computed");
+        assert!(
+            r.stats.memo_hits > 0,
+            "the grow loop revisits shapes via different paths"
+        );
     }
 
     #[test]

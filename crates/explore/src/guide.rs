@@ -82,7 +82,11 @@ pub fn score(
         (old.delay / new.delay) * w.latency
     };
     let (oa, na) = (round_up_half_adder(old.area), round_up_half_adder(new.area));
-    let area = if na <= 0.0 { w.area } else { (oa / na) * w.area };
+    let area = if na <= 0.0 {
+        w.area
+    } else {
+        (oa / na) * w.area
+    };
     let io = ((old.ports as f64 / new.ports.max(1) as f64) * w.io).min(w.io);
     GuideScore {
         criticality,
@@ -127,7 +131,11 @@ mod tests {
     fn criticality_follows_paper_examples() {
         // "node 1 would get 10/(0+1) = 10 points and node 9 would get
         //  10/(2+1) = 3.33 points"
-        let m = CandidateMetrics { delay: 0.1, area: 0.1, ports: 2 };
+        let m = CandidateMetrics {
+            delay: 0.1,
+            area: 0.1,
+            ports: 2,
+        };
         let s0 = score(&m, &m, 0, &cfg());
         assert!((s0.criticality - 10.0).abs() < 1e-9);
         let s2 = score(&m, &m, 2, &cfg());
@@ -139,13 +147,25 @@ mod tests {
         // "candidate 4-6 ... 0.15 cycles. Exploring the direction of node
         //  1, which has a latency of 0.3 cycles, would get
         //  0.15/(0.15+0.30)*10 = 3.3 points"
-        let old = CandidateMetrics { delay: 0.15, area: 0.5, ports: 2 };
-        let new = CandidateMetrics { delay: 0.45, area: 1.5, ports: 2 };
+        let old = CandidateMetrics {
+            delay: 0.15,
+            area: 0.5,
+            ports: 2,
+        };
+        let new = CandidateMetrics {
+            delay: 0.45,
+            area: 1.5,
+            ports: 2,
+        };
         let s = score(&old, &new, 0, &cfg());
         assert!((s.latency - 10.0 * 0.15 / 0.45).abs() < 1e-9);
         // "growing toward node 10 we would get nearly all
         //  (0.15/(0.15+0)*10 = 10) the points"
-        let free = CandidateMetrics { delay: 0.15, area: 0.52, ports: 2 };
+        let free = CandidateMetrics {
+            delay: 0.15,
+            area: 0.52,
+            ports: 2,
+        };
         let s = score(&old, &free, 0, &cfg());
         assert!((s.latency - 10.0).abs() < 1e-9);
     }
@@ -154,13 +174,29 @@ mod tests {
     fn area_rounding_protects_small_seeds() {
         // Without rounding 0.02/0.18 would score 1.1; with rounding both
         // round to 0.5 and the direction gets full area points.
-        let old = CandidateMetrics { delay: 0.0, area: 0.02, ports: 2 };
-        let new = CandidateMetrics { delay: 0.05, area: 0.18, ports: 2 };
+        let old = CandidateMetrics {
+            delay: 0.0,
+            area: 0.02,
+            ports: 2,
+        };
+        let new = CandidateMetrics {
+            delay: 0.05,
+            area: 0.18,
+            ports: 2,
+        };
         let s = score(&old, &new, 0, &cfg());
         assert!((s.area - 10.0).abs() < 1e-9);
         // Larger candidates do feel area growth.
-        let old = CandidateMetrics { delay: 0.3, area: 1.0, ports: 2 };
-        let new = CandidateMetrics { delay: 0.6, area: 2.0, ports: 2 };
+        let old = CandidateMetrics {
+            delay: 0.3,
+            area: 1.0,
+            ports: 2,
+        };
+        let new = CandidateMetrics {
+            delay: 0.6,
+            area: 2.0,
+            ports: 2,
+        };
         let s = score(&old, &new, 0, &cfg());
         assert!((s.area - 5.0).abs() < 1e-9);
     }
@@ -170,11 +206,23 @@ mod tests {
         // "growing toward node 14 would not increase the number of inputs
         //  or outputs, yielding ... points" — the paper's 2/(2+1) example
         // counts the port total before/after; reproducing the formula:
-        let old = CandidateMetrics { delay: 0.1, area: 0.2, ports: 2 };
-        let worse = CandidateMetrics { delay: 0.1, area: 0.2, ports: 3 };
+        let old = CandidateMetrics {
+            delay: 0.1,
+            area: 0.2,
+            ports: 2,
+        };
+        let worse = CandidateMetrics {
+            delay: 0.1,
+            area: 0.2,
+            ports: 3,
+        };
         let s = score(&old, &worse, 0, &cfg());
         assert!((s.io - 10.0 * 2.0 / 3.0).abs() < 1e-9);
-        let much_worse = CandidateMetrics { delay: 0.1, area: 0.2, ports: 5 };
+        let much_worse = CandidateMetrics {
+            delay: 0.1,
+            area: 0.2,
+            ports: 5,
+        };
         let s = score(&old, &much_worse, 0, &cfg());
         assert!((s.io - 4.0).abs() < 1e-9);
     }
@@ -182,16 +230,32 @@ mod tests {
     #[test]
     fn io_is_capped_when_ports_shrink() {
         // Reconvergence can reduce ports; the score is capped at 10.
-        let old = CandidateMetrics { delay: 0.1, area: 0.2, ports: 4 };
-        let better = CandidateMetrics { delay: 0.1, area: 0.2, ports: 2 };
+        let old = CandidateMetrics {
+            delay: 0.1,
+            area: 0.2,
+            ports: 4,
+        };
+        let better = CandidateMetrics {
+            delay: 0.1,
+            area: 0.2,
+            ports: 2,
+        };
         let s = score(&old, &better, 0, &cfg());
         assert_eq!(s.io, 10.0);
     }
 
     #[test]
     fn total_sums_categories() {
-        let old = CandidateMetrics { delay: 0.1, area: 0.4, ports: 2 };
-        let new = CandidateMetrics { delay: 0.2, area: 0.9, ports: 3 };
+        let old = CandidateMetrics {
+            delay: 0.1,
+            area: 0.4,
+            ports: 2,
+        };
+        let new = CandidateMetrics {
+            delay: 0.2,
+            area: 0.9,
+            ports: 3,
+        };
         let s = score(&old, &new, 1, &cfg());
         let expect = s.criticality + s.latency + s.area + s.io;
         assert!((s.total() - expect).abs() < 1e-12);
@@ -201,8 +265,16 @@ mod tests {
     fn off_path_expensive_directions_fail_threshold() {
         // A high-slack, delay-doubling, port-increasing direction should
         // fall below the half-of-total threshold.
-        let old = CandidateMetrics { delay: 0.3, area: 1.0, ports: 3 };
-        let new = CandidateMetrics { delay: 0.9, area: 3.0, ports: 6 };
+        let old = CandidateMetrics {
+            delay: 0.3,
+            area: 1.0,
+            ports: 3,
+        };
+        let new = CandidateMetrics {
+            delay: 0.9,
+            area: 3.0,
+            ports: 6,
+        };
         let s = score(&old, &new, 5, &cfg());
         assert!(s.total() < cfg().threshold, "total {}", s.total());
     }

@@ -4,8 +4,6 @@
 //! `BitSet` gives O(words) union/equality/hash instead of allocating tree
 //! sets per candidate.
 
-use serde::{Deserialize, Serialize};
-
 /// A growable set of small unsigned integers backed by 64-bit words.
 ///
 /// # Example
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BitSet {
     words: Vec<u64>,
 }

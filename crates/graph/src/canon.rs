@@ -123,7 +123,11 @@ pub fn fingerprint<N>(
             // In-neighbourhood, tagged with ports unless v is commutative.
             scratch.clear();
             for e in g.preds(v) {
-                let port = if comm[vi] { COMMUTATIVE_PORT } else { e.port as u64 };
+                let port = if comm[vi] {
+                    COMMUTATIVE_PORT
+                } else {
+                    e.port as u64
+                };
                 scratch.push(combine(colour[e.src.index()], mix(port)));
             }
             scratch.sort_unstable();
@@ -300,7 +304,7 @@ mod tests {
             // edges in original index space: 0->1@0, 1->2@1, 0->3@0, 3->2@0, 2->4@0
             let edges = [(0, 1, 0u8), (1, 2, 1), (0, 3, 0), (3, 2, 0), (2, 4, 0)];
             let mut g = DiGraph::new();
-            let mut ids = vec![NodeId(0); 5];
+            let mut ids = [NodeId(0); 5];
             for &orig in perm {
                 ids[orig] = g.add_node(labels[orig]);
             }

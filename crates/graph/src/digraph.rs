@@ -8,8 +8,6 @@
 //! operations relax this during matching (see [`crate::vf2`]), but the
 //! representation always records the concrete port.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a node inside a [`DiGraph`].
 ///
 /// `NodeId`s are dense (`0..graph.node_count()`), never reused, and only
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(n.index(), 0);
 /// assert_eq!(g[n], 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -41,7 +39,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// One directed edge: `src` feeds input port `port` of `dst`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeRef {
     /// Producing node.
     pub src: NodeId,
@@ -70,7 +68,7 @@ pub struct EdgeRef {
 /// assert_eq!(g.succs(x).count(), 1);
 /// assert_eq!(g.preds(y).next().unwrap().src, x);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiGraph<N> {
     nodes: Vec<N>,
     edges: Vec<EdgeRef>,
@@ -123,7 +121,10 @@ impl<N> DiGraph<N> {
     /// Panics if either endpoint is not a node of this graph.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, port: u8) {
         assert!(src.index() < self.nodes.len(), "edge source out of range");
-        assert!(dst.index() < self.nodes.len(), "edge destination out of range");
+        assert!(
+            dst.index() < self.nodes.len(),
+            "edge destination out of range"
+        );
         let eidx = self.edges.len() as u32;
         self.edges.push(EdgeRef { src, dst, port });
         self.out_adj[src.index()].push(eidx);
@@ -162,12 +163,16 @@ impl<N> DiGraph<N> {
 
     /// Iterates over the outgoing edges of `n`.
     pub fn succs(&self, n: NodeId) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
-        self.out_adj[n.index()].iter().map(move |&e| self.edges[e as usize])
+        self.out_adj[n.index()]
+            .iter()
+            .map(move |&e| self.edges[e as usize])
     }
 
     /// Iterates over the incoming edges of `n`.
     pub fn preds(&self, n: NodeId) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
-        self.in_adj[n.index()].iter().map(move |&e| self.edges[e as usize])
+        self.in_adj[n.index()]
+            .iter()
+            .map(move |&e| self.edges[e as usize])
     }
 
     /// Out-degree of `n`.

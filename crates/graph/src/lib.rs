@@ -53,6 +53,7 @@ pub mod bitset;
 pub mod canon;
 pub mod digraph;
 pub mod dot;
+pub mod par;
 pub mod vf2;
 
 pub use bitset::BitSet;

@@ -1,0 +1,202 @@
+//! Deterministic data parallelism over slices, built on
+//! `std::thread::scope` and an atomic work index — no external
+//! dependencies, no unsafe.
+//!
+//! The customization pipeline is dominated by embarrassingly parallel
+//! loops: per-DFG candidate exploration, pairwise subsumption and
+//! wildcard checks, and per-block pattern matching. [`par_map`] and
+//! [`par_map_indexed`] fan those loops out across threads while keeping
+//! the *result order identical to the serial loop*: every item's result
+//! is stored at its input index, so callers observe byte-identical
+//! output regardless of thread count or scheduling.
+//!
+//! The thread count comes from, in order:
+//!
+//! 1. a per-process override installed with [`set_thread_override`]
+//!    (used by determinism tests to pin both sides of a comparison),
+//! 2. the `ISAX_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A count of 1 (or a work list of one item) runs the closure inline on
+//! the calling thread with no pool at all, so `ISAX_THREADS=1` is the
+//! exact serial code path, not a one-thread simulation of it.
+//!
+//! Calls are *flat*: a `par_map` issued from inside another `par_map`
+//! worker runs serially on that worker. Only the outermost call fans
+//! out, so the process never runs more than `thread_count()` workers no
+//! matter how deeply parallel stages compose.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is a `par_map` worker. Nested calls run
+    /// serially instead of multiplying threads: a fan-out over N
+    /// benchmarks each fanning out over M blocks would otherwise spawn
+    /// N×M threads and lose more to oversubscription than it gains.
+    static IN_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Pins the pipeline-wide thread count, overriding `ISAX_THREADS` and
+/// the detected parallelism. `None` removes the override.
+///
+/// Intended for tests that compare parallel against serial output from
+/// inside one process; production callers should set `ISAX_THREADS`
+/// instead.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel pipeline stages will use.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("ISAX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Semantically identical to `items.iter().map(f).collect()` for any
+/// `f` without side effects; the parallel path only changes wall-clock
+/// time, never the result. Panics in `f` propagate to the caller.
+///
+/// # Example
+///
+/// ```
+/// use isax_graph::par::par_map;
+/// let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// The work-stealing is a single shared atomic counter: each worker
+/// claims the next unprocessed index, computes, and stores the result
+/// tagged with its index. Slot `i` of the returned vector always holds
+/// `f(i)`.
+pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n <= 1 || IN_PAR_WORKER.with(Cell::get) {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PAR_WORKER.with(|flag| flag.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_matches_serial_for_every_size() {
+        for n in [0usize, 1, 2, 3, 7, 64, 257] {
+            let out = par_map_indexed(n, |i| i as u64 + 1);
+            assert_eq!(out, (0..n).map(|i| i as u64 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = par_map_indexed(500, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn override_pins_thread_count() {
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(Some(1));
+        assert_eq!(thread_count(), 1);
+        // Serial path still computes correctly.
+        assert_eq!(par_map(&[5u32, 6], |&x| x + 1), vec![6, 7]);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn nested_calls_serialize_on_the_worker() {
+        set_thread_override(Some(4));
+        let out = par_map_indexed(6, |i| par_map_indexed(6, move |j| i * 6 + j));
+        set_thread_override(None);
+        let expect: Vec<Vec<usize>> = (0..6)
+            .map(|i| (0..6).map(|j| i * 6 + j).collect())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        set_thread_override(Some(4));
+        let r = std::panic::catch_unwind(|| {
+            par_map_indexed(64, |i| {
+                if i == 13 {
+                    panic!("boom at 13");
+                }
+                i
+            })
+        });
+        set_thread_override(None);
+        assert!(r.is_err());
+    }
+}

@@ -43,7 +43,13 @@ fn build(spec: &GraphSpec, perm: &[usize]) -> DiGraph<&'static str> {
     // duplicate (src, dst, port) triples so both permutations agree.
     let mut seen = std::collections::BTreeSet::new();
     for &(a, b, port) in &spec.edges {
-        let (src, dst) = if a < b { (a, b) } else if b < a { (b, a) } else { continue };
+        let (src, dst) = if a < b {
+            (a, b)
+        } else if b < a {
+            (b, a)
+        } else {
+            continue;
+        };
         if seen.insert((src, dst, port)) {
             g.add_edge(ids[src], ids[dst], port);
         }

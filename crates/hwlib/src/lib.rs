@@ -36,10 +36,8 @@
 
 use isax_graph::DiGraph;
 use isax_ir::{DfgLabel, Inst, OpClass, Opcode};
-use serde::{Deserialize, Serialize};
-
 /// Hardware cost of one primitive operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpCost {
     /// Propagation delay as a fraction of the 300 MHz clock cycle.
     pub delay: f64,
@@ -64,7 +62,7 @@ pub struct OpCost {
 /// // Loads can never join a CFU:
 /// assert!(hw.cost(Opcode::LdW, &[]).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwLibrary {
     /// Clock frequency the delays are normalized to, in MHz (informative).
     pub clock_mhz: u32,
@@ -196,10 +194,7 @@ impl HwLibrary {
         }
         // Loads inside a unit serialize through the single cache port.
         if let Some(load) = self.cfu_load {
-            let loads = g
-                .node_ids()
-                .filter(|&n| g[n].opcode.is_load())
-                .count() as f64;
+            let loads = g.node_ids().filter(|&n| g[n].opcode.is_load()).count() as f64;
             longest = longest.max(loads * load.delay);
         }
         Some(longest)
@@ -384,7 +379,9 @@ mod tests {
         // Four parallel loads feeding a xor tree: path delay ~1.1 cycles
         // but four loads on one port take at least 4.
         let mut g = DiGraph::new();
-        let lds: Vec<_> = (0..4).map(|_| g.add_node(label(Opcode::LdW, &[]))).collect();
+        let lds: Vec<_> = (0..4)
+            .map(|_| g.add_node(label(Opcode::LdW, &[])))
+            .collect();
         let x0 = g.add_node(label(Opcode::Xor, &[]));
         let x1 = g.add_node(label(Opcode::Xor, &[]));
         let x2 = g.add_node(label(Opcode::Xor, &[]));

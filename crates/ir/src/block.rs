@@ -1,10 +1,8 @@
 //! Basic blocks, terminators and profile weights.
 
 use crate::inst::{Inst, Operand, VReg};
-use serde::{Deserialize, Serialize};
-
 /// Index of a basic block inside a [`crate::Function`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -26,7 +24,7 @@ impl std::fmt::Display for BlockId {
 /// instructions from containing branches or crossing control-flow
 /// boundaries, and representing control flow purely as terminators makes
 /// that restriction structural.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
@@ -48,7 +46,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::Ret(_) => vec![],
         }
     }
@@ -77,7 +77,7 @@ impl Terminator {
 /// assert_eq!(b.weight, 1000);
 /// assert_eq!(b.term.successors(), vec![]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     /// Straight-line instructions in program order (unscheduled).
     pub insts: Vec<Inst>,

@@ -229,17 +229,29 @@ impl FunctionBuilder {
 
     /// `mem8[addr] = val`
     pub fn stb(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) {
-        self.push(Inst::new(Opcode::StB, vec![], vec![addr.into(), val.into()]));
+        self.push(Inst::new(
+            Opcode::StB,
+            vec![],
+            vec![addr.into(), val.into()],
+        ));
     }
 
     /// `mem16[addr] = val`
     pub fn sth(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) {
-        self.push(Inst::new(Opcode::StH, vec![], vec![addr.into(), val.into()]));
+        self.push(Inst::new(
+            Opcode::StH,
+            vec![],
+            vec![addr.into(), val.into()],
+        ));
     }
 
     /// `mem32[addr] = val`
     pub fn stw(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) {
-        self.push(Inst::new(Opcode::StW, vec![], vec![addr.into(), val.into()]));
+        self.push(Inst::new(
+            Opcode::StW,
+            vec![],
+            vec![addr.into(), val.into()],
+        ));
     }
 
     /// Redefines an *existing* register: `dst = src`. This is how
@@ -255,7 +267,11 @@ impl FunctionBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn branch(&mut self, cond: VReg, taken: BlockId, not_taken: BlockId) {
-        self.terminate(Terminator::Branch { cond, taken, not_taken });
+        self.terminate(Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        });
     }
 
     /// Terminates the current block with a return.
@@ -265,7 +281,11 @@ impl FunctionBuilder {
 
     fn terminate(&mut self, t: Terminator) {
         let c = self.current.index();
-        assert!(!self.terminated[c], "block {} terminated twice", self.current);
+        assert!(
+            !self.terminated[c],
+            "block {} terminated twice",
+            self.current
+        );
         self.blocks[c].term = t;
         self.terminated[c] = true;
     }

@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// constants are baked into the function unit's wiring, so `x << 2` only
 /// matches hardware built for a shift of 2 (unless the matcher is asked to
 /// generalize constants).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DfgLabel {
     /// The operation.
     pub opcode: crate::Opcode,
@@ -324,8 +324,7 @@ impl Dfg {
         nodes
             .iter()
             .filter(|&v| {
-                self.block_output[v]
-                    || self.data_succs[v].iter().any(|&(d, _)| !nodes.contains(d))
+                self.block_output[v] || self.data_succs[v].iter().any(|&(d, _)| !nodes.contains(d))
             })
             .count()
     }
@@ -356,7 +355,7 @@ impl Dfg {
     /// a store is not free to move even though no value flows.
     pub fn schedule_info(&self, lat: impl Fn(&Inst) -> u32) -> SlackInfo {
         let n = self.insts.len();
-        let lats: Vec<u32> = self.insts.iter().map(|i| lat(i)).collect();
+        let lats: Vec<u32> = self.insts.iter().map(lat).collect();
         let mut asap = vec![0u32; n];
         // Program order is a topological order: all edges point forward.
         for v in 0..n {
@@ -583,7 +582,11 @@ mod tests {
         let d = function_dfgs(&f).remove(0);
         assert_eq!(d.order_preds(1), &[0], "load -> store");
         assert_eq!(d.order_preds(2), &[1], "store -> load");
-        assert_eq!(d.order_preds(3), &[1, 2], "store -> store and load -> store");
+        assert_eq!(
+            d.order_preds(3),
+            &[1, 2],
+            "store -> store and load -> store"
+        );
     }
 
     #[test]
@@ -680,8 +683,14 @@ mod tests {
         let _w = fb.xor(t, x); // 3: reads new t
         fb.ret(&[]);
         let d = function_dfgs(&fb.finish()).remove(0);
-        assert!(d.anti_preds(2).contains(&1), "reader must precede redefinition");
-        assert!(d.anti_preds(2).contains(&0), "output dependence on earlier def");
+        assert!(
+            d.anti_preds(2).contains(&1),
+            "reader must precede redefinition"
+        );
+        assert!(
+            d.anti_preds(2).contains(&0),
+            "output dependence on earlier def"
+        );
         assert!(d.anti_preds(3).is_empty());
         // Convexity must respect anti edges: {0, 3} has a path 0 ~> 2 -> 3
         // through the external redefinition.

@@ -2,7 +2,6 @@
 
 use crate::block::{BasicBlock, BlockId};
 use crate::inst::VReg;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A function: named, with parameter registers and a CFG of basic blocks.
@@ -21,7 +20,7 @@ use std::collections::BTreeSet;
 /// assert_eq!(f.name, "double");
 /// assert_eq!(f.blocks.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name (used in reports and the experiment index).
     pub name: String,
@@ -129,9 +128,11 @@ impl std::fmt::Display for Function {
             }
             match &b.term {
                 crate::block::Terminator::Jump(t) => writeln!(f, "    jmp {t}")?,
-                crate::block::Terminator::Branch { cond, taken, not_taken } => {
-                    writeln!(f, "    br {cond}, {taken}, {not_taken}")?
-                }
+                crate::block::Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => writeln!(f, "    br {cond}, {taken}, {not_taken}")?,
                 crate::block::Terminator::Ret(vals) => {
                     write!(f, "    ret")?;
                     for (i, v) in vals.iter().enumerate() {

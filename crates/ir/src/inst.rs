@@ -1,15 +1,13 @@
 //! Virtual registers, operands and instructions.
 
 use crate::opcode::Opcode;
-use serde::{Deserialize, Serialize};
-
 /// A virtual register.
 ///
 /// The input to the customization pipeline is deliberately *pre* register
 /// allocation ("the code ... has not passed through register allocation,
 /// which is important so that false dependences within the DFG are not
 /// created"), so the IR names an unbounded supply of virtual registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VReg(pub u32);
 
 impl VReg {
@@ -26,7 +24,7 @@ impl std::fmt::Display for VReg {
 }
 
 /// A source operand: a virtual register or an immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Value produced by an instruction (or live into the function).
     Reg(VReg),
@@ -106,7 +104,7 @@ impl std::fmt::Display for Operand {
 /// assert_eq!(i.to_string(), "add v2, v0, #4");
 /// assert_eq!(i.dst(), Some(VReg(2)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Inst {
     /// Operation.
     pub opcode: Opcode,
@@ -195,18 +193,18 @@ mod tests {
 
     #[test]
     fn display_store() {
-        let st = Inst::new(
-            Opcode::StW,
-            vec![],
-            vec![VReg(1).into(), VReg(2).into()],
-        );
+        let st = Inst::new(Opcode::StW, vec![], vec![VReg(1).into(), VReg(2).into()]);
         assert_eq!(st.to_string(), "stw v1, v2");
         assert_eq!(st.dst(), None);
     }
 
     #[test]
     fn reg_and_imm_sources() {
-        let i = Inst::new(Opcode::Shl, vec![VReg(9)], vec![VReg(3).into(), 4i64.into()]);
+        let i = Inst::new(
+            Opcode::Shl,
+            vec![VReg(9)],
+            vec![VReg(3).into(), 4i64.into()],
+        );
         assert_eq!(i.reg_srcs().collect::<Vec<_>>(), vec![(0, VReg(3))]);
         assert_eq!(i.imm_srcs().collect::<Vec<_>>(), vec![(1, 4)]);
     }
@@ -220,7 +218,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "expects 0 destinations")]
     fn store_has_no_destination() {
-        let _ = Inst::new(Opcode::StW, vec![VReg(0)], vec![VReg(1).into(), VReg(2).into()]);
+        let _ = Inst::new(
+            Opcode::StW,
+            vec![VReg(0)],
+            vec![VReg(1).into(), VReg(2).into()],
+        );
     }
 
     #[test]

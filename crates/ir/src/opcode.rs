@@ -8,8 +8,6 @@
 //! contraction), opcode classes (for wildcard generalization) and the VLIW
 //! function-unit slot each operation issues to.
 
-use serde::{Deserialize, Serialize};
-
 /// Which VLIW issue slot an operation occupies.
 ///
 /// The baseline machine of the paper is a four-wide VLIW issuing one
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// cycle; custom function units share the **integer** slot so speedups are
 /// attributable to the custom instructions rather than to added issue
 /// width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FuKind {
     /// Integer ALU slot (also used by custom function units).
     Int,
@@ -36,7 +34,7 @@ pub enum FuKind {
 /// Operations in the same class are "similar in their hardware
 /// implementation or ... can be added with little cost overhead", so a CFU
 /// node can be generalized to its class to make the unit multifunctional.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     /// Adders: `ADD` and `SUB` share a carry chain.
     AddSub,
@@ -69,7 +67,7 @@ pub enum OpClass {
 /// assert_eq!(Opcode::Add.arity(), 2);
 /// assert!(Opcode::LdW.is_memory());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Opcode {
     /// `d = a + b` (wrapping 32-bit).
     Add,
@@ -296,6 +294,16 @@ impl Opcode {
         }
     }
 
+    /// Parses the [`Display`](std::fmt::Display) form back into an
+    /// opcode: a plain mnemonic like `"add"`, or `"cfu<id>"` for custom
+    /// units. Inverse of `to_string()` for every opcode.
+    pub fn from_mnemonic(m: &str) -> Option<Opcode> {
+        if let Some(id) = m.strip_prefix("cfu") {
+            return id.parse::<u16>().ok().map(Opcode::Custom);
+        }
+        Opcode::ALL.into_iter().find(|op| op.mnemonic() == m)
+    }
+
     /// Assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         use Opcode::*;
@@ -381,9 +389,7 @@ pub fn eval(op: Opcode, args: &[u32]) -> u32 {
             }
         }
         Rem => {
-            if a(1) == 0 {
-                0
-            } else if s(0) == i32::MIN && s(1) == -1 {
+            if a(1) == 0 || (s(0) == i32::MIN && s(1) == -1) {
                 0
             } else {
                 (s(0) % s(1)) as u32
@@ -482,7 +488,10 @@ mod tests {
     fn division_edge_cases_are_total() {
         assert_eq!(eval(Opcode::Div, &[7, 0]), 0);
         assert_eq!(eval(Opcode::Rem, &[7, 0]), 0);
-        assert_eq!(eval(Opcode::Div, &[i32::MIN as u32, (-1i32) as u32]), i32::MIN as u32);
+        assert_eq!(
+            eval(Opcode::Div, &[i32::MIN as u32, (-1i32) as u32]),
+            i32::MIN as u32
+        );
         assert_eq!(eval(Opcode::Rem, &[i32::MIN as u32, (-1i32) as u32]), 0);
     }
 

@@ -59,10 +59,7 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 }
 
 fn opcode_by_mnemonic(m: &str) -> Option<Opcode> {
-    if let Some(id) = m.strip_prefix("cfu") {
-        return id.parse::<u16>().ok().map(Opcode::Custom);
-    }
-    Opcode::ALL.into_iter().find(|op| op.mnemonic() == m)
+    Opcode::from_mnemonic(m)
 }
 
 fn parse_vreg(tok: &str, line: usize) -> Result<VReg, ParseError> {
@@ -77,10 +74,12 @@ fn parse_vreg(tok: &str, line: usize) -> Result<VReg, ParseError> {
 
 fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
     if let Some(imm) = tok.strip_prefix('#') {
-        imm.parse::<i64>().map(Operand::Imm).map_err(|_| ParseError {
-            line,
-            message: format!("bad immediate `{tok}`"),
-        })
+        imm.parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad immediate `{tok}`"),
+            })
     } else {
         parse_vreg(tok, line).map(Operand::Reg)
     }
@@ -134,7 +133,11 @@ fn parse_inst(line_no: usize, text: &str) -> Result<Inst, ParseError> {
     if toks.len() != ndst + nsrc {
         return err(
             line_no,
-            format!("{mnemonic} expects {} operands, got {}", ndst + nsrc, toks.len()),
+            format!(
+                "{mnemonic} expects {} operands, got {}",
+                ndst + nsrc,
+                toks.len()
+            ),
         );
     }
     let dsts = toks[..ndst]

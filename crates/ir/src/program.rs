@@ -2,11 +2,10 @@
 
 use crate::function::Function;
 use crate::opcode::{self, Opcode};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Source of one input of a semantic node inside a [`CfuSemantics`] DAG.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SemSrc {
     /// The `i`-th input operand of the custom instruction.
     Input(u8),
@@ -17,7 +16,7 @@ pub enum SemSrc {
 }
 
 /// One operation inside a custom instruction's semantics DAG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SemOp {
     /// Primitive operation. Loads are permitted when the hardware library
     /// allows memory inside CFUs (the paper's §6 relaxation); stores,
@@ -51,7 +50,7 @@ pub struct SemOp {
 /// };
 /// assert_eq!(sem.eval(&[3, 5]), vec![17]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CfuSemantics {
     /// Operations in topological order (a node may only reference earlier
     /// nodes).
@@ -123,7 +122,7 @@ impl CfuSemantics {
 
 /// A whole application: functions plus the semantics of any custom
 /// instructions the compiler has introduced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// The functions of the application.
     pub functions: Vec<Function>,

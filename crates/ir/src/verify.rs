@@ -98,7 +98,11 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
         };
         match &b.term {
             Terminator::Jump(t) => check_target(*t, &mut errors),
-            Terminator::Branch { cond, taken, not_taken } => {
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
                 check_target(*taken, &mut errors);
                 check_target(*not_taken, &mut errors);
                 if !defined.contains(cond) {
@@ -181,12 +185,18 @@ mod tests {
         let mut fb = FunctionBuilder::new("bad", 1);
         let a = fb.param(0);
         let ghost = VReg(99);
-        fb.push(Inst::new(Opcode::Add, vec![VReg(50)], vec![a.into(), ghost.into()]));
+        fb.push(Inst::new(
+            Opcode::Add,
+            vec![VReg(50)],
+            vec![a.into(), ghost.into()],
+        ));
         fb.ret(&[]);
         let mut f = fb.finish();
         f.vreg_count = 100;
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("undefined register v99")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undefined register v99")));
     }
 
     #[test]
@@ -221,7 +231,9 @@ mod tests {
         f.vreg_count = 2;
         let p = Program::new(vec![f]);
         let errs = verify_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("cfu3 has no registered semantics")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("cfu3 has no registered semantics")));
     }
 
     #[test]
@@ -234,6 +246,8 @@ mod tests {
         fb.ret(&[]);
         let f = fb.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("before its definition")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("before its definition")));
     }
 }

@@ -251,8 +251,16 @@ pub fn run(
         }
         match &b.term {
             Terminator::Jump(t) => block = *t,
-            Terminator::Branch { cond, taken, not_taken } => {
-                block = if regs[cond.index()] != 0 { *taken } else { *not_taken };
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                block = if regs[cond.index()] != 0 {
+                    *taken
+                } else {
+                    *not_taken
+                };
             }
             Terminator::Ret(vals) => {
                 let ret = vals
@@ -428,7 +436,10 @@ mod tests {
         ));
         assert_eq!(
             run(&p, "f", &[1], &mut Memory::new(), 10),
-            Err(ExecError::MissingArguments { expected: 2, given: 1 })
+            Err(ExecError::MissingArguments {
+                expected: 2,
+                given: 1
+            })
         );
     }
 

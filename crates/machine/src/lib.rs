@@ -26,5 +26,5 @@ pub mod report;
 pub mod sim;
 
 pub use interp::{run, run_both, ExecError, ExecOutcome, Memory};
-pub use sim::{simulate, SimResult};
 pub use report::SpeedupReport;
+pub use sim::{simulate, SimResult};

@@ -1,7 +1,5 @@
 //! Speedup bookkeeping used by the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// One (application, CFU set) performance measurement.
 ///
 /// # Example
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((r.speedup - 1.6129).abs() < 1e-3);
 /// assert!(r.is_native());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupReport {
     /// Application that was compiled.
     pub app: String,
@@ -64,8 +62,12 @@ impl std::fmt::Display for SpeedupReport {
         write!(
             f,
             "{} on {}-CFUs @ {:>4.1} adders: {:.3}x ({} -> {})",
-            self.app, self.cfu_source, self.budget, self.speedup,
-            self.baseline_cycles, self.custom_cycles
+            self.app,
+            self.cfu_source,
+            self.budget,
+            self.speedup,
+            self.baseline_cycles,
+            self.custom_cycles
         )
     }
 }

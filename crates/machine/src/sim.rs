@@ -86,9 +86,7 @@ pub fn simulate(
     let block_cycles: Vec<u64> = dfgs
         .iter()
         .enumerate()
-        .map(|(bi, dfg)| {
-            schedule_block(dfg, &f.blocks[bi].term, hw, custom, model).cycles as u64
-        })
+        .map(|(bi, dfg)| schedule_block(dfg, &f.blocks[bi].term, hw, custom, model).cycles as u64)
         .collect();
     // Execute with the same semantics as `run`, tracking block entries.
     let mut regs: Vec<u32> = vec![0; f.vreg_count as usize];
@@ -116,8 +114,16 @@ pub fn simulate(
         }
         match &b.term {
             Terminator::Jump(t) => block = *t,
-            Terminator::Branch { cond, taken, not_taken } => {
-                block = if regs[cond.index()] != 0 { *taken } else { *not_taken };
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                block = if regs[cond.index()] != 0 {
+                    *taken
+                } else {
+                    *not_taken
+                };
             }
             Terminator::Ret(vals) => {
                 let ret = vals
@@ -237,10 +243,28 @@ mod tests {
         let p = build();
         let lat = CustomInfo::new();
         let model = VliwModel::default();
-        let r10 = simulate(&p, "sum", &[10], &mut Memory::new(), &lat, &hw(), &model, 100_000)
-            .unwrap();
-        let r20 = simulate(&p, "sum", &[20], &mut Memory::new(), &lat, &hw(), &model, 100_000)
-            .unwrap();
+        let r10 = simulate(
+            &p,
+            "sum",
+            &[10],
+            &mut Memory::new(),
+            &lat,
+            &hw(),
+            &model,
+            100_000,
+        )
+        .unwrap();
+        let r20 = simulate(
+            &p,
+            "sum",
+            &[20],
+            &mut Memory::new(),
+            &lat,
+            &hw(),
+            &model,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(r10.outcome.ret, vec![55]);
         assert_eq!(r20.outcome.ret, vec![210]);
         assert_eq!(r10.block_executions[1], 10);

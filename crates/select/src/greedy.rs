@@ -15,11 +15,10 @@
 //! overhead" (§3.4).
 
 use crate::combine::CfuCandidate;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// What the greedy comparator maximizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// `value / cost` — the paper's default; wins at low budgets.
     ValuePerArea,
@@ -28,7 +27,7 @@ pub enum Objective {
 }
 
 /// Selection parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectConfig {
     /// Total area budget, in adder units (the x-axis of Figure 7).
     pub budget: f64,
@@ -55,7 +54,7 @@ impl SelectConfig {
 }
 
 /// One selected CFU, in selection (priority) order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectedCfu {
     /// Index into the candidate list passed to selection.
     pub candidate: usize,
@@ -70,7 +69,7 @@ pub struct SelectedCfu {
 }
 
 /// The result of a selection run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Selection {
     /// Chosen CFUs in priority order.
     pub chosen: Vec<SelectedCfu>,
@@ -113,12 +112,7 @@ fn live_value(c: &CfuCandidate, claimed: &HashSet<(usize, usize)>) -> u64 {
     total
 }
 
-fn charged_cost(
-    idx: usize,
-    cands: &[CfuCandidate],
-    selected: &[usize],
-    cfg: &SelectConfig,
-) -> f64 {
+fn charged_cost(idx: usize, cands: &[CfuCandidate], selected: &[usize], cfg: &SelectConfig) -> f64 {
     let area = cands[idx].area.max(MIN_COST);
     if selected.iter().any(|&s| cands[s].subsumes.contains(&idx)) {
         return cfg.subsumed_cost.max(MIN_COST);
@@ -226,15 +220,14 @@ mod tests {
     use isax_ir::{function_dfgs, DfgLabel, FunctionBuilder, Opcode};
 
     /// Hand-built candidate for focused selection tests.
-    fn cand(
-        ops: &[Opcode],
-        area: f64,
-        occs: Vec<(usize, Vec<usize>, u64, u64)>,
-    ) -> CfuCandidate {
+    fn cand(ops: &[Opcode], area: f64, occs: Vec<(usize, Vec<usize>, u64, u64)>) -> CfuCandidate {
         let mut pattern = DiGraph::new();
         let mut prev = None;
         for &op in ops {
-            let n = pattern.add_node(DfgLabel { opcode: op, imms: vec![] });
+            let n = pattern.add_node(DfgLabel {
+                opcode: op,
+                imms: vec![],
+            });
             if let Some(p) = prev {
                 pattern.add_edge(p, n, 0);
             }
@@ -278,7 +271,11 @@ mod tests {
             vec![(0, vec![7, 10, 13], 100, 2)],
         );
         let sel = select_greedy(&[big, small], &SelectConfig::with_budget(100.0));
-        assert_eq!(sel.chosen.len(), 1, "the overlapped candidate has no value left");
+        assert_eq!(
+            sel.chosen.len(),
+            1,
+            "the overlapped candidate has no value left"
+        );
         assert_eq!(sel.chosen[0].candidate, 0);
         assert_eq!(sel.total_value, 300);
     }
@@ -297,7 +294,10 @@ mod tests {
             0.5,
             vec![(0, vec![3, 4], 8, 2), (0, vec![20, 21], 8, 2)],
         );
-        let sel = select_greedy(&[cfu2.clone(), cfu1.clone()], &SelectConfig::with_budget(100.0));
+        let sel = select_greedy(
+            &[cfu2.clone(), cfu1.clone()],
+            &SelectConfig::with_budget(100.0),
+        );
         assert_eq!(sel.chosen.len(), 2);
         // cfu2 first (value 30 > 32? no: cfu1 initial value 32) —
         // whichever is first, the other's overlapping occurrence dies.
@@ -309,9 +309,21 @@ mod tests {
 
     #[test]
     fn budget_is_enforced() {
-        let a = cand(&[Opcode::Add, Opcode::Add], 2.0, vec![(0, vec![0, 1], 100, 1)]);
-        let b = cand(&[Opcode::Sub, Opcode::Sub], 2.0, vec![(0, vec![2, 3], 90, 1)]);
-        let c = cand(&[Opcode::And, Opcode::Or], 2.0, vec![(0, vec![4, 5], 80, 1)]);
+        let a = cand(
+            &[Opcode::Add, Opcode::Add],
+            2.0,
+            vec![(0, vec![0, 1], 100, 1)],
+        );
+        let b = cand(
+            &[Opcode::Sub, Opcode::Sub],
+            2.0,
+            vec![(0, vec![2, 3], 90, 1)],
+        );
+        let c = cand(
+            &[Opcode::And, Opcode::Or],
+            2.0,
+            vec![(0, vec![4, 5], 80, 1)],
+        );
         let sel = select_greedy(&[a, b, c], &SelectConfig::with_budget(4.0));
         assert_eq!(sel.chosen.len(), 2);
         assert!(sel.total_area <= 4.0);
@@ -325,8 +337,16 @@ mod tests {
             5.0,
             vec![(0, vec![0, 1, 2, 3, 4], 100, 4)],
         );
-        let small1 = cand(&[Opcode::Xor, Opcode::Shl], 0.2, vec![(0, vec![10, 11], 100, 1)]);
-        let small2 = cand(&[Opcode::Or, Opcode::Shr], 0.2, vec![(0, vec![12, 13], 100, 1)]);
+        let small1 = cand(
+            &[Opcode::Xor, Opcode::Shl],
+            0.2,
+            vec![(0, vec![10, 11], 100, 1)],
+        );
+        let small2 = cand(
+            &[Opcode::Or, Opcode::Shr],
+            0.2,
+            vec![(0, vec![12, 13], 100, 1)],
+        );
         let cands = [huge, small1, small2];
 
         let ratio = select_greedy(&cands, &SelectConfig::with_budget(5.0));
@@ -353,7 +373,11 @@ mod tests {
             vec![(0, vec![0, 1, 2], 100, 2)],
         );
         big.subsumes = vec![1];
-        let small = cand(&[Opcode::And, Opcode::Shl], 9.0, vec![(0, vec![5, 6], 50, 1)]);
+        let small = cand(
+            &[Opcode::And, Opcode::Shl],
+            9.0,
+            vec![(0, vec![5, 6], 50, 1)],
+        );
         // Budget fits the big one plus *discounted* small, not 10 + 9.
         let sel = select_greedy(&[big, small], &SelectConfig::with_budget(11.0));
         assert_eq!(sel.chosen.len(), 2);

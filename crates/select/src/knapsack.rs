@@ -51,9 +51,8 @@ pub fn select_knapsack(cands: &[CfuCandidate], cfg: &SelectConfig) -> Selection 
     if capacity == 0 || cands.is_empty() {
         return Selection::default();
     }
-    let weight = |c: &CfuCandidate| -> usize {
-        ((c.area.max(0.05) / QUANTUM).ceil() as usize).max(1)
-    };
+    let weight =
+        |c: &CfuCandidate| -> usize { ((c.area.max(0.05) / QUANTUM).ceil() as usize).max(1) };
     // dp[w] = (best value, chosen set as indices) — keep choices via a
     // parent table to avoid cloning vectors in the inner loop.
     let n = cands.len();
@@ -123,7 +122,10 @@ mod tests {
 
     fn cand(area: f64, occs: Vec<(Vec<usize>, u64, u64)>) -> CfuCandidate {
         let mut pattern = DiGraph::new();
-        pattern.add_node(DfgLabel { opcode: Opcode::Add, imms: vec![] });
+        pattern.add_node(DfgLabel {
+            opcode: Opcode::Add,
+            imms: vec![],
+        });
         let fingerprint = crate::combine::pattern_fingerprint(&pattern);
         CfuCandidate {
             pattern,

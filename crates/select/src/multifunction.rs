@@ -97,7 +97,9 @@ fn family_area(members: &[usize], cands: &[CfuCandidate], cfg: &SelectConfig) ->
 /// ```
 pub fn select_multifunction(cands: &[CfuCandidate], cfg: &SelectConfig) -> Selection {
     // Units: every single CFU, plus one merged unit per family.
-    let mut units: Vec<Unit> = (0..cands.len()).map(|i| Unit { members: vec![i] }).collect();
+    let mut units: Vec<Unit> = (0..cands.len())
+        .map(|i| Unit { members: vec![i] })
+        .collect();
     for fam in wildcard_families(cands) {
         if fam.len() >= 2 {
             units.push(Unit { members: fam });
@@ -128,10 +130,9 @@ pub fn select_multifunction(cands: &[CfuCandidate], cfg: &SelectConfig) -> Selec
             let mut value = 0u64;
             for &m in &unit.members {
                 for o in &cands[m].occurrences {
-                    let free = o
-                        .nodes
-                        .iter()
-                        .all(|n| !claimed.contains(&(o.dfg, n)) && !tentative.contains(&(o.dfg, n)));
+                    let free = o.nodes.iter().all(|n| {
+                        !claimed.contains(&(o.dfg, n)) && !tentative.contains(&(o.dfg, n))
+                    });
                     if free {
                         value += o.value();
                         for n in o.nodes.iter() {
@@ -205,7 +206,10 @@ mod tests {
         let mut pattern = DiGraph::new();
         let mut prev = None;
         for &op in ops {
-            let n = pattern.add_node(DfgLabel { opcode: op, imms: vec![] });
+            let n = pattern.add_node(DfgLabel {
+                opcode: op,
+                imms: vec![],
+            });
             if let Some(p) = prev {
                 pattern.add_edge(p, n, 0);
             }

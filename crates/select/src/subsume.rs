@@ -15,7 +15,7 @@
 //! segments of Figures 8 and 9.
 
 use crate::combine::{pattern_fingerprint, patterns_equivalent, CfuCandidate};
-use isax_graph::{DiGraph, Fingerprint, NodeId};
+use isax_graph::{par, DiGraph, Fingerprint, NodeId};
 use isax_ir::DfgLabel;
 use std::collections::HashMap;
 
@@ -39,7 +39,13 @@ fn bypass_source(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<Option<(NodeI
         options.push((1, 0));
     }
     let internal_in = |port: u8| pattern.preds(v).find(|e| e.port == port).map(|e| e.src);
-    let imm_at = |port: u8| label.imms.iter().find(|&&(p, _)| p == port).map(|&(_, v)| v);
+    let imm_at = |port: u8| {
+        label
+            .imms
+            .iter()
+            .find(|&&(p, _)| p == port)
+            .map(|&(_, v)| v)
+    };
     for (pass, idp) in options {
         if internal_in(idp).is_some() {
             continue; // identity port is fed by the pattern: cannot constant it
@@ -76,7 +82,11 @@ pub fn contract_once(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<DiGraph<D
         if e.src == v || e.dst == v {
             continue;
         }
-        g.add_edge(remap[e.src.index()].unwrap(), remap[e.dst.index()].unwrap(), e.port);
+        g.add_edge(
+            remap[e.src.index()].unwrap(),
+            remap[e.dst.index()].unwrap(),
+            e.port,
+        );
     }
     if let Some((u, _)) = pass {
         // The pass-through producer now feeds v's consumers directly.
@@ -84,7 +94,11 @@ pub fn contract_once(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<DiGraph<D
             if e.dst == v {
                 continue; // self-loop cannot occur in a DFG, but stay safe
             }
-            g.add_edge(remap[u.index()].unwrap(), remap[e.dst.index()].unwrap(), e.port);
+            g.add_edge(
+                remap[u.index()].unwrap(),
+                remap[e.dst.index()].unwrap(),
+                e.port,
+            );
         }
     }
     // Pass source external: v's consumers simply read an external input,
@@ -154,23 +168,29 @@ pub fn contraction_closure(pattern: &DiGraph<DfgLabel>, cap: usize) -> Vec<DiGra
 
 /// Fills in [`CfuCandidate::subsumes`] for every candidate: `i` subsumes
 /// `j` when `j`'s pattern appears in `i`'s contraction closure.
+///
+/// Each candidate's closure is independent of every other's, so the
+/// closures are computed in parallel against a read-only view of the
+/// slice and written back afterwards; the result is identical to the
+/// serial loop for any thread count.
 pub fn mark_subsumptions(cands: &mut [CfuCandidate], cap: usize) {
     // Index candidates by fingerprint for O(1) closure lookups.
     let mut by_fp: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
     for (i, c) in cands.iter().enumerate() {
         by_fp.entry(c.fingerprint).or_default().push(i);
     }
-    for i in 0..cands.len() {
-        if cands[i].pattern.node_count() < 2 {
-            continue;
+    let view: &[CfuCandidate] = cands;
+    let subsumed_lists = par::par_map_indexed(view.len(), |i| {
+        if view[i].pattern.node_count() < 2 {
+            return Vec::new();
         }
-        let closure = contraction_closure(&cands[i].pattern, cap);
+        let closure = contraction_closure(&view[i].pattern, cap);
         let mut subsumed: Vec<usize> = Vec::new();
         for g in &closure {
             let fp = pattern_fingerprint(g);
             if let Some(matches) = by_fp.get(&fp) {
                 for &j in matches {
-                    if j != i && patterns_equivalent(&cands[j].pattern, g) {
+                    if j != i && patterns_equivalent(&view[j].pattern, g) {
                         subsumed.push(j);
                     }
                 }
@@ -178,7 +198,10 @@ pub fn mark_subsumptions(cands: &mut [CfuCandidate], cap: usize) {
         }
         subsumed.sort_unstable();
         subsumed.dedup();
-        cands[i].subsumes = subsumed;
+        subsumed
+    });
+    for (c, s) in cands.iter_mut().zip(subsumed_lists) {
+        c.subsumes = s;
     }
 }
 
@@ -188,7 +211,10 @@ mod tests {
     use isax_ir::Opcode;
 
     fn lab(op: Opcode) -> DfgLabel {
-        DfgLabel { opcode: op, imms: vec![] }
+        DfgLabel {
+            opcode: op,
+            imms: vec![],
+        }
     }
 
     /// and -> add -> shl (variable shift) chain.
@@ -211,8 +237,7 @@ mod tests {
         let descs: std::collections::BTreeSet<String> = closure
             .iter()
             .map(|g| {
-                let mut names: Vec<&str> =
-                    g.node_ids().map(|n| g[n].opcode.mnemonic()).collect();
+                let mut names: Vec<&str> = g.node_ids().map(|n| g[n].opcode.mnemonic()).collect();
                 names.sort_unstable();
                 names.join("-")
             })
@@ -250,11 +275,16 @@ mod tests {
         // add #5 cannot be bypassed: its free port has constant 5, not 0.
         let mut p = DiGraph::new();
         let a = p.add_node(lab(Opcode::And));
-        let b = p.add_node(DfgLabel { opcode: Opcode::Add, imms: vec![(1, 5)] });
+        let b = p.add_node(DfgLabel {
+            opcode: Opcode::Add,
+            imms: vec![(1, 5)],
+        });
         p.add_edge(a, b, 0);
         let closure = contraction_closure(&p, 16);
         assert!(
-            closure.iter().all(|g| !(g.node_count() == 1 && g[NodeId(0)].opcode == Opcode::And)),
+            closure
+                .iter()
+                .all(|g| !(g.node_count() == 1 && g[NodeId(0)].opcode == Opcode::And)),
             "the add+5 must not vanish"
         );
     }
@@ -266,7 +296,9 @@ mod tests {
         let s = p.add_node(lab(Opcode::Select));
         p.add_edge(a, s, 1);
         let closure = contraction_closure(&p, 16);
-        assert!(closure.iter().all(|g| !(g.node_count() == 1 && g[NodeId(0)].opcode == Opcode::And)));
+        assert!(closure
+            .iter()
+            .all(|g| !(g.node_count() == 1 && g[NodeId(0)].opcode == Opcode::And)));
     }
 
     #[test]
@@ -277,8 +309,14 @@ mod tests {
         // or's identity port is fed internally, so it is not bypassable.
         let mut p = DiGraph::new();
         let x = p.add_node(lab(Opcode::Xor));
-        let l = p.add_node(DfgLabel { opcode: Opcode::Shl, imms: vec![(1, 3)] });
-        let r = p.add_node(DfgLabel { opcode: Opcode::Shr, imms: vec![(1, 29)] });
+        let l = p.add_node(DfgLabel {
+            opcode: Opcode::Shl,
+            imms: vec![(1, 3)],
+        });
+        let r = p.add_node(DfgLabel {
+            opcode: Opcode::Shr,
+            imms: vec![(1, 29)],
+        });
         let o = p.add_node(lab(Opcode::Or));
         p.add_edge(x, l, 0);
         p.add_edge(x, r, 0);

@@ -14,7 +14,7 @@
 //! shared hardware.
 
 use crate::combine::CfuCandidate;
-use isax_graph::{canon, vf2, DiGraph, Fingerprint, NodeId};
+use isax_graph::{canon, par, vf2, DiGraph, Fingerprint, NodeId};
 use isax_ir::DfgLabel;
 use std::collections::HashMap;
 
@@ -37,7 +37,9 @@ enum WildLabel {
     Exact(DfgLabel),
     /// The wildcard node; arity is kept so a two-input node never pairs
     /// with a one-input node.
-    Wild { arity: usize },
+    Wild {
+        arity: usize,
+    },
 }
 
 impl WildLabel {
@@ -60,7 +62,12 @@ impl WildLabel {
 }
 
 fn wild_fingerprint(g: &DiGraph<WildLabel>) -> Fingerprint {
-    canon::fingerprint(g, WildLabel::key, WildLabel::commutative, &Default::default())
+    canon::fingerprint(
+        g,
+        WildLabel::key,
+        WildLabel::commutative,
+        &Default::default(),
+    )
 }
 
 /// Fills in [`CfuCandidate::wildcard_partners`]: `i` and `j` are partners
@@ -108,8 +115,14 @@ pub fn find_wildcard_partners(cands: &mut [CfuCandidate]) {
             wild_graphs.insert((i, v.0), wg);
         }
     }
-    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); cands.len()];
-    for ((_, _), members) in buckets {
+    // Buckets are independent; the quadratic isomorphism confirmation
+    // within each runs in parallel. The confirmed pairs are merged and
+    // the per-candidate lists sorted, so the output does not depend on
+    // bucket or thread order.
+    let bucket_members: Vec<Vec<(usize, NodeId)>> = buckets.into_values().collect();
+    let view: &[CfuCandidate] = cands;
+    let pair_lists = par::par_map(&bucket_members, |members| {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for (ai, &(i, vi)) in members.iter().enumerate() {
             for &(j, vj) in members.iter().skip(ai + 1) {
                 if i == j {
@@ -119,17 +132,22 @@ pub fn find_wildcard_partners(cands: &mut [CfuCandidate]) {
                 let gj = &wild_graphs[&(j, vj.0)];
                 // The two labels at the wildcard position must differ,
                 // otherwise the candidates would already be one group.
-                let li = &cands[i].pattern[vi];
-                let lj = &cands[j].pattern[vj];
+                let li = &view[i].pattern[vi];
+                let lj = &view[j].pattern[vj];
                 if li == lj {
                     continue;
                 }
                 if vf2::are_isomorphic(gi, gj, |a, b| a == b, WildLabel::commutative) {
-                    partners[i].push(j);
-                    partners[j].push(i);
+                    pairs.push((i, j));
                 }
             }
         }
+        pairs
+    });
+    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); cands.len()];
+    for (i, j) in pair_lists.into_iter().flatten() {
+        partners[i].push(j);
+        partners[j].push(i);
     }
     for (c, mut p) in cands.iter_mut().zip(partners) {
         p.sort_unstable();

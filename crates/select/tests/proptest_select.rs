@@ -9,12 +9,18 @@ use proptest::prelude::*;
 
 fn mk_candidate(seedling: &(u8, f64, Vec<(u8, u8, u16)>)) -> CfuCandidate {
     let (shape, area, occs) = seedling;
-    let ops = [Opcode::Add, Opcode::Xor, Opcode::Shl, Opcode::And, Opcode::Sub];
+    let ops = [
+        Opcode::Add,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::And,
+        Opcode::Sub,
+    ];
     let mut pattern = DiGraph::new();
     let mut prev = None;
     for k in 0..(*shape % 3 + 1) {
         let n = pattern.add_node(DfgLabel {
-            opcode: ops[(shape + k) as usize % ops.len()],
+            opcode: ops[(*shape as usize + k as usize) % ops.len()],
             imms: vec![],
         });
         if let Some(p) = prev {
@@ -74,6 +80,58 @@ fn recount(cands: &[CfuCandidate], chosen: &[isax_select::SelectedCfu]) -> u64 {
         }
     }
     total
+}
+
+/// Reconstruction of the recorded regression
+/// (`proptest_select.proptest-regressions`, case 32c45c00): a single
+/// one-node `Add` candidate whose two occurrences overlap on node 10
+/// (`{10, 11}` worth 2 and `{9, 10}` worth 1). A selector that sums
+/// occurrence values without simulating the claim double-counts the
+/// shared node and reports 3 where only 2 is realizable. Kept as a
+/// deterministic unit test because the vendored proptest cannot replay
+/// upstream seeds.
+#[test]
+fn recorded_regression_overlapping_occurrences() {
+    let mut pattern = DiGraph::new();
+    pattern.add_node(DfgLabel {
+        opcode: Opcode::Add,
+        imms: vec![],
+    });
+    let fingerprint = isax_select::pattern_fingerprint(&pattern);
+    let cands = vec![CfuCandidate {
+        pattern,
+        fingerprint,
+        delay: 0.4,
+        area: 0.05,
+        inputs: 2,
+        outputs: 1,
+        hw_cycles: 1,
+        occurrences: vec![
+            Occurrence {
+                dfg: 0,
+                nodes: [10usize, 11].into_iter().collect::<BitSet>(),
+                weight: 1,
+                savings_per_exec: 2,
+            },
+            Occurrence {
+                dfg: 0,
+                nodes: [9usize, 10].into_iter().collect::<BitSet>(),
+                weight: 1,
+                savings_per_exec: 1,
+            },
+        ],
+        subsumes: vec![],
+        wildcard_partners: vec![],
+    }];
+    let cfg = SelectConfig::with_budget(12.737170404614092);
+    for (name, sel) in [
+        ("greedy", select_greedy(&cands, &cfg)),
+        ("dp", select_knapsack(&cands, &cfg)),
+        ("multi", select_multifunction(&cands, &cfg)),
+    ] {
+        let recounted = recount(&cands, &sel.chosen);
+        assert_eq!(sel.total_value, recounted, "{name} value claim");
+    }
 }
 
 proptest! {

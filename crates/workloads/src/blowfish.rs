@@ -49,8 +49,8 @@ pub fn encrypt_reference(seed: u64, mut xl: u32, mut xr: u32) -> (u32, u32) {
         let d = (x & 0xFF) as usize;
         (s[a].wrapping_add(s[256 + b]) ^ s[512 + c]).wrapping_add(s[768 + d])
     };
-    for i in 0..ROUNDS as usize {
-        xl ^= p[i];
+    for &round_key in p.iter().take(ROUNDS as usize) {
+        xl ^= round_key;
         xr ^= f(xl);
         std::mem::swap(&mut xl, &mut xr);
     }
@@ -71,7 +71,10 @@ pub fn encrypt_reference(seed: u64, mut xl: u32, mut xr: u32) -> (u32, u32) {
 ///
 /// Panics unless `unroll` divides [`ROUNDS`].
 pub fn program_unrolled(unroll: u32) -> Program {
-    assert!(unroll > 0 && ROUNDS % unroll == 0, "unroll must divide ROUNDS");
+    assert!(
+        unroll > 0 && ROUNDS.is_multiple_of(unroll),
+        "unroll must divide ROUNDS"
+    );
     let mut fb = FunctionBuilder::new("blowfish_encrypt", 2);
     let xl_in = fb.param(0);
     let xr_in = fb.param(1);
@@ -338,9 +341,19 @@ mod tests {
             init_memory(&mut mem, seed);
             let (xl, xr) = (0x0123_4567u32, 0x89AB_CDEFu32);
             let enc = run(&p, "blowfish_encrypt", &[xl, xr], &mut mem.clone(), 100_000).unwrap();
-            let dec = run(&p, "blowfish_decrypt", &[enc.ret[0], enc.ret[1]], &mut mem.clone(), 100_000)
-                .unwrap();
-            assert_eq!(dec.ret, vec![xl, xr], "decrypt(encrypt(x)) == x, seed {seed}");
+            let dec = run(
+                &p,
+                "blowfish_decrypt",
+                &[enc.ret[0], enc.ret[1]],
+                &mut mem.clone(),
+                100_000,
+            )
+            .unwrap();
+            assert_eq!(
+                dec.ret,
+                vec![xl, xr],
+                "decrypt(encrypt(x)) == x, seed {seed}"
+            );
             // And the IR decryptor matches its own oracle.
             let (dl, dr) = decrypt_reference(seed, enc.ret[0], enc.ret[1]);
             assert_eq!((dl, dr), (xl, xr));
@@ -354,10 +367,22 @@ mod tests {
             let unrolled = program_unrolled(unroll);
             let mut mem = Memory::new();
             init_memory(&mut mem, 3);
-            let out_r =
-                run(&rolled, "blowfish_encrypt", &[7, 9], &mut mem.clone(), 100_000).unwrap();
-            let out_u =
-                run(&unrolled, "blowfish_encrypt", &[7, 9], &mut mem.clone(), 100_000).unwrap();
+            let out_r = run(
+                &rolled,
+                "blowfish_encrypt",
+                &[7, 9],
+                &mut mem.clone(),
+                100_000,
+            )
+            .unwrap();
+            let out_u = run(
+                &unrolled,
+                "blowfish_encrypt",
+                &[7, 9],
+                &mut mem.clone(),
+                100_000,
+            )
+            .unwrap();
             assert_eq!(out_r.ret, out_u.ret, "unroll {unroll}");
         }
         // The 4x-unrolled hot block is the large-DFG input of Figure 3.
@@ -376,11 +401,7 @@ mod tests {
     fn kernel_shape_is_alu_dominated() {
         let p = program();
         let round = &p.functions[0].blocks[1];
-        let mem_ops = round
-            .insts
-            .iter()
-            .filter(|i| i.opcode.is_memory())
-            .count();
+        let mem_ops = round.insts.iter().filter(|i| i.opcode.is_memory()).count();
         let alu_ops = round.insts.len() - mem_ops;
         assert!(alu_ops >= 3 * mem_ops, "{alu_ops} alu vs {mem_ops} mem");
     }

@@ -52,7 +52,9 @@ pub fn gsm_mult_r(a: i32, b: i32) -> i32 {
 /// Deterministic Q15 coefficient/sample tables.
 pub fn frame_data(seed: u64) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
     let mut g = Xorshift::new(seed ^ 0x65E6);
-    let rrp: Vec<i32> = (0..ORDER).map(|_| g.below(26_000) as i32 - 13_000).collect();
+    let rrp: Vec<i32> = (0..ORDER)
+        .map(|_| g.below(26_000) as i32 - 13_000)
+        .collect();
     let input: Vec<i32> = (0..FRAME).map(|_| g.below(8_192) as i32 - 4_096).collect();
     let wt: Vec<i32> = (0..FRAME).map(|_| g.below(8_192) as i32 - 4_096).collect();
     (rrp, input, wt)

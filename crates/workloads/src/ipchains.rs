@@ -265,8 +265,14 @@ mod tests {
             let mut g = Xorshift::new(seed * 17);
             for _ in 0..20 {
                 let (s, d, port) = (g.next_u32(), g.next_u32(), g.below(65_536));
-                let out = run(&p, "ipchains_match", &[s, d, port], &mut mem.clone(), 100_000)
-                    .expect("runs");
+                let out = run(
+                    &p,
+                    "ipchains_match",
+                    &[s, d, port],
+                    &mut mem.clone(),
+                    100_000,
+                )
+                .expect("runs");
                 assert_eq!(out.ret, vec![match_reference(seed, s, d, port)]);
             }
         }

@@ -386,7 +386,11 @@ pub fn quantize_reference(seed: u64) -> Vec<i32> {
     let mut out = Vec::with_capacity(64);
     for (k, &c) in block.iter().flatten().enumerate() {
         let d = q[k] as i32;
-        let v = if c < 0 { -((-c + (d >> 1)) / d) } else { (c + (d >> 1)) / d };
+        let v = if c < 0 {
+            -((-c + (d >> 1)) / d)
+        } else {
+            (c + (d >> 1)) / d
+        };
         out.push(v);
     }
     out
@@ -585,7 +589,7 @@ mod tests {
         // Row of identical values: o0 = 8*v << 2, everything else 0 except
         // rounding in the odd terms.
         let o = fdct_row_reference([3; 8]);
-        assert_eq!(o[0], 8 * 3 << 2);
+        assert_eq!(o[0], (8 * 3) << 2);
         assert_eq!(o[4], 0);
     }
 

@@ -120,10 +120,14 @@ pub struct Workload {
     pub extra_entries: Vec<ExtraEntry>,
 }
 
+/// A driveable entry point: the function name plus its seed-to-arguments
+/// generator.
+pub type Entry = (&'static str, fn(u64) -> Vec<u32>);
+
 impl Workload {
     /// Every driveable entry of the program: the primary one plus extras,
     /// as `(function, args)` pairs.
-    pub fn entries(&self) -> Vec<(&'static str, fn(u64) -> Vec<u32>)> {
+    pub fn entries(&self) -> Vec<Entry> {
         let mut v = vec![(self.entry, self.args)];
         v.extend(self.extra_entries.iter().map(|e| (e.entry, e.args)));
         v

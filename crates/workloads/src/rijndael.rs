@@ -194,7 +194,7 @@ pub fn key_mix_reference(seed: u64, mut w: [u32; 4]) -> u32 {
     let tt = |k: usize, b: u32| t[256 * k + b as usize];
     let mut rcon = 1u32;
     for _ in 0..10 {
-        let rot = (w[3] << 8) | (w[3] >> 24);
+        let rot = w[3].rotate_left(8);
         let sub = tt(0, rot >> 24)
             ^ tt(1, (rot >> 16) & 0xFF)
             ^ tt(2, (rot >> 8) & 0xFF)
@@ -280,11 +280,7 @@ mod tests {
         let loads = round.insts.iter().filter(|i| i.opcode.is_load()).count();
         assert_eq!(loads, 20, "16 T-table + 4 round-key loads");
         // And several times more combinable ALU work.
-        let alu = round
-            .insts
-            .iter()
-            .filter(|i| !i.opcode.is_memory())
-            .count();
+        let alu = round.insts.iter().filter(|i| !i.opcode.is_memory()).count();
         assert!(alu > 2 * loads);
     }
 

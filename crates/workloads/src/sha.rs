@@ -37,11 +37,9 @@ pub fn compress_reference(seed: u64, state: [u32; 5]) -> [u32; 5] {
         let mut g = Xorshift::new(seed ^ 0x5AA5);
         g.words(16)
     };
-    let (mut a, mut b, mut c, mut d, mut e) =
-        (state[0], state[1], state[2], state[3], state[4]);
+    let (mut a, mut b, mut c, mut d, mut e) = (state[0], state[1], state[2], state[3], state[4]);
     for t in 0..ROUNDS as usize {
-        let wt = (w[(t + 13) & 15] ^ w[(t + 8) & 15] ^ w[(t + 2) & 15] ^ w[t & 15])
-            .rotate_left(1);
+        let wt = (w[(t + 13) & 15] ^ w[(t + 8) & 15] ^ w[(t + 2) & 15] ^ w[t & 15]).rotate_left(1);
         w[t & 15] = wt;
         let f = match t / 20 {
             0 => (b & c) | (!b & d),
@@ -147,7 +145,11 @@ pub fn program() -> Program {
         let t1n = fb.add(t, 1i64);
         fb.copy_to(t, t1n);
         let more = fb.ltu(t, (20 * (phase as i64 + 1)).min(ROUNDS as i64));
-        let next = if phase < 3 { phase_blocks[phase + 1] } else { exit };
+        let next = if phase < 3 {
+            phase_blocks[phase + 1]
+        } else {
+            exit
+        };
         fb.branch(more, phase_blocks[phase], next);
     }
 
@@ -200,7 +202,11 @@ mod tests {
                 g.next_u32(),
             ];
             let out = run(&p, "sha_compress", &st, &mut mem.clone(), 200_000).expect("runs");
-            assert_eq!(out.ret, compress_reference(seed, st).to_vec(), "seed {seed}");
+            assert_eq!(
+                out.ret,
+                compress_reference(seed, st).to_vec(),
+                "seed {seed}"
+            );
         }
     }
 

@@ -142,7 +142,7 @@ mod tests {
         // The hash folds case, so 'A' and 'a' mix identically; the slash
         // count still sees the raw byte. Verify with a manual computation.
         let upper = (5381u32 << 5).wrapping_add(5381) ^ ('a' as u32);
-        let lower = (5381u32 << 5).wrapping_add(5381) ^ (('A' as u8 | 0x20) as u32);
+        let lower = (5381u32 << 5).wrapping_add(5381) ^ ((b'A' | 0x20) as u32);
         assert_eq!(upper, lower);
     }
 }

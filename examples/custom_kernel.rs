@@ -83,10 +83,7 @@ fn main() {
     let (mdes, _) = cz.customize("fnv1a", &program, 12.0);
     println!("CFUs designed for the FNV-1a kernel:");
     for cfu in &mdes.cfus {
-        println!(
-            "  cfu{:<2} {:<34} {:.2} adders",
-            cfu.id, cfu.name, cfu.area
-        );
+        println!("  cfu{:<2} {:<34} {:.2} adders", cfu.id, cfu.name, cfu.area);
     }
     let ev = cz.evaluate(&program, &mdes, MatchOptions::exact());
     println!(

@@ -12,7 +12,9 @@ use isax::{Customizer, MatchOptions};
 use isax_workloads::by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "rawdaudio".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rawdaudio".into());
     let Some(w) = by_name(&name) else {
         eprintln!(
             "unknown benchmark `{name}`; choose from: {}",

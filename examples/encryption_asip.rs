@@ -18,7 +18,10 @@ fn main() {
     let budget = 15.0;
     let source = by_name("blowfish").unwrap();
 
-    println!("== hardware compiler: CFUs for {} @ {budget} adders ==", source.name);
+    println!(
+        "== hardware compiler: CFUs for {} @ {budget} adders ==",
+        source.name
+    );
     let analysis = cz.analyze(&source.program);
     let (mdes, _) = cz.select(source.name, &analysis, budget);
     for cfu in &mdes.cfus {
@@ -32,7 +35,10 @@ fn main() {
         );
     }
 
-    println!("\n== compiling the encryption domain on {}'s CFUs ==", source.name);
+    println!(
+        "\n== compiling the encryption domain on {}'s CFUs ==",
+        source.name
+    );
     println!(
         "{:<10} {:>8} {:>10} {:>10} {:>10}",
         "app", "native", "exact", "+subsumed", "+wildcard"
@@ -40,8 +46,12 @@ fn main() {
     for name in domain_members(Domain::Encryption) {
         let app = by_name(name).unwrap();
         let (own_mdes, _) = cz.customize(app.name, &app.program, budget);
-        let native = cz.evaluate(&app.program, &own_mdes, MatchOptions::exact()).speedup;
-        let exact = cz.evaluate(&app.program, &mdes, MatchOptions::exact()).speedup;
+        let native = cz
+            .evaluate(&app.program, &own_mdes, MatchOptions::exact())
+            .speedup;
+        let exact = cz
+            .evaluate(&app.program, &mdes, MatchOptions::exact())
+            .speedup;
         let subsumed = cz
             .evaluate(&app.program, &mdes, MatchOptions::with_subsumed())
             .speedup;

@@ -17,11 +17,7 @@ fn main() {
     let plain = Customizer::new();
     let (m1, _) = plain.customize(w.name, &w.program, 15.0);
     let e1 = plain.evaluate(&w.program, &m1, MatchOptions::exact());
-    println!(
-        "  {} CFUs, speedup {:.2}x",
-        m1.cfus.len(),
-        e1.speedup
-    );
+    println!("  {} CFUs, speedup {:.2}x", m1.cfus.len(), e1.speedup);
 
     println!("\n== with loads allowed inside units (value-objective selection) ==");
     let relaxed = Customizer::with_memory_cfus();

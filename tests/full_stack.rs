@@ -56,7 +56,9 @@ fn aggressive_configuration_beats_the_paper_system_on_average() {
     let suite = isax_workloads::all();
     for w in &suite {
         let (m1, _) = paper.customize(w.name, &w.program, 15.0);
-        paper_sum += paper.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+        paper_sum += paper
+            .evaluate(&w.program, &m1, MatchOptions::exact())
+            .speedup;
 
         let (converted, _) = if_convert_program(&w.program, &IfConvertConfig::default());
         let analysis = aggressive.analyze(&converted);

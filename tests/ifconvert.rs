@@ -85,6 +85,41 @@ fn branchy_kernels_speed_up_with_conversion() {
     assert!(helped >= 1, "conversion should pay off on a branchy kernel");
 }
 
+/// Reconstruction of the recorded regression
+/// (`ifconvert.proptest-regressions`, case e8be773e): `shapes =
+/// [(false, 0, 0)]`, `args = [0, 0, 0]` — a single *triangle* (the
+/// `no` side is empty) whose condition `lt(acc, a)` is false on zero
+/// inputs, so the converted select must pick the unmodified
+/// accumulator. Kept as a deterministic unit test because the vendored
+/// proptest cannot replay upstream seeds.
+#[test]
+fn recorded_regression_single_empty_triangle() {
+    let mut fb = isax_ir::FunctionBuilder::new("dia", 3);
+    let (a, _b, _c) = (fb.param(0), fb.param(1), fb.param(2));
+    let acc = fb.fresh();
+    fb.copy_to(acc, a);
+    let yes = fb.new_block(10);
+    let no = fb.new_block(10);
+    let join = fb.new_block(20);
+    let cond = fb.lt(acc, a);
+    fb.branch(cond, yes, no);
+    fb.switch_to(yes);
+    let v1 = fb.add(acc, 0i64);
+    fb.copy_to(acc, v1);
+    fb.jump(join);
+    fb.switch_to(no);
+    fb.jump(join);
+    fb.switch_to(join);
+    fb.ret(&[acc.into()]);
+    let p = isax_ir::Program::new(vec![fb.finish()]);
+    let (converted, _) = if_convert_program(&p, &IfConvertConfig::default());
+    isax_ir::verify_program(&converted).expect("converted program must verify");
+    let args = [0u32, 0, 0];
+    let x = run(&p, "dia", &args, &mut Memory::new(), 100_000).unwrap();
+    let y = run(&converted, "dia", &args, &mut Memory::new(), 100_000).unwrap();
+    assert_eq!(x.ret, y.ret);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -45,10 +45,14 @@ fn table_lookup_codes_gain_from_memory_cfus() {
     for name in ["blowfish", "sha", "crc"] {
         let w = isax_workloads::by_name(name).unwrap();
         let (m1, _) = plain.customize(w.name, &w.program, 15.0);
-        let s1 = plain.evaluate(&w.program, &m1, MatchOptions::exact()).speedup;
+        let s1 = plain
+            .evaluate(&w.program, &m1, MatchOptions::exact())
+            .speedup;
         let analysis = relaxed.analyze(&w.program);
         let (m2, _) = relaxed.select(w.name, &analysis, 15.0);
-        let s2 = relaxed.evaluate(&w.program, &m2, MatchOptions::exact()).speedup;
+        let s2 = relaxed
+            .evaluate(&w.program, &m2, MatchOptions::exact())
+            .speedup;
         assert!(
             s2 >= s1 * 0.98,
             "{name}: relaxation must not lose much under ratio-greedy ({s1:.3} -> {s2:.3})"
@@ -61,7 +65,9 @@ fn table_lookup_codes_gain_from_memory_cfus() {
             },
         );
         let m3 = Mdes::from_selection(w.name, &analysis.cfus, &sel, &relaxed.hw, 64);
-        let s3 = relaxed.evaluate(&w.program, &m3, MatchOptions::exact()).speedup;
+        let s3 = relaxed
+            .evaluate(&w.program, &m3, MatchOptions::exact())
+            .speedup;
         if s3 > s1 + 0.25 {
             improved += 1;
         }

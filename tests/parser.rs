@@ -57,6 +57,33 @@ fn customized_programs_round_trip_modulo_semantics() {
     }
 }
 
+/// Reconstruction of the recorded regression
+/// (`parser.proptest-regressions`, case 18a38cfa): `nparams = 1`,
+/// `weights = [1, 1, 1]`, `ops = [(0, 0, 0)]` — a three-block chain
+/// whose last two blocks are empty except for their jumps, with a
+/// single `add v1 = v0, #0`. Kept as a deterministic unit test because
+/// the vendored proptest cannot replay upstream seeds.
+#[test]
+fn recorded_regression_empty_tail_blocks_round_trip() {
+    let mut fb = isax_ir::FunctionBuilder::new("rand", 1);
+    fb.set_entry_weight(1);
+    let b1 = fb.new_block(1);
+    let b2 = fb.new_block(1);
+    let p0 = fb.param(0);
+    let d = fb.add(p0, 0i64);
+    fb.jump(b1);
+    fb.switch_to(b1);
+    fb.jump(b2);
+    fb.switch_to(b2);
+    fb.ret(&[d.into()]);
+    let f = fb.finish();
+    let text = f.to_string();
+    let back = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(back.to_string(), text);
+    assert_eq!(back.blocks, f.blocks);
+    assert_eq!(back.params, f.params);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

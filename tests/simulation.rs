@@ -3,10 +3,10 @@
 //! must shorten *simulated* execution too (not just the static estimate).
 
 use isax::{Customizer, MatchOptions};
+use isax_compiler::CustomInfo;
 use isax_compiler::VliwModel;
 use isax_hwlib::HwLibrary;
 use isax_machine::{simulate, Memory};
-use isax_compiler::CustomInfo;
 
 const FUEL: u64 = 50_000_000;
 
@@ -23,13 +23,25 @@ fn customization_shortens_simulated_time_on_every_benchmark() {
         let mut mem_b = mem_a.clone();
         let args = (w.args)(3);
         let base = simulate(
-            &w.program, w.entry, &args, &mut mem_a,
-            &CustomInfo::new(), &hw, &model, FUEL,
+            &w.program,
+            w.entry,
+            &args,
+            &mut mem_a,
+            &CustomInfo::new(),
+            &hw,
+            &model,
+            FUEL,
         )
         .unwrap_or_else(|e| panic!("{} baseline sim: {e}", w.name));
         let custom = simulate(
-            &ev.compiled.program, w.entry, &args, &mut mem_b,
-            &ev.compiled.custom_info, &hw, &model, FUEL,
+            &ev.compiled.program,
+            w.entry,
+            &args,
+            &mut mem_b,
+            &ev.compiled.custom_info,
+            &hw,
+            &model,
+            FUEL,
         )
         .unwrap_or_else(|e| panic!("{} custom sim: {e}", w.name));
         assert_eq!(base.outcome.ret, custom.outcome.ret, "{}", w.name);
@@ -67,10 +79,26 @@ fn estimated_speedups_track_simulated_ones() {
         (w.init_memory)(&mut mem_a, 9);
         let mut mem_b = mem_a.clone();
         let args = (w.args)(9);
-        let base = simulate(&w.program, w.entry, &args, &mut mem_a, &CustomInfo::new(), &hw, &model, FUEL).unwrap();
+        let base = simulate(
+            &w.program,
+            w.entry,
+            &args,
+            &mut mem_a,
+            &CustomInfo::new(),
+            &hw,
+            &model,
+            FUEL,
+        )
+        .unwrap();
         let custom = simulate(
-            &ev.compiled.program, w.entry, &args, &mut mem_b,
-            &ev.compiled.custom_info, &hw, &model, FUEL,
+            &ev.compiled.program,
+            w.entry,
+            &args,
+            &mut mem_b,
+            &ev.compiled.custom_info,
+            &hw,
+            &model,
+            FUEL,
         )
         .unwrap();
         let simulated = base.cycles as f64 / custom.cycles.max(1) as f64;
@@ -94,8 +122,14 @@ fn simulated_cycles_decompose_into_block_schedules() {
     let mut mem = Memory::new();
     (w.init_memory)(&mut mem, 1);
     let r = simulate(
-        &w.program, w.entry, &(w.args)(1), &mut mem,
-        &CustomInfo::new(), &hw, &model, FUEL,
+        &w.program,
+        w.entry,
+        &(w.args)(1),
+        &mut mem,
+        &CustomInfo::new(),
+        &hw,
+        &model,
+        FUEL,
     )
     .unwrap();
     let f = &w.program.functions[0];
@@ -105,7 +139,11 @@ fn simulated_cycles_decompose_into_block_schedules() {
         .enumerate()
         .map(|(bi, dfg)| {
             let s = isax_compiler::schedule_block(
-                dfg, &f.blocks[bi].term, &hw, &CustomInfo::new(), &model,
+                dfg,
+                &f.blocks[bi].term,
+                &hw,
+                &CustomInfo::new(),
+                &model,
             );
             s.cycles as u64 * r.block_executions[bi]
         })

@@ -58,7 +58,8 @@ fn encryption_beats_control_heavy_codes() {
     let speed = |name: &str| {
         let w = by_name(name).unwrap();
         let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
-        cz.evaluate(&w.program, &mdes, MatchOptions::exact()).speedup
+        cz.evaluate(&w.program, &mdes, MatchOptions::exact())
+            .speedup
     };
     let blowfish = speed("blowfish");
     let ipchains = speed("ipchains");
@@ -67,7 +68,10 @@ fn encryption_beats_control_heavy_codes() {
         blowfish > ipchains + 0.2,
         "blowfish {blowfish:.2} vs ipchains {ipchains:.2}"
     );
-    assert!(blowfish > mpeg2, "blowfish {blowfish:.2} vs mpeg2 {mpeg2:.2}");
+    assert!(
+        blowfish > mpeg2,
+        "blowfish {blowfish:.2} vs mpeg2 {mpeg2:.2}"
+    );
 }
 
 #[test]
@@ -78,7 +82,9 @@ fn rawdaudio_is_the_suite_peak() {
     let mut best = 0.0f64;
     for w in all() {
         let (mdes, _) = cz.customize(w.name, &w.program, 15.0);
-        let s = cz.evaluate(&w.program, &mdes, MatchOptions::exact()).speedup;
+        let s = cz
+            .evaluate(&w.program, &mdes, MatchOptions::exact())
+            .speedup;
         if s > best {
             best = s;
             best_name = w.name.to_string();
@@ -101,7 +107,9 @@ fn native_cfus_beat_cross_compiled_ones() {
         let members: Vec<_> = ws.iter().filter(|w| w.domain == d).collect();
         for app in &members {
             let (own, _) = cz.customize(app.name, &app.program, 15.0);
-            let native = cz.evaluate(&app.program, &own, MatchOptions::exact()).speedup;
+            let native = cz
+                .evaluate(&app.program, &own, MatchOptions::exact())
+                .speedup;
             for src in &members {
                 if src.name == app.name {
                     continue;
@@ -136,7 +144,9 @@ fn generalization_only_helps() {
     for src in &enc {
         let (mdes, _) = cz.customize(src.name, &src.program, 15.0);
         for app in &enc {
-            let exact = cz.evaluate(&app.program, &mdes, MatchOptions::exact()).speedup;
+            let exact = cz
+                .evaluate(&app.program, &mdes, MatchOptions::exact())
+                .speedup;
             let subsumed = cz
                 .evaluate(&app.program, &mdes, MatchOptions::with_subsumed())
                 .speedup;

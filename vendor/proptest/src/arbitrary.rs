@@ -1,0 +1,67 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws a uniformly distributed value over the full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domain_ends() {
+        let mut rng = TestRng::from_seed(13);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        let mut high_u8 = 0u8;
+        for _ in 0..512 {
+            match any::<bool>().generate(&mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+            high_u8 = high_u8.max(any::<u8>().generate(&mut rng));
+        }
+        assert!(seen_true && seen_false);
+        assert!(high_u8 > 200, "u8 draws should span the domain");
+    }
+}

@@ -1,0 +1,51 @@
+//! Fixed-size array strategies (`proptest::array::uniform*`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generates `[S::Value; N]` by drawing `N` values from one strategy.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// Array of
+        #[doc = stringify!($n)]
+        /// values drawn from one strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform8 => 8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_arrays_have_fixed_len() {
+        let mut rng = TestRng::from_seed(11);
+        let a3 = uniform3(0u32..7).generate(&mut rng);
+        assert!(a3.iter().all(|&v| v < 7));
+        let a4: [u32; 4] = uniform4(0u32..7).generate(&mut rng);
+        assert!(a4.iter().all(|&v| v < 7));
+    }
+}

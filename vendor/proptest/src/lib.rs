@@ -1,0 +1,178 @@
+//! A self-contained, offline subset of the `proptest` property-testing
+//! crate.
+//!
+//! The workspace's build environments cannot reach a crate registry, so
+//! this vendored implementation stands in for the real `proptest`. It
+//! keeps the same module layout and macro names for the API surface the
+//! test suite uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//!   implemented for integer and float ranges, tuples, and arrays of
+//!   strategies;
+//! * [`collection::vec`] and [`array::uniform3`] / [`array::uniform4`];
+//! * [`arbitrary::any`] for the primitive types;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support,
+//!   plus [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`]
+//!   and [`prop_assume!`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the fully rendered
+//!   inputs and the run's seed; cases are small enough here that the
+//!   raw input is actionable.
+//! * **Deterministic seeding.** Each test derives its base seed from
+//!   its module path and name, so failures reproduce across runs and
+//!   machines. Set `PROPTEST_SEED` to rerun a reported seed and
+//!   `PROPTEST_CASES` to override the case count.
+//! * `.proptest-regressions` files are not replayed (their seeds are
+//!   specific to upstream's RNG); known failures from those files are
+//!   committed as ordinary unit tests instead.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one wrapper `fn` per case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                while runner.wants_more() {
+                    let mut rng = runner.case_rng();
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )*
+                    let rendered = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!("  ", stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push('\n');
+                        )*
+                        s
+                    };
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    runner.finish_case(outcome, rendered);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with the generated inputs) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)*), l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs do not satisfy a
+/// precondition; discarded cases are regenerated, not counted.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}

@@ -1,0 +1,165 @@
+//! Configuration, case orchestration, and failure reporting.
+
+use crate::rng::{hash_name, mix, TestRng};
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` precondition; the
+    /// runner regenerates without counting it.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Mirrors upstream's config struct; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    name: &'static str,
+    seed: u64,
+    cases_target: u32,
+    cases_done: u32,
+    rejects: u32,
+    generation: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test. The base seed is derived
+    /// from the test's full path so runs are reproducible everywhere;
+    /// `PROPTEST_SEED` overrides it and `PROPTEST_CASES` overrides the
+    /// case count.
+    pub fn new(cfg: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| hash_name(name));
+        let cases_target = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(cfg.cases);
+        TestRunner {
+            name,
+            seed,
+            cases_target,
+            cases_done: 0,
+            rejects: 0,
+            generation: 0,
+        }
+    }
+
+    /// True while more successful cases are needed.
+    pub fn wants_more(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// RNG for the next case. Each call advances the generation
+    /// counter, so rejected cases draw fresh inputs instead of looping
+    /// on the same ones.
+    pub fn case_rng(&mut self) -> TestRng {
+        self.generation += 1;
+        TestRng::from_seed(mix(self.seed, self.generation))
+    }
+
+    /// Records a case outcome. `rendered` lazily formats the generated
+    /// inputs and is only invoked on failure.
+    pub fn finish_case(
+        &mut self,
+        outcome: Result<(), TestCaseError>,
+        rendered: impl FnOnce() -> String,
+    ) {
+        match outcome {
+            Ok(()) => self.cases_done += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                let limit = self.cases_target.saturating_mul(16).saturating_add(1024);
+                if self.rejects > limit {
+                    panic!(
+                        "{}: too many `prop_assume!` rejections ({} with only {}/{} cases \
+                         accepted) — the strategy rarely satisfies the precondition",
+                        self.name, self.rejects, self.cases_done, self.cases_target
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{} failed at case {} (seed {}):\n{}\ninputs:\n{}\
+                     rerun just this case with PROPTEST_SEED={} PROPTEST_CASES=1 \
+                     after skipping {} generations, or rerun the whole test with \
+                     PROPTEST_SEED={}",
+                    self.name,
+                    self.cases_done + 1,
+                    self.seed,
+                    msg,
+                    rendered(),
+                    mix(self.seed, self.generation),
+                    self.generation - 1,
+                    self.seed,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_successes() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(3), "vendor::count");
+        let mut loops = 0;
+        while r.wants_more() {
+            let _ = r.case_rng();
+            r.finish_case(Ok(()), String::new);
+            loops += 1;
+        }
+        assert_eq!(loops, 3);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(2), "vendor::reject");
+        let _ = r.case_rng();
+        r.finish_case(Err(TestCaseError::Reject), String::new);
+        assert!(r.wants_more());
+        let _ = r.case_rng();
+        r.finish_case(Ok(()), String::new);
+        let _ = r.case_rng();
+        r.finish_case(Ok(()), String::new);
+        assert!(!r.wants_more());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(1), "vendor::fail");
+        let _ = r.case_rng();
+        r.finish_case(Err(TestCaseError::fail("boom")), || "  x = 1\n".into());
+    }
+}
