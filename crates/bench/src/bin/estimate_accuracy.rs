@@ -11,6 +11,8 @@
 //! schedule estimate of the speedup versus the cycle-stepped timing
 //! simulation on concrete inputs (true dynamic block counts).
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_compiler::CustomInfo;
 use isax_compiler::VliwModel;

@@ -6,6 +6,8 @@
 //! cargo run --release -p isax-cli --bin isax -- explore kernels/blowfish.isax
 //! ```
 
+#![forbid(unsafe_code)]
+
 fn main() -> std::io::Result<()> {
     let dir = std::path::Path::new("kernels");
     std::fs::create_dir_all(dir)?;

@@ -16,6 +16,8 @@
 //! constraints, the guided search recovers the exhaustive candidate sets
 //! exactly.
 
+#![forbid(unsafe_code)]
+
 use isax_explore::{explore_dfg, explore_dfg_naive, ExploreConfig};
 use isax_hwlib::HwLibrary;
 use isax_ir::function_dfgs;

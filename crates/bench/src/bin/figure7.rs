@@ -12,6 +12,8 @@
 //! paper's headline numbers ("as much as 1.94 for rawdaudio and an
 //! average of 1.47").
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_bench::{analyze_suite, cross, native, print_series, BUDGETS, HEADLINE_BUDGET};
 use isax_workloads::{domain_members, Domain};

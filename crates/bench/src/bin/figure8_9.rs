@@ -14,6 +14,8 @@
 //! As in the paper, opcode-class hardware cost is not charged — the
 //! columns estimate the potential of multifunction CFUs.
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchMode, MatchOptions};
 use isax_bench::{analyze_suite, cross, HEADLINE_BUDGET};
 use isax_workloads::{domain_members, Domain};

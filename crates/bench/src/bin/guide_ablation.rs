@@ -13,6 +13,8 @@
 //! a time. Reported: average 15-adder native speedup over the suite and
 //! total candidates examined (search cost).
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_explore::{ExploreConfig, GuideWeights};
 

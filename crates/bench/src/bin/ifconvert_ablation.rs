@@ -13,6 +13,8 @@
 //! cjpeg's quantizer, crc's table generator) are the ones with something
 //! to gain.
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_compiler::{if_convert_program, IfConvertConfig};
 

@@ -11,6 +11,8 @@
 //! enormous (a djpeg CFU wanted 24 read ports and more area than eight
 //! multipliers).
 
+#![forbid(unsafe_code)]
+
 use isax::{limit_speedup, Customizer};
 use isax_bench::{analyze_suite, native, HEADLINE_BUDGET};
 

@@ -13,6 +13,8 @@
 //! under value-greedy (whose larger picks actually reach the load-bearing
 //! units).
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions, Mdes};
 use isax_select::{select_greedy, Objective, SelectConfig};
 

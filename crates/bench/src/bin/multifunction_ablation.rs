@@ -14,6 +14,8 @@
 //! honest way to drive it — and here, unlike Figures 8/9, its cost *is*
 //! charged).
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchMode, MatchOptions};
 use isax_bench::analyze_suite;
 

@@ -11,6 +11,8 @@
 //! runtime". The table reports speedups at a low (3-adder) and a high
 //! (15-adder) budget for every benchmark, plus suite averages.
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions, Mdes};
 use isax_bench::analyze_suite;
 use isax_select::{select_greedy, select_knapsack, Objective, SelectConfig, Selection};

@@ -7,6 +7,8 @@
 //! count, and the speedups. It also cross-checks that both runs produce
 //! bit-identical cycle counts, which is the `isax_graph::par` contract.
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_bench::{analyze_suite, AnalyzedApp, HEADLINE_BUDGET};
 use isax_graph::par::{set_thread_override, thread_count};

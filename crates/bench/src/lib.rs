@@ -5,6 +5,8 @@
 //! pieces they share: an analysis cache (exploration is budget-independent
 //! and expensive), the budget axis, and small table-printing helpers.
 
+#![forbid(unsafe_code)]
+
 use isax::{Customizer, MatchOptions};
 use isax_workloads::{all, Workload};
 use std::collections::BTreeMap;

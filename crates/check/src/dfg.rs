@@ -1,0 +1,321 @@
+//! Checkpoint 2: dataflow-graph well-formedness (`IC02xx`).
+//!
+//! The per-block DFGs are the data structure every later stage is built
+//! around; a malformed edge here surfaces as a miscompare three stages
+//! later. This pass checks, for every DFG of the application:
+//!
+//! * `IC0201` — all dependence edges point forward in program order and
+//!   the graph is acyclic (program order is supposed to be a topological
+//!   order; growth and matching both rely on it);
+//! * `IC0202` — predecessor and successor adjacency lists mirror each
+//!   other exactly, for all three edge kinds (data, memory-ordering,
+//!   anti);
+//! * `IC0203` — the memory-ordering edges equal those of an independent
+//!   reconstruction of the DFG from the block (store→load, load→store,
+//!   store→store serialization must not drift from the IR);
+//! * `IC0204` / `IC0205` — the slack analysis is coherent: an
+//!   independently recomputed ASAP/ALAP agrees with [`Dfg::schedule_info`],
+//!   every node has `asap ≤ alap`, slack is exactly `alap − asap`, and
+//!   the block length is the maximum finish time.
+
+use isax_hwlib::HwLibrary;
+use isax_ir::{Dfg, Inst, Opcode, Program};
+
+use crate::diag::{Diagnostic, Location, Report};
+
+/// Checks every DFG of `program`. `dfgs` must be the application's DFGs
+/// in function-then-block order, exactly as `isax::Analysis` stores
+/// them.
+pub fn check_dfgs(program: &Program, dfgs: &[Dfg], hw: &HwLibrary) -> Report {
+    let mut report = Report::new();
+
+    // Map DFG index -> (function, block) by walking the same
+    // function-then-block order the pipeline used to build `dfgs`.
+    let mut spans = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            spans.push((fi, bi));
+        }
+    }
+    if spans.len() != dfgs.len() {
+        report.push(Diagnostic::error(
+            "IC0203",
+            Location::Whole,
+            format!(
+                "application has {} blocks but {} DFGs were supplied",
+                spans.len(),
+                dfgs.len()
+            ),
+        ));
+        return report;
+    }
+
+    for (di, dfg) in dfgs.iter().enumerate() {
+        check_edges(di, dfg, &mut report);
+        check_slack(di, dfg, hw, &mut report);
+    }
+
+    // Independent reconstruction per function (liveness is per function).
+    let mut di = 0usize;
+    for f in &program.functions {
+        let live = f.liveness();
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let rebuilt = Dfg::build(block, &live.live_out[bi]);
+            compare_order_edges(di, &dfgs[di], &rebuilt, &mut report);
+            di += 1;
+        }
+    }
+    report
+}
+
+/// Forward edges, acyclicity, and pred/succ mirror consistency.
+fn check_edges(di: usize, dfg: &Dfg, report: &mut Report) {
+    let n = dfg.len();
+    for v in 0..n {
+        for &(u, p) in dfg.data_preds(v) {
+            if u >= v {
+                report.push(Diagnostic::error(
+                    "IC0201",
+                    Location::Dfg { dfg: di, node: Some(v) },
+                    format!("data edge {u}->{v} does not point forward in program order"),
+                ));
+            }
+            if u < n && !dfg.data_succs(u).iter().any(|&(d, q)| d == v && q == p) {
+                report.push(Diagnostic::error(
+                    "IC0202",
+                    Location::Dfg { dfg: di, node: Some(v) },
+                    format!("data edge {u}->{v} (port {p}) missing from successor list of {u}"),
+                ));
+            }
+        }
+        for &(d, p) in dfg.data_succs(v) {
+            if !dfg.data_preds(d).iter().any(|&(u, q)| u == v && q == p) {
+                report.push(Diagnostic::error(
+                    "IC0202",
+                    Location::Dfg { dfg: di, node: Some(v) },
+                    format!("data edge {v}->{d} (port {p}) missing from predecessor list of {d}"),
+                ));
+            }
+        }
+        mirror_unlabelled(di, v, n, "ordering", |x| dfg.order_preds(x), |x| dfg.order_succs(x), report);
+        mirror_unlabelled(di, v, n, "anti", |x| dfg.anti_preds(x), |x| dfg.anti_succs(x), report);
+    }
+    if dfg.to_digraph().has_cycle() {
+        report.push(Diagnostic::error(
+            "IC0201",
+            Location::Dfg { dfg: di, node: None },
+            "dependence graph contains a cycle".to_string(),
+        ));
+    }
+}
+
+/// Mirror check for an unlabelled edge kind (memory-ordering or anti):
+/// every predecessor edge of `v` must be forward and appear in the
+/// source's successor list, and vice versa.
+fn mirror_unlabelled<'a>(
+    di: usize,
+    v: usize,
+    n: usize,
+    kind: &str,
+    preds_of: impl Fn(usize) -> &'a [usize],
+    succs_of: impl Fn(usize) -> &'a [usize],
+    report: &mut Report,
+) {
+    for &u in preds_of(v) {
+        if u >= v {
+            report.push(Diagnostic::error(
+                "IC0201",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!("{kind} edge {u}->{v} does not point forward in program order"),
+            ));
+        }
+        if u < n && !succs_of(u).contains(&v) {
+            report.push(Diagnostic::error(
+                "IC0202",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!("{kind} edge {u}->{v} missing from successor list of {u}"),
+            ));
+        }
+    }
+    for &d in succs_of(v) {
+        if d < n && !preds_of(d).contains(&v) {
+            report.push(Diagnostic::error(
+                "IC0202",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!("{kind} edge {v}->{d} missing from predecessor list of {d}"),
+            ));
+        }
+    }
+}
+
+/// Memory-ordering edges of `dfg` must equal those of `rebuilt`.
+fn compare_order_edges(di: usize, dfg: &Dfg, rebuilt: &Dfg, report: &mut Report) {
+    if dfg.len() != rebuilt.len() {
+        report.push(Diagnostic::error(
+            "IC0203",
+            Location::Dfg { dfg: di, node: None },
+            format!(
+                "DFG has {} nodes but its block has {} instructions",
+                dfg.len(),
+                rebuilt.len()
+            ),
+        ));
+        return;
+    }
+    for v in 0..dfg.len() {
+        let mut got: Vec<usize> = dfg.order_preds(v).to_vec();
+        let mut want: Vec<usize> = rebuilt.order_preds(v).to_vec();
+        got.sort_unstable();
+        want.sort_unstable();
+        if got != want {
+            report.push(Diagnostic::error(
+                "IC0203",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!(
+                    "memory-ordering predecessors {got:?} differ from reconstruction {want:?}"
+                ),
+            ));
+        }
+    }
+}
+
+/// ASAP/ALAP/slack coherence against an independent recomputation.
+fn check_slack(di: usize, dfg: &Dfg, hw: &HwLibrary, report: &mut Report) {
+    let lat = |i: &Inst| match i.opcode {
+        Opcode::Custom(_) => 1,
+        _ => hw.sw_latency_of(i),
+    };
+    let info = dfg.schedule_info(lat);
+    let n = dfg.len();
+    let lats: Vec<u32> = (0..n).map(|v| lat(dfg.inst(v))).collect();
+
+    // Independent forward pass (earliest start).
+    let mut asap = vec![0u32; n];
+    for v in 0..n {
+        let mut t = 0;
+        for &(u, _) in dfg.data_preds(v) {
+            t = t.max(asap[u] + lats[u]);
+        }
+        for &u in dfg.order_preds(v) {
+            t = t.max(asap[u] + lats[u]);
+        }
+        for &u in dfg.anti_preds(v) {
+            t = t.max(asap[u]); // write may issue with the last read
+        }
+        asap[v] = t;
+    }
+    let length = (0..n).map(|v| asap[v] + lats[v]).max().unwrap_or(0);
+
+    // Independent backward pass (latest start without stretching).
+    let mut alap = vec![0u32; n];
+    for v in (0..n).rev() {
+        let mut t = length;
+        for &(d, _) in dfg.data_succs(v) {
+            t = t.min(alap[d]);
+        }
+        for &d in dfg.order_succs(v) {
+            t = t.min(alap[d]);
+        }
+        for &d in dfg.anti_succs(v) {
+            t = t.min(alap[d] + lats[v]);
+        }
+        alap[v] = t - lats[v];
+    }
+
+    for v in 0..n {
+        if info.asap[v] != asap[v] || info.alap[v] != alap[v] {
+            report.push(Diagnostic::error(
+                "IC0204",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!(
+                    "schedule_info asap/alap ({}, {}) differ from recomputation ({}, {})",
+                    info.asap[v], info.alap[v], asap[v], alap[v]
+                ),
+            ));
+        }
+        if info.asap[v] > info.alap[v] {
+            report.push(Diagnostic::error(
+                "IC0204",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!("asap {} exceeds alap {}", info.asap[v], info.alap[v]),
+            ));
+        }
+        if info.slack[v] != info.alap[v].saturating_sub(info.asap[v]) {
+            report.push(Diagnostic::error(
+                "IC0205",
+                Location::Dfg { dfg: di, node: Some(v) },
+                format!(
+                    "slack {} is not alap - asap = {}",
+                    info.slack[v],
+                    info.alap[v].saturating_sub(info.asap[v])
+                ),
+            ));
+        }
+    }
+    if info.length != length {
+        report.push(Diagnostic::error(
+            "IC0205",
+            Location::Dfg { dfg: di, node: None },
+            format!(
+                "block length {} differs from recomputed critical path {length}",
+                info.length
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::{function_dfgs, FunctionBuilder};
+
+    fn kernel() -> Program {
+        let mut fb = FunctionBuilder::new("k", 2);
+        fb.set_entry_weight(100);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let t = fb.xor(a, b);
+        let addr = fb.add(t, 16i64);
+        let v = fb.ldw(addr);
+        fb.stw(addr, v);
+        let u = fb.add(v, t);
+        fb.ret(&[u.into()]);
+        Program::new(vec![fb.finish()])
+    }
+
+    #[test]
+    fn well_formed_dfgs_are_clean() {
+        let p = kernel();
+        let dfgs: Vec<Dfg> = p.functions.iter().flat_map(function_dfgs).collect();
+        let report = check_dfgs(&p, &dfgs, &HwLibrary::micron_018());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn wrong_dfg_count_is_reported() {
+        let p = kernel();
+        let report = check_dfgs(&p, &[], &HwLibrary::micron_018());
+        assert!(report.has_code("IC0203"));
+    }
+
+    #[test]
+    fn drifted_order_edges_are_reported() {
+        // Give the checker DFGs built against the wrong block: build
+        // a second program whose block lacks the store, then check its
+        // DFGs against `kernel()`.
+        let p = kernel();
+        let mut fb = FunctionBuilder::new("k", 2);
+        fb.set_entry_weight(100);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let t = fb.xor(a, b);
+        let addr = fb.add(t, 16i64);
+        let v = fb.ldw(addr);
+        let v2 = fb.ldw(addr);
+        let u = fb.add(v, t);
+        let _ = v2;
+        fb.ret(&[u.into()]);
+        let other = Program::new(vec![fb.finish()]);
+        let dfgs: Vec<Dfg> = other.functions.iter().flat_map(function_dfgs).collect();
+        let report = check_dfgs(&p, &dfgs, &HwLibrary::micron_018());
+        assert!(!report.is_clean());
+    }
+}

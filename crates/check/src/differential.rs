@@ -1,0 +1,118 @@
+//! Checkpoint 5: differential semantic verification (`IC05xx`).
+//!
+//! The strongest check the suite has: interpret the original and the
+//! customized program on the same arguments and initial memory, and
+//! require bit-identical results. Static invariants can all hold while
+//! the rewrite still computes the wrong function; execution cannot be
+//! fooled.
+//!
+//! * `IC0501` — the two programs returned different values;
+//! * `IC0502` — the two programs left memory in different states;
+//! * `IC0503` — either program failed to execute (unknown function,
+//!   unregistered CFU semantics, fuel exhaustion).
+
+use isax_machine::{run_both, Memory};
+use isax_ir::Program;
+
+use crate::diag::{Diagnostic, Location, Report};
+
+/// Interprets `original` and `customized` at `entry` on the given
+/// arguments and initial memory, and reports any divergence.
+pub fn check_differential(
+    original: &Program,
+    customized: &Program,
+    entry: &str,
+    args: &[u32],
+    mem_init: &Memory,
+    fuel: u64,
+) -> Report {
+    let mut report = Report::new();
+    let loc = Location::Entry {
+        function: entry.to_string(),
+    };
+    match run_both(original, customized, entry, args, mem_init, fuel) {
+        Err(e) => {
+            report.push(Diagnostic::error(
+                "IC0503",
+                loc,
+                format!("execution failed on args {args:?}: {e}"),
+            ));
+        }
+        Ok((orig_out, cust_out, orig_mem, cust_mem)) => {
+            if orig_out.ret != cust_out.ret {
+                report.push(Diagnostic::error(
+                    "IC0501",
+                    loc.clone(),
+                    format!(
+                        "results diverge on args {args:?}: original {:?}, customized {:?}",
+                        orig_out.ret, cust_out.ret
+                    ),
+                ));
+            }
+            if orig_mem != cust_mem {
+                report.push(Diagnostic::error(
+                    "IC0502",
+                    loc,
+                    format!("memory states diverge on args {args:?}"),
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::{FunctionBuilder, Opcode};
+
+    fn add_chain() -> Program {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let t = fb.xor(a, b);
+        let u = fb.add(t, b);
+        fb.ret(&[u.into()]);
+        Program::new(vec![fb.finish()])
+    }
+
+    #[test]
+    fn identical_programs_agree() {
+        let p = add_chain();
+        let report = check_differential(&p, &p, "f", &[7, 9], &Memory::new(), 10_000);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn semantic_drift_is_detected() {
+        let p = add_chain();
+        let mut q = add_chain();
+        q.functions[0].blocks[0].insts[1].opcode = Opcode::Sub;
+        let report = check_differential(&p, &q, "f", &[7, 9], &Memory::new(), 10_000);
+        assert!(report.has_code("IC0501"), "{report}");
+    }
+
+    #[test]
+    fn memory_drift_is_detected() {
+        let mut fb = FunctionBuilder::new("g", 1);
+        let a = fb.param(0);
+        fb.stw(64i64, a);
+        fb.ret(&[a.into()]);
+        let p = Program::new(vec![fb.finish()]);
+
+        let mut fb = FunctionBuilder::new("g", 1);
+        let a = fb.param(0);
+        fb.stw(68i64, a);
+        fb.ret(&[a.into()]);
+        let q = Program::new(vec![fb.finish()]);
+
+        let report = check_differential(&p, &q, "g", &[5], &Memory::new(), 10_000);
+        assert!(report.has_code("IC0502"), "{report}");
+    }
+
+    #[test]
+    fn execution_errors_are_reported() {
+        let p = add_chain();
+        let report = check_differential(&p, &p, "missing", &[1, 2], &Memory::new(), 10_000);
+        assert!(report.has_code("IC0503"), "{report}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Checkpoint 1: IR and CFG well-formedness (`IC01xx`).
+//!
+//! Thin adapter over [`isax_ir::verify_program`], which performs the
+//! actual analysis (operand arity, register ranges, terminator targets,
+//! flow-sensitive definite assignment, CFU semantics registration). The
+//! verifier's structured errors are converted into [`Diagnostic`]s so
+//! they render uniformly with every other pass.
+
+use isax_ir::{verify_program, Program};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Runs the IR verifier over every function of `program` and converts
+/// its findings into a [`Report`].
+pub fn check_program(program: &Program) -> Report {
+    let mut report = Report::new();
+    if let Err(errors) = verify_program(program) {
+        for e in &errors {
+            report.push(Diagnostic::from(e));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isax_ir::FunctionBuilder;
+
+    #[test]
+    fn valid_program_is_clean() {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let s = fb.add(a, b);
+        fb.ret(&[s.into()]);
+        let p = Program::new(vec![fb.finish()]);
+        assert!(check_program(&p).is_clean());
+    }
+
+    #[test]
+    fn one_path_definition_is_reported_with_code() {
+        use isax_ir::{BasicBlock, Function, Inst, Opcode, Terminator, VReg};
+        // b0: branch p -> b1 / b2; b1 defines r1; b2 does not; b3 uses r1.
+        let mut entry = BasicBlock::new(10);
+        entry.term = Terminator::Branch {
+            cond: VReg(0),
+            taken: isax_ir::BlockId(1),
+            not_taken: isax_ir::BlockId(2),
+        };
+        let mut then = BasicBlock::new(5);
+        then.insts
+            .push(Inst::new(Opcode::Mov, vec![VReg(1)], vec![VReg(0).into()]));
+        then.term = Terminator::Jump(isax_ir::BlockId(3));
+        let mut els = BasicBlock::new(5);
+        els.term = Terminator::Jump(isax_ir::BlockId(3));
+        let mut join = BasicBlock::new(10);
+        join.insts
+            .push(Inst::new(Opcode::Add, vec![VReg(2)], vec![VReg(1).into(), VReg(1).into()]));
+        join.term = Terminator::Ret(vec![VReg(2).into()]);
+        let f = Function {
+            name: "g".into(),
+            params: vec![VReg(0)],
+            blocks: vec![entry, then, els, join],
+            vreg_count: 3,
+        };
+        let report = check_program(&Program::new(vec![f]));
+        assert!(!report.is_clean());
+        assert!(report.has_code("IC0105"));
+    }
+}

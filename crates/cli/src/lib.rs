@@ -25,12 +25,14 @@ use isax_machine::Memory;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `explore <file>`
+    /// `explore <file> [--check]`
     Explore {
         /// IR file.
         file: String,
+        /// Run the stage-checkpoint invariant checker.
+        check: bool,
     },
-    /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction]`
+    /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
         /// IR file.
         file: String,
@@ -42,8 +44,10 @@ pub enum Command {
         out: Option<String>,
         /// Use multifunction-family selection.
         multifunction: bool,
+        /// Run the stage-checkpoint invariant checker.
+        check: bool,
     },
-    /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH]`
+    /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
         /// IR file.
         file: String,
@@ -55,6 +59,8 @@ pub enum Command {
         wildcard: bool,
         /// Optional path for the customized assembly.
         emit: Option<String>,
+        /// Run the stage-checkpoint invariant checker.
+        check: bool,
     },
     /// `simulate <file> --entry NAME [--args a,b,c] [--fuel N]`
     Simulate {
@@ -106,12 +112,16 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax>
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction]
-    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax]
+    isax explore   <file.isax> [--check]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check]
+    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax dot       <file.isax> [--function FUNC] [--block N]
+
+`--check` (or the ISAX_CHECK=1 environment variable) runs the isax-check
+invariant passes at every pipeline checkpoint and aborts with IC0xxx
+diagnostics on the first violation.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -141,7 +151,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         .ok_or_else(|| UsageError(format!("{cmd}: missing input file\n\n{USAGE}")))?;
     let rest = &args[2..];
     match cmd.as_str() {
-        "explore" => Ok(Command::Explore { file }),
+        "explore" => Ok(Command::Explore {
+            file,
+            check: has_flag(rest, "--check"),
+        }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
                 Some(b) => b
@@ -163,6 +176,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 name,
                 out: flag_value(rest, "--out").map(str::to_string),
                 multifunction: has_flag(rest, "--multifunction"),
+                check: has_flag(rest, "--check"),
             })
         }
         "compile" => {
@@ -175,6 +189,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 subsumed: has_flag(rest, "--subsumed"),
                 wildcard: has_flag(rest, "--wildcard"),
                 emit: flag_value(rest, "--emit").map(str::to_string),
+                check: has_flag(rest, "--check"),
             })
         }
         "run" | "simulate" => {
@@ -247,9 +262,10 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
     let w =
         |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match cmd {
-        Command::Explore { file } => {
+        Command::Explore { file, check } => {
             let p = load_program(file)?;
-            let cz = Customizer::new();
+            let mut cz = Customizer::new();
+            cz.check |= *check;
             let analysis = cz.analyze(&p);
             w(
                 out,
@@ -293,9 +309,11 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             name,
             out: out_path,
             multifunction,
+            check,
         } => {
             let p = load_program(file)?;
-            let cz = Customizer::new();
+            let mut cz = Customizer::new();
+            cz.check |= *check;
             let analysis = cz.analyze(&p);
             let (mdes, sel) = if *multifunction {
                 cz.select_multifunction(name, &analysis, *budget)
@@ -325,11 +343,13 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             subsumed,
             wildcard,
             emit,
+            check,
         } => {
             let p = load_program(file)?;
             let text = std::fs::read_to_string(mdes).map_err(|e| format!("{mdes}: {e}"))?;
             let mdes = Mdes::from_json(&text).map_err(|e| format!("{mdes}: {e}"))?;
-            let cz = Customizer::new();
+            let mut cz = Customizer::new();
+            cz.check |= *check;
             let matching = MatchOptions {
                 mode: if *wildcard {
                     MatchMode::Wildcard
@@ -475,8 +495,17 @@ mod tests {
                 name: "bf".into(),
                 out: Some("m.json".into()),
                 multifunction: false,
+                check: false,
             }
         );
+        assert!(matches!(
+            parse_args(&argv("explore k.isax --check")).unwrap(),
+            Command::Explore { check: true, .. }
+        ));
+        assert!(matches!(
+            parse_args(&argv("compile k.isax --mdes m.json --check")).unwrap(),
+            Command::Compile { check: true, .. }
+        ));
         let c = parse_args(&argv("compile k.isax --mdes m.json --subsumed --wildcard")).unwrap();
         assert!(matches!(
             c,

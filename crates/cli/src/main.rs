@@ -1,5 +1,7 @@
 //! Thin shim over the `isax-cli` library.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match isax_cli::parse_args(&args) {

@@ -17,6 +17,7 @@
 //! | combination, subsumption, wildcards, selection | [`isax_select`] |
 //! | MDES, matching, replacement, VLIW scheduling | [`isax_compiler`] |
 //! | interpreter + speedup reports | [`isax_machine`] |
+//! | stage-by-stage invariant checking | [`isax_check`] |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use experiment::{
 pub use pipeline::{Analysis, Customizer, Evaluation};
 
 // Re-export the vocabulary types users need at the facade level.
+pub use isax_check::{Diagnostic, Report};
 pub use isax_compiler::{MatchMode, MatchOptions, Mdes, VliwModel};
 pub use isax_explore::ExploreConfig;
 pub use isax_hwlib::HwLibrary;

@@ -14,6 +14,14 @@
 //! Analysis is budget-independent and by far the most expensive stage, so
 //! it is separated from selection: a budget sweep (Figure 7) analyzes once
 //! and selects fifteen times.
+//!
+//! When [`Customizer::check`] is set (the `--check` CLI flag or the
+//! `ISAX_CHECK` environment variable), the pipeline runs the
+//! [`isax_check`] invariant passes at a checkpoint after every stage —
+//! IR/CFG verification and DFG structure after analysis, candidate/CFU
+//! legality after combination, MDES and selection consistency after
+//! selection, and replacement/schedule soundness after evaluation — and
+//! aborts with structured `IC0xxx` diagnostics on the first violation.
 
 use isax_compiler::{
     baseline_cycles, compile, CompileOptions, CompiledProgram, MatchOptions, Mdes, VliwModel,
@@ -37,6 +45,10 @@ pub struct Customizer {
     pub closure_cap: usize,
     /// Baseline machine shape.
     pub model: VliwModel,
+    /// Run the `isax-check` invariant passes at every stage checkpoint
+    /// and abort on violations. Defaults to the `ISAX_CHECK`
+    /// environment variable.
+    pub check: bool,
 }
 
 impl Default for Customizer {
@@ -81,6 +93,7 @@ impl Customizer {
             explore: ExploreConfig::default(),
             closure_cap: 64,
             model: VliwModel::default(),
+            check: isax_check::env_enabled(),
         }
     }
 
@@ -124,12 +137,30 @@ impl Customizer {
         let mut cfus = combine(&dfgs, &result.candidates, &self.hw);
         mark_subsumptions(&mut cfus, self.closure_cap);
         find_wildcard_partners(&mut cfus);
-        Analysis {
+        let analysis = Analysis {
             dfgs,
             raw_candidates: result.candidates,
             cfus,
             stats: result.stats,
+        };
+        if self.check {
+            let mut report = isax_check::check_program(program);
+            report.merge(isax_check::check_dfgs(program, &analysis.dfgs, &self.hw));
+            report.merge(isax_check::check_candidates(
+                &analysis.dfgs,
+                &analysis.raw_candidates,
+                &self.explore,
+                &self.hw,
+            ));
+            report.merge(isax_check::check_cfus(
+                &analysis.dfgs,
+                &analysis.cfus,
+                &self.explore,
+                &self.hw,
+            ));
+            isax_check::enforce("analyze", &report);
         }
+        analysis
     }
 
     /// Selects CFUs for an area budget (greedy, the paper's default) and
@@ -137,13 +168,25 @@ impl Customizer {
     pub fn select(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let sel = select_greedy(&analysis.cfus, &SelectConfig::with_budget(budget));
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
+    }
+
+    /// Checkpoint after any selection variant: the MDES must be legal
+    /// for the machine and the selection must refer into the analysis.
+    fn check_selected(&self, analysis: &Analysis, mdes: &Mdes, sel: &Selection) {
+        if self.check {
+            let mut report = isax_check::check_mdes(mdes, &self.hw);
+            report.merge(isax_check::check_selection(&analysis.cfus, sel));
+            isax_check::enforce("select", &report);
+        }
     }
 
     /// Selection via the dynamic-programming ablation variant.
     pub fn select_dp(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let sel = select_knapsack(&analysis.cfus, &SelectConfig::with_budget(budget));
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
     }
 
@@ -158,6 +201,7 @@ impl Customizer {
     ) -> (Mdes, Selection) {
         let sel = select_multifunction(&analysis.cfus, &SelectConfig::with_budget(budget));
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
     }
 
@@ -182,6 +226,11 @@ impl Customizer {
                 model: self.model,
             },
         );
+        if self.check {
+            let report =
+                isax_check::check_compiled(program, &compiled, mdes, &self.hw, &self.model);
+            isax_check::enforce("evaluate", &report);
+        }
         Evaluation {
             baseline_cycles: base,
             custom_cycles: compiled.cycles,
@@ -246,6 +295,17 @@ mod tests {
         let (mdes, sel) = cz.select_dp("kern", &analysis, 15.0);
         assert!(!mdes.cfus.is_empty());
         assert!(sel.total_value > 0);
+    }
+
+    #[test]
+    fn checked_pipeline_accepts_its_own_output() {
+        let p = crypto_kernel();
+        let mut cz = Customizer::new();
+        cz.check = true;
+        let analysis = cz.analyze(&p);
+        let (mdes, _) = cz.select("kern", &analysis, 15.0);
+        let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
+        assert!(ev.speedup > 1.0);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Dominance and definite-assignment analyses over the CFG.
+//!
+//! Two flow-sensitive facts underpin the verifier and the `isax-check`
+//! diagnostic passes:
+//!
+//! * **Dominators** ([`Dominators`]): block `a` dominates block `b` when
+//!   every path from the entry to `b` passes through `a`. Computed with
+//!   the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+//!   postorder of the CFG.
+//! * **Definite assignment** ([`definite_assignment`]): the set of
+//!   registers guaranteed to have been written on *every* path reaching a
+//!   block's entry. This is a forward must-analysis (intersection over
+//!   predecessors), which — unlike a pure dominance lookup — accepts a
+//!   register defined on both arms of a diamond and used after the join,
+//!   while still flagging a definition that exists on only one arm. The
+//!   IR is not SSA, so this is the right notion of "defined before use".
+
+use crate::inst::VReg;
+use crate::Function;
+use std::collections::BTreeSet;
+
+/// The dominator tree of a function's CFG.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{dom::Dominators, FunctionBuilder};
+///
+/// // entry -> {then, else} -> join
+/// let mut fb = FunctionBuilder::new("d", 1);
+/// let x = fb.param(0);
+/// let then_b = fb.new_block(1);
+/// let else_b = fb.new_block(1);
+/// let join = fb.new_block(1);
+/// let c = fb.ne(x, 0i64);
+/// fb.branch(c, then_b, else_b);
+/// fb.switch_to(then_b);
+/// fb.jump(join);
+/// fb.switch_to(else_b);
+/// fb.jump(join);
+/// fb.switch_to(join);
+/// fb.ret(&[]);
+/// let f = fb.finish();
+///
+/// let dt = Dominators::compute(&f);
+/// assert!(dt.dominates(0, 3), "entry dominates the join");
+/// assert!(!dt.dominates(1, 3), "one arm does not dominate the join");
+/// assert_eq!(dt.idom(3), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// Immediate dominator of each block; `None` for the entry and for
+    /// unreachable blocks.
+    idom: Vec<Option<usize>>,
+    /// Whether each block is reachable from the entry.
+    reachable: Vec<bool>,
+}
+
+impl Dominators {
+    /// Computes the dominator tree of `f`'s CFG (block 0 is the entry).
+    pub fn compute(f: &Function) -> Dominators {
+        let n = f.blocks.len();
+        let rpo = reverse_postorder(f);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut reachable = vec![false; n];
+        for &b in &rpo {
+            reachable[b] = true;
+        }
+        let preds = predecessors_clamped(f);
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom, reachable };
+        }
+        idom[0] = Some(0); // sentinel: the entry is its own dominator
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Fold the intersection over processed, reachable preds.
+                let mut new_idom: Option<usize> = None;
+                for p in preds[b].iter().copied() {
+                    if !reachable[p] || idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(q) => intersect(p, q, &idom, &rpo_index),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[0] = None; // drop the sentinel: the entry has no idom
+        Dominators { idom, reachable }
+    }
+
+    /// Immediate dominator of block `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// True if block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable.get(b).copied().unwrap_or(false)
+    }
+
+    /// True if `a` dominates `b` (reflexively). Unreachable blocks are
+    /// dominated by nothing and dominate nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Walks both fingers up the dominator tree until they meet
+/// (Cooper–Harvey–Kennedy `intersect`, with comparisons in RPO index
+/// space).
+fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], rpo_index: &[usize]) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed block has an idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed block has an idom");
+        }
+    }
+    a
+}
+
+/// Predecessor lists that tolerate malformed CFGs: terminator targets at
+/// or past the block count (which the verifier reports separately) are
+/// simply skipped rather than panicking.
+fn predecessors_clamped(f: &Function) -> Vec<Vec<usize>> {
+    let n = f.blocks.len();
+    let mut preds = vec![Vec::new(); n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            if s.index() < n {
+                preds[s.index()].push(i);
+            }
+        }
+    }
+    preds
+}
+
+/// Reverse postorder of the blocks reachable from the entry.
+fn reverse_postorder(f: &Function) -> Vec<usize> {
+    let n = f.blocks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS: (block, next successor index to try).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs: Vec<usize> = f.blocks[b]
+            .term
+            .successors()
+            .into_iter()
+            .map(|s| s.index())
+            .collect();
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if s < n && !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Per-block definite-assignment sets: `at_entry[b]` is the set of
+/// registers written on **every** path from the entry to `b`'s first
+/// instruction (parameters count as assigned). `None` marks a block
+/// unreachable from the entry, for which no flow-sensitive claim holds.
+///
+/// # Example
+///
+/// ```
+/// use isax_ir::{dom::definite_assignment, FunctionBuilder};
+///
+/// // x is assigned on only one arm of a diamond.
+/// let mut fb = FunctionBuilder::new("d", 1);
+/// let p = fb.param(0);
+/// let then_b = fb.new_block(1);
+/// let else_b = fb.new_block(1);
+/// let join = fb.new_block(1);
+/// let c = fb.ne(p, 0i64);
+/// fb.branch(c, then_b, else_b);
+/// fb.switch_to(then_b);
+/// let x = fb.add(p, 1i64);
+/// fb.jump(join);
+/// fb.switch_to(else_b);
+/// fb.jump(join);
+/// fb.switch_to(join);
+/// fb.ret(&[]);
+/// let f = fb.finish();
+///
+/// let da = definite_assignment(&f);
+/// let join_in = da.at_entry[3].as_ref().unwrap();
+/// assert!(join_in.contains(&p), "parameters are always assigned");
+/// assert!(!join_in.contains(&x), "x is missing on the else path");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefiniteAssignment {
+    /// Definitely-assigned register set at each block's entry (`None` for
+    /// unreachable blocks).
+    pub at_entry: Vec<Option<BTreeSet<VReg>>>,
+}
+
+/// Runs the forward must-analysis: `in[entry] = params`, and
+/// `in[b] = ∩ over reachable preds p of (in[p] ∪ defs(p))`, iterated to a
+/// fixpoint in reverse postorder.
+pub fn definite_assignment(f: &Function) -> DefiniteAssignment {
+    let n = f.blocks.len();
+    let rpo = reverse_postorder(f);
+    let preds = predecessors_clamped(f);
+    let defs: Vec<BTreeSet<VReg>> = f.blocks.iter().map(|b| b.defs().collect()).collect();
+    let mut at_entry: Vec<Option<BTreeSet<VReg>>> = vec![None; n];
+    if n == 0 {
+        return DefiniteAssignment { at_entry };
+    }
+    at_entry[0] = Some(f.params.iter().copied().collect());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            // Intersect over predecessors whose facts are available; a
+            // pred still at ⊤ (None within a loop's first sweep) is
+            // skipped, which is the standard optimistic initialization.
+            let mut acc: Option<BTreeSet<VReg>> = None;
+            for p in preds[b].iter().copied() {
+                let Some(in_p) = &at_entry[p] else { continue };
+                let mut out_p: BTreeSet<VReg> = in_p.clone();
+                out_p.extend(defs[p].iter().copied());
+                acc = Some(match acc {
+                    None => out_p,
+                    Some(a) => a.intersection(&out_p).copied().collect(),
+                });
+            }
+            if acc.is_some() && at_entry[b] != acc {
+                at_entry[b] = acc;
+                changed = true;
+            }
+        }
+    }
+    DefiniteAssignment { at_entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    /// entry -> body <-> body -> exit (a counted loop).
+    fn loop_function() -> Function {
+        let mut fb = FunctionBuilder::new("loop", 2);
+        let x = fb.param(0);
+        let n = fb.param(1);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+        let acc0 = fb.mov(0i64);
+        fb.jump(body);
+        fb.switch_to(body);
+        let acc = fb.add(acc0, x);
+        fb.copy_to(acc0, acc);
+        let n2 = fb.sub(n, 1i64);
+        fb.copy_to(n, n2);
+        let c = fb.ne(n, 0i64);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[acc0.into()]);
+        fb.finish()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = loop_function();
+        let dt = Dominators::compute(&f);
+        for b in 0..f.blocks.len() {
+            assert!(dt.dominates(0, b), "entry must dominate b{b}");
+        }
+        assert_eq!(dt.idom(1), Some(0));
+        assert_eq!(dt.idom(2), Some(1));
+        assert_eq!(dt.idom(0), None);
+    }
+
+    #[test]
+    fn self_loop_does_not_dominate_exit_over_entry() {
+        let f = loop_function();
+        let dt = Dominators::compute(&f);
+        assert!(dt.dominates(1, 2), "body dominates exit");
+        assert!(!dt.dominates(2, 1));
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut fb = FunctionBuilder::new("u", 0);
+        let dead = fb.new_block(1);
+        fb.ret(&[]);
+        fb.switch_to(dead);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let dt = Dominators::compute(&f);
+        assert!(dt.is_reachable(0));
+        assert!(!dt.is_reachable(1));
+        assert!(!dt.dominates(0, 1));
+        let da = definite_assignment(&f);
+        assert!(da.at_entry[1].is_none());
+    }
+
+    #[test]
+    fn loop_carried_values_stay_assigned() {
+        let f = loop_function();
+        let da = definite_assignment(&f);
+        // acc0 is defined in the entry, so it is definitely assigned at
+        // the body and at the exit despite the back edge.
+        let acc0 = crate::VReg(2);
+        assert!(da.at_entry[1].as_ref().unwrap().contains(&acc0));
+        assert!(da.at_entry[2].as_ref().unwrap().contains(&acc0));
+    }
+
+    #[test]
+    fn diamond_requires_both_arms() {
+        let mut fb = FunctionBuilder::new("d", 1);
+        let p = fb.param(0);
+        let then_b = fb.new_block(1);
+        let else_b = fb.new_block(1);
+        let join = fb.new_block(1);
+        let c = fb.ne(p, 0i64);
+        fb.branch(c, then_b, else_b);
+        fb.switch_to(then_b);
+        let x = fb.add(p, 1i64); // only on the then arm
+        fb.jump(join);
+        fb.switch_to(else_b);
+        let y = fb.add(p, 2i64);
+        fb.copy_to(x, y); // x also defined here -> both arms define x
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let da = definite_assignment(&f);
+        let join_in = da.at_entry[3].as_ref().unwrap();
+        assert!(join_in.contains(&x), "x is assigned on both arms");
+        assert!(!join_in.contains(&y), "y only exists on the else arm");
+    }
+}

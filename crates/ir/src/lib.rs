@@ -43,6 +43,7 @@
 pub mod block;
 pub mod builder;
 pub mod dfg;
+pub mod dom;
 pub mod function;
 pub mod inst;
 pub mod opcode;
@@ -53,9 +54,10 @@ pub mod verify;
 pub use block::{BasicBlock, BlockId, Terminator};
 pub use builder::FunctionBuilder;
 pub use dfg::{function_dfgs, Dfg, DfgLabel, SlackInfo};
+pub use dom::{definite_assignment, DefiniteAssignment, Dominators};
 pub use function::{Function, Liveness};
 pub use inst::{Inst, Operand, VReg};
 pub use opcode::{eval, FuKind, OpClass, Opcode};
 pub use parse::{parse_function, parse_program, ParseError};
 pub use program::{CfuSemantics, Program, SemOp, SemSrc};
-pub use verify::{verify_function, verify_program, VerifyError};
+pub use verify::{verify_function, verify_program, VerifyCode, VerifyError};

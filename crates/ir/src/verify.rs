@@ -3,25 +3,87 @@
 //! The verifier catches malformed IR early — chiefly hand-authoring
 //! mistakes in workload kernels and compiler-pass bugs (a replacement pass
 //! that drops a definition, a terminator pointing at a removed block).
+//! Errors are structured: each carries a stable diagnostic code (the
+//! `IC01xx` range of the `isax-check` taxonomy) and a precise location, so
+//! every layer of the pipeline can report uniformly.
+//!
+//! Definite-assignment checking is flow-sensitive over the whole CFG (via
+//! [`crate::dom::definite_assignment`]): a use is accepted only when every
+//! path from the entry assigns the register first. Parameters count as
+//! assigned; a register defined on both arms of a diamond and used after
+//! the join is fine, one defined on a single arm is not.
 
 use crate::block::Terminator;
+use crate::dom::definite_assignment;
 use crate::inst::VReg;
 use crate::program::Program;
 use crate::Function;
 use std::collections::BTreeSet;
+
+/// What kind of malformation a [`VerifyError`] reports. Each variant maps
+/// to a stable `IC01xx` diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerifyCode {
+    /// Operand count does not match the opcode's arity.
+    OperandCount,
+    /// Destination count does not match the opcode's result shape.
+    ResultCount,
+    /// A register number is at or above `vreg_count`.
+    RegOutOfRange,
+    /// A used register has no definition anywhere in the function.
+    UndefinedUse,
+    /// A used register is not definitely assigned on every path reaching
+    /// the use (flow-sensitive; parameters count as assigned).
+    UseBeforeDef,
+    /// A terminator targets a block index that does not exist.
+    BadTarget,
+    /// A branch condition or returned register has no definition.
+    UndefinedControlUse,
+    /// A custom opcode has no registered semantics in the program.
+    MissingSemantics,
+}
+
+impl VerifyCode {
+    /// The stable diagnostic code (`IC01xx`) for this error kind.
+    pub const fn code(self) -> &'static str {
+        match self {
+            VerifyCode::OperandCount => "IC0101",
+            VerifyCode::ResultCount => "IC0102",
+            VerifyCode::RegOutOfRange => "IC0103",
+            VerifyCode::UndefinedUse => "IC0104",
+            VerifyCode::UseBeforeDef => "IC0105",
+            VerifyCode::BadTarget => "IC0106",
+            VerifyCode::UndefinedControlUse => "IC0107",
+            VerifyCode::MissingSemantics => "IC0108",
+        }
+    }
+}
 
 /// A single verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// Function the error occurred in.
     pub function: String,
+    /// Which invariant was violated (maps to a stable `IC01xx` code).
+    pub code: VerifyCode,
+    /// Block the error occurred in, when attributable to one.
+    pub block: Option<usize>,
+    /// Instruction index within the block, when attributable to one
+    /// (`None` for terminator errors).
+    pub inst: Option<usize>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "in {}: {}", self.function, self.message)
+        write!(f, "[{}] in {}: ", self.code.code(), self.function)?;
+        match (self.block, self.inst) {
+            (Some(b), Some(i)) => write!(f, "b{b}:{i}: ")?,
+            (Some(b), None) => write!(f, "b{b}: ")?,
+            _ => {}
+        }
+        f.write_str(&self.message)
     }
 }
 
@@ -32,8 +94,11 @@ impl std::error::Error for VerifyError {}
 /// * operand/destination counts match each opcode's shape,
 /// * terminator targets are in range,
 /// * every used register has *some* definition (a parameter or a
-///   definition in any block — the IR is not SSA, so flow-sensitive
-///   undefined-use detection is done only for the entry block),
+///   definition in any block),
+/// * every use is **definitely assigned**: on every CFG path from the
+///   entry to the use, the register was written first (flow-sensitive,
+///   whole-CFG, via the dominance/definite-assignment analysis in
+///   [`crate::dom`]; unreachable blocks are exempt),
 /// * virtual register numbers stay below `vreg_count`.
 ///
 /// # Errors
@@ -42,78 +107,138 @@ impl std::error::Error for VerifyError {}
 /// well-formed).
 pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
     let mut errors = Vec::new();
-    fn push_err(errors: &mut Vec<VerifyError>, fname: &str, msg: String) {
+    let mut push = |code: VerifyCode, block: Option<usize>, inst: Option<usize>, msg: String| {
         errors.push(VerifyError {
-            function: fname.to_string(),
+            function: f.name.clone(),
+            code,
+            block,
+            inst,
             message: msg,
         });
-    }
-    macro_rules! err {
-        ($($t:tt)*) => { push_err(&mut errors, &f.name, format!($($t)*)) };
-    }
+    };
 
     let mut defined: BTreeSet<VReg> = f.params.iter().copied().collect();
     for b in &f.blocks {
         defined.extend(b.defs());
     }
+    let da = definite_assignment(f);
 
     for (bi, b) in f.blocks.iter().enumerate() {
-        // Flow-sensitive check in the entry block only (conservative but
-        // catches the common authoring mistake).
-        let mut seen: BTreeSet<VReg> = f.params.iter().copied().collect();
+        // Registers definitely assigned at the current point of the block.
+        // Unreachable blocks get no flow-sensitive claim: seed them with
+        // every definition so only the defined-anywhere checks fire.
+        let mut assigned: BTreeSet<VReg> = match da.at_entry.get(bi).and_then(Option::as_ref) {
+            Some(s) => s.clone(),
+            None => defined.clone(),
+        };
         for (ii, inst) in b.insts.iter().enumerate() {
             if !inst.opcode.is_custom() {
                 if inst.srcs.len() != inst.opcode.arity() {
-                    err!("b{bi}:{ii} {}: wrong operand count", inst.opcode);
+                    push(
+                        VerifyCode::OperandCount,
+                        Some(bi),
+                        Some(ii),
+                        format!("{}: wrong operand count", inst.opcode),
+                    );
                 }
                 if inst.dsts.len() != inst.opcode.result_count() {
-                    err!("b{bi}:{ii} {}: wrong result count", inst.opcode);
+                    push(
+                        VerifyCode::ResultCount,
+                        Some(bi),
+                        Some(ii),
+                        format!("{}: wrong result count", inst.opcode),
+                    );
                 }
             }
             for (_, r) in inst.reg_srcs() {
                 if r.0 >= f.vreg_count {
-                    err!("b{bi}:{ii}: register {r} out of range");
+                    push(
+                        VerifyCode::RegOutOfRange,
+                        Some(bi),
+                        Some(ii),
+                        format!("register {r} out of range"),
+                    );
                 }
                 if !defined.contains(&r) {
-                    err!("b{bi}:{ii}: use of undefined register {r}");
-                }
-                if bi == 0 && !seen.contains(&r) && !defined_in_later_block(f, r) {
-                    err!("b{bi}:{ii}: use of {r} before its definition");
+                    push(
+                        VerifyCode::UndefinedUse,
+                        Some(bi),
+                        Some(ii),
+                        format!("use of undefined register {r}"),
+                    );
+                } else if !assigned.contains(&r) {
+                    push(
+                        VerifyCode::UseBeforeDef,
+                        Some(bi),
+                        Some(ii),
+                        format!("use of {r} before its definition on some path"),
+                    );
                 }
             }
             for &d in &inst.dsts {
                 if d.0 >= f.vreg_count {
-                    err!("b{bi}:{ii}: destination {d} out of range");
+                    push(
+                        VerifyCode::RegOutOfRange,
+                        Some(bi),
+                        Some(ii),
+                        format!("destination {d} out of range"),
+                    );
                 }
-                seen.insert(d);
+                assigned.insert(d);
             }
         }
-        let check_target = |t: crate::BlockId, errors: &mut Vec<VerifyError>| {
+        let mut check_target = |t: crate::BlockId| {
             if t.index() >= f.blocks.len() {
-                errors.push(VerifyError {
-                    function: f.name.clone(),
-                    message: format!("b{bi}: terminator targets unknown block {t}"),
-                });
+                push(
+                    VerifyCode::BadTarget,
+                    Some(bi),
+                    None,
+                    format!("terminator targets unknown block {t}"),
+                );
             }
         };
         match &b.term {
-            Terminator::Jump(t) => check_target(*t, &mut errors),
+            Terminator::Jump(t) => check_target(*t),
             Terminator::Branch {
                 cond,
                 taken,
                 not_taken,
             } => {
-                check_target(*taken, &mut errors);
-                check_target(*not_taken, &mut errors);
+                check_target(*taken);
+                check_target(*not_taken);
                 if !defined.contains(cond) {
-                    err!("b{bi}: branch on undefined register {cond}");
+                    push(
+                        VerifyCode::UndefinedControlUse,
+                        Some(bi),
+                        None,
+                        format!("branch on undefined register {cond}"),
+                    );
+                } else if !assigned.contains(cond) {
+                    push(
+                        VerifyCode::UseBeforeDef,
+                        Some(bi),
+                        None,
+                        format!("branch on {cond} before its definition on some path"),
+                    );
                 }
             }
             Terminator::Ret(vals) => {
                 for v in vals {
                     if let Some(r) = v.reg() {
                         if !defined.contains(&r) {
-                            err!("b{bi}: return of undefined register {r}");
+                            push(
+                                VerifyCode::UndefinedControlUse,
+                                Some(bi),
+                                None,
+                                format!("return of undefined register {r}"),
+                            );
+                        } else if !assigned.contains(&r) {
+                            push(
+                                VerifyCode::UseBeforeDef,
+                                Some(bi),
+                                None,
+                                format!("return of {r} before its definition on some path"),
+                            );
                         }
                     }
                 }
@@ -125,10 +250,6 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
     } else {
         Err(errors)
     }
-}
-
-fn defined_in_later_block(f: &Function, r: VReg) -> bool {
-    f.blocks.iter().skip(1).any(|b| b.defs().any(|d| d == r))
 }
 
 /// Verifies every function of a program, and that every custom opcode used
@@ -149,7 +270,10 @@ pub fn verify_program(p: &Program) -> Result<(), Vec<VerifyError>> {
                     if !p.cfu_semantics.contains_key(&id) {
                         errors.push(VerifyError {
                             function: f.name.clone(),
-                            message: format!("b{bi}:{ii}: cfu{id} has no registered semantics"),
+                            code: VerifyCode::MissingSemantics,
+                            block: Some(bi),
+                            inst: Some(ii),
+                            message: format!("cfu{id} has no registered semantics"),
                         });
                     }
                 }
@@ -194,9 +318,13 @@ mod tests {
         let mut f = fb.finish();
         f.vreg_count = 100;
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs
+        let e = errs
             .iter()
-            .any(|e| e.message.contains("undefined register v99")));
+            .find(|e| e.message.contains("undefined register v99"))
+            .expect("undefined use reported");
+        assert_eq!(e.code, VerifyCode::UndefinedUse);
+        assert_eq!(e.code.code(), "IC0104");
+        assert_eq!((e.block, e.inst), (Some(0), Some(0)));
     }
 
     #[test]
@@ -207,7 +335,11 @@ mod tests {
         fb.ret(&[]);
         let f = fb.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+        let e = errs
+            .iter()
+            .find(|e| e.message.contains("out of range"))
+            .expect("range error reported");
+        assert_eq!(e.code, VerifyCode::RegOutOfRange);
     }
 
     #[test]
@@ -218,7 +350,13 @@ mod tests {
         fb.branch(c, crate::BlockId(7), crate::BlockId(0));
         let f = fb.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("unknown block b7")));
+        let e = errs
+            .iter()
+            .find(|e| e.message.contains("unknown block b7"))
+            .expect("target error reported");
+        assert_eq!(e.code, VerifyCode::BadTarget);
+        assert_eq!(e.block, Some(0));
+        assert_eq!(e.inst, None);
     }
 
     #[test]
@@ -231,9 +369,11 @@ mod tests {
         f.vreg_count = 2;
         let p = Program::new(vec![f]);
         let errs = verify_program(&p).unwrap_err();
-        assert!(errs
+        let e = errs
             .iter()
-            .any(|e| e.message.contains("cfu3 has no registered semantics")));
+            .find(|e| e.message.contains("cfu3 has no registered semantics"))
+            .expect("semantics error reported");
+        assert_eq!(e.code, VerifyCode::MissingSemantics);
     }
 
     #[test]
@@ -246,8 +386,100 @@ mod tests {
         fb.ret(&[]);
         let f = fb.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs
+        let e = errs
             .iter()
-            .any(|e| e.message.contains("before its definition")));
+            .find(|e| e.message.contains("before its definition"))
+            .expect("use-before-def reported");
+        assert_eq!(e.code, VerifyCode::UseBeforeDef);
+    }
+
+    #[test]
+    fn one_path_only_definition_detected() {
+        // entry branches to then/else; only the then arm defines x; the
+        // join uses it. The old entry-block-only check missed this.
+        let mut fb = FunctionBuilder::new("onepath", 1);
+        let p = fb.param(0);
+        let then_b = fb.new_block(1);
+        let else_b = fb.new_block(1);
+        let join = fb.new_block(1);
+        let c = fb.ne(p, 0i64);
+        fb.branch(c, then_b, else_b);
+        fb.switch_to(then_b);
+        let x = fb.add(p, 1i64);
+        fb.jump(join);
+        fb.switch_to(else_b);
+        fb.jump(join);
+        fb.switch_to(join);
+        let y = fb.add(x, 2i64); // x not assigned on the else path
+        fb.ret(&[y.into()]);
+        let f = fb.finish();
+        let errs = verify_function(&f).unwrap_err();
+        let e = errs
+            .iter()
+            .find(|e| e.code == VerifyCode::UseBeforeDef)
+            .expect("one-path definition must be flagged");
+        assert_eq!(e.block, Some(3));
+        assert!(e.message.contains("before its definition"));
+    }
+
+    #[test]
+    fn both_path_definitions_are_accepted() {
+        // The same diamond, but both arms define x: the must-analysis
+        // accepts the use after the join (a pure dominance lookup would
+        // falsely reject it).
+        let mut fb = FunctionBuilder::new("diamond", 1);
+        let p = fb.param(0);
+        let then_b = fb.new_block(1);
+        let else_b = fb.new_block(1);
+        let join = fb.new_block(1);
+        let c = fb.ne(p, 0i64);
+        fb.branch(c, then_b, else_b);
+        fb.switch_to(then_b);
+        let x = fb.add(p, 1i64);
+        fb.jump(join);
+        fb.switch_to(else_b);
+        let t = fb.add(p, 2i64);
+        fb.copy_to(x, t);
+        fb.jump(join);
+        fb.switch_to(join);
+        let y = fb.add(x, 2i64);
+        fb.ret(&[y.into()]);
+        assert!(verify_function(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn loop_carried_redefinition_is_accepted() {
+        // Non-SSA loop: acc is initialized before the loop and redefined
+        // inside it; the body's use must not be flagged.
+        let mut fb = FunctionBuilder::new("loop", 2);
+        let x = fb.param(0);
+        let n = fb.param(1);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+        let acc0 = fb.mov(0i64);
+        fb.jump(body);
+        fb.switch_to(body);
+        let acc = fb.add(acc0, x);
+        fb.copy_to(acc0, acc);
+        let n2 = fb.sub(n, 1i64);
+        fb.copy_to(n, n2);
+        let c = fb.ne(n, 0i64);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[acc0.into()]);
+        assert!(verify_function(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn display_includes_code_and_location() {
+        let mut fb = FunctionBuilder::new("bad", 1);
+        let a = fb.param(0);
+        let c = fb.ne(a, 0i64);
+        fb.branch(c, crate::BlockId(9), crate::BlockId(0));
+        let errs = verify_function(&fb.finish()).unwrap_err();
+        let s = errs[0].to_string();
+        assert!(s.contains("IC0106"), "{s}");
+        assert!(s.contains("in bad"), "{s}");
+        assert!(s.contains("b0"), "{s}");
     }
 }

@@ -4,4 +4,6 @@
 //! tests; the functionality lives in the `isax*` member crates. See
 //! [`isax`] for the end-to-end pipeline entry point.
 
+#![forbid(unsafe_code)]
+
 pub use isax as pipeline;
