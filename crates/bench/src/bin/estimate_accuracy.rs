@@ -20,6 +20,7 @@ use isax_hwlib::HwLibrary;
 use isax_machine::{simulate, Memory};
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let cz = Customizer::new();
     let hw = HwLibrary::micron_018();
     let model = VliwModel::default();

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 fn main() -> std::io::Result<()> {
+    let _trace = isax_trace::init_from_env();
     let dir = std::path::Path::new("kernels");
     std::fs::create_dir_all(dir)?;
     for w in isax_workloads::all() {

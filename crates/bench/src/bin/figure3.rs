@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+use isax_bench::figures::figure3_table;
 use isax_explore::{explore_dfg, explore_dfg_naive, ExploreConfig};
 use isax_hwlib::HwLibrary;
 use isax_ir::function_dfgs;
@@ -26,54 +27,25 @@ use std::collections::BTreeSet;
 const NAIVE_BUDGET: u64 = 2_000_000;
 
 fn main() {
+    let trace = isax_trace::init_from_env();
     let validate = std::env::args().any(|a| a == "--validate");
     let hw = HwLibrary::micron_018();
     // The paper's blowfish passed through an optimizing compiler that
     // unrolls the Feistel loop into very large blocks ("... in the
     // presence of optimizations that create large basic blocks, such as
     // loop unrolling"); the 4x-unrolled round block has 113 operations.
+    // Loose constraints (unbounded register ports) are applied inside the
+    // renderer — the regime where naive growth explodes.
     let unrolled = isax_workloads::blowfish::program_unrolled(4);
-    let dfgs = function_dfgs(&unrolled.functions[0]);
-
-    println!("Figure 3 — candidates examined for blowfish (4x unrolled round block)");
-    println!(
-        "{:>9} {:>16} {:>16} {:>9}",
-        "max size", "guided", "exponential", "ratio"
+    print!(
+        "{}",
+        figure3_table(
+            "Figure 3 — candidates examined for blowfish (4x unrolled round block)",
+            &unrolled,
+            &[2, 4, 6, 8, 10, 12, 14, 16],
+            Some(NAIVE_BUDGET),
+        )
     );
-    for max_nodes in [2usize, 4, 6, 8, 10, 12, 14, 16] {
-        // Loose constraints: unbounded register ports, growing size cap —
-        // the regime where naive growth explodes. The guided search uses
-        // the paper's adaptive fanout (wide early, tight once candidates
-        // grow) on top of the threshold.
-        let naive_cfg = ExploreConfig {
-            max_nodes,
-            max_inputs: usize::MAX,
-            max_outputs: usize::MAX,
-            ..ExploreConfig::default()
-        };
-        let guided_cfg = ExploreConfig {
-            taper_size: Some(5),
-            taper_fanout: 2,
-            ..naive_cfg.clone()
-        };
-        let mut guided = 0u64;
-        let mut naive = 0u64;
-        let mut truncated = false;
-        for dfg in &dfgs {
-            guided += explore_dfg(dfg, &hw, &guided_cfg).stats.examined;
-            let n = explore_dfg_naive(dfg, &hw, &naive_cfg, Some(NAIVE_BUDGET));
-            naive += n.stats.examined;
-            truncated |= n.stats.truncated;
-        }
-        println!(
-            "{:>9} {:>16} {:>15}{} {:>9.2}",
-            max_nodes,
-            guided,
-            naive,
-            if truncated { "+" } else { " " },
-            naive as f64 / guided.max(1) as f64
-        );
-    }
     println!("\n(ratio > 1: candidates the guide function refused to examine;");
     println!(" '+' marks an exponential search stopped at its budget)");
 
@@ -107,5 +79,8 @@ fn main() {
                 if g == n { "identical" } else { "DIFFER" }
             );
         }
+    }
+    if let Some(t) = trace {
+        t.finish();
     }
 }

@@ -14,11 +14,13 @@
 
 #![forbid(unsafe_code)]
 
-use isax::{Customizer, MatchOptions};
-use isax_bench::{analyze_suite, cross, native, print_series, BUDGETS, HEADLINE_BUDGET};
+use isax::Customizer;
+use isax_bench::figures::{figure7_cross_table, figure7_native_table};
+use isax_bench::{analyze_suite, native, BUDGETS, HEADLINE_BUDGET};
 use isax_workloads::{domain_members, Domain};
 
 fn main() {
+    let trace = isax_trace::init_from_env();
     let arg = std::env::args().nth(1).unwrap_or_default();
     let run_native = arg.is_empty() || arg == "native";
     let run_cross = arg.is_empty() || arg == "cross";
@@ -29,43 +31,31 @@ fn main() {
 
     if run_native {
         for d in Domain::ALL {
-            let rows: Vec<(String, Vec<f64>)> = domain_members(d)
-                .iter()
-                .map(|name| {
-                    let app = &suite[name];
-                    let curve = BUDGETS.iter().map(|&b| native(&cz, app, b)).collect();
-                    (name.to_string(), curve)
-                })
-                .collect();
-            print_series(&format!("Figure 7 (native): {d}"), &rows);
+            print!(
+                "{}",
+                figure7_native_table(
+                    &format!("Figure 7 (native): {d}"),
+                    &cz,
+                    &suite,
+                    &domain_members(d),
+                    &BUDGETS,
+                )
+            );
         }
     }
 
     if run_cross {
         for d in Domain::ALL {
-            let members = domain_members(d);
-            let mut rows = Vec::new();
-            for app_name in &members {
-                for src_name in &members {
-                    if app_name == src_name {
-                        continue;
-                    }
-                    let curve = BUDGETS
-                        .iter()
-                        .map(|&b| {
-                            cross(
-                                &cz,
-                                &suite[src_name],
-                                &suite[app_name],
-                                b,
-                                MatchOptions::exact(),
-                            )
-                        })
-                        .collect();
-                    rows.push((format!("{app_name}-{src_name}"), curve));
-                }
-            }
-            print_series(&format!("Figure 7 (cross): {d}"), &rows);
+            print!(
+                "{}",
+                figure7_cross_table(
+                    &format!("Figure 7 (cross): {d}"),
+                    &cz,
+                    &suite,
+                    &domain_members(d),
+                    &BUDGETS,
+                )
+            );
         }
     }
 
@@ -87,4 +77,7 @@ fn main() {
         peak.1,
         total / suite.len() as f64
     );
+    if let Some(t) = trace {
+        t.finish();
+    }
 }

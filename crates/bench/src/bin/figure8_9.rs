@@ -16,11 +16,13 @@
 
 #![forbid(unsafe_code)]
 
-use isax::{Customizer, MatchMode, MatchOptions};
-use isax_bench::{analyze_suite, cross, HEADLINE_BUDGET};
+use isax::Customizer;
+use isax_bench::figures::figure8_9_table;
+use isax_bench::{analyze_suite, HEADLINE_BUDGET};
 use isax_workloads::{domain_members, Domain};
 
 fn main() {
+    let trace = isax_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted = |d: Domain| {
         args.is_empty()
@@ -44,38 +46,23 @@ fn main() {
             Domain::Encryption | Domain::Network => "Figure 8",
             Domain::Audio | Domain::Image => "Figure 9",
         };
-        println!("\n=== {fig}: {d} @ {HEADLINE_BUDGET} adders ===");
-        println!(
-            "{:<22} {:>7} {:>10} {:>10} {:>10}",
-            "app-on-CFUs", "exact", "+subsumed", "wild", "wild+sub"
+        print!(
+            "{}",
+            figure8_9_table(
+                &format!("{fig}: {d} @ {HEADLINE_BUDGET} adders"),
+                &cz,
+                &suite,
+                &domain_members(d),
+                HEADLINE_BUDGET,
+            )
         );
-        let members = domain_members(d);
-        for app_name in &members {
-            for src_name in &members {
-                let app = &suite[app_name];
-                let src = &suite[src_name];
-                let bar = |m: MatchOptions| cross(&cz, src, app, HEADLINE_BUDGET, m);
-                let exact = bar(MatchOptions::exact());
-                let subsumed = bar(MatchOptions::with_subsumed());
-                let wild = bar(MatchOptions {
-                    mode: MatchMode::Wildcard,
-                    allow_subsumed: false,
-                });
-                let wild_sub = bar(MatchOptions::generalized());
-                println!(
-                    "{:<22} {:>6.2}x {:>9.2}x {:>9.2}x {:>9.2}x",
-                    format!("{app_name}-{src_name}"),
-                    exact,
-                    subsumed,
-                    wild,
-                    wild_sub
-                );
-            }
-        }
     }
     println!(
         "\n(native rows gain little from generalization; cross rows gain a\n\
          lot — the paper's conclusion that wildcards and subsumed subgraphs\n\
          enable effective CFU reuse across a domain.)"
     );
+    if let Some(t) = trace {
+        t.finish();
+    }
 }

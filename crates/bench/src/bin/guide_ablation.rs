@@ -28,6 +28,7 @@ fn weights(c: f64, l: f64, a: f64, i: f64) -> GuideWeights {
 }
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let configs: Vec<(&str, GuideWeights)> = vec![
         ("balanced (paper)", weights(10.0, 10.0, 10.0, 10.0)),
         ("no criticality", weights(0.0, 13.33, 13.33, 13.33)),

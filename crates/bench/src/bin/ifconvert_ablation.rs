@@ -19,6 +19,7 @@ use isax::{Customizer, MatchOptions};
 use isax_compiler::{if_convert_program, IfConvertConfig};
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let cz = Customizer::new();
     let cfg = IfConvertConfig::default();
     println!(

@@ -17,6 +17,7 @@ use isax::{limit_speedup, Customizer};
 use isax_bench::{analyze_suite, native, HEADLINE_BUDGET};
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let cz = Customizer::new();
     eprintln!("analyzing the thirteen benchmarks ...");
     let suite = analyze_suite(&cz);

@@ -19,6 +19,7 @@ use isax::{Customizer, MatchOptions, Mdes};
 use isax_select::{select_greedy, Objective, SelectConfig};
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let plain = Customizer::new();
     let relaxed = Customizer::with_memory_cfus();
     println!(

@@ -20,6 +20,7 @@ use isax::{Customizer, MatchMode, MatchOptions};
 use isax_bench::analyze_suite;
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let cz = Customizer::new();
     eprintln!("analyzing the thirteen benchmarks ...");
     let suite = analyze_suite(&cz);

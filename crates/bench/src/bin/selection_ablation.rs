@@ -18,6 +18,7 @@ use isax_bench::analyze_suite;
 use isax_select::{select_greedy, select_knapsack, Objective, SelectConfig, Selection};
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let cz = Customizer::new();
     eprintln!("analyzing the thirteen benchmarks ...");
     let suite = analyze_suite(&cz);

@@ -24,20 +24,40 @@ struct StageTimes {
     cycles: BTreeMap<&'static str, u64>,
 }
 
-/// Summed canonical-fingerprint memo counters across the suite.
-struct MemoStats {
-    hits: u64,
-    misses: u64,
+/// Summed per-stage pipeline counters across the suite. All values are
+/// deterministic (aggregated at parallel join points in input order) —
+/// unlike the wall-clock stage times, they are safe to diff between
+/// runs and record *why* the timing numbers move.
+#[derive(Default)]
+struct Counters {
+    // analyze
+    candidates_examined: u64,
+    candidates_recorded: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    cfu_candidates: u64,
+    // select
+    cfus_selected: u64,
+    // evaluate (matcher work)
+    vf2_calls: u64,
+    prefilter_skips: u64,
+    matches_found: u64,
+    replacements: u64,
 }
 
-fn run_once(cz: &Customizer) -> (StageTimes, MemoStats) {
+fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
+    let mut counters = Counters::default();
     let t0 = Instant::now();
     let apps = analyze_suite(cz);
     let analyze_s = t0.elapsed().as_secs_f64();
-    let memo = MemoStats {
-        hits: apps.values().map(|a| a.analysis.stats.memo_hits).sum(),
-        misses: apps.values().map(|a| a.analysis.stats.memo_misses).sum(),
-    };
+    for app in apps.values() {
+        let s = &app.analysis.stats;
+        counters.candidates_examined += s.examined;
+        counters.candidates_recorded += s.recorded;
+        counters.memo_hits += s.memo_hits;
+        counters.memo_misses += s.memo_misses;
+        counters.cfu_candidates += app.analysis.cfus.len() as u64;
+    }
 
     let t1 = Instant::now();
     let selected: Vec<(&'static str, &AnalyzedApp, isax_compiler::Mdes)> = apps
@@ -48,12 +68,18 @@ fn run_once(cz: &Customizer) -> (StageTimes, MemoStats) {
         })
         .collect();
     let select_s = t1.elapsed().as_secs_f64();
+    counters.cfus_selected = selected.iter().map(|(_, _, m)| m.cfus.len() as u64).sum();
 
     let t2 = Instant::now();
     let cycles: BTreeMap<&'static str, u64> = selected
         .iter()
         .map(|(name, app, mdes)| {
             let ev = cz.evaluate(&app.workload.program, mdes, MatchOptions::with_subsumed());
+            let m = &ev.compiled.match_stats;
+            counters.vf2_calls += m.vf2_calls;
+            counters.prefilter_skips += m.prefilter_skips;
+            counters.matches_found += m.matches_found;
+            counters.replacements += ev.compiled.applied.len() as u64;
             (*name, ev.custom_cycles)
         })
         .collect();
@@ -66,7 +92,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, MemoStats) {
             evaluate_s,
             cycles,
         },
-        memo,
+        counters,
     )
 }
 
@@ -80,6 +106,7 @@ fn stage_entry(name: &str, serial_s: f64, parallel_s: f64) -> isax_json::Value {
 }
 
 fn main() {
+    let _trace = isax_trace::init_from_env();
     let parallel_threads = thread_count();
     eprintln!("timing the pipeline: 1 thread vs {parallel_threads} threads");
 
@@ -89,10 +116,15 @@ fn main() {
     let _ = analyze_suite(&cz);
 
     set_thread_override(Some(1));
-    let (serial, memo) = run_once(&cz);
+    let (serial, counters) = run_once(&cz);
     set_thread_override(Some(parallel_threads));
-    let (parallel, _) = run_once(&cz);
+    let (parallel, parallel_counters) = run_once(&cz);
     set_thread_override(None);
+
+    assert_eq!(
+        counters.vf2_calls, parallel_counters.vf2_calls,
+        "matcher work diverged between serial and parallel runs"
+    );
 
     assert_eq!(
         serial.cycles, parallel.cycles,
@@ -122,11 +154,62 @@ fn main() {
         (
             "metrics_memo",
             isax_json::object([
-                ("hits", isax_json::Value::from(memo.hits)),
-                ("misses", memo.misses.into()),
+                ("hits", isax_json::Value::from(counters.memo_hits)),
+                ("misses", counters.memo_misses.into()),
                 (
                     "hit_rate",
-                    (memo.hits as f64 / (memo.hits + memo.misses).max(1) as f64).into(),
+                    (counters.memo_hits as f64
+                        / (counters.memo_hits + counters.memo_misses).max(1) as f64)
+                        .into(),
+                ),
+            ]),
+        ),
+        // Deterministic per-stage counter snapshot: records *why* the
+        // stage times move between revisions (more candidates, fewer
+        // VF2 calls, ...), not just that they did.
+        (
+            "counters",
+            isax_json::object([
+                (
+                    "analyze",
+                    isax_json::object([
+                        (
+                            "candidates_examined",
+                            isax_json::Value::from(counters.candidates_examined),
+                        ),
+                        ("candidates_recorded", counters.candidates_recorded.into()),
+                        ("cfu_candidates", counters.cfu_candidates.into()),
+                        ("memo_hits", counters.memo_hits.into()),
+                        ("memo_misses", counters.memo_misses.into()),
+                        (
+                            "memo_hit_rate",
+                            (counters.memo_hits as f64
+                                / (counters.memo_hits + counters.memo_misses).max(1) as f64)
+                                .into(),
+                        ),
+                    ]),
+                ),
+                (
+                    "select",
+                    isax_json::object([(
+                        "cfus_selected",
+                        isax_json::Value::from(counters.cfus_selected),
+                    )]),
+                ),
+                (
+                    "evaluate",
+                    isax_json::object([
+                        ("vf2_calls", isax_json::Value::from(counters.vf2_calls)),
+                        ("prefilter_skips", counters.prefilter_skips.into()),
+                        (
+                            "prefilter_skip_rate",
+                            (counters.prefilter_skips as f64
+                                / (counters.prefilter_skips + counters.vf2_calls).max(1) as f64)
+                                .into(),
+                        ),
+                        ("matches_found", counters.matches_found.into()),
+                        ("replacements", counters.replacements.into()),
+                    ]),
                 ),
             ]),
         ),

@@ -7,8 +7,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod figures;
+
 use isax::{Customizer, MatchOptions};
-use isax_workloads::{all, Workload};
+use isax_workloads::{all, by_name, Workload};
 use std::collections::BTreeMap;
 
 /// The paper's area-budget axis: one through fifteen adders.
@@ -50,6 +52,32 @@ pub fn analyze_suite(cz: &Customizer) -> BTreeMap<&'static str, AnalyzedApp> {
         .collect()
 }
 
+/// Analyzes a named subset of the suite (for tests that cannot afford
+/// all thirteen benchmarks). Unknown names panic.
+pub fn analyze_subset(
+    cz: &Customizer,
+    names: &[&str],
+) -> BTreeMap<&'static str, AnalyzedApp> {
+    let workloads: Vec<Workload> = names
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown workload `{n}`")))
+        .collect();
+    let analyses = isax_graph::par::par_map(&workloads, |w| cz.analyze(&w.program));
+    workloads
+        .into_iter()
+        .zip(analyses)
+        .map(|(w, analysis)| {
+            (
+                w.name,
+                AnalyzedApp {
+                    workload: w,
+                    analysis,
+                },
+            )
+        })
+        .collect()
+}
+
 /// Native speedup of `app` at `budget`.
 pub fn native(cz: &Customizer, app: &AnalyzedApp, budget: f64) -> f64 {
     let (mdes, _) = cz.select(app.workload.name, &app.analysis, budget);
@@ -71,17 +99,5 @@ pub fn cross(
 
 /// Prints a speedup table: one row per series, one column per budget.
 pub fn print_series(title: &str, rows: &[(String, Vec<f64>)]) {
-    println!("\n=== {title} ===");
-    print!("{:<24}", "series \\ budget");
-    for b in BUDGETS {
-        print!(" {:>5}", b as u32);
-    }
-    println!();
-    for (name, values) in rows {
-        print!("{name:<24}");
-        for v in values {
-            print!(" {v:>5.2}");
-        }
-        println!();
-    }
+    print!("{}", figures::render_series(title, &BUDGETS, rows));
 }

@@ -57,7 +57,7 @@ fn candidate_for(dfg: &Dfg, nodes: BitSet) -> Candidate {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
 
     /// Dropping a definition whose value a later instruction consumes
     /// must be rejected as an undefined use (`IC0104`).

@@ -25,12 +25,14 @@ use isax_machine::Memory;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `explore <file> [--check]`
+    /// `explore <file> [--check] [--trace-out PATH]`
     Explore {
         /// IR file.
         file: String,
         /// Run the stage-checkpoint invariant checker.
         check: bool,
+        /// Write a Chrome trace_event JSON file of the run.
+        trace_out: Option<String>,
     },
     /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
@@ -46,6 +48,8 @@ pub enum Command {
         multifunction: bool,
         /// Run the stage-checkpoint invariant checker.
         check: bool,
+        /// Write a Chrome trace_event JSON file of the run.
+        trace_out: Option<String>,
     },
     /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
@@ -61,6 +65,8 @@ pub enum Command {
         emit: Option<String>,
         /// Run the stage-checkpoint invariant checker.
         check: bool,
+        /// Write a Chrome trace_event JSON file of the run.
+        trace_out: Option<String>,
     },
     /// `simulate <file> --entry NAME [--args a,b,c] [--fuel N]`
     Simulate {
@@ -112,9 +118,9 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax> [--check]
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check]
-    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check]
+    isax explore   <file.isax> [--check] [--trace-out trace.json]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json]
+    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax dot       <file.isax> [--function FUNC] [--block N]
@@ -122,6 +128,11 @@ USAGE:
 `--check` (or the ISAX_CHECK=1 environment variable) runs the isax-check
 invariant passes at every pipeline checkpoint and aborts with IC0xxx
 diagnostics on the first violation.
+
+`--trace-out PATH` writes a Chrome trace_event JSON file of the run
+(open in chrome://tracing or https://ui.perfetto.dev). Setting
+ISAX_TRACE=1 instead prints a stage summary to stderr; ISAX_TRACE=PATH
+does both.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -154,6 +165,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         "explore" => Ok(Command::Explore {
             file,
             check: has_flag(rest, "--check"),
+            trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
@@ -177,6 +189,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 out: flag_value(rest, "--out").map(str::to_string),
                 multifunction: has_flag(rest, "--multifunction"),
                 check: has_flag(rest, "--check"),
+                trace_out: flag_value(rest, "--trace-out").map(str::to_string),
             })
         }
         "compile" => {
@@ -190,6 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 wildcard: has_flag(rest, "--wildcard"),
                 emit: flag_value(rest, "--emit").map(str::to_string),
                 check: has_flag(rest, "--check"),
+                trace_out: flag_value(rest, "--trace-out").map(str::to_string),
             })
         }
         "run" | "simulate" => {
@@ -253,16 +267,44 @@ fn load_program(path: &str) -> Result<Program, String> {
     parse_program(&text).map_err(|e| format!("{path}:{e}"))
 }
 
+impl Command {
+    /// The `--trace-out` path, for the commands that accept one.
+    pub fn trace_out(&self) -> Option<&str> {
+        match self {
+            Command::Explore { trace_out, .. }
+            | Command::Customize { trace_out, .. }
+            | Command::Compile { trace_out, .. } => trace_out.as_deref(),
+            _ => None,
+        }
+    }
+}
+
 /// Executes a command, writing human output to `out`.
+///
+/// When the command carries `--trace-out PATH`, the pipeline runs under
+/// an [`isax_trace::Recorder`] and the Chrome trace_event document is
+/// written to PATH afterwards.
 ///
 /// # Errors
 ///
 /// Returns a description of the failure (file, parse, or execution).
 pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let Some(path) = cmd.trace_out() else {
+        return execute_inner(cmd, out);
+    };
+    let rec = isax_trace::Recorder::install();
+    let result = execute_inner(cmd, out);
+    isax_trace::uninstall();
+    std::fs::write(path, rec.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+    writeln!(out, "chrome trace written to {path}").map_err(|e| e.to_string())?;
+    result
+}
+
+fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String> {
     let w =
         |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match cmd {
-        Command::Explore { file, check } => {
+        Command::Explore { file, check, .. } => {
             let p = load_program(file)?;
             let mut cz = Customizer::new();
             cz.check |= *check;
@@ -310,6 +352,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             out: out_path,
             multifunction,
             check,
+            ..
         } => {
             let p = load_program(file)?;
             let mut cz = Customizer::new();
@@ -344,6 +387,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
             wildcard,
             emit,
             check,
+            ..
         } => {
             let p = load_program(file)?;
             let text = std::fs::read_to_string(mdes).map_err(|e| format!("{mdes}: {e}"))?;
@@ -496,7 +540,16 @@ mod tests {
                 out: Some("m.json".into()),
                 multifunction: false,
                 check: false,
+                trace_out: None,
             }
+        );
+        let c = parse_args(&argv("explore k.isax --trace-out t.json")).unwrap();
+        assert_eq!(c.trace_out(), Some("t.json"));
+        let c = parse_args(&argv("compile k.isax --mdes m.json --trace-out t.json")).unwrap();
+        assert_eq!(c.trace_out(), Some("t.json"));
+        assert_eq!(
+            parse_args(&argv("run k.isax --entry f")).unwrap().trace_out(),
+            None
         );
         assert!(matches!(
             parse_args(&argv("explore k.isax --check")).unwrap(),

@@ -11,8 +11,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // ISAX_TRACE=1 prints a stage summary to stderr; ISAX_TRACE=path
+    // additionally writes a Chrome trace there. `--trace-out` (handled
+    // inside `execute`) takes precedence when both are given.
+    let env_trace = isax_trace::init_from_env();
     let mut stdout = std::io::stdout();
-    if let Err(e) = isax_cli::execute(&cmd, &mut stdout) {
+    let result = isax_cli::execute(&cmd, &mut stdout);
+    if let Some(t) = env_trace {
+        t.finish();
+    }
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -6,7 +6,7 @@
 //! with custom instructions, and finally performs the typical tasks of
 //! register allocation and scheduling."
 
-use crate::matching::{find_matches, MatchOptions};
+use crate::matching::{find_matches_with_stats, MatchOptions, MatchStats};
 use crate::mdes::Mdes;
 use crate::prioritize::prioritize;
 use crate::regalloc::allocate_registers;
@@ -42,6 +42,9 @@ pub struct CompiledProgram {
     /// Registers spilled by the allocator (expected empty for the
     /// benchmark kernels; reported for honesty).
     pub spills: usize,
+    /// Matcher work statistics, summed over all functions in input
+    /// order (deterministic; see [`MatchStats`]).
+    pub match_stats: MatchStats,
 }
 
 impl CompiledProgram {
@@ -90,10 +93,16 @@ pub fn compile(
     let mut custom_info: CustomInfo = CustomInfo::new();
     let mut applied = Vec::new();
     let mut sem_base: u16 = 0;
+    let mut match_stats = MatchStats::default();
     for f in &program.functions {
         let dfgs = function_dfgs(f);
-        let matches = find_matches(&dfgs, mdes, hw, &opts.matching);
-        let accepted = prioritize(matches, mdes, &dfgs);
+        let (matches, f_stats) = find_matches_with_stats(&dfgs, mdes, hw, &opts.matching);
+        match_stats.merge(&f_stats);
+        let accepted = {
+            let _s = isax_trace::span("compile.prioritize");
+            prioritize(matches, mdes, &dfgs)
+        };
+        let _s = isax_trace::span("compile.replace");
         let mut cf = apply_matches(f, &dfgs, &accepted, mdes, sem_base);
         sem_base = sem_base.max(
             cf.semantics
@@ -120,6 +129,7 @@ pub fn compile(
     // Schedule + allocate. Functions are independent once replacement
     // has run, so they are processed in parallel and the per-function
     // results folded in input order (identical to the serial loop).
+    let _sched = isax_trace::span("compile.schedule");
     let per_function = isax_graph::par::par_map(&out_program.functions, |f| {
         let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
         let spilled = allocate_registers(f).spilled.len();
@@ -140,6 +150,7 @@ pub fn compile(
         custom_info,
         applied,
         spills,
+        match_stats,
     }
 }
 

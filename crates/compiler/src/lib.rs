@@ -32,7 +32,10 @@ pub mod schedule;
 
 pub use compile::{baseline_cycles, compile, speedup, CompileOptions, CompiledProgram};
 pub use ifconvert::{if_convert_function, if_convert_program, IfConvertConfig, IfConvertStats};
-pub use matching::{find_matches, MatchMode, MatchOptions, PatternMatch};
+pub use matching::{
+    find_matches, find_matches_with_stats, prefilter_admits, MatchMode, MatchOptions, MatchStats,
+    PatternMatch,
+};
 pub use mdes::{CfuSpec, Mdes};
 pub use prioritize::prioritize;
 pub use regalloc::{allocate_registers, RegAlloc, PHYS_REGS};

@@ -93,6 +93,57 @@ pub struct PatternMatch {
 /// blow-ups on highly regular blocks.
 const MATCH_CAP: usize = 512;
 
+/// Matcher work statistics: how often the VF2 engine actually ran versus
+/// how often the compat-key prefilter proved no embedding could exist.
+///
+/// Per-job statistics are summed at the parallel join point in input
+/// order, so the totals are identical run-to-run regardless of thread
+/// count — safe to include in compared artifacts such as
+/// `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// VF2 searches actually performed.
+    pub vf2_calls: u64,
+    /// (pattern, block) pairs skipped by the multiset prefilter.
+    pub prefilter_skips: u64,
+    /// Pairs skipped because the pattern was larger than the block.
+    pub size_skips: u64,
+    /// Legal matches reported (after convexity/port/savings filters).
+    pub matches_found: u64,
+}
+
+impl MatchStats {
+    /// Accumulates another job's statistics.
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.vf2_calls += other.vf2_calls;
+        self.prefilter_skips += other.prefilter_skips;
+        self.size_skips += other.size_skips;
+        self.matches_found += other.matches_found;
+    }
+}
+
+/// The compat-key multiset prefilter, exposed for soundness testing: true
+/// when `pattern`'s key multiset is contained in `target`'s, i.e. when a
+/// VF2 embedding *may* exist. [`find_matches`] skips the VF2 call exactly
+/// when this returns false, so this returning false for any pattern VF2
+/// would have matched is a matcher bug (see
+/// `crates/compiler/tests/proptest_matching.rs`).
+pub fn prefilter_admits(
+    mode: MatchMode,
+    pattern: &DiGraph<DfgLabel>,
+    target: &DiGraph<DfgLabel>,
+) -> bool {
+    let pattern_counts = key_counts(mode, pattern.node_ids().map(|n| &pattern[n]));
+    let target_counts = key_counts(
+        mode,
+        target
+            .node_ids()
+            .map(|n| &target[n])
+            .filter(|l| !l.opcode.is_custom() && !l.opcode.is_store()),
+    );
+    could_embed(&pattern_counts, &target_counts)
+}
+
 /// Coarse label key such that `compatible(mode, p, t)` implies
 /// `compat_key(mode, p) == compat_key(mode, t)`. Used by the multiset
 /// prefilter: a pattern whose key multiset is not contained in the
@@ -194,6 +245,17 @@ pub fn find_matches(
     hw: &HwLibrary,
     opts: &MatchOptions,
 ) -> Vec<PatternMatch> {
+    find_matches_with_stats(dfgs, mdes, hw, opts).0
+}
+
+/// [`find_matches`] plus the deterministic [`MatchStats`] for the run.
+pub fn find_matches_with_stats(
+    dfgs: &[Dfg],
+    mdes: &Mdes,
+    hw: &HwLibrary,
+    opts: &MatchOptions,
+) -> (Vec<PatternMatch>, MatchStats) {
+    let _span = isax_trace::span("compile.match");
     let targets: Vec<DiGraph<DfgLabel>> = dfgs.iter().map(Dfg::to_digraph).collect();
     // Per-block label-key multisets for the prefilter; nodes that can
     // never be matched (custom instructions, stores) are left out.
@@ -237,6 +299,7 @@ pub fn find_matches(
         let dfg = &dfgs[block];
         let target = &targets[block];
         let mut out = Vec::new();
+        let mut stats = MatchStats::default();
         // One node set may match several patterns (or the same pattern
         // with permuted commutative ports): keep the best description
         // (exact before subsumed, then first found).
@@ -244,11 +307,14 @@ pub fn find_matches(
         for (pattern, via_subsumption, pattern_counts) in &cfu_patterns[ci] {
             let (pattern, via_subsumption) = (*pattern, *via_subsumption);
             if pattern.node_count() > dfg.len() {
+                stats.size_skips += 1;
                 continue;
             }
             if !could_embed(pattern_counts, &target_counts[block]) {
+                stats.prefilter_skips += 1;
                 continue; // no embedding can exist: skip the VF2 call
             }
+            stats.vf2_calls += 1;
             let found = vf2::Matcher::new(pattern, target)
                 .node_compat(|p, t| compatible(opts.mode, p, t))
                 .commutative(|p| p.opcode.is_commutative())
@@ -304,9 +370,21 @@ pub fn find_matches(
                 });
             }
         }
-        out
+        stats.matches_found = out.len() as u64;
+        (out, stats)
     });
-    per_job.into_iter().flatten().collect()
+    // Join point: fold per-job statistics in input order (jobs is already
+    // CFU-major serial order), keeping the totals deterministic.
+    let mut stats = MatchStats::default();
+    let mut matches = Vec::new();
+    for (out, job_stats) in per_job {
+        stats.merge(&job_stats);
+        matches.extend(out);
+    }
+    isax_trace::counter("match.vf2_calls", stats.vf2_calls);
+    isax_trace::counter("match.prefilter_skips", stats.prefilter_skips);
+    isax_trace::counter("match.found", stats.matches_found);
+    (matches, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! Property tests for the VF2 compat-key prefilter: the multiset
+//! prefilter is an *optimization*, so it must be sound — it may only
+//! skip (pattern, target) pairs for which no embedding can exist. A
+//! prefilter that ever rejects a pair full VF2 would match silently
+//! drops legal CFU matches and corrupts every downstream figure.
+//!
+//! Two angles:
+//!
+//! * **constructive** — plant a copy of the pattern inside a larger
+//!   target (optionally mutated to same-class opcodes), so an embedding
+//!   exists by construction, and assert the prefilter admits the pair;
+//! * **differential** — generate pattern and target independently, run
+//!   the real VF2 engine with the matcher's compatibility predicate,
+//!   and assert the prefilter admitted every pair where VF2 succeeded.
+
+use isax_compiler::{prefilter_admits, MatchMode};
+use isax_graph::{vf2, DiGraph};
+use isax_ir::{DfgLabel, Opcode};
+use proptest::prelude::*;
+
+/// Non-custom opcodes a generated node may carry. Includes a load so the
+/// memory-requires-exact-opcode rule is exercised; stores are injected
+/// separately as target-only noise (they can never be matched).
+const POOL: [Opcode; 13] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sar,
+    Opcode::Eq,
+    Opcode::Lt,
+    Opcode::Mov,
+    Opcode::LdW,
+];
+
+/// One generated node: an opcode index into [`POOL`], whether it carries
+/// a hardwired immediate, and how it attaches to an earlier node.
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    op: usize,
+    imm_kind: usize,
+    imm_val: i64,
+    parent: usize,
+    port: usize,
+}
+
+fn specs(max_len: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
+    proptest::collection::vec(
+        (0usize..POOL.len(), 0usize..3, -4i64..4, 0usize..16, 0usize..2).prop_map(
+            |(op, imm_kind, imm_val, parent, port)| NodeSpec {
+                op,
+                imm_kind,
+                imm_val,
+                parent,
+                port,
+            },
+        ),
+        1..max_len,
+    )
+}
+
+fn label_of(s: &NodeSpec) -> DfgLabel {
+    DfgLabel {
+        opcode: POOL[s.op % POOL.len()],
+        imms: if s.imm_kind == 0 {
+            vec![(1u8, s.imm_val)]
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// Builds a connected DAG: node `i > 0` consumes an edge from node
+/// `parent % i`, so every spec list yields a well-formed label graph.
+fn build_graph(specs: &[NodeSpec]) -> DiGraph<DfgLabel> {
+    let mut g = DiGraph::new();
+    let mut ids = Vec::with_capacity(specs.len());
+    for (i, s) in specs.iter().enumerate() {
+        let n = g.add_node(label_of(s));
+        if i > 0 {
+            g.add_edge(ids[s.parent % i], n, s.port as u8);
+        }
+        ids.push(n);
+    }
+    g
+}
+
+/// A different opcode from the same wildcard class when one exists in
+/// the pool (memory ops are left alone: they never generalize).
+fn same_class_variant(op: Opcode, salt: usize) -> Opcode {
+    if op.is_memory() {
+        return op;
+    }
+    let peers: Vec<Opcode> = POOL
+        .iter()
+        .copied()
+        .filter(|o| o.class() == op.class())
+        .collect();
+    peers[salt % peers.len()]
+}
+
+/// Plants `pattern` verbatim at the front of a larger target, then hangs
+/// `extras` off it. `mutate` swaps planted opcodes for same-class peers
+/// and perturbs immediate values (ports preserved), producing a target
+/// that only a *wildcard* match can cover. Extras with `imm_kind == 2`
+/// become stores — target-only noise the prefilter must ignore.
+fn plant(pattern: &[NodeSpec], extras: &[NodeSpec], mutate: bool) -> DiGraph<DfgLabel> {
+    let mut g = DiGraph::new();
+    let mut ids = Vec::new();
+    for (i, s) in pattern.iter().enumerate() {
+        let mut l = label_of(s);
+        if mutate {
+            l.opcode = same_class_variant(l.opcode, s.parent.wrapping_add(i));
+            for imm in &mut l.imms {
+                imm.1 = imm.1.wrapping_add(17); // value generalizes away
+            }
+        }
+        let n = g.add_node(l);
+        if i > 0 {
+            g.add_edge(ids[s.parent % i], n, s.port as u8);
+        }
+        ids.push(n);
+    }
+    for s in extras {
+        let l = if s.imm_kind == 2 {
+            DfgLabel {
+                opcode: Opcode::StW,
+                imms: Vec::new(),
+            }
+        } else {
+            label_of(s)
+        };
+        let n = g.add_node(l);
+        g.add_edge(ids[s.parent % ids.len()], n, s.port as u8);
+        ids.push(n);
+    }
+    g
+}
+
+/// The matcher's node-compatibility predicate (mirrors the private
+/// `compatible` in `matching.rs`): stores and custom ops never match,
+/// memory requires exact opcode equality in every mode.
+fn compatible(mode: MatchMode, p: &DfgLabel, t: &DfgLabel) -> bool {
+    if t.opcode.is_custom() || t.opcode.is_store() {
+        return false;
+    }
+    if p.opcode.is_memory() || t.opcode.is_memory() {
+        return p.opcode == t.opcode;
+    }
+    match mode {
+        MatchMode::Exact => p.matches_exact(t),
+        MatchMode::Wildcard => p.matches_class(t),
+    }
+}
+
+fn vf2_finds(mode: MatchMode, pattern: &DiGraph<DfgLabel>, target: &DiGraph<DfgLabel>) -> bool {
+    vf2::Matcher::new(pattern, target)
+        .node_compat(|p, t| compatible(mode, p, t))
+        .commutative(|p: &DfgLabel| p.opcode.is_commutative())
+        .find_first()
+        .is_some()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_env_cases(256))]
+
+    /// A verbatim planted copy embeds in every mode, so the prefilter
+    /// must admit the pair in every mode (exact keys refine class keys).
+    #[test]
+    fn prefilter_admits_planted_exact_copy(
+        p in specs(6),
+        extras in specs(10),
+    ) {
+        let pattern = build_graph(&p);
+        let target = plant(&p, &extras, false);
+        prop_assert!(
+            prefilter_admits(MatchMode::Exact, &pattern, &target),
+            "exact prefilter rejected a target containing a verbatim copy"
+        );
+        prop_assert!(
+            prefilter_admits(MatchMode::Wildcard, &pattern, &target),
+            "wildcard prefilter rejected a target containing a verbatim copy"
+        );
+    }
+
+    /// A same-class mutated plant is exactly what wildcard matching is
+    /// for: the coarser class-key multiset must still be contained.
+    #[test]
+    fn prefilter_admits_class_mutated_plant_in_wildcard_mode(
+        p in specs(6),
+        extras in specs(10),
+    ) {
+        let pattern = build_graph(&p);
+        let target = plant(&p, &extras, true);
+        prop_assert!(
+            vf2_finds(MatchMode::Wildcard, &pattern, &target),
+            "construction broken: the mutated plant should still class-match"
+        );
+        prop_assert!(
+            prefilter_admits(MatchMode::Wildcard, &pattern, &target),
+            "wildcard prefilter rejected a class-mutated plant VF2 matches"
+        );
+    }
+
+    /// The property verbatim: on *independent* pattern/target pairs, run
+    /// real VF2 — whenever it finds an embedding the prefilter must have
+    /// admitted the pair. (Completeness is not required: the prefilter
+    /// may admit pairs VF2 then fails; that only costs time.)
+    #[test]
+    fn prefilter_never_rejects_a_pair_vf2_matches(
+        p in specs(5),
+        t in specs(12),
+        mode_pick in 0usize..2,
+    ) {
+        let mode = if mode_pick == 0 { MatchMode::Exact } else { MatchMode::Wildcard };
+        let pattern = build_graph(&p);
+        let target = build_graph(&t);
+        if vf2_finds(mode, &pattern, &target) {
+            prop_assert!(
+                prefilter_admits(mode, &pattern, &target),
+                "prefilter ({mode:?}) rejected a pair with a real VF2 embedding"
+            );
+        }
+    }
+}

@@ -160,7 +160,7 @@ fn recorded_regression_identical_adds() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_env_cases(192))]
 
     /// Schedules respect dependences (data with latency, memory order with
     /// latency, anti same-cycle) and never oversubscribe an issue slot.

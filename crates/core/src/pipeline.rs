@@ -129,14 +129,39 @@ impl Customizer {
     /// assert!(!analysis.cfus.is_empty());
     /// ```
     pub fn analyze(&self, program: &Program) -> Analysis {
+        let _stage = isax_trace::span("pipeline.analyze");
         let mut dfgs = Vec::new();
-        for f in &program.functions {
-            dfgs.extend(function_dfgs(f));
+        {
+            let _s = isax_trace::span("analyze.dfgs");
+            for f in &program.functions {
+                dfgs.extend(function_dfgs(f));
+            }
         }
-        let result = explore_app(&dfgs, &self.hw, &self.explore);
-        let mut cfus = combine(&dfgs, &result.candidates, &self.hw);
-        mark_subsumptions(&mut cfus, self.closure_cap);
-        find_wildcard_partners(&mut cfus);
+        let result = {
+            let _s = isax_trace::span("analyze.explore");
+            explore_app(&dfgs, &self.hw, &self.explore)
+        };
+        // Exploration statistics are merged across DFGs in input order
+        // (see `ExploreStats::merge`), so these counters are identical
+        // run-to-run regardless of thread count.
+        isax_trace::counter("explore.examined", result.stats.examined);
+        isax_trace::counter("explore.recorded", result.stats.recorded);
+        isax_trace::counter("explore.directions_pruned", result.stats.directions_pruned);
+        isax_trace::counter("explore.memo_hits", result.stats.memo_hits);
+        isax_trace::counter("explore.memo_misses", result.stats.memo_misses);
+        let mut cfus = {
+            let _s = isax_trace::span("analyze.combine");
+            combine(&dfgs, &result.candidates, &self.hw)
+        };
+        {
+            let _s = isax_trace::span("analyze.subsume");
+            mark_subsumptions(&mut cfus, self.closure_cap);
+        }
+        {
+            let _s = isax_trace::span("analyze.wildcards");
+            find_wildcard_partners(&mut cfus);
+        }
+        isax_trace::counter("analyze.cfu_candidates", cfus.len() as u64);
         let analysis = Analysis {
             dfgs,
             raw_candidates: result.candidates,
@@ -144,6 +169,7 @@ impl Customizer {
             stats: result.stats,
         };
         if self.check {
+            let _s = isax_trace::span("analyze.check");
             let mut report = isax_check::check_program(program);
             report.merge(isax_check::check_dfgs(program, &analysis.dfgs, &self.hw));
             report.merge(isax_check::check_candidates(
@@ -166,8 +192,13 @@ impl Customizer {
     /// Selects CFUs for an area budget (greedy, the paper's default) and
     /// emits the machine description.
     pub fn select(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
-        let sel = select_greedy(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let _stage = isax_trace::span("pipeline.select");
+        let sel = {
+            let _s = isax_trace::span("select.greedy");
+            select_greedy(&analysis.cfus, &SelectConfig::with_budget(budget))
+        };
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
     }
@@ -184,8 +215,13 @@ impl Customizer {
 
     /// Selection via the dynamic-programming ablation variant.
     pub fn select_dp(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
-        let sel = select_knapsack(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let _stage = isax_trace::span("pipeline.select");
+        let sel = {
+            let _s = isax_trace::span("select.knapsack");
+            select_knapsack(&analysis.cfus, &SelectConfig::with_budget(budget))
+        };
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
     }
@@ -199,8 +235,13 @@ impl Customizer {
         analysis: &Analysis,
         budget: f64,
     ) -> (Mdes, Selection) {
-        let sel = select_multifunction(&analysis.cfus, &SelectConfig::with_budget(budget));
+        let _stage = isax_trace::span("pipeline.select");
+        let sel = {
+            let _s = isax_trace::span("select.multifunction");
+            select_multifunction(&analysis.cfus, &SelectConfig::with_budget(budget))
+        };
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
+        isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
         (mdes, sel)
     }
@@ -216,17 +257,26 @@ impl Customizer {
     /// `matching` controls generality: exact, exact+subsumed, or
     /// wildcarded (Figures 8/9 compare these).
     pub fn evaluate(&self, program: &Program, mdes: &Mdes, matching: MatchOptions) -> Evaluation {
-        let base = baseline_cycles(program, &self.hw, &self.model);
-        let compiled = compile(
-            program,
-            mdes,
-            &self.hw,
-            &CompileOptions {
-                matching,
-                model: self.model,
-            },
-        );
+        let _stage = isax_trace::span("pipeline.evaluate");
+        let base = {
+            let _s = isax_trace::span("evaluate.baseline");
+            baseline_cycles(program, &self.hw, &self.model)
+        };
+        let compiled = {
+            let _s = isax_trace::span("evaluate.compile");
+            compile(
+                program,
+                mdes,
+                &self.hw,
+                &CompileOptions {
+                    matching,
+                    model: self.model,
+                },
+            )
+        };
+        isax_trace::counter("compile.replacements", compiled.applied.len() as u64);
         if self.check {
+            let _s = isax_trace::span("evaluate.check");
             let report =
                 isax_check::check_compiled(program, &compiled, mdes, &self.hw, &self.model);
             isax_check::enforce("evaluate", &report);

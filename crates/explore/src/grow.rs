@@ -185,6 +185,7 @@ pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreRes
 /// output is identical to the serial loop for any thread count.
 pub fn explore_app(dfgs: &[Dfg], hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreResult {
     let per_dfg = par::par_map_indexed(dfgs.len(), |i| {
+        let _s = isax_trace::span("explore.dfg");
         let mut r = explore_dfg(&dfgs[i], hw, cfg);
         for c in &mut r.candidates {
             c.dfg = i;

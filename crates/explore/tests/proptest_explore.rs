@@ -30,7 +30,7 @@ fn random_dfg(ops: &[(usize, usize, i64)]) -> Dfg {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
 
     /// The guided search never invents candidates: its recorded set is a
     /// subset of the exhaustive oracle's, and everything it records obeys

@@ -95,11 +95,21 @@ pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    isax_trace::counter("par.fanouts", 1);
+    isax_trace::counter("par.items", n as u64);
+    isax_trace::counter("par.workers_spawned", threads as u64);
+    let f = &f;
+    let next = &next;
     let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                scope.spawn(move || {
                     IN_PAR_WORKER.with(|flag| flag.set(true));
+                    // Tag this worker's trace events with its own track
+                    // so each lane renders separately in the Chrome
+                    // export (track 0 stays the calling thread).
+                    isax_trace::set_track(worker as u32 + 1);
+                    let _span = isax_trace::span("par.worker");
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

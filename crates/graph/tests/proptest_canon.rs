@@ -58,7 +58,7 @@ fn build(spec: &GraphSpec, perm: &[usize]) -> DiGraph<&'static str> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_env_cases(256))]
 
     /// Soundness: isomorphic graphs (same structure, shuffled insertion
     /// order) always share a fingerprint, and VF2 agrees.

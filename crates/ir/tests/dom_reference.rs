@@ -1,0 +1,255 @@
+//! Differential tests for `isax_ir::dom`: the Cooper–Harvey–Kennedy
+//! dominator tree is checked block-by-block against a naive
+//! set-based fixed-point reference on the CFG shapes that historically
+//! break dominator implementations — unreachable code, self-loops,
+//! multi-exit diamonds, and an irreducible loop.
+
+use isax_ir::dom::Dominators;
+use isax_ir::{Function, FunctionBuilder};
+use std::collections::BTreeSet;
+
+/// Successor indices of each block, clamped to the block count the same
+/// way `dom.rs` clamps them.
+fn successors(f: &Function) -> Vec<Vec<usize>> {
+    let n = f.blocks.len();
+    f.blocks
+        .iter()
+        .map(|b| {
+            b.term
+                .successors()
+                .into_iter()
+                .map(|s| s.index())
+                .filter(|&s| s < n)
+                .collect()
+        })
+        .collect()
+}
+
+/// The textbook reference: `dom(entry) = {entry}`;
+/// `dom(b) = {b} ∪ ∩ over preds p of dom(p)`, with every reachable
+/// block initialized to the full reachable set, iterated to a fixed
+/// point. `None` for unreachable blocks.
+fn naive_dominator_sets(f: &Function) -> Vec<Option<BTreeSet<usize>>> {
+    let n = f.blocks.len();
+    let succs = successors(f);
+    let mut preds = vec![Vec::new(); n];
+    for (b, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(b);
+        }
+    }
+    // Reachability by BFS from the entry.
+    let mut reachable = vec![false; n];
+    if n > 0 {
+        reachable[0] = true;
+        let mut queue = vec![0usize];
+        while let Some(b) = queue.pop() {
+            for &s in &succs[b] {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    let all: BTreeSet<usize> = (0..n).filter(|&b| reachable[b]).collect();
+    let mut dom: Vec<Option<BTreeSet<usize>>> = (0..n)
+        .map(|b| reachable[b].then(|| all.clone()))
+        .collect();
+    if n > 0 {
+        dom[0] = Some([0].into());
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reachable[b] {
+                continue;
+            }
+            let mut acc: Option<BTreeSet<usize>> = None;
+            for &p in preds[b].iter().filter(|&&p| reachable[p]) {
+                let dp = dom[p].as_ref().expect("reachable pred has a set");
+                acc = Some(match acc {
+                    None => dp.clone(),
+                    Some(a) => a.intersection(dp).copied().collect(),
+                });
+            }
+            let mut new: BTreeSet<usize> = acc.unwrap_or_default();
+            new.insert(b);
+            if dom[b].as_ref() != Some(&new) {
+                dom[b] = Some(new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Asserts that `Dominators::compute` agrees with the reference on
+/// every (a, b) pair and that each `idom` is the closest strict
+/// dominator (every other strict dominator of `b` dominates it).
+fn assert_matches_reference(f: &Function) {
+    let dt = Dominators::compute(f);
+    let reference = naive_dominator_sets(f);
+    let n = f.blocks.len();
+    for b in 0..n {
+        match &reference[b] {
+            None => {
+                assert!(!dt.is_reachable(b), "b{b} unreachable in the reference");
+                assert_eq!(dt.idom(b), None, "unreachable b{b} has no idom");
+            }
+            Some(doms) => {
+                assert!(dt.is_reachable(b), "b{b} reachable in the reference");
+                for a in 0..n {
+                    assert_eq!(
+                        dt.dominates(a, b),
+                        doms.contains(&a),
+                        "dominates(b{a}, b{b}) disagrees with the reference"
+                    );
+                }
+                let strict: BTreeSet<usize> = doms.iter().copied().filter(|&a| a != b).collect();
+                match dt.idom(b) {
+                    None => assert!(
+                        b == 0 && strict.is_empty(),
+                        "only the entry lacks an idom, b{b} has strict doms {strict:?}"
+                    ),
+                    Some(i) => {
+                        assert!(strict.contains(&i), "idom(b{b}) = b{i} must strictly dominate");
+                        for &a in &strict {
+                            assert!(
+                                reference[i].as_ref().unwrap().contains(&a),
+                                "b{a} strictly dominates b{b} but not its idom b{i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn straight_line_and_simple_diamond() {
+    let mut fb = FunctionBuilder::new("d", 1);
+    let p = fb.param(0);
+    let then_b = fb.new_block(1);
+    let else_b = fb.new_block(1);
+    let join = fb.new_block(1);
+    let c = fb.ne(p, 0i64);
+    fb.branch(c, then_b, else_b);
+    fb.switch_to(then_b);
+    fb.jump(join);
+    fb.switch_to(else_b);
+    fb.jump(join);
+    fb.switch_to(join);
+    fb.ret(&[]);
+    assert_matches_reference(&fb.finish());
+}
+
+#[test]
+fn unreachable_blocks_are_excluded() {
+    // Two dead blocks, one of which jumps into live code — its edge
+    // must not grant it any dominance facts.
+    let mut fb = FunctionBuilder::new("u", 1);
+    let p = fb.param(0);
+    let live = fb.new_block(1);
+    let dead1 = fb.new_block(1);
+    let dead2 = fb.new_block(1);
+    let _ = fb.add(p, 1i64);
+    fb.jump(live);
+    fb.switch_to(live);
+    fb.ret(&[]);
+    fb.switch_to(dead1);
+    fb.jump(live); // dead edge into live code
+    fb.switch_to(dead2);
+    fb.ret(&[]);
+    assert_matches_reference(&fb.finish());
+}
+
+#[test]
+fn self_loop_block() {
+    // entry -> body; body branches to itself or the exit.
+    let mut fb = FunctionBuilder::new("s", 1);
+    let p = fb.param(0);
+    let body = fb.new_block(10);
+    let exit = fb.new_block(1);
+    fb.jump(body);
+    fb.switch_to(body);
+    let c = fb.ne(p, 0i64);
+    fb.branch(c, body, exit);
+    fb.switch_to(exit);
+    fb.ret(&[]);
+    assert_matches_reference(&fb.finish());
+}
+
+#[test]
+fn multi_exit_diamond() {
+    // Both arms can return directly instead of reaching the join, so
+    // neither arm nor the join dominates any exit path.
+    let mut fb = FunctionBuilder::new("m", 2);
+    let p = fb.param(0);
+    let q = fb.param(1);
+    let then_b = fb.new_block(1);
+    let else_b = fb.new_block(1);
+    let then_more = fb.new_block(1);
+    let join = fb.new_block(1);
+    let c = fb.ne(p, 0i64);
+    fb.branch(c, then_b, else_b);
+    fb.switch_to(then_b);
+    let c2 = fb.ne(q, 0i64);
+    fb.branch(c2, then_more, join);
+    fb.switch_to(then_more);
+    fb.ret(&[p.into()]); // early exit on the then arm
+    fb.switch_to(else_b);
+    fb.jump(join);
+    fb.switch_to(join);
+    fb.ret(&[q.into()]);
+    assert_matches_reference(&fb.finish());
+}
+
+#[test]
+fn irreducible_loop_with_two_entries() {
+    // entry branches into the middle of a cycle a <-> b: the classic
+    // irreducible shape, where neither a nor b dominates the other.
+    let mut fb = FunctionBuilder::new("irr", 1);
+    let p = fb.param(0);
+    let a = fb.new_block(5);
+    let b = fb.new_block(5);
+    let exit = fb.new_block(1);
+    let c = fb.ne(p, 0i64);
+    fb.branch(c, a, b);
+    fb.switch_to(a);
+    fb.jump(b);
+    fb.switch_to(b);
+    let c2 = fb.ne(p, 1i64);
+    fb.branch(c2, a, exit);
+    fb.switch_to(exit);
+    fb.ret(&[]);
+    assert_matches_reference(&fb.finish());
+}
+
+#[test]
+fn nested_loops_and_breaks() {
+    // Outer loop containing an inner self-loop plus a break edge
+    // jumping straight to the function exit.
+    let mut fb = FunctionBuilder::new("n", 2);
+    let p = fb.param(0);
+    let q = fb.param(1);
+    let outer = fb.new_block(10);
+    let inner = fb.new_block(100);
+    let latch = fb.new_block(10);
+    let exit = fb.new_block(1);
+    fb.jump(outer);
+    fb.switch_to(outer);
+    let c0 = fb.ne(p, 0i64);
+    fb.branch(c0, inner, exit); // break straight out
+    fb.switch_to(inner);
+    let c1 = fb.ne(q, 0i64);
+    fb.branch(c1, inner, latch); // inner self-loop
+    fb.switch_to(latch);
+    let c2 = fb.ne(q, 1i64);
+    fb.branch(c2, outer, exit); // back edge or exit
+    fb.switch_to(exit);
+    fb.ret(&[]);
+    assert_matches_reference(&fb.finish());
+}

@@ -6,7 +6,7 @@ use isax_ir::{eval, Opcode};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_env_cases(512))]
 
     /// Every opcode flagged commutative really commutes.
     #[test]

@@ -4,7 +4,7 @@ use isax_machine::Memory;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_env_cases(256))]
 
     #[test]
     fn word_roundtrip(addr in any::<u32>(), v in any::<u32>()) {

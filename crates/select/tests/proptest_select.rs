@@ -135,7 +135,7 @@ fn recorded_regression_overlapping_occurrences() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_env_cases(192))]
 
     /// All three selectors respect the budget, never select duplicates,
     /// and report values that an independent recount confirms.

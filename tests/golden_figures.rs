@@ -1,0 +1,96 @@
+//! Golden-file regression tests for the paper-figure renderers.
+//!
+//! Each test renders a small-kernel edition of a paper table through
+//! the exact code path the `isax-bench` binaries use
+//! (`isax_bench::figures`) and byte-compares it against a checked-in
+//! snapshot under `tests/golden/`. Any change to exploration order,
+//! selection tie-breaking, matching, scheduling, or table formatting
+//! shows up as a diff here before it silently rewrites the paper
+//! figures.
+//!
+//! To bless intentional changes, rerun with `ISAX_BLESS=1` and commit
+//! the regenerated snapshots together with the code change.
+
+use isax::Customizer;
+use isax_bench::{analyze_subset, figures};
+use std::path::PathBuf;
+
+/// The small-kernel cast: cheap enough for debug-mode CI while still
+/// covering three domains' worth of distinct DFG shapes.
+const KERNELS: [&str; 3] = ["crc", "rawcaudio", "rawdaudio"];
+const BUDGETS: [f64; 3] = [2.0, 6.0, 10.0];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-for-byte comparison against `tests/golden/<name>`, or a
+/// regeneration pass when `ISAX_BLESS=1`.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("ISAX_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun with ISAX_BLESS=1 to generate the snapshot",
+            path.display()
+        )
+    });
+    assert!(
+        expected == rendered,
+        "{name} drifted from its golden snapshot.\n\
+         If the change is intentional, rerun with ISAX_BLESS=1 and commit \
+         the new snapshot.\n--- golden ---\n{expected}\n--- rendered ---\n{rendered}",
+    );
+}
+
+#[test]
+fn figure3_guided_vs_exponential_is_stable() {
+    let w = isax_workloads::by_name("crc").unwrap();
+    let table = figures::figure3_table(
+        "Figure 3 (golden edition) — candidates examined for crc",
+        &w.program,
+        &[2, 4, 6],
+        Some(50_000),
+    );
+    check_golden("figure3_crc.txt", &table);
+}
+
+#[test]
+fn figure7_and_figure8_9_speedup_tables_are_stable() {
+    let cz = Customizer::new();
+    let suite = analyze_subset(&cz, &KERNELS);
+
+    let native = figures::figure7_native_table(
+        "Figure 7 (golden edition) — native speedups",
+        &cz,
+        &suite,
+        &KERNELS,
+        &BUDGETS,
+    );
+    check_golden("figure7_native.txt", &native);
+
+    let cross = figures::figure7_cross_table(
+        "Figure 7 (golden edition) — cross speedups",
+        &cz,
+        &suite,
+        &KERNELS,
+        &BUDGETS,
+    );
+    check_golden("figure7_cross.txt", &cross);
+
+    let bars = figures::figure8_9_table(
+        "Figures 8/9 (golden edition) — generalization bars",
+        &cz,
+        &suite,
+        &KERNELS,
+        8.0,
+    );
+    check_golden("figure8_9.txt", &bars);
+}

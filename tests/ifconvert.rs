@@ -121,7 +121,7 @@ fn recorded_regression_single_empty_triangle() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
 
     /// Random diamond chains: if-converted programs agree with the
     /// originals on random inputs.

@@ -85,7 +85,7 @@ fn recorded_regression_empty_tail_blocks_round_trip() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
 
     #[test]
     fn random_functions_round_trip(

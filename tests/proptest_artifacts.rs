@@ -1,0 +1,121 @@
+//! Enforces the commit-or-regenerate policy for checked-in
+//! `.proptest-regressions` artifacts.
+//!
+//! The vendored proptest does **not** replay those files (it seeds
+//! deterministically from the test name), so a bare `cc <hash>` line
+//! regression-tests nothing. The policy, stated in each file's header:
+//! every `cc` line must be paired with a deterministic
+//! `recorded_regression_*` unit test in the matching suite that rebuilds
+//! the shrunken input by hand. This test walks the repository, finds
+//! every artifact, and fails when a `cc` line has no companion test or
+//! when an artifact still carries the stale upstream header claiming the
+//! file is "automatically read".
+
+use std::path::{Path, PathBuf};
+
+/// Every checked-in artifact together with the test-suite source whose
+/// `recorded_regression_*` tests cover it.
+fn artifacts(root: &Path) -> Vec<(PathBuf, PathBuf)> {
+    let pairs = [
+        ("tests/parser.proptest-regressions", "tests/parser.rs"),
+        ("tests/ifconvert.proptest-regressions", "tests/ifconvert.rs"),
+        (
+            "crates/compiler/tests/proptest_schedule.proptest-regressions",
+            "crates/compiler/tests/proptest_schedule.rs",
+        ),
+        (
+            "crates/select/tests/proptest_select.proptest-regressions",
+            "crates/select/tests/proptest_select.rs",
+        ),
+    ];
+    pairs
+        .iter()
+        .map(|(a, s)| (root.join(a), root.join(s)))
+        .collect()
+}
+
+/// Walks the repo for artifacts the list above forgot — a new
+/// `.proptest-regressions` file must be added to [`artifacts`] (and get
+/// a companion test) or deleted.
+fn find_all_artifacts(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable repo dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            find_all_artifacts(&path, out);
+        } else if name.ends_with(".proptest-regressions") {
+            out.push(path);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root `isax-repro` package is the repo.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_artifact_is_registered() {
+    let root = repo_root();
+    let mut found = Vec::new();
+    find_all_artifacts(&root, &mut found);
+    let registered: Vec<PathBuf> = artifacts(&root).into_iter().map(|(a, _)| a).collect();
+    for f in &found {
+        assert!(
+            registered.contains(f),
+            "unregistered proptest artifact {}: add it to tests/proptest_artifacts.rs \
+             with a recorded_regression_* companion test, or delete it",
+            f.display()
+        );
+    }
+    assert_eq!(
+        found.len(),
+        registered.len(),
+        "a registered artifact is missing from disk"
+    );
+}
+
+#[test]
+fn every_cc_line_has_a_companion_test_and_a_truthful_header() {
+    for (artifact, suite) in artifacts(&repo_root()) {
+        let text = std::fs::read_to_string(&artifact)
+            .unwrap_or_else(|e| panic!("{}: {e}", artifact.display()));
+        assert!(
+            !text.contains("automatically read"),
+            "{}: stale upstream header — the vendored proptest does not replay \
+             this file; keep the commit-or-regenerate header instead",
+            artifact.display()
+        );
+        assert!(
+            text.contains("recorded_regression_"),
+            "{}: header must state the companion-test policy",
+            artifact.display()
+        );
+        let cc_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("cc "))
+            .collect();
+        assert!(
+            !cc_lines.is_empty(),
+            "{}: artifact with no cc lines should be deleted",
+            artifact.display()
+        );
+        let suite_src = std::fs::read_to_string(&suite)
+            .unwrap_or_else(|e| panic!("{}: {e}", suite.display()));
+        let companion_tests = suite_src.matches("fn recorded_regression_").count();
+        assert!(
+            companion_tests >= cc_lines.len(),
+            "{}: {} cc line(s) but only {} recorded_regression_* test(s) in {} — \
+             each pinned seed needs a deterministic reconstruction",
+            artifact.display(),
+            cc_lines.len(),
+            companion_tests,
+            suite.display()
+        );
+    }
+}

@@ -130,7 +130,7 @@ fn build_program(insts: &[GenInst]) -> Program {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_env_cases(96))]
 
     #[test]
     fn customization_preserves_semantics(

@@ -37,6 +37,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// A config whose case count is scaled by the environment: the
+    /// `ISAX_PROPTEST_CASES` variable overrides `default_cases` when
+    /// set (CI's fast lane exports `ISAX_PROPTEST_CASES=32`), and the
+    /// standard `PROPTEST_CASES` — applied later, in
+    /// [`TestRunner::new`] — still overrides both.
+    pub fn with_env_cases(default_cases: u32) -> Self {
+        let cases = std::env::var("ISAX_PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases);
+        ProptestConfig { cases }
+    }
 }
 
 /// Drives the cases of one property test.
@@ -140,6 +154,16 @@ mod tests {
             loops += 1;
         }
         assert_eq!(loops, 3);
+    }
+
+    #[test]
+    fn env_cases_falls_back_to_the_suite_default() {
+        // The knob itself is exercised end-to-end by CI's fast lane
+        // (ISAX_PROPTEST_CASES=32); here we only check the fallback so
+        // the test stays independent of process-global env mutation.
+        if std::env::var("ISAX_PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_env_cases(77).cases, 77);
+        }
     }
 
     #[test]
