@@ -43,6 +43,10 @@ struct Counters {
     prefilter_skips: u64,
     matches_found: u64,
     replacements: u64,
+    // resource governance: rendered degradation records from every stage,
+    // in pipeline order. Empty on default (ungoverned) runs, so the
+    // emitted JSON is byte-identical to pre-governance output.
+    degradations: Vec<String>,
 }
 
 fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
@@ -57,13 +61,19 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
         counters.memo_hits += s.memo_hits;
         counters.memo_misses += s.memo_misses;
         counters.cfu_candidates += app.analysis.cfus.len() as u64;
+        counters
+            .degradations
+            .extend(app.analysis.degradations.iter().map(|d| d.to_string()));
     }
 
     let t1 = Instant::now();
     let selected: Vec<(&'static str, &AnalyzedApp, isax_compiler::Mdes)> = apps
         .iter()
         .map(|(&name, app)| {
-            let (mdes, _) = cz.select(name, &app.analysis, HEADLINE_BUDGET);
+            let (mdes, sel) = cz.select(name, &app.analysis, HEADLINE_BUDGET);
+            counters
+                .degradations
+                .extend(sel.degradations.iter().map(|d| d.to_string()));
             (name, app, mdes)
         })
         .collect();
@@ -80,6 +90,9 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
             counters.prefilter_skips += m.prefilter_skips;
             counters.matches_found += m.matches_found;
             counters.replacements += ev.compiled.applied.len() as u64;
+            counters
+                .degradations
+                .extend(ev.compiled.degradations.iter().map(|d| d.to_string()));
             (*name, ev.custom_cycles)
         })
         .collect();
@@ -131,10 +144,16 @@ fn main() {
         "parallel pipeline diverged from serial — determinism contract broken"
     );
 
+    assert_eq!(
+        counters.degradations, parallel_counters.degradations,
+        "degradation records diverged between serial and parallel runs — \
+         the guard's deterministic-accounting contract is broken"
+    );
+
     let serial_total = serial.analyze_s + serial.select_s + serial.evaluate_s;
     let parallel_total = parallel.analyze_s + parallel.select_s + parallel.evaluate_s;
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let doc = isax_json::object([
+    let mut doc = isax_json::object([
         ("threads_serial", isax_json::Value::from(1u32)),
         ("threads_parallel", parallel_threads.into()),
         // Physical parallelism of the measuring host: with one CPU the
@@ -224,6 +243,29 @@ fn main() {
             ),
         ),
     ]);
+
+    // The guard section appears only when governance is configured (env)
+    // or actually fired: default runs keep byte-identical JSON output.
+    let guard_active = isax::Guard::from_env().is_active();
+    if guard_active || !counters.degradations.is_empty() {
+        if let isax_json::Value::Object(fields) = &mut doc {
+            fields.push((
+                "guard".into(),
+                isax_json::object([
+                    ("active", isax_json::Value::from(guard_active)),
+                    (
+                        "degradations",
+                        isax_json::array(
+                            counters
+                                .degradations
+                                .iter()
+                                .map(|d| isax_json::Value::from(d.as_str())),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+    }
 
     let out = doc.to_string_pretty();
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");

@@ -18,9 +18,22 @@
 //!   respected (`IC0404`), and every dependence edge's latency is
 //!   honoured (`IC0405`);
 //! * `IC0406` — the recomputed per-block cycle counts equal the ones
-//!   the compiler reported (the numbers behind every speedup claim).
+//!   the compiler reported (the numbers behind every speedup claim);
+//! * `IC0601` — every schedule-stage degradation record names a function
+//!   that exists.
+//!
+//! Degraded-but-sound results stay clean: when the resource guard cut a
+//! function's list scheduling short, the compiler falls back to the
+//! deterministic sequential schedule, and this pass recomputes *that*
+//! schedule for the function a degradation record names — schedule
+//! legality (`IC0404`/`IC0405`) and cycle-count agreement (`IC0406`) are
+//! enforced either way. Governance may make results incomplete, never
+//! unsound.
 
-use isax_compiler::{schedule_block, CompiledProgram, CustomInfo, Mdes, VliwModel};
+use isax_compiler::{
+    schedule_block, sequential_schedule_block, CompiledProgram, CustomInfo, Mdes, VliwModel,
+};
+use isax_guard::Stage;
 use isax_hwlib::HwLibrary;
 use isax_ir::{function_dfgs, FuKind, Function, Opcode, Program};
 
@@ -44,6 +57,20 @@ pub fn check_compiled(
                 "IC0402",
                 Location::Cfu { id: m.cfu },
                 format!("applied match in block {} names a CFU absent from the MDES", m.block),
+            ));
+        }
+    }
+
+    for d in &compiled.degradations {
+        if d.stage == Stage::Schedule && d.item as usize >= compiled.program.functions.len() {
+            report.push(Diagnostic::error(
+                "IC0601",
+                Location::Whole,
+                format!(
+                    "schedule degradation names function {} but the program has {}",
+                    d.item,
+                    compiled.program.functions.len()
+                ),
             ));
         }
     }
@@ -161,9 +188,20 @@ fn check_schedules(
         Some(fi) => fi,
         None => return,
     };
+    // A function that a schedule-stage degradation record names was
+    // emitted with the deterministic sequential fallback; recompute that
+    // instead of the list schedule so IC0406 compares like with like.
+    let degraded = compiled
+        .degradations
+        .iter()
+        .any(|d| d.stage == Stage::Schedule && d.item as usize == fi);
     let dfgs = function_dfgs(f);
     for (bi, dfg) in dfgs.iter().enumerate() {
-        let sched = schedule_block(dfg, &f.blocks[bi].term, hw, &compiled.custom_info, model);
+        let sched = if degraded {
+            sequential_schedule_block(dfg, &f.blocks[bi].term, hw, &compiled.custom_info)
+        } else {
+            schedule_block(dfg, &f.blocks[bi].term, hw, &compiled.custom_info, model)
+        };
         validate_schedule(
             f,
             bi,
@@ -425,6 +463,66 @@ mod tests {
         let (p, mut compiled, mdes, hw, model) = compile_kernel();
         compiled.block_cycles[0][0] += 1;
         let report = check_compiled(&p, &compiled, &mdes, &hw, &model);
+        assert!(report.has_code("IC0406"), "{report}");
+    }
+
+    #[test]
+    fn budget_degraded_schedule_is_accepted() {
+        use isax_compiler::compile_guarded;
+        use isax_guard::Guard;
+        let p = kernel();
+        let hw = HwLibrary::micron_018();
+        let model = VliwModel::default();
+        // A 2-unit schedule budget forces the sequential fallback.
+        let compiled = compile_guarded(
+            &p,
+            &Mdes::baseline(),
+            &hw,
+            &CompileOptions {
+                matching: MatchOptions::exact(),
+                model,
+            },
+            &Guard::unlimited().with_units(2),
+        );
+        assert!(compiled
+            .degradations
+            .iter()
+            .any(|d| d.stage == Stage::Schedule && d.item == 0));
+        let report = check_compiled(&p, &compiled, &Mdes::baseline(), &hw, &model);
+        assert!(report.is_clean(), "sound-but-degraded must pass: {report}");
+    }
+
+    #[test]
+    fn degradation_naming_a_missing_function_is_rejected() {
+        let (p, mut compiled, mdes, hw, model) = compile_kernel();
+        compiled.degradations.push(isax_guard::Degradation::panicked(
+            Stage::Schedule,
+            7,
+            "phantom",
+        ));
+        let report = check_compiled(&p, &compiled, &mdes, &hw, &model);
+        assert!(report.has_code("IC0601"), "{report}");
+    }
+
+    #[test]
+    fn tampered_degraded_cycles_are_still_rejected() {
+        use isax_compiler::compile_guarded;
+        use isax_guard::Guard;
+        let p = kernel();
+        let hw = HwLibrary::micron_018();
+        let model = VliwModel::default();
+        let mut compiled = compile_guarded(
+            &p,
+            &Mdes::baseline(),
+            &hw,
+            &CompileOptions {
+                matching: MatchOptions::exact(),
+                model,
+            },
+            &Guard::unlimited().with_units(2),
+        );
+        compiled.block_cycles[0][0] += 1;
+        let report = check_compiled(&p, &compiled, &Mdes::baseline(), &hw, &model);
         assert!(report.has_code("IC0406"), "{report}");
     }
 

@@ -12,6 +12,7 @@
 //! | `IC03xx` | candidate / CFU legality (§3 constraints) |
 //! | `IC04xx` | post-replacement soundness and schedule legality |
 //! | `IC05xx` | differential semantic execution |
+//! | `IC06xx` | resource-governance (degradation record) consistency |
 
 use isax_ir::{VerifyCode, VerifyError};
 

@@ -33,6 +33,8 @@ pub enum Command {
         check: bool,
         /// Write a Chrome trace_event JSON file of the run.
         trace_out: Option<String>,
+        /// Deterministic work-unit budget per governed (stage, item).
+        work_budget: Option<u64>,
     },
     /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
@@ -50,6 +52,8 @@ pub enum Command {
         check: bool,
         /// Write a Chrome trace_event JSON file of the run.
         trace_out: Option<String>,
+        /// Deterministic work-unit budget per governed (stage, item).
+        work_budget: Option<u64>,
     },
     /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
@@ -67,6 +71,8 @@ pub enum Command {
         check: bool,
         /// Write a Chrome trace_event JSON file of the run.
         trace_out: Option<String>,
+        /// Deterministic work-unit budget per governed (stage, item).
+        work_budget: Option<u64>,
     },
     /// `simulate <file> --entry NAME [--args a,b,c] [--fuel N]`
     Simulate {
@@ -118,9 +124,9 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax> [--check] [--trace-out trace.json]
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json]
-    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json]
+    isax explore   <file.isax> [--check] [--trace-out trace.json] [--work-budget N]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--work-budget N]
+    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json] [--work-budget N]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax dot       <file.isax> [--function FUNC] [--block N]
@@ -133,6 +139,15 @@ diagnostics on the first violation.
 (open in chrome://tracing or https://ui.perfetto.dev). Setting
 ISAX_TRACE=1 instead prints a stage summary to stderr; ISAX_TRACE=PATH
 does both.
+
+`--work-budget N` (or ISAX_BUDGET=N) bounds every governed pipeline stage
+to N deterministic work units per item — candidates examined, VF2 states
+visited, scheduler steps — and degrades gracefully to best-so-far results,
+printing one `degraded:` line per truncation. Note `--budget` is the CFU
+*area* budget in adders; `--work-budget` is compute effort. Related
+environment variables: ISAX_DEADLINE_MS=N adds a wall-clock safety net
+(marks the run non-reproducible when it trips); ISAX_FAULT=stage:kind:nth
+(e.g. `match:panic:0`) injects a fault for testing containment.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -144,6 +159,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+fn work_budget_flag(args: &[String]) -> Result<Option<u64>, UsageError> {
+    match flag_value(args, "--work-budget") {
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| UsageError(format!("bad --work-budget `{v}`"))),
+        None => Ok(None),
+    }
 }
 
 /// Parses a command line (without the program name).
@@ -166,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             file,
             check: has_flag(rest, "--check"),
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
+            work_budget: work_budget_flag(rest)?,
         }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
@@ -190,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 multifunction: has_flag(rest, "--multifunction"),
                 check: has_flag(rest, "--check"),
                 trace_out: flag_value(rest, "--trace-out").map(str::to_string),
+                work_budget: work_budget_flag(rest)?,
             })
         }
         "compile" => {
@@ -204,6 +231,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 emit: flag_value(rest, "--emit").map(str::to_string),
                 check: has_flag(rest, "--check"),
                 trace_out: flag_value(rest, "--trace-out").map(str::to_string),
+                work_budget: work_budget_flag(rest)?,
             })
         }
         "run" | "simulate" => {
@@ -303,12 +331,32 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String
 fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), String> {
     let w =
         |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    // One `degraded:` line per governance event, so truncated results are
+    // never silently presented as complete.
+    fn report_degradations(
+        out: &mut dyn std::io::Write,
+        degradations: &[isax::Degradation],
+    ) -> Result<(), String> {
+        for d in degradations {
+            writeln!(out, "degraded: {d}").map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
     match cmd {
-        Command::Explore { file, check, .. } => {
+        Command::Explore {
+            file,
+            check,
+            work_budget,
+            ..
+        } => {
             let p = load_program(file)?;
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if let Some(u) = work_budget {
+                cz.guard = cz.guard.clone().with_units(*u);
+            }
             let analysis = cz.analyze(&p);
+            report_degradations(out, &analysis.degradations)?;
             w(
                 out,
                 format!(
@@ -352,17 +400,23 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             out: out_path,
             multifunction,
             check,
+            work_budget,
             ..
         } => {
             let p = load_program(file)?;
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if let Some(u) = work_budget {
+                cz.guard = cz.guard.clone().with_units(*u);
+            }
             let analysis = cz.analyze(&p);
+            report_degradations(out, &analysis.degradations)?;
             let (mdes, sel) = if *multifunction {
                 cz.select_multifunction(name, &analysis, *budget)
             } else {
                 cz.select(name, &analysis, *budget)
             };
+            report_degradations(out, &sel.degradations)?;
             let json = mdes.to_json().map_err(|e| e.to_string())?;
             match out_path {
                 Some(path) => {
@@ -387,6 +441,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             wildcard,
             emit,
             check,
+            work_budget,
             ..
         } => {
             let p = load_program(file)?;
@@ -394,6 +449,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let mdes = Mdes::from_json(&text).map_err(|e| format!("{mdes}: {e}"))?;
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if let Some(u) = work_budget {
+                cz.guard = cz.guard.clone().with_units(*u);
+            }
             let matching = MatchOptions {
                 mode: if *wildcard {
                     MatchMode::Wildcard
@@ -403,6 +461,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                 allow_subsumed: *subsumed,
             };
             let ev = cz.evaluate(&p, &mdes, matching);
+            report_degradations(out, &ev.compiled.degradations)?;
             w(
                 out,
                 format!(
@@ -541,8 +600,26 @@ mod tests {
                 multifunction: false,
                 check: false,
                 trace_out: None,
+                work_budget: None,
             }
         );
+        let c = parse_args(&argv("explore k.isax --work-budget 5000")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Explore {
+                work_budget: Some(5000),
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("explore k.isax --work-budget nope")).is_err());
+        let c = parse_args(&argv("compile k.isax --mdes m.json --work-budget 12")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Compile {
+                work_budget: Some(12),
+                ..
+            }
+        ));
         let c = parse_args(&argv("explore k.isax --trace-out t.json")).unwrap();
         assert_eq!(c.trace_out(), Some("t.json"));
         let c = parse_args(&argv("compile k.isax --mdes m.json --trace-out t.json")).unwrap();
@@ -659,6 +736,17 @@ mod tests {
             emitted.contains("cfu"),
             "custom instruction emitted:\n{emitted}"
         );
+
+        // a starved work budget degrades loudly but still succeeds
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("explore {src_s} --work-budget 2"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("degraded: explore"), "{text}");
+        assert!(text.contains("budget-exhausted"), "{text}");
 
         // run the original
         let mut buf = Vec::new();

@@ -6,12 +6,16 @@
 //! with custom instructions, and finally performs the typical tasks of
 //! register allocation and scheduling."
 
-use crate::matching::{find_matches_with_stats, MatchOptions, MatchStats};
+use crate::matching::{find_matches_guarded_with_stats, MatchOptions, MatchStats};
 use crate::mdes::Mdes;
 use crate::prioritize::prioritize;
 use crate::regalloc::allocate_registers;
 use crate::replace::{apply_matches, AppliedMatch};
-use crate::schedule::{function_cycles, CustomInfo, CustomOpInfo, VliwModel};
+use crate::schedule::{
+    function_cycles, function_cycles_metered, sequential_function_cycles, CustomInfo,
+    CustomOpInfo, VliwModel,
+};
+use isax_guard::{Degradation, Guard, Stage};
 use isax_hwlib::HwLibrary;
 use isax_ir::{function_dfgs, Program};
 
@@ -45,6 +49,11 @@ pub struct CompiledProgram {
     /// Matcher work statistics, summed over all functions in input
     /// order (deterministic; see [`MatchStats`]).
     pub match_stats: MatchStats,
+    /// Governance events: every stage that returned a truncated-but-sound
+    /// partial result (budget/deadline exhaustion) or was replaced by a
+    /// fallback after a contained worker panic. Empty whenever the guard
+    /// is inactive — the default — and for unconstrained runs.
+    pub degradations: Vec<Degradation>,
 }
 
 impl CompiledProgram {
@@ -89,15 +98,44 @@ pub fn compile(
     hw: &HwLibrary,
     opts: &CompileOptions,
 ) -> CompiledProgram {
+    compile_guarded(program, mdes, hw, opts, &Guard::unlimited())
+}
+
+/// [`compile`] under a resource [`Guard`].
+///
+/// With an inactive guard (no budget, no deadline, no fault plan) this is
+/// byte-for-byte the unguarded compiler — the guarded code paths are not
+/// even entered. With an active guard, matching and scheduling run under
+/// per-item work meters and worker panics are contained:
+///
+/// * **match** exhaustion truncates a job's embedding enumeration; the
+///   matches found so far are kept (fewer replacements, never wrong ones);
+/// * **schedule** exhaustion or a panic falls back to the deterministic
+///   [`sequential_function_cycles`] schedule for the whole function;
+///
+/// each event is recorded in [`CompiledProgram::degradations`].
+pub fn compile_guarded(
+    program: &Program,
+    mdes: &Mdes,
+    hw: &HwLibrary,
+    opts: &CompileOptions,
+    guard: &Guard,
+) -> CompiledProgram {
     let mut out_program = Program::new(Vec::with_capacity(program.functions.len()));
     let mut custom_info: CustomInfo = CustomInfo::new();
     let mut applied = Vec::new();
     let mut sem_base: u16 = 0;
     let mut match_stats = MatchStats::default();
+    let mut degradations: Vec<Degradation> = Vec::new();
     for f in &program.functions {
         let dfgs = function_dfgs(f);
-        let (matches, f_stats) = find_matches_with_stats(&dfgs, mdes, hw, &opts.matching);
+        let (matches, f_stats, f_degr) =
+            find_matches_guarded_with_stats(&dfgs, mdes, hw, &opts.matching, guard);
         match_stats.merge(&f_stats);
+        degradations.extend(f_degr.into_iter().map(|mut d| {
+            d.detail = format!("fn {}: {}", f.name, d.detail);
+            d
+        }));
         let accepted = {
             let _s = isax_trace::span("compile.prioritize");
             prioritize(matches, mdes, &dfgs)
@@ -130,18 +168,67 @@ pub fn compile(
     // has run, so they are processed in parallel and the per-function
     // results folded in input order (identical to the serial loop).
     let _sched = isax_trace::span("compile.schedule");
-    let per_function = isax_graph::par::par_map(&out_program.functions, |f| {
-        let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
-        let spilled = allocate_registers(f).spilled.len();
-        (c, per_block, spilled)
-    });
     let mut cycles = 0u64;
     let mut block_cycles = Vec::new();
     let mut spills = 0usize;
-    for (c, per_block, spilled) in per_function {
-        cycles += c;
-        block_cycles.push(per_block);
-        spills += spilled;
+    if guard.is_active() {
+        // Governed path: per-function meters (item = function index, so
+        // accounting is identical at any thread count) and panic
+        // containment. A function whose meter exhausts — or whose worker
+        // panics — is rescheduled with the sequential fallback on the
+        // joining thread.
+        let per_function =
+            isax_graph::par::par_try_map_indexed(out_program.functions.len(), |fi| {
+                let f = &out_program.functions[fi];
+                let mut meter = guard.meter(Stage::Schedule, fi as u64);
+                let (c, per_block, degraded) =
+                    function_cycles_metered(f, hw, &custom_info, &opts.model, &mut meter);
+                let spilled = allocate_registers(f).spilled.len();
+                let degr = if degraded {
+                    meter.degradation(format!(
+                        "fn {}: list scheduler stopped; whole function rescheduled sequentially",
+                        f.name
+                    ))
+                } else {
+                    None
+                };
+                (c, per_block, spilled, degr)
+            });
+        for (fi, r) in per_function.into_iter().enumerate() {
+            match r {
+                Ok((c, per_block, spilled, degr)) => {
+                    cycles += c;
+                    block_cycles.push(per_block);
+                    spills += spilled;
+                    degradations.extend(degr);
+                }
+                Err(e) => {
+                    let f = &out_program.functions[fi];
+                    let (c, per_block) = sequential_function_cycles(f, hw, &custom_info);
+                    let spilled = allocate_registers(f).spilled.len();
+                    cycles += c;
+                    block_cycles.push(per_block);
+                    spills += spilled;
+                    let detail = format!("fn {}: {}", f.name, e.message);
+                    degradations.push(if e.cancelled {
+                        Degradation::cancelled(Stage::Schedule, fi as u64, detail)
+                    } else {
+                        Degradation::panicked(Stage::Schedule, fi as u64, detail)
+                    });
+                }
+            }
+        }
+    } else {
+        let per_function = isax_graph::par::par_map(&out_program.functions, |f| {
+            let (c, per_block) = function_cycles(f, hw, &custom_info, &opts.model);
+            let spilled = allocate_registers(f).spilled.len();
+            (c, per_block, spilled)
+        });
+        for (c, per_block, spilled) in per_function {
+            cycles += c;
+            block_cycles.push(per_block);
+            spills += spilled;
+        }
     }
     CompiledProgram {
         program: out_program,
@@ -151,6 +238,7 @@ pub fn compile(
         applied,
         spills,
         match_stats,
+        degradations,
     }
 }
 
@@ -181,6 +269,7 @@ pub fn speedup(baseline: u64, custom: u64) -> f64 {
 mod tests {
     use super::*;
     use isax_explore::{explore_app, ExploreConfig};
+    use isax_guard::DegradationKind;
     use isax_ir::{verify_program, FunctionBuilder};
     use isax_select::{combine, select_greedy, SelectConfig};
 
@@ -250,6 +339,86 @@ mod tests {
             );
             last = last.min(out.cycles);
         }
+    }
+
+    #[test]
+    fn inactive_guard_compiles_identically() {
+        let (p, mdes) = app_and_mdes(15.0);
+        let plain = compile(&p, &mdes, &hw(), &CompileOptions::default());
+        let guarded = compile_guarded(
+            &p,
+            &mdes,
+            &hw(),
+            &CompileOptions::default(),
+            &Guard::unlimited(),
+        );
+        assert_eq!(plain, guarded);
+        assert!(plain.degradations.is_empty());
+    }
+
+    #[test]
+    fn schedule_budget_exhaustion_degrades_to_sequential_and_is_recorded() {
+        let (p, mdes) = app_and_mdes(15.0);
+        let out = compile_guarded(
+            &p,
+            &mdes,
+            &hw(),
+            &CompileOptions::default(),
+            &Guard::unlimited().with_units(2),
+        );
+        let sched: Vec<_> = out
+            .degradations
+            .iter()
+            .filter(|d| d.stage == Stage::Schedule)
+            .collect();
+        assert_eq!(sched.len(), 1, "one function, one schedule degradation");
+        assert_eq!(sched[0].item, 0);
+        // The emitted cycle estimate is the deterministic sequential one.
+        let (seq, _) = sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
+        assert_eq!(out.cycles, seq);
+        assert!(verify_program(&out.program).is_ok());
+    }
+
+    #[test]
+    fn injected_schedule_panic_is_contained_with_sequential_fallback() {
+        use isax_guard::{DegradationKind, FaultKind, FaultPlan};
+        let (p, mdes) = app_and_mdes(15.0);
+        let guard = Guard::unlimited().with_fault(FaultPlan {
+            stage: Stage::Schedule,
+            kind: FaultKind::Panic,
+            nth: 0,
+        });
+        let out = compile_guarded(&p, &mdes, &hw(), &CompileOptions::default(), &guard);
+        assert_eq!(out.degradations.len(), 1);
+        let d = &out.degradations[0];
+        assert_eq!(d.stage, Stage::Schedule);
+        assert_eq!(d.kind, DegradationKind::Panicked);
+        assert!(d.detail.contains("injected panic"), "detail: {}", d.detail);
+        let (seq, _) = sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
+        assert_eq!(out.cycles, seq);
+    }
+
+    #[test]
+    fn match_budget_exhaustion_keeps_sound_prefix_of_matches() {
+        let (p, mdes) = app_and_mdes(15.0);
+        let full = compile(&p, &mdes, &hw(), &CompileOptions::default());
+        // 1 VF2 state is never enough to finish any job: every job
+        // degrades, zero matches survive, and the program compiles as if
+        // for the baseline — sound, merely incomplete.
+        let out = compile_guarded(
+            &p,
+            &mdes,
+            &hw(),
+            &CompileOptions::default(),
+            &Guard::unlimited().with_units(1),
+        );
+        assert!(out
+            .degradations
+            .iter()
+            .any(|d| d.stage == Stage::Match && d.kind == DegradationKind::BudgetExhausted));
+        assert!(out.applied.len() <= full.applied.len());
+        assert!(verify_program(&out.program).is_ok());
+        assert!(out.cycles >= full.cycles, "fewer replacements never speed it up");
     }
 
     #[test]

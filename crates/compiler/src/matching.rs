@@ -16,6 +16,7 @@
 
 use crate::mdes::Mdes;
 use isax_graph::{canon, par, vf2, BitSet, DiGraph};
+use isax_guard::{Degradation, Guard, Meter, Stage};
 use isax_hwlib::HwLibrary;
 use isax_ir::{Dfg, DfgLabel};
 use std::collections::HashMap;
@@ -256,70 +257,206 @@ pub fn find_matches_with_stats(
     opts: &MatchOptions,
 ) -> (Vec<PatternMatch>, MatchStats) {
     let _span = isax_trace::span("compile.match");
-    let targets: Vec<DiGraph<DfgLabel>> = dfgs.iter().map(Dfg::to_digraph).collect();
-    // Per-block label-key multisets for the prefilter; nodes that can
-    // never be matched (custom instructions, stores) are left out.
-    let target_counts: Vec<HashMap<u64, usize>> = targets
-        .iter()
-        .map(|t| {
-            key_counts(
-                opts.mode,
-                t.node_ids()
-                    .map(|n| &t[n])
-                    .filter(|l| !l.opcode.is_custom() && !l.opcode.is_store()),
-            )
-        })
-        .collect();
-    // Patterns (own + contraction closure) per CFU, each with its key
-    // multiset.
-    let cfu_patterns: Vec<Vec<PreparedPattern<'_>>> = mdes
-        .cfus
-        .iter()
-        .map(|cfu| {
-            let mut patterns: Vec<(&DiGraph<DfgLabel>, bool)> = vec![(&cfu.pattern, false)];
-            if opts.allow_subsumed {
-                patterns.extend(cfu.subsumed_patterns.iter().map(|p| (p, true)));
+    let ctx = MatchCtx::new(dfgs, mdes, hw, opts);
+    let per_job = par::par_map(&ctx.jobs, |&(ci, block)| ctx.run_job(ci, block, None));
+    // Join point: fold per-job statistics in input order (jobs is already
+    // CFU-major serial order), keeping the totals deterministic.
+    let mut stats = MatchStats::default();
+    let mut matches = Vec::new();
+    for (out, job_stats) in per_job {
+        stats.merge(&job_stats);
+        matches.extend(out);
+    }
+    emit_match_counters(&stats);
+    (matches, stats)
+}
+
+/// [`find_matches_with_stats`] under a [`Guard`]: each (CFU, block) job
+/// gets its own meter (item ordinal = job index in CFU-major order)
+/// charging one unit per VF2 state-space node visited; worker panics are
+/// contained per job. Truncations and contained faults come back as
+/// [`Degradation`] records aggregated in job order.
+///
+/// With an inactive guard this dispatches straight to
+/// [`find_matches_with_stats`] — the historical code path, byte for
+/// byte.
+pub fn find_matches_guarded_with_stats(
+    dfgs: &[Dfg],
+    mdes: &Mdes,
+    hw: &HwLibrary,
+    opts: &MatchOptions,
+    guard: &Guard,
+) -> (Vec<PatternMatch>, MatchStats, Vec<Degradation>) {
+    if !guard.is_active() {
+        let (matches, stats) = find_matches_with_stats(dfgs, mdes, hw, opts);
+        return (matches, stats, Vec::new());
+    }
+    let _span = isax_trace::span("compile.match");
+    let ctx = MatchCtx::new(dfgs, mdes, hw, opts);
+    let per_job = par::par_try_map_indexed(ctx.jobs.len(), |ji| {
+        let (ci, block) = ctx.jobs[ji];
+        let mut meter = guard.meter(Stage::Match, ji as u64);
+        meter.touch();
+        let (out, job_stats) = ctx.run_job(ci, block, Some(&mut meter));
+        let degradation = meter.degradation(format!(
+            "cfu {} in block {}: kept {} matches, then stopped enumerating embeddings",
+            ctx.mdes.cfus[ci].id,
+            block,
+            out.len(),
+        ));
+        (out, job_stats, degradation)
+    });
+    let mut stats = MatchStats::default();
+    let mut matches = Vec::new();
+    let mut degradations = Vec::new();
+    for (ji, item) in per_job.into_iter().enumerate() {
+        match item {
+            Ok((out, job_stats, d)) => {
+                stats.merge(&job_stats);
+                matches.extend(out);
+                degradations.extend(d);
             }
-            patterns
-                .into_iter()
-                .map(|(p, via)| {
-                    let counts = key_counts(opts.mode, p.node_ids().map(|n| &p[n]));
-                    (p, via, counts)
-                })
-                .collect()
-        })
-        .collect();
-    // Every (CFU, block) pair is independent; fan them out and flatten
-    // in CFU-major order, which is exactly the serial nesting order.
-    let jobs: Vec<(usize, usize)> = (0..mdes.cfus.len())
-        .flat_map(|c| (0..dfgs.len()).map(move |b| (c, b)))
-        .collect();
-    let per_job = par::par_map(&jobs, |&(ci, block)| {
-        let cfu = &mdes.cfus[ci];
-        let dfg = &dfgs[block];
-        let target = &targets[block];
+            Err(e) => {
+                degradations.push(if e.cancelled {
+                    Degradation::cancelled(Stage::Match, ji as u64, e.message)
+                } else {
+                    Degradation::panicked(Stage::Match, ji as u64, e.message)
+                });
+            }
+        }
+    }
+    emit_match_counters(&stats);
+    (matches, stats, degradations)
+}
+
+fn emit_match_counters(stats: &MatchStats) {
+    isax_trace::counter("match.vf2_calls", stats.vf2_calls);
+    isax_trace::counter("match.prefilter_skips", stats.prefilter_skips);
+    isax_trace::counter("match.found", stats.matches_found);
+}
+
+/// Shared preparation for one matching run: prebuilt targets, prefilter
+/// multisets, per-CFU pattern lists and the CFU-major job list. Both the
+/// ungoverned and the guarded fan-out run the same job body, so a
+/// governed run with enough budget is byte-identical to an ungoverned
+/// one.
+struct MatchCtx<'a> {
+    dfgs: &'a [Dfg],
+    mdes: &'a Mdes,
+    hw: &'a HwLibrary,
+    opts: &'a MatchOptions,
+    targets: Vec<DiGraph<DfgLabel>>,
+    target_counts: Vec<HashMap<u64, usize>>,
+    cfu_patterns: Vec<Vec<PreparedPattern<'a>>>,
+    /// Every (CFU, block) pair in CFU-major order — exactly the serial
+    /// nesting order, and the deterministic job ordinal space for
+    /// matching meters.
+    jobs: Vec<(usize, usize)>,
+}
+
+impl<'a> MatchCtx<'a> {
+    fn new(dfgs: &'a [Dfg], mdes: &'a Mdes, hw: &'a HwLibrary, opts: &'a MatchOptions) -> Self {
+        let targets: Vec<DiGraph<DfgLabel>> = dfgs.iter().map(Dfg::to_digraph).collect();
+        // Per-block label-key multisets for the prefilter; nodes that can
+        // never be matched (custom instructions, stores) are left out.
+        let target_counts: Vec<HashMap<u64, usize>> = targets
+            .iter()
+            .map(|t| {
+                key_counts(
+                    opts.mode,
+                    t.node_ids()
+                        .map(|n| &t[n])
+                        .filter(|l| !l.opcode.is_custom() && !l.opcode.is_store()),
+                )
+            })
+            .collect();
+        // Patterns (own + contraction closure) per CFU, each with its key
+        // multiset.
+        let cfu_patterns: Vec<Vec<PreparedPattern<'a>>> = mdes
+            .cfus
+            .iter()
+            .map(|cfu| {
+                let mut patterns: Vec<(&DiGraph<DfgLabel>, bool)> = vec![(&cfu.pattern, false)];
+                if opts.allow_subsumed {
+                    patterns.extend(cfu.subsumed_patterns.iter().map(|p| (p, true)));
+                }
+                patterns
+                    .into_iter()
+                    .map(|(p, via)| {
+                        let counts = key_counts(opts.mode, p.node_ids().map(|n| &p[n]));
+                        (p, via, counts)
+                    })
+                    .collect()
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = (0..mdes.cfus.len())
+            .flat_map(|c| (0..dfgs.len()).map(move |b| (c, b)))
+            .collect();
+        MatchCtx {
+            dfgs,
+            mdes,
+            hw,
+            opts,
+            targets,
+            target_counts,
+            cfu_patterns,
+            jobs,
+        }
+    }
+
+    /// One (CFU, block) matching job. With a meter, each VF2 search is
+    /// capped at the meter's remaining units and its visited states are
+    /// charged back, so the matches found are a deterministic prefix of
+    /// the ungoverned enumeration.
+    fn run_job(
+        &self,
+        ci: usize,
+        block: usize,
+        mut meter: Option<&mut Meter>,
+    ) -> (Vec<PatternMatch>, MatchStats) {
+        let cfu = &self.mdes.cfus[ci];
+        let dfg = &self.dfgs[block];
+        let target = &self.targets[block];
         let mut out = Vec::new();
         let mut stats = MatchStats::default();
         // One node set may match several patterns (or the same pattern
         // with permuted commutative ports): keep the best description
         // (exact before subsumed, then first found).
         let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
-        for (pattern, via_subsumption, pattern_counts) in &cfu_patterns[ci] {
+        for (pattern, via_subsumption, pattern_counts) in &self.cfu_patterns[ci] {
             let (pattern, via_subsumption) = (*pattern, *via_subsumption);
             if pattern.node_count() > dfg.len() {
                 stats.size_skips += 1;
                 continue;
             }
-            if !could_embed(pattern_counts, &target_counts[block]) {
+            if !could_embed(pattern_counts, &self.target_counts[block]) {
                 stats.prefilter_skips += 1;
                 continue; // no embedding can exist: skip the VF2 call
             }
+            let state_cap = match meter.as_ref() {
+                Some(m) => {
+                    if m.exhausted() || m.remaining() == 0 {
+                        break; // budget gone: skip the remaining patterns
+                    }
+                    m.remaining()
+                }
+                None => u64::MAX,
+            };
             stats.vf2_calls += 1;
-            let found = vf2::Matcher::new(pattern, target)
-                .node_compat(|p, t| compatible(opts.mode, p, t))
+            let (found, search) = vf2::Matcher::new(pattern, target)
+                .node_compat(|p, t| compatible(self.opts.mode, p, t))
                 .commutative(|p| p.opcode.is_commutative())
                 .max_matches(MATCH_CAP)
-                .find_all();
+                .max_states(state_cap)
+                .find_all_with_stats();
+            if let Some(m) = meter.as_deref_mut() {
+                let _ = m.charge(search.states);
+                if search.truncated {
+                    // The search hit the remaining-budget cap; push the
+                    // meter past its limit so exhaustion is recorded.
+                    let _ = m.charge(1);
+                }
+            }
             for mapping in found {
                 let nodes: BitSet = mapping.iter().map(|n| n.index()).collect();
                 if seen.contains(&nodes) {
@@ -328,8 +465,8 @@ pub fn find_matches_with_stats(
                 if !dfg.is_convex(&nodes) {
                     continue;
                 }
-                if dfg.input_count(&nodes) > mdes.max_inputs as usize
-                    || dfg.output_count(&nodes) > mdes.max_outputs as usize
+                if dfg.input_count(&nodes) > self.mdes.max_inputs as usize
+                    || dfg.output_count(&nodes) > self.mdes.max_outputs as usize
                     || dfg.output_count(&nodes) == 0
                 {
                     continue;
@@ -345,7 +482,7 @@ pub fn find_matches_with_stats(
                         if inst.opcode.is_load() {
                             0
                         } else {
-                            hw.sw_latency_of(inst) as u64
+                            self.hw.sw_latency_of(inst) as u64
                         }
                     })
                     .sum();
@@ -372,19 +509,7 @@ pub fn find_matches_with_stats(
         }
         stats.matches_found = out.len() as u64;
         (out, stats)
-    });
-    // Join point: fold per-job statistics in input order (jobs is already
-    // CFU-major serial order), keeping the totals deterministic.
-    let mut stats = MatchStats::default();
-    let mut matches = Vec::new();
-    for (out, job_stats) in per_job {
-        stats.merge(&job_stats);
-        matches.extend(out);
     }
-    isax_trace::counter("match.vf2_calls", stats.vf2_calls);
-    isax_trace::counter("match.prefilter_skips", stats.prefilter_skips);
-    isax_trace::counter("match.found", stats.matches_found);
-    (matches, stats)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! critical-path (height) priority, honouring data edges (producer
 //! latency), memory ordering edges, and zero-latency anti/output edges.
 
+use isax_guard::Meter;
 use isax_hwlib::HwLibrary;
 use isax_ir::{Dfg, FuKind, Opcode, Terminator};
 use std::collections::BTreeMap;
@@ -133,6 +134,34 @@ pub fn schedule_block(
     custom: &CustomInfo,
     model: &VliwModel,
 ) -> BlockSchedule {
+    schedule_block_impl(dfg, term, hw, custom, model, None)
+        .expect("unmetered scheduling cannot exhaust")
+}
+
+/// [`schedule_block`] under a work-unit [`Meter`]: one unit per cycle the
+/// list scheduler advances plus one per instruction issued. Returns `None`
+/// when the meter refuses a charge — the partial schedule is discarded so
+/// callers fall back to [`sequential_schedule_block`], which is cheap and
+/// deterministic.
+pub fn schedule_block_metered(
+    dfg: &Dfg,
+    term: &Terminator,
+    hw: &HwLibrary,
+    custom: &CustomInfo,
+    model: &VliwModel,
+    meter: &mut Meter,
+) -> Option<BlockSchedule> {
+    schedule_block_impl(dfg, term, hw, custom, model, Some(meter))
+}
+
+fn schedule_block_impl(
+    dfg: &Dfg,
+    term: &Terminator,
+    hw: &HwLibrary,
+    custom: &CustomInfo,
+    model: &VliwModel,
+    mut meter: Option<&mut Meter>,
+) -> Option<BlockSchedule> {
     let n = dfg.len();
     let lat: Vec<u32> = (0..n)
         .map(|v| inst_latency(dfg.inst(v).opcode, hw, custom))
@@ -160,6 +189,12 @@ pub fn schedule_block(
     // cycle (§6 relaxation): nothing may use the Mem slot before this.
     let mut mem_reserved_until = 0u32;
     while scheduled < n {
+        // One work unit per cycle the scheduler considers.
+        if let Some(m) = meter.as_deref_mut() {
+            if !m.charge(1) {
+                return None;
+            }
+        }
         // Capacity per FU kind this cycle.
         let mut free: BTreeMap<FuKind, u32> = BTreeMap::new();
         for fu in [FuKind::Int, FuKind::Float, FuKind::Mem, FuKind::Branch] {
@@ -189,6 +224,12 @@ pub fn schedule_block(
                 }
                 let slots = free.get_mut(&fu).expect("all kinds present");
                 if *slots > 0 {
+                    // One work unit per instruction issued.
+                    if let Some(m) = meter.as_deref_mut() {
+                        if !m.charge(1) {
+                            return None;
+                        }
+                    }
                     *slots -= 1;
                     issue[v] = cycle;
                     max_finish = max_finish.max(cycle + lat[v]);
@@ -216,17 +257,63 @@ pub fn schedule_block(
     // cycle after its condition became available. Jumps and returns ride
     // in the final bundle's branch slot for free.
     let last_issue = issue.iter().copied().max().unwrap_or(0);
-    let term_ready = match term {
+    let term_ready = term_ready_at(dfg, term, &issue, &lat);
+    let cycles = if n == 0 {
+        1
+    } else {
+        max_finish.max(last_issue + 1).max(term_ready + 1)
+    };
+    Some(BlockSchedule { issue, cycles })
+}
+
+/// Cycle by which the terminator's condition (if any) has landed: the last
+/// in-block definition of the branch register, plus its latency.
+fn term_ready_at(dfg: &Dfg, term: &Terminator, issue: &[u32], lat: &[u32]) -> u32 {
+    match term {
         Terminator::Branch { cond, .. } => {
             // Last definition of the condition register in this block.
-            (0..n)
+            (0..dfg.len())
                 .rev()
                 .find(|&v| dfg.inst(v).dsts.contains(cond))
                 .map(|v| issue[v] + lat[v])
                 .unwrap_or(0)
         }
         Terminator::Jump(_) | Terminator::Ret(_) => 0,
-    };
+    }
+}
+
+/// Degradation fallback: a purely sequential schedule that issues one
+/// instruction per cycle in program order, leaving full latency (and cache
+/// port reservation) gaps between consecutive issues.
+///
+/// It is legal by construction — program order respects every data, memory
+/// ordering, and anti edge inside a block, each bundle holds one
+/// instruction, and memory-port windows cannot overlap because the issue
+/// pointer advances by at least `mem_reads` each step. Crucially it needs
+/// no search, so it is computed in O(n) with **zero** work units, and it is
+/// a pure function of the block — `isax-check` recomputes it exactly when
+/// a schedule-stage degradation names the enclosing function.
+pub fn sequential_schedule_block(
+    dfg: &Dfg,
+    term: &Terminator,
+    hw: &HwLibrary,
+    custom: &CustomInfo,
+) -> BlockSchedule {
+    let n = dfg.len();
+    let lat: Vec<u32> = (0..n)
+        .map(|v| inst_latency(dfg.inst(v).opcode, hw, custom))
+        .collect();
+    let mut issue = vec![0u32; n];
+    let mut t = 0u32;
+    let mut max_finish = 0u32;
+    for v in 0..n {
+        issue[v] = t;
+        max_finish = max_finish.max(t + lat[v]);
+        let op = dfg.inst(v).opcode;
+        t += lat[v].max(1).max(mem_reads(op, custom));
+    }
+    let last_issue = issue.last().copied().unwrap_or(0);
+    let term_ready = term_ready_at(dfg, term, &issue, &lat);
     let cycles = if n == 0 {
         1
     } else {
@@ -276,6 +363,59 @@ pub fn function_cycles(
         total += s.cycles as u64 * f.blocks[bi].weight;
     }
     (total, per_block)
+}
+
+/// [`function_cycles`] computed entirely with [`sequential_schedule_block`]:
+/// the deterministic degradation fallback used when the list scheduler's
+/// work budget runs out mid-function.
+pub fn sequential_function_cycles(
+    f: &isax_ir::Function,
+    hw: &HwLibrary,
+    custom: &CustomInfo,
+) -> (u64, Vec<u32>) {
+    let dfgs = isax_ir::function_dfgs(f);
+    let mut total = 0u64;
+    let mut per_block = Vec::with_capacity(dfgs.len());
+    for (bi, dfg) in dfgs.iter().enumerate() {
+        let s = sequential_schedule_block(dfg, &f.blocks[bi].term, hw, custom);
+        per_block.push(s.cycles);
+        total += s.cycles as u64 * f.blocks[bi].weight;
+    }
+    (total, per_block)
+}
+
+/// [`function_cycles`] under a work-unit [`Meter`].
+///
+/// Degradation is at **function granularity**: if any block exhausts the
+/// meter, the whole function is recomputed with
+/// [`sequential_function_cycles`] and the third return value is `true`.
+/// This keeps the degraded output a pure function of the IR (independent
+/// of *where* in the function the budget ran dry mid-schedule), which is
+/// what lets `isax-check` verify it by exact recomputation.
+pub fn function_cycles_metered(
+    f: &isax_ir::Function,
+    hw: &HwLibrary,
+    custom: &CustomInfo,
+    model: &VliwModel,
+    meter: &mut Meter,
+) -> (u64, Vec<u32>, bool) {
+    meter.touch();
+    let dfgs = isax_ir::function_dfgs(f);
+    let mut total = 0u64;
+    let mut per_block = Vec::with_capacity(dfgs.len());
+    for (bi, dfg) in dfgs.iter().enumerate() {
+        match schedule_block_metered(dfg, &f.blocks[bi].term, hw, custom, model, meter) {
+            Some(s) => {
+                per_block.push(s.cycles);
+                total += s.cycles as u64 * f.blocks[bi].weight;
+            }
+            None => {
+                let (t, pb) = sequential_function_cycles(f, hw, custom);
+                return (t, pb, true);
+            }
+        }
+    }
+    (total, per_block, false)
 }
 
 /// The terminator is not represented in the DFG; re-export of the type for
@@ -519,6 +659,108 @@ mod tests {
             total,
             (per_block[0] as u64) + per_block[1] as u64 * 100 + per_block[2] as u64
         );
+    }
+
+    #[test]
+    fn metered_schedule_matches_unmetered_when_budget_suffices() {
+        use isax_guard::{Meter, Stage};
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let x = fb.add(a, b);
+        let y = fb.add(x, b);
+        let z = fb.add(y, b);
+        fb.ret(&[z.into()]);
+        let f = fb.finish();
+        let dfgs = function_dfgs(&f);
+        let plain = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
+        let mut meter = Meter::with_limit(Stage::Schedule, 0, 1_000);
+        let metered = schedule_block_metered(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+            &mut meter,
+        )
+        .expect("budget suffices");
+        assert_eq!(plain, metered);
+        // 3 cycles advanced + 3 instructions issued.
+        assert_eq!(meter.spent(), 6);
+    }
+
+    #[test]
+    fn metered_schedule_exhausts_and_sequential_fallback_is_legal() {
+        use isax_guard::{Meter, Stage};
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (p, b) = (fb.param(0), fb.param(1));
+        let v = fb.ldw(p);
+        let x = fb.add(b, b);
+        let y = fb.add(x, v);
+        fb.ret(&[y.into()]);
+        let f = fb.finish();
+        let dfgs = function_dfgs(&f);
+        let mut meter = Meter::with_limit(Stage::Schedule, 0, 2);
+        assert!(schedule_block_metered(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+            &mut meter,
+        )
+        .is_none());
+        assert!(meter.exhausted());
+        let s = sequential_schedule_block(&dfgs[0], &f.blocks[0].term, &hw(), &none());
+        // One instruction per cycle, in program order, with latency gaps:
+        // every consumer issues at or after its producer's finish time.
+        for v in 0..dfgs[0].len() {
+            for &(u, _) in dfgs[0].data_preds(v) {
+                let lat_u = inst_latency(dfgs[0].inst(u).opcode, &hw(), &none());
+                assert!(s.issue[v] >= s.issue[u] + lat_u);
+            }
+        }
+        let list = schedule_block(
+            &dfgs[0],
+            &f.blocks[0].term,
+            &hw(),
+            &none(),
+            &VliwModel::default(),
+        );
+        assert!(s.cycles >= list.cycles, "fallback never beats the list scheduler");
+    }
+
+    #[test]
+    fn function_cycles_metered_degrades_to_sequential_whole_function() {
+        use isax_guard::{Meter, Stage};
+        let mut fb = FunctionBuilder::new("f", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let exit = fb.new_block(1);
+        let x = fb.add(a, b);
+        let y = fb.add(x, b);
+        fb.jump(exit);
+        fb.switch_to(exit);
+        let z = fb.add(y, b);
+        fb.ret(&[z.into()]);
+        let f = fb.finish();
+        let mut meter = Meter::with_limit(Stage::Schedule, 0, 3);
+        let (total, per_block, degraded) =
+            function_cycles_metered(&f, &hw(), &none(), &VliwModel::default(), &mut meter);
+        assert!(degraded);
+        let (seq_total, seq_pb) = sequential_function_cycles(&f, &hw(), &none());
+        assert_eq!((total, per_block), (seq_total, seq_pb));
+        // Ample budget reproduces the unmetered result exactly.
+        let mut wide = Meter::with_limit(Stage::Schedule, 0, 10_000);
+        let (t2, pb2, d2) =
+            function_cycles_metered(&f, &hw(), &none(), &VliwModel::default(), &mut wide);
+        let (t0, pb0) = function_cycles(&f, &hw(), &none(), &VliwModel::default());
+        assert!(!d2);
+        assert_eq!((t2, pb2), (t0, pb0));
     }
 
     #[test]

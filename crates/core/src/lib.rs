@@ -60,5 +60,6 @@ pub use pipeline::{Analysis, Customizer, Evaluation};
 pub use isax_check::{Diagnostic, Report};
 pub use isax_compiler::{MatchMode, MatchOptions, Mdes, VliwModel};
 pub use isax_explore::ExploreConfig;
+pub use isax_guard::{Budget, Degradation, DegradationKind, FaultKind, FaultPlan, Guard, Stage};
 pub use isax_hwlib::HwLibrary;
 pub use isax_machine::SpeedupReport;

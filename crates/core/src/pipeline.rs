@@ -24,15 +24,18 @@
 //! aborts with structured `IC0xxx` diagnostics on the first violation.
 
 use isax_compiler::{
-    baseline_cycles, compile, CompileOptions, CompiledProgram, MatchOptions, Mdes, VliwModel,
+    baseline_cycles, compile_guarded, CompileOptions, CompiledProgram, MatchOptions, Mdes,
+    VliwModel,
 };
-use isax_explore::{explore_app, Candidate, ExploreConfig, ExploreStats};
+use isax_explore::{explore_app_guarded, Candidate, ExploreConfig, ExploreStats};
+use isax_guard::{Degradation, Guard, Stage};
 use isax_hwlib::HwLibrary;
 use isax_ir::{function_dfgs, Dfg, Program};
 use isax_select::{
-    combine, find_wildcard_partners, mark_subsumptions, select_greedy, select_knapsack,
-    select_multifunction, CfuCandidate, SelectConfig, Selection,
+    combine, find_wildcard_partners, mark_subsumptions, select_greedy, select_greedy_metered,
+    select_knapsack, select_multifunction, CfuCandidate, SelectConfig, Selection,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +52,12 @@ pub struct Customizer {
     /// and abort on violations. Defaults to the `ISAX_CHECK`
     /// environment variable.
     pub check: bool,
+    /// Resource governance: deterministic work-unit budgets, optional
+    /// wall-clock deadline, panic containment and fault injection.
+    /// Defaults from the `ISAX_BUDGET` / `ISAX_DEADLINE_MS` /
+    /// `ISAX_FAULT` environment variables; inactive (zero-cost, legacy
+    /// code paths) when none are set.
+    pub guard: Guard,
 }
 
 impl Default for Customizer {
@@ -69,6 +78,9 @@ pub struct Analysis {
     pub cfus: Vec<CfuCandidate>,
     /// Exploration statistics (Figure 3 material).
     pub stats: ExploreStats,
+    /// Governance events from exploration: per-DFG budget exhaustions
+    /// and contained worker panics. Empty when the guard is inactive.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Result of compiling an application against a CFU set.
@@ -94,6 +106,7 @@ impl Customizer {
             closure_cap: 64,
             model: VliwModel::default(),
             check: isax_check::env_enabled(),
+            guard: Guard::from_env(),
         }
     }
 
@@ -137,10 +150,13 @@ impl Customizer {
                 dfgs.extend(function_dfgs(f));
             }
         }
-        let result = {
+        let (result, degradations) = {
             let _s = isax_trace::span("analyze.explore");
-            explore_app(&dfgs, &self.hw, &self.explore)
+            explore_app_guarded(&dfgs, &self.hw, &self.explore, &self.guard)
         };
+        if self.guard.is_active() {
+            isax_trace::counter("guard.explore_degradations", degradations.len() as u64);
+        }
         // Exploration statistics are merged across DFGs in input order
         // (see `ExploreStats::merge`), so these counters are identical
         // run-to-run regardless of thread count.
@@ -167,6 +183,7 @@ impl Customizer {
             raw_candidates: result.candidates,
             cfus,
             stats: result.stats,
+            degradations,
         };
         if self.check {
             let _s = isax_trace::span("analyze.check");
@@ -191,12 +208,49 @@ impl Customizer {
 
     /// Selects CFUs for an area budget (greedy, the paper's default) and
     /// emits the machine description.
+    ///
+    /// With an active [`Guard`] the greedy scan runs under a work-unit
+    /// meter (one unit per candidate evaluation) and inside a panic trap:
+    /// exhaustion keeps the CFUs chosen so far (a sound prefix of the
+    /// ungoverned order), a contained panic yields an empty selection.
+    /// Both are recorded in [`Selection::degradations`].
     pub fn select(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let _stage = isax_trace::span("pipeline.select");
         let sel = {
             let _s = isax_trace::span("select.greedy");
-            select_greedy(&analysis.cfus, &SelectConfig::with_budget(budget))
+            let cfg = SelectConfig::with_budget(budget);
+            if self.guard.is_active() {
+                let mut meter = self.guard.meter(Stage::Select, 0);
+                let trapped = catch_unwind(AssertUnwindSafe(|| {
+                    select_greedy_metered(&analysis.cfus, &cfg, &mut meter)
+                }));
+                match trapped {
+                    Ok(mut sel) => {
+                        if let Some(d) = meter.degradation(format!(
+                            "kept {} CFUs chosen before the greedy scan stopped",
+                            sel.chosen.len()
+                        )) {
+                            sel.degradations.push(d);
+                        }
+                        sel
+                    }
+                    Err(payload) => {
+                        let mut sel = Selection::default();
+                        sel.degradations.push(Degradation::panicked(
+                            Stage::Select,
+                            0,
+                            isax_guard::panic_message(payload.as_ref()),
+                        ));
+                        sel
+                    }
+                }
+            } else {
+                select_greedy(&analysis.cfus, &cfg)
+            }
         };
+        if self.guard.is_active() {
+            isax_trace::counter("guard.select_degradations", sel.degradations.len() as u64);
+        }
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
         isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
@@ -214,6 +268,9 @@ impl Customizer {
     }
 
     /// Selection via the dynamic-programming ablation variant.
+    ///
+    /// Ablation variants run ungoverned: they are evaluation-only tools,
+    /// not part of the governed default pipeline.
     pub fn select_dp(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let _stage = isax_trace::span("pipeline.select");
         let sel = {
@@ -264,7 +321,7 @@ impl Customizer {
         };
         let compiled = {
             let _s = isax_trace::span("evaluate.compile");
-            compile(
+            compile_guarded(
                 program,
                 mdes,
                 &self.hw,
@@ -272,9 +329,13 @@ impl Customizer {
                     matching,
                     model: self.model,
                 },
+                &self.guard,
             )
         };
         isax_trace::counter("compile.replacements", compiled.applied.len() as u64);
+        if self.guard.is_active() {
+            isax_trace::counter("guard.compile_degradations", compiled.degradations.len() as u64);
+        }
         if self.check {
             let _s = isax_trace::span("evaluate.check");
             let report =
@@ -356,6 +417,45 @@ mod tests {
         let (mdes, _) = cz.select("kern", &analysis, 15.0);
         let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
         assert!(ev.speedup > 1.0);
+    }
+
+    #[test]
+    fn governed_pipeline_with_tight_budget_degrades_but_stays_check_clean() {
+        let p = crypto_kernel();
+        let mut cz = Customizer::new();
+        cz.check = true;
+        cz.guard = Guard::unlimited().with_units(10);
+        let analysis = cz.analyze(&p);
+        assert!(
+            !analysis.degradations.is_empty(),
+            "10 units cannot finish exploration of the kernel"
+        );
+        let (mdes, _sel) = cz.select("kern", &analysis, 15.0);
+        let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
+        assert!(isax_ir::verify_program(&ev.compiled.program).is_ok());
+        assert!(ev.speedup >= 0.99, "partial results never corrupt, {}", ev.speedup);
+    }
+
+    #[test]
+    fn injected_select_panic_is_contained_as_empty_selection() {
+        use isax_guard::{DegradationKind, FaultKind, FaultPlan};
+        let p = crypto_kernel();
+        let mut cz = Customizer::new();
+        cz.guard = Guard::unlimited().with_fault(FaultPlan {
+            stage: Stage::Select,
+            kind: FaultKind::Panic,
+            nth: 0,
+        });
+        let analysis = cz.analyze(&p);
+        assert!(analysis.degradations.is_empty(), "fault targets select only");
+        let (mdes, sel) = cz.select("kern", &analysis, 15.0);
+        assert!(sel.chosen.is_empty());
+        assert_eq!(sel.degradations.len(), 1);
+        assert_eq!(sel.degradations[0].kind, DegradationKind::Panicked);
+        assert!(mdes.cfus.is_empty());
+        // Downstream still produces a valid (baseline-equal) program.
+        let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
+        assert_eq!(ev.baseline_cycles, ev.custom_cycles);
     }
 
     #[test]

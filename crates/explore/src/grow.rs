@@ -12,6 +12,7 @@ use crate::candidate::{extract_pattern, Candidate, ExploreResult};
 use crate::config::ExploreConfig;
 use crate::guide::{score, CandidateMetrics};
 use isax_graph::{canon, par, BitSet, Fingerprint};
+use isax_guard::{Degradation, Guard, Meter, Stage};
 use isax_hwlib::HwLibrary;
 use isax_ir::{Dfg, DfgLabel, SlackInfo};
 use std::collections::{HashMap, HashSet};
@@ -152,6 +153,24 @@ pub(crate) fn growable(m: &FullMetrics, cfg: &ExploreConfig) -> bool {
 /// assert!(r.stats.examined >= 3); // two seeds + at least one grown candidate
 /// ```
 pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreResult {
+    let mut meter = Meter::unlimited(Stage::Explore, 0);
+    explore_dfg_metered(dfg, hw, cfg, &mut meter)
+}
+
+/// [`explore_dfg`] under a work-unit meter: one unit per candidate
+/// examined, charged *before* the examination (so a budget of `B`
+/// examines exactly `B` candidates). On exhaustion the walk stops and
+/// the result — a sound subset of the unbudgeted result — is tagged
+/// `truncated` in its stats. This is the single accounting path shared
+/// by the guided walker, the naive walker's examination budget, and the
+/// pipeline-wide [`Guard`].
+pub fn explore_dfg_metered(
+    dfg: &Dfg,
+    hw: &HwLibrary,
+    cfg: &ExploreConfig,
+    meter: &mut Meter,
+) -> ExploreResult {
+    meter.touch();
     let slack_info = dfg.schedule_info(|i| hw.sw_latency_of(i));
     let mut walker = Walker {
         dfg,
@@ -161,8 +180,12 @@ pub fn explore_dfg(dfg: &Dfg, hw: &HwLibrary, cfg: &ExploreConfig) -> ExploreRes
         seen: HashSet::new(),
         memo: MetricsMemo::default(),
         result: ExploreResult::default(),
+        meter,
     };
     for seed in 0..dfg.len() {
+        if walker.result.stats.truncated {
+            break;
+        }
         if !node_eligible(dfg, seed, hw) {
             continue;
         }
@@ -199,6 +222,58 @@ pub fn explore_app(dfgs: &[Dfg], hw: &HwLibrary, cfg: &ExploreConfig) -> Explore
     out
 }
 
+/// [`explore_app`] under a [`Guard`]: each DFG gets its own meter (item
+/// ordinal = DFG index), worker panics are contained per item, and any
+/// truncation or contained fault comes back as a [`Degradation`] record
+/// aggregated in DFG order.
+///
+/// With an inactive guard this dispatches straight to [`explore_app`] —
+/// the historical code path, byte for byte.
+pub fn explore_app_guarded(
+    dfgs: &[Dfg],
+    hw: &HwLibrary,
+    cfg: &ExploreConfig,
+    guard: &Guard,
+) -> (ExploreResult, Vec<Degradation>) {
+    if !guard.is_active() {
+        return (explore_app(dfgs, hw, cfg), Vec::new());
+    }
+    let per_dfg = par::par_try_map_indexed(dfgs.len(), |i| {
+        let _s = isax_trace::span("explore.dfg");
+        let mut meter = guard.meter(Stage::Explore, i as u64);
+        let mut r = explore_dfg_metered(&dfgs[i], hw, cfg, &mut meter);
+        for c in &mut r.candidates {
+            c.dfg = i;
+        }
+        let degradation = meter.degradation(format!(
+            "kept {} candidates from {} examined in dfg {}",
+            r.candidates.len(),
+            r.stats.examined,
+            i
+        ));
+        (r, degradation)
+    });
+    let mut out = ExploreResult::default();
+    let mut degradations = Vec::new();
+    for (i, item) in per_dfg.into_iter().enumerate() {
+        match item {
+            Ok((r, d)) => {
+                out.merge(r);
+                degradations.extend(d);
+            }
+            Err(e) => {
+                out.stats.truncated = true;
+                degradations.push(if e.cancelled {
+                    Degradation::cancelled(Stage::Explore, i as u64, e.message)
+                } else {
+                    Degradation::panicked(Stage::Explore, i as u64, e.message)
+                });
+            }
+        }
+    }
+    (out, degradations)
+}
+
 struct Walker<'a> {
     dfg: &'a Dfg,
     hw: &'a HwLibrary,
@@ -207,11 +282,21 @@ struct Walker<'a> {
     seen: HashSet<BitSet>,
     memo: MetricsMemo,
     result: ExploreResult,
+    meter: &'a mut Meter,
 }
 
 impl Walker<'_> {
     fn grow(&mut self, nodes: BitSet, m: FullMetrics) {
+        if self.result.stats.truncated {
+            return;
+        }
         if !self.seen.insert(nodes.clone()) {
+            return;
+        }
+        // One work unit per candidate examined, charged before the
+        // examination: a budget of B stops after exactly B candidates.
+        if !self.meter.charge(1) {
+            self.result.stats.truncated = true;
             return;
         }
         self.result.stats.note_examined(nodes.len());
@@ -467,6 +552,63 @@ mod tests {
             r.stats.memo_hits > 0,
             "the grow loop revisits shapes via different paths"
         );
+    }
+
+    #[test]
+    fn metered_explore_stops_after_exactly_budget_candidates() {
+        let dfg = kernel_dfg();
+        let full = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        assert!(!full.stats.truncated);
+        let budget = full.stats.examined / 2;
+        let mut meter = Meter::with_limit(Stage::Explore, 0, budget);
+        let partial = explore_dfg_metered(&dfg, &hw(), &ExploreConfig::default(), &mut meter);
+        assert!(partial.stats.truncated);
+        assert_eq!(partial.stats.examined, budget);
+        assert_eq!(meter.spent(), budget);
+        // The partial candidate set is a subset of the full one.
+        let full_sets: HashSet<_> = full.candidates.iter().map(|c| c.nodes.clone()).collect();
+        for c in &partial.candidates {
+            assert!(full_sets.contains(&c.nodes));
+        }
+    }
+
+    #[test]
+    fn inactive_guard_takes_the_legacy_path_and_reports_nothing() {
+        let dfgs = vec![kernel_dfg(), kernel_dfg()];
+        let plain = explore_app(&dfgs, &hw(), &ExploreConfig::default());
+        let (guarded, degradations) =
+            explore_app_guarded(&dfgs, &hw(), &ExploreConfig::default(), &Guard::unlimited());
+        assert!(degradations.is_empty());
+        assert_eq!(plain.candidates, guarded.candidates);
+        assert_eq!(plain.stats, guarded.stats);
+    }
+
+    #[test]
+    fn active_guard_with_huge_budget_matches_the_legacy_path() {
+        let dfgs = vec![kernel_dfg(), kernel_dfg()];
+        let plain = explore_app(&dfgs, &hw(), &ExploreConfig::default());
+        let guard = Guard::unlimited().with_units(u64::MAX / 2);
+        let (guarded, degradations) =
+            explore_app_guarded(&dfgs, &hw(), &ExploreConfig::default(), &guard);
+        assert!(degradations.is_empty());
+        assert_eq!(plain.candidates, guarded.candidates);
+        assert_eq!(plain.stats, guarded.stats);
+    }
+
+    #[test]
+    fn guarded_explore_reports_per_dfg_budget_degradations_in_order() {
+        let dfgs = vec![kernel_dfg(), kernel_dfg(), kernel_dfg()];
+        let guard = Guard::unlimited().with_units(3);
+        let (r, degradations) = explore_app_guarded(&dfgs, &hw(), &ExploreConfig::default(), &guard);
+        assert!(r.stats.truncated);
+        assert_eq!(degradations.len(), 3, "every dfg exhausted its meter");
+        for (i, d) in degradations.iter().enumerate() {
+            assert_eq!(d.stage, Stage::Explore);
+            assert_eq!(d.item, i as u64);
+            assert_eq!(d.units_spent, 3);
+            assert_eq!(d.limit, Some(3));
+        }
+        assert_eq!(r.stats.examined, 9, "3 units per dfg, charged pre-examination");
     }
 
     #[test]

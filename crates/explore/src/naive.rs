@@ -17,12 +17,19 @@ use crate::candidate::{Candidate, ExploreResult};
 use crate::config::ExploreConfig;
 use crate::grow::{growable, metrics_of, node_eligible, recordable, FullMetrics};
 use isax_graph::BitSet;
+use isax_guard::{Meter, Stage};
 use isax_hwlib::HwLibrary;
 use isax_ir::Dfg;
 use std::collections::HashSet;
 
 /// Exhaustively enumerates connected candidate subgraphs, optionally
 /// stopping after `budget` distinct candidates have been examined.
+///
+/// The budget is an [`isax_guard::Meter`] with `budget` units — the same
+/// accounting path the guided walker and the pipeline-wide guard use:
+/// one unit is charged per candidate, *before* it is examined, so a
+/// budget of `B` examines exactly `B` candidates and the `B+1`-th
+/// attempt marks the result truncated.
 ///
 /// # Example
 ///
@@ -49,11 +56,15 @@ pub fn explore_dfg_naive(
     cfg: &ExploreConfig,
     budget: Option<u64>,
 ) -> ExploreResult {
+    let meter = match budget {
+        Some(b) => Meter::with_limit(Stage::Explore, 0, b),
+        None => Meter::unlimited(Stage::Explore, 0),
+    };
     let mut walker = NaiveWalker {
         dfg,
         hw,
         cfg,
-        budget: budget.unwrap_or(u64::MAX),
+        meter,
         seen: HashSet::new(),
         result: ExploreResult::default(),
     };
@@ -76,7 +87,7 @@ struct NaiveWalker<'a> {
     dfg: &'a Dfg,
     hw: &'a HwLibrary,
     cfg: &'a ExploreConfig,
-    budget: u64,
+    meter: Meter,
     seen: HashSet<BitSet>,
     result: ExploreResult,
 }
@@ -89,7 +100,7 @@ impl NaiveWalker<'_> {
         if !self.seen.insert(nodes.clone()) {
             return;
         }
-        if self.result.stats.examined >= self.budget {
+        if !self.meter.charge(1) {
             self.result.stats.truncated = true;
             return;
         }

@@ -27,7 +27,8 @@
 //! matter how deeply parallel stages compose.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Process-wide thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -141,6 +142,158 @@ pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<
         .collect()
 }
 
+/// Why one item of a [`par_try_map_indexed`] fan-out failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParError {
+    /// The input index whose closure failed or was skipped.
+    pub index: usize,
+    /// The panic payload rendered to text, or a cancellation notice.
+    pub message: String,
+    /// True when the item never ran: the queue was cooperatively
+    /// cancelled after a sibling panicked.
+    pub cancelled: bool,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            write!(f, "item {} cancelled: {}", self.index, self.message)
+        } else {
+            write!(f, "item {} panicked: {}", self.index, self.message)
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn cancelled_error(index: usize) -> ParError {
+    ParError {
+        index,
+        message: "fan-out cancelled after an earlier item panicked".to_string(),
+        cancelled: true,
+    }
+}
+
+/// Fallible variant of [`par_map`]: see [`par_try_map_indexed`].
+pub fn par_try_map<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<Result<U, ParError>> {
+    par_try_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Panic-isolating variant of [`par_map_indexed`], used by governed
+/// pipeline stages.
+///
+/// Each worker closure runs under [`catch_unwind`]; a panicking item
+/// becomes a per-item [`ParError`] at the join point instead of
+/// aborting the whole fan-out. The first panic also cooperatively
+/// cancels the remaining queue: workers stop claiming new indices, and
+/// unclaimed items come back as [`ParError`]s with `cancelled` set.
+/// Items already in flight on other workers run to completion, so every
+/// slot of the result is either the item's value, its own panic, or a
+/// cancellation — in input order, like [`par_map_indexed`].
+///
+/// Which items were still queued when the panic landed depends on
+/// scheduling, so cancellations are *not* deterministic across thread
+/// counts (the serial inline path cancels everything after the panicking
+/// index). Callers record them as non-reproducible degradations.
+pub fn par_try_map_indexed<U: Send>(
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<Result<U, ParError>> {
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n <= 1 || IN_PAR_WORKER.with(Cell::get) {
+        let mut out = Vec::with_capacity(n);
+        let mut cancelled = false;
+        for i in 0..n {
+            if cancelled {
+                out.push(Err(cancelled_error(i)));
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(Ok(v)),
+                Err(payload) => {
+                    cancelled = true;
+                    out.push(Err(ParError {
+                        index: i,
+                        message: panic_text(payload.as_ref()),
+                        cancelled: false,
+                    }));
+                }
+            }
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    isax_trace::counter("par.fanouts", 1);
+    isax_trace::counter("par.items", n as u64);
+    isax_trace::counter("par.workers_spawned", threads as u64);
+    let f = &f;
+    let next = &next;
+    let stop = &stop;
+    let buckets: Vec<Vec<(usize, Result<U, ParError>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    IN_PAR_WORKER.with(|flag| flag.set(true));
+                    isax_trace::set_track(worker as u32 + 1);
+                    let _span = isax_trace::span("par.worker");
+                    let mut local = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => local.push((i, Ok(v))),
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                local.push((
+                                    i,
+                                    Err(ParError {
+                                        index: i,
+                                        message: panic_text(payload.as_ref()),
+                                        cancelled: false,
+                                    }),
+                                ));
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker bodies are panic-contained"))
+            .collect()
+    });
+    let mut slots: Vec<Option<Result<U, ParError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| Err(cancelled_error(i))))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +346,70 @@ mod tests {
             .map(|i| (0..6).map(|j| i * 6 + j).collect())
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn try_map_matches_serial_when_nothing_panics() {
+        let items: Vec<usize> = (0..200).collect();
+        let out = par_try_map(&items, |&x| x * 3);
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..200).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_contains_a_panic_as_a_per_item_error() {
+        set_thread_override(Some(4));
+        let out = par_try_map_indexed(64, |i| {
+            if i == 13 {
+                panic!("boom at 13");
+            }
+            i
+        });
+        set_thread_override(None);
+        assert_eq!(out.len(), 64);
+        let err = out[13].as_ref().unwrap_err();
+        assert_eq!(err.index, 13);
+        assert!(!err.cancelled);
+        assert!(err.message.contains("boom at 13"));
+        // Everything the workers completed is correct; everything else
+        // is a cancellation, never a wrong value.
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(*v, i),
+                Err(e) => assert!(e.index == i && (e.cancelled || i == 13)),
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_serial_path_cancels_everything_after_the_panic() {
+        set_thread_override(Some(1));
+        let out = par_try_map_indexed(6, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+        set_thread_override(None);
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(1));
+        let err = out[2].as_ref().unwrap_err();
+        assert!(!err.cancelled && err.message.contains("boom"));
+        for (i, r) in out.iter().enumerate().skip(3) {
+            let e = r.as_ref().unwrap_err();
+            assert!(e.cancelled, "item {i} should be cancelled");
+        }
+    }
+
+    #[test]
+    fn try_map_processes_every_item_exactly_once_without_faults() {
+        let calls = AtomicU64::new(0);
+        let out = par_try_map_indexed(300, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 300);
+        assert!(out.iter().all(|r| r.is_ok()));
     }
 
     #[test]

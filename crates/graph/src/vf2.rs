@@ -57,6 +57,21 @@ pub struct Matcher<'a, P, T, C, K> {
     compat: C,
     commutative: K,
     max_matches: usize,
+    max_states: u64,
+}
+
+/// Work accounting for one search: how many state-space nodes the
+/// recursion visited, and whether the [`Matcher::max_states`] cap cut
+/// the enumeration short. The state count is a deterministic function of
+/// the two graphs and the matcher configuration — it is the work unit
+/// the pipeline's resource governor charges for matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// State-space nodes visited (recursive `extend` invocations).
+    pub states: u64,
+    /// True when the search stopped at the state cap; the returned
+    /// embeddings are a sound prefix of the full enumeration.
+    pub truncated: bool,
 }
 
 impl<'a, P, T> Matcher<'a, P, T, fn(&P, &T) -> bool, fn(&P) -> bool> {
@@ -75,6 +90,7 @@ impl<'a, P, T> Matcher<'a, P, T, fn(&P, &T) -> bool, fn(&P) -> bool> {
             compat: always::<P, T>,
             commutative: never::<P>,
             max_matches: usize::MAX,
+            max_states: u64::MAX,
         }
     }
 }
@@ -95,6 +111,7 @@ where
             compat,
             commutative: self.commutative,
             max_matches: self.max_matches,
+            max_states: self.max_states,
         }
     }
 
@@ -110,6 +127,7 @@ where
             compat: self.compat,
             commutative,
             max_matches: self.max_matches,
+            max_states: self.max_states,
         }
     }
 
@@ -119,15 +137,31 @@ where
         self
     }
 
+    /// Caps the number of state-space nodes the search may visit. At the
+    /// cap the search stops and reports `truncated` in its
+    /// [`SearchStats`]; the embeddings found so far are still complete,
+    /// verified matches. This is how the resource governor bounds
+    /// worst-case exponential matching work deterministically.
+    pub fn max_states(mut self, cap: u64) -> Self {
+        self.max_states = cap;
+        self
+    }
+
     /// Enumerates embeddings of the pattern in the target, up to the
     /// configured cap.
     ///
     /// Returns an empty vector when the pattern is empty or larger than the
     /// target.
     pub fn find_all(&self) -> Vec<Mapping> {
+        self.find_all_with_stats().0
+    }
+
+    /// Like [`Matcher::find_all`], also reporting the search work done.
+    pub fn find_all_with_stats(&self) -> (Vec<Mapping>, SearchStats) {
+        let mut stats = SearchStats::default();
         let np = self.pattern.node_count();
         if np == 0 || np > self.target.node_count() {
-            return Vec::new();
+            return (Vec::new(), stats);
         }
         let order = self.search_order();
         let mut state = State {
@@ -135,20 +169,20 @@ where
             used: vec![false; self.target.node_count()],
             found: Vec::new(),
         };
-        self.extend(&order, 0, &mut state);
-        state.found
+        self.extend(&order, 0, &mut state, &mut stats);
+        (state.found, stats)
     }
 
     /// Returns the first embedding found, if any.
     pub fn find_first(&self) -> Option<Mapping> {
-        let mut capped = Matcher {
+        let capped = Matcher {
             pattern: self.pattern,
             target: self.target,
             compat: &self.compat,
             commutative: &self.commutative,
             max_matches: 1,
+            max_states: self.max_states,
         };
-        capped.max_matches = 1;
         capped.find_all().into_iter().next()
     }
 
@@ -198,10 +232,19 @@ where
         order
     }
 
-    fn extend(&self, order: &[NodeId], depth: usize, state: &mut State) {
-        if state.found.len() >= self.max_matches {
+    fn extend(&self, order: &[NodeId], depth: usize, state: &mut State, stats: &mut SearchStats) {
+        if stats.truncated || state.found.len() >= self.max_matches {
             return;
         }
+        // Charge-before-visit, mirroring `isax_guard::Meter::charge`: a
+        // cap of B visits exactly B states, and the refused visit is not
+        // counted. Callers can therefore charge `states` back to a meter
+        // without overdrawing it.
+        if stats.states >= self.max_states {
+            stats.truncated = true;
+            return;
+        }
+        stats.states += 1;
         if depth == order.len() {
             let mapping: Mapping = state.p2t.iter().map(|m| m.unwrap()).collect();
             if self.verify(&mapping) {
@@ -220,10 +263,10 @@ where
             }
             state.p2t[p.index()] = Some(t);
             state.used[t.index()] = true;
-            self.extend(order, depth + 1, state);
+            self.extend(order, depth + 1, state, stats);
             state.p2t[p.index()] = None;
             state.used[t.index()] = false;
-            if state.found.len() >= self.max_matches {
+            if stats.truncated || state.found.len() >= self.max_matches {
                 return;
             }
         }
@@ -550,6 +593,57 @@ mod tests {
             .max_matches(4)
             .find_all();
         assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn state_count_is_deterministic_and_capping_truncates_soundly() {
+        let mut pat = DiGraph::new();
+        let x = pat.add_node("shl");
+        let y = pat.add_node("and");
+        pat.add_edge(x, y, 0);
+
+        let mut tgt = DiGraph::new();
+        for _ in 0..8 {
+            let s = tgt.add_node("shl");
+            let a = tgt.add_node("and");
+            tgt.add_edge(s, a, 0);
+        }
+
+        let (full, full_stats) = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .find_all_with_stats();
+        assert_eq!(full.len(), 8);
+        assert!(!full_stats.truncated);
+        assert!(full_stats.states > 0);
+        // Repeat runs visit exactly the same states.
+        let (_, again) = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .find_all_with_stats();
+        assert_eq!(full_stats, again);
+
+        // Cap below the full search: a sound prefix of the enumeration.
+        let (some, capped) = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .max_states(full_stats.states / 2)
+            .find_all_with_stats();
+        assert!(capped.truncated);
+        assert!(capped.states <= full_stats.states / 2 + 1);
+        assert!(!some.is_empty() && some.len() < 8);
+        assert_eq!(&full[..some.len()], &some[..], "prefix of full result");
+    }
+
+    #[test]
+    fn zero_state_cap_finds_nothing_but_terminates() {
+        let mut pat = DiGraph::new();
+        pat.add_node("add");
+        let mut tgt = DiGraph::new();
+        tgt.add_node("add");
+        let (m, stats) = Matcher::new(&pat, &tgt)
+            .node_compat(eq_labels)
+            .max_states(0)
+            .find_all_with_stats();
+        assert!(m.is_empty());
+        assert!(stats.truncated);
     }
 
     #[test]

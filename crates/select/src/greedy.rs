@@ -77,6 +77,10 @@ pub struct Selection {
     pub total_area: f64,
     /// Total estimated cycles saved.
     pub total_value: u64,
+    /// Resource-governance records: non-empty iff the selection was cut
+    /// short by a work budget or a contained fault. The chosen list is
+    /// then a sound prefix of the ungoverned greedy order.
+    pub degradations: Vec<isax_guard::Degradation>,
 }
 
 impl Selection {
@@ -153,15 +157,36 @@ fn charged_cost(idx: usize, cands: &[CfuCandidate], selected: &[usize], cfg: &Se
 /// assert!(sel.total_area <= 4.0);
 /// ```
 pub fn select_greedy(cands: &[CfuCandidate], cfg: &SelectConfig) -> Selection {
+    let mut meter = isax_guard::Meter::unlimited(isax_guard::Stage::Select, 0);
+    select_greedy_metered(cands, cfg, &mut meter)
+}
+
+/// [`select_greedy`] under a work-unit meter: one unit per candidate
+/// evaluation in the greedy scan. On exhaustion the scan stops and the
+/// CFUs already chosen are returned — a prefix of the ungoverned greedy
+/// order, which is always a sound (if smaller) selection. The caller
+/// turns the meter's state into a [`isax_guard::Degradation`] record.
+pub fn select_greedy_metered(
+    cands: &[CfuCandidate],
+    cfg: &SelectConfig,
+    meter: &mut isax_guard::Meter,
+) -> Selection {
+    meter.touch();
     let mut claimed: HashSet<(usize, usize)> = HashSet::new();
     let mut selected_idx: Vec<usize> = Vec::new();
     let mut out = Selection::default();
     let mut remaining = cfg.budget;
-    loop {
+    'rounds: loop {
         let mut best: Option<(usize, u64, f64)> = None; // (idx, value, cost)
         for (i, c) in cands.iter().enumerate() {
             if selected_idx.contains(&i) {
                 continue;
+            }
+            // A candidate evaluation (cost + live value) is one work
+            // unit. Exhaustion mid-scan discards the partial scan: the
+            // chosen list stays a prefix of complete greedy rounds.
+            if !meter.charge(1) {
+                break 'rounds;
             }
             let cost = charged_cost(i, cands, &selected_idx, cfg);
             if cost > remaining {
@@ -254,6 +279,43 @@ mod tests {
             subsumes: vec![],
             wildcard_partners: vec![],
         }
+    }
+
+    #[test]
+    fn metered_selection_is_a_prefix_of_the_ungoverned_order() {
+        let cands: Vec<CfuCandidate> = (0..6)
+            .map(|i| {
+                cand(
+                    &[Opcode::Shl, Opcode::And],
+                    0.5,
+                    vec![(0, vec![10 * i, 10 * i + 1], 50 + i as u64, 2)],
+                )
+            })
+            .collect();
+        let cfg = SelectConfig::with_budget(100.0);
+        let full = select_greedy(&cands, &cfg);
+        assert_eq!(full.chosen.len(), 6);
+        assert!(full.degradations.is_empty());
+        // One full round over 6 candidates costs 6 units; allow two
+        // complete rounds, then exhaust during the third.
+        let mut meter = isax_guard::Meter::with_limit(isax_guard::Stage::Select, 0, 13);
+        let partial = select_greedy_metered(&cands, &cfg, &mut meter);
+        assert!(meter.exhausted());
+        assert_eq!(partial.chosen.len(), 2, "two complete greedy rounds");
+        assert_eq!(
+            &full.chosen[..2],
+            &partial.chosen[..],
+            "prefix of the ungoverned greedy order"
+        );
+    }
+
+    #[test]
+    fn zero_budget_meter_selects_nothing_but_terminates() {
+        let cands = vec![cand(&[Opcode::Shl], 0.5, vec![(0, vec![1], 10, 1)])];
+        let mut meter = isax_guard::Meter::with_limit(isax_guard::Stage::Select, 0, 0);
+        let sel = select_greedy_metered(&cands, &SelectConfig::with_budget(10.0), &mut meter);
+        assert!(sel.chosen.is_empty());
+        assert!(meter.exhausted());
     }
 
     #[test]

@@ -33,6 +33,14 @@
 //!    excluded from every compared artifact (`BENCH_pipeline.json`
 //!    carries counters, never span durations, in its compared fields).
 //!
+//! The `guard.*` counter group (`guard.explore_degradations`,
+//! `guard.select_degradations`, `guard.compile_degradations`) follows
+//! both rules: degradation records from `isax-guard` are counted at the
+//! stage join point, and the counters are only emitted when the resource
+//! guard is active, so default-run traces are unchanged. Work-unit
+//! budgets are deterministic, which keeps these counters diffable across
+//! thread counts like every other counter.
+//!
 //! # Example
 //!
 //! ```

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Regenerates the pathological stress corpus in this directory.
+
+Each kernel is designed so the guided explorer's candidate space --
+connected convex subgraphs within the paper's 5-input/3-output port
+limits -- exceeds 10^6 examined subgraphs on its hot block, while the
+whole file stays small enough to parse instantly. They exist to exercise
+isax-guard: a bounded run must terminate with a degradation report and a
+sound partial result (see tests/stress_guard.rs).
+
+Run from the repo root:  python3 kernels/stress/generate.py
+"""
+
+import os
+
+OUT = os.path.dirname(os.path.abspath(__file__))
+
+
+class Fn:
+    def __init__(self, name, nparams):
+        self.name = name
+        self.next = nparams
+        self.lines = []
+
+    def reg(self):
+        r = f"v{self.next}"
+        self.next += 1
+        return r
+
+    def op(self, mnem, *srcs):
+        d = self.reg()
+        self.lines.append(f"    {mnem} {d}, {', '.join(srcs)}")
+        return d
+
+    def stw(self, addr, val):
+        self.lines.append(f"    stw {addr}, {val}")
+
+    def text(self, weight, params):
+        head = f"func {self.name}({', '.join(params)})\n"
+        head += f"b0:  ; weight {weight}\n"
+        body = "\n".join(self.lines)
+        return head + body + "\n"
+
+
+def deep_chain():
+    """A long chain of rotate diamonds (xor -> shl/shr -> or).
+
+    Any window of the chain is a candidate, and every shl/shr inside a
+    window can be excluded for +1 input -- combinatorially many shapes
+    per window, times ~190 window positions.
+    """
+    f = Fn("deep_chain", 2)
+    acc, k = "v0", "v1"
+    for i in range(190):
+        t = f.op("xor", acc, k)
+        l = f.op("shl", t, "#5")
+        r = f.op("shr", t, "#27")
+        acc = f.op("or", l, r)
+    f.lines.append(f"    ret {acc}")
+    return f.text(100000, ["v0", "v1"])
+
+
+def wide_fanout():
+    """A chain of 4-way fanout stages.
+
+    Every stage fans one value out to four independent single-op branches
+    and reduces them with a two-level or-tree. Each branch (and each
+    reducer) can be excluded from a window for +1 input, so a window of k
+    stages contributes C(6k, <=3) shapes -- far more per window than the
+    plain diamond chain.
+    """
+    f = Fn("wide_fanout", 2)
+    acc, k = "v0", "v1"
+    for i in range(95):
+        t = f.op("xor", acc, k)
+        b1 = f.op("shl", t, "#1")
+        b2 = f.op("shr", t, "#3")
+        b3 = f.op("add", t, "#9")
+        b4 = f.op("xor", t, "#21")
+        c1 = f.op("or", b1, b2)
+        c2 = f.op("or", b3, b4)
+        acc = f.op("or", c1, c2)
+    f.lines.append(f"    ret {acc}")
+    return f.text(100000, ["v0", "v1"])
+
+
+def dense_clique():
+    """An all-commutative diamond chain.
+
+    Topologically like deep_chain (a chain of single-parent,
+    single-child excludable side pairs, which is the shape that makes
+    the candidate space explode under the 5-in/3-out port caps), but
+    every node is a commutative op. Matching its candidates back into
+    the program forces VF2 to consider operand swaps at every level,
+    so this is the permutation-matching stress.
+    """
+    f = Fn("dense_clique", 2)
+    acc, k = "v0", "v1"
+    for i in range(190):
+        t = f.op("add", acc, k)
+        l = f.op("and", t, f"#{(i % 30) + 1}")
+        r = f.op("or", t, f"#{(i % 28) + 2}")
+        acc = f.op("xor", l, r)
+    f.lines.append(f"    ret {acc}")
+    return f.text(100000, ["v0", "v1"])
+
+
+def mem_alu_ladder():
+    """Alternating memory / ALU segments.
+
+    Each segment loads a word, runs a rotate-diamond chain seeded by it,
+    and stores the result. Loads and stores are CFU-ineligible under the
+    baseline library, so each ALU island explores independently -- but
+    all islands live in one block (one DFG, one meter), so their
+    candidate spaces accumulate against a single budget. The ld/st fence
+    around every island also makes this the memory-ordering stress for
+    the scheduler.
+    """
+    f = Fn("mem_alu_ladder", 2)
+    base, acc = "v0", "v1"
+    for seg in range(20):
+        a0 = f.op("add", base, f"#{seg * 64}")
+        a = f.op("ldw", a0)
+        t = f.op("xor", a, acc)
+        for i in range(24):
+            u = f.op("xor", t, acc)
+            l = f.op("shl", u, "#7")
+            r = f.op("shr", u, "#25")
+            t = f.op("or", l, r)
+        acc = t
+        f.stw(a0, acc)
+    f.lines.append(f"    ret {acc}")
+    return f.text(100000, ["v0", "v1"])
+
+
+def main():
+    for name, gen in [
+        ("deep_chain", deep_chain),
+        ("wide_fanout", wide_fanout),
+        ("dense_clique", dense_clique),
+        ("mem_alu_ladder", mem_alu_ladder),
+    ]:
+        path = os.path.join(OUT, f"{name}.isax")
+        with open(path, "w") as fh:
+            fh.write(gen())
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

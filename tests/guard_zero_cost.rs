@@ -1,0 +1,75 @@
+//! Zero-cost-by-default: an inactive guard (the default — no budget, no
+//! deadline, no fault plan) must leave every pipeline artifact
+//! byte-identical to the pre-governance code paths, with no degradation
+//! records. Governed entry points dispatch on `Guard::is_active()`
+//! straight to the historical implementations, and this suite pins that
+//! contract on real benchmark kernels.
+
+use isax::{Customizer, Guard, MatchOptions};
+use isax_workloads::by_name;
+
+/// Artifacts worth diffing between an explicitly-defaulted run and one
+/// carrying an explicit (but inactive) unlimited guard.
+fn run(cz: &Customizer, name: &str) -> (String, String, u64, usize) {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let analysis = cz.analyze(&w.program);
+    assert!(
+        analysis.degradations.is_empty(),
+        "{name}: inactive guard produced analysis degradations"
+    );
+    let (mdes, sel) = cz.select(name, &analysis, 15.0);
+    assert!(
+        sel.degradations.is_empty(),
+        "{name}: inactive guard produced selection degradations"
+    );
+    let ev = cz.evaluate(&w.program, &mdes, MatchOptions::exact());
+    assert!(
+        ev.compiled.degradations.is_empty(),
+        "{name}: inactive guard produced compile degradations"
+    );
+    let assembly = ev
+        .compiled
+        .program
+        .functions
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (
+        mdes.to_json().expect("mdes serializes"),
+        assembly,
+        ev.custom_cycles,
+        analysis.cfus.len(),
+    )
+}
+
+/// `Guard::unlimited()` is indistinguishable from the default
+/// environment-derived guard when no governance env vars are set.
+#[test]
+fn unlimited_guard_is_byte_identical_to_default() {
+    for name in ["crc", "sha"] {
+        let default_cz = Customizer::new();
+        assert!(
+            !default_cz.guard.is_active(),
+            "test environment unexpectedly configures governance \
+             (ISAX_BUDGET / ISAX_DEADLINE_MS / ISAX_FAULT set?)"
+        );
+        let mut explicit_cz = Customizer::new();
+        explicit_cz.guard = Guard::unlimited();
+        assert_eq!(run(&default_cz, name), run(&explicit_cz, name), "{name}");
+    }
+}
+
+/// An *active* guard whose budget is far larger than the actual work
+/// must also change nothing except being observable: same artifacts,
+/// zero degradations. This pins the metered code paths against the
+/// legacy ones.
+#[test]
+fn huge_budget_matches_ungoverned_artifacts() {
+    let name = "crc";
+    let ungoverned = Customizer::new();
+    let mut governed = Customizer::new();
+    governed.guard = Guard::unlimited().with_units(u64::MAX / 2);
+    assert!(governed.guard.is_active());
+    assert_eq!(run(&ungoverned, name), run(&governed, name), "{name}");
+}
