@@ -47,6 +47,9 @@ struct Counters {
     // in pipeline order. Empty on default (ungoverned) runs, so the
     // emitted JSON is byte-identical to pre-governance output.
     degradations: Vec<String>,
+    // decision provenance: per-stage logs merged in suite order. The
+    // merged log is part of the serial-vs-parallel identity contract.
+    prov: isax_prov::ProvLog,
 }
 
 fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
@@ -64,6 +67,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
         counters
             .degradations
             .extend(app.analysis.degradations.iter().map(|d| d.to_string()));
+        counters.prov.merge(app.analysis.prov.clone());
     }
 
     let t1 = Instant::now();
@@ -74,6 +78,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
             counters
                 .degradations
                 .extend(sel.degradations.iter().map(|d| d.to_string()));
+            counters.prov.merge(sel.prov.clone());
             (name, app, mdes)
         })
         .collect();
@@ -93,6 +98,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
             counters
                 .degradations
                 .extend(ev.compiled.degradations.iter().map(|d| d.to_string()));
+            counters.prov.merge(ev.compiled.prov.clone());
             (*name, ev.custom_cycles)
         })
         .collect();
@@ -120,6 +126,10 @@ fn stage_entry(name: &str, serial_s: f64, parallel_s: f64) -> isax_json::Value {
 
 fn main() {
     let _trace = isax_trace::init_from_env();
+    // Provenance recording stays on for both measured runs: the merged
+    // logs join the serial-vs-parallel identity cross-check below, and
+    // their aggregate becomes the report's `provenance` section.
+    let _prov = isax_prov::enable();
     let parallel_threads = thread_count();
     eprintln!("timing the pipeline: 1 thread vs {parallel_threads} threads");
 
@@ -150,15 +160,25 @@ fn main() {
          the guard's deterministic-accounting contract is broken"
     );
 
+    assert_eq!(
+        counters.prov, parallel_counters.prov,
+        "provenance logs diverged between serial and parallel runs — \
+         the join-point merge discipline is broken"
+    );
+
     let serial_total = serial.analyze_s + serial.select_s + serial.evaluate_s;
     let parallel_total = parallel.analyze_s + parallel.select_s + parallel.evaluate_s;
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // More workers than CPUs: the "parallel" run time-slices one core,
+    // so its wall-clock numbers measure scheduling overhead, not scaling.
+    let oversubscribed = parallel_threads > host_cpus;
     let mut doc = isax_json::object([
         ("threads_serial", isax_json::Value::from(1u32)),
         ("threads_parallel", parallel_threads.into()),
         // Physical parallelism of the measuring host: with one CPU the
         // parallel run can only demonstrate determinism, not speedup.
         ("host_cpus", host_cpus.into()),
+        ("oversubscribed", oversubscribed.into()),
         ("budget", HEADLINE_BUDGET.into()),
         (
             "stages",
@@ -232,6 +252,9 @@ fn main() {
                 ),
             ]),
         ),
+        // Aggregate decision provenance (identical between the serial
+        // and parallel runs by the assert above).
+        ("provenance", isax_prov::summarize(&counters.prov).to_json()),
         (
             "custom_cycles",
             isax_json::Value::Object(
@@ -270,9 +293,17 @@ fn main() {
     let out = doc.to_string_pretty();
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
     println!("{out}");
-    eprintln!(
-        "total: {serial_total:.2}s serial vs {parallel_total:.2}s on {parallel_threads} threads \
-         ({:.2}x)",
-        serial_total / parallel_total.max(1e-9)
-    );
+    if oversubscribed {
+        eprintln!(
+            "total: {serial_total:.2}s serial vs {parallel_total:.2}s with {parallel_threads} \
+             threads on {host_cpus} CPU(s) — oversubscribed, so the parallel run demonstrates \
+             determinism, not speedup"
+        );
+    } else {
+        eprintln!(
+            "total: {serial_total:.2}s serial vs {parallel_total:.2}s on {parallel_threads} \
+             threads ({:.2}x)",
+            serial_total / parallel_total.max(1e-9)
+        );
+    }
 }

@@ -13,6 +13,7 @@
 //! | `IC04xx` | post-replacement soundness and schedule legality |
 //! | `IC05xx` | differential semantic execution |
 //! | `IC06xx` | resource-governance (degradation record) consistency |
+//! | `IC07xx` | provenance-report cross-validation |
 
 use isax_ir::{VerifyCode, VerifyError};
 

@@ -21,7 +21,11 @@
 //!   resolvable, schedule legality against the VLIW model (`IC04xx`);
 //! * [`check_differential`] — differential semantic verification: the
 //!   original and customized programs are interpreted on the same
-//!   inputs and must agree on results and memory (`IC05xx`).
+//!   inputs and must agree on results and memory (`IC05xx`);
+//! * [`check_provenance`] — provenance-report cross-validation: every
+//!   selected CFU was discovered on the record, `Replaced` cycle deltas
+//!   sum to the compiled program's claimed savings, no event references
+//!   an unknown candidate or CFU (`IC07xx`).
 //!
 //! All passes report through [`Report`] with stable `IC0xxx` codes and
 //! precise [`Location`]s. The pipeline in `isax-core` calls these passes
@@ -37,6 +41,7 @@ pub mod diag;
 pub mod differential;
 pub mod dfg;
 pub mod program;
+pub mod prov;
 
 pub use candidates::{check_candidates, check_cfus, check_mdes, check_selection};
 pub use compiled::check_compiled;
@@ -44,6 +49,7 @@ pub use diag::{Diagnostic, Location, Report, Severity};
 pub use differential::check_differential;
 pub use dfg::check_dfgs;
 pub use program::check_program;
+pub use prov::check_provenance;
 
 /// True when the `ISAX_CHECK` environment variable requests checking
 /// (`1`, `true`, `on`, or `yes`, case-insensitive).

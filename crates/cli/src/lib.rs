@@ -25,7 +25,7 @@ use isax_machine::Memory;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `explore <file> [--check] [--trace-out PATH]`
+    /// `explore <file> [--check] [--trace-out PATH] [--prov-out PATH]`
     Explore {
         /// IR file.
         file: String,
@@ -35,6 +35,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Deterministic work-unit budget per governed (stage, item).
         work_budget: Option<u64>,
+        /// Write a decision-provenance JSON report of the run.
+        prov_out: Option<String>,
     },
     /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
@@ -54,6 +56,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Deterministic work-unit budget per governed (stage, item).
         work_budget: Option<u64>,
+        /// Write a decision-provenance JSON report of the run.
+        prov_out: Option<String>,
     },
     /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
@@ -73,6 +77,22 @@ pub enum Command {
         trace_out: Option<String>,
         /// Deterministic work-unit budget per governed (stage, item).
         work_budget: Option<u64>,
+        /// Write a decision-provenance JSON report of the run.
+        prov_out: Option<String>,
+    },
+    /// `explain <report.json> [--cfu N | --candidate FP | --kernel F] [--top N]`
+    Explain {
+        /// Provenance report path (from `--prov-out` / `ISAX_PROV`).
+        file: String,
+        /// Narrate the candidate that became this CFU id.
+        cfu: Option<u16>,
+        /// Narrate the candidate with this canonical fingerprint (a
+        /// unique hex prefix is accepted).
+        candidate: Option<String>,
+        /// Restrict the attribution table to one function.
+        kernel: Option<String>,
+        /// How many candidates the overview/attribution tables list.
+        top: usize,
     },
     /// `simulate <file> --entry NAME [--args a,b,c] [--fuel N]`
     Simulate {
@@ -124,9 +144,10 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax> [--check] [--trace-out trace.json] [--work-budget N]
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--work-budget N]
-    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json] [--work-budget N]
+    isax explore   <file.isax> [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
+    isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
+    isax explain   <report.json> [--cfu N | --candidate FINGERPRINT | --kernel FUNC] [--top N]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax dot       <file.isax> [--function FUNC] [--block N]
@@ -139,6 +160,13 @@ diagnostics on the first violation.
 (open in chrome://tracing or https://ui.perfetto.dev). Setting
 ISAX_TRACE=1 instead prints a stage summary to stderr; ISAX_TRACE=PATH
 does both.
+
+`--prov-out PATH` records decision provenance — why every candidate
+subgraph was discovered, pruned, subsumed, selected, matched or
+replaced — and writes the versioned JSON report to PATH. Setting
+ISAX_PROV=1 instead prints a one-line summary to the command output;
+ISAX_PROV=PATH writes the report there (`0`/`off` disable). Query a
+report with `isax explain`.
 
 `--work-budget N` (or ISAX_BUDGET=N) bounds every governed pipeline stage
 to N deterministic work units per item — candidates examined, VF2 states
@@ -192,6 +220,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             check: has_flag(rest, "--check"),
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
             work_budget: work_budget_flag(rest)?,
+            prov_out: flag_value(rest, "--prov-out").map(str::to_string),
         }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
@@ -217,6 +246,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 check: has_flag(rest, "--check"),
                 trace_out: flag_value(rest, "--trace-out").map(str::to_string),
                 work_budget: work_budget_flag(rest)?,
+                prov_out: flag_value(rest, "--prov-out").map(str::to_string),
             })
         }
         "compile" => {
@@ -232,6 +262,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 check: has_flag(rest, "--check"),
                 trace_out: flag_value(rest, "--trace-out").map(str::to_string),
                 work_budget: work_budget_flag(rest)?,
+                prov_out: flag_value(rest, "--prov-out").map(str::to_string),
+            })
+        }
+        "explain" => {
+            let cfu = match flag_value(rest, "--cfu") {
+                Some(v) => Some(
+                    v.parse::<u16>()
+                        .map_err(|_| UsageError(format!("bad --cfu `{v}`")))?,
+                ),
+                None => None,
+            };
+            let top = match flag_value(rest, "--top") {
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("bad --top `{v}`")))?,
+                None => 10,
+            };
+            Ok(Command::Explain {
+                file,
+                cfu,
+                candidate: flag_value(rest, "--candidate").map(str::to_string),
+                kernel: flag_value(rest, "--kernel").map(str::to_string),
+                top,
             })
         }
         "run" | "simulate" => {
@@ -305,6 +358,407 @@ impl Command {
             _ => None,
         }
     }
+
+    /// The `--prov-out` path, for the commands that accept one.
+    pub fn prov_out(&self) -> Option<&str> {
+        match self {
+            Command::Explore { prov_out, .. }
+            | Command::Customize { prov_out, .. }
+            | Command::Compile { prov_out, .. } => prov_out.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+/// Where a pipeline command's provenance goes: nowhere, a one-line
+/// summary on the command output, or a full JSON report file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProvSink {
+    Off,
+    Summary,
+    File(String),
+}
+
+impl ProvSink {
+    /// Resolves the destination: an explicit `--prov-out` beats the
+    /// `ISAX_PROV` environment variable.
+    fn resolve(prov_out: Option<&str>) -> ProvSink {
+        match prov_out {
+            Some(p) => ProvSink::File(p.to_string()),
+            None => match isax_prov::env_mode() {
+                isax_prov::EnvMode::Off => ProvSink::Off,
+                isax_prov::EnvMode::Summary => ProvSink::Summary,
+                isax_prov::EnvMode::Path(p) => ProvSink::File(p),
+            },
+        }
+    }
+
+    /// Turns recording on for the pipeline run when the sink wants it.
+    fn guard(&self) -> Option<isax_prov::EnableGuard> {
+        (*self != ProvSink::Off).then(isax_prov::enable)
+    }
+}
+
+/// Builds the provenance report from a merged log and delivers it to the
+/// sink; with `check` set, cross-validates it first (IC07xx).
+fn emit_prov(
+    out: &mut dyn std::io::Write,
+    sink: &ProvSink,
+    app: &str,
+    log: &isax::ProvLog,
+    check: bool,
+    mdes: Option<&Mdes>,
+    compiled: Option<&isax_compiler::CompiledProgram>,
+) -> Result<(), String> {
+    if *sink == ProvSink::Off {
+        return Ok(());
+    }
+    let doc = isax::build_report(app, log);
+    if check {
+        isax::enforce("provenance", &isax::check_provenance(&doc, mdes, compiled));
+    }
+    let summary = isax_prov::summarize(log).one_line();
+    match sink {
+        ProvSink::Off => unreachable!(),
+        ProvSink::Summary => writeln!(out, "provenance: {summary}").map_err(|e| e.to_string()),
+        ProvSink::File(path) => {
+            let mut text = doc.to_string_pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "provenance report ({summary}) written to {path}")
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// The application name stamped into provenance reports when the command
+/// has no `--name`: the input file's stem.
+fn app_name(file: &str) -> String {
+    std::path::Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "app".into())
+}
+
+// ---- `isax explain`: render a provenance report for humans ----------------
+
+fn ju(v: &isax_json::Value, k: &str) -> u64 {
+    v.get(k).and_then(|x| x.as_u64()).unwrap_or(0)
+}
+
+fn jf(v: &isax_json::Value, k: &str) -> f64 {
+    v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+fn js<'a>(v: &'a isax_json::Value, k: &str) -> &'a str {
+    v.get(k).and_then(|x| x.as_str()).unwrap_or("")
+}
+
+/// `score 31.2 = criticality 10.0 + latency 8.1 + area 3.1 + io 10.0`.
+fn score_line(s: &isax_json::Value) -> String {
+    format!(
+        "score {:.1} = criticality {:.1} + latency {:.1} + area {:.1} + io {:.1}",
+        jf(s, "total"),
+        jf(s, "criticality"),
+        jf(s, "latency"),
+        jf(s, "area"),
+        jf(s, "io")
+    )
+}
+
+/// Recomputes the lowest axis from a serialized score object.
+fn weakest_axis_of(s: &isax_json::Value) -> &'static str {
+    let mut weakest = ("criticality", jf(s, "criticality"));
+    for axis in ["latency", "area", "io"] {
+        let v = jf(s, axis);
+        if v < weakest.1 {
+            weakest = (match axis {
+                "latency" => "latency",
+                "area" => "area",
+                _ => "io",
+            }, v);
+        }
+    }
+    weakest.0
+}
+
+/// One narrative line (occasionally two) per provenance event.
+fn render_event(e: &isax_json::Value) -> String {
+    match js(e, "event") {
+        "discovered" => {
+            let mut line = format!(
+                "[explore] discovered in dfg {}: {} op(s), {} in / {} out, {:.2} adders, delay {:.2} cycle(s)",
+                ju(e, "dfg"),
+                ju(e, "size"),
+                ju(e, "inputs"),
+                ju(e, "outputs"),
+                jf(e, "area"),
+                jf(e, "delay")
+            );
+            match e.get("score") {
+                Some(s) => line.push_str(&format!("\n              via growth {}", score_line(s))),
+                None => line.push_str(" (seed operation, admitted unscored)"),
+            }
+            line
+        }
+        "pruned" => {
+            let why = match js(e, "reason") {
+                "fanout_cap" => "scored above threshold but lost the fanout cut",
+                _ => "guide score below threshold",
+            };
+            match e.get("score") {
+                Some(s) => format!(
+                    "[explore] pruned in dfg {} — {}: {} vs threshold {:.1}; weakest axis: {}",
+                    ju(e, "dfg"),
+                    why,
+                    score_line(s),
+                    jf(e, "threshold"),
+                    weakest_axis_of(s)
+                ),
+                None => format!("[explore] pruned in dfg {} — {}", ju(e, "dfg"), why),
+            }
+        }
+        "subsumed_by" => format!(
+            "[select]  pattern subsumed by cfu {} — matchable inside the larger unit",
+            ju(e, "cfu")
+        ),
+        "wildcarded" => format!(
+            "[select]  wildcard partner of cfu {} — same shape, one opcode apart",
+            ju(e, "partner")
+        ),
+        "selected_as_cfu" => format!(
+            "[select]  selected as cfu {}: charged {:.2} adders, delay {:.2} cycle(s), estimated value {} cycles",
+            ju(e, "cfu"),
+            jf(e, "area"),
+            jf(e, "delay"),
+            ju(e, "estimated_value")
+        ),
+        "matched" => format!(
+            "[compile] {} legal match(es) in {} block {}",
+            ju(e, "count"),
+            js(e, "function"),
+            ju(e, "block")
+        ),
+        "replaced" => {
+            let before = ju(e, "cycles_before");
+            let after = ju(e, "cycles_after");
+            format!(
+                "[compile] replaced in {} block {}: {} -> {} weighted cycles (saved {})",
+                js(e, "function"),
+                ju(e, "block"),
+                before,
+                after,
+                before.saturating_sub(after)
+            )
+        }
+        other => format!("[?]       unknown event `{other}`"),
+    }
+}
+
+/// `candidate <fp> — fate: selected, cfu 3, 4 match(es), 8200 cycles saved`.
+fn candidate_header(c: &isax_json::Value) -> String {
+    let mut h = format!("candidate {} — fate: {}", js(c, "fingerprint"), js(c, "fate"));
+    if let Some(id) = c.get("cfu").and_then(|v| v.as_u64()) {
+        h.push_str(&format!(", cfu {id}"));
+    }
+    if let Some(m) = c.get("matches").and_then(|v| v.as_u64()) {
+        h.push_str(&format!(", {m} match(es)"));
+    }
+    if let Some(cy) = c.get("cycles_saved").and_then(|v| v.as_u64()) {
+        h.push_str(&format!(", {cy} cycles saved"));
+    }
+    h
+}
+
+/// Full narrative for one candidate: header plus one line per event.
+fn render_candidate(
+    out: &mut dyn std::io::Write,
+    c: &isax_json::Value,
+) -> Result<(), String> {
+    writeln!(out, "{}", candidate_header(c)).map_err(|e| e.to_string())?;
+    for e in c.get("events").and_then(|v| v.as_array()).unwrap_or(&[]) {
+        writeln!(out, "  {}", render_event(e)).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Per-function totals over `matched`/`replaced` events:
+/// `(function, matches, replacements, cycles_saved)` rows.
+fn attribution(
+    cands: &[isax_json::Value],
+    kernel: Option<&str>,
+) -> Vec<(String, u64, u64, u64)> {
+    let mut rows: std::collections::BTreeMap<String, (u64, u64, u64)> = Default::default();
+    for c in cands {
+        for e in c.get("events").and_then(|v| v.as_array()).unwrap_or(&[]) {
+            let f = js(e, "function");
+            if f.is_empty() || kernel.is_some_and(|k| k != f) {
+                continue;
+            }
+            let row = rows.entry(f.to_string()).or_default();
+            match js(e, "event") {
+                "matched" => row.0 += ju(e, "count"),
+                "replaced" => {
+                    row.1 += 1;
+                    row.2 += ju(e, "cycles_before").saturating_sub(ju(e, "cycles_after"));
+                }
+                _ => {}
+            }
+        }
+    }
+    rows.into_iter().map(|(f, (m, r, cy))| (f, m, r, cy)).collect()
+}
+
+fn write_attribution(
+    out: &mut dyn std::io::Write,
+    rows: &[(String, u64, u64, u64)],
+) -> Result<(), String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    if rows.is_empty() {
+        return w(out, "  (no matches recorded)".into());
+    }
+    w(
+        out,
+        format!("  {:<24} {:>8} {:>13} {:>13}", "function", "matches", "replacements", "cycles saved"),
+    )?;
+    for (f, m, r, cy) in rows {
+        w(out, format!("  {f:<24} {m:>8} {r:>13} {cy:>13}"))?;
+    }
+    Ok(())
+}
+
+/// The `isax explain` command: load a provenance report and answer "why
+/// did this happen" queries over it.
+fn explain(
+    out: &mut dyn std::io::Write,
+    file: &str,
+    cfu: Option<u16>,
+    candidate: Option<&str>,
+    kernel: Option<&str>,
+    top: usize,
+) -> Result<(), String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let doc = isax_json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let version = ju(&doc, "version");
+    if version != isax_prov::REPORT_VERSION {
+        return Err(format!(
+            "{file}: provenance report version {version}, this isax understands {}",
+            isax_prov::REPORT_VERSION
+        ));
+    }
+    let cands = doc
+        .get("candidates")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{file}: not a provenance report (no `candidates` array)"))?;
+
+    // One candidate, narrated end to end.
+    if let Some(id) = cfu {
+        let c = cands
+            .iter()
+            .find(|c| c.get("cfu").and_then(|v| v.as_u64()) == Some(u64::from(id)))
+            .ok_or_else(|| format!("no candidate became cfu {id} in this report"))?;
+        render_candidate(out, c)?;
+        let rows = attribution(std::slice::from_ref(c), None);
+        if !rows.is_empty() {
+            w(out, "per-kernel attribution:".into())?;
+            write_attribution(out, &rows)?;
+        }
+        return Ok(());
+    }
+    if let Some(q) = candidate {
+        let q = q.to_ascii_lowercase();
+        let hits: Vec<&isax_json::Value> = cands
+            .iter()
+            .filter(|c| js(c, "fingerprint").starts_with(&q))
+            .collect();
+        return match hits.len() {
+            0 => Err(format!("no candidate with fingerprint prefix `{q}`")),
+            1 => render_candidate(out, hits[0]),
+            n => Err(format!("fingerprint prefix `{q}` is ambiguous ({n} candidates)")),
+        };
+    }
+
+    // Overview (optionally restricted to one kernel function).
+    let scoped: Vec<&isax_json::Value> = match kernel {
+        Some(k) => cands
+            .iter()
+            .filter(|c| {
+                c.get("events")
+                    .and_then(|v| v.as_array())
+                    .unwrap_or(&[])
+                    .iter()
+                    .any(|e| js(e, "function") == k)
+            })
+            .collect(),
+        None => cands.iter().collect(),
+    };
+    let summary = doc.get("summary");
+    let fates = summary.and_then(|s| s.get("fates"));
+    let stages = summary.and_then(|s| s.get("stages"));
+    w(
+        out,
+        format!(
+            "provenance report for `{}`: {} candidates ({} selected, {} not selected, {} pruned), {} events (explore {}, select {}, compile {})",
+            js(&doc, "app"),
+            summary.map_or(0, |s| ju(s, "candidates")),
+            fates.map_or(0, |f| ju(f, "selected")),
+            fates.map_or(0, |f| ju(f, "not_selected")),
+            fates.map_or(0, |f| ju(f, "pruned")),
+            summary.map_or(0, |s| ju(s, "events")),
+            stages.map_or(0, |s| ju(s, "explore")),
+            stages.map_or(0, |s| ju(s, "select")),
+            stages.map_or(0, |s| ju(s, "compile")),
+        ),
+    )?;
+    if let Some(k) = kernel {
+        w(out, format!("{} candidate(s) touch kernel `{k}`", scoped.len()))?;
+    }
+    let mut ranked: Vec<&isax_json::Value> = scoped.clone();
+    ranked.sort_by_key(|c| {
+        std::cmp::Reverse((
+            c.get("cycles_saved").and_then(|v| v.as_u64()).unwrap_or(0),
+            c.get("matches").and_then(|v| v.as_u64()).unwrap_or(0),
+            c.get("cfu").and_then(|v| v.as_u64()).is_some(),
+        ))
+    });
+    w(out, format!("top {} candidates by cycles saved:", top.min(ranked.len())))?;
+    w(
+        out,
+        format!(
+            "  {:>4}  {:<16}  {:<12}  {:>7}  {:>12}",
+            "cfu", "fingerprint", "fate", "matches", "cycles saved"
+        ),
+    )?;
+    for c in ranked.iter().take(top) {
+        let cfu_cell = c
+            .get("cfu")
+            .and_then(|v| v.as_u64())
+            .map_or_else(|| "-".into(), |id| id.to_string());
+        w(
+            out,
+            format!(
+                "  {:>4}  {:<16}  {:<12}  {:>7}  {:>12}",
+                cfu_cell,
+                js(c, "fingerprint"),
+                js(c, "fate"),
+                c.get("matches").and_then(|v| v.as_u64()).unwrap_or(0),
+                c.get("cycles_saved").and_then(|v| v.as_u64()).unwrap_or(0)
+            ),
+        )?;
+    }
+    let rows = attribution(cands, kernel);
+    w(out, "per-kernel attribution:".into())?;
+    write_attribution(out, &rows)?;
+    w(
+        out,
+        "query one lifecycle with --cfu N or --candidate FINGERPRINT".into(),
+    )?;
+    Ok(())
 }
 
 /// Executes a command, writing human output to `out`.
@@ -347,9 +801,12 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             file,
             check,
             work_budget,
+            prov_out,
             ..
         } => {
             let p = load_program(file)?;
+            let sink = ProvSink::resolve(prov_out.as_deref());
+            let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
             if let Some(u) = work_budget {
@@ -391,6 +848,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                     ),
                 )?;
             }
+            emit_prov(out, &sink, &app_name(file), &analysis.prov, cz.check, None, None)?;
             Ok(())
         }
         Command::Customize {
@@ -401,9 +859,12 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             multifunction,
             check,
             work_budget,
+            prov_out,
             ..
         } => {
             let p = load_program(file)?;
+            let sink = ProvSink::resolve(prov_out.as_deref());
+            let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
             if let Some(u) = work_budget {
@@ -432,6 +893,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                 }
                 None => w(out, json)?,
             }
+            let mut plog = analysis.prov.clone();
+            plog.merge(sel.prov.clone());
+            emit_prov(out, &sink, name, &plog, cz.check, Some(&mdes), None)?;
             Ok(())
         }
         Command::Compile {
@@ -442,9 +906,12 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             emit,
             check,
             work_budget,
+            prov_out,
             ..
         } => {
             let p = load_program(file)?;
+            let sink = ProvSink::resolve(prov_out.as_deref());
+            let _prov = sink.guard();
             let text = std::fs::read_to_string(mdes).map_err(|e| format!("{mdes}: {e}"))?;
             let mdes = Mdes::from_json(&text).map_err(|e| format!("{mdes}: {e}"))?;
             let mut cz = Customizer::new();
@@ -490,8 +957,24 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                 std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
                 w(out, format!("customized assembly written to {path}"))?;
             }
+            emit_prov(
+                out,
+                &sink,
+                &app_name(file),
+                &ev.compiled.prov,
+                cz.check,
+                Some(&mdes),
+                Some(&ev.compiled),
+            )?;
             Ok(())
         }
+        Command::Explain {
+            file,
+            cfu,
+            candidate,
+            kernel,
+            top,
+        } => explain(out, file, *cfu, candidate.as_deref(), kernel.as_deref(), *top),
         Command::Run {
             file,
             entry,
@@ -601,6 +1084,7 @@ mod tests {
                 check: false,
                 trace_out: None,
                 work_budget: None,
+                prov_out: None,
             }
         );
         let c = parse_args(&argv("explore k.isax --work-budget 5000")).unwrap();
@@ -654,6 +1138,41 @@ mod tests {
             parse_args(&argv("dot k.isax --block 1")).unwrap(),
             Command::Dot { block: 1, .. }
         ));
+        let c = parse_args(&argv("customize k.isax --prov-out p.json")).unwrap();
+        assert_eq!(c.prov_out(), Some("p.json"));
+        let c = parse_args(&argv("explore k.isax --prov-out p.json")).unwrap();
+        assert_eq!(c.prov_out(), Some("p.json"));
+        let c = parse_args(&argv("compile k.isax --mdes m.json --prov-out p.json")).unwrap();
+        assert_eq!(c.prov_out(), Some("p.json"));
+        assert_eq!(
+            parse_args(&argv("run k.isax --entry f")).unwrap().prov_out(),
+            None
+        );
+        let c = parse_args(&argv(
+            "explain report.json --cfu 3 --kernel rijndael --top 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Explain {
+                file: "report.json".into(),
+                cfu: Some(3),
+                candidate: None,
+                kernel: Some("rijndael".into()),
+                top: 5,
+            }
+        );
+        let c = parse_args(&argv("explain report.json --candidate 03fa")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Explain {
+                cfu: None,
+                top: 10,
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("explain report.json --cfu nope")).is_err());
+        assert!(parse_args(&argv("explain report.json --top nope")).is_err());
     }
 
     #[test]
@@ -736,6 +1255,38 @@ mod tests {
             emitted.contains("cfu"),
             "custom instruction emitted:\n{emitted}"
         );
+
+        // provenance: record a report, then explain it
+        let prov_path = dir.join("prov.json").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!(
+                "customize {src_s} --budget 4 --name kern --out {mdes_path} --prov-out {prov_path} --check"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("provenance report ("), "{text}");
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("explain {prov_path}"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("per-kernel attribution"), "{text}");
+        assert!(text.contains("provenance report for `kern`"), "{text}");
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("explain {prov_path} --cfu 0"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("selected as cfu 0"), "{text}");
+        assert!(text.contains("discovered in dfg"), "{text}");
 
         // a starved work budget degrades loudly but still succeeds
         let mut buf = Vec::new();

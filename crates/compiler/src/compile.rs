@@ -54,6 +54,11 @@ pub struct CompiledProgram {
     /// fallback after a contained worker panic. Empty whenever the guard
     /// is inactive — the default — and for unconstrained runs.
     pub degradations: Vec<Degradation>,
+    /// Provenance events (`Matched`/`Replaced`, keyed by the CFU
+    /// pattern's canonical fingerprint), non-empty only when
+    /// [`isax_prov::enabled`] is set. Collected per function in input
+    /// order, so the log is thread-count-invariant.
+    pub prov: isax_prov::ProvLog,
 }
 
 impl CompiledProgram {
@@ -127,6 +132,19 @@ pub fn compile_guarded(
     let mut sem_base: u16 = 0;
     let mut match_stats = MatchStats::default();
     let mut degradations: Vec<Degradation> = Vec::new();
+    let mut prov = isax_prov::ProvLog::default();
+    let prov_on = isax_prov::enabled();
+    // Provenance keys CFUs by the canonical fingerprint of their pattern
+    // — the same identity exploration and combination used — so a
+    // report's explore/select/compile events line up per candidate.
+    let cfu_fps: Vec<u64> = if prov_on {
+        mdes.cfus
+            .iter()
+            .map(|c| isax_select::pattern_fingerprint(&c.pattern).0)
+            .collect()
+    } else {
+        Vec::new()
+    };
     for f in &program.functions {
         let dfgs = function_dfgs(f);
         let (matches, f_stats, f_degr) =
@@ -136,12 +154,50 @@ pub fn compile_guarded(
             d.detail = format!("fn {}: {}", f.name, d.detail);
             d
         }));
+        if prov_on {
+            // One `Matched` event per (cfu, block): the count of legal
+            // pre-prioritization matches the VF2 pass found there.
+            let mut counts: std::collections::BTreeMap<(u16, usize), u64> =
+                std::collections::BTreeMap::new();
+            for m in &matches {
+                *counts.entry((m.cfu, m.block)).or_insert(0) += 1;
+            }
+            for ((cfu, block), count) in counts {
+                prov.record(
+                    cfu_fps[cfu as usize],
+                    isax_prov::ProvEvent::Matched {
+                        function: f.name.clone(),
+                        block,
+                        count,
+                    },
+                );
+            }
+        }
         let accepted = {
             let _s = isax_trace::span("compile.prioritize");
             prioritize(matches, mdes, &dfgs)
         };
         let _s = isax_trace::span("compile.replace");
         let mut cf = apply_matches(f, &dfgs, &accepted, mdes, sem_base);
+        if prov_on {
+            for a in &cf.applied {
+                // `savings` is weight × (sw_latency − cfu_latency), so
+                // before = after + savings reconstructs the weighted
+                // software cost of the replaced operations.
+                let latency =
+                    u64::from(mdes.cfu(a.cfu).map(|c| c.latency).unwrap_or(1));
+                let cycles_after = dfgs[a.block].weight() * latency;
+                prov.record(
+                    cfu_fps[a.cfu as usize],
+                    isax_prov::ProvEvent::Replaced {
+                        function: f.name.clone(),
+                        block: a.block,
+                        cycles_before: cycles_after + a.savings,
+                        cycles_after,
+                    },
+                );
+            }
+        }
         sem_base = sem_base.max(
             cf.semantics
                 .keys()
@@ -239,6 +295,7 @@ pub fn compile_guarded(
         spills,
         match_stats,
         degradations,
+        prov,
     }
 }
 

@@ -57,9 +57,10 @@ pub use experiment::{
 pub use pipeline::{Analysis, Customizer, Evaluation};
 
 // Re-export the vocabulary types users need at the facade level.
-pub use isax_check::{Diagnostic, Report};
+pub use isax_check::{check_provenance, enforce, Diagnostic, Report};
 pub use isax_compiler::{MatchMode, MatchOptions, Mdes, VliwModel};
 pub use isax_explore::ExploreConfig;
 pub use isax_guard::{Budget, Degradation, DegradationKind, FaultKind, FaultPlan, Guard, Stage};
 pub use isax_hwlib::HwLibrary;
 pub use isax_machine::SpeedupReport;
+pub use isax_prov::{build_report, Fate, ProvEvent, ProvLog, Summary};

@@ -81,6 +81,9 @@ pub struct Analysis {
     /// Governance events from exploration: per-DFG budget exhaustions
     /// and contained worker panics. Empty when the guard is inactive.
     pub degradations: Vec<Degradation>,
+    /// Provenance events from exploration (`Discovered`/`Pruned`),
+    /// non-empty only when [`isax_prov::enabled`] was set.
+    pub prov: isax_prov::ProvLog,
 }
 
 /// Result of compiling an application against a CFU set.
@@ -94,6 +97,46 @@ pub struct Evaluation {
     pub speedup: f64,
     /// The compiled program (customized code, semantics, statistics).
     pub compiled: CompiledProgram,
+}
+
+/// Derives the select-stage provenance events from a finished selection:
+/// one `SelectedAsCfu` per chosen unit (in priority order, so the MDES id
+/// is the position), then the subsumption/wildcard structure each chosen
+/// unit carries. Runs *after* the selection algorithm, purely from its
+/// output, so recording can never influence what gets selected.
+fn selection_prov(cfus: &[CfuCandidate], sel: &mut Selection) {
+    if !isax_prov::enabled() {
+        return;
+    }
+    let mut log = isax_prov::ProvLog::default();
+    for (i, sc) in sel.chosen.iter().enumerate() {
+        let c = &cfus[sc.candidate];
+        log.record(
+            c.fingerprint.0,
+            isax_prov::ProvEvent::SelectedAsCfu {
+                cfu: i as u16,
+                area: sc.charged_area,
+                delay: c.delay,
+                estimated_value: sc.estimated_value,
+            },
+        );
+    }
+    for (i, sc) in sel.chosen.iter().enumerate() {
+        let c = &cfus[sc.candidate];
+        for &j in &c.subsumes {
+            log.record(
+                cfus[j].fingerprint.0,
+                isax_prov::ProvEvent::SubsumedBy { cfu: i as u16 },
+            );
+        }
+        for &j in &c.wildcard_partners {
+            log.record(
+                cfus[j].fingerprint.0,
+                isax_prov::ProvEvent::Wildcarded { partner: i as u16 },
+            );
+        }
+    }
+    sel.prov = log;
 }
 
 impl Customizer {
@@ -184,6 +227,7 @@ impl Customizer {
             cfus,
             stats: result.stats,
             degradations,
+            prov: result.prov,
         };
         if self.check {
             let _s = isax_trace::span("analyze.check");
@@ -216,7 +260,7 @@ impl Customizer {
     /// Both are recorded in [`Selection::degradations`].
     pub fn select(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let _stage = isax_trace::span("pipeline.select");
-        let sel = {
+        let mut sel = {
             let _s = isax_trace::span("select.greedy");
             let cfg = SelectConfig::with_budget(budget);
             if self.guard.is_active() {
@@ -251,6 +295,7 @@ impl Customizer {
         if self.guard.is_active() {
             isax_trace::counter("guard.select_degradations", sel.degradations.len() as u64);
         }
+        selection_prov(&analysis.cfus, &mut sel);
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
         isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
@@ -273,10 +318,11 @@ impl Customizer {
     /// not part of the governed default pipeline.
     pub fn select_dp(&self, app_name: &str, analysis: &Analysis, budget: f64) -> (Mdes, Selection) {
         let _stage = isax_trace::span("pipeline.select");
-        let sel = {
+        let mut sel = {
             let _s = isax_trace::span("select.knapsack");
             select_knapsack(&analysis.cfus, &SelectConfig::with_budget(budget))
         };
+        selection_prov(&analysis.cfus, &mut sel);
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
         isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);
@@ -293,10 +339,11 @@ impl Customizer {
         budget: f64,
     ) -> (Mdes, Selection) {
         let _stage = isax_trace::span("pipeline.select");
-        let sel = {
+        let mut sel = {
             let _s = isax_trace::span("select.multifunction");
             select_multifunction(&analysis.cfus, &SelectConfig::with_budget(budget))
         };
+        selection_prov(&analysis.cfus, &mut sel);
         let mdes = Mdes::from_selection(app_name, &analysis.cfus, &sel, &self.hw, self.closure_cap);
         isax_trace::counter("select.cfus_selected", mdes.cfus.len() as u64);
         self.check_selected(analysis, &mdes, &sel);

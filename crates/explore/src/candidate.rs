@@ -133,6 +133,10 @@ pub struct ExploreResult {
     pub candidates: Vec<Candidate>,
     /// Search statistics.
     pub stats: ExploreStats,
+    /// Provenance events (`Discovered`/`Pruned`), non-empty only when
+    /// [`isax_prov::enabled`] was set during the walk. Merged at join
+    /// points in input order, like the stats.
+    pub prov: isax_prov::ProvLog,
 }
 
 impl ExploreResult {
@@ -140,6 +144,7 @@ impl ExploreResult {
     pub fn merge(&mut self, mut other: ExploreResult) {
         self.candidates.append(&mut other.candidates);
         self.stats.merge(&other.stats);
+        self.prov.merge(other.prov);
     }
 }
 

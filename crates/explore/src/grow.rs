@@ -10,7 +10,7 @@
 
 use crate::candidate::{extract_pattern, Candidate, ExploreResult};
 use crate::config::ExploreConfig;
-use crate::guide::{score, CandidateMetrics};
+use crate::guide::{score, CandidateMetrics, GuideScore};
 use isax_graph::{canon, par, BitSet, Fingerprint};
 use isax_guard::{Degradation, Guard, Meter, Stage};
 use isax_hwlib::HwLibrary;
@@ -72,13 +72,27 @@ pub(crate) struct MetricsMemo {
 }
 
 impl MetricsMemo {
-    /// Drop-in memoized equivalent of [`metrics_of`].
+    /// Drop-in memoized equivalent of [`metrics_of`] (kept for the
+    /// memo-behaviour tests; production paths use [`Self::metrics_fp_of`]).
+    #[cfg(test)]
     pub(crate) fn metrics_of(
         &mut self,
         dfg: &Dfg,
         nodes: &BitSet,
         hw: &HwLibrary,
     ) -> Option<FullMetrics> {
+        self.metrics_fp_of(dfg, nodes, hw).1
+    }
+
+    /// [`MetricsMemo::metrics_of`] plus the canonical fingerprint it
+    /// keyed the cache with — the walker reuses it as the candidate's
+    /// provenance identity, so provenance costs no extra fingerprinting.
+    pub(crate) fn metrics_fp_of(
+        &mut self,
+        dfg: &Dfg,
+        nodes: &BitSet,
+        hw: &HwLibrary,
+    ) -> (Fingerprint, Option<FullMetrics>) {
         let pattern = extract_pattern(dfg, nodes);
         let fp = canon::fingerprint(
             &pattern,
@@ -98,13 +112,18 @@ impl MetricsMemo {
                 computed
             }
         };
-        let (delay, area) = delay_area?;
-        Some(FullMetrics {
-            delay,
-            area,
-            inputs: dfg.input_count(nodes),
-            outputs: dfg.output_count(nodes),
-        })
+        let Some((delay, area)) = delay_area else {
+            return (fp, None);
+        };
+        (
+            fp,
+            Some(FullMetrics {
+                delay,
+                area,
+                inputs: dfg.input_count(nodes),
+                outputs: dfg.output_count(nodes),
+            }),
+        )
     }
 }
 
@@ -181,6 +200,8 @@ pub fn explore_dfg_metered(
         memo: MetricsMemo::default(),
         result: ExploreResult::default(),
         meter,
+        prov_on: isax_prov::enabled(),
+        prov_noted: HashSet::new(),
     };
     for seed in 0..dfg.len() {
         if walker.result.stats.truncated {
@@ -190,8 +211,9 @@ pub fn explore_dfg_metered(
             continue;
         }
         let nodes: BitSet = [seed].into_iter().collect();
-        if let Some(m) = walker.memo.metrics_of(dfg, &nodes, hw) {
-            walker.grow(nodes, m);
+        let (fp, m) = walker.memo.metrics_fp_of(dfg, &nodes, hw);
+        if let Some(m) = m {
+            walker.grow(nodes, m, fp, None);
         }
     }
     walker.result.stats.memo_hits = walker.memo.hits;
@@ -213,6 +235,7 @@ pub fn explore_app(dfgs: &[Dfg], hw: &HwLibrary, cfg: &ExploreConfig) -> Explore
         for c in &mut r.candidates {
             c.dfg = i;
         }
+        r.prov.set_dfg(i);
         r
     });
     let mut out = ExploreResult::default();
@@ -245,6 +268,7 @@ pub fn explore_app_guarded(
         for c in &mut r.candidates {
             c.dfg = i;
         }
+        r.prov.set_dfg(i);
         let degradation = meter.degradation(format!(
             "kept {} candidates from {} examined in dfg {}",
             r.candidates.len(),
@@ -283,10 +307,28 @@ struct Walker<'a> {
     memo: MetricsMemo,
     result: ExploreResult,
     meter: &'a mut Meter,
+    /// [`isax_prov::enabled`], hoisted once per walk.
+    prov_on: bool,
+    /// Fingerprints already given a provenance event of a given kind
+    /// (`true` = discovered, `false` = pruned) in this walk. Provenance
+    /// reports one event per shape per DFG; the repeat encounters stay
+    /// counted in the stats, which the differential tests pin.
+    prov_noted: HashSet<(Fingerprint, bool)>,
+}
+
+/// Copies a guide score into the provenance crate's dependency-free
+/// mirror of it.
+fn breakdown(s: &crate::guide::GuideScore) -> isax_prov::ScoreBreakdown {
+    isax_prov::ScoreBreakdown {
+        criticality: s.criticality,
+        latency: s.latency,
+        area: s.area,
+        io: s.io,
+    }
 }
 
 impl Walker<'_> {
-    fn grow(&mut self, nodes: BitSet, m: FullMetrics) {
+    fn grow(&mut self, nodes: BitSet, m: FullMetrics, fp: Fingerprint, via: Option<GuideScore>) {
         if self.result.stats.truncated {
             return;
         }
@@ -302,6 +344,20 @@ impl Walker<'_> {
         self.result.stats.note_examined(nodes.len());
         if recordable(&m, self.cfg) && self.dfg.is_convex(&nodes) {
             self.result.stats.recorded += 1;
+            if self.prov_on && self.prov_noted.insert((fp, true)) {
+                self.result.prov.record(
+                    fp.0,
+                    isax_prov::ProvEvent::Discovered {
+                        dfg: 0, // stamped with the real index at the join point
+                        size: nodes.len(),
+                        delay: m.delay,
+                        area: m.area,
+                        inputs: m.inputs,
+                        outputs: m.outputs,
+                        score: via.as_ref().map(breakdown),
+                    },
+                );
+            }
             self.result.candidates.push(Candidate {
                 dfg: 0,
                 nodes: nodes.clone(),
@@ -316,13 +372,14 @@ impl Walker<'_> {
         }
         // Score every eligible direction.
         let old = m.as_guide();
-        let mut dirs: Vec<(f64, usize, FullMetrics)> = Vec::new();
+        let mut dirs: Vec<(f64, usize, FullMetrics, Fingerprint, GuideScore)> = Vec::new();
         for dir in self.dfg.neighbours(&nodes) {
             if !node_eligible(self.dfg, dir, self.hw) {
                 continue;
             }
             let grown = nodes.with(dir);
-            let Some(nm) = self.memo.metrics_of(self.dfg, &grown, self.hw) else {
+            let (nfp, nm) = self.memo.metrics_fp_of(self.dfg, &grown, self.hw);
+            let Some(nm) = nm else {
                 continue;
             };
             if !growable(&nm, self.cfg) {
@@ -331,9 +388,10 @@ impl Walker<'_> {
             let s = score(&old, &nm.as_guide(), self.slack_info.slack[dir], self.cfg);
             if s.total() < self.cfg.threshold {
                 self.result.stats.directions_pruned += 1;
+                self.note_pruned(nfp, &s, isax_prov::PruneReason::BelowThreshold);
                 continue;
             }
-            dirs.push((s.total(), dir, nm));
+            dirs.push((s.total(), dir, nm, nfp, s));
         }
         // Best directions first; optionally cap the fanout — with the
         // adaptive taper tightening the cap once candidates grow large.
@@ -347,11 +405,31 @@ impl Walker<'_> {
         if let Some(cap) = cap {
             if dirs.len() > cap {
                 self.result.stats.directions_pruned += (dirs.len() - cap) as u64;
+                for (_, _, _, nfp, s) in &dirs[cap..] {
+                    let (nfp, s) = (*nfp, *s);
+                    self.note_pruned(nfp, &s, isax_prov::PruneReason::FanoutCap);
+                }
                 dirs.truncate(cap);
             }
         }
-        for (_, dir, nm) in dirs {
-            self.grow(nodes.with(dir), nm);
+        for (_, dir, nm, nfp, s) in dirs {
+            self.grow(nodes.with(dir), nm, nfp, Some(s));
+        }
+    }
+
+    /// Records a `Pruned` event for a dropped growth direction, at most
+    /// once per (shape, kind) per walk.
+    fn note_pruned(&mut self, fp: Fingerprint, s: &GuideScore, reason: isax_prov::PruneReason) {
+        if self.prov_on && self.prov_noted.insert((fp, false)) {
+            self.result.prov.record(
+                fp.0,
+                isax_prov::ProvEvent::Pruned {
+                    dfg: 0, // stamped with the real index at the join point
+                    threshold: self.cfg.threshold,
+                    score: breakdown(s),
+                    reason,
+                },
+            );
         }
     }
 }

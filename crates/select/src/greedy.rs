@@ -81,6 +81,11 @@ pub struct Selection {
     /// short by a work budget or a contained fault. The chosen list is
     /// then a sound prefix of the ungoverned greedy order.
     pub degradations: Vec<isax_guard::Degradation>,
+    /// Provenance events (`SelectedAsCfu`/`SubsumedBy`/`Wildcarded`),
+    /// non-empty only when [`isax_prov::enabled`] is set. Derived from
+    /// the chosen list by `Customizer::select`, after the algorithm runs,
+    /// so recording can never influence the selection.
+    pub prov: isax_prov::ProvLog,
 }
 
 impl Selection {

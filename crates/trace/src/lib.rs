@@ -397,28 +397,67 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// How an observability environment variable was set. This is the same
+/// three-way table `isax-prov` applies to `ISAX_PROV` (`isax-trace` is
+/// dependency-free, so the table is duplicated; a shared test in
+/// `tests/prov.rs` keeps the two crates in agreement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvMode {
+    /// Explicitly or implicitly disabled: empty, `0`, `off`, `false`,
+    /// `no` (ASCII case-insensitive, after trimming).
+    Off,
+    /// Enabled without a destination (`1`, `on`, `true`, `yes`): record
+    /// and print the stage summary, write no file.
+    Summary,
+    /// Any other value is a file path to write the full artifact to.
+    Path(String),
+}
+
+/// Parses one observability env-var value into an [`EnvMode`].
+pub fn parse_env_value(v: &str) -> EnvMode {
+    let v = v.trim();
+    if v.is_empty()
+        || v.eq_ignore_ascii_case("0")
+        || v.eq_ignore_ascii_case("off")
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("no")
+    {
+        EnvMode::Off
+    } else if v == "1"
+        || v.eq_ignore_ascii_case("on")
+        || v.eq_ignore_ascii_case("true")
+        || v.eq_ignore_ascii_case("yes")
+    {
+        EnvMode::Summary
+    } else {
+        EnvMode::Path(v.to_string())
+    }
+}
+
 /// A trace session configured from the `ISAX_TRACE` environment
-/// variable, used by binaries: `ISAX_TRACE=1` prints the stage summary
-/// to stderr on [`EnvTrace::finish`]; any other non-empty value is
-/// treated as a path to write the Chrome trace to (the summary still
-/// goes to stderr).
+/// variable, used by binaries: `ISAX_TRACE=1` (or `on`/`true`/`yes`)
+/// prints the stage summary to stderr on [`EnvTrace::finish`]; any
+/// other non-disabling value is treated as a path to write the Chrome
+/// trace to (the summary still goes to stderr).
 pub struct EnvTrace {
     recorder: Arc<Recorder>,
     out: Option<String>,
 }
 
-/// Starts tracing if `ISAX_TRACE` is set (and not `0`/empty). Binaries
-/// call this first thing and [`EnvTrace::finish`] last thing.
+/// Starts tracing if `ISAX_TRACE` requests it ([`parse_env_value`] on
+/// the variable; unset, `0`, `off`, `false`, `no` and empty all mean
+/// disabled). Binaries call this first thing and [`EnvTrace::finish`]
+/// last thing.
 pub fn init_from_env() -> Option<EnvTrace> {
     let v = std::env::var("ISAX_TRACE").ok()?;
-    let v = v.trim().to_string();
-    if v.is_empty() || v == "0" {
-        return None;
-    }
-    let recorder = Recorder::install();
+    let out = match parse_env_value(&v) {
+        EnvMode::Off => return None,
+        EnvMode::Summary => None,
+        EnvMode::Path(p) => Some(p),
+    };
     Some(EnvTrace {
-        recorder,
-        out: (v != "1").then_some(v),
+        recorder: Recorder::install(),
+        out,
     })
 }
 
@@ -455,6 +494,21 @@ mod tests {
     /// The global sink is process-wide; tests that install one take
     /// this lock so they do not observe each other's events.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn env_value_forms() {
+        for v in ["", "  ", "0", "off", "OFF", "false", "No", " off "] {
+            assert_eq!(parse_env_value(v), EnvMode::Off, "{v:?}");
+        }
+        for v in ["1", "on", "ON", "true", "YES", " 1 "] {
+            assert_eq!(parse_env_value(v), EnvMode::Summary, "{v:?}");
+        }
+        assert_eq!(
+            parse_env_value("trace.json"),
+            EnvMode::Path("trace.json".into())
+        );
+        assert_eq!(parse_env_value("./off"), EnvMode::Path("./off".into()));
+    }
 
     #[test]
     fn disabled_by_default_and_spans_are_free() {

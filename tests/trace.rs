@@ -179,6 +179,7 @@ fn cli_trace_out_writes_a_valid_chrome_trace() {
         check: false,
         trace_out: Some(trace_out.display().to_string()),
         work_budget: None,
+        prov_out: None,
     };
     let mut out = Vec::new();
     isax_cli::execute(&cmd, &mut out).expect("customize succeeds");
