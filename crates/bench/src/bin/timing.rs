@@ -10,7 +10,7 @@
 #![forbid(unsafe_code)]
 
 use isax::{Customizer, MatchOptions};
-use isax_bench::{analyze_suite, AnalyzedApp, HEADLINE_BUDGET};
+use isax_bench::{analyze_suite, analyze_suite_timed, AnalyzedApp, HEADLINE_BUDGET};
 use isax_graph::par::{set_thread_override, thread_count};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -20,6 +20,8 @@ struct StageTimes {
     analyze_s: f64,
     select_s: f64,
     evaluate_s: f64,
+    /// Per-app analyze wall clock (seconds), measured inside the worker.
+    kernel_analyze_s: BTreeMap<&'static str, f64>,
     /// Per-app customized cycle counts, for the identity cross-check.
     cycles: BTreeMap<&'static str, u64>,
 }
@@ -50,20 +52,24 @@ struct Counters {
     // decision provenance: per-stage logs merged in suite order. The
     // merged log is part of the serial-vs-parallel identity contract.
     prov: isax_prov::ProvLog,
+    // per-kernel attribution: (candidates examined, candidates recorded)
+    // during analyze, so a timing regression names its workload.
+    per_kernel: BTreeMap<&'static str, (u64, u64)>,
 }
 
 fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
     let mut counters = Counters::default();
     let t0 = Instant::now();
-    let apps = analyze_suite(cz);
+    let (apps, kernel_analyze_s) = analyze_suite_timed(cz);
     let analyze_s = t0.elapsed().as_secs_f64();
-    for app in apps.values() {
+    for (&name, app) in &apps {
         let s = &app.analysis.stats;
         counters.candidates_examined += s.examined;
         counters.candidates_recorded += s.recorded;
         counters.memo_hits += s.memo_hits;
         counters.memo_misses += s.memo_misses;
         counters.cfu_candidates += app.analysis.cfus.len() as u64;
+        counters.per_kernel.insert(name, (s.examined, s.recorded));
         counters
             .degradations
             .extend(app.analysis.degradations.iter().map(|d| d.to_string()));
@@ -109,6 +115,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
             analyze_s,
             select_s,
             evaluate_s,
+            kernel_analyze_s,
             cycles,
         },
         counters,
@@ -147,6 +154,11 @@ fn main() {
     assert_eq!(
         counters.vf2_calls, parallel_counters.vf2_calls,
         "matcher work diverged between serial and parallel runs"
+    );
+
+    assert_eq!(
+        counters.per_kernel, parallel_counters.per_kernel,
+        "per-kernel candidate counts diverged between serial and parallel runs"
     );
 
     assert_eq!(
@@ -190,19 +202,6 @@ fn main() {
             ]),
         ),
         ("outputs_identical", true.into()),
-        (
-            "metrics_memo",
-            isax_json::object([
-                ("hits", isax_json::Value::from(counters.memo_hits)),
-                ("misses", counters.memo_misses.into()),
-                (
-                    "hit_rate",
-                    (counters.memo_hits as f64
-                        / (counters.memo_hits + counters.memo_misses).max(1) as f64)
-                        .into(),
-                ),
-            ]),
-        ),
         // Deterministic per-stage counter snapshot: records *why* the
         // stage times move between revisions (more candidates, fewer
         // VF2 calls, ...), not just that they did.
@@ -251,6 +250,31 @@ fn main() {
                     ]),
                 ),
             ]),
+        ),
+        // Per-kernel analyze attribution from the serial run: wall clock
+        // and deterministic candidate counts, so a regression (or a win)
+        // names the workload responsible.
+        (
+            "per_kernel",
+            isax_json::Value::Object(
+                counters
+                    .per_kernel
+                    .iter()
+                    .map(|(&name, &(examined, recorded))| {
+                        (
+                            name.to_string(),
+                            isax_json::object([
+                                (
+                                    "analyze_s",
+                                    isax_json::Value::from(serial.kernel_analyze_s[name]),
+                                ),
+                                ("candidates_examined", examined.into()),
+                                ("candidates_recorded", recorded.into()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
         // Aggregate decision provenance (identical between the serial
         // and parallel runs by the assert above).

@@ -35,21 +35,38 @@ pub struct AnalyzedApp {
 /// threads (see [`isax_graph::par`]); collecting into a `BTreeMap` keyed
 /// by name makes the result order-independent anyway.
 pub fn analyze_suite(cz: &Customizer) -> BTreeMap<&'static str, AnalyzedApp> {
+    analyze_suite_timed(cz).0
+}
+
+/// [`analyze_suite`], also reporting per-benchmark analyze wall-clock
+/// seconds. The times are measured inside the worker, so on a serial run
+/// they attribute the whole stage; on a parallel run they still measure
+/// each kernel's own work (not the stage barrier).
+pub fn analyze_suite_timed(
+    cz: &Customizer,
+) -> (
+    BTreeMap<&'static str, AnalyzedApp>,
+    BTreeMap<&'static str, f64>,
+) {
     let workloads = all();
-    let analyses = isax_graph::par::par_map(&workloads, |w| cz.analyze(&w.program));
-    workloads
-        .into_iter()
-        .zip(analyses)
-        .map(|(w, analysis)| {
-            (
-                w.name,
-                AnalyzedApp {
-                    workload: w,
-                    analysis,
-                },
-            )
-        })
-        .collect()
+    let analyses = isax_graph::par::par_map(&workloads, |w| {
+        let t = std::time::Instant::now();
+        let analysis = cz.analyze(&w.program);
+        (analysis, t.elapsed().as_secs_f64())
+    });
+    let mut apps = BTreeMap::new();
+    let mut times = BTreeMap::new();
+    for (w, (analysis, seconds)) in workloads.into_iter().zip(analyses) {
+        times.insert(w.name, seconds);
+        apps.insert(
+            w.name,
+            AnalyzedApp {
+                workload: w,
+                analysis,
+            },
+        );
+    }
+    (apps, times)
 }
 
 /// Analyzes a named subset of the suite (for tests that cannot afford

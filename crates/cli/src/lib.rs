@@ -37,6 +37,8 @@ pub enum Command {
         work_budget: Option<u64>,
         /// Write a decision-provenance JSON report of the run.
         prov_out: Option<String>,
+        /// Beam width for the explorer's frontier (`None` = exhaustive).
+        beam_width: Option<usize>,
     },
     /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
@@ -58,6 +60,8 @@ pub enum Command {
         work_budget: Option<u64>,
         /// Write a decision-provenance JSON report of the run.
         prov_out: Option<String>,
+        /// Beam width for the explorer's frontier (`None` = exhaustive).
+        beam_width: Option<usize>,
     },
     /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
@@ -144,8 +148,8 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax> [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
+    isax explore   <file.isax> [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N]
     isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
     isax explain   <report.json> [--cfu N | --candidate FINGERPRINT | --kernel FUNC] [--top N]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
@@ -168,6 +172,10 @@ ISAX_PROV=1 instead prints a one-line summary to the command output;
 ISAX_PROV=PATH writes the report there (`0`/`off` disable). Query a
 report with `isax explain`.
 
+`--beam-width N` (or ISAX_BEAM=N) switches exploration to beam-ordered
+growth: each frontier level keeps only the N best-scored unexamined
+candidates. Unset (or 0) is the exhaustive depth-first default.
+
 `--work-budget N` (or ISAX_BUDGET=N) bounds every governed pipeline stage
 to N deterministic work units per item — candidates examined, VF2 states
 visited, scheduler steps — and degrades gracefully to best-so-far results,
@@ -187,6 +195,18 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+fn beam_width_flag(args: &[String]) -> Result<Option<usize>, UsageError> {
+    match flag_value(args, "--beam-width") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .map(Some)
+            .ok_or_else(|| UsageError(format!("bad --beam-width `{v}` (want a positive integer)"))),
+        None => Ok(None),
+    }
 }
 
 fn work_budget_flag(args: &[String]) -> Result<Option<u64>, UsageError> {
@@ -221,6 +241,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
             work_budget: work_budget_flag(rest)?,
             prov_out: flag_value(rest, "--prov-out").map(str::to_string),
+            beam_width: beam_width_flag(rest)?,
         }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
@@ -247,6 +268,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 trace_out: flag_value(rest, "--trace-out").map(str::to_string),
                 work_budget: work_budget_flag(rest)?,
                 prov_out: flag_value(rest, "--prov-out").map(str::to_string),
+                beam_width: beam_width_flag(rest)?,
             })
         }
         "compile" => {
@@ -802,6 +824,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             check,
             work_budget,
             prov_out,
+            beam_width,
             ..
         } => {
             let p = load_program(file)?;
@@ -809,6 +832,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if beam_width.is_some() {
+                cz.explore.beam_width = *beam_width;
+            }
             if let Some(u) = work_budget {
                 cz.guard = cz.guard.clone().with_units(*u);
             }
@@ -860,6 +886,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             check,
             work_budget,
             prov_out,
+            beam_width,
             ..
         } => {
             let p = load_program(file)?;
@@ -867,6 +894,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if beam_width.is_some() {
+                cz.explore.beam_width = *beam_width;
+            }
             if let Some(u) = work_budget {
                 cz.guard = cz.guard.clone().with_units(*u);
             }
@@ -1085,8 +1115,27 @@ mod tests {
                 trace_out: None,
                 work_budget: None,
                 prov_out: None,
+                beam_width: None,
             }
         );
+        let c = parse_args(&argv("explore k.isax --beam-width 64")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Explore {
+                beam_width: Some(64),
+                ..
+            }
+        ));
+        let c = parse_args(&argv("customize k.isax --beam-width 8")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Customize {
+                beam_width: Some(8),
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("explore k.isax --beam-width 0")).is_err());
+        assert!(parse_args(&argv("explore k.isax --beam-width nope")).is_err());
         let c = parse_args(&argv("explore k.isax --work-budget 5000")).unwrap();
         assert!(matches!(
             c,

@@ -43,6 +43,8 @@ pub struct Customizer {
     /// Hardware timing/area library.
     pub hw: HwLibrary,
     /// Exploration constraints (ports, area caps, guide tuning).
+    /// `beam_width` defaults from the `ISAX_BEAM` environment variable
+    /// (unset or `0` keeps the exhaustive depth-first walk).
     pub explore: ExploreConfig,
     /// Cap on each CFU's contraction closure.
     pub closure_cap: usize,
@@ -139,13 +141,28 @@ fn selection_prov(cfus: &[CfuCandidate], sel: &mut Selection) {
     sel.prov = log;
 }
 
+/// Parses the `ISAX_BEAM` environment variable: a positive integer beam
+/// width for the explorer's frontier, or unset/`0`/garbage for `None`
+/// (the exhaustive depth-first default).
+fn beam_width_from_env() -> Option<usize> {
+    std::env::var("ISAX_BEAM")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&w| w > 0)
+}
+
 impl Customizer {
     /// Creates a pipeline with the paper's defaults: 0.18 µ library,
     /// 5-in/3-out ports, ten-point guide categories, 4-wide VLIW.
     pub fn new() -> Self {
         Customizer {
             hw: HwLibrary::micron_018(),
-            explore: ExploreConfig::default(),
+            explore: ExploreConfig {
+                beam_width: beam_width_from_env(),
+                ..ExploreConfig::default()
+            },
             closure_cap: 64,
             model: VliwModel::default(),
             check: isax_check::env_enabled(),

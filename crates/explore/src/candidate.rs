@@ -90,9 +90,11 @@ pub struct ExploreStats {
     pub examined_by_size: Vec<u64>,
     /// Growth directions rejected by the guide function.
     pub directions_pruned: u64,
-    /// Delay/area lookups answered by the canonical-fingerprint memo.
+    /// Canonical-fingerprint lookups answered by the cheap-key memo
+    /// (only provenance identity consults it; 0 with provenance off).
     pub memo_hits: u64,
-    /// Delay/area lookups that had to query the hardware library.
+    /// Canonical-fingerprint lookups that had to extract and fingerprint
+    /// a pattern — one per distinct candidate shape encountered.
     pub memo_misses: u64,
     /// True if the search hit its examination budget and stopped early.
     pub truncated: bool,

@@ -95,6 +95,13 @@ pub struct ExploreConfig {
     /// *during* growth (candidates are only recorded within limits, but
     /// reconvergent shapes can dip back under after exceeding them).
     pub io_overshoot: usize,
+    /// Beam-ordered growth: keep at most this many unexamined candidates
+    /// per frontier level, expanding the best-scored ones first, so a
+    /// bounded examination budget is spent on the most promising shapes.
+    /// `None` (the default) is the exhaustive depth-first walk; a beam of
+    /// `usize::MAX` examines the same candidate set as `None` (proven by
+    /// the equivalence proptests), just in breadth-first order.
+    pub beam_width: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -110,6 +117,7 @@ impl Default for ExploreConfig {
             taper_size: None,
             taper_fanout: 2,
             io_overshoot: 0,
+            beam_width: None,
         }
     }
 }

@@ -7,6 +7,30 @@
 //! threshold are not explored. Pruning directions — not candidates —
 //! leaves open "the possibility that a low ranking candidate will grow
 //! into a useful one".
+//!
+//! # Hot-path design
+//!
+//! The inner loop used to rebuild a pattern graph and canonical WL
+//! fingerprint for every `(candidate, direction)` pair, with a
+//! fingerprint-keyed memo in front of the delay/area computation. Both
+//! are gone from the hot path:
+//!
+//! * [`SubgraphEval`] precomputes per-node costs, label keys and
+//!   adjacency bitsets once per DFG, then evaluates any candidate in one
+//!   O(nodes) pass over those arrays — bit-identical to the from-scratch
+//!   [`metrics_of`] (pinned by the equivalence proptests), with no graph
+//!   materialization and no hashing.
+//! * Canonical identity is two-tier: a **cheap structural key**
+//!   ([`SubgraphEval::cheap_key`], an order-independent mix of label
+//!   keys, internal edges and path depths) dedups provenance events, and
+//!   the full `canon` fingerprint is computed only on the first
+//!   encounter of each cheap key, via the cross-seed
+//!   [`FingerprintMemo`]. With provenance disabled neither tier runs.
+//!
+//! Growth order is configurable: the default is the historical
+//! depth-first walk; [`ExploreConfig::beam_width`] switches to a
+//! level-synchronous best-first walk that expands the highest-scored
+//! frontier entries first (see [`Walker::run_beam`]).
 
 use crate::candidate::{extract_pattern, Candidate, ExploreResult};
 use crate::config::ExploreConfig;
@@ -14,15 +38,19 @@ use crate::guide::{score, CandidateMetrics, GuideScore};
 use isax_graph::{canon, par, BitSet, Fingerprint};
 use isax_guard::{Degradation, Guard, Meter, Stage};
 use isax_hwlib::HwLibrary;
-use isax_ir::{Dfg, DfgLabel, SlackInfo};
+use isax_ir::{Dfg, SlackInfo};
 use std::collections::{HashMap, HashSet};
 
 /// Full candidate metrics including the split port counts.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct FullMetrics {
+pub struct FullMetrics {
+    /// Critical-path delay through the subgraph, in cycle fractions.
     pub delay: f64,
+    /// Summed area, in adder units.
     pub area: f64,
+    /// Register input ports required.
     pub inputs: usize,
+    /// Register output ports required.
     pub outputs: usize,
 }
 
@@ -38,7 +66,12 @@ impl FullMetrics {
 
 /// Computes delay/area/port metrics of a node set, or `None` when some
 /// node is not implementable in hardware.
-pub(crate) fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<FullMetrics> {
+///
+/// This is the from-scratch reference implementation (pattern extraction
+/// plus the hardware library's aggregate queries); the explorer's hot
+/// path uses the incremental [`SubgraphEval`], which must agree with this
+/// function bit for bit on every node set.
+pub fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<FullMetrics> {
     let pattern = extract_pattern(dfg, nodes);
     Some(FullMetrics {
         delay: hw.subgraph_delay(&pattern)?,
@@ -48,82 +81,246 @@ pub(crate) fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<Fu
     })
 }
 
-/// Memoizes hardware delay/area by the canonical fingerprint of the
-/// extracted pattern.
+/// Per-DFG incremental candidate evaluator.
 ///
-/// The grow loop re-derives metrics for every (seed, growth-direction)
-/// pair, and structurally identical subgraphs recur constantly — every
-/// `xor → shl` pair in a crypto round hits the same shape. Delay and
-/// area depend only on the labelled pattern up to isomorphism (critical
-/// path over edges plus a per-node area sum), so they are safe to share
-/// across occurrences; input/output port counts depend on how the node
-/// set is embedded in its DFG and are recomputed fresh each time.
+/// Built once per explored DFG, it caches everything a candidate
+/// evaluation needs in flat per-node arrays — hardware cost, CFU
+/// eligibility, label hash, commutativity, undirected data-adjacency
+/// bitsets — so [`SubgraphEval::metrics`] is a single pass over the
+/// candidate's members with no allocation, no pattern graph, and no
+/// fingerprinting. Epoch-stamped scratch arrays make the distinct-count
+/// I/O logic O(members + edges) without per-call clearing.
+#[derive(Debug)]
+pub struct SubgraphEval<'a> {
+    dfg: &'a Dfg,
+    /// `(delay, area)` per node via the library's label cost, `None` when
+    /// the operation cannot join a CFU.
+    cost: Vec<Option<(f64, f64)>>,
+    /// [`node_eligible`] per node, precomputed.
+    pub(crate) eligible: Vec<bool>,
+    is_load: Vec<bool>,
+    /// [`DfgLabel::key`] per node — the label string is hashed once per
+    /// DFG instead of once per evaluation.
+    pub(crate) label_key: Vec<u64>,
+    pub(crate) commutative: Vec<bool>,
+    /// Undirected data-edge neighbour mask per node; the union over a
+    /// candidate's members (minus the members) is its growth frontier.
+    pub(crate) adj: Vec<BitSet>,
+    load_delay: Option<f64>,
+    /// Longest-path finish time per member node, valid for the node set
+    /// most recently passed to [`SubgraphEval::metrics`] or
+    /// [`SubgraphEval::cheap_key`].
+    finish: Vec<f64>,
+    node_stamp: Vec<u32>,
+    reg_stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'a> SubgraphEval<'a> {
+    /// Indexes `dfg` against `hw` for incremental evaluation.
+    pub fn new(dfg: &'a Dfg, hw: &HwLibrary) -> Self {
+        let n = dfg.len();
+        let mut cost = Vec::with_capacity(n);
+        let mut eligible = Vec::with_capacity(n);
+        let mut is_load = Vec::with_capacity(n);
+        let mut label_key = Vec::with_capacity(n);
+        let mut commutative = Vec::with_capacity(n);
+        let mut adj = vec![BitSet::with_capacity(n); n];
+        let mut reg_cap = 0usize;
+        for v in 0..n {
+            let label = dfg.label(v);
+            cost.push(hw.cost_of_label(&label).map(|c| (c.delay, c.area)));
+            eligible.push(node_eligible(dfg, v, hw));
+            is_load.push(dfg.inst(v).opcode.is_load());
+            label_key.push(label.key());
+            commutative.push(label.opcode.is_commutative());
+            for &(u, _) in dfg.data_preds(v) {
+                adj[v].insert(u);
+                adj[u].insert(v);
+            }
+            for &(_, r) in dfg.ext_inputs(v) {
+                reg_cap = reg_cap.max(r.index() + 1);
+            }
+        }
+        SubgraphEval {
+            dfg,
+            cost,
+            eligible,
+            is_load,
+            label_key,
+            commutative,
+            adj,
+            load_delay: hw.cfu_load.map(|c| c.delay),
+            finish: vec![0.0; n],
+            node_stamp: vec![0; n],
+            reg_stamp: vec![0; reg_cap],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.node_stamp.fill(0);
+                self.reg_stamp.fill(0);
+                1
+            }
+        };
+        self.epoch
+    }
+
+    /// Delay/area/port metrics of `nodes`, bit-identical to
+    /// [`metrics_of`]: the longest-path fold visits members in ascending
+    /// instruction order (a topological order of the pattern, since all
+    /// data edges point forward in program order) and the area sum runs
+    /// in the same ascending order the pattern's node list uses, so every
+    /// `f64` operation replays the reference computation exactly.
+    pub fn metrics(&mut self, nodes: &BitSet) -> Option<FullMetrics> {
+        let e = self.next_epoch();
+        let mut longest = 0.0f64;
+        let mut area = 0.0f64;
+        let mut loads = 0u64;
+        let mut inputs = 0usize;
+        let mut outputs = 0usize;
+        for v in nodes.iter() {
+            let (delay, node_area) = self.cost[v]?;
+            let mut start = 0.0f64;
+            for &(u, _) in self.dfg.data_preds(v) {
+                if nodes.contains(u) {
+                    start = start.max(self.finish[u]);
+                } else if self.node_stamp[u] != e {
+                    // Distinct external producer: one input port.
+                    self.node_stamp[u] = e;
+                    inputs += 1;
+                }
+            }
+            for &(_, r) in self.dfg.ext_inputs(v) {
+                let ri = r.index();
+                if self.reg_stamp[ri] != e {
+                    // Distinct external register: one input port.
+                    self.reg_stamp[ri] = e;
+                    inputs += 1;
+                }
+            }
+            let f = start + delay;
+            self.finish[v] = f;
+            longest = longest.max(f);
+            area += node_area;
+            if self.is_load[v] {
+                loads += 1;
+            }
+            if self.dfg.is_block_output(v)
+                || self
+                    .dfg
+                    .data_succs(v)
+                    .iter()
+                    .any(|&(d, _)| !nodes.contains(d))
+            {
+                outputs += 1;
+            }
+        }
+        // Loads inside a unit serialize through the single cache port.
+        if let Some(ld) = self.load_delay {
+            longest = longest.max(loads as f64 * ld);
+        }
+        Some(FullMetrics {
+            delay: longest,
+            area,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Cheap isomorphism-invariant structural key of `nodes`: an
+    /// order-independent (wrapping-sum) mix of per-node terms — label key
+    /// xor longest-path finish time — and per-internal-edge terms —
+    /// endpoint labels plus the destination port, collapsed to
+    /// [`canon::COMMUTATIVE_PORT`] when the consumer is commutative —
+    /// combined with the node and edge counts.
+    ///
+    /// Isomorphic embeddings of the same pattern share the key exactly
+    /// (every term is a function of the labelled pattern alone), so it
+    /// can dedup provenance events and front the canonical-fingerprint
+    /// cache; distinct patterns collide with ordinary 64-bit-hash
+    /// probability, which the golden provenance reports pin empirically.
+    pub(crate) fn cheap_key(&mut self, nodes: &BitSet) -> u64 {
+        let mut node_acc = 0u64;
+        let mut edge_acc = 0u64;
+        let mut edges = 0u64;
+        for v in nodes.iter() {
+            let delay = self.cost[v].map(|c| c.0).unwrap_or(0.0);
+            let mut start = 0.0f64;
+            for &(u, port) in self.dfg.data_preds(v) {
+                if nodes.contains(u) {
+                    start = start.max(self.finish[u]);
+                    edges += 1;
+                    let ptag = if self.commutative[v] {
+                        canon::COMMUTATIVE_PORT
+                    } else {
+                        port as u64
+                    };
+                    edge_acc = edge_acc.wrapping_add(canon::mix(canon::combine(
+                        canon::combine(self.label_key[u], self.label_key[v]),
+                        ptag,
+                    )));
+                }
+            }
+            let f = start + delay;
+            self.finish[v] = f;
+            node_acc = node_acc.wrapping_add(canon::mix(self.label_key[v] ^ f.to_bits()));
+        }
+        canon::mix(canon::combine(
+            canon::combine(nodes.len() as u64, edges),
+            node_acc.wrapping_add(edge_acc),
+        ))
+    }
+}
+
+/// Cross-seed cache from cheap structural keys to canonical fingerprints.
 ///
-/// `None` results (a node with no hardware implementation) are cached
-/// too, so repeated attempts to grow into an unimplementable shape stay
-/// cheap.
+/// The full WL fingerprint is needed only where a candidate's *identity*
+/// leaves the explorer — provenance events keyed for the lifecycle
+/// report. Each distinct cheap key pays for one pattern extraction and
+/// one fingerprint; every repeat (the same shape at another seed or in
+/// another growth order) is a hash-map hit. With provenance disabled the
+/// memo is never consulted, so the hot path does zero fingerprint work.
 #[derive(Debug, Default)]
-pub(crate) struct MetricsMemo {
-    map: HashMap<Fingerprint, Option<(f64, f64)>>,
+pub(crate) struct FingerprintMemo {
+    map: HashMap<u64, Fingerprint, canon::PremixedState>,
+    scratch: canon::CanonScratch,
     /// Lookups answered from the cache.
     pub(crate) hits: u64,
-    /// Lookups that had to compute delay/area.
+    /// Lookups that had to extract and fingerprint a pattern.
     pub(crate) misses: u64,
 }
 
-impl MetricsMemo {
-    /// Drop-in memoized equivalent of [`metrics_of`] (kept for the
-    /// memo-behaviour tests; production paths use [`Self::metrics_fp_of`]).
-    #[cfg(test)]
-    pub(crate) fn metrics_of(
+impl FingerprintMemo {
+    /// Canonical fingerprint of `nodes`, cached under its cheap key.
+    /// `keys`/`comm` are the per-node label hashes and commutativity
+    /// flags from the DFG's [`SubgraphEval`], so a miss skips the label
+    /// string hashing too.
+    pub(crate) fn lookup(
         &mut self,
         dfg: &Dfg,
+        keys: &[u64],
+        comm: &[bool],
         nodes: &BitSet,
-        hw: &HwLibrary,
-    ) -> Option<FullMetrics> {
-        self.metrics_fp_of(dfg, nodes, hw).1
-    }
-
-    /// [`MetricsMemo::metrics_of`] plus the canonical fingerprint it
-    /// keyed the cache with — the walker reuses it as the candidate's
-    /// provenance identity, so provenance costs no extra fingerprinting.
-    pub(crate) fn metrics_fp_of(
-        &mut self,
-        dfg: &Dfg,
-        nodes: &BitSet,
-        hw: &HwLibrary,
-    ) -> (Fingerprint, Option<FullMetrics>) {
+        cheap: u64,
+    ) -> Fingerprint {
+        if let Some(&fp) = self.map.get(&cheap) {
+            self.hits += 1;
+            return fp;
+        }
+        self.misses += 1;
         let pattern = extract_pattern(dfg, nodes);
-        let fp = canon::fingerprint(
-            &pattern,
-            DfgLabel::key,
-            |l| l.opcode.is_commutative(),
-            &canon::CanonConfig::default(),
-        );
-        let delay_area = match self.map.get(&fp) {
-            Some(&cached) => {
-                self.hits += 1;
-                cached
-            }
-            None => {
-                self.misses += 1;
-                let computed = hw.subgraph_delay(&pattern).zip(hw.subgraph_area(&pattern));
-                self.map.insert(fp, computed);
-                computed
-            }
-        };
-        let Some((delay, area)) = delay_area else {
-            return (fp, None);
-        };
-        (
-            fp,
-            Some(FullMetrics {
-                delay,
-                area,
-                inputs: dfg.input_count(nodes),
-                outputs: dfg.output_count(nodes),
-            }),
-        )
+        for v in nodes.iter() {
+            self.scratch.base.push(canon::mix(keys[v]));
+            self.scratch.comm.push(comm[v]);
+        }
+        let fp = canon::fingerprint_keys(&pattern, &canon::CanonConfig::default(), &mut self.scratch);
+        self.map.insert(cheap, fp);
+        fp
     }
 }
 
@@ -191,33 +388,63 @@ pub fn explore_dfg_metered(
 ) -> ExploreResult {
     meter.touch();
     let slack_info = dfg.schedule_info(|i| hw.sw_latency_of(i));
+    let n = dfg.len();
     let mut walker = Walker {
         dfg,
-        hw,
         cfg,
         slack_info: &slack_info,
+        eval: SubgraphEval::new(dfg, hw),
         seen: HashSet::new(),
-        memo: MetricsMemo::default(),
+        fps: FingerprintMemo::default(),
         result: ExploreResult::default(),
         meter,
         prov_on: isax_prov::enabled(),
         prov_noted: HashSet::new(),
+        nbrs: BitSet::with_capacity(n),
+        nbr_buf: Vec::new(),
     };
-    for seed in 0..dfg.len() {
-        if walker.result.stats.truncated {
-            break;
+    match cfg.beam_width {
+        None => {
+            for seed in 0..n {
+                if walker.result.stats.truncated {
+                    break;
+                }
+                if !walker.eval.eligible[seed] {
+                    continue;
+                }
+                let nodes: BitSet = [seed].into_iter().collect();
+                if let Some(m) = walker.eval.metrics(&nodes) {
+                    walker.grow(nodes, m, None);
+                }
+            }
         }
-        if !node_eligible(dfg, seed, hw) {
-            continue;
-        }
-        let nodes: BitSet = [seed].into_iter().collect();
-        let (fp, m) = walker.memo.metrics_fp_of(dfg, &nodes, hw);
-        if let Some(m) = m {
-            walker.grow(nodes, m, fp, None);
+        Some(width) => {
+            let mut frontier = Vec::new();
+            let mut seq = 0u64;
+            for seed in 0..n {
+                if !walker.eval.eligible[seed] {
+                    continue;
+                }
+                let nodes: BitSet = [seed].into_iter().collect();
+                if let Some(m) = walker.eval.metrics(&nodes) {
+                    // Seeds are examined before any grown candidate, in
+                    // seed order: they carry an infinite score and a
+                    // sequence-number tiebreak.
+                    frontier.push(BeamEntry {
+                        score: f64::INFINITY,
+                        seq,
+                        nodes,
+                        m,
+                        via: None,
+                    });
+                    seq += 1;
+                }
+            }
+            walker.run_beam(frontier, width, seq);
         }
     }
-    walker.result.stats.memo_hits = walker.memo.hits;
-    walker.result.stats.memo_misses = walker.memo.misses;
+    walker.result.stats.memo_hits = walker.fps.hits;
+    walker.result.stats.memo_misses = walker.fps.misses;
     walker.result
 }
 
@@ -298,22 +525,39 @@ pub fn explore_app_guarded(
     (out, degradations)
 }
 
+/// One unexamined candidate waiting in a beam frontier.
+struct BeamEntry {
+    /// Guide-score total of the direction that produced it (seeds:
+    /// `f64::INFINITY`, so they are always expanded first).
+    score: f64,
+    /// Creation order, the deterministic tiebreak for equal scores.
+    seq: u64,
+    nodes: BitSet,
+    m: FullMetrics,
+    via: Option<GuideScore>,
+}
+
 struct Walker<'a> {
     dfg: &'a Dfg,
-    hw: &'a HwLibrary,
     cfg: &'a ExploreConfig,
     slack_info: &'a SlackInfo,
+    eval: SubgraphEval<'a>,
     seen: HashSet<BitSet>,
-    memo: MetricsMemo,
+    fps: FingerprintMemo,
     result: ExploreResult,
     meter: &'a mut Meter,
     /// [`isax_prov::enabled`], hoisted once per walk.
     prov_on: bool,
-    /// Fingerprints already given a provenance event of a given kind
-    /// (`true` = discovered, `false` = pruned) in this walk. Provenance
-    /// reports one event per shape per DFG; the repeat encounters stay
-    /// counted in the stats, which the differential tests pin.
-    prov_noted: HashSet<(Fingerprint, bool)>,
+    /// Cheap structural keys already given a provenance event of a given
+    /// kind (`true` = discovered, `false` = pruned) in this walk.
+    /// Provenance reports one event per shape per DFG; the repeat
+    /// encounters stay counted in the stats, which the differential
+    /// tests pin.
+    prov_noted: HashSet<(u64, bool)>,
+    /// Scratch mask for the growth frontier of the current candidate.
+    nbrs: BitSet,
+    /// Scratch list of frontier node indices, ascending.
+    nbr_buf: Vec<usize>,
 }
 
 /// Copies a guide score into the provenance crate's dependency-free
@@ -328,35 +572,121 @@ fn breakdown(s: &crate::guide::GuideScore) -> isax_prov::ScoreBreakdown {
 }
 
 impl Walker<'_> {
-    fn grow(&mut self, nodes: BitSet, m: FullMetrics, fp: Fingerprint, via: Option<GuideScore>) {
-        if self.result.stats.truncated {
+    /// Depth-first growth, the historical traversal order: examine the
+    /// candidate, then recurse into its surviving directions best first.
+    fn grow(&mut self, nodes: BitSet, m: FullMetrics, via: Option<GuideScore>) {
+        let Some(dirs) = self.examine(&nodes, m, via.as_ref()) else {
             return;
+        };
+        for (_, dir, nm, s) in dirs {
+            self.grow(nodes.with(dir), nm, Some(s));
+        }
+    }
+
+    /// Level-synchronous best-first growth: each round sorts the frontier
+    /// of unexamined candidates by guide score (descending, creation
+    /// order as tiebreak), drops everything beyond the beam width as
+    /// pruned directions, and examines the survivors, collecting their
+    /// children into the next frontier.
+    ///
+    /// With `width = usize::MAX` nothing is ever dropped and the walk
+    /// examines exactly the candidate set of the depth-first order
+    /// (reachability with seen-dedup is traversal-order independent) —
+    /// pinned by the beam-equivalence proptest.
+    fn run_beam(&mut self, mut frontier: Vec<BeamEntry>, width: usize, mut seq: u64) {
+        while !frontier.is_empty() && !self.result.stats.truncated {
+            frontier.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.seq.cmp(&b.seq))
+            });
+            if frontier.len() > width {
+                self.result.stats.directions_pruned += (frontier.len() - width) as u64;
+                if self.prov_on {
+                    for e in frontier.iter().skip(width) {
+                        // Seeds carry no guide score; a dropped seed is
+                        // counted but not reported (there is no score to
+                        // explain the cut with).
+                        if let Some(s) = &e.via {
+                            self.note_pruned(&e.nodes, s, isax_prov::PruneReason::BeamDropped);
+                        }
+                    }
+                }
+                frontier.truncate(width);
+            }
+            let mut next: Vec<BeamEntry> = Vec::new();
+            for e in frontier {
+                if self.result.stats.truncated {
+                    break;
+                }
+                let Some(dirs) = self.examine(&e.nodes, e.m, e.via.as_ref()) else {
+                    continue;
+                };
+                for (total, dir, nm, s) in dirs {
+                    next.push(BeamEntry {
+                        score: total,
+                        seq,
+                        nodes: e.nodes.with(dir),
+                        m: nm,
+                        via: Some(s),
+                    });
+                    seq += 1;
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    /// Examines one candidate: dedup against `seen`, charge the meter,
+    /// record it if viable, then score every growth direction. Returns
+    /// `None` when the candidate was skipped (already seen, or the walk
+    /// is out of budget), otherwise the surviving directions best first
+    /// as `(total, direction node, grown metrics, score)`.
+    fn examine(
+        &mut self,
+        nodes: &BitSet,
+        m: FullMetrics,
+        via: Option<&GuideScore>,
+    ) -> Option<Vec<(f64, usize, FullMetrics, GuideScore)>> {
+        if self.result.stats.truncated {
+            return None;
         }
         if !self.seen.insert(nodes.clone()) {
-            return;
+            return None;
         }
         // One work unit per candidate examined, charged before the
         // examination: a budget of B stops after exactly B candidates.
         if !self.meter.charge(1) {
             self.result.stats.truncated = true;
-            return;
+            return None;
         }
         self.result.stats.note_examined(nodes.len());
-        if recordable(&m, self.cfg) && self.dfg.is_convex(&nodes) {
+        if recordable(&m, self.cfg) && self.dfg.is_convex(nodes) {
             self.result.stats.recorded += 1;
-            if self.prov_on && self.prov_noted.insert((fp, true)) {
-                self.result.prov.record(
-                    fp.0,
-                    isax_prov::ProvEvent::Discovered {
-                        dfg: 0, // stamped with the real index at the join point
-                        size: nodes.len(),
-                        delay: m.delay,
-                        area: m.area,
-                        inputs: m.inputs,
-                        outputs: m.outputs,
-                        score: via.as_ref().map(breakdown),
-                    },
-                );
+            if self.prov_on {
+                let ck = self.eval.cheap_key(nodes);
+                if self.prov_noted.insert((ck, true)) {
+                    let fp = self.fps.lookup(
+                        self.dfg,
+                        &self.eval.label_key,
+                        &self.eval.commutative,
+                        nodes,
+                        ck,
+                    );
+                    self.result.prov.record(
+                        fp.0,
+                        isax_prov::ProvEvent::Discovered {
+                            dfg: 0, // stamped with the real index at the join point
+                            size: nodes.len(),
+                            delay: m.delay,
+                            area: m.area,
+                            inputs: m.inputs,
+                            outputs: m.outputs,
+                            score: via.map(breakdown),
+                        },
+                    );
+                }
             }
             self.result.candidates.push(Candidate {
                 dfg: 0,
@@ -368,18 +698,27 @@ impl Walker<'_> {
             });
         }
         if nodes.len() >= self.cfg.max_nodes {
-            return;
+            return Some(Vec::new());
         }
+        // Growth frontier: union of the members' adjacency masks, minus
+        // the members — ascending, as `Dfg::neighbours` used to return.
+        let mut nbr_buf = std::mem::take(&mut self.nbr_buf);
+        nbr_buf.clear();
+        self.nbrs.clear();
+        for v in nodes.iter() {
+            self.nbrs.union_with(&self.eval.adj[v]);
+        }
+        nbr_buf.extend(
+            self.nbrs
+                .iter()
+                .filter(|&d| !nodes.contains(d) && self.eval.eligible[d]),
+        );
         // Score every eligible direction.
         let old = m.as_guide();
-        let mut dirs: Vec<(f64, usize, FullMetrics, Fingerprint, GuideScore)> = Vec::new();
-        for dir in self.dfg.neighbours(&nodes) {
-            if !node_eligible(self.dfg, dir, self.hw) {
-                continue;
-            }
+        let mut dirs: Vec<(f64, usize, FullMetrics, GuideScore)> = Vec::new();
+        for &dir in &nbr_buf {
             let grown = nodes.with(dir);
-            let (nfp, nm) = self.memo.metrics_fp_of(self.dfg, &grown, self.hw);
-            let Some(nm) = nm else {
+            let Some(nm) = self.eval.metrics(&grown) else {
                 continue;
             };
             if !growable(&nm, self.cfg) {
@@ -388,11 +727,14 @@ impl Walker<'_> {
             let s = score(&old, &nm.as_guide(), self.slack_info.slack[dir], self.cfg);
             if s.total() < self.cfg.threshold {
                 self.result.stats.directions_pruned += 1;
-                self.note_pruned(nfp, &s, isax_prov::PruneReason::BelowThreshold);
+                if self.prov_on {
+                    self.note_pruned(&grown, &s, isax_prov::PruneReason::BelowThreshold);
+                }
                 continue;
             }
-            dirs.push((s.total(), dir, nm, nfp, s));
+            dirs.push((s.total(), dir, nm, s));
         }
+        self.nbr_buf = nbr_buf;
         // Best directions first; optionally cap the fanout — with the
         // adaptive taper tightening the cap once candidates grow large.
         dirs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -405,22 +747,31 @@ impl Walker<'_> {
         if let Some(cap) = cap {
             if dirs.len() > cap {
                 self.result.stats.directions_pruned += (dirs.len() - cap) as u64;
-                for (_, _, _, nfp, s) in &dirs[cap..] {
-                    let (nfp, s) = (*nfp, *s);
-                    self.note_pruned(nfp, &s, isax_prov::PruneReason::FanoutCap);
+                if self.prov_on {
+                    for &(_, dir, _, s) in dirs.iter().skip(cap) {
+                        let grown = nodes.with(dir);
+                        self.note_pruned(&grown, &s, isax_prov::PruneReason::FanoutCap);
+                    }
                 }
                 dirs.truncate(cap);
             }
         }
-        for (_, dir, nm, nfp, s) in dirs {
-            self.grow(nodes.with(dir), nm, nfp, Some(s));
-        }
+        Some(dirs)
     }
 
     /// Records a `Pruned` event for a dropped growth direction, at most
-    /// once per (shape, kind) per walk.
-    fn note_pruned(&mut self, fp: Fingerprint, s: &GuideScore, reason: isax_prov::PruneReason) {
-        if self.prov_on && self.prov_noted.insert((fp, false)) {
+    /// once per (shape, kind) per walk. Callers gate on `prov_on`, so a
+    /// disabled run never computes the cheap key.
+    fn note_pruned(&mut self, grown: &BitSet, s: &GuideScore, reason: isax_prov::PruneReason) {
+        let ck = self.eval.cheap_key(grown);
+        if self.prov_noted.insert((ck, false)) {
+            let fp = self.fps.lookup(
+                self.dfg,
+                &self.eval.label_key,
+                &self.eval.commutative,
+                grown,
+                ck,
+            );
             self.result.prov.record(
                 fp.0,
                 isax_prov::ProvEvent::Pruned {
@@ -437,7 +788,7 @@ impl Walker<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isax_ir::{function_dfgs, FunctionBuilder};
+    use isax_ir::{function_dfgs, DfgLabel, FunctionBuilder};
 
     fn hw() -> HwLibrary {
         HwLibrary::micron_018()
@@ -544,10 +895,10 @@ mod tests {
     }
 
     #[test]
-    fn memo_hits_on_repeated_shapes_and_agrees_with_fresh_metrics() {
+    fn incremental_metrics_agree_with_fresh_metrics() {
         // Two structurally identical xor→shl pairs at different node
-        // indices: the second lookup of the shape must come from the
-        // cache and still agree with a fresh computation byte for byte.
+        // indices: the incremental evaluator must agree with the
+        // from-scratch reference byte for byte on both embeddings.
         let mut fb = FunctionBuilder::new("m", 4);
         let a = fb.param(0);
         let b = fb.param(1);
@@ -561,52 +912,70 @@ mod tests {
         fb.ret(&[j.into()]);
         let dfg = function_dfgs(&fb.finish()).remove(0);
         let hw = hw();
-        let mut memo = MetricsMemo::default();
+        let mut eval = SubgraphEval::new(&dfg, &hw);
         let first: BitSet = [0usize, 1].into_iter().collect();
         let second: BitSet = [2usize, 3].into_iter().collect();
-        let m1 = memo.metrics_of(&dfg, &first, &hw).unwrap();
-        assert_eq!((memo.hits, memo.misses), (0, 1));
-        let m2 = memo.metrics_of(&dfg, &second, &hw).unwrap();
-        assert_eq!((memo.hits, memo.misses), (1, 1), "same shape must hit");
-        // The cached answer is exactly what a fresh computation gives.
+        let m1 = eval.metrics(&first).unwrap();
+        let m2 = eval.metrics(&second).unwrap();
+        assert_eq!(m1, metrics_of(&dfg, &first, &hw).unwrap());
         assert_eq!(m2, metrics_of(&dfg, &second, &hw).unwrap());
         assert_eq!(m1.delay, m2.delay);
         assert_eq!(m1.area, m2.area);
-        // Re-asking for the first set hits as well.
-        let m1_again = memo.metrics_of(&dfg, &first, &hw).unwrap();
-        assert_eq!((memo.hits, memo.misses), (2, 1));
-        assert_eq!(m1_again, m1);
+        // Isomorphic embeddings share the cheap structural key, so the
+        // fingerprint memo computes one fingerprint and serves the rest.
+        let k1 = eval.cheap_key(&first);
+        let k2 = eval.cheap_key(&second);
+        assert_eq!(k1, k2, "same shape must share the cheap key");
+        let mut memo = FingerprintMemo::default();
+        let f1 = memo.lookup(&dfg, &eval.label_key, &eval.commutative, &first, k1);
+        let f2 = memo.lookup(&dfg, &eval.label_key, &eval.commutative, &second, k2);
+        assert_eq!((memo.hits, memo.misses), (1, 1), "same shape must hit");
+        assert_eq!(f1, f2);
+        // The cached fingerprint is the canonical one.
+        let fresh = canon::fingerprint(
+            &extract_pattern(&dfg, &second),
+            DfgLabel::key,
+            |l| l.opcode.is_commutative(),
+            &canon::CanonConfig::default(),
+        );
+        assert_eq!(f2, fresh);
     }
 
     #[test]
-    fn memo_ports_stay_per_node_set() {
-        // Same pattern shape, different embedding: node 1's value also
-        // feeds node 3, so {0,1} has an extra output compared to {2,3}.
-        // The memo must not leak port counts across occurrences.
+    fn eval_ports_stay_per_node_set() {
+        // Same pattern shape, different embedding: node 0 is also a block
+        // output, so both members of {0,1} escape while only one member
+        // of {2,3} does. The incremental evaluator computes ports per
+        // embedding even though the shapes share delay/area and cheap key.
         let mut fb = FunctionBuilder::new("p", 2);
         let a = fb.param(0);
         let b = fb.param(1);
-        let t1 = fb.xor(a, b); // 0
-        let s1 = fb.add(t1, b); // 1
-        let t2 = fb.xor(s1, a); // 2   (consumes node 1 → node 1 escapes)
-        let s2 = fb.add(t2, b); // 3
-        fb.ret(&[s2.into()]);
+        let t1 = fb.xor(a, b); // 0   (escapes: block output)
+        let s1 = fb.add(t1, b); // 1   (escapes: consumed by node 2)
+        let t2 = fb.xor(s1, a); // 2
+        let s2 = fb.add(t2, b); // 3   (escapes: block output)
+        fb.ret(&[t1.into(), s2.into()]);
         let dfg = function_dfgs(&fb.finish()).remove(0);
         let hw = hw();
-        let mut memo = MetricsMemo::default();
+        let mut eval = SubgraphEval::new(&dfg, &hw);
         let first: BitSet = [0usize, 1].into_iter().collect();
         let second: BitSet = [2usize, 3].into_iter().collect();
-        let m1 = memo.metrics_of(&dfg, &first, &hw).unwrap();
-        let m2 = memo.metrics_of(&dfg, &second, &hw).unwrap();
-        assert_eq!(memo.hits, 1, "shapes are canonically equal");
+        let m1 = eval.metrics(&first).unwrap();
+        let m2 = eval.metrics(&second).unwrap();
+        assert_eq!(
+            eval.cheap_key(&first),
+            eval.cheap_key(&second),
+            "shapes are canonically equal"
+        );
         assert_eq!(m1.delay, m2.delay);
         assert_eq!(m1.area, m2.area);
         assert_eq!(m1, metrics_of(&dfg, &first, &hw).unwrap());
         assert_eq!(m2, metrics_of(&dfg, &second, &hw).unwrap());
+        assert_ne!(m1.outputs, m2.outputs, "embedding-specific ports");
     }
 
     #[test]
-    fn memo_caches_unimplementable_shapes() {
+    fn eval_rejects_unimplementable_shapes() {
         let mut fb = FunctionBuilder::new("u", 2);
         let p = fb.param(0);
         let q = fb.param(1);
@@ -614,22 +983,57 @@ mod tests {
         fb.ret(&[v.into()]);
         let dfg = function_dfgs(&fb.finish()).remove(0);
         let hw = hw();
-        let mut memo = MetricsMemo::default();
+        let mut eval = SubgraphEval::new(&dfg, &hw);
         let nodes: BitSet = [0usize].into_iter().collect();
-        assert!(memo.metrics_of(&dfg, &nodes, &hw).is_none());
-        assert!(memo.metrics_of(&dfg, &nodes, &hw).is_none());
-        assert_eq!((memo.hits, memo.misses), (1, 1), "None is cached too");
+        assert!(eval.metrics(&nodes).is_none());
+        assert!(eval.metrics(&nodes).is_none());
+        assert!(metrics_of(&dfg, &nodes, &hw).is_none());
     }
 
     #[test]
-    fn explore_reports_memo_counters() {
+    fn memo_counters_are_zero_without_provenance() {
+        // The fingerprint memo fronts provenance identity only: a
+        // prov-off exploration must never touch it.
         let dfg = kernel_dfg();
         let r = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
-        assert!(r.stats.memo_misses > 0, "fresh shapes were computed");
-        assert!(
-            r.stats.memo_hits > 0,
-            "the grow loop revisits shapes via different paths"
-        );
+        assert_eq!(r.stats.memo_hits, 0, "no fingerprint work on hot path");
+        assert_eq!(r.stats.memo_misses, 0);
+    }
+
+    #[test]
+    fn infinite_beam_examines_the_exhaustive_candidate_set() {
+        let dfg = kernel_dfg();
+        let dfs = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let beam_cfg = ExploreConfig {
+            beam_width: Some(usize::MAX),
+            ..ExploreConfig::default()
+        };
+        let beam = explore_dfg(&dfg, &hw(), &beam_cfg);
+        let mut a: Vec<_> = dfs.candidates.iter().map(|c| c.nodes.clone()).collect();
+        let mut b: Vec<_> = beam.candidates.iter().map(|c| c.nodes.clone()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "beam ∞ must reach the same candidates");
+        assert_eq!(dfs.stats.examined, beam.stats.examined);
+        assert_eq!(dfs.stats.recorded, beam.stats.recorded);
+        assert_eq!(dfs.stats.directions_pruned, beam.stats.directions_pruned);
+        assert_eq!(dfs.stats.examined_by_size, beam.stats.examined_by_size);
+    }
+
+    #[test]
+    fn narrow_beam_reduces_exploration_and_stays_sound() {
+        let dfg = kernel_dfg();
+        let full = explore_dfg(&dfg, &hw(), &ExploreConfig::default());
+        let narrow_cfg = ExploreConfig {
+            beam_width: Some(2),
+            ..ExploreConfig::default()
+        };
+        let narrow = explore_dfg(&dfg, &hw(), &narrow_cfg);
+        assert!(narrow.stats.examined <= full.stats.examined);
+        let full_sets: HashSet<_> = full.candidates.iter().map(|c| c.nodes.clone()).collect();
+        for c in &narrow.candidates {
+            assert!(full_sets.contains(&c.nodes), "beam invented a candidate");
+        }
     }
 
     #[test]
@@ -648,6 +1052,23 @@ mod tests {
         for c in &partial.candidates {
             assert!(full_sets.contains(&c.nodes));
         }
+    }
+
+    #[test]
+    fn metered_beam_stops_after_exactly_budget_candidates() {
+        let dfg = kernel_dfg();
+        let cfg = ExploreConfig {
+            beam_width: Some(usize::MAX),
+            ..ExploreConfig::default()
+        };
+        let full = explore_dfg(&dfg, &hw(), &cfg);
+        assert!(!full.stats.truncated);
+        let budget = full.stats.examined / 2;
+        let mut meter = Meter::with_limit(Stage::Explore, 0, budget);
+        let partial = explore_dfg_metered(&dfg, &hw(), &cfg, &mut meter);
+        assert!(partial.stats.truncated);
+        assert_eq!(partial.stats.examined, budget);
+        assert_eq!(meter.spent(), budget);
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub mod naive;
 
 pub use candidate::{Candidate, ExploreResult, ExploreStats};
 pub use config::{ExploreConfig, GuideWeights};
-pub use grow::{explore_app, explore_app_guarded, explore_dfg, explore_dfg_metered};
+pub use grow::{
+    explore_app, explore_app_guarded, explore_dfg, explore_dfg_metered, metrics_of, FullMetrics,
+    SubgraphEval,
+};
 pub use guide::{score_direction, GuideScore};
 pub use naive::explore_dfg_naive;

@@ -1,6 +1,7 @@
 //! Exploration invariants on random dataflow graphs.
 
-use isax_explore::{explore_dfg, explore_dfg_naive, ExploreConfig};
+use isax_explore::{explore_dfg, explore_dfg_naive, metrics_of, ExploreConfig, SubgraphEval};
+use isax_graph::BitSet;
 use isax_hwlib::HwLibrary;
 use isax_ir::{function_dfgs, Dfg, FunctionBuilder, VReg};
 use proptest::prelude::*;
@@ -87,5 +88,107 @@ proptest! {
             prop_assert!(fset.contains(&key));
         }
         prop_assert!(tapered.stats.examined <= full.stats.examined);
+    }
+
+    /// The incremental evaluator agrees with the from-scratch reference
+    /// bit for bit on **every prefix of every growth sequence**: starting
+    /// from each node, grow one data-neighbour at a time and compare
+    /// [`SubgraphEval::metrics`] against [`metrics_of`] at every step.
+    /// (`Option::None` — some member unimplementable — must agree too.)
+    #[test]
+    fn incremental_metrics_match_reference_on_growth_prefixes(
+        ops in proptest::collection::vec((0usize..8, 0usize..6, -64i64..64), 2..22),
+    ) {
+        let dfg = random_dfg(&ops);
+        let hw = HwLibrary::micron_018();
+        let mut eval = SubgraphEval::new(&dfg, &hw);
+        for seed in 0..dfg.len() {
+            let mut nodes: BitSet = [seed].into_iter().collect();
+            loop {
+                let fast = eval.metrics(&nodes);
+                let slow = metrics_of(&dfg, &nodes, &hw);
+                prop_assert_eq!(
+                    fast, slow,
+                    "divergence on {:?}", nodes.iter().collect::<Vec<_>>()
+                );
+                if let (Some(f), Some(s)) = (fast, slow) {
+                    // Bit-level equality of the floats, not just PartialEq.
+                    prop_assert_eq!(f.delay.to_bits(), s.delay.to_bits());
+                    prop_assert_eq!(f.area.to_bits(), s.area.to_bits());
+                }
+                // Grow along the first unused data neighbour.
+                let next = dfg.neighbours(&nodes).into_iter().next();
+                match next {
+                    Some(d) if nodes.len() < 12 => { nodes.insert(d); }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// An infinite beam examines exactly the candidate set of the default
+    /// depth-first walk — same candidates (as a set), same examined /
+    /// recorded / pruned / per-size statistics.
+    #[test]
+    fn infinite_beam_is_equivalent_to_depth_first(
+        ops in proptest::collection::vec((0usize..8, 0usize..6, -64i64..64), 2..22),
+    ) {
+        let dfg = random_dfg(&ops);
+        let hw = HwLibrary::micron_018();
+        let dfs = explore_dfg(&dfg, &hw, &ExploreConfig::default());
+        let beam_cfg = ExploreConfig {
+            beam_width: Some(usize::MAX),
+            ..ExploreConfig::default()
+        };
+        let beam = explore_dfg(&dfg, &hw, &beam_cfg);
+        let key = |r: &isax_explore::ExploreResult| -> Vec<(Vec<usize>, u64, u64, usize, usize)> {
+            let mut v: Vec<_> = r
+                .candidates
+                .iter()
+                .map(|c| {
+                    (
+                        c.nodes.iter().collect::<Vec<_>>(),
+                        c.delay.to_bits(),
+                        c.area.to_bits(),
+                        c.inputs,
+                        c.outputs,
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&dfs), key(&beam));
+        prop_assert_eq!(dfs.stats.examined, beam.stats.examined);
+        prop_assert_eq!(dfs.stats.recorded, beam.stats.recorded);
+        prop_assert_eq!(dfs.stats.directions_pruned, beam.stats.directions_pruned);
+        prop_assert_eq!(&dfs.stats.examined_by_size, &beam.stats.examined_by_size);
+        prop_assert!(!beam.stats.truncated);
+    }
+
+    /// A finite beam's candidates are always a subset of the exhaustive
+    /// walk's, and narrower beams examine no more than wider ones.
+    #[test]
+    fn beam_candidates_are_a_sound_subset(
+        ops in proptest::collection::vec((0usize..8, 0usize..6, -64i64..64), 2..22),
+        width in 1usize..6,
+    ) {
+        let dfg = random_dfg(&ops);
+        let hw = HwLibrary::micron_018();
+        let full = explore_dfg(&dfg, &hw, &ExploreConfig::default());
+        let narrow = explore_dfg(&dfg, &hw, &ExploreConfig {
+            beam_width: Some(width),
+            ..ExploreConfig::default()
+        });
+        let fset: BTreeSet<Vec<usize>> = full
+            .candidates
+            .iter()
+            .map(|c| c.nodes.iter().collect())
+            .collect();
+        for c in &narrow.candidates {
+            let key: Vec<usize> = c.nodes.iter().collect();
+            prop_assert!(fset.contains(&key), "beam invented candidate {key:?}");
+        }
+        prop_assert!(narrow.stats.examined <= full.stats.examined);
     }
 }

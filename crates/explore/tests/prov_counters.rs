@@ -1,0 +1,124 @@
+//! Provenance-mode counter contracts for the explorer.
+//!
+//! The canonical-fingerprint memo exists *only* for provenance identity:
+//! with recording enabled it answers one miss per distinct candidate
+//! shape and hits on every repeat encounter, and those counters must not
+//! depend on the traversal order (depth-first vs beam). The provenance
+//! enable flag is process-global, so everything lives in one `#[test]`
+//! in its own integration binary — unit tests in the library (which run
+//! concurrently) never enable it.
+
+use isax_explore::{explore_dfg, ExploreConfig};
+use isax_hwlib::HwLibrary;
+use isax_ir::{function_dfgs, Dfg, FunctionBuilder};
+
+fn kernel_dfg() -> Dfg {
+    let mut fb = FunctionBuilder::new("k", 3);
+    let a = fb.param(0);
+    let b = fb.param(1);
+    let k = fb.param(2);
+    let t = fb.xor(a, k);
+    let l = fb.shl(t, 5i64);
+    let r = fb.shr(t, 27i64);
+    let rot = fb.or(l, r);
+    let s = fb.add(rot, b);
+    let u = fb.and(s, 0xFFFFi64);
+    fb.ret(&[u.into()]);
+    function_dfgs(&fb.finish()).remove(0)
+}
+
+#[test]
+fn prov_mode_memo_counters_are_live_and_order_independent() {
+    let dfg = kernel_dfg();
+    let hw = HwLibrary::micron_018();
+    let cfg = ExploreConfig::default();
+
+    // Baseline: provenance off, the memo is never consulted.
+    let off = explore_dfg(&dfg, &hw, &cfg);
+    assert_eq!((off.stats.memo_hits, off.stats.memo_misses), (0, 0));
+    assert!(off.prov.events().is_empty());
+
+    let _guard = isax_prov::enable();
+
+    // Provenance on: one miss per distinct shape given an event, hits on
+    // the repeat encounters, and one Discovered event per recorded shape.
+    let dfs = explore_dfg(&dfg, &hw, &cfg);
+    assert!(dfs.stats.memo_misses > 0, "distinct shapes must miss once");
+    let discovered = dfs
+        .prov
+        .events()
+        .iter()
+        .filter(|(_, e)| matches!(e, isax_prov::ProvEvent::Discovered { .. }))
+        .count();
+    assert!(discovered > 0);
+    assert!(
+        discovered as u64 <= dfs.stats.memo_misses,
+        "every Discovered shape paid exactly one fingerprint miss"
+    );
+    // The candidate payloads themselves are unchanged by recording.
+    assert_eq!(dfs.candidates, off.candidates);
+    assert_eq!(dfs.stats.examined, off.stats.examined);
+    assert_eq!(dfs.stats.recorded, off.stats.recorded);
+
+    // Memo counters are functions of the *set* of encounters, not the
+    // traversal order: an infinite beam (breadth-first) reproduces them.
+    let beam = explore_dfg(
+        &dfg,
+        &hw,
+        &ExploreConfig {
+            beam_width: Some(usize::MAX),
+            ..ExploreConfig::default()
+        },
+    );
+    assert_eq!(beam.stats.memo_hits, dfs.stats.memo_hits);
+    assert_eq!(beam.stats.memo_misses, dfs.stats.memo_misses);
+    let beam_discovered = beam
+        .prov
+        .events()
+        .iter()
+        .filter(|(_, e)| matches!(e, isax_prov::ProvEvent::Discovered { .. }))
+        .count();
+    assert_eq!(beam_discovered, discovered);
+    // And the discovered fingerprints are the same set.
+    let fps = |r: &isax_explore::ExploreResult| {
+        let mut v: Vec<u64> = r
+            .prov
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, isax_prov::ProvEvent::Discovered { .. }))
+            .map(|&(fp, _)| fp)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(fps(&dfs), fps(&beam));
+
+    // A finite beam records BeamDropped prune events for what it cuts.
+    let narrow = explore_dfg(
+        &dfg,
+        &hw,
+        &ExploreConfig {
+            beam_width: Some(1),
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(narrow.stats.examined <= dfs.stats.examined);
+    let dropped = narrow
+        .prov
+        .events()
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                isax_prov::ProvEvent::Pruned {
+                    reason: isax_prov::PruneReason::BeamDropped,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        dropped > 0,
+        "a width-1 beam on a branching kernel must drop directions"
+    );
+}

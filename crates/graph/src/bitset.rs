@@ -117,6 +117,21 @@ impl BitSet {
         })
     }
 
+    /// Removes all elements, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Adds every element of `other` to `self`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
     /// Drop trailing zero words so that equality and hashing are canonical.
     fn normalize(&mut self) {
         while self.words.last() == Some(&0) {
@@ -184,6 +199,25 @@ mod tests {
         assert!(a.is_disjoint(&c));
         assert!(!a.is_disjoint(&b));
         assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn clear_keeps_canonical_form() {
+        let mut a: BitSet = [1usize, 500].into_iter().collect();
+        a.clear();
+        assert_eq!(a, BitSet::new());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn union_with_grows_and_merges() {
+        let mut a: BitSet = [1usize, 64].into_iter().collect();
+        let b: BitSet = [2usize, 300].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 64, 300]);
+        let mut c = BitSet::new();
+        c.union_with(&a);
+        assert_eq!(c, a);
     }
 
     #[test]

@@ -69,14 +69,18 @@ impl std::fmt::Display for Fingerprint {
 }
 
 /// splitmix64 finalizer: cheap, deterministic, well-mixed.
-fn mix(mut x: u64) -> u64 {
+///
+/// Public so cheaper sibling hashes (e.g. the explorer's incremental
+/// structural key) can share the same mixing primitive.
+pub fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
     x ^ (x >> 31)
 }
 
-fn combine(a: u64, b: u64) -> u64 {
+/// Order-sensitive combination of two hashes (shared with [`mix`]).
+pub fn combine(a: u64, b: u64) -> u64 {
     mix(a ^ b.wrapping_mul(0x2545f4914f6cdd1d))
 }
 
@@ -84,17 +88,141 @@ fn combine(a: u64, b: u64) -> u64 {
 ///
 /// Convenience for callers whose node labels are strings.
 pub fn hash_str(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    let mut h = StrHasher::new();
+    use std::fmt::Write as _;
+    let _ = h.write_str(s);
+    h.finish()
+}
+
+/// Streaming form of [`hash_str`]: writing string fragments (via
+/// [`std::fmt::Write`], so `write!` works too) produces exactly the hash
+/// of their concatenation, without materializing it. Lets label hashes be
+/// computed allocation-free on hot paths.
+#[derive(Debug, Clone, Copy)]
+pub struct StrHasher(u64);
+
+impl StrHasher {
+    /// Starts from the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        StrHasher(0xcbf29ce484222325)
     }
-    mix(h)
+
+    /// Finalizes with the same [`mix`] step as [`hash_str`].
+    pub fn finish(self) -> u64 {
+        mix(self.0)
+    }
+}
+
+impl std::fmt::Write for StrHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        Ok(())
+    }
+}
+
+/// A [`std::hash::Hasher`] for map keys that are already uniformly mixed
+/// `u64`s — the outputs of [`mix`], [`combine`], [`hash_str`],
+/// [`multiset_key`] or [`fingerprint`]. Re-hashing such keys with SipHash
+/// buys nothing; this hasher folds the written words together with a
+/// rotate-xor instead. Use via [`PremixedState`]. Do **not** use it for
+/// keys that are not hash outputs (sequential ids, small integers): their
+/// low bits would collide in the table.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PremixedHasher(u64);
+
+/// `BuildHasher` for [`PremixedHasher`]; deterministic across processes.
+pub type PremixedState = std::hash::BuildHasherDefault<PremixedHasher>;
+
+impl std::hash::Hasher for PremixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer key components: FNV-1a, folded in.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.write_u64(h);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = self.0.rotate_left(31) ^ v;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
 }
 
 /// Port tag used for edges whose destination treats ports as
 /// interchangeable.
-const COMMUTATIVE_PORT: u64 = 0xFFFF;
+pub const COMMUTATIVE_PORT: u64 = 0xFFFF;
+
+/// A cheap, order-independent structural key: the mixed multisets of node
+/// keys and of `(source key, destination key, port)` edge triples, with
+/// ports normalized to [`COMMUTATIVE_PORT`] on commutative consumers.
+///
+/// Weaker than [`fingerprint`] (it ignores how edges chain together), but
+/// **sound** for the same equivalence: commutativity-aware isomorphic
+/// graphs always get equal keys. That makes it a drop-in prefilter
+/// anywhere equality is confirmed exactly afterwards (VF2 inside
+/// buckets), at a single unsorted pass instead of `rounds` sorted ones.
+pub fn multiset_key<N>(
+    g: &DiGraph<N>,
+    key_of: impl Fn(crate::digraph::NodeId) -> u64,
+    comm_of: impl Fn(crate::digraph::NodeId) -> bool,
+) -> u64 {
+    let mut nodes = 0u64;
+    let mut edges = 0u64;
+    for v in g.node_ids() {
+        nodes = nodes.wrapping_add(mix(key_of(v)));
+    }
+    for e in g.edges() {
+        let port = if comm_of(e.dst) {
+            COMMUTATIVE_PORT
+        } else {
+            e.port as u64
+        };
+        edges = edges.wrapping_add(mix(combine(combine(key_of(e.src), key_of(e.dst)), port)));
+    }
+    mix(combine(
+        combine(g.node_count() as u64, g.edge_count() as u64),
+        nodes.wrapping_add(edges),
+    ))
+}
+
+/// Reusable buffers for [`fingerprint_keys`].
+///
+/// The subsumption and wildcard passes fingerprint tens of thousands of
+/// small graphs; reusing one scratch across calls removes five heap
+/// allocations per fingerprint without changing a single output bit.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    colour: Vec<u64>,
+    next: Vec<u64>,
+    sorted: Vec<u64>,
+    /// Per-node base colours, exposed so callers can fill it directly
+    /// (see [`fingerprint_keys`]); `base[v] = mix(label_hash(v))`.
+    pub base: Vec<u64>,
+    /// Per-node commutativity flags, filled by the caller alongside
+    /// [`CanonScratch::base`].
+    pub comm: Vec<bool>,
+}
 
 /// Computes the commutativity-aware structural fingerprint of `g`.
 ///
@@ -107,46 +235,72 @@ pub fn fingerprint<N>(
     commutative: impl Fn(&N) -> bool,
     cfg: &CanonConfig,
 ) -> Fingerprint {
+    let mut scratch = CanonScratch::default();
+    scratch.comm.extend(g.node_ids().map(|v| commutative(&g[v])));
+    scratch.base.extend(g.node_ids().map(|v| mix(label(&g[v]))));
+    fingerprint_keys(g, cfg, &mut scratch)
+}
+
+/// Core of [`fingerprint`]: refinement over caller-supplied per-node base
+/// colours and commutativity flags in `scratch.base` / `scratch.comm`
+/// (one entry per node, insertion order; `base[v]` must already be
+/// `mix`ed). Callers that fingerprint many related graphs — the closure
+/// walk, the wildcard bucketing — precompute label hashes once and reuse
+/// the scratch, skipping the per-call string hashing and allocations.
+/// `scratch.base`/`scratch.comm` are cleared on return; output is
+/// bit-identical to [`fingerprint`].
+pub fn fingerprint_keys<N>(
+    g: &DiGraph<N>,
+    cfg: &CanonConfig,
+    scratch: &mut CanonScratch,
+) -> Fingerprint {
     let n = g.node_count();
+    debug_assert_eq!(scratch.base.len(), n);
+    debug_assert_eq!(scratch.comm.len(), n);
     if n == 0 {
+        scratch.base.clear();
+        scratch.comm.clear();
         return Fingerprint(mix(0));
     }
-    let comm: Vec<bool> = g.node_ids().map(|v| commutative(&g[v])).collect();
-    let base: Vec<u64> = g.node_ids().map(|v| mix(label(&g[v]))).collect();
-    let mut colour = base.clone();
-    let mut next = vec![0u64; n];
-    let mut scratch: Vec<u64> = Vec::new();
+    scratch.colour.clear();
+    scratch.colour.extend_from_slice(&scratch.base);
+    scratch.next.clear();
+    scratch.next.resize(n, 0u64);
+    let (base, comm) = (&scratch.base, &scratch.comm);
+    let (mut colour, mut next) = (&mut scratch.colour, &mut scratch.next);
     for _round in 0..cfg.rounds {
         for v in g.node_ids() {
             let vi = v.index();
             let mut h = combine(base[vi], 0x1d);
             // In-neighbourhood, tagged with ports unless v is commutative.
-            scratch.clear();
+            scratch.sorted.clear();
             for e in g.preds(v) {
                 let port = if comm[vi] {
                     COMMUTATIVE_PORT
                 } else {
                     e.port as u64
                 };
-                scratch.push(combine(colour[e.src.index()], mix(port)));
+                scratch.sorted.push(combine(colour[e.src.index()], mix(port)));
             }
-            scratch.sort_unstable();
-            for &s in &scratch {
+            scratch.sorted.sort_unstable();
+            for &s in &scratch.sorted {
                 h = combine(h, combine(s, 0xA11CE));
             }
             // Out-neighbourhood, tagged with the consumer port unless the
             // consumer is commutative.
-            scratch.clear();
+            scratch.sorted.clear();
             for e in g.succs(v) {
                 let port = if comm[e.dst.index()] {
                     COMMUTATIVE_PORT
                 } else {
                     e.port as u64
                 };
-                scratch.push(combine(colour[e.dst.index()], mix(port ^ 0x0DD)));
+                scratch
+                    .sorted
+                    .push(combine(colour[e.dst.index()], mix(port ^ 0x0DD)));
             }
-            scratch.sort_unstable();
-            for &s in &scratch {
+            scratch.sorted.sort_unstable();
+            for &s in &scratch.sorted {
                 h = combine(h, combine(s, 0xB0B));
             }
             next[vi] = h;
@@ -155,9 +309,11 @@ pub fn fingerprint<N>(
     }
     colour.sort_unstable();
     let mut out = combine(n as u64, g.edge_count() as u64);
-    for c in colour {
+    for &c in colour.iter() {
         out = combine(out, c);
     }
+    scratch.base.clear();
+    scratch.comm.clear();
     Fingerprint(out)
 }
 
@@ -176,6 +332,16 @@ mod tests {
 
     fn fp(g: &DiGraph<&str>) -> Fingerprint {
         fingerprint(g, lab, comm, &CanonConfig::default())
+    }
+
+    #[test]
+    fn str_hasher_streams_the_same_hash() {
+        use std::fmt::Write as _;
+        let mut h = StrHasher::new();
+        let _ = h.write_str("shl");
+        let _ = write!(h, "#{}:{}", 1u8, -42i64);
+        assert_eq!(h.finish(), hash_str("shl#1:-42"));
+        assert_eq!(StrHasher::new().finish(), hash_str(""));
     }
 
     #[test]
@@ -292,6 +458,41 @@ mod tests {
         one.add_edge(x2, a2, 0);
 
         assert_ne!(fp(&both), fp(&one));
+    }
+
+    #[test]
+    fn multiset_key_is_isomorphism_invariant() {
+        let mk = |g: &DiGraph<&str>| {
+            multiset_key(g, |v| hash_str(g[v]), |v| comm(&g[v]))
+        };
+        // Insertion order must not matter.
+        let mut g1 = DiGraph::new();
+        let a = g1.add_node("shl");
+        let b = g1.add_node("and");
+        g1.add_edge(a, b, 0);
+        let mut g2 = DiGraph::new();
+        let b2 = g2.add_node("and");
+        let a2 = g2.add_node("shl");
+        g2.add_edge(a2, b2, 0);
+        assert_eq!(mk(&g1), mk(&g2));
+        // Commutative port swap must not matter; a non-commutative one must.
+        let swap = |dst: &'static str, p0: u8, p1: u8| {
+            let mut g = DiGraph::new();
+            let x = g.add_node("shl");
+            let y = g.add_node("shr");
+            let s = g.add_node(dst);
+            g.add_edge(x, s, p0);
+            g.add_edge(y, s, p1);
+            g
+        };
+        assert_eq!(mk(&swap("or", 0, 1)), mk(&swap("or", 1, 0)));
+        assert_ne!(mk(&swap("sub", 0, 1)), mk(&swap("sub", 1, 0)));
+        // Labels and counts are part of the key.
+        let mut g3 = DiGraph::new();
+        let a3 = g3.add_node("or");
+        let b3 = g3.add_node("and");
+        g3.add_edge(a3, b3, 0);
+        assert_ne!(mk(&g1), mk(&g3));
     }
 
     #[test]

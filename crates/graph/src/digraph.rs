@@ -260,14 +260,14 @@ impl<N> DiGraph<N> {
         seen[0] = true;
         let mut count = 1usize;
         while let Some(n) = stack.pop() {
-            for e in self.succs(n).collect::<Vec<_>>() {
+            for e in self.succs(n) {
                 if !seen[e.dst.index()] {
                     seen[e.dst.index()] = true;
                     count += 1;
                     stack.push(e.dst);
                 }
             }
-            for e in self.preds(n).collect::<Vec<_>>() {
+            for e in self.preds(n) {
                 if !seen[e.src.index()] {
                     seen[e.src.index()] = true;
                     count += 1;

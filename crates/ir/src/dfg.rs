@@ -40,18 +40,16 @@ impl DfgLabel {
     /// Deterministic hash of the exact label (opcode + immediates), for
     /// use with [`isax_graph::canon::fingerprint`].
     pub fn key(&self) -> u64 {
-        let mut s = String::with_capacity(16);
-        s.push_str(self.opcode.mnemonic());
+        use std::fmt::Write as _;
+        let mut h = isax_graph::canon::StrHasher::new();
+        let _ = h.write_str(self.opcode.mnemonic());
         if let crate::Opcode::Custom(id) = self.opcode {
-            s.push_str(&id.to_string());
+            let _ = write!(h, "{id}");
         }
         for (p, v) in &self.imms {
-            s.push('#');
-            s.push_str(&p.to_string());
-            s.push(':');
-            s.push_str(&v.to_string());
+            let _ = write!(h, "#{p}:{v}");
         }
-        isax_graph::canon::hash_str(&s)
+        h.finish()
     }
 
     /// Hash of the label generalized to its wildcard opcode class:
@@ -59,13 +57,13 @@ impl DfgLabel {
     /// ports, values free) collide, which is what multifunction-CFU
     /// matching needs.
     pub fn class_key(&self) -> u64 {
-        let mut s = String::with_capacity(16);
-        s.push_str(&format!("class{}", self.opcode.class() as u32));
+        use std::fmt::Write as _;
+        let mut h = isax_graph::canon::StrHasher::new();
+        let _ = write!(h, "class{}", self.opcode.class() as u32);
         for (p, _) in &self.imms {
-            s.push('#');
-            s.push_str(&p.to_string());
+            let _ = write!(h, "#{p}");
         }
-        isax_graph::canon::hash_str(&s)
+        h.finish()
     }
 
     /// Exact compatibility: same opcode and same hardwired immediates.

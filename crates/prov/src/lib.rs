@@ -183,6 +183,9 @@ pub enum PruneReason {
     BelowThreshold,
     /// Direction scored above threshold but lost the fanout/taper cut.
     FanoutCap,
+    /// Direction scored above threshold but fell outside the beam width
+    /// when the frontier of a beam-ordered walk was truncated.
+    BeamDropped,
 }
 
 impl PruneReason {
@@ -191,6 +194,7 @@ impl PruneReason {
         match self {
             PruneReason::BelowThreshold => "below_threshold",
             PruneReason::FanoutCap => "fanout_cap",
+            PruneReason::BeamDropped => "beam_dropped",
         }
     }
 }

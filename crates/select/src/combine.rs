@@ -107,6 +107,35 @@ pub fn patterns_equivalent(a: &DiGraph<DfgLabel>, b: &DiGraph<DfgLabel>) -> bool
     vf2::are_isomorphic(a, b, DfgLabel::matches_exact, |l| l.opcode.is_commutative())
 }
 
+/// True if `a` and `b` are *literally* the same graph — same labels in the
+/// same node order, same edge set. A cheap sufficient (not necessary)
+/// condition for [`patterns_equivalent`], used to skip the VF2 search in
+/// the common case where two pipelines produced a pattern the same way
+/// (e.g. contraction of the same node set in a different order, which
+/// preserves relative node order).
+pub(crate) fn patterns_identical_fast(a: &DiGraph<DfgLabel>, b: &DiGraph<DfgLabel>) -> bool {
+    if a.node_count() != b.node_count() {
+        return false;
+    }
+    if a.node_ids().zip(b.node_ids()).any(|(x, y)| a[x] != b[y]) {
+        return false;
+    }
+    let mut ea: Vec<(usize, usize, u8)> = a
+        .edges()
+        .map(|e| (e.src.index(), e.dst.index(), e.port))
+        .collect();
+    let mut eb: Vec<(usize, usize, u8)> = b
+        .edges()
+        .map(|e| (e.src.index(), e.dst.index(), e.port))
+        .collect();
+    if ea.len() != eb.len() {
+        return false;
+    }
+    ea.sort_unstable();
+    eb.sort_unstable();
+    ea == eb
+}
+
 /// Groups discovered candidates into CFU candidates.
 ///
 /// `dfgs` must be the same slice exploration ran over (occurrence indices
@@ -138,12 +167,22 @@ pub fn patterns_equivalent(a: &DiGraph<DfgLabel>, b: &DiGraph<DfgLabel>) -> bool
 /// ```
 pub fn combine(dfgs: &[Dfg], candidates: &[Candidate], hw: &HwLibrary) -> Vec<CfuCandidate> {
     let mut groups: Vec<CfuCandidate> = Vec::new();
-    let mut by_fp: std::collections::HashMap<Fingerprint, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut by_fp: std::collections::HashMap<Fingerprint, Vec<usize>, canon::PremixedState> =
+        std::collections::HashMap::default();
+    // One refinement scratch for the whole batch; `fingerprint_keys` is
+    // bit-identical to `pattern_fingerprint` but allocation-free per call.
+    let mut scratch = canon::CanonScratch::default();
+    let cfg = canon::CanonConfig::default();
     for cand in candidates {
         let dfg = &dfgs[cand.dfg];
         let pattern = cand.pattern(dfg);
-        let fp = pattern_fingerprint(&pattern);
+        scratch
+            .base
+            .extend(pattern.node_ids().map(|v| canon::mix(pattern[v].key())));
+        scratch
+            .comm
+            .extend(pattern.node_ids().map(|v| pattern[v].opcode.is_commutative()));
+        let fp = canon::fingerprint_keys(&pattern, &cfg, &mut scratch);
         let hw_cycles = hw.cfu_cycles(cand.delay);
         let sw = cand.sw_cycles(dfg, hw) as u64;
         let savings = (sw).saturating_sub(hw_cycles as u64);

@@ -14,8 +14,8 @@
 //! onto the subsuming hardware — the mechanism behind the black bar
 //! segments of Figures 8 and 9.
 
-use crate::combine::{pattern_fingerprint, patterns_equivalent, CfuCandidate};
-use isax_graph::{par, DiGraph, Fingerprint, NodeId};
+use crate::combine::{patterns_equivalent, patterns_identical_fast, CfuCandidate};
+use isax_graph::{canon, par, DiGraph, NodeId};
 use isax_ir::DfgLabel;
 use std::collections::HashMap;
 
@@ -34,10 +34,12 @@ fn bypass_source(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<Option<(NodeI
     let (pass_canon, ident) = label.opcode.identity()?;
     debug_assert_eq!(pass_canon, 0);
     // Candidate (pass, identity) port assignments.
-    let mut options: Vec<(u8, u8)> = vec![(0, 1)];
-    if label.opcode.is_commutative() {
-        options.push((1, 0));
-    }
+    const BOTH: [(u8, u8); 2] = [(0, 1), (1, 0)];
+    let options = if label.opcode.is_commutative() {
+        &BOTH[..]
+    } else {
+        &BOTH[..1]
+    };
     let internal_in = |port: u8| pattern.preds(v).find(|e| e.port == port).map(|e| e.src);
     let imm_at = |port: u8| {
         label
@@ -46,7 +48,7 @@ fn bypass_source(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<Option<(NodeI
             .find(|&&(p, _)| p == port)
             .map(|&(_, v)| v)
     };
-    for (pass, idp) in options {
+    for &(pass, idp) in options {
         if internal_in(idp).is_some() {
             continue; // identity port is fed by the pattern: cannot constant it
         }
@@ -135,35 +137,183 @@ pub fn contract_once(pattern: &DiGraph<DfgLabel>, v: NodeId) -> Option<DiGraph<D
 /// assert!(closure.iter().any(|g| g.node_count() == 1));
 /// ```
 pub fn contraction_closure(pattern: &DiGraph<DfgLabel>, cap: usize) -> Vec<DiGraph<DfgLabel>> {
-    let mut seen: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
-    let mut out: Vec<DiGraph<DfgLabel>> = Vec::new();
-    let mut queue: Vec<DiGraph<DfgLabel>> = vec![pattern.clone()];
-    let root_fp = pattern_fingerprint(pattern);
-    while let Some(g) = queue.pop() {
+    closure_keyed(pattern, cap)
+        .into_iter()
+        .map(|(g, _)| g)
+        .collect()
+}
+
+/// Cheap structural key of `g` from precomputed per-node label keys and
+/// commutativity flags (see [`canon::multiset_key`]). Used only to bucket
+/// equality candidates — every hit is confirmed exactly, so collisions
+/// cost a VF2 call, never a wrong answer.
+fn key_from_keys(g: &DiGraph<DfgLabel>, keys: &[u64], comm: &[bool]) -> u64 {
+    canon::multiset_key(g, |v| keys[v.index()], |v| comm[v.index()])
+}
+
+/// A closure member: the contracted graph, its cheap structural key, and
+/// its sorted `(src, dst, port)` edge triples, cached so duplicate
+/// attempts can compare against it without building anything.
+struct Member {
+    graph: DiGraph<DfgLabel>,
+    key: u64,
+    sorted_edges: Vec<(usize, usize, u8)>,
+}
+
+/// [`contraction_closure`] that also returns each member's cheap
+/// structural key, computed once per member while the closure is built.
+///
+/// Label keys are hashed once at the root and *remapped* through each
+/// contraction ([`contract_once`] preserves relative node order, so a
+/// contraction's key vector is the parent's with the bypassed entry
+/// removed) — the closure walk does no label-string hashing and no WL
+/// refinement at all. Every member is strictly smaller than the root (a
+/// contraction removes a node), so no root-equality check is needed.
+///
+/// Most contraction attempts rediscover a member already reached via a
+/// different bypass order, so the walk works *prospectively*: it
+/// enumerates the contraction's edge triples into a scratch buffer,
+/// derives the structural key from them, and compares labels and edges
+/// exactly against the key bucket's cached members — the
+/// `patterns_identical_fast` relation, graph-build-free. Only genuinely
+/// new shapes (or the rare same-key cousin that needs a VF2 verdict) pay
+/// for graph construction.
+fn closure_keyed(pattern: &DiGraph<DfgLabel>, cap: usize) -> Vec<(DiGraph<DfgLabel>, u64)> {
+    let root_keys: Vec<u64> = pattern.node_ids().map(|n| pattern[n].key()).collect();
+    let root_comm: Vec<bool> = pattern
+        .node_ids()
+        .map(|n| pattern[n].opcode.is_commutative())
+        .collect();
+    let mut seen: HashMap<u64, Vec<usize>, canon::PremixedState> = HashMap::default();
+    let mut out: Vec<Member> = Vec::new();
+    let mut scratch_edges: Vec<(usize, usize, u8)> = Vec::new();
+    // Queue entries reference closure members by index into `out`
+    // (`usize::MAX` = the root pattern), so a member's graph is stored
+    // exactly once and never cloned. The last tuple field carries the
+    // entry's mixed node-key sum so each attempt derives its node term by
+    // one subtraction instead of a rescan.
+    const ROOT: usize = usize::MAX;
+    let root_total = root_keys
+        .iter()
+        .fold(0u64, |acc, &k| acc.wrapping_add(canon::mix(k)));
+    let mut queue: Vec<(usize, Vec<u64>, Vec<bool>, u64)> =
+        vec![(ROOT, root_keys, root_comm, root_total)];
+    while let Some((gi, keys, comm, key_total)) = queue.pop() {
         if out.len() >= cap {
             break;
         }
-        for v in g.node_ids() {
-            let Some(c) = contract_once(&g, v) else {
+        let nodes = if gi == ROOT {
+            pattern.node_count()
+        } else {
+            out[gi].graph.node_count()
+        };
+        if nodes <= 1 {
+            continue; // nothing left to contract
+        }
+        for vi in 0..nodes {
+            let v = NodeId(vi as u32);
+            let g = if gi == ROOT { pattern } else { &out[gi].graph };
+            let Some(pass) = bypass_source(g, v) else {
                 continue;
             };
-            let fp = pattern_fingerprint(&c);
-            if fp == root_fp && patterns_equivalent(&c, pattern) {
+            // Prospective contraction, without building the graph:
+            // surviving position `p` was parent node `orig(p)`.
+            let orig = |p: usize| p + usize::from(p >= vi);
+            let remap = |n: NodeId| n.index() - usize::from(n.index() > vi);
+            scratch_edges.clear();
+            for e in g.edges() {
+                if e.src == v || e.dst == v {
+                    continue;
+                }
+                scratch_edges.push((remap(e.src), remap(e.dst), e.port));
+            }
+            if let Some((u, _)) = pass {
+                for e in g.succs(v) {
+                    if e.dst == v {
+                        continue;
+                    }
+                    scratch_edges.push((remap(u), remap(e.dst), e.port));
+                }
+            }
+            scratch_edges.sort_unstable();
+            // The structural key from the surviving nodes and the scratch
+            // edges — identical to `key_from_keys` on the built graph.
+            let node_acc = key_total.wrapping_sub(canon::mix(keys[vi]));
+            let mut edge_acc = 0u64;
+            for &(s, d, p) in &scratch_edges {
+                let port = if comm[orig(d)] {
+                    canon::COMMUTATIVE_PORT
+                } else {
+                    p as u64
+                };
+                edge_acc = edge_acc.wrapping_add(canon::mix(canon::combine(
+                    canon::combine(keys[orig(s)], keys[orig(d)]),
+                    port,
+                )));
+            }
+            let key = canon::mix(canon::combine(
+                canon::combine((nodes - 1) as u64, scratch_edges.len() as u64),
+                node_acc.wrapping_add(edge_acc),
+            ));
+            // Exact duplicate test against the bucket's cached members:
+            // same positional labels (compared as labels, not hashes) and
+            // same sorted edge triples.
+            let identical = |m: &Member| {
+                m.graph.node_count() == nodes - 1
+                    && m.sorted_edges == scratch_edges
+                    && m.graph
+                        .node_ids()
+                        .all(|p| m.graph[p] == g[NodeId(orig(p.index()) as u32)])
+            };
+            let bucket = seen.get(&key);
+            if let Some(b) = bucket {
+                if b.iter().any(|&i| identical(&out[i])) {
+                    continue;
+                }
+            }
+            // New shape (or a same-key cousin needing a VF2 verdict):
+            // build it straight from the surviving labels and the scratch
+            // edge triples — the same graph `contract_once` would produce,
+            // without re-deriving the bypass or remapping twice. A
+            // contraction that disconnects the pattern is discarded, as in
+            // `contract_once`.
+            let mut c = DiGraph::with_capacity(nodes - 1);
+            for p in 0..nodes - 1 {
+                c.add_node(g[NodeId(orig(p) as u32)].clone());
+            }
+            for &(s, d, p) in &scratch_edges {
+                c.add_edge(NodeId(s as u32), NodeId(d as u32), p);
+            }
+            if !c.is_weakly_connected() {
                 continue;
             }
-            let bucket = seen.entry(fp).or_default();
-            if bucket.iter().any(|&i| patterns_equivalent(&out[i], &c)) {
-                continue;
+            let mut ckeys = keys.clone();
+            ckeys.remove(vi);
+            let mut ccomm = comm.clone();
+            ccomm.remove(vi);
+            debug_assert_eq!(
+                key_from_keys(&c, &ckeys, &ccomm),
+                key,
+                "prospective key must match the built graph's key"
+            );
+            if let Some(b) = bucket {
+                if b.iter().any(|&i| patterns_equivalent(&out[i].graph, &c)) {
+                    continue;
+                }
             }
-            bucket.push(out.len());
-            out.push(c.clone());
+            seen.entry(key).or_default().push(out.len());
+            out.push(Member {
+                graph: c,
+                key,
+                sorted_edges: scratch_edges.clone(),
+            });
             if out.len() >= cap {
-                return out;
+                return out.into_iter().map(|m| (m.graph, m.key)).collect();
             }
-            queue.push(c);
+            queue.push((out.len() - 1, ckeys, ccomm, node_acc));
         }
     }
-    out
+    out.into_iter().map(|m| (m.graph, m.key)).collect()
 }
 
 /// Fills in [`CfuCandidate::subsumes`] for every candidate: `i` subsumes
@@ -174,23 +324,37 @@ pub fn contraction_closure(pattern: &DiGraph<DfgLabel>, cap: usize) -> Vec<DiGra
 /// slice and written back afterwards; the result is identical to the
 /// serial loop for any thread count.
 pub fn mark_subsumptions(cands: &mut [CfuCandidate], cap: usize) {
-    // Index candidates by fingerprint for O(1) closure lookups.
-    let mut by_fp: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+    // Index candidates by cheap structural key for O(1) closure lookups.
+    // The key is sound for commutativity-aware isomorphism, so a closure
+    // member's true matches are always in its bucket; equality inside a
+    // bucket is confirmed exactly below.
+    let mut by_key: HashMap<u64, Vec<usize>, canon::PremixedState> = HashMap::default();
     for (i, c) in cands.iter().enumerate() {
-        by_fp.entry(c.fingerprint).or_default().push(i);
+        let keys: Vec<u64> = c.pattern.node_ids().map(|n| c.pattern[n].key()).collect();
+        let comm: Vec<bool> = c
+            .pattern
+            .node_ids()
+            .map(|n| c.pattern[n].opcode.is_commutative())
+            .collect();
+        by_key
+            .entry(key_from_keys(&c.pattern, &keys, &comm))
+            .or_default()
+            .push(i);
     }
     let view: &[CfuCandidate] = cands;
     let subsumed_lists = par::par_map_indexed(view.len(), |i| {
         if view[i].pattern.node_count() < 2 {
             return Vec::new();
         }
-        let closure = contraction_closure(&view[i].pattern, cap);
+        let closure = closure_keyed(&view[i].pattern, cap);
         let mut subsumed: Vec<usize> = Vec::new();
-        for g in &closure {
-            let fp = pattern_fingerprint(g);
-            if let Some(matches) = by_fp.get(&fp) {
+        for (g, key) in &closure {
+            if let Some(matches) = by_key.get(key) {
                 for &j in matches {
-                    if j != i && patterns_equivalent(&view[j].pattern, g) {
+                    if j != i
+                        && (patterns_identical_fast(&view[j].pattern, g)
+                            || patterns_equivalent(&view[j].pattern, g))
+                    {
                         subsumed.push(j);
                     }
                 }

@@ -5,16 +5,17 @@
 //! this allows us to cheaply add another CFU without greatly increasing
 //! the associated cost, as much of the hardware can be shared" (§3.3).
 //!
-//! Detection wildcards one node at a time: replace node `v`'s label with a
-//! sentinel, fingerprint the result, and bucket candidates by that
-//! fingerprint; bucket collisions are confirmed by exact isomorphism of
-//! the sentinel-labelled graphs. The evaluation's stronger *opcode-class*
+//! Detection wildcards one node at a time: key node `v`'s position with a
+//! sentinel and bucket candidates by the resulting cheap structural key
+//! ([`canon::multiset_key`] — sound for commutativity-aware isomorphism);
+//! bucket collisions are confirmed by exact isomorphism of lazily built
+//! sentinel-labelled graphs. The evaluation's stronger *opcode-class*
 //! generalization (Figures 8 and 9) lives in the compiler's matching mode;
 //! this module supplies the partner structure selection uses to discount
 //! shared hardware.
 
 use crate::combine::CfuCandidate;
-use isax_graph::{canon, par, vf2, DiGraph, Fingerprint, NodeId};
+use isax_graph::{canon, par, vf2, DiGraph, NodeId};
 use isax_ir::DfgLabel;
 use std::collections::HashMap;
 
@@ -43,6 +44,9 @@ enum WildLabel {
 }
 
 impl WildLabel {
+    /// Only the differential tests key materialized wildcard graphs;
+    /// production bucketing uses [`wild_key_indexed`].
+    #[cfg(test)]
     fn key(&self) -> u64 {
         match self {
             WildLabel::Exact(l) => l.key(),
@@ -61,12 +65,25 @@ impl WildLabel {
     }
 }
 
-fn wild_fingerprint(g: &DiGraph<WildLabel>) -> Fingerprint {
-    canon::fingerprint(
-        g,
-        WildLabel::key,
-        WildLabel::commutative,
-        &Default::default(),
+/// Cheap structural key of `pattern` as if node `wild` carried the
+/// wildcard sentinel, without building the sentinel-labelled graph: the
+/// multiset key runs on cached per-node label keys with the wildcard's
+/// key (and conservative commutativity) overridden in place. Equal to
+/// `multiset_key(&wildcarded(pattern, wild), ...)` — wildcarding changes
+/// labels only, never the edge structure — so isomorphic wildcardings
+/// always share a bucket; exactness comes from the VF2 confirmation.
+fn wild_key_indexed(
+    pattern: &DiGraph<DfgLabel>,
+    keys: &[u64],
+    comm: &[bool],
+    wild: NodeId,
+    wild_key: u64,
+) -> u64 {
+    canon::multiset_key(
+        pattern,
+        |n| if n == wild { wild_key } else { keys[n.index()] },
+        // Wild is conservatively commutative.
+        |n| n == wild || comm[n.index()],
     )
 }
 
@@ -101,35 +118,111 @@ fn wild_fingerprint(g: &DiGraph<WildLabel>) -> Fingerprint {
 /// assert!(cfus[as_].wildcard_partners.contains(&aa));
 /// ```
 pub fn find_wildcard_partners(cands: &mut [CfuCandidate]) {
-    // Bucket (candidate, wildcarded node) by fingerprint.
-    let mut buckets: HashMap<(usize, Fingerprint), Vec<(usize, NodeId)>> = HashMap::new();
-    let mut wild_graphs: HashMap<(usize, u32), DiGraph<WildLabel>> = HashMap::new();
+    // Bucket (candidate, wildcarded node) by the cheap structural key.
+    // The keys come from cached label keys with the wildcard position
+    // overridden in place — no sentinel-labelled graph is materialized
+    // here, no WL refinement runs, and each candidate's labels are
+    // string-hashed once instead of once per (node, wildcard) pair.
+    let mut buckets: HashMap<(usize, u64), Vec<(usize, NodeId)>, canon::PremixedState> =
+        HashMap::default();
+    let mut wild_keys: HashMap<usize, u64> = HashMap::new();
+    // One edge's contribution to the multiset-key edge accumulator.
+    let edge_term = |src_key: u64, dst_key: u64, dst_comm: bool, port: u8| {
+        let p = if dst_comm {
+            canon::COMMUTATIVE_PORT
+        } else {
+            port as u64
+        };
+        canon::mix(canon::combine(canon::combine(src_key, dst_key), p))
+    };
     for (i, c) in cands.iter().enumerate() {
-        for v in c.pattern.node_ids() {
-            let wg = wildcarded(&c.pattern, v);
-            let fp = wild_fingerprint(&wg);
+        let g = &c.pattern;
+        let keys: Vec<u64> = g.node_ids().map(|n| g[n].key()).collect();
+        let comm: Vec<bool> = g.node_ids().map(|n| g[n].opcode.is_commutative()).collect();
+        // Base accumulators over the unmodified pattern; each wildcard
+        // position derives its key from these by swapping out just the
+        // wildcarded node's contributions (it is conservatively
+        // commutative, so its incoming ports normalize), instead of
+        // rescanning the whole graph per position.
+        let node_total = keys
+            .iter()
+            .fold(0u64, |a, &k| a.wrapping_add(canon::mix(k)));
+        let edge_total = g.edges().fold(0u64, |a, e| {
+            a.wrapping_add(edge_term(
+                keys[e.src.index()],
+                keys[e.dst.index()],
+                comm[e.dst.index()],
+                e.port,
+            ))
+        });
+        let counts = canon::combine(g.node_count() as u64, g.edge_count() as u64);
+        for v in g.node_ids() {
+            let arity = g[v].opcode.arity();
+            let wild_key = *wild_keys
+                .entry(arity)
+                .or_insert_with(|| canon::hash_str(&format!("*{arity}")));
+            let node_acc = node_total
+                .wrapping_sub(canon::mix(keys[v.index()]))
+                .wrapping_add(canon::mix(wild_key));
+            let mut edge_acc = edge_total;
+            for e in g.succs(v) {
+                edge_acc = edge_acc
+                    .wrapping_sub(edge_term(
+                        keys[e.src.index()],
+                        keys[e.dst.index()],
+                        comm[e.dst.index()],
+                        e.port,
+                    ))
+                    .wrapping_add(edge_term(
+                        wild_key,
+                        keys[e.dst.index()],
+                        comm[e.dst.index()],
+                        e.port,
+                    ));
+            }
+            for e in g.preds(v) {
+                edge_acc = edge_acc
+                    .wrapping_sub(edge_term(
+                        keys[e.src.index()],
+                        keys[e.dst.index()],
+                        comm[e.dst.index()],
+                        e.port,
+                    ))
+                    .wrapping_add(edge_term(keys[e.src.index()], wild_key, true, e.port));
+            }
+            let key = canon::mix(canon::combine(counts, node_acc.wrapping_add(edge_acc)));
+            debug_assert_eq!(
+                key,
+                wild_key_indexed(g, &keys, &comm, v, wild_key),
+                "incremental wildcard key must match the full rescan"
+            );
             buckets
-                .entry((c.pattern.node_count(), fp))
+                .entry((g.node_count(), key))
                 .or_default()
                 .push((i, v));
-            wild_graphs.insert((i, v.0), wg);
         }
     }
     // Buckets are independent; the quadratic isomorphism confirmation
-    // within each runs in parallel. The confirmed pairs are merged and
-    // the per-candidate lists sorted, so the output does not depend on
-    // bucket or thread order.
-    let bucket_members: Vec<Vec<(usize, NodeId)>> = buckets.into_values().collect();
+    // within each runs in parallel. Sentinel-labelled graphs are built
+    // lazily, only for members of multi-entry buckets that actually reach
+    // the VF2 check. The confirmed pairs are merged and the per-candidate
+    // lists sorted, so the output does not depend on bucket or thread
+    // order.
+    let bucket_members: Vec<Vec<(usize, NodeId)>> = buckets
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .collect();
     let view: &[CfuCandidate] = cands;
     let pair_lists = par::par_map(&bucket_members, |members| {
+        let mut graphs: HashMap<(usize, u32), DiGraph<WildLabel>> = HashMap::new();
+        let mut confirmed: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for (ai, &(i, vi)) in members.iter().enumerate() {
             for &(j, vj) in members.iter().skip(ai + 1) {
                 if i == j {
                     continue;
                 }
-                let gi = &wild_graphs[&(i, vi.0)];
-                let gj = &wild_graphs[&(j, vj.0)];
                 // The two labels at the wildcard position must differ,
                 // otherwise the candidates would already be one group.
                 let li = &view[i].pattern[vi];
@@ -137,7 +230,22 @@ pub fn find_wildcard_partners(cands: &mut [CfuCandidate]) {
                 if li == lj {
                     continue;
                 }
+                // A pair already confirmed via another wildcard position
+                // needs no second VF2 run; the output lists dedup anyway.
+                let pair = if i < j { (i, j) } else { (j, i) };
+                if confirmed.contains(&pair) {
+                    continue;
+                }
+                graphs
+                    .entry((i, vi.0))
+                    .or_insert_with(|| wildcarded(&view[i].pattern, vi));
+                graphs
+                    .entry((j, vj.0))
+                    .or_insert_with(|| wildcarded(&view[j].pattern, vj));
+                let gi = &graphs[&(i, vi.0)];
+                let gj = &graphs[&(j, vj.0)];
                 if vf2::are_isomorphic(gi, gj, |a, b| a == b, WildLabel::commutative) {
+                    confirmed.insert(pair);
                     pairs.push((i, j));
                 }
             }
@@ -171,6 +279,37 @@ mod tests {
         let mut cfus = combine(&dfgs, &found.candidates, &hw);
         find_wildcard_partners(&mut cfus);
         cfus
+    }
+
+    #[test]
+    fn indexed_key_matches_materialized_wildcarding() {
+        let mut fb = FunctionBuilder::new("w", 3);
+        let (a, b, c) = (fb.param(0), fb.param(1), fb.param(2));
+        let t = fb.xor(a, b);
+        let u = fb.shl(t, 3i64);
+        let v = fb.sub(u, c);
+        fb.ret(&[v.into()]);
+        let cfus = analyzed(fb);
+        for cand in &cfus {
+            let keys: Vec<u64> = cand
+                .pattern
+                .node_ids()
+                .map(|n| cand.pattern[n].key())
+                .collect();
+            let comm: Vec<bool> = cand
+                .pattern
+                .node_ids()
+                .map(|n| cand.pattern[n].opcode.is_commutative())
+                .collect();
+            for v in cand.pattern.node_ids() {
+                let arity = cand.pattern[v].opcode.arity();
+                let wild_key = canon::hash_str(&format!("*{arity}"));
+                let fast = wild_key_indexed(&cand.pattern, &keys, &comm, v, wild_key);
+                let w = wildcarded(&cand.pattern, v);
+                let slow = canon::multiset_key(&w, |n| w[n].key(), |n| w[n].commutative());
+                assert_eq!(fast, slow, "indexed wildcard key must match materialized");
+            }
+        }
     }
 
     #[test]

@@ -161,9 +161,19 @@ fn validate_report(doc: &isax_json::Value) -> Vec<String> {
                 "pruned" => {
                     field(p, &at, e, "dfg", "an integer", is_u);
                     field(p, &at, e, "threshold", "a number", is_f);
-                    field(p, &at, e, "reason", "below_threshold|fanout_cap", |v| {
-                        matches!(v.as_str(), Some("below_threshold" | "fanout_cap"))
-                    });
+                    field(
+                        p,
+                        &at,
+                        e,
+                        "reason",
+                        "below_threshold|fanout_cap|beam_dropped",
+                        |v| {
+                            matches!(
+                                v.as_str(),
+                                Some("below_threshold" | "fanout_cap" | "beam_dropped")
+                            )
+                        },
+                    );
                     match e.get("score") {
                         None => p.push(format!("{at}: missing `score`")),
                         Some(s) => check_score(p, &at, s),

@@ -180,6 +180,7 @@ fn cli_trace_out_writes_a_valid_chrome_trace() {
         trace_out: Some(trace_out.display().to_string()),
         work_budget: None,
         prov_out: None,
+        beam_width: None,
     };
     let mut out = Vec::new();
     isax_cli::execute(&cmd, &mut out).expect("customize succeeds");
