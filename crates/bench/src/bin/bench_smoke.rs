@@ -118,7 +118,10 @@ fn main() {
     let outputs_identical = true;
 
     let doc = isax_json::object([
-        ("kernels", isax_json::array(KERNELS.map(isax_json::Value::from))),
+        (
+            "kernels",
+            isax_json::array(KERNELS.map(isax_json::Value::from)),
+        ),
         ("budget", HEADLINE_BUDGET.into()),
         ("outputs_identical", outputs_identical.into()),
         ("candidates_examined", serial.examined.into()),

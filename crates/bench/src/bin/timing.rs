@@ -32,6 +32,8 @@ struct StageTimes {
 /// runs and record *why* the timing numbers move.
 #[derive(Default)]
 struct Counters {
+    // dataflow analysis (solver effort + lints), summed across the suite
+    analysis: isax::AnalysisStats,
     // analyze
     candidates_examined: u64,
     candidates_recorded: u64,
@@ -63,6 +65,11 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
     let (apps, kernel_analyze_s) = analyze_suite_timed(cz);
     let analyze_s = t0.elapsed().as_secs_f64();
     for (&name, app) in &apps {
+        let a = &app.analysis.analysis_stats;
+        counters.analysis.blocks_solved += a.blocks_solved;
+        counters.analysis.iterations += a.iterations;
+        counters.analysis.widenings += a.widenings;
+        counters.analysis.lints += a.lints;
         let s = &app.analysis.stats;
         counters.candidates_examined += s.examined;
         counters.candidates_recorded += s.recorded;
@@ -162,6 +169,12 @@ fn main() {
     );
 
     assert_eq!(
+        counters.analysis, parallel_counters.analysis,
+        "dataflow-analysis counters diverged between serial and parallel runs — \
+         the solver's determinism contract is broken"
+    );
+
+    assert_eq!(
         serial.cycles, parallel.cycles,
         "parallel pipeline diverged from serial — determinism contract broken"
     );
@@ -208,6 +221,18 @@ fn main() {
         (
             "counters",
             isax_json::object([
+                (
+                    "analysis",
+                    isax_json::object([
+                        (
+                            "blocks_solved",
+                            isax_json::Value::from(counters.analysis.blocks_solved),
+                        ),
+                        ("iterations", counters.analysis.iterations.into()),
+                        ("widenings", counters.analysis.widenings.into()),
+                        ("lints", counters.analysis.lints.into()),
+                    ]),
+                ),
                 (
                     "analyze",
                     isax_json::object([

@@ -71,10 +71,7 @@ pub fn analyze_suite_timed(
 
 /// Analyzes a named subset of the suite (for tests that cannot afford
 /// all thirteen benchmarks). Unknown names panic.
-pub fn analyze_subset(
-    cz: &Customizer,
-    names: &[&str],
-) -> BTreeMap<&'static str, AnalyzedApp> {
+pub fn analyze_subset(cz: &Customizer, names: &[&str]) -> BTreeMap<&'static str, AnalyzedApp> {
     let workloads: Vec<Workload> = names
         .iter()
         .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown workload `{n}`")))

@@ -53,7 +53,10 @@ pub fn check_candidates(
             report.push(Diagnostic::error(
                 "IC0306",
                 loc,
-                format!("node set is empty or out of range for a {}-node DFG", dfg.len()),
+                format!(
+                    "node set is empty or out of range for a {}-node DFG",
+                    dfg.len()
+                ),
             ));
             continue;
         }
@@ -112,7 +115,11 @@ pub fn check_cfus(
     for (ci, cfu) in cfus.iter().enumerate() {
         let loc = Location::CfuCandidate { index: ci };
         if cfu.pattern.is_empty() {
-            report.push(Diagnostic::error("IC0306", loc, "pattern is empty".to_string()));
+            report.push(Diagnostic::error(
+                "IC0306",
+                loc,
+                "pattern is empty".to_string(),
+            ));
             continue;
         }
         check_pattern_opcodes(&cfu.pattern, hw, &loc, &mut report);
@@ -120,14 +127,20 @@ pub fn check_cfus(
             report.push(Diagnostic::error(
                 "IC0302",
                 loc.clone(),
-                format!("{} input ports exceed the limit of {}", cfu.inputs, config.max_inputs),
+                format!(
+                    "{} input ports exceed the limit of {}",
+                    cfu.inputs, config.max_inputs
+                ),
             ));
         }
         if cfu.outputs > config.max_outputs {
             report.push(Diagnostic::error(
                 "IC0303",
                 loc.clone(),
-                format!("{} output ports exceed the limit of {}", cfu.outputs, config.max_outputs),
+                format!(
+                    "{} output ports exceed the limit of {}",
+                    cfu.outputs, config.max_outputs
+                ),
             ));
         }
         if cfu.occurrences.is_empty() {
@@ -225,7 +238,9 @@ pub fn check_selection(cfus: &[CfuCandidate], selection: &Selection) -> Report {
         } else if !seen.insert(chosen.candidate) {
             report.push(Diagnostic::error(
                 "IC0306",
-                Location::CfuCandidate { index: chosen.candidate },
+                Location::CfuCandidate {
+                    index: chosen.candidate,
+                },
                 "candidate selected more than once".to_string(),
             ));
         }
@@ -306,7 +321,13 @@ mod tests {
     use isax_graph::BitSet;
     use isax_ir::{function_dfgs, FunctionBuilder, Program};
 
-    fn setup() -> (Vec<Dfg>, Vec<Candidate>, Vec<CfuCandidate>, ExploreConfig, HwLibrary) {
+    fn setup() -> (
+        Vec<Dfg>,
+        Vec<Candidate>,
+        Vec<CfuCandidate>,
+        ExploreConfig,
+        HwLibrary,
+    ) {
         let mut fb = FunctionBuilder::new("k", 3);
         fb.set_entry_weight(10_000);
         let (a, b, k) = (fb.param(0), fb.param(1), fb.param(2));

@@ -56,7 +56,10 @@ pub fn check_compiled(
             report.push(Diagnostic::error(
                 "IC0402",
                 Location::Cfu { id: m.cfu },
-                format!("applied match in block {} names a CFU absent from the MDES", m.block),
+                format!(
+                    "applied match in block {} names a CFU absent from the MDES",
+                    m.block
+                ),
             ));
         }
     }
@@ -495,11 +498,13 @@ mod tests {
     #[test]
     fn degradation_naming_a_missing_function_is_rejected() {
         let (p, mut compiled, mdes, hw, model) = compile_kernel();
-        compiled.degradations.push(isax_guard::Degradation::panicked(
-            Stage::Schedule,
-            7,
-            "phantom",
-        ));
+        compiled
+            .degradations
+            .push(isax_guard::Degradation::panicked(
+                Stage::Schedule,
+                7,
+                "phantom",
+            ));
         let report = check_compiled(&p, &compiled, &mdes, &hw, &model);
         assert!(report.has_code("IC0601"), "{report}");
     }

@@ -76,14 +76,20 @@ fn check_edges(di: usize, dfg: &Dfg, report: &mut Report) {
             if u >= v {
                 report.push(Diagnostic::error(
                     "IC0201",
-                    Location::Dfg { dfg: di, node: Some(v) },
+                    Location::Dfg {
+                        dfg: di,
+                        node: Some(v),
+                    },
                     format!("data edge {u}->{v} does not point forward in program order"),
                 ));
             }
             if u < n && !dfg.data_succs(u).iter().any(|&(d, q)| d == v && q == p) {
                 report.push(Diagnostic::error(
                     "IC0202",
-                    Location::Dfg { dfg: di, node: Some(v) },
+                    Location::Dfg {
+                        dfg: di,
+                        node: Some(v),
+                    },
                     format!("data edge {u}->{v} (port {p}) missing from successor list of {u}"),
                 ));
             }
@@ -92,18 +98,40 @@ fn check_edges(di: usize, dfg: &Dfg, report: &mut Report) {
             if !dfg.data_preds(d).iter().any(|&(u, q)| u == v && q == p) {
                 report.push(Diagnostic::error(
                     "IC0202",
-                    Location::Dfg { dfg: di, node: Some(v) },
+                    Location::Dfg {
+                        dfg: di,
+                        node: Some(v),
+                    },
                     format!("data edge {v}->{d} (port {p}) missing from predecessor list of {d}"),
                 ));
             }
         }
-        mirror_unlabelled(di, v, n, "ordering", |x| dfg.order_preds(x), |x| dfg.order_succs(x), report);
-        mirror_unlabelled(di, v, n, "anti", |x| dfg.anti_preds(x), |x| dfg.anti_succs(x), report);
+        mirror_unlabelled(
+            di,
+            v,
+            n,
+            "ordering",
+            |x| dfg.order_preds(x),
+            |x| dfg.order_succs(x),
+            report,
+        );
+        mirror_unlabelled(
+            di,
+            v,
+            n,
+            "anti",
+            |x| dfg.anti_preds(x),
+            |x| dfg.anti_succs(x),
+            report,
+        );
     }
     if dfg.to_digraph().has_cycle() {
         report.push(Diagnostic::error(
             "IC0201",
-            Location::Dfg { dfg: di, node: None },
+            Location::Dfg {
+                dfg: di,
+                node: None,
+            },
             "dependence graph contains a cycle".to_string(),
         ));
     }
@@ -125,14 +153,20 @@ fn mirror_unlabelled<'a>(
         if u >= v {
             report.push(Diagnostic::error(
                 "IC0201",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!("{kind} edge {u}->{v} does not point forward in program order"),
             ));
         }
         if u < n && !succs_of(u).contains(&v) {
             report.push(Diagnostic::error(
                 "IC0202",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!("{kind} edge {u}->{v} missing from successor list of {u}"),
             ));
         }
@@ -141,7 +175,10 @@ fn mirror_unlabelled<'a>(
         if d < n && !preds_of(d).contains(&v) {
             report.push(Diagnostic::error(
                 "IC0202",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!("{kind} edge {v}->{d} missing from predecessor list of {d}"),
             ));
         }
@@ -153,7 +190,10 @@ fn compare_order_edges(di: usize, dfg: &Dfg, rebuilt: &Dfg, report: &mut Report)
     if dfg.len() != rebuilt.len() {
         report.push(Diagnostic::error(
             "IC0203",
-            Location::Dfg { dfg: di, node: None },
+            Location::Dfg {
+                dfg: di,
+                node: None,
+            },
             format!(
                 "DFG has {} nodes but its block has {} instructions",
                 dfg.len(),
@@ -170,10 +210,11 @@ fn compare_order_edges(di: usize, dfg: &Dfg, rebuilt: &Dfg, report: &mut Report)
         if got != want {
             report.push(Diagnostic::error(
                 "IC0203",
-                Location::Dfg { dfg: di, node: Some(v) },
-                format!(
-                    "memory-ordering predecessors {got:?} differ from reconstruction {want:?}"
-                ),
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
+                format!("memory-ordering predecessors {got:?} differ from reconstruction {want:?}"),
             ));
         }
     }
@@ -226,7 +267,10 @@ fn check_slack(di: usize, dfg: &Dfg, hw: &HwLibrary, report: &mut Report) {
         if info.asap[v] != asap[v] || info.alap[v] != alap[v] {
             report.push(Diagnostic::error(
                 "IC0204",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!(
                     "schedule_info asap/alap ({}, {}) differ from recomputation ({}, {})",
                     info.asap[v], info.alap[v], asap[v], alap[v]
@@ -236,14 +280,20 @@ fn check_slack(di: usize, dfg: &Dfg, hw: &HwLibrary, report: &mut Report) {
         if info.asap[v] > info.alap[v] {
             report.push(Diagnostic::error(
                 "IC0204",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!("asap {} exceeds alap {}", info.asap[v], info.alap[v]),
             ));
         }
         if info.slack[v] != info.alap[v].saturating_sub(info.asap[v]) {
             report.push(Diagnostic::error(
                 "IC0205",
-                Location::Dfg { dfg: di, node: Some(v) },
+                Location::Dfg {
+                    dfg: di,
+                    node: Some(v),
+                },
                 format!(
                     "slack {} is not alap - asap = {}",
                     info.slack[v],
@@ -255,7 +305,10 @@ fn check_slack(di: usize, dfg: &Dfg, hw: &HwLibrary, report: &mut Report) {
     if info.length != length {
         report.push(Diagnostic::error(
             "IC0205",
-            Location::Dfg { dfg: di, node: None },
+            Location::Dfg {
+                dfg: di,
+                node: None,
+            },
             format!(
                 "block length {} differs from recomputed critical path {length}",
                 info.length

@@ -14,6 +14,7 @@
 //! | `IC05xx` | differential semantic execution |
 //! | `IC06xx` | resource-governance (degradation record) consistency |
 //! | `IC07xx` | provenance-report cross-validation |
+//! | `IC08xx` | dataflow lints (`IC0801`–`IC0805`, warnings) and value-fact soundness (`IC0810`/`IC0811`, errors) |
 
 use isax_ir::{VerifyCode, VerifyError};
 
@@ -261,7 +262,11 @@ mod tests {
         let mut r = Report::new();
         r.push(Diagnostic::warning("IC0205", Location::Whole, "hm"));
         assert!(r.is_clean());
-        r.push(Diagnostic::error("IC0301", Location::Candidate { index: 0 }, "bad"));
+        r.push(Diagnostic::error(
+            "IC0301",
+            Location::Candidate { index: 0 },
+            "bad",
+        ));
         assert!(!r.is_clean());
         assert_eq!(r.error_count(), 1);
         assert!(r.has_code("IC0301"));

@@ -10,9 +10,15 @@
 //! * `IC0502` — the two programs left memory in different states;
 //! * `IC0503` — either program failed to execute (unknown function,
 //!   unregistered CFU semantics, fuel exhaustion).
+//!
+//! The same execution budget also validates the static dataflow
+//! analyses: every register definition observed while interpreting
+//! either program must lie inside the statically computed value range
+//! and agree with the known bits ([`crate::lint::check_value_facts`],
+//! `IC0810`/`IC0811`).
 
-use isax_machine::{run_both, Memory};
 use isax_ir::Program;
+use isax_machine::{run_both, Memory};
 
 use crate::diag::{Diagnostic, Location, Report};
 
@@ -58,6 +64,14 @@ pub fn check_differential(
             }
         }
     }
+    // Same inputs, second duty: the runs double as witnesses for the
+    // dataflow analyses' soundness on both sides of the rewrite.
+    report.merge(crate::lint::check_value_facts(
+        original, entry, args, mem_init, fuel,
+    ));
+    report.merge(crate::lint::check_value_facts(
+        customized, entry, args, mem_init, fuel,
+    ));
     report
 }
 

@@ -25,7 +25,11 @@
 //! * [`check_provenance`] — provenance-report cross-validation: every
 //!   selected CFU was discovered on the record, `Replaced` cycle deltas
 //!   sum to the compiled program's claimed savings, no event references
-//!   an unknown candidate or CFU (`IC07xx`).
+//!   an unknown candidate or CFU (`IC07xx`);
+//! * [`lint_function`] / [`lint_program`] / [`check_value_facts`] —
+//!   dataflow-driven lints over the interval and known-bits fixpoints
+//!   (suspicious-but-legal code, warnings) and runtime soundness of the
+//!   dataflow analysis itself (`IC08xx`).
 //!
 //! All passes report through [`Report`] with stable `IC0xxx` codes and
 //! precise [`Location`]s. The pipeline in `isax-core` calls these passes
@@ -37,17 +41,19 @@
 
 pub mod candidates;
 pub mod compiled;
+pub mod dfg;
 pub mod diag;
 pub mod differential;
-pub mod dfg;
+pub mod lint;
 pub mod program;
 pub mod prov;
 
 pub use candidates::{check_candidates, check_cfus, check_mdes, check_selection};
 pub use compiled::check_compiled;
+pub use dfg::check_dfgs;
 pub use diag::{Diagnostic, Location, Report, Severity};
 pub use differential::check_differential;
-pub use dfg::check_dfgs;
+pub use lint::{check_value_facts, lint_function, lint_program};
 pub use program::check_program;
 pub use prov::check_provenance;
 
@@ -55,10 +61,7 @@ pub use prov::check_provenance;
 /// (`1`, `true`, `on`, or `yes`, case-insensitive).
 pub fn env_enabled() -> bool {
     match std::env::var("ISAX_CHECK") {
-        Ok(v) => matches!(
-            v.to_ascii_lowercase().as_str(),
-            "1" | "true" | "on" | "yes"
-        ),
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
         Err(_) => false,
     }
 }
@@ -100,7 +103,11 @@ mod tests {
     #[should_panic(expected = "checkpoint `unit`")]
     fn enforce_panics_on_errors() {
         let mut r = Report::new();
-        r.push(Diagnostic::error("IC0301", Location::Candidate { index: 2 }, "non-convex"));
+        r.push(Diagnostic::error(
+            "IC0301",
+            Location::Candidate { index: 2 },
+            "non-convex",
+        ));
         enforce("unit", &r);
     }
 }

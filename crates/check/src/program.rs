@@ -54,8 +54,11 @@ mod tests {
         let mut els = BasicBlock::new(5);
         els.term = Terminator::Jump(isax_ir::BlockId(3));
         let mut join = BasicBlock::new(10);
-        join.insts
-            .push(Inst::new(Opcode::Add, vec![VReg(2)], vec![VReg(1).into(), VReg(1).into()]));
+        join.insts.push(Inst::new(
+            Opcode::Add,
+            vec![VReg(2)],
+            vec![VReg(1).into(), VReg(1).into()],
+        ));
         join.term = Terminator::Ret(vec![VReg(2).into()]);
         let f = Function {
             name: "g".into(),

@@ -37,7 +37,9 @@ const KINDS: [(&str, &str); 7] = [
 ];
 
 fn valid_fingerprint(s: &str) -> bool {
-    s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
 }
 
 /// Cross-validates a provenance report against the run that produced it.
@@ -164,7 +166,10 @@ pub fn check_provenance(
                     }
                 }
                 "replaced" => {
-                    let before = ev.get("cycles_before").and_then(|v| v.as_u64()).unwrap_or(0);
+                    let before = ev
+                        .get("cycles_before")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0);
                     let after = ev.get("cycles_after").and_then(|v| v.as_u64()).unwrap_or(0);
                     replaced_delta += before.saturating_sub(after);
                 }
@@ -338,12 +343,8 @@ mod tests {
         let cfus = combine(&dfgs, &found.candidates, &hw);
         let sel = select_greedy(&cfus, &SelectConfig::with_budget(15.0));
         let mdes = isax_compiler::Mdes::from_selection("kern", &cfus, &sel, &hw, 64);
-        let compiled = isax_compiler::compile(
-            &p,
-            &mdes,
-            &hw,
-            &isax_compiler::CompileOptions::default(),
-        );
+        let compiled =
+            isax_compiler::compile(&p, &mdes, &hw, &isax_compiler::CompileOptions::default());
 
         // Assemble the full log the way the CLI does: explore events,
         // then the selection events (derived like core::selection_prov),
@@ -390,9 +391,7 @@ mod tests {
         );
 
         // Reference a CFU id the MDES does not know → IC0703.
-        let bad_id = doc
-            .to_string_pretty()
-            .replace("\"cfu\": 0", "\"cfu\": 200");
+        let bad_id = doc.to_string_pretty().replace("\"cfu\": 0", "\"cfu\": 200");
         let tampered = parse(&bad_id);
         assert!(
             check_provenance(&tampered, Some(&mdes), Some(&compiled)).has_code("IC0703"),

@@ -7,6 +7,7 @@
 //! isax explore  kernel.isax                      # exploration stats + top CFU candidates
 //! isax customize kernel.isax --budget 15 -o m.json   # generate a machine description
 //! isax compile  kernel.isax --mdes m.json [--subsumed] [--wildcard] [--emit out.isax]
+//! isax lint     kernel.isax                      # IC08xx dataflow lints
 //! isax run      kernel.isax --entry f --args 1,2,3
 //! isax simulate kernel.isax --entry f --args 1,2,3    # with VLIW cycle counts
 //! isax dot      kernel.isax --function f --block 1    # Graphviz dump of one DFG
@@ -39,6 +40,8 @@ pub enum Command {
         prov_out: Option<String>,
         /// Beam width for the explorer's frontier (`None` = exhaustive).
         beam_width: Option<usize>,
+        /// Price primitives at their analyzed effective operand widths.
+        width_aware: bool,
     },
     /// `customize <file> [--budget B] [--name N] [--out PATH] [--multifunction] [--check]`
     Customize {
@@ -62,6 +65,14 @@ pub enum Command {
         prov_out: Option<String>,
         /// Beam width for the explorer's frontier (`None` = exhaustive).
         beam_width: Option<usize>,
+        /// Price primitives at their analyzed effective operand widths.
+        width_aware: bool,
+    },
+    /// `lint <file>` — run the `IC08xx` dataflow lints over every
+    /// function and print the findings (warnings; never an error exit).
+    Lint {
+        /// IR file.
+        file: String,
     },
     /// `compile <file> --mdes PATH [--subsumed] [--wildcard] [--emit PATH] [--check]`
     Compile {
@@ -148,8 +159,9 @@ pub const USAGE: &str = "\
 isax — automated instruction-set customization (MICRO-36 2003 reproduction)
 
 USAGE:
-    isax explore   <file.isax> [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N]
-    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N]
+    isax explore   <file.isax> [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N] [--width-aware]
+    isax customize <file.isax> [--budget N] [--name APP] [--out mdes.json] [--multifunction] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N] [--beam-width N] [--width-aware]
+    isax lint      <file.isax>
     isax compile   <file.isax> --mdes mdes.json [--subsumed] [--wildcard] [--emit out.isax] [--check] [--trace-out trace.json] [--prov-out report.json] [--work-budget N]
     isax explain   <report.json> [--cfu N | --candidate FINGERPRINT | --kernel FUNC] [--top N]
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
@@ -171,6 +183,19 @@ replaced — and writes the versioned JSON report to PATH. Setting
 ISAX_PROV=1 instead prints a one-line summary to the command output;
 ISAX_PROV=PATH writes the report there (`0`/`off` disable). Query a
 report with `isax explain`.
+
+`isax lint` solves the value-range and known-bits dataflow analyses for
+every function and prints IC08xx findings: shift amounts provably >= 32
+(IC0801), always-true/false compares (IC0802), dead definitions
+(IC0803), constant-foldable operations (IC0804) and unreachable blocks
+(IC0805). Findings are warnings; the command only fails on I/O or parse
+errors.
+
+`--width-aware` (or ISAX_WIDTH=1) prices each primitive at the effective
+operand width inferred by the dataflow analyses instead of the full 32
+bits, so a provably-8-bit add costs a quarter of a 32-bit one in both
+the explorer's guide and the selector's area accounting. Off by
+default; default outputs are byte-identical with or without this build.
 
 `--beam-width N` (or ISAX_BEAM=N) switches exploration to beam-ordered
 growth: each frontier level keeps only the N best-scored unexamined
@@ -242,7 +267,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             work_budget: work_budget_flag(rest)?,
             prov_out: flag_value(rest, "--prov-out").map(str::to_string),
             beam_width: beam_width_flag(rest)?,
+            width_aware: has_flag(rest, "--width-aware"),
         }),
+        "lint" => Ok(Command::Lint { file }),
         "customize" => {
             let budget = match flag_value(rest, "--budget") {
                 Some(b) => b
@@ -269,6 +296,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 work_budget: work_budget_flag(rest)?,
                 prov_out: flag_value(rest, "--prov-out").map(str::to_string),
                 beam_width: beam_width_flag(rest)?,
+                width_aware: has_flag(rest, "--width-aware"),
             })
         }
         "compile" => {
@@ -494,11 +522,14 @@ fn weakest_axis_of(s: &isax_json::Value) -> &'static str {
     for axis in ["latency", "area", "io"] {
         let v = jf(s, axis);
         if v < weakest.1 {
-            weakest = (match axis {
-                "latency" => "latency",
-                "area" => "area",
-                _ => "io",
-            }, v);
+            weakest = (
+                match axis {
+                    "latency" => "latency",
+                    "area" => "area",
+                    _ => "io",
+                },
+                v,
+            );
         }
     }
     weakest.0
@@ -579,7 +610,11 @@ fn render_event(e: &isax_json::Value) -> String {
 
 /// `candidate <fp> — fate: selected, cfu 3, 4 match(es), 8200 cycles saved`.
 fn candidate_header(c: &isax_json::Value) -> String {
-    let mut h = format!("candidate {} — fate: {}", js(c, "fingerprint"), js(c, "fate"));
+    let mut h = format!(
+        "candidate {} — fate: {}",
+        js(c, "fingerprint"),
+        js(c, "fate")
+    );
     if let Some(id) = c.get("cfu").and_then(|v| v.as_u64()) {
         h.push_str(&format!(", cfu {id}"));
     }
@@ -593,10 +628,7 @@ fn candidate_header(c: &isax_json::Value) -> String {
 }
 
 /// Full narrative for one candidate: header plus one line per event.
-fn render_candidate(
-    out: &mut dyn std::io::Write,
-    c: &isax_json::Value,
-) -> Result<(), String> {
+fn render_candidate(out: &mut dyn std::io::Write, c: &isax_json::Value) -> Result<(), String> {
     writeln!(out, "{}", candidate_header(c)).map_err(|e| e.to_string())?;
     for e in c.get("events").and_then(|v| v.as_array()).unwrap_or(&[]) {
         writeln!(out, "  {}", render_event(e)).map_err(|e| e.to_string())?;
@@ -606,10 +638,7 @@ fn render_candidate(
 
 /// Per-function totals over `matched`/`replaced` events:
 /// `(function, matches, replacements, cycles_saved)` rows.
-fn attribution(
-    cands: &[isax_json::Value],
-    kernel: Option<&str>,
-) -> Vec<(String, u64, u64, u64)> {
+fn attribution(cands: &[isax_json::Value], kernel: Option<&str>) -> Vec<(String, u64, u64, u64)> {
     let mut rows: std::collections::BTreeMap<String, (u64, u64, u64)> = Default::default();
     for c in cands {
         for e in c.get("events").and_then(|v| v.as_array()).unwrap_or(&[]) {
@@ -628,22 +657,26 @@ fn attribution(
             }
         }
     }
-    rows.into_iter().map(|(f, (m, r, cy))| (f, m, r, cy)).collect()
+    rows.into_iter()
+        .map(|(f, (m, r, cy))| (f, m, r, cy))
+        .collect()
 }
 
 fn write_attribution(
     out: &mut dyn std::io::Write,
     rows: &[(String, u64, u64, u64)],
 ) -> Result<(), String> {
-    let w = |out: &mut dyn std::io::Write, s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    let w =
+        |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     if rows.is_empty() {
         return w(out, "  (no matches recorded)".into());
     }
     w(
         out,
-        format!("  {:<24} {:>8} {:>13} {:>13}", "function", "matches", "replacements", "cycles saved"),
+        format!(
+            "  {:<24} {:>8} {:>13} {:>13}",
+            "function", "matches", "replacements", "cycles saved"
+        ),
     )?;
     for (f, m, r, cy) in rows {
         w(out, format!("  {f:<24} {m:>8} {r:>13} {cy:>13}"))?;
@@ -661,9 +694,8 @@ fn explain(
     kernel: Option<&str>,
     top: usize,
 ) -> Result<(), String> {
-    let w = |out: &mut dyn std::io::Write, s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    let w =
+        |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let doc = isax_json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
     let version = ju(&doc, "version");
@@ -701,7 +733,9 @@ fn explain(
         return match hits.len() {
             0 => Err(format!("no candidate with fingerprint prefix `{q}`")),
             1 => render_candidate(out, hits[0]),
-            n => Err(format!("fingerprint prefix `{q}` is ambiguous ({n} candidates)")),
+            n => Err(format!(
+                "fingerprint prefix `{q}` is ambiguous ({n} candidates)"
+            )),
         };
     }
 
@@ -738,7 +772,10 @@ fn explain(
         ),
     )?;
     if let Some(k) = kernel {
-        w(out, format!("{} candidate(s) touch kernel `{k}`", scoped.len()))?;
+        w(
+            out,
+            format!("{} candidate(s) touch kernel `{k}`", scoped.len()),
+        )?;
     }
     let mut ranked: Vec<&isax_json::Value> = scoped.clone();
     ranked.sort_by_key(|c| {
@@ -748,7 +785,10 @@ fn explain(
             c.get("cfu").and_then(|v| v.as_u64()).is_some(),
         ))
     });
-    w(out, format!("top {} candidates by cycles saved:", top.min(ranked.len())))?;
+    w(
+        out,
+        format!("top {} candidates by cycles saved:", top.min(ranked.len())),
+    )?;
     w(
         out,
         format!(
@@ -825,6 +865,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             work_budget,
             prov_out,
             beam_width,
+            width_aware,
             ..
         } => {
             let p = load_program(file)?;
@@ -832,6 +873,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if *width_aware {
+                cz.hw = cz.hw.clone().with_width_aware(true);
+            }
             if beam_width.is_some() {
                 cz.explore.beam_width = *beam_width;
             }
@@ -874,7 +918,15 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                     ),
                 )?;
             }
-            emit_prov(out, &sink, &app_name(file), &analysis.prov, cz.check, None, None)?;
+            emit_prov(
+                out,
+                &sink,
+                &app_name(file),
+                &analysis.prov,
+                cz.check,
+                None,
+                None,
+            )?;
             Ok(())
         }
         Command::Customize {
@@ -887,6 +939,7 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             work_budget,
             prov_out,
             beam_width,
+            width_aware,
             ..
         } => {
             let p = load_program(file)?;
@@ -894,6 +947,9 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let _prov = sink.guard();
             let mut cz = Customizer::new();
             cz.check |= *check;
+            if *width_aware {
+                cz.hw = cz.hw.clone().with_width_aware(true);
+            }
             if beam_width.is_some() {
                 cz.explore.beam_width = *beam_width;
             }
@@ -926,6 +982,24 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let mut plog = analysis.prov.clone();
             plog.merge(sel.prov.clone());
             emit_prov(out, &sink, name, &plog, cz.check, Some(&mdes), None)?;
+            Ok(())
+        }
+        Command::Lint { file } => {
+            let p = load_program(file)?;
+            let report = isax::lint_program(&p);
+            for d in report.diagnostics() {
+                w(out, d.to_string())?;
+            }
+            let funcs = p.functions.len();
+            let n = report.diagnostics().len();
+            if n == 0 {
+                w(out, format!("{file}: clean ({funcs} function(s) linted)"))?;
+            } else {
+                w(
+                    out,
+                    format!("{file}: {n} finding(s) in {funcs} function(s)"),
+                )?;
+            }
             Ok(())
         }
         Command::Compile {
@@ -1004,7 +1078,14 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             candidate,
             kernel,
             top,
-        } => explain(out, file, *cfu, candidate.as_deref(), kernel.as_deref(), *top),
+        } => explain(
+            out,
+            file,
+            *cfu,
+            candidate.as_deref(),
+            kernel.as_deref(),
+            *top,
+        ),
         Command::Run {
             file,
             entry,
@@ -1116,8 +1197,29 @@ mod tests {
                 work_budget: None,
                 prov_out: None,
                 beam_width: None,
+                width_aware: false,
             }
         );
+        assert_eq!(
+            parse_args(&argv("lint k.isax")).unwrap(),
+            Command::Lint {
+                file: "k.isax".into()
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("explore k.isax --width-aware")).unwrap(),
+            Command::Explore {
+                width_aware: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&argv("customize k.isax --width-aware")).unwrap(),
+            Command::Customize {
+                width_aware: true,
+                ..
+            }
+        ));
         let c = parse_args(&argv("explore k.isax --beam-width 64")).unwrap();
         assert!(matches!(
             c,
@@ -1158,7 +1260,9 @@ mod tests {
         let c = parse_args(&argv("compile k.isax --mdes m.json --trace-out t.json")).unwrap();
         assert_eq!(c.trace_out(), Some("t.json"));
         assert_eq!(
-            parse_args(&argv("run k.isax --entry f")).unwrap().trace_out(),
+            parse_args(&argv("run k.isax --entry f"))
+                .unwrap()
+                .trace_out(),
             None
         );
         assert!(matches!(
@@ -1194,7 +1298,9 @@ mod tests {
         let c = parse_args(&argv("compile k.isax --mdes m.json --prov-out p.json")).unwrap();
         assert_eq!(c.prov_out(), Some("p.json"));
         assert_eq!(
-            parse_args(&argv("run k.isax --entry f")).unwrap().prov_out(),
+            parse_args(&argv("run k.isax --entry f"))
+                .unwrap()
+                .prov_out(),
             None
         );
         let c = parse_args(&argv(
@@ -1347,6 +1453,50 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("degraded: explore"), "{text}");
         assert!(text.contains("budget-exhausted"), "{text}");
+
+        // lint: the kernel is clean
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("lint {src_s}"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("clean (1 function(s) linted)"), "{text}");
+
+        // lint: a kernel with a dead definition gets an IC0803 warning
+        let dirty = dir.join("dirty.isax");
+        std::fs::write(
+            &dirty,
+            "func dirty(v0, v1)\n\
+             b0:  ; weight 10\n\
+             \tadd v2, v0, v1\n\
+             \tret v0\n",
+        )
+        .unwrap();
+        let dirty_s = dirty.to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!("lint {dirty_s}"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("warning[IC0803]"), "{text}");
+        assert!(text.contains("1 finding(s)"), "{text}");
+
+        // width-aware customize still produces a valid MDES
+        let wmdes_path = dir.join("mw.json").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!(
+                "customize {src_s} --budget 4 --name kern --out {wmdes_path} --width-aware --check"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(std::path::Path::new(&wmdes_path).exists());
 
         // run the original
         let mut buf = Vec::new();

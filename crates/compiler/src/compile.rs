@@ -12,8 +12,8 @@ use crate::prioritize::prioritize;
 use crate::regalloc::allocate_registers;
 use crate::replace::{apply_matches, AppliedMatch};
 use crate::schedule::{
-    function_cycles, function_cycles_metered, sequential_function_cycles, CustomInfo,
-    CustomOpInfo, VliwModel,
+    function_cycles, function_cycles_metered, sequential_function_cycles, CustomInfo, CustomOpInfo,
+    VliwModel,
 };
 use isax_guard::{Degradation, Guard, Stage};
 use isax_hwlib::HwLibrary;
@@ -184,8 +184,7 @@ pub fn compile_guarded(
                 // `savings` is weight × (sw_latency − cfu_latency), so
                 // before = after + savings reconstructs the weighted
                 // software cost of the replaced operations.
-                let latency =
-                    u64::from(mdes.cfu(a.cfu).map(|c| c.latency).unwrap_or(1));
+                let latency = u64::from(mdes.cfu(a.cfu).map(|c| c.latency).unwrap_or(1));
                 let cycles_after = dfgs[a.block].weight() * latency;
                 prov.record(
                     cfu_fps[a.cfu as usize],
@@ -431,7 +430,8 @@ mod tests {
         assert_eq!(sched.len(), 1, "one function, one schedule degradation");
         assert_eq!(sched[0].item, 0);
         // The emitted cycle estimate is the deterministic sequential one.
-        let (seq, _) = sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
+        let (seq, _) =
+            sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
         assert_eq!(out.cycles, seq);
         assert!(verify_program(&out.program).is_ok());
     }
@@ -451,7 +451,8 @@ mod tests {
         assert_eq!(d.stage, Stage::Schedule);
         assert_eq!(d.kind, DegradationKind::Panicked);
         assert!(d.detail.contains("injected panic"), "detail: {}", d.detail);
-        let (seq, _) = sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
+        let (seq, _) =
+            sequential_function_cycles(&out.program.functions[0], &hw(), &out.custom_info);
         assert_eq!(out.cycles, seq);
     }
 
@@ -475,7 +476,10 @@ mod tests {
             .any(|d| d.stage == Stage::Match && d.kind == DegradationKind::BudgetExhausted));
         assert!(out.applied.len() <= full.applied.len());
         assert!(verify_program(&out.program).is_ok());
-        assert!(out.cycles >= full.cycles, "fewer replacements never speed it up");
+        assert!(
+            out.cycles >= full.cycles,
+            "fewer replacements never speed it up"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use prioritize::prioritize;
 pub use regalloc::{allocate_registers, RegAlloc, PHYS_REGS};
 pub use replace::{apply_matches, AppliedMatch, CustomizedFunction};
 pub use schedule::{
-    function_cycles, function_cycles_metered, inst_latency, schedule_block,
-    schedule_block_metered, sequential_function_cycles, sequential_schedule_block, BlockSchedule,
-    CustomInfo, CustomOpInfo, VliwModel,
+    function_cycles, function_cycles_metered, inst_latency, schedule_block, schedule_block_metered,
+    sequential_function_cycles, sequential_schedule_block, BlockSchedule, CustomInfo, CustomOpInfo,
+    VliwModel,
 };

@@ -732,7 +732,10 @@ mod tests {
             &none(),
             &VliwModel::default(),
         );
-        assert!(s.cycles >= list.cycles, "fallback never beats the list scheduler");
+        assert!(
+            s.cycles >= list.cycles,
+            "fallback never beats the list scheduler"
+        );
     }
 
     #[test]

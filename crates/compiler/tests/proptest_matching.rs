@@ -50,15 +50,20 @@ struct NodeSpec {
 
 fn specs(max_len: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
     proptest::collection::vec(
-        (0usize..POOL.len(), 0usize..3, -4i64..4, 0usize..16, 0usize..2).prop_map(
-            |(op, imm_kind, imm_val, parent, port)| NodeSpec {
+        (
+            0usize..POOL.len(),
+            0usize..3,
+            -4i64..4,
+            0usize..16,
+            0usize..2,
+        )
+            .prop_map(|(op, imm_kind, imm_val, parent, port)| NodeSpec {
                 op,
                 imm_kind,
                 imm_val,
                 parent,
                 port,
-            },
-        ),
+            }),
         1..max_len,
     )
 }

@@ -54,10 +54,12 @@ pub use experiment::{
     cross_speedup, generalization_bars, limit_speedup, native_speedup, speedup_on,
     GeneralizationBars,
 };
-pub use pipeline::{Analysis, Customizer, Evaluation};
+pub use pipeline::{Analysis, AnalysisStats, Customizer, Evaluation};
 
 // Re-export the vocabulary types users need at the facade level.
-pub use isax_check::{check_provenance, enforce, Diagnostic, Report};
+pub use isax_check::{
+    check_provenance, check_value_facts, enforce, lint_function, lint_program, Diagnostic, Report,
+};
 pub use isax_compiler::{MatchMode, MatchOptions, Mdes, VliwModel};
 pub use isax_explore::ExploreConfig;
 pub use isax_guard::{Budget, Degradation, DegradationKind, FaultKind, FaultPlan, Guard, Stage};

@@ -30,6 +30,7 @@ use isax_compiler::{
 use isax_explore::{explore_app_guarded, Candidate, ExploreConfig, ExploreStats};
 use isax_guard::{Degradation, Guard, Stage};
 use isax_hwlib::HwLibrary;
+use isax_ir::dataflow::SolveStats;
 use isax_ir::{function_dfgs, Dfg, Program};
 use isax_select::{
     combine, find_wildcard_partners, mark_subsumptions, select_greedy, select_greedy_metered,
@@ -68,6 +69,30 @@ impl Default for Customizer {
     }
 }
 
+/// Work counters from the dataflow-analysis stage: solver effort for
+/// both abstract domains plus the number of lint findings. Aggregated
+/// over functions in program order, so identical run-to-run regardless
+/// of thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Reachable blocks solved across both domains and all functions.
+    pub blocks_solved: u64,
+    /// Block transfer evaluations across all fixpoint rounds.
+    pub iterations: u64,
+    /// Per-register widening applications.
+    pub widenings: u64,
+    /// `IC08xx` lint diagnostics produced over the whole program.
+    pub lints: u64,
+}
+
+impl AnalysisStats {
+    fn absorb(&mut self, s: &SolveStats) {
+        self.blocks_solved += s.blocks_solved;
+        self.iterations += s.iterations;
+        self.widenings += s.widenings;
+    }
+}
+
 /// Budget-independent result of the hardware compiler's front half.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -86,6 +111,10 @@ pub struct Analysis {
     /// Provenance events from exploration (`Discovered`/`Pruned`),
     /// non-empty only when [`isax_prov::enabled`] was set.
     pub prov: isax_prov::ProvLog,
+    /// Dataflow solver and lint counters from the analysis stage.
+    pub analysis_stats: AnalysisStats,
+    /// Lint findings (`IC08xx` warnings) over the whole program.
+    pub lint_report: isax_check::Report,
 }
 
 /// Result of compiling an application against a CFU set.
@@ -153,12 +182,23 @@ fn beam_width_from_env() -> Option<usize> {
         .filter(|&w| w > 0)
 }
 
+/// True when the `ISAX_WIDTH` environment variable requests width-aware
+/// costing (`1`, `true`, `on`, or `yes`, case-insensitive). Off by
+/// default: every primitive is priced at the full 32-bit width and all
+/// outputs are byte-identical to previous releases.
+fn width_aware_from_env() -> bool {
+    match std::env::var("ISAX_WIDTH") {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
+        Err(_) => false,
+    }
+}
+
 impl Customizer {
     /// Creates a pipeline with the paper's defaults: 0.18 µ library,
     /// 5-in/3-out ports, ten-point guide categories, 4-wide VLIW.
     pub fn new() -> Self {
         Customizer {
-            hw: HwLibrary::micron_018(),
+            hw: HwLibrary::micron_018().with_width_aware(width_aware_from_env()),
             explore: ExploreConfig {
                 beam_width: beam_width_from_env(),
                 ..ExploreConfig::default()
@@ -176,7 +216,7 @@ impl Customizer {
     /// [`Customizer::new`].
     pub fn with_memory_cfus() -> Self {
         Customizer {
-            hw: HwLibrary::micron_018_with_memory(),
+            hw: HwLibrary::micron_018_with_memory().with_width_aware(width_aware_from_env()),
             ..Customizer::new()
         }
     }
@@ -210,6 +250,28 @@ impl Customizer {
                 dfgs.extend(function_dfgs(f));
             }
         }
+        let mut analysis_stats = AnalysisStats::default();
+        let mut lint_report = isax_check::Report::new();
+        {
+            let _s = isax_trace::span("analyze.dataflow");
+            let mut offset = 0;
+            for f in &program.functions {
+                let facts = isax_ir::analyze_function(f);
+                analysis_stats.absorb(&facts.stats());
+                lint_report.merge(isax_check::lint_function(f, &facts));
+                if self.hw.width_aware {
+                    for (bi, w) in isax_ir::effective_widths_from(f, &facts).iter().enumerate() {
+                        dfgs[offset + bi].set_widths(w);
+                    }
+                }
+                offset += f.blocks.len();
+            }
+            analysis_stats.lints = lint_report.diagnostics().len() as u64;
+        }
+        isax_trace::counter("analysis.blocks_solved", analysis_stats.blocks_solved);
+        isax_trace::counter("analysis.iterations", analysis_stats.iterations);
+        isax_trace::counter("analysis.widenings", analysis_stats.widenings);
+        isax_trace::counter("analysis.lints", analysis_stats.lints);
         let (result, degradations) = {
             let _s = isax_trace::span("analyze.explore");
             explore_app_guarded(&dfgs, &self.hw, &self.explore, &self.guard)
@@ -245,10 +307,15 @@ impl Customizer {
             stats: result.stats,
             degradations,
             prov: result.prov,
+            analysis_stats,
+            lint_report,
         };
         if self.check {
             let _s = isax_trace::span("analyze.check");
             let mut report = isax_check::check_program(program);
+            // Lint findings are warnings: carried in the report for
+            // visibility, never fatal at the checkpoint.
+            report.merge(analysis.lint_report.clone());
             report.merge(isax_check::check_dfgs(program, &analysis.dfgs, &self.hw));
             report.merge(isax_check::check_candidates(
                 &analysis.dfgs,
@@ -398,7 +465,10 @@ impl Customizer {
         };
         isax_trace::counter("compile.replacements", compiled.applied.len() as u64);
         if self.guard.is_active() {
-            isax_trace::counter("guard.compile_degradations", compiled.degradations.len() as u64);
+            isax_trace::counter(
+                "guard.compile_degradations",
+                compiled.degradations.len() as u64,
+            );
         }
         if self.check {
             let _s = isax_trace::span("evaluate.check");
@@ -497,7 +567,11 @@ mod tests {
         let (mdes, _sel) = cz.select("kern", &analysis, 15.0);
         let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
         assert!(isax_ir::verify_program(&ev.compiled.program).is_ok());
-        assert!(ev.speedup >= 0.99, "partial results never corrupt, {}", ev.speedup);
+        assert!(
+            ev.speedup >= 0.99,
+            "partial results never corrupt, {}",
+            ev.speedup
+        );
     }
 
     #[test]
@@ -511,7 +585,10 @@ mod tests {
             nth: 0,
         });
         let analysis = cz.analyze(&p);
-        assert!(analysis.degradations.is_empty(), "fault targets select only");
+        assert!(
+            analysis.degradations.is_empty(),
+            "fault targets select only"
+        );
         let (mdes, sel) = cz.select("kern", &analysis, 15.0);
         assert!(sel.chosen.is_empty());
         assert_eq!(sel.degradations.len(), 1);
@@ -520,6 +597,68 @@ mod tests {
         // Downstream still produces a valid (baseline-equal) program.
         let ev = cz.evaluate(&p, &mdes, MatchOptions::exact());
         assert_eq!(ev.baseline_cycles, ev.custom_cycles);
+    }
+
+    #[test]
+    fn analysis_stats_and_lints_are_populated() {
+        let p = crypto_kernel();
+        let analysis = Customizer::new().analyze(&p);
+        assert!(
+            analysis.analysis_stats.blocks_solved >= 2,
+            "both domains, one block"
+        );
+        assert!(analysis.analysis_stats.iterations >= 2);
+        assert_eq!(
+            analysis.analysis_stats.lints,
+            analysis.lint_report.diagnostics().len() as u64
+        );
+        assert!(analysis.lint_report.is_clean(), "lints are warnings only");
+    }
+
+    /// A kernel whose values are provably narrow: width-aware costing
+    /// must price its subgraphs below the full 32-bit quotes while the
+    /// default mode reproduces them exactly.
+    fn byte_kernel() -> Program {
+        let mut fb = FunctionBuilder::new("bytes", 2);
+        fb.set_entry_weight(50_000);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let x = fb.zxtb(a);
+        let y = fb.zxtb(b);
+        let s = fb.add(x, y);
+        let m = fb.and(s, 0xFFi64);
+        let t = fb.xor(m, y);
+        fb.ret(&[t.into()]);
+        Program::new(vec![fb.finish()])
+    }
+
+    #[test]
+    fn width_aware_mode_reduces_area_accounting() {
+        let p = byte_kernel();
+        let plain = Customizer::new();
+        let mut wide = Customizer::new();
+        wide.hw = wide.hw.clone().with_width_aware(true);
+        let (m0, _) = plain.select("bytes", &plain.analyze(&p), 15.0);
+        let (m1, _) = wide.select("bytes", &wide.analyze(&p), 15.0);
+        assert!(!m0.cfus.is_empty() && !m1.cfus.is_empty());
+        assert!(
+            m1.total_area() < m0.total_area(),
+            "narrow datapaths must be cheaper: {} vs {}",
+            m1.total_area(),
+            m0.total_area()
+        );
+    }
+
+    #[test]
+    fn default_mode_is_unaffected_by_width_machinery() {
+        // Two independently built default customizers agree bit-for-bit.
+        let p = byte_kernel();
+        let a = Customizer::new().analyze(&p);
+        let b = Customizer::new().analyze(&p);
+        assert_eq!(a.cfus.len(), b.cfus.len());
+        for (x, y) in a.cfus.iter().zip(b.cfus.iter()) {
+            assert_eq!(x.delay.to_bits(), y.delay.to_bits());
+            assert_eq!(x.area.to_bits(), y.area.to_bits());
+        }
     }
 
     #[test]

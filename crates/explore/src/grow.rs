@@ -73,9 +73,13 @@ impl FullMetrics {
 /// function bit for bit on every node set.
 pub fn metrics_of(dfg: &Dfg, nodes: &BitSet, hw: &HwLibrary) -> Option<FullMetrics> {
     let pattern = extract_pattern(dfg, nodes);
+    // Pattern node `i` is the `i`-th member in ascending instruction
+    // order, so the width slice lines up with the pattern by collecting
+    // the members' inferred widths in iteration order.
+    let widths: Vec<u8> = nodes.iter().map(|v| dfg.width(v)).collect();
     Some(FullMetrics {
-        delay: hw.subgraph_delay(&pattern)?,
-        area: hw.subgraph_area(&pattern)?,
+        delay: hw.subgraph_delay_widths(&pattern, &widths)?,
+        area: hw.subgraph_area_widths(&pattern, &widths)?,
         inputs: dfg.input_count(nodes),
         outputs: dfg.output_count(nodes),
     })
@@ -129,7 +133,10 @@ impl<'a> SubgraphEval<'a> {
         let mut reg_cap = 0usize;
         for v in 0..n {
             let label = dfg.label(v);
-            cost.push(hw.cost_of_label(&label).map(|c| (c.delay, c.area)));
+            cost.push(
+                hw.cost_of_label_scaled(&label, dfg.width(v))
+                    .map(|c| (c.delay, c.area)),
+            );
             eligible.push(node_eligible(dfg, v, hw));
             is_load.push(dfg.inst(v).opcode.is_load());
             label_key.push(label.key());
@@ -318,7 +325,8 @@ impl FingerprintMemo {
             self.scratch.base.push(canon::mix(keys[v]));
             self.scratch.comm.push(comm[v]);
         }
-        let fp = canon::fingerprint_keys(&pattern, &canon::CanonConfig::default(), &mut self.scratch);
+        let fp =
+            canon::fingerprint_keys(&pattern, &canon::CanonConfig::default(), &mut self.scratch);
         self.map.insert(cheap, fp);
         fp
     }
@@ -975,6 +983,28 @@ mod tests {
     }
 
     #[test]
+    fn width_aware_metrics_agree_and_shrink() {
+        let mut dfg = kernel_dfg();
+        // Pretend the analysis proved nodes 0..=3 are 8-bit and the rest
+        // full width.
+        let widths = [8u8, 8, 8, 8, 32, 32];
+        dfg.set_widths(&widths);
+        let hw = hw().with_width_aware(true);
+        let mut eval = SubgraphEval::new(&dfg, &hw);
+        let all: BitSet = (0usize..6).collect();
+        let m = eval.metrics(&all).unwrap();
+        assert_eq!(m, metrics_of(&dfg, &all, &hw).unwrap());
+        // The narrow nodes shrink the totals versus the full-width query.
+        let full = metrics_of(&dfg, &all, &HwLibrary::micron_018()).unwrap();
+        assert!(m.area < full.area, "{} !< {}", m.area, full.area);
+        // A width-aware library over a default (all-32) DFG changes
+        // nothing: scaling only sees widths the analysis attached.
+        let plain = kernel_dfg();
+        let mut eval32 = SubgraphEval::new(&plain, &hw);
+        assert_eq!(eval32.metrics(&all).unwrap(), full);
+    }
+
+    #[test]
     fn eval_rejects_unimplementable_shapes() {
         let mut fb = FunctionBuilder::new("u", 2);
         let p = fb.param(0);
@@ -1098,7 +1128,8 @@ mod tests {
     fn guarded_explore_reports_per_dfg_budget_degradations_in_order() {
         let dfgs = vec![kernel_dfg(), kernel_dfg(), kernel_dfg()];
         let guard = Guard::unlimited().with_units(3);
-        let (r, degradations) = explore_app_guarded(&dfgs, &hw(), &ExploreConfig::default(), &guard);
+        let (r, degradations) =
+            explore_app_guarded(&dfgs, &hw(), &ExploreConfig::default(), &guard);
         assert!(r.stats.truncated);
         assert_eq!(degradations.len(), 3, "every dfg exhausted its meter");
         for (i, d) in degradations.iter().enumerate() {
@@ -1107,7 +1138,10 @@ mod tests {
             assert_eq!(d.units_spent, 3);
             assert_eq!(d.limit, Some(3));
         }
-        assert_eq!(r.stats.examined, 9, "3 units per dfg, charged pre-examination");
+        assert_eq!(
+            r.stats.examined, 9,
+            "3 units per dfg, charged pre-examination"
+        );
     }
 
     #[test]

@@ -236,7 +236,9 @@ pub fn fingerprint<N>(
     cfg: &CanonConfig,
 ) -> Fingerprint {
     let mut scratch = CanonScratch::default();
-    scratch.comm.extend(g.node_ids().map(|v| commutative(&g[v])));
+    scratch
+        .comm
+        .extend(g.node_ids().map(|v| commutative(&g[v])));
     scratch.base.extend(g.node_ids().map(|v| mix(label(&g[v]))));
     fingerprint_keys(g, cfg, &mut scratch)
 }
@@ -280,7 +282,9 @@ pub fn fingerprint_keys<N>(
                 } else {
                     e.port as u64
                 };
-                scratch.sorted.push(combine(colour[e.src.index()], mix(port)));
+                scratch
+                    .sorted
+                    .push(combine(colour[e.src.index()], mix(port)));
             }
             scratch.sorted.sort_unstable();
             for &s in &scratch.sorted {
@@ -462,9 +466,7 @@ mod tests {
 
     #[test]
     fn multiset_key_is_isomorphism_invariant() {
-        let mk = |g: &DiGraph<&str>| {
-            multiset_key(g, |v| hash_str(g[v]), |v| comm(&g[v]))
-        };
+        let mk = |g: &DiGraph<&str>| multiset_key(g, |v| hash_str(g[v]), |v| comm(&g[v]));
         // Insertion order must not matter.
         let mut g1 = DiGraph::new();
         let a = g1.add_node("shl");

@@ -73,6 +73,12 @@ pub struct HwLibrary {
     /// generation and alignment muxing (the cache port itself is a shared
     /// machine resource, not CFU area).
     pub cfu_load: Option<OpCost>,
+    /// Width-aware costing: when set, [`HwLibrary::cost_scaled`] shrinks
+    /// an operation's delay/area by the inferred effective width of its
+    /// operands (an 8-bit add is a quarter of a 32-bit ripple-carry
+    /// chain). Off by default so every cost query reproduces the paper's
+    /// full-width table bit-for-bit.
+    pub width_aware: bool,
 }
 
 impl Default for HwLibrary {
@@ -87,7 +93,15 @@ impl HwLibrary {
         HwLibrary {
             clock_mhz: 300,
             cfu_load: None,
+            width_aware: false,
         }
+    }
+
+    /// Returns the same library with width-aware costing switched on or
+    /// off (builder style).
+    pub fn with_width_aware(mut self, on: bool) -> Self {
+        self.width_aware = on;
+        self
     }
 
     /// The same library with the paper's §6 future-work relaxation: loads
@@ -102,6 +116,7 @@ impl HwLibrary {
                 delay: 1.0,
                 area: 0.35,
             }),
+            width_aware: false,
         }
     }
 
@@ -135,6 +150,75 @@ impl HwLibrary {
             StB | StH | StW => None,
             Custom(_) => None,
         }
+    }
+
+    /// Width-scaled hardware cost of `op`: like [`HwLibrary::cost`], but
+    /// when [`HwLibrary::width_aware`] is set and the inferred effective
+    /// operand width is below 32 bits, the cost shrinks with the width.
+    ///
+    /// The scaling model follows each primitive's dominant structure,
+    /// with `f = width / 32`:
+    ///
+    /// * **carry chains** (add/sub, compares): delay ×f, area ×f — a
+    ///   ripple-carry chain is linear in width in both dimensions;
+    /// * **bitwise** (and/or/xor/andn/not, select, mov, extends): area
+    ///   ×f, delay unchanged — per-bit cells in parallel;
+    /// * **shifts**: area ×f, delay unchanged — fewer mux rows, same
+    ///   logarithmic depth;
+    /// * **multiply**: delay ×f, area ×f² — a partial-product array is
+    ///   quadratic in width;
+    /// * **loads** (memory relaxation): unchanged — the SRAM access time
+    ///   does not depend on how many result bits the unit keeps.
+    ///
+    /// When width-aware mode is off, or `width >= 32`, this returns
+    /// exactly [`HwLibrary::cost`] — the default pipeline never sees a
+    /// scaled number.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use isax_hwlib::HwLibrary;
+    /// use isax_ir::Opcode;
+    ///
+    /// let hw = HwLibrary::micron_018().with_width_aware(true);
+    /// let full = hw.cost_scaled(Opcode::Add, &[], 32).unwrap();
+    /// let byte = hw.cost_scaled(Opcode::Add, &[], 8).unwrap();
+    /// assert_eq!(full.area, 1.0);
+    /// assert_eq!(byte.area, 0.25);
+    /// ```
+    pub fn cost_scaled(&self, op: Opcode, imms: &[(u8, i64)], width: u8) -> Option<OpCost> {
+        let base = self.cost(op, imms)?;
+        if !self.width_aware || width >= 32 {
+            return Some(base);
+        }
+        let f = f64::from(width.max(1)) / 32.0;
+        use Opcode::*;
+        let scaled = match op {
+            Add | Sub | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu => OpCost {
+                delay: base.delay * f,
+                area: base.area * f,
+            },
+            And | Or | Xor | AndN | Not | Select | Mov | SxtB | SxtH | ZxtB | ZxtH => OpCost {
+                delay: base.delay,
+                area: base.area * f,
+            },
+            Shl | Shr | Sar | Ror => OpCost {
+                delay: base.delay,
+                area: base.area * f,
+            },
+            Mul => OpCost {
+                delay: base.delay * f,
+                area: base.area * f * f,
+            },
+            _ => base,
+        };
+        Some(scaled)
+    }
+
+    /// Width-scaled cost of a DFG node label (see
+    /// [`HwLibrary::cost_scaled`]).
+    pub fn cost_of_label_scaled(&self, label: &DfgLabel, width: u8) -> Option<OpCost> {
+        self.cost_scaled(label.opcode, &label.imms, width)
     }
 
     /// Cost of a concrete instruction.
@@ -177,10 +261,22 @@ impl HwLibrary {
     /// Returns `None` if any node is not implementable or the graph is
     /// cyclic.
     pub fn subgraph_delay(&self, g: &DiGraph<DfgLabel>) -> Option<f64> {
+        self.subgraph_delay_widths(g, &[])
+    }
+
+    /// [`HwLibrary::subgraph_delay`] with per-node effective widths:
+    /// `widths[i]` is the inferred width of pattern node `i` (nodes past
+    /// the end of the slice count as full 32-bit). The plain variant
+    /// passes an empty slice, so both run the identical code path and
+    /// agree bit-for-bit when width-aware mode is off.
+    pub fn subgraph_delay_widths(&self, g: &DiGraph<DfgLabel>, widths: &[u8]) -> Option<f64> {
         let order = g.topo_order()?;
         let costs: Vec<f64> = g
             .node_ids()
-            .map(|n| self.cost_of_label(&g[n]).map(|c| c.delay))
+            .map(|n| {
+                let w = widths.get(n.index()).copied().unwrap_or(32);
+                self.cost_of_label_scaled(&g[n], w).map(|c| c.delay)
+            })
             .collect::<Option<Vec<_>>>()?;
         let mut finish = vec![0.0f64; g.node_count()];
         let mut longest = 0.0f64;
@@ -206,8 +302,17 @@ impl HwLibrary {
     ///
     /// Returns `None` if any node is not implementable.
     pub fn subgraph_area(&self, g: &DiGraph<DfgLabel>) -> Option<f64> {
+        self.subgraph_area_widths(g, &[])
+    }
+
+    /// [`HwLibrary::subgraph_area`] with per-node effective widths (see
+    /// [`HwLibrary::subgraph_delay_widths`] for the slice convention).
+    pub fn subgraph_area_widths(&self, g: &DiGraph<DfgLabel>, widths: &[u8]) -> Option<f64> {
         g.node_ids()
-            .map(|n| self.cost_of_label(&g[n]).map(|c| c.area))
+            .map(|n| {
+                let w = widths.get(n.index()).copied().unwrap_or(32);
+                self.cost_of_label_scaled(&g[n], w).map(|c| c.area)
+            })
             .sum()
     }
 
@@ -393,6 +498,53 @@ mod tests {
         g.add_edge(x1, x2, 1);
         let d = hw.subgraph_delay(&g).unwrap();
         assert!(d >= 4.0, "port serialization dominates: {d}");
+    }
+
+    #[test]
+    fn width_scaling_shrinks_costs_only_when_enabled() {
+        let off = hw();
+        assert_eq!(
+            off.cost_scaled(Opcode::Add, &[], 8),
+            off.cost(Opcode::Add, &[]),
+            "width-aware off: scaled cost is the plain cost"
+        );
+        let on = hw().with_width_aware(true);
+        let byte = on.cost_scaled(Opcode::Add, &[], 8).unwrap();
+        assert_eq!(byte.area, 0.25, "8-bit adder is a quarter carry chain");
+        assert!((byte.delay - 0.30 * 0.25).abs() < 1e-12);
+        // Bitwise ops: area scales, depth does not.
+        let x = on.cost_scaled(Opcode::Xor, &[], 8).unwrap();
+        assert_eq!(x.delay, 0.05);
+        assert!((x.area - 0.12 * 0.25).abs() < 1e-12);
+        // Multiplier area is quadratic in width.
+        let m = on.cost_scaled(Opcode::Mul, &[], 16).unwrap();
+        assert!((m.area - 17.0 * 0.25).abs() < 1e-12);
+        assert!((m.delay - 1.80 * 0.5).abs() < 1e-12);
+        // Full width stays exactly the table value even when enabled.
+        assert_eq!(
+            on.cost_scaled(Opcode::Add, &[], 32),
+            on.cost(Opcode::Add, &[])
+        );
+        // Loads are width-independent (SRAM access time).
+        let hwm = HwLibrary::micron_018_with_memory().with_width_aware(true);
+        assert_eq!(hwm.cost_scaled(Opcode::LdW, &[], 8), hwm.cfu_load);
+    }
+
+    #[test]
+    fn subgraph_widths_default_to_full_width() {
+        let on = hw().with_width_aware(true);
+        let mut g = DiGraph::new();
+        let a = g.add_node(label(Opcode::Add, &[]));
+        let b = g.add_node(label(Opcode::Add, &[]));
+        g.add_edge(a, b, 0);
+        // Empty slice = all 32-bit: identical to the plain query.
+        assert_eq!(on.subgraph_delay_widths(&g, &[]), on.subgraph_delay(&g));
+        assert_eq!(on.subgraph_area_widths(&g, &[]), Some(2.0));
+        // One 8-bit node shrinks the totals; the missing entry is 32.
+        let d = on.subgraph_delay_widths(&g, &[8]).unwrap();
+        assert!((d - (0.30 * 0.25 + 0.30)).abs() < 1e-12);
+        let ar = on.subgraph_area_widths(&g, &[8]).unwrap();
+        assert!((ar - 1.25).abs() < 1e-12);
     }
 
     #[test]

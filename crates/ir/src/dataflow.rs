@@ -1,0 +1,1017 @@
+//! Forward dataflow analysis over the CFG: value ranges and known bits.
+//!
+//! The hardware library prices every primitive at full 32-bit width, but
+//! real kernels compute mostly-narrow values — masked bytes, loop
+//! counters, 0/1 compare results. This module provides the semantic
+//! analysis layer that recovers those facts statically:
+//!
+//! * a generic, deterministic forward worklist solver ([`solve`]) over
+//!   any [`Domain`] — meet (join) at CFG merges, widening at blocks
+//!   revisited more than [`WIDEN_AFTER`] times so loops terminate, block
+//!   iteration in the same reverse postorder the dominance analysis in
+//!   [`crate::dom`] uses;
+//! * an **interval** (value-range) domain ([`Interval`]): each register
+//!   is over-approximated by an unsigned `[lo, hi]` range;
+//! * a **known-bits** domain ([`KnownBits`]): a tri-state per-bit
+//!   lattice (known-0 / known-1 / unknown) tracking bit-level facts the
+//!   interval domain cannot express (masks, shifted fields);
+//! * [`effective_widths`]: the per-instruction *effective operand width*
+//!   derived from both analyses, which the width-aware costing mode
+//!   feeds into `isax-hwlib` delay/area queries.
+//!
+//! Every transfer function is sound with respect to [`crate::eval`] —
+//! the single source of truth for operation semantics — and the test
+//! suite proves it by property test on random operands for every opcode
+//! and by replaying interpreter runs against the computed facts.
+//!
+//! The boundary condition matches the interpreter exactly: parameters
+//! are unknown (⊤) and every other register starts at the concrete value
+//! 0, because `isax_machine::run` zero-fills the register file.
+//!
+//! # Example
+//!
+//! ```
+//! use isax_ir::dataflow::{analyze_function, Interval};
+//! use isax_ir::FunctionBuilder;
+//!
+//! let mut fb = FunctionBuilder::new("f", 1);
+//! let x = fb.param(0);
+//! let b = fb.zxtb(x);          // b ∈ [0, 255]
+//! let y = fb.add(b, 1i64);     // y ∈ [1, 256]
+//! fb.ret(&[y.into()]);
+//! let f = fb.finish();
+//!
+//! let facts = analyze_function(&f);
+//! let env = facts.intervals.entry[0].as_ref().unwrap();
+//! let mut at_ret = env.clone();
+//! // Replay the block to the end and look at y.
+//! isax_ir::dataflow::replay_block(&f, 0, &mut at_ret);
+//! assert_eq!(at_ret[y.index()], Interval::new(1, 256));
+//! ```
+
+use crate::dom::{predecessors_clamped, reverse_postorder};
+use crate::inst::{Inst, Operand};
+use crate::opcode::{eval, Opcode};
+use crate::Function;
+
+/// Number of times a block's input may change before the solver switches
+/// from join to widening at that block. Small enough to terminate fast,
+/// large enough to let short counting patterns settle exactly.
+pub const WIDEN_AFTER: u32 = 3;
+
+/// An abstract value domain for the forward solver.
+///
+/// Implementations must be *sound* over-approximations of the concrete
+/// 32-bit semantics in [`crate::eval`]: whenever concrete inputs are
+/// contained in the abstract arguments, the concrete result must be
+/// contained in the abstract result.
+pub trait Domain: Clone + PartialEq + std::fmt::Debug {
+    /// The unconstrained value (⊤): contains every `u32`.
+    fn top() -> Self;
+    /// The singleton abstraction of a concrete value.
+    fn constant(c: u32) -> Self;
+    /// Least upper bound: contains every value either side contains.
+    fn join(&self, other: &Self) -> Self;
+    /// Widening: an upper bound of `self ∨ other` chosen so that chains
+    /// of widenings stabilize quickly (loop termination).
+    fn widen(&self, other: &Self) -> Self;
+    /// Abstract transfer of a non-memory, non-custom opcode.
+    fn transfer(op: Opcode, args: &[Self]) -> Self;
+    /// Abstract result of a load opcode (the address tells us nothing,
+    /// but the access width does).
+    fn load(op: Opcode) -> Self;
+    /// True when the concrete value is contained in the abstraction.
+    fn contains(&self, v: u32) -> bool;
+    /// `Some(c)` when the abstraction is the singleton `{c}`.
+    fn as_constant(&self) -> Option<u32>;
+}
+
+/// An unsigned value-range abstraction: the register's value is known to
+/// lie in `[lo, hi]` (inclusive, `lo <= hi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u32,
+    /// Largest possible value.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The full range (⊤).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    /// Constructs `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Interval {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Number of bits needed to represent every value in the range.
+    pub fn width(&self) -> u8 {
+        (32 - self.hi.leading_zeros()).max(1) as u8
+    }
+
+    /// The signed view of the range, when it does not straddle the
+    /// signed wrap point (`0x7FFF_FFFF` → `0x8000_0000`). A straddling
+    /// range maps to a *pair* of signed intervals, which this domain
+    /// cannot represent, so `None` is returned and callers must assume
+    /// the full signed range.
+    fn signed(&self) -> Option<(i32, i32)> {
+        let crosses = self.lo < 0x8000_0000 && self.hi >= 0x8000_0000;
+        if crosses {
+            None
+        } else {
+            Some((self.lo as i32, self.hi as i32))
+        }
+    }
+}
+
+/// Smallest all-ones mask covering `x` (0 for 0): the tight power-of-two
+/// style upper bound for bitwise-or/xor results.
+fn ones_mask(x: u32) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        u32::MAX >> x.leading_zeros()
+    }
+}
+
+impl Domain for Interval {
+    fn top() -> Self {
+        Interval::TOP
+    }
+
+    fn constant(c: u32) -> Self {
+        Interval { lo: c, hi: c }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        // Any bound still moving after WIDEN_AFTER visits jumps straight
+        // to its extreme; stable bounds are kept.
+        Interval {
+            lo: if other.lo < self.lo { 0 } else { self.lo },
+            hi: if other.hi > self.hi {
+                u32::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn transfer(op: Opcode, args: &[Self]) -> Self {
+        use Opcode::*;
+        // Constant folding first: with every argument a singleton the
+        // concrete evaluator is the exact (and trivially sound) answer.
+        if let Some(consts) = args
+            .iter()
+            .map(Interval::as_constant)
+            .collect::<Option<Vec<u32>>>()
+        {
+            return Interval::constant(eval(op, &consts));
+        }
+        let a = args[0];
+        let b = *args.get(1).unwrap_or(&Interval::TOP);
+        match op {
+            Add => {
+                let (lo, hi) = (a.lo as u64 + b.lo as u64, a.hi as u64 + b.hi as u64);
+                if hi <= u32::MAX as u64 {
+                    Interval::new(lo as u32, hi as u32)
+                } else {
+                    Interval::TOP // the sum may wrap for some inputs
+                }
+            }
+            Sub => {
+                if a.lo >= b.hi {
+                    Interval::new(a.lo - b.hi, a.hi - b.lo)
+                } else {
+                    Interval::TOP
+                }
+            }
+            Mul => {
+                let hi = a.hi as u64 * b.hi as u64;
+                if hi <= u32::MAX as u64 {
+                    Interval::new((a.lo as u64 * b.lo as u64) as u32, hi as u32)
+                } else {
+                    Interval::TOP
+                }
+            }
+            Div => match (a.signed(), b.signed()) {
+                // Non-negative dividend, strictly positive divisor: the
+                // quotient is monotone and stays non-negative.
+                (Some((alo, ahi)), Some((blo, bhi))) if alo >= 0 && blo >= 1 => {
+                    Interval::new((alo / bhi) as u32, (ahi / blo) as u32)
+                }
+                _ => Interval::TOP,
+            },
+            Rem => match (a.signed(), b.signed()) {
+                (Some((alo, _)), Some((blo, bhi))) if alo >= 0 && blo >= 1 => {
+                    Interval::new(0, (bhi - 1) as u32)
+                }
+                _ => Interval::TOP,
+            },
+            And => Interval::new(0, a.hi.min(b.hi)),
+            Or => Interval::new(a.lo.max(b.lo), ones_mask(a.hi | b.hi)),
+            Xor => Interval::new(0, ones_mask(a.hi | b.hi)),
+            AndN => Interval::new(0, a.hi),
+            Not => Interval::new(!a.hi, !a.lo),
+            Shl => {
+                // Shift amounts are masked to 5 bits at evaluation; only
+                // an unmasked-range amount keeps the monotone argument.
+                if b.hi <= 31 {
+                    let hi = (a.hi as u64) << b.hi;
+                    if hi <= u32::MAX as u64 {
+                        return Interval::new(a.lo << b.lo, hi as u32);
+                    }
+                }
+                Interval::TOP
+            }
+            Shr => {
+                if b.hi <= 31 {
+                    Interval::new(a.lo >> b.hi, a.hi >> b.lo)
+                } else {
+                    Interval::TOP
+                }
+            }
+            Sar => {
+                // For non-negative values the arithmetic shift equals
+                // the logical one.
+                if a.hi < 0x8000_0000 && b.hi <= 31 {
+                    Interval::new(a.lo >> b.hi, a.hi >> b.lo)
+                } else {
+                    Interval::TOP
+                }
+            }
+            Ror => Interval::TOP,
+            Eq => match () {
+                // Disjoint ranges can never be equal.
+                _ if a.hi < b.lo || b.hi < a.lo => Interval::constant(0),
+                _ => Interval::new(0, 1),
+            },
+            Ne => match () {
+                _ if a.hi < b.lo || b.hi < a.lo => Interval::constant(1),
+                _ => Interval::new(0, 1),
+            },
+            Ltu => compare(a.hi < b.lo, a.lo >= b.hi),
+            Leu => compare(a.hi <= b.lo, a.lo > b.hi),
+            Gtu => compare(a.lo > b.hi, a.hi <= b.lo),
+            Geu => compare(a.lo >= b.hi, a.hi < b.lo),
+            Lt => signed_compare(a, b, |x, y| x < y, |x, y| x >= y),
+            Le => signed_compare(a, b, |x, y| x <= y, |x, y| x > y),
+            Gt => signed_compare(a, b, |x, y| x > y, |x, y| x <= y),
+            Ge => signed_compare(a, b, |x, y| x >= y, |x, y| x < y),
+            Select => {
+                let c = a;
+                let (t, e) = (args[1], args[2]);
+                if c.lo >= 1 {
+                    t // condition provably non-zero
+                } else if c.as_constant() == Some(0) {
+                    e
+                } else {
+                    t.join(&e)
+                }
+            }
+            Mov => a,
+            SxtB => {
+                if a.hi <= 0x7F {
+                    a // byte value non-negative: extension is identity
+                } else if a.lo >= 0x80 && a.hi <= 0xFF {
+                    Interval::new(0xFFFF_FF00 | a.lo, 0xFFFF_FF00 | a.hi)
+                } else {
+                    Interval::TOP
+                }
+            }
+            SxtH => {
+                if a.hi <= 0x7FFF {
+                    a
+                } else if a.lo >= 0x8000 && a.hi <= 0xFFFF {
+                    Interval::new(0xFFFF_0000 | a.lo, 0xFFFF_0000 | a.hi)
+                } else {
+                    Interval::TOP
+                }
+            }
+            ZxtB => {
+                if a.hi <= 0xFF {
+                    a
+                } else {
+                    Interval::new(0, 0xFF)
+                }
+            }
+            ZxtH => {
+                if a.hi <= 0xFFFF {
+                    a
+                } else {
+                    Interval::new(0, 0xFFFF)
+                }
+            }
+            LdB | LdBu | LdH | LdHu | LdW | StB | StH | StW | Custom(_) => {
+                unreachable!("memory/custom opcodes do not go through transfer")
+            }
+        }
+    }
+
+    fn load(op: Opcode) -> Self {
+        match op {
+            Opcode::LdBu => Interval::new(0, 0xFF),
+            Opcode::LdHu => Interval::new(0, 0xFFFF),
+            // Sign-extending loads produce two disconnected ranges; a
+            // single interval cannot do better than ⊤.
+            _ => Interval::TOP,
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    fn as_constant(&self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+}
+
+/// `[1, 1]` when provably true, `[0, 0]` when provably false, `[0, 1]`
+/// otherwise.
+fn compare(always: bool, never: bool) -> Interval {
+    if always {
+        Interval::constant(1)
+    } else if never {
+        Interval::constant(0)
+    } else {
+        Interval::new(0, 1)
+    }
+}
+
+/// Signed comparison over intervals: decidable only when neither range
+/// straddles the signed wrap point.
+fn signed_compare(
+    a: Interval,
+    b: Interval,
+    always: impl Fn(i64, i64) -> bool,
+    never: impl Fn(i64, i64) -> bool,
+) -> Interval {
+    match (a.signed(), b.signed()) {
+        (Some((alo, ahi)), Some((blo, bhi))) => compare(
+            always(ahi as i64, blo as i64) && always(alo as i64, bhi as i64),
+            never(alo as i64, bhi as i64) && never(ahi as i64, blo as i64),
+        ),
+        _ => Interval::new(0, 1),
+    }
+}
+
+/// A tri-state per-bit abstraction: bit `i` is *known* when `known`
+/// has bit `i` set, in which case its value is bit `i` of `value`.
+/// Unknown bits are 0 in `value` (invariant: `value & !known == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Mask of known bit positions.
+    pub known: u32,
+    /// Values of the known bits (0 elsewhere).
+    pub value: u32,
+}
+
+impl KnownBits {
+    /// All bits unknown (⊤).
+    pub const TOP: KnownBits = KnownBits { known: 0, value: 0 };
+
+    /// Number of leading (high-order) bits known to be zero.
+    pub fn leading_known_zeros(&self) -> u32 {
+        // A bit counts only while every bit above it is known-zero too.
+        (!self.known | self.value).leading_zeros()
+    }
+
+    /// Effective width implied by the known-zero prefix.
+    pub fn width(&self) -> u8 {
+        (32 - self.leading_known_zeros()).max(1) as u8
+    }
+
+    fn normalized(known: u32, value: u32) -> KnownBits {
+        KnownBits {
+            known,
+            value: value & known,
+        }
+    }
+}
+
+impl Domain for KnownBits {
+    fn top() -> Self {
+        KnownBits::TOP
+    }
+
+    fn constant(c: u32) -> Self {
+        KnownBits {
+            known: u32::MAX,
+            value: c,
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let known = self.known & other.known & !(self.value ^ other.value);
+        KnownBits::normalized(known, self.value)
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        // The known mask only ever loses bits, so the lattice has height
+        // 32 and plain join already terminates.
+        self.join(other)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn transfer(op: Opcode, args: &[Self]) -> Self {
+        use Opcode::*;
+        if let Some(consts) = args
+            .iter()
+            .map(KnownBits::as_constant)
+            .collect::<Option<Vec<u32>>>()
+        {
+            return KnownBits::constant(eval(op, &consts));
+        }
+        let a = args[0];
+        let b = *args.get(1).unwrap_or(&KnownBits::TOP);
+        match op {
+            And => {
+                // Known-zero on either side forces the result bit.
+                let known = (a.known & b.known) | (a.known & !a.value) | (b.known & !b.value);
+                KnownBits::normalized(known, a.value & b.value)
+            }
+            Or => {
+                let known = (a.known & b.known) | (a.known & a.value) | (b.known & b.value);
+                KnownBits::normalized(known, a.value | b.value)
+            }
+            Xor => KnownBits::normalized(a.known & b.known, a.value ^ b.value),
+            AndN => {
+                let nb = KnownBits::normalized(b.known, !b.value);
+                Self::transfer(And, &[a, nb])
+            }
+            Not => KnownBits::normalized(a.known, !a.value),
+            Add | Sub => {
+                // The low n bits of a sum/difference depend only on the
+                // low n bits of the operands; the first unknown bit (or
+                // its carry) poisons everything above.
+                let n = (a.known & b.known).trailing_ones();
+                let mask = low_mask(n);
+                let raw = if op == Add {
+                    a.value.wrapping_add(b.value)
+                } else {
+                    a.value.wrapping_sub(b.value)
+                };
+                KnownBits::normalized(mask, raw)
+            }
+            Mul => {
+                let n = (a.known & b.known).trailing_ones();
+                let mask = low_mask(n);
+                KnownBits::normalized(mask, a.value.wrapping_mul(b.value))
+            }
+            Div | Rem => KnownBits::TOP,
+            Shl => match b.as_constant() {
+                Some(s) => {
+                    let s = s & 31;
+                    KnownBits::normalized((a.known << s) | low_mask(s), a.value << s)
+                }
+                None => KnownBits::TOP,
+            },
+            Shr => match b.as_constant() {
+                Some(s) => {
+                    let s = s & 31;
+                    let known_top = if s == 0 { 0 } else { !(u32::MAX >> s) };
+                    KnownBits::normalized((a.known >> s) | known_top, a.value >> s)
+                }
+                None => KnownBits::TOP,
+            },
+            Sar => match b.as_constant() {
+                Some(s) => {
+                    let s = s & 31;
+                    if a.known >> 31 == 1 {
+                        // Sign bit known: the copies shifted in are known.
+                        let known_top = if s == 0 { 0 } else { !(u32::MAX >> s) };
+                        let value = ((a.value as i32) >> s) as u32;
+                        KnownBits::normalized((a.known >> s) | known_top, value)
+                    } else {
+                        let keep = if s == 0 { u32::MAX } else { u32::MAX >> s };
+                        KnownBits::normalized(a.known >> s & keep, a.value >> s)
+                    }
+                }
+                None => KnownBits::TOP,
+            },
+            Ror => match b.as_constant() {
+                Some(s) => {
+                    let s = s & 31;
+                    KnownBits::normalized(a.known.rotate_right(s), a.value.rotate_right(s))
+                }
+                None => KnownBits::TOP,
+            },
+            Eq | Ne => {
+                // A known differing bit decides (in)equality outright.
+                let differs = (a.value ^ b.value) & a.known & b.known != 0;
+                if differs {
+                    KnownBits::constant((op == Ne) as u32)
+                } else {
+                    bool_result()
+                }
+            }
+            Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu => bool_result(),
+            Select => {
+                let c = a;
+                let (t, e) = (args[1], args[2]);
+                if c.known & c.value != 0 {
+                    t // some bit of the condition is known one
+                } else if c.as_constant() == Some(0) {
+                    e
+                } else {
+                    t.join(&e)
+                }
+            }
+            Mov => a,
+            SxtB => extend(a, 8, true),
+            SxtH => extend(a, 16, true),
+            ZxtB => extend(a, 8, false),
+            ZxtH => extend(a, 16, false),
+            LdB | LdBu | LdH | LdHu | LdW | StB | StH | StW | Custom(_) => {
+                unreachable!("memory/custom opcodes do not go through transfer")
+            }
+        }
+    }
+
+    fn load(op: Opcode) -> Self {
+        match op {
+            Opcode::LdBu => KnownBits::normalized(0xFFFF_FF00, 0),
+            Opcode::LdHu => KnownBits::normalized(0xFFFF_0000, 0),
+            _ => KnownBits::TOP,
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        v & self.known == self.value
+    }
+
+    fn as_constant(&self) -> Option<u32> {
+        (self.known == u32::MAX).then_some(self.value)
+    }
+}
+
+/// Mask of the `n` low bits (`n` saturating at 32).
+fn low_mask(n: u32) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// A compare result: bit 0 unknown, everything above known zero.
+fn bool_result() -> KnownBits {
+    KnownBits {
+        known: !1,
+        value: 0,
+    }
+}
+
+/// Sub-word extension: the low `bits` come from the operand; above, the
+/// result is either the (possibly known) sign bit or known zero.
+fn extend(a: KnownBits, bits: u32, signed: bool) -> KnownBits {
+    let lo = low_mask(bits);
+    let sign = 1u32 << (bits - 1);
+    if signed {
+        if a.known & sign != 0 {
+            let fill = if a.value & sign != 0 { !lo } else { 0 };
+            KnownBits::normalized((a.known & lo) | !lo, (a.value & lo) | fill)
+        } else {
+            // Unknown sign: everything at and above the sign position is
+            // unknown; bits below keep their knownness.
+            KnownBits::normalized(a.known & lo & !sign, a.value & lo)
+        }
+    } else {
+        KnownBits::normalized((a.known & lo) | !lo, a.value & lo)
+    }
+}
+
+/// Counters describing one [`solve`] run. Deterministic: the solver
+/// visits blocks in reverse postorder regardless of thread count or
+/// hash-map iteration order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Reachable blocks the solver computed facts for.
+    pub blocks_solved: u64,
+    /// Block transfer evaluations across all fixpoint rounds.
+    pub iterations: u64,
+    /// Per-register widening applications.
+    pub widenings: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.blocks_solved += other.blocks_solved;
+        self.iterations += other.iterations;
+        self.widenings += other.widenings;
+    }
+}
+
+/// The fixpoint of one analysis over one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution<D> {
+    /// Per-block entry environment, indexed by block then by register
+    /// number. `None` marks a block unreachable from the entry.
+    pub entry: Vec<Option<Vec<D>>>,
+    /// Solver work counters.
+    pub stats: SolveStats,
+}
+
+impl<D: Domain> Solution<D> {
+    /// The environment in force just *before* instruction `inst` of
+    /// `block` (replaying the block from its entry state). `None` when
+    /// the block is unreachable.
+    pub fn env_before(&self, f: &Function, block: usize, inst: usize) -> Option<Vec<D>> {
+        let mut env = self.entry[block].clone()?;
+        for i in &f.blocks[block].insts[..inst] {
+            transfer_inst(i, &mut env);
+        }
+        Some(env)
+    }
+}
+
+/// Applies one instruction's abstract semantics to the environment.
+pub fn transfer_inst<D: Domain>(inst: &Inst, env: &mut [D]) {
+    let op = inst.opcode;
+    if op.is_store() {
+        return;
+    }
+    if op.is_custom() {
+        for d in &inst.dsts {
+            env[d.index()] = D::top();
+        }
+        return;
+    }
+    if op.is_load() {
+        env[inst.dsts[0].index()] = D::load(op);
+        return;
+    }
+    let args: Vec<D> = inst
+        .srcs
+        .iter()
+        .map(|o| match o {
+            Operand::Reg(r) => env[r.index()].clone(),
+            Operand::Imm(v) => D::constant(*v as u32),
+        })
+        .collect();
+    env[inst.dsts[0].index()] = D::transfer(op, &args);
+}
+
+/// Replays `block`'s instructions over `env` in place (the whole block).
+pub fn replay_block<D: Domain>(f: &Function, block: usize, env: &mut [D]) {
+    for inst in &f.blocks[block].insts {
+        transfer_inst(inst, env);
+    }
+}
+
+/// Runs the forward worklist solver for domain `D` over `f`'s CFG.
+///
+/// Deterministic by construction: blocks are processed in reverse
+/// postorder until a fixpoint, predecessors are folded in index order,
+/// and widening kicks in at any block whose entry state is still
+/// changing after [`WIDEN_AFTER`] recomputations.
+pub fn solve<D: Domain>(f: &Function) -> Solution<D> {
+    let n = f.blocks.len();
+    let nregs = f.vreg_count as usize;
+    let rpo = reverse_postorder(f);
+    let preds = predecessors_clamped(f);
+    let mut stats = SolveStats::default();
+
+    // Boundary: parameters unknown, everything else the interpreter's
+    // zero fill.
+    let mut boundary: Vec<D> = vec![D::constant(0); nregs];
+    for p in &f.params {
+        boundary[p.index()] = D::top();
+    }
+
+    let mut entry: Vec<Option<Vec<D>>> = vec![None; n];
+    let mut exit: Vec<Option<Vec<D>>> = vec![None; n];
+    let mut visits: Vec<u32> = vec![0; n];
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            // New entry state: the boundary for the entry block, joined
+            // with every already-computed predecessor exit.
+            let mut new_in: Option<Vec<D>> = (b == 0).then(|| boundary.clone());
+            for &p in &preds[b] {
+                let Some(out_p) = &exit[p] else { continue };
+                new_in = Some(match new_in {
+                    None => out_p.clone(),
+                    Some(acc) => acc
+                        .iter()
+                        .zip(out_p.iter())
+                        .map(|(x, y)| x.join(y))
+                        .collect(),
+                });
+            }
+            let Some(mut new_in) = new_in else { continue };
+            if let Some(old) = &entry[b] {
+                if *old == new_in {
+                    continue;
+                }
+                visits[b] += 1;
+                if visits[b] > WIDEN_AFTER {
+                    new_in = old
+                        .iter()
+                        .zip(new_in.iter())
+                        .map(|(o, nv)| {
+                            let w = o.widen(nv);
+                            if w != *nv {
+                                stats.widenings += 1;
+                            }
+                            w
+                        })
+                        .collect();
+                    if *old == new_in {
+                        continue;
+                    }
+                }
+            }
+            stats.iterations += 1;
+            let mut out = new_in.clone();
+            replay_block(f, b, &mut out);
+            entry[b] = Some(new_in);
+            exit[b] = Some(out);
+            changed = true;
+        }
+    }
+    stats.blocks_solved = entry.iter().filter(|e| e.is_some()).count() as u64;
+    Solution { entry, stats }
+}
+
+/// Both concrete analyses over one function, solved to fixpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Facts {
+    /// Value-range fixpoint.
+    pub intervals: Solution<Interval>,
+    /// Known-bits fixpoint.
+    pub bits: Solution<KnownBits>,
+}
+
+impl Facts {
+    /// Combined solver counters of both analyses.
+    pub fn stats(&self) -> SolveStats {
+        let mut s = self.intervals.stats;
+        s.merge(&self.bits.stats);
+        s
+    }
+}
+
+/// Solves the interval and known-bits analyses for `f`.
+pub fn analyze_function(f: &Function) -> Facts {
+    Facts {
+        intervals: solve::<Interval>(f),
+        bits: solve::<KnownBits>(f),
+    }
+}
+
+/// Effective width of a value described by both abstractions: the
+/// tighter of the interval's magnitude bound and the known-bits
+/// leading-zero run (never less than 1).
+pub fn value_width(iv: &Interval, kb: &KnownBits) -> u8 {
+    iv.width().min(kb.width())
+}
+
+/// Per-instruction effective operand widths for width-aware costing:
+/// `widths[block][inst]` is the number of datapath bits instruction
+/// `inst` of `block` actually exercises — the maximum of its source
+/// operand widths and its result width. Instructions in unreachable
+/// blocks (no facts) and custom operations get the full 32 bits.
+pub fn effective_widths(f: &Function) -> Vec<Vec<u8>> {
+    let facts = analyze_function(f);
+    effective_widths_from(f, &facts)
+}
+
+/// [`effective_widths`] from an already-solved [`Facts`].
+pub fn effective_widths_from(f: &Function, facts: &Facts) -> Vec<Vec<u8>> {
+    f.blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            let (Some(iv0), Some(kb0)) = (
+                facts.intervals.entry[bi].as_ref(),
+                facts.bits.entry[bi].as_ref(),
+            ) else {
+                return vec![32u8; b.insts.len()];
+            };
+            let mut iv = iv0.clone();
+            let mut kb = kb0.clone();
+            b.insts
+                .iter()
+                .map(|inst| {
+                    let mut w: u8 = 1;
+                    if !inst.opcode.is_custom() {
+                        for o in &inst.srcs {
+                            w = w.max(match o {
+                                Operand::Reg(r) => value_width(&iv[r.index()], &kb[r.index()]),
+                                Operand::Imm(v) => {
+                                    let c = *v as u32;
+                                    value_width(&Interval::constant(c), &KnownBits::constant(c))
+                                }
+                            });
+                        }
+                    } else {
+                        w = 32;
+                    }
+                    transfer_inst(inst, &mut iv);
+                    transfer_inst(inst, &mut kb);
+                    for d in &inst.dsts {
+                        w = w.max(value_width(&iv[d.index()], &kb[d.index()]));
+                    }
+                    w
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn straight(fb: FunctionBuilder) -> Function {
+        fb.finish()
+    }
+
+    #[test]
+    fn interval_constant_folding_and_masking() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let x = fb.param(0);
+        let m = fb.and(x, 0xFFi64); // [0, 255]
+        let y = fb.add(m, 10i64); // [10, 265]
+        fb.ret(&[y.into()]);
+        let f = straight(fb);
+        let sol = solve::<Interval>(&f);
+        let mut env = sol.entry[0].clone().unwrap();
+        replay_block(&f, 0, &mut env);
+        assert_eq!(env[m.index()], Interval::new(0, 0xFF));
+        assert_eq!(env[y.index()], Interval::new(10, 0x109));
+    }
+
+    #[test]
+    fn known_bits_track_masks_and_shifts() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let x = fb.param(0);
+        let m = fb.and(x, 0xF0i64);
+        let s = fb.shr(m, 4i64);
+        fb.ret(&[s.into()]);
+        let f = straight(fb);
+        let sol = solve::<KnownBits>(&f);
+        let mut env = sol.entry[0].clone().unwrap();
+        replay_block(&f, 0, &mut env);
+        // After `and #0xF0` every bit but 4..8 is known zero.
+        assert_eq!(env[m.index()].known, !0xF0u32);
+        assert_eq!(env[m.index()].value, 0);
+        // After the shift the unknown nibble sits at bits 0..4.
+        assert_eq!(env[s.index()].known, !0x0Fu32);
+    }
+
+    #[test]
+    fn loop_counter_widens_and_terminates() {
+        // for (i = 0; i != n; i++) — i's range must widen, not diverge.
+        let mut fb = FunctionBuilder::new("loop", 1);
+        let n = fb.param(0);
+        let body = fb.new_block(100);
+        let exit = fb.new_block(1);
+        let i = fb.mov(0i64);
+        fb.jump(body);
+        fb.switch_to(body);
+        let i2 = fb.add(i, 1i64);
+        fb.copy_to(i, i2);
+        let c = fb.ne(i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[i.into()]);
+        let f = fb.finish();
+        let sol = solve::<Interval>(&f);
+        assert!(sol.stats.widenings > 0, "loop must trigger widening");
+        // The exit block still has sound facts.
+        let env = sol.entry[2].as_ref().unwrap();
+        assert!(env[i.index()].contains(1));
+        assert!(env[i.index()].contains(100));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_facts() {
+        let mut fb = FunctionBuilder::new("u", 1);
+        let x = fb.param(0);
+        let dead = fb.new_block(1);
+        let live = fb.new_block(1);
+        fb.jump(live);
+        fb.switch_to(dead);
+        fb.ret(&[]);
+        fb.switch_to(live);
+        fb.ret(&[x.into()]);
+        let f = fb.finish();
+        let sol = solve::<Interval>(&f);
+        assert!(sol.entry[dead.index()].is_none());
+        assert!(sol.entry[live.index()].is_some());
+        assert_eq!(sol.stats.blocks_solved, 2);
+    }
+
+    #[test]
+    fn diamond_join_unions_ranges() {
+        let mut fb = FunctionBuilder::new("d", 1);
+        let p = fb.param(0);
+        let then_b = fb.new_block(1);
+        let else_b = fb.new_block(1);
+        let join = fb.new_block(1);
+        let c = fb.ne(p, 0i64);
+        let x = fb.mov(5i64);
+        fb.branch(c, then_b, else_b);
+        fb.switch_to(then_b);
+        let t = fb.mov(10i64);
+        fb.copy_to(x, t);
+        fb.jump(join);
+        fb.switch_to(else_b);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[x.into()]);
+        let f = fb.finish();
+        let sol = solve::<Interval>(&f);
+        let env = sol.entry[join.index()].as_ref().unwrap();
+        assert_eq!(env[x.index()], Interval::new(5, 10));
+    }
+
+    #[test]
+    fn compare_results_are_one_bit() {
+        let mut fb = FunctionBuilder::new("c", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let c = fb.ltu(a, b);
+        fb.ret(&[c.into()]);
+        let f = straight(fb);
+        let facts = analyze_function(&f);
+        let widths = effective_widths_from(&f, &facts);
+        // The comparator itself chews on 32-bit inputs...
+        assert_eq!(widths[0][0], 32);
+        let mut env = facts.intervals.entry[0].clone().unwrap();
+        replay_block(&f, 0, &mut env);
+        // ...but its result is provably 0/1.
+        assert_eq!(env[c.index()], Interval::new(0, 1));
+    }
+
+    #[test]
+    fn effective_widths_shrink_for_byte_math() {
+        let mut fb = FunctionBuilder::new("w", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let x = fb.zxtb(a);
+        let y = fb.zxtb(b);
+        let s = fb.add(x, y); // ≤ 510: 9 bits
+        fb.ret(&[s.into()]);
+        let f = straight(fb);
+        let widths = effective_widths(&f);
+        assert_eq!(widths[0][2], 9, "byte add needs 9 bits, not 32");
+    }
+
+    #[test]
+    fn select_on_provable_condition_is_precise() {
+        let mut fb = FunctionBuilder::new("s", 2);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let one = fb.mov(1i64);
+        let s = fb.select(one, a, b);
+        fb.ret(&[s.into()]);
+        let f = straight(fb);
+        let sol = solve::<Interval>(&f);
+        let mut env = sol.entry[0].clone().unwrap();
+        // After the select, the result is exactly `a` (⊤ here), but the
+        // transfer must not have joined in `b` — check via a constant.
+        let mut fb2 = FunctionBuilder::new("s2", 0);
+        let k1 = fb2.mov(7i64);
+        let k2 = fb2.mov(9i64);
+        let c = fb2.mov(1i64);
+        let r = fb2.select(c, k1, k2);
+        fb2.ret(&[r.into()]);
+        let f2 = fb2.finish();
+        let sol2 = solve::<Interval>(&f2);
+        let mut env2 = sol2.entry[0].clone().unwrap();
+        replay_block(&f2, 0, &mut env2);
+        assert_eq!(env2[r.index()].as_constant(), Some(7));
+        replay_block(&f, 0, &mut env);
+        let _ = s;
+    }
+
+    #[test]
+    fn env_before_matches_replay_prefix() {
+        let mut fb = FunctionBuilder::new("p", 1);
+        let x = fb.param(0);
+        let a = fb.and(x, 0x3i64);
+        let b = fb.add(a, 1i64);
+        fb.ret(&[b.into()]);
+        let f = straight(fb);
+        let sol = solve::<Interval>(&f);
+        let env = sol.env_before(&f, 0, 1).unwrap();
+        assert_eq!(env[a.index()], Interval::new(0, 3));
+    }
+}

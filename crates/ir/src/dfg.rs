@@ -128,6 +128,11 @@ pub struct Dfg {
     /// Node produces a value consumed after the block (live-out last def,
     /// or used by the terminator).
     block_output: Vec<bool>,
+    /// Effective operation width of each node in bits, from the
+    /// value-range/known-bits analysis ([`crate::dataflow`]). Defaults to
+    /// full 32-bit width; only the width-aware costing mode attaches
+    /// narrower values, so default-mode cost queries are untouched.
+    widths: Vec<u8>,
 }
 
 impl Dfg {
@@ -147,6 +152,7 @@ impl Dfg {
             anti_succs: vec![Vec::new(); n],
             ext_inputs: vec![Vec::new(); n],
             block_output: vec![false; n],
+            widths: vec![32; n],
         };
         // Data edges: last in-block definition reaches each use.
         let mut last_def: BTreeMap<VReg, usize> = BTreeMap::new();
@@ -281,6 +287,23 @@ impl Dfg {
     /// True if `v`'s value is consumed after the block ends.
     pub fn is_block_output(&self, v: usize) -> bool {
         self.block_output[v]
+    }
+
+    /// Effective operation width of node `v` in bits (32 unless the
+    /// width-aware analysis attached narrower inferences).
+    pub fn width(&self, v: usize) -> u8 {
+        self.widths[v]
+    }
+
+    /// Attaches per-node effective widths from the dataflow analysis.
+    /// `widths[i]` corresponds to instruction `i` of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the node count.
+    pub fn set_widths(&mut self, widths: &[u8]) {
+        assert_eq!(widths.len(), self.insts.len(), "one width per node");
+        self.widths.copy_from_slice(widths);
     }
 
     /// The structural label of node `v` (opcode + hardwired immediates).

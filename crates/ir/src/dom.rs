@@ -148,7 +148,7 @@ fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], rpo_index: &[us
 /// Predecessor lists that tolerate malformed CFGs: terminator targets at
 /// or past the block count (which the verifier reports separately) are
 /// simply skipped rather than panicking.
-fn predecessors_clamped(f: &Function) -> Vec<Vec<usize>> {
+pub(crate) fn predecessors_clamped(f: &Function) -> Vec<Vec<usize>> {
     let n = f.blocks.len();
     let mut preds = vec![Vec::new(); n];
     for (i, b) in f.blocks.iter().enumerate() {
@@ -162,7 +162,7 @@ fn predecessors_clamped(f: &Function) -> Vec<Vec<usize>> {
 }
 
 /// Reverse postorder of the blocks reachable from the entry.
-fn reverse_postorder(f: &Function) -> Vec<usize> {
+pub(crate) fn reverse_postorder(f: &Function) -> Vec<usize> {
     let n = f.blocks.len();
     if n == 0 {
         return Vec::new();

@@ -29,11 +29,26 @@ pub enum Operand {
     /// Value produced by an instruction (or live into the function).
     Reg(VReg),
     /// Immediate constant; 32-bit payloads are stored sign-agnostically as
-    /// `i64` and truncated at evaluation time.
+    /// `i64` so both signed (`-5`) and unsigned (`0xFFFF_FFFF`) spellings
+    /// round-trip. The verifier rejects values outside the representable
+    /// window (`IC0109`, see [`Operand::IMM_MIN`]/[`Operand::IMM_MAX`]),
+    /// so evaluation's `as u32` narrowing never silently wraps.
     Imm(i64),
 }
 
 impl Operand {
+    /// Smallest representable immediate (`i32::MIN`).
+    pub const IMM_MIN: i64 = i32::MIN as i64;
+    /// Largest representable immediate (`u32::MAX`): unsigned spellings
+    /// up to 32 bits are accepted alongside negative signed ones.
+    pub const IMM_MAX: i64 = u32::MAX as i64;
+
+    /// True when `v` fits the 32-bit immediate window — representable as
+    /// either an `i32` or a `u32`, the two spellings `as u32` narrowing
+    /// preserves exactly.
+    pub fn imm_in_range(v: i64) -> bool {
+        (Operand::IMM_MIN..=Operand::IMM_MAX).contains(&v)
+    }
     /// Returns the register, if this is a register operand.
     pub fn reg(self) -> Option<VReg> {
         match self {

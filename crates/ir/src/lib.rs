@@ -42,6 +42,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod dataflow;
 pub mod dfg;
 pub mod dom;
 pub mod function;
@@ -53,6 +54,10 @@ pub mod verify;
 
 pub use block::{BasicBlock, BlockId, Terminator};
 pub use builder::FunctionBuilder;
+pub use dataflow::{
+    analyze_function, effective_widths, effective_widths_from, solve, Domain, Facts, Interval,
+    KnownBits, SolveStats,
+};
 pub use dfg::{function_dfgs, Dfg, DfgLabel, SlackInfo};
 pub use dom::{definite_assignment, DefiniteAssignment, Dominators};
 pub use function::{Function, Liveness};

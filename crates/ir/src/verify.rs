@@ -41,6 +41,9 @@ pub enum VerifyCode {
     UndefinedControlUse,
     /// A custom opcode has no registered semantics in the program.
     MissingSemantics,
+    /// An immediate lies outside the representable 32-bit window
+    /// (`i32::MIN ..= u32::MAX`), so evaluation would silently wrap it.
+    ImmOutOfRange,
 }
 
 impl VerifyCode {
@@ -55,6 +58,7 @@ impl VerifyCode {
             VerifyCode::BadTarget => "IC0106",
             VerifyCode::UndefinedControlUse => "IC0107",
             VerifyCode::MissingSemantics => "IC0108",
+            VerifyCode::ImmOutOfRange => "IC0109",
         }
     }
 }
@@ -175,6 +179,16 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
                     );
                 }
             }
+            for (_, v) in inst.imm_srcs() {
+                if !crate::Operand::imm_in_range(v) {
+                    push(
+                        VerifyCode::ImmOutOfRange,
+                        Some(bi),
+                        Some(ii),
+                        format!("immediate #{v} outside the 32-bit range"),
+                    );
+                }
+            }
             for &d in &inst.dsts {
                 if d.0 >= f.vreg_count {
                     push(
@@ -224,6 +238,16 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
             }
             Terminator::Ret(vals) => {
                 for v in vals {
+                    if let Some(i) = v.imm() {
+                        if !crate::Operand::imm_in_range(i) {
+                            push(
+                                VerifyCode::ImmOutOfRange,
+                                Some(bi),
+                                None,
+                                format!("returned immediate #{i} outside the 32-bit range"),
+                            );
+                        }
+                    }
                     if let Some(r) = v.reg() {
                         if !defined.contains(&r) {
                             push(
@@ -291,7 +315,7 @@ pub fn verify_program(p: &Program) -> Result<(), Vec<VerifyError>> {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::inst::Inst;
+    use crate::inst::{Inst, Operand};
     use crate::opcode::Opcode;
 
     #[test]
@@ -374,6 +398,43 @@ mod tests {
             .find(|e| e.message.contains("cfu3 has no registered semantics"))
             .expect("semantics error reported");
         assert_eq!(e.code, VerifyCode::MissingSemantics);
+    }
+
+    #[test]
+    fn out_of_range_immediate_detected() {
+        let mut fb = FunctionBuilder::new("imm", 1);
+        let a = fb.param(0);
+        fb.push(Inst::new(
+            Opcode::Add,
+            vec![VReg(1)],
+            vec![a.into(), Operand::Imm(1_i64 << 33)],
+        ));
+        fb.ret(&[VReg(1).into()]);
+        let f = fb.finish();
+        let errs = verify_function(&f).unwrap_err();
+        let e = errs
+            .iter()
+            .find(|e| e.code == VerifyCode::ImmOutOfRange)
+            .expect("out-of-range immediate reported");
+        assert_eq!(e.code.code(), "IC0109");
+        assert_eq!((e.block, e.inst), (Some(0), Some(0)));
+
+        // Both 32-bit spellings stay legal: u32::MAX and i32::MIN.
+        let mut fb = FunctionBuilder::new("ok", 1);
+        let a = fb.param(0);
+        let x = fb.and(a, 0xFFFF_FFFFu32);
+        let y = fb.add(x, i32::MIN);
+        fb.ret(&[y.into()]);
+        assert!(verify_function(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_return_immediate_detected() {
+        let mut fb = FunctionBuilder::new("reti", 0);
+        fb.ret(&[Operand::Imm(-(1_i64 << 40))]);
+        let errs = verify_function(&fb.finish()).unwrap_err();
+        assert_eq!(errs[0].code, VerifyCode::ImmOutOfRange);
+        assert_eq!(errs[0].inst, None);
     }
 
     #[test]

@@ -53,9 +53,8 @@ fn naive_dominator_sets(f: &Function) -> Vec<Option<BTreeSet<usize>>> {
         }
     }
     let all: BTreeSet<usize> = (0..n).filter(|&b| reachable[b]).collect();
-    let mut dom: Vec<Option<BTreeSet<usize>>> = (0..n)
-        .map(|b| reachable[b].then(|| all.clone()))
-        .collect();
+    let mut dom: Vec<Option<BTreeSet<usize>>> =
+        (0..n).map(|b| reachable[b].then(|| all.clone())).collect();
     if n > 0 {
         dom[0] = Some([0].into());
     }
@@ -114,7 +113,10 @@ fn assert_matches_reference(f: &Function) {
                         "only the entry lacks an idom, b{b} has strict doms {strict:?}"
                     ),
                     Some(i) => {
-                        assert!(strict.contains(&i), "idom(b{b}) = b{i} must strictly dominate");
+                        assert!(
+                            strict.contains(&i),
+                            "idom(b{b}) = b{i} must strictly dominate"
+                        );
                         for &a in &strict {
                             assert!(
                                 reference[i].as_ref().unwrap().contains(&a),

@@ -9,7 +9,7 @@
 //! inputs. It also validates the workload kernels against native Rust
 //! reference implementations (CRC-32, ADPCM, SHA-1 rounds, ...).
 
-use isax_ir::{eval, BlockId, Opcode, Operand, Program, Terminator};
+use isax_ir::{eval, BlockId, Opcode, Operand, Program, Terminator, VReg};
 use std::collections::BTreeMap;
 
 /// Byte-addressed little-endian sparse memory.
@@ -164,6 +164,37 @@ pub fn run(
     mem: &mut Memory,
     fuel: u64,
 ) -> Result<ExecOutcome, ExecError> {
+    run_observed(program, function, args, mem, fuel, |_| {})
+}
+
+/// One register write observed during an instrumented run: instruction
+/// `inst` of `block` assigned `value` to `reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Block index the defining instruction lives in.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Register written.
+    pub reg: VReg,
+    /// Concrete value written.
+    pub value: u32,
+}
+
+/// [`run`] with an observer invoked on **every register definition** the
+/// program executes, in program order. This is the hook the value-range
+/// soundness checker uses: each observed value must be contained in the
+/// statically computed interval and known-bits facts for its definition
+/// site. The plain [`run`] passes a no-op closure, which the optimizer
+/// erases, so uninstrumented execution pays nothing.
+pub fn run_observed(
+    program: &Program,
+    function: &str,
+    args: &[u32],
+    mem: &mut Memory,
+    fuel: u64,
+    mut observe: impl FnMut(Observation),
+) -> Result<ExecOutcome, ExecError> {
     let f = program
         .function(function)
         .ok_or_else(|| ExecError::UnknownFunction(function.to_string()))?;
@@ -180,8 +211,9 @@ pub fn run(
     let mut steps = 0u64;
     let mut block = BlockId(0);
     loop {
-        let b = &f.blocks[block.index()];
-        for inst in &b.insts {
+        let bi = block.index();
+        let b = &f.blocks[bi];
+        for (ii, inst) in b.insts.iter().enumerate() {
             steps += 1;
             if steps > fuel {
                 return Err(ExecError::OutOfFuel);
@@ -193,25 +225,16 @@ pub fn run(
                 }
             };
             match inst.opcode {
-                Opcode::LdB => {
+                op if op.is_load() => {
                     let a = read(&inst.srcs[0], &regs);
-                    regs[inst.dsts[0].index()] = mem.load8(a) as i8 as i32 as u32;
-                }
-                Opcode::LdBu => {
-                    let a = read(&inst.srcs[0], &regs);
-                    regs[inst.dsts[0].index()] = mem.load8(a) as u32;
-                }
-                Opcode::LdH => {
-                    let a = read(&inst.srcs[0], &regs);
-                    regs[inst.dsts[0].index()] = mem.load16(a) as i16 as i32 as u32;
-                }
-                Opcode::LdHu => {
-                    let a = read(&inst.srcs[0], &regs);
-                    regs[inst.dsts[0].index()] = mem.load16(a) as u32;
-                }
-                Opcode::LdW => {
-                    let a = read(&inst.srcs[0], &regs);
-                    regs[inst.dsts[0].index()] = mem.load32(a);
+                    let v = load_as(op, a, mem);
+                    regs[inst.dsts[0].index()] = v;
+                    observe(Observation {
+                        block: bi,
+                        inst: ii,
+                        reg: inst.dsts[0],
+                        value: v,
+                    });
                 }
                 Opcode::StB => {
                     let a = read(&inst.srcs[0], &regs);
@@ -237,11 +260,24 @@ pub fn run(
                     let outs = sem.eval_with(&inputs, |op, addr| load_as(op, addr, mem));
                     for (d, v) in inst.dsts.iter().zip(outs) {
                         regs[d.index()] = v;
+                        observe(Observation {
+                            block: bi,
+                            inst: ii,
+                            reg: *d,
+                            value: v,
+                        });
                     }
                 }
                 op => {
                     let operands: Vec<u32> = inst.srcs.iter().map(|o| read(o, &regs)).collect();
-                    regs[inst.dsts[0].index()] = eval(op, &operands);
+                    let v = eval(op, &operands);
+                    regs[inst.dsts[0].index()] = v;
+                    observe(Observation {
+                        block: bi,
+                        inst: ii,
+                        reg: inst.dsts[0],
+                        value: v,
+                    });
                 }
             }
         }

@@ -25,6 +25,6 @@ pub mod interp;
 pub mod report;
 pub mod sim;
 
-pub use interp::{run, run_both, ExecError, ExecOutcome, Memory};
+pub use interp::{run, run_both, run_observed, ExecError, ExecOutcome, Memory, Observation};
 pub use report::SpeedupReport;
 pub use sim::{simulate, SimResult};

@@ -470,7 +470,10 @@ impl Fate {
             )
         }) {
             Fate::Selected
-        } else if events.iter().any(|e| matches!(e, ProvEvent::Discovered { .. })) {
+        } else if events
+            .iter()
+            .any(|e| matches!(e, ProvEvent::Discovered { .. }))
+        {
             Fate::NotSelected
         } else {
             Fate::Pruned

@@ -179,9 +179,11 @@ pub fn combine(dfgs: &[Dfg], candidates: &[Candidate], hw: &HwLibrary) -> Vec<Cf
         scratch
             .base
             .extend(pattern.node_ids().map(|v| canon::mix(pattern[v].key())));
-        scratch
-            .comm
-            .extend(pattern.node_ids().map(|v| pattern[v].opcode.is_commutative()));
+        scratch.comm.extend(
+            pattern
+                .node_ids()
+                .map(|v| pattern[v].opcode.is_commutative()),
+        );
         let fp = canon::fingerprint_keys(&pattern, &cfg, &mut scratch);
         let hw_cycles = hw.cfu_cycles(cand.delay);
         let sw = cand.sw_cycles(dfg, hw) as u64;
@@ -199,6 +201,16 @@ pub fn combine(dfgs: &[Dfg], candidates: &[Candidate], hw: &HwLibrary) -> Vec<Cf
                 let g = &mut groups[gi];
                 g.inputs = g.inputs.max(cand.inputs);
                 g.outputs = g.outputs.max(cand.outputs);
+                // Width-aware costing can price isomorphic embeddings
+                // differently (each carries its own inferred widths); one
+                // unit must serve every occurrence, so it is built for
+                // the widest — the group keeps the maximum delay/area.
+                // In default mode every member prices identically and
+                // this never fires, keeping outputs byte-identical.
+                if hw.width_aware {
+                    g.delay = g.delay.max(cand.delay);
+                    g.area = g.area.max(cand.area);
+                }
                 g.occurrences.push(occ.clone());
                 placed = true;
                 break;
@@ -218,6 +230,29 @@ pub fn combine(dfgs: &[Dfg], candidates: &[Candidate], hw: &HwLibrary) -> Vec<Cf
                 subsumes: Vec::new(),
                 wildcard_partners: Vec::new(),
             });
+        }
+    }
+    if hw.width_aware {
+        // The group delay settled only after every member arrived:
+        // refresh the cycle count and re-derive each occurrence's
+        // savings from the group-level (widest-member) unit.
+        for g in &mut groups {
+            g.hw_cycles = hw.cfu_cycles(g.delay);
+            for occ in &mut g.occurrences {
+                let sw: u64 = occ
+                    .nodes
+                    .iter()
+                    .map(|v| {
+                        let inst = dfgs[occ.dfg].inst(v);
+                        if inst.opcode.is_load() {
+                            0
+                        } else {
+                            hw.sw_latency_of(inst) as u64
+                        }
+                    })
+                    .sum();
+                occ.savings_per_exec = sw.saturating_sub(g.hw_cycles as u64);
+            }
         }
     }
     groups

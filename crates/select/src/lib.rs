@@ -50,7 +50,9 @@ pub mod subsume;
 pub mod wildcard;
 
 pub use combine::{combine, pattern_fingerprint, patterns_equivalent, CfuCandidate, Occurrence};
-pub use greedy::{select_greedy, select_greedy_metered, Objective, SelectConfig, SelectedCfu, Selection};
+pub use greedy::{
+    select_greedy, select_greedy_metered, Objective, SelectConfig, SelectedCfu, Selection,
+};
 pub use knapsack::select_knapsack;
 pub use multifunction::{select_multifunction, wildcard_families};
 pub use subsume::{contraction_closure, mark_subsumptions, DEFAULT_CLOSURE_CAP};

@@ -307,10 +307,7 @@ impl Recorder {
                     &mut first,
                 ),
                 Event::Counter {
-                    name,
-                    ts_us,
-                    value,
-                    ..
+                    name, ts_us, value, ..
                 } => {
                     let total = totals.entry(name).or_insert(0);
                     *total += value;

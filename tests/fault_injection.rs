@@ -76,7 +76,9 @@ fn run_with_fault(stage: Stage, kind: FaultKind) -> Run {
 
 fn assert_has(degradations: &[Degradation], stage: Stage, kind: DegradationKind) {
     assert!(
-        degradations.iter().any(|d| d.stage == stage && d.kind == kind),
+        degradations
+            .iter()
+            .any(|d| d.stage == stage && d.kind == kind),
         "expected a {kind:?} degradation at stage {stage}, got: {degradations:?}",
     );
 }
@@ -84,7 +86,11 @@ fn assert_has(degradations: &[Degradation], stage: Stage, kind: DegradationKind)
 #[test]
 fn explore_panic_is_contained() {
     let r = run_with_fault(Stage::Explore, FaultKind::Panic);
-    assert_has(&r.analysis_degradations, Stage::Explore, DegradationKind::Panicked);
+    assert_has(
+        &r.analysis_degradations,
+        Stage::Explore,
+        DegradationKind::Panicked,
+    );
     // The single DFG's worker died, so analysis is empty — but the
     // pipeline still runs to completion on the baseline ISA.
     assert_eq!(r.chosen, 0);
@@ -110,8 +116,15 @@ fn explore_exhaust_degrades_to_empty_analysis() {
 #[test]
 fn select_panic_falls_back_to_baseline_isa() {
     let r = run_with_fault(Stage::Select, FaultKind::Panic);
-    assert_has(&r.select_degradations, Stage::Select, DegradationKind::Panicked);
-    assert_eq!(r.chosen, 0, "a panicked selection must yield the empty selection");
+    assert_has(
+        &r.select_degradations,
+        Stage::Select,
+        DegradationKind::Panicked,
+    );
+    assert_eq!(
+        r.chosen, 0,
+        "a panicked selection must yield the empty selection"
+    );
     assert_eq!(r.custom_cycles, r.baseline_cycles);
 }
 
@@ -130,21 +143,34 @@ fn select_exhaust_keeps_empty_prefix() {
         "detail should mark the injection: {:?}",
         r.select_degradations
     );
-    assert_eq!(r.chosen, 0, "exhaustion before the first candidate keeps none");
+    assert_eq!(
+        r.chosen, 0,
+        "exhaustion before the first candidate keeps none"
+    );
 }
 
 #[test]
 fn match_panic_is_contained_and_output_stays_sound() {
     let r = run_with_fault(Stage::Match, FaultKind::Panic);
-    assert!(r.chosen > 0, "precondition: selection must feed the matcher");
-    assert_has(&r.compile_degradations, Stage::Match, DegradationKind::Panicked);
+    assert!(
+        r.chosen > 0,
+        "precondition: selection must feed the matcher"
+    );
+    assert_has(
+        &r.compile_degradations,
+        Stage::Match,
+        DegradationKind::Panicked,
+    );
     assert!(r.custom_cycles <= r.baseline_cycles);
 }
 
 #[test]
 fn match_exhaust_keeps_sound_match_prefix() {
     let r = run_with_fault(Stage::Match, FaultKind::Exhaust);
-    assert!(r.chosen > 0, "precondition: selection must feed the matcher");
+    assert!(
+        r.chosen > 0,
+        "precondition: selection must feed the matcher"
+    );
     assert_has(
         &r.compile_degradations,
         Stage::Match,

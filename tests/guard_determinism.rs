@@ -30,7 +30,10 @@ struct Artifacts {
 }
 
 fn run(kernel: &str) -> Artifacts {
-    let path = format!("{}/kernels/stress/{kernel}.isax", env!("CARGO_MANIFEST_DIR"));
+    let path = format!(
+        "{}/kernels/stress/{kernel}.isax",
+        env!("CARGO_MANIFEST_DIR")
+    );
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
     let program = parse_program(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
 
@@ -40,8 +43,11 @@ fn run(kernel: &str) -> Artifacts {
     let (mdes, sel) = cz.select(kernel, &analysis, 15.0);
     let ev = cz.evaluate(&program, &mdes, MatchOptions::exact());
 
-    let mut degradations: Vec<String> =
-        analysis.degradations.iter().map(|d| d.to_string()).collect();
+    let mut degradations: Vec<String> = analysis
+        .degradations
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
     degradations.extend(sel.degradations.iter().map(|d| d.to_string()));
     degradations.extend(ev.compiled.degradations.iter().map(|d| d.to_string()));
 

@@ -105,8 +105,8 @@ fn every_cc_line_has_a_companion_test_and_a_truthful_header() {
             "{}: artifact with no cc lines should be deleted",
             artifact.display()
         );
-        let suite_src = std::fs::read_to_string(&suite)
-            .unwrap_or_else(|e| panic!("{}: {e}", suite.display()));
+        let suite_src =
+            std::fs::read_to_string(&suite).unwrap_or_else(|e| panic!("{}: {e}", suite.display()));
         let companion_tests = suite_src.matches("fn recorded_regression_").count();
         assert!(
             companion_tests >= cc_lines.len(),

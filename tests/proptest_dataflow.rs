@@ -1,0 +1,342 @@
+//! Property-based soundness proofs for the dataflow analyses.
+//!
+//! Two layers, mirroring the structure of `isax_ir::dataflow`:
+//!
+//! 1. **Transfer functions**: for every non-memory opcode, random
+//!    concrete operands are wrapped in random abstract values that
+//!    contain them; the concrete [`isax_ir::eval`] result must be
+//!    contained in the abstract transfer result, for both the interval
+//!    and the known-bits domain.
+//! 2. **Whole-CFG**: random programs (straight-line with loads/stores,
+//!    diamonds, counted loops) are run under the instrumented
+//!    interpreter and every observed register definition must lie
+//!    inside the solved facts ([`isax_check::check_value_facts`]).
+
+use isax_check::check_value_facts;
+use isax_ir::dataflow::{Domain, Interval, KnownBits};
+use isax_ir::{eval, FunctionBuilder, Opcode, Program, VReg};
+use isax_machine::Memory;
+use proptest::prelude::*;
+
+/// Every opcode with a pure transfer function (memory and custom ops
+/// take the dedicated `Domain::load` / top paths instead).
+const PURE_OPS: [Opcode; 30] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::AndN,
+    Opcode::Not,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sar,
+    Opcode::Ror,
+    Opcode::Eq,
+    Opcode::Ne,
+    Opcode::Lt,
+    Opcode::Le,
+    Opcode::Gt,
+    Opcode::Ge,
+    Opcode::Ltu,
+    Opcode::Leu,
+    Opcode::Gtu,
+    Opcode::Geu,
+    Opcode::Select,
+    Opcode::Mov,
+    Opcode::SxtB,
+    Opcode::SxtH,
+    Opcode::ZxtB,
+    Opcode::ZxtH,
+];
+
+/// A concrete value plus an abstraction of it in both domains.
+#[derive(Debug, Clone, Copy)]
+struct AbsVal {
+    v: u32,
+    iv: Interval,
+    kb: KnownBits,
+}
+
+/// Strategy: a concrete `u32` wrapped in a random interval containing it
+/// and a random known-bits value consistent with it.
+fn abs_val() -> impl Strategy<Value = AbsVal> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(v, down, up, mask)| {
+        AbsVal {
+            v,
+            iv: Interval::new(v.saturating_sub(down), v.saturating_add(up)),
+            kb: KnownBits {
+                known: mask,
+                value: v & mask,
+            },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_env_cases(96))]
+
+    /// Interval and known-bits transfers over-approximate `eval` for
+    /// every pure opcode on the same random operands.
+    #[test]
+    fn transfer_functions_are_sound(
+        a in abs_val(),
+        b in abs_val(),
+        c in abs_val(),
+    ) {
+        for op in PURE_OPS {
+            let n = if op == Opcode::Select { 3 } else { op.arity() };
+            let concrete: Vec<u32> = [a.v, b.v, c.v][..n].to_vec();
+            let got = eval(op, &concrete);
+
+            let ivs: Vec<Interval> = [a.iv, b.iv, c.iv][..n].to_vec();
+            let iv_out = Interval::transfer(op, &ivs);
+            prop_assert!(
+                iv_out.contains(got),
+                "{op}: eval {:?} = {got} outside interval {iv_out:?} (args {ivs:?})",
+                concrete
+            );
+
+            let kbs: Vec<KnownBits> = [a.kb, b.kb, c.kb][..n].to_vec();
+            let kb_out = KnownBits::transfer(op, &kbs);
+            prop_assert!(
+                kb_out.contains(got),
+                "{op}: eval {:?} = {got:#010x} contradicts known bits {kb_out:?} (args {kbs:?})",
+                concrete
+            );
+        }
+    }
+
+    /// The abstract load results contain every value the interpreter's
+    /// width-correct loads can produce.
+    #[test]
+    fn load_abstractions_are_sound(raw in any::<u32>()) {
+        for (op, loaded) in [
+            (Opcode::LdBu, raw & 0xFF),
+            (Opcode::LdHu, raw & 0xFFFF),
+            (Opcode::LdB, raw as u8 as i8 as i32 as u32),
+            (Opcode::LdH, raw as u16 as i16 as i32 as u32),
+            (Opcode::LdW, raw),
+        ] {
+            prop_assert!(<Interval as Domain>::load(op).contains(loaded), "{op}");
+            prop_assert!(<KnownBits as Domain>::load(op).contains(loaded), "{op}");
+        }
+    }
+}
+
+/// Ops the CFG generator draws from (a representative mix including the
+/// narrowing ops that make facts interesting).
+const GEN_OPS: [Opcode; 12] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Mul,
+    Opcode::ZxtB,
+    Opcode::SxtB,
+    Opcode::Ne,
+    Opcode::Ltu,
+];
+
+#[derive(Debug, Clone)]
+struct GenInst {
+    op_idx: usize,
+    src_picks: [usize; 2],
+    imm: i64,
+    use_imm: bool,
+}
+
+fn gen_inst() -> impl Strategy<Value = GenInst> {
+    (
+        0..GEN_OPS.len(),
+        [0..64usize, 0..64usize],
+        0i64..256,
+        any::<bool>(),
+    )
+        .prop_map(|(op_idx, src_picks, imm, use_imm)| GenInst {
+            op_idx,
+            src_picks,
+            imm,
+            use_imm,
+        })
+}
+
+/// Appends one generated instruction to the builder, drawing register
+/// operands from `pool`.
+fn emit(fb: &mut FunctionBuilder, g: &GenInst, pool: &mut Vec<VReg>) {
+    let op = GEN_OPS[g.op_idx];
+    let r0 = pool[g.src_picks[0] % pool.len()];
+    let r1 = pool[g.src_picks[1] % pool.len()];
+    let second: isax_ir::Operand = if g.use_imm { g.imm.into() } else { r1.into() };
+    let d = match op {
+        Opcode::Add => fb.add(r0, second),
+        Opcode::Sub => fb.sub(r0, second),
+        Opcode::And => fb.and(r0, second),
+        Opcode::Or => fb.or(r0, second),
+        Opcode::Xor => fb.xor(r0, second),
+        Opcode::Shl => fb.shl(r0, second),
+        Opcode::Shr => fb.shr(r0, second),
+        Opcode::Mul => fb.mul(r0, second),
+        Opcode::ZxtB => fb.zxtb(r0),
+        Opcode::SxtB => fb.sxtb(r0),
+        Opcode::Ne => fb.ne(r0, second),
+        Opcode::Ltu => fb.ltu(r0, second),
+        _ => unreachable!(),
+    };
+    pool.push(d);
+}
+
+/// A straight-line function with a sprinkling of loads and stores.
+fn straightline(insts: &[GenInst], with_mem: bool) -> Program {
+    let mut fb = FunctionBuilder::new("fuzz", 4);
+    fb.set_entry_weight(100);
+    let mut pool: Vec<VReg> = (0..4).map(|i| fb.param(i)).collect();
+    for (i, g) in insts.iter().enumerate() {
+        if with_mem && i % 5 == 4 {
+            let r = pool[g.src_picks[0] % pool.len()];
+            let addr = fb.and(r, 0xFCi64);
+            if i % 2 == 0 {
+                fb.stw(addr, r);
+            } else {
+                pool.push(fb.ldw(addr));
+            }
+            pool.push(addr);
+        } else {
+            emit(&mut fb, g, &mut pool);
+        }
+    }
+    let last = *pool.last().unwrap();
+    fb.ret(&[last.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// entry → (then | else) → join: the join block sees the union of two
+/// different abstract states, exercising the solver's merge.
+fn diamond(head: &[GenInst], arm_a: &[GenInst], arm_b: &[GenInst]) -> Program {
+    let mut fb = FunctionBuilder::new("fuzz", 4);
+    fb.set_entry_weight(100);
+    let then_b = fb.new_block(50);
+    let else_b = fb.new_block(50);
+    let join = fb.new_block(100);
+    let mut pool: Vec<VReg> = (0..4).map(|i| fb.param(i)).collect();
+    for g in head {
+        emit(&mut fb, g, &mut pool);
+    }
+    let result = fb.mov(0i64);
+    let cond = fb.ne(*pool.last().unwrap(), 0i64);
+    fb.branch(cond, then_b, else_b);
+
+    fb.switch_to(then_b);
+    let mut pa = pool.clone();
+    for g in arm_a {
+        emit(&mut fb, g, &mut pa);
+    }
+    fb.copy_to(result, *pa.last().unwrap());
+    fb.jump(join);
+
+    fb.switch_to(else_b);
+    let mut pb = pool.clone();
+    for g in arm_b {
+        emit(&mut fb, g, &mut pb);
+    }
+    fb.copy_to(result, *pb.last().unwrap());
+    fb.jump(join);
+
+    fb.switch_to(join);
+    fb.ret(&[result.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+/// A counted loop accumulating through a generated body: exercises
+/// widening and fixpoint joins on back edges.
+fn counted_loop(body: &[GenInst], trip: u32) -> Program {
+    let mut fb = FunctionBuilder::new("fuzz", 1);
+    fb.set_entry_weight(1);
+    let loop_b = fb.new_block(u64::from(trip));
+    let exit = fb.new_block(1);
+    let n = fb.param(0);
+    let limit = fb.and(n, i64::from(trip.max(1) - 1));
+    let i = fb.mov(0i64);
+    let acc = fb.mov(0i64);
+    fb.jump(loop_b);
+
+    fb.switch_to(loop_b);
+    let mut pool = vec![i, acc, limit];
+    for g in body {
+        emit(&mut fb, g, &mut pool);
+    }
+    let acc2 = fb.add(acc, *pool.last().unwrap());
+    fb.copy_to(acc, acc2);
+    let i2 = fb.add(i, 1i64);
+    fb.copy_to(i, i2);
+    let c = fb.leu(i, limit);
+    fb.branch(c, loop_b, exit);
+
+    fb.switch_to(exit);
+    fb.ret(&[acc.into()]);
+    Program::new(vec![fb.finish()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
+
+    #[test]
+    fn straightline_observations_lie_in_facts(
+        insts in proptest::collection::vec(gen_inst(), 3..40),
+        with_mem in any::<bool>(),
+        args in proptest::array::uniform4(any::<u32>()),
+    ) {
+        let p = straightline(&insts, with_mem);
+        prop_assert!(isax_ir::verify_program(&p).is_ok());
+        let r = check_value_facts(&p, "fuzz", &args, &Memory::new(), 1_000_000);
+        prop_assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn diamond_observations_lie_in_facts(
+        head in proptest::collection::vec(gen_inst(), 1..12),
+        arm_a in proptest::collection::vec(gen_inst(), 1..8),
+        arm_b in proptest::collection::vec(gen_inst(), 1..8),
+        args in proptest::array::uniform4(any::<u32>()),
+    ) {
+        let p = diamond(&head, &arm_a, &arm_b);
+        prop_assert!(isax_ir::verify_program(&p).is_ok());
+        let r = check_value_facts(&p, "fuzz", &args, &Memory::new(), 1_000_000);
+        prop_assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn loop_observations_lie_in_facts(
+        body in proptest::collection::vec(gen_inst(), 1..10),
+        trip in 1u32..64,
+        arg in any::<u32>(),
+    ) {
+        let p = counted_loop(&body, trip);
+        prop_assert!(isax_ir::verify_program(&p).is_ok());
+        let r = check_value_facts(&p, "fuzz", &[arg], &Memory::new(), 1_000_000);
+        prop_assert!(r.is_clean(), "{r}");
+    }
+
+    /// Effective widths are always in `[1, 32]` and a function of the
+    /// program alone (deterministic across resolves).
+    #[test]
+    fn effective_widths_are_bounded_and_deterministic(
+        insts in proptest::collection::vec(gen_inst(), 3..25),
+    ) {
+        let p = straightline(&insts, false);
+        let w1 = isax_ir::effective_widths(&p.functions[0]);
+        let w2 = isax_ir::effective_widths(&p.functions[0]);
+        prop_assert_eq!(&w1, &w2);
+        for row in &w1 {
+            for &w in row {
+                prop_assert!((1..=32).contains(&w), "width {w}");
+            }
+        }
+    }
+}

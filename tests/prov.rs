@@ -135,9 +135,7 @@ fn by_candidate(log: &ProvLog) -> BTreeMap<u64, Vec<&ProvEvent>> {
     m
 }
 
-fn check_lifecycle_invariants(
-    run: &ProvRun,
-) -> Result<(), proptest::test_runner::TestCaseError> {
+fn check_lifecycle_invariants(run: &ProvRun) -> Result<(), proptest::test_runner::TestCaseError> {
     let mdes_fps: BTreeSet<u64> = run
         .mdes
         .cfus
@@ -146,7 +144,9 @@ fn check_lifecycle_invariants(
         .collect();
     for (fp, events) in by_candidate(&run.log) {
         let fate = isax::Fate::of(&events);
-        let matched = events.iter().any(|e| matches!(e, ProvEvent::Matched { .. }));
+        let matched = events
+            .iter()
+            .any(|e| matches!(e, ProvEvent::Matched { .. }));
         let selected = events
             .iter()
             .any(|e| matches!(e, ProvEvent::SelectedAsCfu { .. }));

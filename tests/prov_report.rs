@@ -105,7 +105,9 @@ fn validate_report(doc: &isax_json::Value) -> Vec<String> {
         let at = format!("candidate[{i}]");
         field(p, &at, c, "fingerprint", "a 16-digit hex string", |v| {
             v.as_str().is_some_and(|s| {
-                s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+                s.len() == 16
+                    && s.bytes()
+                        .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
             })
         });
         field(p, &at, c, "fate", "selected|not_selected|pruned", |v| {
@@ -144,7 +146,9 @@ fn validate_report(doc: &isax_json::Value) -> Vec<String> {
                 }
             };
             if e.get("stage").and_then(|v| v.as_str()) != Some(expected_stage) {
-                p.push(format!("{at}: `{kind}` must carry stage `{expected_stage}`"));
+                p.push(format!(
+                    "{at}: `{kind}` must carry stage `{expected_stage}`"
+                ));
             }
             match kind {
                 "discovered" => {
@@ -273,7 +277,11 @@ fn check_golden(name: &str, rendered: &str) {
 fn crc_report_is_valid_and_stable() {
     let doc = crc_report();
     let problems = validate_report(&doc);
-    assert!(problems.is_empty(), "schema violations:\n{}", problems.join("\n"));
+    assert!(
+        problems.is_empty(),
+        "schema violations:\n{}",
+        problems.join("\n")
+    );
     let mut text = doc.to_string_pretty();
     text.push('\n');
     check_golden("prov_crc.json", &text);

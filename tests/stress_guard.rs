@@ -37,7 +37,10 @@ fn stress_budget() -> u64 {
 }
 
 fn load(kernel: &str) -> isax_ir::Program {
-    let path = format!("{}/kernels/stress/{kernel}.isax", env!("CARGO_MANIFEST_DIR"));
+    let path = format!(
+        "{}/kernels/stress/{kernel}.isax",
+        env!("CARGO_MANIFEST_DIR")
+    );
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
     parse_program(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
 }
@@ -118,7 +121,10 @@ fn stress_degradations_are_stable_across_runs() {
         b.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
         "same kernel + same budget must reproduce the same degradations"
     );
-    assert!(!a.is_empty(), "deep_chain must exhaust a {budget}-unit budget");
+    assert!(
+        !a.is_empty(),
+        "deep_chain must exhaust a {budget}-unit budget"
+    );
 }
 
 /// An *unlimited* governed run of a stress kernel head must match the

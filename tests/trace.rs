@@ -181,6 +181,7 @@ fn cli_trace_out_writes_a_valid_chrome_trace() {
         work_budget: None,
         prov_out: None,
         beam_width: None,
+        width_aware: false,
     };
     let mut out = Vec::new();
     isax_cli::execute(&cmd, &mut out).expect("customize succeeds");
