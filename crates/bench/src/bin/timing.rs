@@ -1,17 +1,20 @@
 //! Pipeline timing: serial vs parallel wall clock per stage.
 //!
-//! Runs the full customization pipeline over the benchmark suite twice —
-//! once pinned to one thread, once at the configured parallel width
-//! (`ISAX_THREADS` or every available core) — and writes
+//! Runs the full customization pipeline over the extended corpus —
+//! the 13 paper workloads plus the stress, curated graph/dsp, and
+//! seeded generator kernels, each tagged with its domain — twice: once
+//! pinned to one thread, once at the configured parallel width
+//! (`ISAX_THREADS` or every available core). Writes
 //! `BENCH_pipeline.json` with per-stage wall-clock times, the thread
-//! count, and the speedups. It also cross-checks that both runs produce
-//! bit-identical cycle counts, which is the `isax_graph::par` contract.
+//! count, the speedups, and per-domain speedup aggregates. It also
+//! cross-checks that both runs produce bit-identical cycle counts,
+//! which is the `isax_graph::par` contract.
 
 #![forbid(unsafe_code)]
 
-use isax::{Customizer, MatchOptions};
-use isax_bench::{analyze_suite, analyze_suite_timed, AnalyzedApp, HEADLINE_BUDGET};
-use isax_graph::par::{set_thread_override, thread_count};
+use isax::MatchOptions;
+use isax_bench::{extended_corpus, geomean, BenchKernel, DOMAINS, HEADLINE_BUDGET};
+use isax_graph::par::{par_map, set_thread_override, thread_count};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -21,9 +24,11 @@ struct StageTimes {
     select_s: f64,
     evaluate_s: f64,
     /// Per-app analyze wall clock (seconds), measured inside the worker.
-    kernel_analyze_s: BTreeMap<&'static str, f64>,
+    kernel_analyze_s: BTreeMap<String, f64>,
     /// Per-app customized cycle counts, for the identity cross-check.
-    cycles: BTreeMap<&'static str, u64>,
+    cycles: BTreeMap<String, u64>,
+    /// Per-app native speedups at the headline budget (deterministic).
+    speedups: BTreeMap<String, f64>,
 }
 
 /// Summed per-stage pipeline counters across the suite. All values are
@@ -48,73 +53,85 @@ struct Counters {
     matches_found: u64,
     replacements: u64,
     // resource governance: rendered degradation records from every stage,
-    // in pipeline order. Empty on default (ungoverned) runs, so the
-    // emitted JSON is byte-identical to pre-governance output.
+    // in pipeline order. The stress corpus runs under a work-unit budget
+    // by construction, so these are non-empty on every run.
     degradations: Vec<String>,
     // decision provenance: per-stage logs merged in suite order. The
     // merged log is part of the serial-vs-parallel identity contract.
     prov: isax_prov::ProvLog,
     // per-kernel attribution: (candidates examined, candidates recorded)
     // during analyze, so a timing regression names its workload.
-    per_kernel: BTreeMap<&'static str, (u64, u64)>,
+    per_kernel: BTreeMap<String, (u64, u64)>,
 }
 
-fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
+fn run_once(corpus: &[BenchKernel]) -> (StageTimes, Counters) {
     let mut counters = Counters::default();
     let t0 = Instant::now();
-    let (apps, kernel_analyze_s) = analyze_suite_timed(cz);
+    let analyses = par_map(corpus, |k| {
+        let cz = k.customizer();
+        let t = Instant::now();
+        let analysis = cz.analyze(&k.program);
+        (analysis, t.elapsed().as_secs_f64())
+    });
     let analyze_s = t0.elapsed().as_secs_f64();
-    for (&name, app) in &apps {
-        let a = &app.analysis.analysis_stats;
+    let mut kernel_analyze_s = BTreeMap::new();
+    for (k, (analysis, seconds)) in corpus.iter().zip(&analyses) {
+        kernel_analyze_s.insert(k.name.clone(), *seconds);
+        let a = &analysis.analysis_stats;
         counters.analysis.blocks_solved += a.blocks_solved;
         counters.analysis.iterations += a.iterations;
         counters.analysis.widenings += a.widenings;
         counters.analysis.lints += a.lints;
-        let s = &app.analysis.stats;
+        let s = &analysis.stats;
         counters.candidates_examined += s.examined;
         counters.candidates_recorded += s.recorded;
         counters.memo_hits += s.memo_hits;
         counters.memo_misses += s.memo_misses;
-        counters.cfu_candidates += app.analysis.cfus.len() as u64;
-        counters.per_kernel.insert(name, (s.examined, s.recorded));
+        counters.cfu_candidates += analysis.cfus.len() as u64;
+        counters
+            .per_kernel
+            .insert(k.name.clone(), (s.examined, s.recorded));
         counters
             .degradations
-            .extend(app.analysis.degradations.iter().map(|d| d.to_string()));
-        counters.prov.merge(app.analysis.prov.clone());
+            .extend(analysis.degradations.iter().map(|d| d.to_string()));
+        counters.prov.merge(analysis.prov.clone());
     }
 
     let t1 = Instant::now();
-    let selected: Vec<(&'static str, &AnalyzedApp, isax_compiler::Mdes)> = apps
+    let selected: Vec<isax_compiler::Mdes> = corpus
         .iter()
-        .map(|(&name, app)| {
-            let (mdes, sel) = cz.select(name, &app.analysis, HEADLINE_BUDGET);
+        .zip(&analyses)
+        .map(|(k, (analysis, _))| {
+            let cz = k.customizer();
+            let (mdes, sel) = cz.select(&k.name, analysis, HEADLINE_BUDGET);
             counters
                 .degradations
                 .extend(sel.degradations.iter().map(|d| d.to_string()));
             counters.prov.merge(sel.prov.clone());
-            (name, app, mdes)
+            mdes
         })
         .collect();
     let select_s = t1.elapsed().as_secs_f64();
-    counters.cfus_selected = selected.iter().map(|(_, _, m)| m.cfus.len() as u64).sum();
+    counters.cfus_selected = selected.iter().map(|m| m.cfus.len() as u64).sum();
 
     let t2 = Instant::now();
-    let cycles: BTreeMap<&'static str, u64> = selected
-        .iter()
-        .map(|(name, app, mdes)| {
-            let ev = cz.evaluate(&app.workload.program, mdes, MatchOptions::with_subsumed());
-            let m = &ev.compiled.match_stats;
-            counters.vf2_calls += m.vf2_calls;
-            counters.prefilter_skips += m.prefilter_skips;
-            counters.matches_found += m.matches_found;
-            counters.replacements += ev.compiled.applied.len() as u64;
-            counters
-                .degradations
-                .extend(ev.compiled.degradations.iter().map(|d| d.to_string()));
-            counters.prov.merge(ev.compiled.prov.clone());
-            (*name, ev.custom_cycles)
-        })
-        .collect();
+    let mut cycles = BTreeMap::new();
+    let mut speedups = BTreeMap::new();
+    for (k, mdes) in corpus.iter().zip(&selected) {
+        let cz = k.customizer();
+        let ev = cz.evaluate(&k.program, mdes, MatchOptions::with_subsumed());
+        let m = &ev.compiled.match_stats;
+        counters.vf2_calls += m.vf2_calls;
+        counters.prefilter_skips += m.prefilter_skips;
+        counters.matches_found += m.matches_found;
+        counters.replacements += ev.compiled.applied.len() as u64;
+        counters
+            .degradations
+            .extend(ev.compiled.degradations.iter().map(|d| d.to_string()));
+        counters.prov.merge(ev.compiled.prov.clone());
+        cycles.insert(k.name.clone(), ev.custom_cycles);
+        speedups.insert(k.name.clone(), ev.speedup);
+    }
     let evaluate_s = t2.elapsed().as_secs_f64();
 
     (
@@ -124,6 +141,7 @@ fn run_once(cz: &Customizer) -> (StageTimes, Counters) {
             evaluate_s,
             kernel_analyze_s,
             cycles,
+            speedups,
         },
         counters,
     )
@@ -147,15 +165,15 @@ fn main() {
     let parallel_threads = thread_count();
     eprintln!("timing the pipeline: 1 thread vs {parallel_threads} threads");
 
-    let cz = Customizer::new();
+    let corpus = extended_corpus();
     // Warm-up run so neither measured run pays first-touch costs.
     set_thread_override(Some(1));
-    let _ = analyze_suite(&cz);
+    let _ = par_map(&corpus, |k| k.customizer().analyze(&k.program));
 
     set_thread_override(Some(1));
-    let (serial, counters) = run_once(&cz);
+    let (serial, counters) = run_once(&corpus);
     set_thread_override(Some(parallel_threads));
-    let (parallel, parallel_counters) = run_once(&cz);
+    let (parallel, parallel_counters) = run_once(&corpus);
     set_thread_override(None);
 
     assert_eq!(
@@ -180,6 +198,11 @@ fn main() {
     );
 
     assert_eq!(
+        serial.speedups, parallel.speedups,
+        "speedup estimates diverged between serial and parallel runs"
+    );
+
+    assert_eq!(
         counters.degradations, parallel_counters.degradations,
         "degradation records diverged between serial and parallel runs — \
          the guard's deterministic-accounting contract is broken"
@@ -190,6 +213,9 @@ fn main() {
         "provenance logs diverged between serial and parallel runs — \
          the join-point merge discipline is broken"
     );
+
+    let domain_of: BTreeMap<&str, &'static str> =
+        corpus.iter().map(|k| (k.name.as_str(), k.domain)).collect();
 
     let serial_total = serial.analyze_s + serial.select_s + serial.evaluate_s;
     let parallel_total = parallel.analyze_s + parallel.select_s + parallel.evaluate_s;
@@ -276,8 +302,9 @@ fn main() {
                 ),
             ]),
         ),
-        // Per-kernel analyze attribution from the serial run: wall clock
-        // and deterministic candidate counts, so a regression (or a win)
+        // Per-kernel attribution from the serial run: domain tag, analyze
+        // wall clock, deterministic candidate counts, and the native
+        // speedup at the headline budget, so a regression (or a win)
         // names the workload responsible.
         (
             "per_kernel",
@@ -285,18 +312,44 @@ fn main() {
                 counters
                     .per_kernel
                     .iter()
-                    .map(|(&name, &(examined, recorded))| {
+                    .map(|(name, &(examined, recorded))| {
                         (
-                            name.to_string(),
+                            name.clone(),
                             isax_json::object([
-                                (
-                                    "analyze_s",
-                                    isax_json::Value::from(serial.kernel_analyze_s[name]),
-                                ),
+                                ("domain", isax_json::Value::from(domain_of[name.as_str()])),
+                                ("analyze_s", serial.kernel_analyze_s[name].into()),
                                 ("candidates_examined", examined.into()),
                                 ("candidates_recorded", recorded.into()),
+                                ("speedup", serial.speedups[name].into()),
                             ]),
                         )
+                    })
+                    .collect(),
+            ),
+        ),
+        // Per-domain speedup aggregates (geometric mean over each
+        // domain's kernels at the headline budget), in corpus order.
+        (
+            "domains",
+            isax_json::Value::Object(
+                DOMAINS
+                    .iter()
+                    .filter_map(|&d| {
+                        let speedups: Vec<f64> = corpus
+                            .iter()
+                            .filter(|k| k.domain == d)
+                            .map(|k| serial.speedups[&k.name])
+                            .collect();
+                        if speedups.is_empty() {
+                            return None;
+                        }
+                        Some((
+                            d.to_string(),
+                            isax_json::object([
+                                ("kernels", isax_json::Value::from(speedups.len() as u64)),
+                                ("geomean_speedup", geomean(&speedups).into()),
+                            ]),
+                        ))
                     })
                     .collect(),
             ),
@@ -310,14 +363,15 @@ fn main() {
                 serial
                     .cycles
                     .iter()
-                    .map(|(&name, &c)| (name.to_string(), isax_json::Value::from(c)))
+                    .map(|(name, &c)| (name.clone(), isax_json::Value::from(c)))
                     .collect(),
             ),
         ),
     ]);
 
-    // The guard section appears only when governance is configured (env)
-    // or actually fired: default runs keep byte-identical JSON output.
+    // The guard section appears when governance is configured (env) or
+    // actually fired; the stress corpus's work-unit budget means it is
+    // present on every extended-corpus run.
     let guard_active = isax::Guard::from_env().is_active();
     if guard_active || !counters.degradations.is_empty() {
         if let isax_json::Value::Object(fields) = &mut doc {

@@ -141,6 +141,48 @@ pub fn figure7_cross_table(
     render_series(title, budgets, &rows)
 }
 
+/// Per-domain speedup panel: one row per kernel (its own CFUs at
+/// `budget`, subsumed matching), grouped by corpus domain with a
+/// geometric-mean summary row per domain.
+///
+/// Takes `(name, domain, program)` triples so callers can mix paper
+/// workloads, curated corpus members, and freshly generated kernels;
+/// rows keep input order, domains keep first-appearance order.
+pub fn domain_speedup_table(
+    title: &str,
+    cz: &Customizer,
+    kernels: &[(String, &'static str, Program)],
+    budget: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n=== {title} ===");
+    let _ = writeln!(out, "{:<8} {:<20} {:>8}", "domain", "kernel", "speedup");
+    let mut by_domain: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, domain, program) in kernels {
+        let analysis = cz.analyze(program);
+        let (mdes, _) = cz.select(name, &analysis, budget);
+        let speedup = cz
+            .evaluate(program, &mdes, MatchOptions::with_subsumed())
+            .speedup;
+        let _ = writeln!(out, "{domain:<8} {name:<20} {speedup:>7.2}x");
+        match by_domain.iter_mut().find(|(d, _)| d == domain) {
+            Some((_, v)) => v.push(speedup),
+            None => by_domain.push((domain, vec![speedup])),
+        }
+    }
+    let _ = writeln!(out);
+    for (domain, speedups) in &by_domain {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<20} {:>7.2}x",
+            domain,
+            "geomean",
+            crate::geomean(speedups)
+        );
+    }
+    out
+}
+
 /// Figures 8/9 panel: the four paper bars (exact, +subsumed, wildcard,
 /// wildcard+subsumed) for every (application × CFU source) pair drawn
 /// from `names`, at one cost point.

@@ -140,6 +140,25 @@ pub enum Command {
         /// Block index.
         block: usize,
     },
+    /// `gen [--seed N] [--domain D] [--blocks B] [--out PATH]`, or
+    /// `gen --stress NAME | --curated NAME | --list` — emit a kernel
+    /// from the seeded generator or one of the built-in corpora.
+    Gen {
+        /// PRNG seed (`--seed`, default 0).
+        seed: u64,
+        /// Domain profile (`--domain graph|dsp|mixed`, default mixed).
+        domain: isax_gen::GenDomain,
+        /// Requested block count (`--blocks`, default 8).
+        blocks: usize,
+        /// Regenerate a named stress-corpus kernel instead.
+        stress: Option<String>,
+        /// Regenerate a named curated-corpus kernel instead.
+        curated: Option<String>,
+        /// List every named kernel the command can regenerate.
+        list: bool,
+        /// Where to write the kernel (stdout when `None`).
+        out: Option<String>,
+    },
 }
 
 /// A usage/argument error.
@@ -167,6 +186,8 @@ USAGE:
     isax run       <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax simulate  <file.isax> --entry FUNC [--args 1,2,3] [--fuel N]
     isax dot       <file.isax> [--function FUNC] [--block N]
+    isax gen       [--seed N] [--domain graph|dsp|mixed] [--blocks B] [--out out.isax]
+    isax gen       --stress NAME | --curated NAME | --list  [--out out.isax]
 
 `--check` (or the ISAX_CHECK=1 environment variable) runs the isax-check
 invariant passes at every pipeline checkpoint and aborts with IC0xxx
@@ -209,6 +230,13 @@ printing one `degraded:` line per truncation. Note `--budget` is the CFU
 environment variables: ISAX_DEADLINE_MS=N adds a wall-clock safety net
 (marks the run non-reproducible when it trips); ISAX_FAULT=stage:kind:nth
 (e.g. `match:panic:0`) injects a fault for testing containment.
+
+`isax gen` emits a verifier-clean, lint-clean kernel deterministically
+derived from `--seed`/`--domain`/`--blocks` (the kernels under
+`kernels/gen/` record their recipe in MANIFEST.json). `--stress NAME`
+regenerates a kernels/stress corpus file byte-identically; `--curated
+NAME` regenerates a kernels/graph or kernels/dsp corpus file; `--list`
+names them all.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -253,6 +281,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     let Some(cmd) = args.first() else {
         return Err(UsageError(USAGE.into()));
     };
+    // `gen` synthesizes its kernel — it is the one command with no
+    // input file, so it parses before the generic file extraction.
+    if cmd == "gen" {
+        let rest = &args[1..];
+        let seed = match flag_value(rest, "--seed") {
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| UsageError(format!("bad --seed `{v}`")))?,
+            None => 0,
+        };
+        let domain = match flag_value(rest, "--domain") {
+            Some(v) => isax_gen::GenDomain::parse(v).ok_or_else(|| {
+                UsageError(format!("bad --domain `{v}` (want graph, dsp or mixed)"))
+            })?,
+            None => isax_gen::GenDomain::Mixed,
+        };
+        let blocks = match flag_value(rest, "--blocks") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| UsageError(format!("bad --blocks `{v}`")))?,
+            None => 8,
+        };
+        return Ok(Command::Gen {
+            seed,
+            domain,
+            blocks,
+            stress: flag_value(rest, "--stress").map(str::to_string),
+            curated: flag_value(rest, "--curated").map(str::to_string),
+            list: has_flag(rest, "--list"),
+            out: flag_value(rest, "--out").map(str::to_string),
+        });
+    }
     let file = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
@@ -1163,6 +1223,58 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             w(out, dfg.to_dot(&format!("{}_b{block}", f.name)))?;
             Ok(())
         }
+        Command::Gen {
+            seed,
+            domain,
+            blocks,
+            stress,
+            curated,
+            list,
+            out: out_path,
+        } => {
+            if *list {
+                w(out, "stress corpus (kernels/stress/, byte-pinned):".into())?;
+                for (name, _) in isax_gen::STRESS {
+                    w(out, format!("  {name}"))?;
+                }
+                w(out, "curated corpus (kernels/graph/, kernels/dsp/):".into())?;
+                for k in isax_gen::curated() {
+                    w(out, format!("  {} ({})", k.name, k.domain))?;
+                }
+                w(
+                    out,
+                    "generator domains (--domain): graph, dsp, mixed".into(),
+                )?;
+                return Ok(());
+            }
+            let (name, text) = if let Some(name) = stress {
+                let text = isax_gen::stress_kernel(name)
+                    .ok_or_else(|| format!("no stress kernel `{name}` (try --list)"))?;
+                (name.clone(), text)
+            } else if let Some(name) = curated {
+                let k = isax_gen::curated_by_name(name)
+                    .ok_or_else(|| format!("no curated kernel `{name}` (try --list)"))?;
+                (name.clone(), (k.text)())
+            } else {
+                let cfg = isax_gen::GenConfig {
+                    seed: *seed,
+                    domain: *domain,
+                    blocks: *blocks,
+                };
+                (cfg.entry_name(), isax_gen::generate(&cfg))
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+                    w(
+                        out,
+                        format!("wrote {name} ({} bytes) to {path}", text.len()),
+                    )?;
+                }
+                None => write!(out, "{text}").map_err(|e| e.to_string())?,
+            }
+            Ok(())
+        }
     }
 }
 
@@ -1328,6 +1440,97 @@ mod tests {
         ));
         assert!(parse_args(&argv("explain report.json --cfu nope")).is_err());
         assert!(parse_args(&argv("explain report.json --top nope")).is_err());
+    }
+
+    #[test]
+    fn parse_and_execute_gen() {
+        // Defaults.
+        let c = parse_args(&argv("gen")).unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                seed: 0,
+                domain: isax_gen::GenDomain::Mixed,
+                blocks: 8,
+                stress: None,
+                curated: None,
+                list: false,
+                out: None,
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("gen --seed 7 --domain graph --blocks 24")).unwrap(),
+            Command::Gen {
+                seed: 7,
+                domain: isax_gen::GenDomain::Graph,
+                blocks: 24,
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("gen --domain audio")).is_err());
+        assert!(parse_args(&argv("gen --seed nope")).is_err());
+        assert!(parse_args(&argv("gen --blocks nope")).is_err());
+
+        // Stdout output is exactly the generator's text, and is stable
+        // across invocations (the CLI reproducibility contract).
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv("gen --seed 3 --domain dsp --blocks 5")).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let cfg = isax_gen::GenConfig {
+            seed: 3,
+            domain: isax_gen::GenDomain::Dsp,
+            blocks: 5,
+        };
+        assert_eq!(text, isax_gen::generate(&cfg));
+        assert!(isax_ir::parse_program(&text).is_ok());
+
+        // Named corpora and the listing.
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv("gen --stress deep_chain")).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .starts_with("func deep_chain"));
+        let mut buf = Vec::new();
+        execute(&parse_args(&argv("gen --curated sad16")).unwrap(), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().starts_with("func sad16"));
+        let mut buf = Vec::new();
+        execute(&parse_args(&argv("gen --list")).unwrap(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("mem_alu_ladder"), "{text}");
+        assert!(text.contains("crc_brev (dsp)"), "{text}");
+        let mut buf = Vec::new();
+        assert!(execute(&parse_args(&argv("gen --stress nope")).unwrap(), &mut buf).is_err());
+        assert!(execute(&parse_args(&argv("gen --curated nope")).unwrap(), &mut buf).is_err());
+
+        // --out writes the file and confirms on stdout.
+        let dir = std::env::temp_dir().join(format!("isax-gen-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.isax").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        execute(
+            &parse_args(&argv(&format!(
+                "gen --seed 3 --domain dsp --blocks 5 --out {path}"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("wrote gen_dsp_s3_n5"));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            isax_gen::generate(&cfg)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

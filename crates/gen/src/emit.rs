@@ -1,0 +1,149 @@
+//! Textual `.isax` emission.
+//!
+//! [`FnEmit`] is a line-level assembler for the parser's canonical
+//! format — the exact byte shape `Function`'s `Display` produces, which
+//! is also the shape the historical `kernels/stress/generate.py` script
+//! emitted. Keeping emission at the text layer (instead of building IR
+//! and printing it) lets the stress-corpus port reproduce the checked-in
+//! files byte-for-byte and makes `parse -> Display` a fixpoint for every
+//! generated kernel by construction.
+
+/// An in-progress function body: monotonically numbered virtual
+/// registers plus the emitted lines (instructions, block headers and
+/// terminators alike).
+#[derive(Debug, Clone)]
+pub struct FnEmit {
+    name: String,
+    next: u32,
+    lines: Vec<String>,
+}
+
+impl FnEmit {
+    /// A new function named `name` whose first `nparams` registers are
+    /// the parameters (`v0..v{nparams-1}`).
+    pub fn new(name: &str, nparams: u32) -> Self {
+        FnEmit {
+            name: name.to_string(),
+            next: nparams,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Allocates the next virtual register name.
+    pub fn reg(&mut self) -> String {
+        let r = format!("v{}", self.next);
+        self.next += 1;
+        r
+    }
+
+    /// Emits `mnem dst, srcs...` into a fresh register and returns it.
+    pub fn op(&mut self, mnem: &str, srcs: &[&str]) -> String {
+        let d = self.reg();
+        self.lines
+            .push(format!("    {mnem} {d}, {}", srcs.join(", ")));
+        d
+    }
+
+    /// Emits `mnem dst, srcs...` into an existing register (a
+    /// redefinition — the IR is pre-SSA, so this is how generated
+    /// kernels model accumulators and loop counters).
+    pub fn op_into(&mut self, dst: &str, mnem: &str, srcs: &[&str]) {
+        self.lines
+            .push(format!("    {mnem} {dst}, {}", srcs.join(", ")));
+    }
+
+    /// Emits a store (`stw`/`sth`/`stb` have no destination register).
+    pub fn store(&mut self, mnem: &str, addr: &str, val: &str) {
+        self.lines.push(format!("    {mnem} {addr}, {val}"));
+    }
+
+    /// Emits a word store.
+    pub fn stw(&mut self, addr: &str, val: &str) {
+        self.store("stw", addr, val);
+    }
+
+    /// Emits a block header: `b3:  ; weight 1000`.
+    pub fn block(&mut self, index: usize, weight: u64) {
+        self.lines.push(format!("b{index}:  ; weight {weight}"));
+    }
+
+    /// Emits `jmp bN`.
+    pub fn jmp(&mut self, target: usize) {
+        self.lines.push(format!("    jmp b{target}"));
+    }
+
+    /// Emits `br cond, bT, bF`.
+    pub fn br(&mut self, cond: &str, taken: usize, not_taken: usize) {
+        self.lines
+            .push(format!("    br {cond}, b{taken}, b{not_taken}"));
+    }
+
+    /// Emits `ret v...`.
+    pub fn ret(&mut self, vals: &[&str]) {
+        self.lines.push(format!("    ret {}", vals.join(", ")));
+    }
+
+    /// Renders a single-block function: the historical stress-corpus
+    /// shape (`func .. / b0: ; weight W / lines / trailing newline`).
+    pub fn text(&self, weight: u64, params: &[&str]) -> String {
+        let mut out = format!("func {}({})\n", self.name, params.join(", "));
+        out.push_str(&format!("b0:  ; weight {weight}\n"));
+        out.push_str(&self.lines.join("\n"));
+        out.push('\n');
+        out
+    }
+
+    /// Renders a multi-block function whose block headers and
+    /// terminators were emitted inline via [`FnEmit::block`] and friends.
+    pub fn text_multi(&self, params: &[&str]) -> String {
+        let mut out = format!("func {}({})\n", self.name, params.join(", "));
+        out.push_str(&self.lines.join("\n"));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_shape_matches_the_parser_canonical_form() {
+        let mut f = FnEmit::new("kern", 2);
+        let t = f.op("xor", &["v0", "v1"]);
+        let u = f.op("shl", &[&t, "#5"]);
+        f.stw("v0", &u);
+        f.ret(&[&u]);
+        let text = f.text(10, &["v0", "v1"]);
+        assert_eq!(
+            text,
+            "func kern(v0, v1)\n\
+             b0:  ; weight 10\n    \
+             xor v2, v0, v1\n    \
+             shl v3, v2, #5\n    \
+             stw v0, v3\n    \
+             ret v3\n"
+        );
+        let p = isax_ir::parse_program(&text).expect("parses and verifies");
+        assert_eq!(p.functions[0].to_string(), text, "Display fixpoint");
+    }
+
+    #[test]
+    fn multi_block_shape_round_trips() {
+        let mut f = FnEmit::new("two", 1);
+        f.block(0, 1);
+        let c = f.op("ltu", &["v0", "#7"]);
+        f.br(&c, 1, 2);
+        f.block(1, 5);
+        let a = f.op("add", &["v0", "#1"]);
+        f.op_into(&a, "xor", &[&a, "v0"]);
+        f.jmp(3);
+        f.block(2, 5);
+        f.jmp(3);
+        f.block(3, 1);
+        f.ret(&["v0"]);
+        let text = f.text_multi(&["v0"]);
+        let p = isax_ir::parse_program(&text).expect("parses and verifies");
+        assert_eq!(p.functions[0].to_string(), text);
+    }
+}

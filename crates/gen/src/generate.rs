@@ -1,0 +1,410 @@
+//! The seeded program generator.
+//!
+//! [`generate`] is a pure function from a [`GenConfig`] to `.isax` text:
+//! equal configs give byte-equal kernels, on every platform, at every
+//! thread count. The emitted program is correct by construction along
+//! four axes the test harness then re-checks from the outside:
+//!
+//! * **verifier-clean** — mutable state registers (accumulator,
+//!   checksum, memory base, loop counters) are all defined in the entry
+//!   block, which dominates everything; chain temporaries never escape
+//!   their block; blocks form a linear chain of regions so every block
+//!   is reachable and every branch target exists.
+//! * **lint-clean** (`IC0801`–`IC0805`) — shift amounts are immediates
+//!   in `1..=31`; every compare keeps at least one parameter (interval
+//!   top) or same-shaped operand, so no outcome is provable; every
+//!   definition is consumed by the chain, the accumulator fold, a store
+//!   or a terminator; and the chain tracks *wideness* — whether a value
+//!   is still unconstrained in the value-range/known-bits domains — and
+//!   re-widens narrowed values with a parameter `xor` before the next
+//!   link, so no operand chain ever folds to a provable constant.
+//! * **terminating** — loop trip counts are *data-derived* (`and` of a
+//!   parameter with a small mask, plus two) so the dataflow analyses
+//!   cannot fold the exit compare, yet they are bounded by construction:
+//!   no generated kernel executes more than ~40 dynamic instructions
+//!   per block.
+//! * **deterministic to drive** — [`seeded_args`] and [`seeded_memory`]
+//!   derive the oracle inputs from the same seed, so a failing sweep
+//!   case reproduces from its `(domain, seed, blocks)` triple alone.
+
+use crate::emit::FnEmit;
+use crate::profile::{profile, GenDomain, Pattern, Profile, RegionKind};
+use crate::rng::{mix, Rng};
+use isax_machine::Memory;
+
+/// Number of parameters every generated kernel takes.
+pub const NPARAMS: usize = 3;
+
+/// Masks for plain `and`/`or` links: small windows plus the classic
+/// butterfly constants. `u32::MAX` is deliberately absent so `or` can
+/// never pin a value to a provable constant.
+const MASKS: [u32; 10] = [3, 7, 15, 31, 63, 127, 255, 4095, 65535, 0x00FF_00FF];
+
+/// Bit-reverse butterfly stages: `(mask, shift)`.
+const BREV_STAGES: [(u32, u32); 4] = [
+    (0x5555_5555, 1),
+    (0x3333_3333, 2),
+    (0x0F0F_0F0F, 4),
+    (0x00FF_00FF, 8),
+];
+
+/// The reflected CRC-32 polynomial.
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+/// What to generate: the reproducibility triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Domain profile.
+    pub domain: GenDomain,
+    /// Requested total block count (clamped to at least 3: entry,
+    /// one region, return).
+    pub blocks: usize,
+}
+
+impl GenConfig {
+    /// Effective block count after clamping.
+    pub fn effective_blocks(&self) -> usize {
+        self.blocks.max(3)
+    }
+
+    /// The generated function's name, derived from the triple so a
+    /// kernel file names its own reproduction recipe.
+    pub fn entry_name(&self) -> String {
+        format!(
+            "gen_{}_s{}_n{}",
+            self.domain.name(),
+            self.seed,
+            self.effective_blocks()
+        )
+    }
+}
+
+/// Deterministic arguments for driving a generated kernel's oracle run.
+pub fn seeded_args(seed: u64) -> Vec<u32> {
+    let mut r = Rng::new(mix(&[seed, 0xA55A]));
+    (0..NPARAMS).map(|_| r.next_u32()).collect()
+}
+
+/// Deterministic initial memory: every word a generated kernel can
+/// address (the base mask is 1020, load/store offsets stay under 132)
+/// is seeded, so loads read interesting values and stores diff cleanly.
+pub fn seeded_memory(seed: u64) -> Memory {
+    let mut r = Rng::new(mix(&[seed, 0x3EED]));
+    let mut mem = Memory::new();
+    for addr in (0..1400u32).step_by(4) {
+        mem.store32(addr, r.next_u32());
+    }
+    mem
+}
+
+/// Generates one kernel as parser-canonical `.isax` text.
+pub fn generate(cfg: &GenConfig) -> String {
+    Gen::new(cfg).run()
+}
+
+struct Gen {
+    rng: Rng,
+    prof: Profile,
+    f: FnEmit,
+    /// Effective total block count (entry + regions + return).
+    total: usize,
+    /// Accumulator register: updated by every region, always
+    /// data-dependent on the parameters (interval top).
+    acc: String,
+    /// Secondary checksum register, second return value.
+    chk: String,
+    /// Word-aligned memory base (`v2 & 1020`).
+    base: String,
+    /// One counter register per planned loop region, defined in `b0`.
+    ctrs: Vec<String>,
+    next_ctr: usize,
+}
+
+impl Gen {
+    fn new(cfg: &GenConfig) -> Gen {
+        let total = cfg.effective_blocks();
+        let domain_id = match cfg.domain {
+            GenDomain::Graph => 1,
+            GenDomain::Dsp => 2,
+            GenDomain::Mixed => 3,
+        };
+        Gen {
+            rng: Rng::new(mix(&[cfg.seed, domain_id, total as u64])),
+            prof: profile(cfg.domain),
+            f: FnEmit::new(&cfg.entry_name(), NPARAMS as u32),
+            total,
+            acc: String::new(),
+            chk: String::new(),
+            base: String::new(),
+            ctrs: Vec::new(),
+            next_ctr: 0,
+        }
+    }
+
+    fn run(mut self) -> String {
+        let plan = self.plan();
+        self.entry_block(&plan);
+        let mut bi = 1;
+        for kind in &plan {
+            bi = self.region(*kind, bi);
+        }
+        self.ret_block(bi);
+        self.f.text_multi(&["v0", "v1", "v2"])
+    }
+
+    /// Decides the region sequence up front so the entry block can
+    /// define every loop counter before any loop runs.
+    fn plan(&mut self) -> Vec<RegionKind> {
+        // Blocks 1..total-1 hold regions; block total-1 is the return.
+        let total = self.total;
+        let mut plan = Vec::new();
+        let mut used = 1usize;
+        while used + 1 < total {
+            let remaining = total - 1 - used;
+            let kind = if remaining >= 4 {
+                match self.rng.weighted(&self.prof.region_weights) {
+                    0 => RegionKind::Straight,
+                    1 => RegionKind::Loop,
+                    _ => RegionKind::Diamond,
+                }
+            } else if self.rng.chance(50) {
+                RegionKind::Straight
+            } else {
+                RegionKind::Loop
+            };
+            used += match kind {
+                RegionKind::Straight | RegionKind::Loop => 1,
+                RegionKind::Diamond => 4,
+            };
+            plan.push(kind);
+        }
+        plan
+    }
+
+    fn pick_param(&mut self) -> &'static str {
+        ["v0", "v1", "v2"][self.rng.below(3) as usize]
+    }
+
+    /// `b0`: weight, state-register definitions, counter inits, `jmp b1`.
+    fn entry_block(&mut self, plan: &[RegionKind]) {
+        let w = self.rng.range(1, 50);
+        self.f.block(0, w);
+        self.acc = self.f.op("xor", &["v0", "v1"]);
+        self.chk = self.f.op("add", &["v0", "v2"]);
+        self.base = self.f.op("and", &["v2", "#1020"]);
+        let loops = plan.iter().filter(|k| **k == RegionKind::Loop).count();
+        for _ in 0..loops {
+            let mask = *self.rng.pick(&["#3", "#7", "#15"]);
+            let p = self.pick_param();
+            let c0 = self.f.op("and", &[p, mask]);
+            let ctr = self.f.op("add", &[&c0, "#2"]);
+            self.ctrs.push(ctr);
+        }
+        self.f.jmp(1);
+    }
+
+    /// Emits one region starting at block `bi`; returns the next index.
+    fn region(&mut self, kind: RegionKind, bi: usize) -> usize {
+        match kind {
+            RegionKind::Straight => {
+                let w = self.rng.range(10, 500);
+                self.f.block(bi, w);
+                self.body(2, 7);
+                self.f.jmp(bi + 1);
+                bi + 1
+            }
+            RegionKind::Loop => {
+                let w = self.rng.range(500, 20_000);
+                self.f.block(bi, w);
+                self.body(2, 6);
+                let ctr = self.ctrs[self.next_ctr].clone();
+                self.next_ctr += 1;
+                self.f.op_into(&ctr, "sub", &[&ctr, "#1"]);
+                let cond = self.f.op("ne", &[&ctr, "#0"]);
+                self.f.br(&cond, bi, bi + 1);
+                bi + 1
+            }
+            RegionKind::Diamond => {
+                let wh = self.rng.range(10, 500);
+                self.f.block(bi, wh);
+                self.body(1, 3);
+                let p = self.pick_param();
+                let acc = self.acc.clone();
+                let cond = self.f.op("ltu", &[p, &acc]);
+                self.f.br(&cond, bi + 1, bi + 2);
+                let wt = self.rng.range(5, wh.max(6));
+                self.f.block(bi + 1, wt);
+                self.body(1, 3);
+                self.f.jmp(bi + 3);
+                self.f.block(bi + 2, wh.saturating_sub(wt).max(1));
+                self.body(1, 3);
+                self.f.jmp(bi + 3);
+                let wj = self.rng.range(10, 500);
+                self.f.block(bi + 3, wj);
+                self.body(1, 2);
+                self.f.jmp(bi + 4);
+                bi + 4
+            }
+        }
+    }
+
+    /// The trailing block: fold the memory base into the checksum (so
+    /// `base` is live even when no region drew a load or store), then
+    /// the two-value return.
+    fn ret_block(&mut self, bi: usize) {
+        let w = self.rng.range(1, 50);
+        self.f.block(bi, w);
+        self.body(1, 2);
+        let (chk, base) = (self.chk.clone(), self.base.clone());
+        self.f.op_into(&chk, "xor", &[&chk, &base]);
+        let acc = self.acc.clone();
+        self.f.ret(&[&acc, &chk]);
+    }
+
+    /// A chain of `lo..=hi` pattern links folded into the accumulator,
+    /// an optional checksum update, and an optional store.
+    fn body(&mut self, lo: u64, hi: u64) {
+        let len = self.rng.range(lo, hi);
+        let mut prev = self.acc.clone();
+        let mut wide = true;
+        for _ in 0..len {
+            if !wide {
+                // The previous link narrowed the value (a mask or a
+                // shift pinned bits the dataflow analyses can see).
+                // Re-widen before chaining, or a later mask/shift could
+                // fold to a provable constant (IC0804).
+                let p = self.pick_param();
+                prev = self.f.op("xor", &[&prev, p]);
+            }
+            (prev, wide) = self.link(prev);
+        }
+        let fold = *self.rng.pick(&["add", "xor"]);
+        let acc = self.acc.clone();
+        self.f.op_into(&acc, fold, &[&prev, &acc]);
+        if self.rng.chance(40) {
+            let chk = self.chk.clone();
+            self.f.op_into(&chk, "xor", &[&chk, &acc]);
+        }
+        if self.rng.chance(self.prof.store_percent) {
+            let off = self.rng.below(33) * 4;
+            let base = self.base.clone();
+            let a0 = self.f.op("add", &[&base, &format!("#{off}")]);
+            self.f.stw(&a0, &acc);
+        }
+    }
+
+    /// One chain link: `prev -> (value, wide)`, per the profile's
+    /// pattern mix. The boolean reports whether the output is *wide* —
+    /// able to take any 32-bit value with no bit statically determined,
+    /// given a wide `prev` — which callers must restore (by xoring in a
+    /// parameter) before feeding a narrow value to the next link. Every
+    /// composite pattern is wide: each is a bijection in `prev` (brev
+    /// butterflies, CRC rounds and rotates are invertible) or folds in
+    /// a free register (a parameter, or the top-valued checksum), so a
+    /// sound range/bits analysis learns nothing about the output.
+    fn link(&mut self, prev: String) -> (String, bool) {
+        let weights: Vec<u32> = self.prof.patterns.iter().map(|&(_, w)| w).collect();
+        let pat = self.prof.patterns[self.rng.weighted(&weights)].0;
+        let out = match pat {
+            Pattern::Plain => return self.plain(&prev),
+            Pattern::Umin => {
+                let p = self.pick_param();
+                let c = self.f.op("ltu", &[&prev, p]);
+                self.f.op("sel", &[&c, &prev, p])
+            }
+            Pattern::Adiff => {
+                let p = self.pick_param();
+                let d1 = self.f.op("sub", &[&prev, p]);
+                let d2 = self.f.op("sub", &[p, &prev]);
+                let c = self.f.op("ltu", &[&prev, p]);
+                self.f.op("sel", &[&c, &d2, &d1])
+            }
+            Pattern::Madd => {
+                let p = self.pick_param();
+                let t = self.f.op("mul", &[&prev, p]);
+                let chk = self.chk.clone();
+                self.f.op("add", &[&t, &chk])
+            }
+            Pattern::Sad => {
+                let p = self.pick_param();
+                let a = self.f.op("zxtb", &[&prev]);
+                let b = self.f.op("zxtb", &[p]);
+                let d1 = self.f.op("sub", &[&a, &b]);
+                let d2 = self.f.op("sub", &[&b, &a]);
+                let c = self.f.op("ltu", &[&a, &b]);
+                let s = self.f.op("sel", &[&c, &d2, &d1]);
+                let chk = self.chk.clone();
+                self.f.op("add", &[&s, &chk])
+            }
+            Pattern::BrevStage => {
+                let (mask, k) = *self.rng.pick(&BREV_STAGES);
+                let m = format!("#{mask}");
+                let k = format!("#{k}");
+                let t1 = self.f.op("and", &[&prev, &m]);
+                let t2 = self.f.op("shl", &[&t1, &k]);
+                let t3 = self.f.op("shr", &[&prev, &k]);
+                let t4 = self.f.op("and", &[&t3, &m]);
+                self.f.op("or", &[&t2, &t4])
+            }
+            Pattern::CrcStep => {
+                let b = self.f.op("and", &[&prev, "#1"]);
+                let z = self.f.op("sub", &["#0", &b]);
+                let m = self.f.op("and", &[&z, &format!("#{CRC_POLY}")]);
+                let t = self.f.op("shr", &[&prev, "#1"]);
+                self.f.op("xor", &[&t, &m])
+            }
+            Pattern::RorDiamond => {
+                let p = self.pick_param();
+                let k = self.rng.range(1, 31);
+                let t = self.f.op("xor", &[&prev, p]);
+                let l = self.f.op("shl", &[&t, &format!("#{k}")]);
+                let r = self.f.op("shr", &[&t, &format!("#{}", 32 - k)]);
+                self.f.op("or", &[&l, &r])
+            }
+            Pattern::Load => {
+                let off = self.rng.below(33) * 4;
+                let base = self.base.clone();
+                let a0 = self.f.op("add", &[&base, &format!("#{off}")]);
+                let v = self.f.op("ldw", &[&a0]);
+                self.f.op("xor", &[&prev, &v])
+            }
+        };
+        (out, true)
+    }
+
+    /// A plain ALU link. Masks and shifts *narrow* the value — they pin
+    /// bits a known-bits analysis tracks — so those report `wide =
+    /// false`; add/sub/xor/mul (odd immediates are invertible mod 2^32)
+    /// and any op drawing a parameter stay wide.
+    fn plain(&mut self, prev: &str) -> (String, bool) {
+        let mnem = *self.rng.pick(self.prof.alu);
+        let (src2, wide) = match mnem {
+            "shl" | "shr" | "sar" => (format!("#{}", self.rng.range(1, 31)), false),
+            "ror" => (format!("#{}", self.rng.range(1, 31)), true),
+            "and" | "or" => {
+                if self.rng.chance(30) {
+                    (self.pick_param().to_string(), true)
+                } else {
+                    (format!("#{}", self.rng.pick(&MASKS)), false)
+                }
+            }
+            "mul" => {
+                if self.rng.chance(40) {
+                    (self.pick_param().to_string(), true)
+                } else {
+                    (format!("#{}", self.rng.range(1, 15) * 2 + 1), true)
+                }
+            }
+            _ => {
+                if self.rng.chance(50) {
+                    (self.pick_param().to_string(), true)
+                } else {
+                    (format!("#{}", self.rng.range(1, 97)), true)
+                }
+            }
+        };
+        (self.f.op(mnem, &[prev, &src2]), wide)
+    }
+}

@@ -1,0 +1,173 @@
+//! Domain profiles: what kind of program the generator emits.
+//!
+//! A profile is a weighted grammar over *composite patterns* — the
+//! multi-operation idioms a domain's hot loops are made of — plus a
+//! plain-ALU opcode mix and region-shape weights. Two profiles are
+//! hand-designed after real accelerator targets:
+//!
+//! * **graph** — Dijkstra/A*-style traversal: unsigned-minimum
+//!   (`ltu`+`sel`) relaxations, absolute-difference heuristics, and
+//!   pointer-chasing loads (the UMIN/ADIFF custom-instruction family);
+//! * **dsp** — video/DSP inner loops: multiply-accumulate, sum of
+//!   absolute differences, bit-reverse stages and CRC rounds (the
+//!   MADD/SAD/BREV family).
+//!
+//! **mixed** draws from both, approximating a whole-application blend.
+
+/// The generator's domain axis (distinct from the paper's four
+/// benchmark-suite domains in `isax-workloads`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenDomain {
+    /// Graph-traversal shapes: unsigned-min, abs-diff, gather loads.
+    Graph,
+    /// Video/DSP shapes: madd, sad, bit-reverse, crc, rotates.
+    Dsp,
+    /// A blend of both.
+    Mixed,
+}
+
+impl GenDomain {
+    /// All domains, in CLI order.
+    pub const ALL: [GenDomain; 3] = [GenDomain::Graph, GenDomain::Dsp, GenDomain::Mixed];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenDomain::Graph => "graph",
+            GenDomain::Dsp => "dsp",
+            GenDomain::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<GenDomain> {
+        GenDomain::ALL.into_iter().find(|d| d.name() == s)
+    }
+}
+
+impl std::fmt::Display for GenDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A composite dataflow idiom the chain emitter can inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// One plain binary ALU op from the profile's opcode mix.
+    Plain,
+    /// Unsigned minimum: `ltu` + `sel` (Dijkstra/Prim relaxation).
+    Umin,
+    /// Absolute difference: two `sub`s, `ltu`, `sel` (A* heuristic).
+    Adiff,
+    /// Multiply-accumulate: `mul` + `add` (FIR/dot-product step).
+    Madd,
+    /// Byte sum-of-absolute-differences: `zxtb` pair + abs-diff + `add`.
+    Sad,
+    /// One bit-reverse butterfly: mask/shift/merge at a power-of-two lane.
+    BrevStage,
+    /// One reflected CRC-32 round: lsb test, mask, shift, xor.
+    CrcStep,
+    /// A rotate diamond: `xor` + `shl`/`shr` pair + `or`.
+    RorDiamond,
+    /// A word load folded into the chain (gather traffic).
+    Load,
+}
+
+/// The shape of one control-flow region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// One straight-line block.
+    Straight,
+    /// One self-looping block with a data-derived trip count.
+    Loop,
+    /// Four blocks: a branch head, two arms, a join.
+    Diamond,
+}
+
+/// Everything domain-specific the generator consults.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Which domain this is.
+    pub domain: GenDomain,
+    /// Composite patterns with draw weights.
+    pub patterns: &'static [(Pattern, u32)],
+    /// Plain-ALU mnemonics for [`Pattern::Plain`] links.
+    pub alu: &'static [&'static str],
+    /// Percent chance a region ends by storing the accumulator.
+    pub store_percent: u64,
+    /// Region-shape draw weights: `[straight, loop, diamond]`.
+    pub region_weights: [u32; 3],
+}
+
+/// The profile for a domain.
+pub fn profile(domain: GenDomain) -> Profile {
+    match domain {
+        GenDomain::Graph => Profile {
+            domain,
+            patterns: &[
+                (Pattern::Umin, 24),
+                (Pattern::Adiff, 16),
+                (Pattern::Load, 14),
+                (Pattern::Plain, 46),
+            ],
+            alu: &["add", "sub", "and", "or", "xor", "shr"],
+            store_percent: 25,
+            region_weights: [40, 35, 25],
+        },
+        GenDomain::Dsp => Profile {
+            domain,
+            patterns: &[
+                (Pattern::Madd, 18),
+                (Pattern::Sad, 12),
+                (Pattern::BrevStage, 12),
+                (Pattern::CrcStep, 12),
+                (Pattern::RorDiamond, 14),
+                (Pattern::Load, 6),
+                (Pattern::Plain, 26),
+            ],
+            alu: &["add", "mul", "xor", "shl", "shr", "sar"],
+            store_percent: 20,
+            region_weights: [55, 35, 10],
+        },
+        GenDomain::Mixed => Profile {
+            domain,
+            patterns: &[
+                (Pattern::Umin, 10),
+                (Pattern::Adiff, 8),
+                (Pattern::Madd, 10),
+                (Pattern::Sad, 6),
+                (Pattern::BrevStage, 7),
+                (Pattern::CrcStep, 7),
+                (Pattern::RorDiamond, 9),
+                (Pattern::Load, 9),
+                (Pattern::Plain, 34),
+            ],
+            alu: &["add", "sub", "mul", "and", "or", "xor", "shl", "shr", "sar"],
+            store_percent: 22,
+            region_weights: [45, 35, 20],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_names_round_trip() {
+        for d in GenDomain::ALL {
+            assert_eq!(GenDomain::parse(d.name()), Some(d));
+        }
+        assert_eq!(GenDomain::parse("audio"), None);
+    }
+
+    #[test]
+    fn pattern_weights_are_positive() {
+        for d in GenDomain::ALL {
+            let p = profile(d);
+            assert!(p.patterns.iter().all(|&(_, w)| w > 0));
+            assert!(!p.alu.is_empty());
+        }
+    }
+}

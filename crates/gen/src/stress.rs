@@ -1,0 +1,149 @@
+//! The pathological stress corpus, ported from
+//! `kernels/stress/generate.py` (now retired).
+//!
+//! Each kernel is designed so the guided explorer's candidate space —
+//! connected convex subgraphs within the paper's 5-input/3-output port
+//! limits — exceeds 10^6 examined subgraphs on its hot block, while the
+//! whole file stays small enough to parse instantly. They exist to
+//! exercise isax-guard: a bounded run must terminate with a degradation
+//! report and a sound partial result (see `tests/stress_guard.rs`).
+//!
+//! The port is byte-identical to the Python script's output — the
+//! checked-in `kernels/stress/*.isax` files regenerate exactly (pinned
+//! by `tests/gen_sweep.rs`), so explorer baselines keyed to those files
+//! stay valid. Regenerate with `isax gen --stress <name>`.
+
+use crate::emit::FnEmit;
+
+/// A long chain of rotate diamonds (`xor -> shl/shr -> or`).
+///
+/// Any window of the chain is a candidate, and every `shl`/`shr` inside
+/// a window can be excluded for +1 input — combinatorially many shapes
+/// per window, times ~190 window positions.
+pub fn deep_chain() -> String {
+    let mut f = FnEmit::new("deep_chain", 2);
+    let (mut acc, k) = ("v0".to_string(), "v1");
+    for _ in 0..190 {
+        let t = f.op("xor", &[&acc, k]);
+        let l = f.op("shl", &[&t, "#5"]);
+        let r = f.op("shr", &[&t, "#27"]);
+        acc = f.op("or", &[&l, &r]);
+    }
+    f.ret(&[&acc]);
+    f.text(100_000, &["v0", "v1"])
+}
+
+/// A chain of 4-way fanout stages.
+///
+/// Every stage fans one value out to four independent single-op branches
+/// and reduces them with a two-level or-tree. Each branch (and each
+/// reducer) can be excluded from a window for +1 input, so a window of k
+/// stages contributes C(6k, <=3) shapes — far more per window than the
+/// plain diamond chain.
+pub fn wide_fanout() -> String {
+    let mut f = FnEmit::new("wide_fanout", 2);
+    let (mut acc, k) = ("v0".to_string(), "v1");
+    for _ in 0..95 {
+        let t = f.op("xor", &[&acc, k]);
+        let b1 = f.op("shl", &[&t, "#1"]);
+        let b2 = f.op("shr", &[&t, "#3"]);
+        let b3 = f.op("add", &[&t, "#9"]);
+        let b4 = f.op("xor", &[&t, "#21"]);
+        let c1 = f.op("or", &[&b1, &b2]);
+        let c2 = f.op("or", &[&b3, &b4]);
+        acc = f.op("or", &[&c1, &c2]);
+    }
+    f.ret(&[&acc]);
+    f.text(100_000, &["v0", "v1"])
+}
+
+/// An all-commutative diamond chain.
+///
+/// Topologically like [`deep_chain`] (a chain of single-parent,
+/// single-child excludable side pairs, which is the shape that makes
+/// the candidate space explode under the 5-in/3-out port caps), but
+/// every node is a commutative op. Matching its candidates back into
+/// the program forces VF2 to consider operand swaps at every level,
+/// so this is the permutation-matching stress.
+pub fn dense_clique() -> String {
+    let mut f = FnEmit::new("dense_clique", 2);
+    let (mut acc, k) = ("v0".to_string(), "v1");
+    for i in 0..190u64 {
+        let t = f.op("add", &[&acc, k]);
+        let l = f.op("and", &[&t, &format!("#{}", (i % 30) + 1)]);
+        let r = f.op("or", &[&t, &format!("#{}", (i % 28) + 2)]);
+        acc = f.op("xor", &[&l, &r]);
+    }
+    f.ret(&[&acc]);
+    f.text(100_000, &["v0", "v1"])
+}
+
+/// Alternating memory / ALU segments.
+///
+/// Each segment loads a word, runs a rotate-diamond chain seeded by it,
+/// and stores the result. Loads and stores are CFU-ineligible under the
+/// baseline library, so each ALU island explores independently — but
+/// all islands live in one block (one DFG, one meter), so their
+/// candidate spaces accumulate against a single budget. The ld/st fence
+/// around every island also makes this the memory-ordering stress for
+/// the scheduler.
+pub fn mem_alu_ladder() -> String {
+    let mut f = FnEmit::new("mem_alu_ladder", 2);
+    let (base, mut acc) = ("v0", "v1".to_string());
+    for seg in 0..20u64 {
+        let a0 = f.op("add", &[base, &format!("#{}", seg * 64)]);
+        let a = f.op("ldw", &[&a0]);
+        let mut t = f.op("xor", &[&a, &acc]);
+        for _ in 0..24 {
+            let u = f.op("xor", &[&t, &acc]);
+            let l = f.op("shl", &[&u, "#7"]);
+            let r = f.op("shr", &[&u, "#25"]);
+            t = f.op("or", &[&l, &r]);
+        }
+        acc = t;
+        f.stw(&a0, &acc);
+    }
+    f.ret(&[&acc]);
+    f.text(100_000, &["v0", "v1"])
+}
+
+/// A named stress-kernel recipe: `(name, regenerator)`.
+pub type StressRecipe = (&'static str, fn() -> String);
+
+/// Name/generator table for the whole corpus, in the order the Python
+/// script wrote the files.
+pub const STRESS: [StressRecipe; 4] = [
+    ("deep_chain", deep_chain),
+    ("wide_fanout", wide_fanout),
+    ("dense_clique", dense_clique),
+    ("mem_alu_ladder", mem_alu_ladder),
+];
+
+/// Regenerates one stress kernel by name.
+pub fn stress_kernel(name: &str) -> Option<String> {
+    STRESS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, gen)| gen())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stress_kernel_parses_and_verifies() {
+        for (name, gen) in STRESS {
+            let text = gen();
+            let p = isax_ir::parse_program(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.functions[0].name, name);
+            assert_eq!(p.functions[0].to_string(), text, "{name}: Display fixpoint");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(stress_kernel("deep_chain").is_some());
+        assert!(stress_kernel("nope").is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based checks of the generator's correctness-by-construction
+//! claims: for *every* `(seed, domain, blocks)` triple, the emitted
+//! kernel must parse and verify, be a `parse -> Display` fixpoint, come
+//! out clean under the static lint (`IC0801`–`IC0805` and friends),
+//! terminate under the interpreter, and regenerate byte-identically.
+
+use isax_gen::{generate, seeded_args, seeded_memory, GenConfig, GenDomain};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn any_domain() -> impl Strategy<Value = GenDomain> {
+    (0usize..3).prop_map(|i| GenDomain::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_env_cases(64))]
+
+    #[test]
+    fn generated_kernels_verify_lint_clean_and_round_trip(
+        seed in any::<u64>(),
+        domain in any_domain(),
+        blocks in 0usize..48,
+    ) {
+        let cfg = GenConfig { seed, domain, blocks };
+        let text = generate(&cfg);
+
+        // Parses, and the parser's embedded verifier accepts it.
+        let p = isax_ir::parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(p.functions.len(), 1);
+        prop_assert_eq!(&p.functions[0].name, &cfg.entry_name());
+        prop_assert_eq!(p.functions[0].blocks.len(), cfg.effective_blocks());
+
+        // Canonical text: parse -> Display is a byte fixpoint.
+        prop_assert_eq!(p.functions[0].to_string(), text);
+
+        // Clean under the whole static lint, warnings included.
+        let report = isax::lint_program(&p);
+        prop_assert!(
+            report.diagnostics().is_empty(),
+            "lint findings on {}: {:?}",
+            cfg.entry_name(),
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn generated_kernels_terminate_on_seeded_inputs(
+        seed in any::<u64>(),
+        domain in any_domain(),
+        blocks in 0usize..32,
+    ) {
+        let cfg = GenConfig { seed, domain, blocks };
+        let p = isax_ir::parse_program(&generate(&cfg)).unwrap();
+        let args = seeded_args(seed);
+        let mut mem = seeded_memory(seed);
+        // Trip counts are bounded by construction (<= 17 per loop), so
+        // a generous linear fuel budget must always suffice.
+        let fuel = 10_000 * cfg.effective_blocks() as u64;
+        let out = run_ok(&p, &cfg.entry_name(), &args, &mut mem, fuel)?;
+        prop_assert_eq!(out.ret.len(), 2, "acc and chk are both returned");
+    }
+
+    #[test]
+    fn generation_is_deterministic(
+        seed in any::<u64>(),
+        domain in any_domain(),
+        blocks in 0usize..64,
+    ) {
+        let cfg = GenConfig { seed, domain, blocks };
+        prop_assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn nearby_seeds_differ(seed in any::<u64>()) {
+        let a = GenConfig { seed, domain: GenDomain::Mixed, blocks: 8 };
+        let b = GenConfig { seed: seed.wrapping_add(1), ..a };
+        prop_assert_ne!(generate(&a), generate(&b));
+    }
+}
+
+fn run_ok(
+    p: &isax_ir::Program,
+    entry: &str,
+    args: &[u32],
+    mem: &mut isax_machine::Memory,
+    fuel: u64,
+) -> Result<isax_machine::ExecOutcome, TestCaseError> {
+    isax_machine::run(p, entry, args, mem, fuel)
+        .map_err(|e| TestCaseError::fail(format!("execution failed: {e}")))
+}

@@ -50,6 +50,41 @@ fn check_golden(name: &str, rendered: &str) {
     );
 }
 
+/// The per-domain speedup panel over a cheap cross-domain cast: one
+/// paper kernel, two curated kernels per new domain, and one freshly
+/// generated mixed kernel (regenerated from its recipe, so the table is
+/// fully deterministic).
+#[test]
+fn domain_speedup_table_is_stable() {
+    let cz = Customizer::new();
+    let mut kernels: Vec<(String, &'static str, isax_ir::Program)> = vec![(
+        "crc".to_string(),
+        "paper",
+        isax_workloads::by_name("crc").unwrap().program,
+    )];
+    for name in ["dijkstra_relax", "prim_minedge", "fir8", "crc_brev"] {
+        let k = isax_gen::curated_by_name(name).unwrap();
+        kernels.push((
+            k.name.to_string(),
+            k.domain,
+            isax_ir::parse_program(&(k.text)()).unwrap(),
+        ));
+    }
+    let cfg = isax_gen::GenConfig {
+        seed: 1,
+        domain: isax_gen::GenDomain::Mixed,
+        blocks: 12,
+    };
+    kernels.push((
+        cfg.entry_name(),
+        "gen",
+        isax_ir::parse_program(&isax_gen::generate(&cfg)).unwrap(),
+    ));
+    let table =
+        figures::domain_speedup_table("Per-domain speedups (golden edition)", &cz, &kernels, 8.0);
+    check_golden("domain_speedups.txt", &table);
+}
+
 #[test]
 fn figure3_guided_vs_exponential_is_stable() {
     let w = isax_workloads::by_name("crc").unwrap();

@@ -1,8 +1,8 @@
 //! Pathological-input stress suite for `isax-guard`.
 //!
 //! Each kernel in `kernels/stress/` is constructed so the explorer's
-//! candidate space dwarfs any reasonable budget (see
-//! `kernels/stress/generate.py`). Ungoverned, these inputs run for
+//! candidate space dwarfs any reasonable budget (see `isax_gen::stress`,
+//! which regenerates them byte-identically). Ungoverned, these inputs run for
 //! minutes to hours; under a work-unit budget every one of them must
 //!
 //!   1. terminate,
