@@ -47,7 +47,7 @@ fn main() {
     );
     for (name, w) in configs {
         let mut cz = Customizer::new();
-        cz.explore = ExploreConfig::default().with_weights(w);
+        cz.ctx_mut().explore = ExploreConfig::default().with_weights(w);
         let mut total_speedup = 0.0;
         let mut examined = 0u64;
         for wl in &suite {

@@ -1,0 +1,253 @@
+//! Serve-layer load generator: N concurrent clients against an
+//! in-process `isax serve` instance over the extended corpus.
+//!
+//! Each client replays the corpus `ISAX_LOADGEN_ROUNDS` times (so every
+//! round after a kernel's first service is a content-addressed cache
+//! hit), measuring client-side latency per request. Writes
+//! `BENCH_serve.json` with throughput, p50/p99 latency, the cache hit
+//! rate, and the same `oversubscribed` flag `BENCH_pipeline.json`
+//! carries — on a host where workers outnumber CPUs the throughput
+//! numbers demonstrate determinism and caching, not parallel scaling,
+//! and the report says so.
+//!
+//! Knobs (all optional):
+//!
+//! * `ISAX_LOADGEN_CLIENTS` — concurrent clients (default 4);
+//! * `ISAX_LOADGEN_ROUNDS` — corpus replays per client (default 2);
+//! * `ISAX_LOADGEN_KERNELS` — corpus prefix length (default: all).
+//!
+//! Sanity gates (exit status is the CI signal): zero request errors,
+//! and a cache hit rate within tolerance of the blessed baseline in
+//! `results/loadgen_baseline.json`. Re-bless an intentional change with
+//! `ISAX_BLESS=1 loadgen` and commit the new baseline.
+
+#![forbid(unsafe_code)]
+
+use isax_bench::{extended_corpus, host_cpus, oversubscribed, HEADLINE_BUDGET};
+use isax_graph::par::thread_count;
+use isax_serve::{Client, EnvMode, Request, ServeConfig, Server};
+use std::time::Instant;
+
+const BASELINE: &str = "results/loadgen_baseline.json";
+/// Allowed hit-rate drift before the gate trips. The hit rate is almost
+/// deterministic — `(requests - kernels) / requests` — but concurrent
+/// cold misses on one key can each count as a miss, so the gate keeps
+/// a small margin.
+const HIT_RATE_TOLERANCE: f64 = 0.05;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} must be a positive integer, got `{v}`")),
+        Err(_) => default,
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let clients = env_usize("ISAX_LOADGEN_CLIENTS", 4);
+    let rounds = env_usize("ISAX_LOADGEN_ROUNDS", 2);
+    let corpus = extended_corpus();
+    let kernels = env_usize("ISAX_LOADGEN_KERNELS", corpus.len()).min(corpus.len());
+    assert!(clients > 0 && rounds > 0 && kernels > 0);
+
+    // Pre-render each kernel once: (name, text, work budget).
+    let requests: Vec<(String, String, Option<u64>)> = corpus[..kernels]
+        .iter()
+        .map(|k| {
+            let text = k
+                .program
+                .functions
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
+            (k.name.clone(), text, k.work_budget)
+        })
+        .collect();
+
+    let workers = thread_count();
+    let server = Server::spawn(ServeConfig {
+        workers,
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr();
+    eprintln!(
+        "loadgen: {clients} client(s) x {rounds} round(s) x {kernels} kernel(s), \
+         {workers} worker(s)"
+    );
+
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let requests = &requests;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut latencies_us = Vec::with_capacity(rounds * requests.len());
+                    let mut errors = 0u64;
+                    for _ in 0..rounds {
+                        // Offset each client's walk so cold misses spread
+                        // across the corpus instead of piling on one key.
+                        for i in 0..requests.len() {
+                            let (name, text, work) = &requests[(i + c) % requests.len()];
+                            let t = Instant::now();
+                            let outcome = client.artifacts(Request::Customize {
+                                kernel: text.clone(),
+                                name: name.clone(),
+                                budget: HEADLINE_BUDGET,
+                                multifunction: false,
+                                work_budget: *work,
+                            });
+                            latencies_us.push(t.elapsed().as_micros() as u64);
+                            match outcome {
+                                Ok((_, art)) => assert!(art.mdes.is_some()),
+                                Err(e) => {
+                                    eprintln!("loadgen: {name}: {e}");
+                                    errors += 1;
+                                }
+                            }
+                        }
+                    }
+                    (latencies_us, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = per_client
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    let errors: u64 = per_client.iter().map(|(_, e)| e).sum();
+    latencies.sort_unstable();
+    let total_requests = latencies.len() as u64;
+
+    let stats = server.stats_value();
+    server.shutdown();
+    let cache = stats.get("cache").expect("stats.cache");
+    let hit_rate = cache
+        .get("hit_rate")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let hits = cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
+    let misses = cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+    let entries = cache.get("entries").and_then(|v| v.as_u64()).unwrap_or(0);
+
+    let cpus = host_cpus();
+    let oversub = oversubscribed(workers.max(clients), cpus);
+    let doc = isax_json::object([
+        ("clients", isax_json::Value::from(clients as u64)),
+        ("rounds", (rounds as u64).into()),
+        ("kernels", (kernels as u64).into()),
+        ("workers", (workers as u64).into()),
+        ("budget", HEADLINE_BUDGET.into()),
+        ("host_cpus", (cpus as u64).into()),
+        // Same contract as BENCH_pipeline.json: when set, throughput
+        // demonstrates determinism and caching, not parallel scaling.
+        ("oversubscribed", oversub.into()),
+        ("requests", total_requests.into()),
+        ("errors", errors.into()),
+        ("wall_s", wall_s.into()),
+        (
+            "throughput_rps",
+            (total_requests as f64 / wall_s.max(1e-9)).into(),
+        ),
+        ("p50_us", percentile(&latencies, 0.50).into()),
+        ("p99_us", percentile(&latencies, 0.99).into()),
+        (
+            "cache",
+            isax_json::object([
+                ("entries", isax_json::Value::from(entries)),
+                ("hits", hits.into()),
+                ("misses", misses.into()),
+                ("hit_rate", hit_rate.into()),
+            ]),
+        ),
+    ]);
+    let rendered = {
+        let mut s = doc.to_string_pretty();
+        s.push('\n');
+        s
+    };
+    std::fs::write("BENCH_serve.json", &rendered).expect("write BENCH_serve.json");
+    println!("{rendered}");
+
+    if oversub {
+        eprintln!(
+            "loadgen: {total_requests} requests in {wall_s:.2}s with {workers} worker(s) on \
+             {cpus} CPU(s) — oversubscribed, so throughput demonstrates determinism and \
+             caching, not parallel scaling"
+        );
+    } else {
+        eprintln!(
+            "loadgen: {total_requests} requests in {wall_s:.2}s \
+             ({:.1} req/s, p50 {}us, p99 {}us)",
+            total_requests as f64 / wall_s.max(1e-9),
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        );
+    }
+
+    // Gate 1: every request must succeed.
+    assert_eq!(errors, 0, "loadgen saw {errors} request error(s)");
+    // Gate 2: the cache must actually serve repeats.
+    let expected_hit_rate =
+        (total_requests.saturating_sub(entries)) as f64 / (total_requests as f64).max(1.0);
+    assert!(
+        hit_rate > 0.0,
+        "no cache hits across {rounds} round(s) — content addressing is broken"
+    );
+
+    // Gate 3: the blessed baseline (hit rate within tolerance, at the
+    // blessed knob configuration).
+    let baseline_doc = isax_json::object([
+        ("clients", isax_json::Value::from(clients as u64)),
+        ("rounds", (rounds as u64).into()),
+        ("kernels", (kernels as u64).into()),
+        ("hit_rate", hit_rate.into()),
+    ]);
+    if std::env::var("ISAX_BLESS").is_ok_and(|v| v == "1") {
+        let mut s = baseline_doc.to_string_pretty();
+        s.push('\n');
+        std::fs::write(BASELINE, &s).expect("write baseline");
+        eprintln!("blessed {BASELINE}");
+        return;
+    }
+    let text = std::fs::read_to_string(BASELINE).unwrap_or_else(|e| {
+        panic!("{BASELINE}: {e}\nrun with ISAX_BLESS=1 to generate the baseline")
+    });
+    let base = isax_json::parse(&text).expect("baseline parses");
+    let knobs_match = ["clients", "rounds", "kernels"].iter().all(|k| {
+        base.get(k).and_then(|v| v.as_u64()) == baseline_doc.get(k).and_then(|v| v.as_u64())
+    });
+    if !knobs_match {
+        eprintln!(
+            "loadgen: knob configuration differs from the blessed baseline — \
+             skipping the hit-rate gate (hit rate {hit_rate:.3}, expected ~{expected_hit_rate:.3})"
+        );
+        return;
+    }
+    let base_hit_rate = base
+        .get("hit_rate")
+        .and_then(|v| v.as_f64())
+        .expect("baseline hit_rate");
+    assert!(
+        hit_rate >= base_hit_rate - HIT_RATE_TOLERANCE,
+        "cache hit rate regressed: {hit_rate:.3} vs blessed {base_hit_rate:.3} — \
+         re-bless with ISAX_BLESS=1 if intentional"
+    );
+    eprintln!("loadgen OK: hit rate {hit_rate:.3} (blessed {base_hit_rate:.3})");
+}

@@ -219,10 +219,8 @@ fn main() {
 
     let serial_total = serial.analyze_s + serial.select_s + serial.evaluate_s;
     let parallel_total = parallel.analyze_s + parallel.select_s + parallel.evaluate_s;
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // More workers than CPUs: the "parallel" run time-slices one core,
-    // so its wall-clock numbers measure scheduling overhead, not scaling.
-    let oversubscribed = parallel_threads > host_cpus;
+    let host_cpus = isax_bench::host_cpus();
+    let oversubscribed = isax_bench::oversubscribed(parallel_threads, host_cpus);
     let mut doc = isax_json::object([
         ("threads_serial", isax_json::Value::from(1u32)),
         ("threads_parallel", parallel_threads.into()),

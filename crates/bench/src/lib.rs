@@ -127,6 +127,22 @@ pub const STRESS_TIMING_BUDGET: u64 = 100_000;
 /// Display/report order of the corpus domains.
 pub const DOMAINS: [&str; 5] = ["paper", "stress", "graph", "dsp", "gen"];
 
+/// Physical parallelism of the measuring host.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// True when a parallel measurement cannot demonstrate real speedup:
+/// either the host has fewer than two CPUs (there is nothing to scale
+/// onto — the "parallel" run is the serial run with extra scheduling)
+/// or the run uses more workers than CPUs (time-slicing, so wall clock
+/// measures contention, not scaling). Both `BENCH_pipeline.json` and
+/// `BENCH_serve.json` carry this flag so downstream tooling knows the
+/// throughput numbers only demonstrate determinism.
+pub fn oversubscribed(threads: usize, cpus: usize) -> bool {
+    cpus < 2 || threads > cpus
+}
+
 /// The full timing corpus: the 13 paper workloads, the governed stress
 /// corpus, the curated graph/dsp kernels, and every seeded generator
 /// kernel recorded in `kernels/gen/MANIFEST.json` (regenerated

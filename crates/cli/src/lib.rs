@@ -140,6 +140,20 @@ pub enum Command {
         /// Block index.
         block: usize,
     },
+    /// `serve [--addr A] [--workers N] [--queue-cap N]
+    /// [--admission-budget N]` — run the customization job server until
+    /// a client sends `shutdown`.
+    Serve {
+        /// Bind address (default `127.0.0.1:0`; port 0 picks a free
+        /// port, printed on startup).
+        addr: String,
+        /// Worker threads (default: the `ISAX_THREADS` pool width).
+        workers: Option<usize>,
+        /// Bounded work-queue capacity (default 64).
+        queue_cap: Option<usize>,
+        /// Per-request admission cap in isax-guard work units.
+        admission_budget: Option<u64>,
+    },
     /// `gen [--seed N] [--domain D] [--blocks B] [--out PATH]`, or
     /// `gen --stress NAME | --curated NAME | --list` — emit a kernel
     /// from the seeded generator or one of the built-in corpora.
@@ -188,6 +202,7 @@ USAGE:
     isax dot       <file.isax> [--function FUNC] [--block N]
     isax gen       [--seed N] [--domain graph|dsp|mixed] [--blocks B] [--out out.isax]
     isax gen       --stress NAME | --curated NAME | --list  [--out out.isax]
+    isax serve     [--addr HOST:PORT] [--workers N] [--queue-cap N] [--admission-budget N]
 
 `--check` (or the ISAX_CHECK=1 environment variable) runs the isax-check
 invariant passes at every pipeline checkpoint and aborts with IC0xxx
@@ -237,6 +252,15 @@ derived from `--seed`/`--domain`/`--blocks` (the kernels under
 regenerates a kernels/stress corpus file byte-identically; `--curated
 NAME` regenerates a kernels/graph or kernels/dsp corpus file; `--list`
 names them all.
+
+`isax serve` runs the pipeline as a long-running job server: clients
+send newline-delimited JSON `customize`/`compile`/`stats`/`shutdown`
+requests over TCP and receive the same artifact bytes the one-shot
+commands write. Repeated kernels are answered from a content-addressed
+cache; `--admission-budget N` caps every request at N work units;
+ISAX_SERVE_STATS=1 prints a summary at shutdown, ISAX_SERVE_STATS=PATH
+writes the final stats JSON there (`0`/`off` disable — the same value
+grammar as ISAX_TRACE/ISAX_PROV).
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -311,6 +335,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             curated: flag_value(rest, "--curated").map(str::to_string),
             list: has_flag(rest, "--list"),
             out: flag_value(rest, "--out").map(str::to_string),
+        });
+    }
+    // `serve` runs a server, not a file — it also parses before the
+    // generic file extraction.
+    if cmd == "serve" {
+        let rest = &args[1..];
+        let parse_usize = |flag: &str| -> Result<Option<usize>, UsageError> {
+            match flag_value(rest, flag) {
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(Some)
+                    .ok_or_else(|| {
+                        UsageError(format!("bad {flag} `{v}` (want a positive integer)"))
+                    }),
+                None => Ok(None),
+            }
+        };
+        let admission_budget = match flag_value(rest, "--admission-budget") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| UsageError(format!("bad --admission-budget `{v}`")))?,
+            ),
+            None => None,
+        };
+        return Ok(Command::Serve {
+            addr: flag_value(rest, "--addr")
+                .unwrap_or("127.0.0.1:0")
+                .to_string(),
+            workers: parse_usize("--workers")?,
+            queue_cap: parse_usize("--queue-cap")?,
+            admission_budget,
         });
     }
     let file = args
@@ -934,10 +991,10 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let mut cz = Customizer::new();
             cz.check |= *check;
             if *width_aware {
-                cz.hw = cz.hw.clone().with_width_aware(true);
+                cz.ctx_mut().hw = cz.hw.clone().with_width_aware(true);
             }
             if beam_width.is_some() {
-                cz.explore.beam_width = *beam_width;
+                cz.ctx_mut().explore.beam_width = *beam_width;
             }
             if let Some(u) = work_budget {
                 cz.guard = cz.guard.clone().with_units(*u);
@@ -1008,10 +1065,10 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             let mut cz = Customizer::new();
             cz.check |= *check;
             if *width_aware {
-                cz.hw = cz.hw.clone().with_width_aware(true);
+                cz.ctx_mut().hw = cz.hw.clone().with_width_aware(true);
             }
             if beam_width.is_some() {
-                cz.explore.beam_width = *beam_width;
+                cz.ctx_mut().explore.beam_width = *beam_width;
             }
             if let Some(u) = work_budget {
                 cz.guard = cz.guard.clone().with_units(*u);
@@ -1221,6 +1278,43 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
                 .get(*block)
                 .ok_or_else(|| format!("{} has no block {block}", f.name))?;
             w(out, dfg.to_dot(&format!("{}_b{block}", f.name)))?;
+            Ok(())
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            admission_budget,
+        } => {
+            let mut cfg = isax_serve::ServeConfig {
+                addr: addr.clone(),
+                ..isax_serve::ServeConfig::default()
+            };
+            if let Some(n) = workers {
+                cfg.workers = *n;
+            }
+            if let Some(n) = queue_cap {
+                cfg.queue_cap = *n;
+            }
+            if admission_budget.is_some() {
+                cfg.max_work_units = *admission_budget;
+            }
+            let workers = cfg.workers;
+            let queue_cap = cfg.queue_cap;
+            let server = isax_serve::Server::spawn(cfg).map_err(|e| format!("{addr}: {e}"))?;
+            w(
+                out,
+                format!(
+                    "serving on {} ({} worker(s), queue cap {})",
+                    server.addr(),
+                    workers,
+                    queue_cap
+                ),
+            )?;
+            out.flush().map_err(|e| e.to_string())?;
+            // Blocks until a client sends `shutdown`.
+            server.join();
+            w(out, "server stopped".into())?;
             Ok(())
         }
         Command::Gen {
@@ -1440,6 +1534,35 @@ mod tests {
         ));
         assert!(parse_args(&argv("explain report.json --cfu nope")).is_err());
         assert!(parse_args(&argv("explain report.json --top nope")).is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        assert_eq!(
+            parse_args(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: None,
+                queue_cap: None,
+                admission_budget: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "serve --addr 127.0.0.1:7777 --workers 4 --queue-cap 16 --admission-budget 100000"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7777".into(),
+                workers: Some(4),
+                queue_cap: Some(16),
+                admission_budget: Some(100_000),
+            }
+        );
+        assert!(parse_args(&argv("serve --workers 0")).is_err());
+        assert!(parse_args(&argv("serve --workers nope")).is_err());
+        assert!(parse_args(&argv("serve --queue-cap 0")).is_err());
+        assert!(parse_args(&argv("serve --admission-budget nope")).is_err());
     }
 
     #[test]

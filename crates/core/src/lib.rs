@@ -54,7 +54,7 @@ pub use experiment::{
     cross_speedup, generalization_bars, limit_speedup, native_speedup, speedup_on,
     GeneralizationBars,
 };
-pub use pipeline::{Analysis, AnalysisStats, Customizer, Evaluation};
+pub use pipeline::{Analysis, AnalysisStats, Customizer, Evaluation, SharedContext};
 
 // Re-export the vocabulary types users need at the facade level.
 pub use isax_check::{

@@ -37,10 +37,14 @@ use isax_select::{
     select_knapsack, select_multifunction, CfuCandidate, SelectConfig, Selection,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-/// Pipeline configuration.
+/// The immutable half of the pipeline configuration: everything that is
+/// identical for every request a long-running service handles. One
+/// `Arc<SharedContext>` is built at startup and shared (read-only) by
+/// every concurrent request; per-request knobs stay on [`Customizer`].
 #[derive(Debug, Clone)]
-pub struct Customizer {
+pub struct SharedContext {
     /// Hardware timing/area library.
     pub hw: HwLibrary,
     /// Exploration constraints (ports, area caps, guide tuning).
@@ -51,6 +55,43 @@ pub struct Customizer {
     pub closure_cap: usize,
     /// Baseline machine shape.
     pub model: VliwModel,
+}
+
+impl SharedContext {
+    /// The paper's defaults: 0.18 µ library, 5-in/3-out ports,
+    /// ten-point guide categories, 4-wide VLIW.
+    pub fn new() -> Self {
+        SharedContext {
+            hw: HwLibrary::micron_018().with_width_aware(width_aware_from_env()),
+            explore: ExploreConfig {
+                beam_width: beam_width_from_env(),
+                ..ExploreConfig::default()
+            },
+            closure_cap: 64,
+            model: VliwModel::default(),
+        }
+    }
+}
+
+impl Default for SharedContext {
+    fn default() -> Self {
+        SharedContext::new()
+    }
+}
+
+/// Pipeline configuration: an immutable [`SharedContext`] (shared across
+/// concurrent requests via `Arc`) plus the per-request state — the
+/// checker switch and the resource-governance [`Guard`].
+///
+/// The shared fields read through `Deref`, so `cz.hw` / `cz.explore`
+/// work as before; setup-time mutation goes through
+/// [`Customizer::ctx_mut`] (copy-on-write, so a customizer whose context
+/// is already shared with a server never mutates it in place).
+#[derive(Debug, Clone)]
+pub struct Customizer {
+    /// The immutable shared half (hw library, exploration config,
+    /// closure cap, machine model).
+    pub ctx: Arc<SharedContext>,
     /// Run the `isax-check` invariant passes at every stage checkpoint
     /// and abort on violations. Defaults to the `ISAX_CHECK`
     /// environment variable.
@@ -61,6 +102,14 @@ pub struct Customizer {
     /// `ISAX_FAULT` environment variables; inactive (zero-cost, legacy
     /// code paths) when none are set.
     pub guard: Guard,
+}
+
+impl std::ops::Deref for Customizer {
+    type Target = SharedContext;
+
+    fn deref(&self) -> &SharedContext {
+        &self.ctx
+    }
 }
 
 impl Default for Customizer {
@@ -197,14 +246,16 @@ impl Customizer {
     /// Creates a pipeline with the paper's defaults: 0.18 µ library,
     /// 5-in/3-out ports, ten-point guide categories, 4-wide VLIW.
     pub fn new() -> Self {
+        Customizer::with_context(Arc::new(SharedContext::new()))
+    }
+
+    /// Creates a pipeline over an existing shared context, with
+    /// per-request state defaulted from the environment. This is how a
+    /// long-running server hands each request the same (never-cloned)
+    /// hardware library and exploration config.
+    pub fn with_context(ctx: Arc<SharedContext>) -> Self {
         Customizer {
-            hw: HwLibrary::micron_018().with_width_aware(width_aware_from_env()),
-            explore: ExploreConfig {
-                beam_width: beam_width_from_env(),
-                ..ExploreConfig::default()
-            },
-            closure_cap: 64,
-            model: VliwModel::default(),
+            ctx,
             check: isax_check::env_enabled(),
             guard: Guard::from_env(),
         }
@@ -215,10 +266,18 @@ impl Customizer {
     /// reserve the machine's cache port). Everything else matches
     /// [`Customizer::new`].
     pub fn with_memory_cfus() -> Self {
-        Customizer {
-            hw: HwLibrary::micron_018_with_memory().with_width_aware(width_aware_from_env()),
-            ..Customizer::new()
-        }
+        let mut cz = Customizer::new();
+        cz.ctx_mut().hw =
+            HwLibrary::micron_018_with_memory().with_width_aware(width_aware_from_env());
+        cz
+    }
+
+    /// Mutable access to the shared context for setup-time configuration
+    /// (width-aware costing, beam width, guide weights). Copy-on-write:
+    /// if the `Arc` is shared with anyone else, the context is cloned
+    /// first, so concurrent readers are never affected.
+    pub fn ctx_mut(&mut self) -> &mut SharedContext {
+        Arc::make_mut(&mut self.ctx)
     }
 
     /// Runs exploration + combination + subsumption + wildcard analyses.
@@ -636,7 +695,7 @@ mod tests {
         let p = byte_kernel();
         let plain = Customizer::new();
         let mut wide = Customizer::new();
-        wide.hw = wide.hw.clone().with_width_aware(true);
+        wide.ctx_mut().hw = wide.hw.clone().with_width_aware(true);
         let (m0, _) = plain.select("bytes", &plain.analyze(&p), 15.0);
         let (m1, _) = wide.select("bytes", &wide.analyze(&p), 15.0);
         assert!(!m0.cfus.is_empty() && !m1.cfus.is_empty());

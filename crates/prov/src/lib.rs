@@ -76,23 +76,9 @@ impl Drop for EnableGuard {
     }
 }
 
-/// How an observability env var (`ISAX_PROV`, `ISAX_TRACE`) was set.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EnvMode {
-    /// Explicitly or implicitly disabled: unset, empty, `0`, `off`,
-    /// `false`, `no` (ASCII case-insensitive).
-    Off,
-    /// Enabled without a destination (`1`, `on`, `true`, `yes`): record
-    /// and print a summary, write no file.
-    Summary,
-    /// Any other value is a file path to write the full artifact to.
-    Path(String),
-}
-
-/// Parses one observability env-var value into an [`EnvMode`].
-///
-/// `isax-trace` applies the identical table to `ISAX_TRACE`; the two
-/// crates are kept in agreement by a shared test in `tests/prov.rs`.
+/// The shared observability env-var grammar (`ISAX_PROV` here,
+/// `ISAX_TRACE` and `ISAX_SERVE_STATS` elsewhere), re-exported from its
+/// one canonical home in `isax-trace`.
 ///
 /// ```
 /// use isax_prov::{parse_env_value, EnvMode};
@@ -100,25 +86,7 @@ pub enum EnvMode {
 /// assert_eq!(parse_env_value("1"), EnvMode::Summary);
 /// assert_eq!(parse_env_value("report.json"), EnvMode::Path("report.json".into()));
 /// ```
-pub fn parse_env_value(v: &str) -> EnvMode {
-    let v = v.trim();
-    if v.is_empty()
-        || v.eq_ignore_ascii_case("0")
-        || v.eq_ignore_ascii_case("off")
-        || v.eq_ignore_ascii_case("false")
-        || v.eq_ignore_ascii_case("no")
-    {
-        EnvMode::Off
-    } else if v == "1"
-        || v.eq_ignore_ascii_case("on")
-        || v.eq_ignore_ascii_case("true")
-        || v.eq_ignore_ascii_case("yes")
-    {
-        EnvMode::Summary
-    } else {
-        EnvMode::Path(v.to_string())
-    }
-}
+pub use isax_trace::{parse_env_value, EnvMode};
 
 /// Reads `ISAX_PROV` and parses it; unset means [`EnvMode::Off`].
 pub fn env_mode() -> EnvMode {

@@ -1,0 +1,475 @@
+//! The wire protocol: newline-delimited JSON frames over a byte stream.
+//!
+//! Every frame is one line — a compact (single-line) JSON object
+//! terminated by `\n`. Kernel text and artifacts travel as JSON strings,
+//! so embedded newlines are escaped and the framing never breaks. The
+//! codec is total: [`decode_request`] and [`decode_response`] return a
+//! structured [`WireError`] for any byte sequence, never panic (the
+//! underlying `isax_json` parser is depth-capped and fuzz-clean), and
+//! encode ∘ decode is the identity (see the crate's proptests).
+//!
+//! Request grammar (fields beyond `req` and `id` per request kind):
+//!
+//! ```text
+//! {"req":"customize","id":N,"kernel":S,"name":S,
+//!  "budget":F?,"multifunction":B?,"work_budget":N?}
+//! {"req":"compile","id":N,"kernel":S,"name":S,"mdes":S,
+//!  "subsumed":B?,"wildcard":B?,"work_budget":N?}
+//! {"req":"stats","id":N}
+//! {"req":"shutdown","id":N}
+//! ```
+//!
+//! Response grammar:
+//!
+//! ```text
+//! {"id":N,"ok":true,"cached":B,"artifacts":{...}}
+//! {"id":N,"ok":true,"stats":{...}}
+//! {"id":N,"ok":true,"shutdown":true}
+//! {"id":N,"ok":false,"error":{"code":S,"message":S}}
+//! ```
+
+use isax_json::{object, Value};
+
+/// Default cap on one frame's encoded size. Large enough for any kernel
+/// in the corpora (the biggest generated kernel is well under 1 MiB),
+/// small enough that a runaway client cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// One request, without its frame id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Analyze + select: produce an MDES and a provenance report.
+    Customize {
+        /// Kernel source in the textual IR format.
+        kernel: String,
+        /// Application name stamped into the MDES and the prov report.
+        name: String,
+        /// Area budget in adders.
+        budget: f64,
+        /// Use multifunction-family selection.
+        multifunction: bool,
+        /// Requested work-unit budget (the server may clamp it down).
+        work_budget: Option<u64>,
+    },
+    /// Compile a kernel against an MDES: produce customized assembly,
+    /// cycle counts and a provenance report.
+    Compile {
+        /// Kernel source in the textual IR format.
+        kernel: String,
+        /// Application name stamped into the prov report.
+        name: String,
+        /// The MDES document (JSON text, as emitted by `customize`).
+        mdes: String,
+        /// Enable subsumed-subgraph matching.
+        subsumed: bool,
+        /// Enable opcode-class wildcard matching.
+        wildcard: bool,
+        /// Requested work-unit budget (the server may clamp it down).
+        work_budget: Option<u64>,
+    },
+    /// Live server statistics.
+    Stats,
+    /// Graceful shutdown: the server acknowledges, drains the queue and
+    /// stops accepting.
+    Shutdown,
+}
+
+/// A request together with its frame id (echoed in the response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Client-chosen correlation id; `0` when absent or unparseable.
+    pub id: u64,
+    /// The request payload.
+    pub request: Request,
+}
+
+/// Machine-readable failure category carried in error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON.
+    MalformedFrame,
+    /// Valid JSON, but not a request the grammar recognizes.
+    BadRequest,
+    /// The frame exceeded the server's size cap.
+    OversizedFrame,
+    /// The connection ended mid-frame (bytes with no terminating `\n`).
+    TruncatedFrame,
+    /// The bounded work queue is full; retry later.
+    Busy,
+    /// The kernel text did not parse as IR.
+    ParseError,
+    /// The `mdes` field did not parse as a machine description.
+    BadMdes,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::TruncatedFrame => "truncated-frame",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::BadMdes => "bad-mdes",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "malformed-frame" => ErrorCode::MalformedFrame,
+            "bad-request" => ErrorCode::BadRequest,
+            "oversized-frame" => ErrorCode::OversizedFrame,
+            "truncated-frame" => ErrorCode::TruncatedFrame,
+            "busy" => ErrorCode::Busy,
+            "parse-error" => ErrorCode::ParseError,
+            "bad-mdes" => ErrorCode::BadMdes,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured protocol-level error (also the decode-failure type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Shorthand constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The artifacts a work request produces. `customize` fills `mdes`;
+/// `compile` fills `assembly` and the cycle counts; both fill `prov`
+/// and `degraded`. Every string is byte-identical to what the CLI
+/// writes for the same inputs (that is the serve-vs-CLI differential
+/// suite's whole claim).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Artifacts {
+    /// The MDES document (`Mdes::to_json`).
+    pub mdes: Option<String>,
+    /// Customized assembly (functions joined by `\n`, the `--emit`
+    /// format).
+    pub assembly: Option<String>,
+    /// The provenance report (`build_report(..).to_string_pretty()`
+    /// plus a trailing newline, the `--prov-out` format).
+    pub prov: Option<String>,
+    /// Baseline cycle estimate (compile only).
+    pub baseline_cycles: Option<u64>,
+    /// Customized cycle estimate (compile only).
+    pub custom_cycles: Option<u64>,
+    /// One rendered `Degradation` per governance event, in stage order —
+    /// the same lines the CLI prints prefixed with `degraded: `.
+    pub degraded: Vec<String>,
+}
+
+/// Response payload variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A completed work request.
+    Artifacts {
+        /// Served from the content-addressed cache?
+        cached: bool,
+        /// The artifacts.
+        artifacts: Artifacts,
+    },
+    /// A statistics snapshot.
+    Stats(Value),
+    /// Shutdown acknowledged.
+    Shutdown,
+    /// The request failed.
+    Error(WireError),
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id, echoed back (`0` when it was unreadable).
+    pub id: u64,
+    /// The payload.
+    pub reply: Reply,
+}
+
+fn opt_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+fn opt_bool(v: &Value, key: &str, default: bool) -> bool {
+    v.get(key).and_then(Value::as_bool).unwrap_or(default)
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, WireError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("missing or non-string `{key}` field"),
+            )
+        })
+}
+
+/// Encodes a request frame as one line (no trailing newline).
+pub fn encode_request(frame: &Frame) -> String {
+    let mut fields: Vec<(&'static str, Value)> = Vec::new();
+    match &frame.request {
+        Request::Customize {
+            kernel,
+            name,
+            budget,
+            multifunction,
+            work_budget,
+        } => {
+            fields.push(("req", Value::from("customize")));
+            fields.push(("id", Value::from(frame.id)));
+            fields.push(("kernel", Value::from(kernel.clone())));
+            fields.push(("name", Value::from(name.clone())));
+            fields.push(("budget", Value::Float(*budget)));
+            fields.push(("multifunction", Value::Bool(*multifunction)));
+            if let Some(u) = work_budget {
+                fields.push(("work_budget", Value::from(*u)));
+            }
+        }
+        Request::Compile {
+            kernel,
+            name,
+            mdes,
+            subsumed,
+            wildcard,
+            work_budget,
+        } => {
+            fields.push(("req", Value::from("compile")));
+            fields.push(("id", Value::from(frame.id)));
+            fields.push(("kernel", Value::from(kernel.clone())));
+            fields.push(("name", Value::from(name.clone())));
+            fields.push(("mdes", Value::from(mdes.clone())));
+            fields.push(("subsumed", Value::Bool(*subsumed)));
+            fields.push(("wildcard", Value::Bool(*wildcard)));
+            if let Some(u) = work_budget {
+                fields.push(("work_budget", Value::from(*u)));
+            }
+        }
+        Request::Stats => {
+            fields.push(("req", Value::from("stats")));
+            fields.push(("id", Value::from(frame.id)));
+        }
+        Request::Shutdown => {
+            fields.push(("req", Value::from("shutdown")));
+            fields.push(("id", Value::from(frame.id)));
+        }
+    }
+    object(fields).to_string_compact()
+}
+
+/// The id of a frame whose body may be unusable: best-effort, `0` when
+/// the line is not JSON or has no numeric `id`.
+pub fn frame_id(line: &str) -> u64 {
+    isax_json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_u64))
+        .unwrap_or(0)
+}
+
+/// Decodes a request line.
+///
+/// # Errors
+///
+/// [`ErrorCode::MalformedFrame`] for non-JSON, [`ErrorCode::BadRequest`]
+/// for JSON that is not a request. Never panics, whatever the bytes.
+pub fn decode_request(line: &str) -> Result<Frame, WireError> {
+    let v = isax_json::parse(line)
+        .map_err(|e| WireError::new(ErrorCode::MalformedFrame, e.to_string()))?;
+    if v.as_object().is_none() {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "frame is not a JSON object",
+        ));
+    }
+    let id = opt_u64(&v, "id").unwrap_or(0);
+    let req = v
+        .get("req")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "missing `req` field"))?;
+    let request = match req {
+        "customize" => Request::Customize {
+            kernel: req_str(&v, "kernel")?,
+            name: req_str(&v, "name")?,
+            budget: v.get("budget").and_then(Value::as_f64).unwrap_or(15.0),
+            multifunction: opt_bool(&v, "multifunction", false),
+            work_budget: opt_u64(&v, "work_budget"),
+        },
+        "compile" => Request::Compile {
+            kernel: req_str(&v, "kernel")?,
+            name: req_str(&v, "name")?,
+            mdes: req_str(&v, "mdes")?,
+            subsumed: opt_bool(&v, "subsumed", false),
+            wildcard: opt_bool(&v, "wildcard", false),
+            work_budget: opt_u64(&v, "work_budget"),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("unknown request `{other}`"),
+            ))
+        }
+    };
+    Ok(Frame { id, request })
+}
+
+fn artifacts_to_value(a: &Artifacts) -> Value {
+    let mut fields: Vec<(&'static str, Value)> = Vec::new();
+    if let Some(s) = &a.mdes {
+        fields.push(("mdes", Value::from(s.clone())));
+    }
+    if let Some(s) = &a.assembly {
+        fields.push(("assembly", Value::from(s.clone())));
+    }
+    if let Some(s) = &a.prov {
+        fields.push(("prov", Value::from(s.clone())));
+    }
+    if let Some(n) = a.baseline_cycles {
+        fields.push(("baseline_cycles", Value::from(n)));
+    }
+    if let Some(n) = a.custom_cycles {
+        fields.push(("custom_cycles", Value::from(n)));
+    }
+    fields.push((
+        "degraded",
+        Value::Array(a.degraded.iter().cloned().map(Value::from).collect()),
+    ));
+    object(fields)
+}
+
+fn artifacts_from_value(v: &Value) -> Result<Artifacts, WireError> {
+    let degraded = v
+        .get("degraded")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|d| {
+            d.as_str().map(str::to_string).ok_or_else(|| {
+                WireError::new(ErrorCode::BadRequest, "non-string degradation entry")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let s = |key: &str| v.get(key).and_then(Value::as_str).map(str::to_string);
+    Ok(Artifacts {
+        mdes: s("mdes"),
+        assembly: s("assembly"),
+        prov: s("prov"),
+        baseline_cycles: opt_u64(v, "baseline_cycles"),
+        custom_cycles: opt_u64(v, "custom_cycles"),
+        degraded,
+    })
+}
+
+/// Encodes a response frame as one line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    let v = match &resp.reply {
+        Reply::Artifacts { cached, artifacts } => object([
+            ("id", Value::from(resp.id)),
+            ("ok", Value::Bool(true)),
+            ("cached", Value::Bool(*cached)),
+            ("artifacts", artifacts_to_value(artifacts)),
+        ]),
+        Reply::Stats(stats) => object([
+            ("id", Value::from(resp.id)),
+            ("ok", Value::Bool(true)),
+            ("stats", stats.clone()),
+        ]),
+        Reply::Shutdown => object([
+            ("id", Value::from(resp.id)),
+            ("ok", Value::Bool(true)),
+            ("shutdown", Value::Bool(true)),
+        ]),
+        Reply::Error(e) => object([
+            ("id", Value::from(resp.id)),
+            ("ok", Value::Bool(false)),
+            (
+                "error",
+                object([
+                    ("code", Value::from(e.code.as_str())),
+                    ("message", Value::from(e.message.clone())),
+                ]),
+            ),
+        ]),
+    };
+    v.to_string_compact()
+}
+
+/// Decodes a response line.
+///
+/// # Errors
+///
+/// [`ErrorCode::MalformedFrame`] / [`ErrorCode::BadRequest`] exactly as
+/// [`decode_request`]; never panics.
+pub fn decode_response(line: &str) -> Result<Response, WireError> {
+    let v = isax_json::parse(line)
+        .map_err(|e| WireError::new(ErrorCode::MalformedFrame, e.to_string()))?;
+    if v.as_object().is_none() {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "frame is not a JSON object",
+        ));
+    }
+    let id = opt_u64(&v, "id").unwrap_or(0);
+    let ok = v
+        .get("ok")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "missing `ok` field"))?;
+    let reply = if !ok {
+        let e = v
+            .get("error")
+            .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "error response without body"))?;
+        let code = e
+            .get("code")
+            .and_then(Value::as_str)
+            .and_then(ErrorCode::parse)
+            .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "unknown error code"))?;
+        Reply::Error(WireError::new(
+            code,
+            e.get("message").and_then(Value::as_str).unwrap_or(""),
+        ))
+    } else if let Some(a) = v.get("artifacts") {
+        Reply::Artifacts {
+            cached: opt_bool(&v, "cached", false),
+            artifacts: artifacts_from_value(a)?,
+        }
+    } else if let Some(s) = v.get("stats") {
+        Reply::Stats(s.clone())
+    } else if opt_bool(&v, "shutdown", false) {
+        Reply::Shutdown
+    } else {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "ok response without a recognized payload",
+        ));
+    };
+    Ok(Response { id, reply })
+}

@@ -1,0 +1,795 @@
+//! The threaded job server.
+//!
+//! One accept thread hands each connection to a connection thread; work
+//! requests (`customize`/`compile`) flow through a **bounded queue**
+//! onto a fixed pool of worker threads, while control requests
+//! (`stats`/`shutdown`) are answered inline on the connection thread so
+//! a saturated server stays observable and stoppable. A full queue is
+//! backpressure: the request is rejected immediately with a `busy`
+//! error rather than buffered without bound.
+//!
+//! **Admission control** is an isax-guard budget: when
+//! [`ServeConfig::max_work_units`] is set, every admitted request runs
+//! under `Guard::with_units(min(requested, cap))` — no single request
+//! can exceed the server's per-request compute allowance; it degrades
+//! gracefully (sound prefix + `Degradation` records in the response)
+//! instead of monopolizing a worker.
+//!
+//! **Determinism**: each worker runs the same [`isax::Customizer`]
+//! pipeline the CLI runs, over the same shared context; inner pipeline
+//! stages still fan out through `isax_graph::par` exactly as in the
+//! one-shot CLI, so every artifact byte matches the serial CLI output
+//! (`tests/serve.rs` proves this). Provenance recording is enabled for
+//! the server's whole lifetime — per-request logs ride on stage return
+//! values, so concurrent requests never interleave.
+
+use crate::cache::{kernel_fingerprint, ArtifactCache, CacheKey, ConfigHasher};
+use crate::protocol::{
+    decode_request, encode_response, frame_id, Artifacts, ErrorCode, Frame, Reply, Request,
+    Response, WireError, MAX_FRAME_BYTES,
+};
+use isax::{Customizer, MatchMode, MatchOptions, Mdes, SharedContext};
+use isax_json::{object, Value};
+use isax_trace::EnvMode;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Parses `ISAX_SERVE_STATS` with the shared observability grammar
+/// (re-exported from `isax-trace`, the same table `ISAX_TRACE` and
+/// `ISAX_PROV` use): off values disable the shutdown stats dump,
+/// summary values print one line to stderr, anything else is a path the
+/// final stats JSON is written to.
+pub fn stats_mode() -> EnvMode {
+    match std::env::var("ISAX_SERVE_STATS") {
+        Ok(v) => isax_trace::parse_env_value(&v),
+        Err(_) => EnvMode::Off,
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads draining the queue. Defaults to
+    /// `isax_graph::par::thread_count()` (the `ISAX_THREADS` pool
+    /// width).
+    pub workers: usize,
+    /// Bounded-queue capacity; a full queue rejects with `busy`.
+    pub queue_cap: usize,
+    /// Per-request admission cap in isax-guard work units: requests run
+    /// under `min(requested, cap)`; `None` admits ungoverned requests
+    /// as-is.
+    pub max_work_units: Option<u64>,
+    /// Per-frame byte cap (requests over this get `oversized-frame`).
+    pub max_frame_bytes: usize,
+    /// What to do with final stats at shutdown (`ISAX_SERVE_STATS`).
+    pub stats: EnvMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: isax_graph::par::thread_count(),
+            queue_cap: 64,
+            max_work_units: None,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            stats: stats_mode(),
+        }
+    }
+}
+
+/// One stage's latency aggregate, in microseconds.
+#[derive(Debug, Default, Clone, Copy)]
+struct LatencyAgg {
+    sum_us: u64,
+    count: u64,
+    max_us: u64,
+}
+
+impl LatencyAgg {
+    fn add(&mut self, us: u64) {
+        self.sum_us += us;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    fn to_value(self) -> Value {
+        object([
+            ("sum_us", Value::from(self.sum_us)),
+            ("count", Value::from(self.count)),
+            ("max_us", Value::from(self.max_us)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsAgg {
+    stages: BTreeMap<&'static str, LatencyAgg>,
+}
+
+struct Job {
+    frame: Frame,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    ctx: Arc<SharedContext>,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    cache: ArtifactCache,
+    stats: Mutex<StatsAgg>,
+    received: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    busy_rejected: AtomicU64,
+    clamped: AtomicU64,
+    recorder: Option<Arc<isax_trace::Recorder>>,
+}
+
+impl Shared {
+    fn record_stage(&self, stage: &'static str, us: u64) {
+        self.stats
+            .lock()
+            .expect("stats lock")
+            .stages
+            .entry(stage)
+            .or_default()
+            .add(us);
+    }
+
+    /// The live statistics snapshot the `stats` request returns.
+    fn stats_value(&self) -> Value {
+        let queue_depth = self.queue.lock().expect("queue lock").len();
+        let latency: Vec<(String, Value)> = self
+            .stats
+            .lock()
+            .expect("stats lock")
+            .stages
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.to_value()))
+            .collect();
+        let mut fields = vec![
+            (
+                "queue",
+                object([
+                    ("depth", Value::from(queue_depth as u64)),
+                    ("capacity", Value::from(self.cfg.queue_cap as u64)),
+                    ("workers", Value::from(self.cfg.workers as u64)),
+                ]),
+            ),
+            (
+                "requests",
+                object([
+                    (
+                        "received",
+                        Value::from(self.received.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed",
+                        Value::from(self.completed.load(Ordering::Relaxed)),
+                    ),
+                    ("errors", Value::from(self.errors.load(Ordering::Relaxed))),
+                    (
+                        "busy_rejected",
+                        Value::from(self.busy_rejected.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                object([
+                    ("entries", Value::from(self.cache.len() as u64)),
+                    ("hits", Value::from(self.cache.hits())),
+                    ("misses", Value::from(self.cache.misses())),
+                    ("hit_rate", Value::Float(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "admission",
+                object([
+                    (
+                        "max_work_units",
+                        match self.cfg.max_work_units {
+                            Some(u) => Value::from(u),
+                            None => Value::Null,
+                        },
+                    ),
+                    (
+                        "clamped_requests",
+                        Value::from(self.clamped.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("latency_us", object(latency)),
+        ];
+        if let Some(rec) = &self.recorder {
+            let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for e in rec.events() {
+                if let isax_trace::Event::Counter { name, value, .. } = e {
+                    *totals.entry(name).or_default() += value;
+                }
+            }
+            fields.push((
+                "trace_counters",
+                object(
+                    totals
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Value::from(v))),
+                ),
+            ));
+        }
+        object(fields)
+    }
+
+    /// Clamps a requested work budget to the admission cap.
+    fn admit(&self, requested: Option<u64>) -> Option<u64> {
+        match (requested, self.cfg.max_work_units) {
+            (Some(r), Some(cap)) => {
+                if r > cap {
+                    self.clamped.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(r.min(cap))
+            }
+            (Some(r), None) => Some(r),
+            (None, Some(cap)) => Some(cap),
+            (None, None) => None,
+        }
+    }
+
+    /// Runs one admitted work request, mirroring the CLI code paths
+    /// byte for byte.
+    fn process(&self, frame: Frame) -> Response {
+        let id = frame.id;
+        match self.try_process(frame) {
+            Ok((cached, artifacts)) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    id,
+                    reply: Reply::Artifacts { cached, artifacts },
+                }
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    id,
+                    reply: Reply::Error(e),
+                }
+            }
+        }
+    }
+
+    fn try_process(&self, frame: Frame) -> Result<(bool, Artifacts), WireError> {
+        match frame.request {
+            Request::Customize {
+                kernel,
+                name,
+                budget,
+                multifunction,
+                work_budget,
+            } => {
+                let t = Instant::now();
+                let program = isax_ir::parse_program(&kernel)
+                    .map_err(|e| WireError::new(ErrorCode::ParseError, e.to_string()))?;
+                self.record_stage("parse", t.elapsed().as_micros() as u64);
+                let admitted = self.admit(work_budget);
+                let key = CacheKey {
+                    kernel: kernel_fingerprint(&program),
+                    config: ConfigHasher::new("customize")
+                        .field("name", name.as_bytes())
+                        .f64("budget", budget)
+                        .bool("multifunction", multifunction)
+                        .u64("work_units", admitted.unwrap_or(u64::MAX))
+                        .finish(),
+                };
+                if let Some(hit) = self.cache.lookup(key) {
+                    return Ok((true, (*hit).clone()));
+                }
+                let mut cz = Customizer::with_context(self.ctx.clone());
+                if let Some(u) = admitted {
+                    cz.guard = cz.guard.clone().with_units(u);
+                }
+                let t = Instant::now();
+                let analysis = cz.analyze(&program);
+                self.record_stage("analyze", t.elapsed().as_micros() as u64);
+                let t = Instant::now();
+                let (mdes, sel) = if multifunction {
+                    cz.select_multifunction(&name, &analysis, budget)
+                } else {
+                    cz.select(&name, &analysis, budget)
+                };
+                self.record_stage("select", t.elapsed().as_micros() as u64);
+                let mdes_json = mdes
+                    .to_json()
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                let mut plog = analysis.prov.clone();
+                plog.merge(sel.prov.clone());
+                let mut prov = isax::build_report(&name, &plog).to_string_pretty();
+                prov.push('\n');
+                let degraded = analysis
+                    .degradations
+                    .iter()
+                    .chain(sel.degradations.iter())
+                    .map(ToString::to_string)
+                    .collect();
+                let artifacts = Artifacts {
+                    mdes: Some(mdes_json),
+                    prov: Some(prov),
+                    degraded,
+                    ..Artifacts::default()
+                };
+                Ok((false, (*self.cache.insert(key, artifacts)).clone()))
+            }
+            Request::Compile {
+                kernel,
+                name,
+                mdes,
+                subsumed,
+                wildcard,
+                work_budget,
+            } => {
+                let t = Instant::now();
+                let program = isax_ir::parse_program(&kernel)
+                    .map_err(|e| WireError::new(ErrorCode::ParseError, e.to_string()))?;
+                self.record_stage("parse", t.elapsed().as_micros() as u64);
+                let parsed_mdes = Mdes::from_json(&mdes)
+                    .map_err(|e| WireError::new(ErrorCode::BadMdes, e.to_string()))?;
+                let admitted = self.admit(work_budget);
+                let key = CacheKey {
+                    kernel: kernel_fingerprint(&program),
+                    config: ConfigHasher::new("compile")
+                        .field("name", name.as_bytes())
+                        .field("mdes", mdes.as_bytes())
+                        .bool("subsumed", subsumed)
+                        .bool("wildcard", wildcard)
+                        .u64("work_units", admitted.unwrap_or(u64::MAX))
+                        .finish(),
+                };
+                if let Some(hit) = self.cache.lookup(key) {
+                    return Ok((true, (*hit).clone()));
+                }
+                let mut cz = Customizer::with_context(self.ctx.clone());
+                if let Some(u) = admitted {
+                    cz.guard = cz.guard.clone().with_units(u);
+                }
+                let matching = MatchOptions {
+                    mode: if wildcard {
+                        MatchMode::Wildcard
+                    } else {
+                        MatchMode::Exact
+                    },
+                    allow_subsumed: subsumed,
+                };
+                let t = Instant::now();
+                let ev = cz.evaluate(&program, &parsed_mdes, matching);
+                self.record_stage("evaluate", t.elapsed().as_micros() as u64);
+                let assembly: String = ev
+                    .compiled
+                    .program
+                    .functions
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                let mut prov = isax::build_report(&name, &ev.compiled.prov).to_string_pretty();
+                prov.push('\n');
+                let artifacts = Artifacts {
+                    assembly: Some(assembly),
+                    prov: Some(prov),
+                    baseline_cycles: Some(ev.baseline_cycles),
+                    custom_cycles: Some(ev.custom_cycles),
+                    degraded: ev
+                        .compiled
+                        .degradations
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect(),
+                    ..Artifacts::default()
+                };
+                Ok((false, (*self.cache.insert(key, artifacts)).clone()))
+            }
+            // Control requests never reach the queue.
+            Request::Stats | Request::Shutdown => Err(WireError::new(
+                ErrorCode::BadRequest,
+                "control request on the work queue",
+            )),
+        }
+    }
+}
+
+/// A running server. Dropping it initiates shutdown and joins every
+/// thread the server owns.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    // Provenance recording stays on for the server's lifetime so worker
+    // threads never race an enable/disable edge mid-request.
+    _prov: isax_prov::EnableGuard,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn spawn(cfg: ServeConfig) -> std::io::Result<Server> {
+        Server::spawn_with_context(cfg, Arc::new(SharedContext::new()))
+    }
+
+    /// [`Server::spawn`] over a caller-built shared context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn spawn_with_context(
+        cfg: ServeConfig,
+        ctx: Arc<SharedContext>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let recorder = match cfg.stats {
+            EnvMode::Off => None,
+            _ => Some(isax_trace::Recorder::install()),
+        };
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            ctx,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ArtifactCache::new(),
+            stats: Mutex::new(StatsAgg::default()),
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            clamped: AtomicU64::new(0),
+            recorder,
+        });
+        let workers = (0..workers_n)
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let accept = {
+            let sh = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &sh))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            _prov: isax_prov::enable(),
+        })
+    }
+
+    /// The bound address (read the port from here when binding to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A host-side statistics snapshot (same document the `stats`
+    /// request returns).
+    pub fn stats_value(&self) -> Value {
+        self.shared.stats_value()
+    }
+
+    /// Asks the server to stop: no new work is admitted, queued work
+    /// drains, the accept loop wakes and exits.
+    pub fn initiate_shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the server has fully stopped (accept loop and every
+    /// worker joined), then delivers the final stats per
+    /// [`ServeConfig::stats`].
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Initiates shutdown and waits for it to complete.
+    pub fn shutdown(self) {
+        self.initiate_shutdown();
+        self.join();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+            // Accept loop exit implies the shutdown flag is set; wake
+            // and join the workers, then deliver final stats.
+            self.shared.queue_cv.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+            let stats = self.shared.stats_value();
+            match &self.shared.cfg.stats {
+                EnvMode::Off => {}
+                EnvMode::Summary => {
+                    eprintln!(
+                        "isax serve: {} completed, {} errors, cache hit rate {:.2}",
+                        stats
+                            .get("requests")
+                            .and_then(|r| r.get("completed"))
+                            .and_then(Value::as_u64)
+                            .unwrap_or(0),
+                        stats
+                            .get("requests")
+                            .and_then(|r| r.get("errors"))
+                            .and_then(Value::as_u64)
+                            .unwrap_or(0),
+                        stats
+                            .get("cache")
+                            .and_then(|c| c.get("hit_rate"))
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0),
+                    );
+                }
+                EnvMode::Path(p) => {
+                    let mut text = stats.to_string_pretty();
+                    text.push('\n');
+                    if let Err(e) = std::fs::write(p, text) {
+                        eprintln!("isax serve: could not write stats to {p}: {e}");
+                    }
+                }
+            }
+            if self.shared.recorder.is_some() {
+                isax_trace::uninstall();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.initiate_shutdown();
+        self.join_inner();
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    // Wake the accept loop: it checks the flag after every accept, so a
+    // throwaway local connection gets it to exit.
+    let _ = TcpStream::connect(addr);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).expect("queue wait");
+            }
+        };
+        let Some(job) = job else { return };
+        let resp = shared.process(job.frame);
+        // A closed reply channel means the client hung up; the work
+        // (and its cache entry) is still done.
+        let _ = job.reply.send(encode_response(&resp));
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let sh = shared.clone();
+                std::thread::spawn(move || connection_loop(stream, &sh));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What reading one frame produced.
+enum FrameRead {
+    /// A complete line (without the `\n`).
+    Line(String),
+    /// The line exceeded the frame cap; the rest was discarded.
+    Oversized,
+    /// The stream ended mid-line.
+    Truncated,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated frame with a byte cap. On overflow the
+/// remainder of the line is discarded so the connection can keep
+/// serving subsequent frames.
+fn read_frame(reader: &mut BufReader<TcpStream>, cap: usize) -> std::io::Result<FrameRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if oversized {
+                FrameRead::Oversized
+            } else if line.is_empty() {
+                FrameRead::Eof
+            } else {
+                FrameRead::Truncated
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if !oversized {
+            let body = newline.map_or(take, |i| i);
+            if line.len() + body > cap {
+                oversized = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..body]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if oversized {
+                FrameRead::Oversized
+            } else {
+                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(FrameRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                shared.received.fetch_add(1, Ordering::Relaxed);
+                match decode_request(&line) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        if respond(&mut writer, frame_id(&line), Reply::Error(e)).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+            Ok(FrameRead::Oversized) => {
+                shared.received.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let e = WireError::new(
+                    ErrorCode::OversizedFrame,
+                    format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+                );
+                if respond(&mut writer, 0, Reply::Error(e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::Truncated) => {
+                shared.received.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let e = WireError::new(ErrorCode::TruncatedFrame, "stream ended mid-frame");
+                let _ = respond(&mut writer, 0, Reply::Error(e));
+                return;
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
+        match frame.request {
+            Request::Stats => {
+                self_completed(shared);
+                if respond(&mut writer, frame.id, Reply::Stats(shared.stats_value())).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                self_completed(shared);
+                let _ = respond(&mut writer, frame.id, Reply::Shutdown);
+                // The accepted socket's local address is the listener's
+                // address, which the shutdown self-connect needs.
+                let addr = writer
+                    .local_addr()
+                    .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)));
+                initiate_shutdown(shared, addr);
+                return;
+            }
+            _ => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let e = WireError::new(ErrorCode::ShuttingDown, "server is shutting down");
+                    if respond(&mut writer, frame.id, Reply::Error(e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel();
+                let enqueued = {
+                    let mut q = shared.queue.lock().expect("queue lock");
+                    if q.len() >= shared.cfg.queue_cap {
+                        false
+                    } else {
+                        q.push_back(Job {
+                            frame: Frame {
+                                id: frame.id,
+                                request: frame.request,
+                            },
+                            reply: tx,
+                        });
+                        true
+                    }
+                };
+                if !enqueued {
+                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let e = WireError::new(ErrorCode::Busy, "work queue is full");
+                    if respond(&mut writer, frame.id, Reply::Error(e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                shared.queue_cv.notify_one();
+                match rx.recv() {
+                    Ok(line) => {
+                        if write_line(&mut writer, &line).is_err() {
+                            return;
+                        }
+                    }
+                    // Worker pool went away mid-request (shutdown race).
+                    Err(_) => {
+                        let e = WireError::new(ErrorCode::ShuttingDown, "server stopped");
+                        let _ = respond(&mut writer, frame.id, Reply::Error(e));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn self_completed(shared: &Arc<Shared>) {
+    shared.received.fetch_add(1, Ordering::Relaxed);
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn respond(writer: &mut TcpStream, id: u64, reply: Reply) -> std::io::Result<()> {
+    write_line(writer, &encode_response(&Response { id, reply }))
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -394,10 +394,12 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// How an observability environment variable was set. This is the same
-/// three-way table `isax-prov` applies to `ISAX_PROV` (`isax-trace` is
-/// dependency-free, so the table is duplicated; a shared test in
-/// `tests/prov.rs` keeps the two crates in agreement).
+/// How an observability environment variable was set. This is the one
+/// canonical three-way table for every `ISAX_*` observability variable:
+/// `isax-trace` applies it to `ISAX_TRACE`, `isax-prov` re-exports it
+/// for `ISAX_PROV`, and `isax-serve` re-exports it for
+/// `ISAX_SERVE_STATS` (`isax-trace` is dependency-free, so it is the
+/// natural home).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EnvMode {
     /// Explicitly or implicitly disabled: empty, `0`, `off`, `false`,

@@ -1,0 +1,486 @@
+//! The serve-vs-CLI differential suite.
+//!
+//! `isax serve` claims that a concurrent, cached, long-running server
+//! returns **byte-identical artifacts** to the one-shot serial CLI.
+//! This suite is that claim's proof:
+//!
+//! * for every paper workload and every curated kernel, the MDES,
+//!   provenance report and customized assembly served by a 4-client
+//!   concurrent server equal the bytes `isax customize` / `isax
+//!   compile` write for the same request;
+//! * a cold miss and the warm hit that follows return identical bytes
+//!   (and the hit is actually served from cache);
+//! * malformed, oversized and truncated frames produce structured
+//!   errors and never kill the server;
+//! * budget-exhausted requests degrade exactly like the governed CLI —
+//!   sound artifacts plus intact `Degradation` records.
+//!
+//! Tests share one process, and the server enables the global
+//! provenance flag for its lifetime, so every test serializes on
+//! `TEST_LOCK` (the same discipline as `tests/trace.rs`).
+
+use isax_serve::{Client, EnvMode, ErrorCode, Reply, Request, ServeConfig, Server};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// The CLI's `--emit` text form: functions in the `Display` assembly
+/// format, joined by blank separators.
+fn program_text(p: &isax_ir::Program) -> String {
+    p.functions
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Every paper workload plus every curated kernel, as (name, source).
+fn corpus() -> Vec<(String, String)> {
+    let mut kernels: Vec<(String, String)> = isax_workloads::all()
+        .into_iter()
+        .map(|w| (w.name.to_string(), program_text(&w.program)))
+        .collect();
+    for k in isax_gen::curated() {
+        kernels.push((k.name.to_string(), (k.text)()));
+    }
+    kernels
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("isax-serve-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// What the serial CLI produces for one kernel at one configuration.
+struct CliRef {
+    mdes: String,
+    customize_prov: String,
+    assembly: String,
+    compile_prov: String,
+}
+
+/// Runs `isax customize` then `isax compile --emit` through the CLI
+/// library (the exact code path of the binary) and collects the four
+/// artifacts' bytes.
+fn cli_reference(dir: &Path, name: &str, text: &str, budget: f64, work: Option<u64>) -> CliRef {
+    let kernel = dir.join(format!("{name}.isax"));
+    let mdes_path = dir.join(format!("{name}.mdes.json"));
+    let cprov_path = dir.join(format!("{name}.customize.prov.json"));
+    let asm_path = dir.join(format!("{name}.out.isax"));
+    let kprov_path = dir.join(format!("{name}.compile.prov.json"));
+    std::fs::write(&kernel, text).unwrap();
+    let mut out = Vec::new();
+    isax_cli::execute(
+        &isax_cli::Command::Customize {
+            file: kernel.display().to_string(),
+            budget,
+            name: name.into(),
+            out: Some(mdes_path.display().to_string()),
+            multifunction: false,
+            check: false,
+            trace_out: None,
+            work_budget: work,
+            prov_out: Some(cprov_path.display().to_string()),
+            beam_width: None,
+            width_aware: false,
+        },
+        &mut out,
+    )
+    .expect("CLI customize succeeds");
+    isax_cli::execute(
+        &isax_cli::Command::Compile {
+            file: kernel.display().to_string(),
+            mdes: mdes_path.display().to_string(),
+            subsumed: false,
+            wildcard: false,
+            emit: Some(asm_path.display().to_string()),
+            check: false,
+            trace_out: None,
+            work_budget: work,
+            prov_out: Some(kprov_path.display().to_string()),
+        },
+        &mut out,
+    )
+    .expect("CLI compile succeeds");
+    CliRef {
+        mdes: std::fs::read_to_string(&mdes_path).unwrap(),
+        customize_prov: std::fs::read_to_string(&cprov_path).unwrap(),
+        assembly: std::fs::read_to_string(&asm_path).unwrap(),
+        compile_prov: std::fs::read_to_string(&kprov_path).unwrap(),
+    }
+}
+
+fn customize_request(name: &str, text: &str, work: Option<u64>) -> Request {
+    Request::Customize {
+        kernel: text.to_string(),
+        name: name.to_string(),
+        budget: 15.0,
+        multifunction: false,
+        work_budget: work,
+    }
+}
+
+fn compile_request(name: &str, text: &str, mdes: &str, work: Option<u64>) -> Request {
+    Request::Compile {
+        kernel: text.to_string(),
+        name: name.to_string(),
+        mdes: mdes.to_string(),
+        subsumed: false,
+        wildcard: false,
+        work_budget: work,
+    }
+}
+
+/// The headline test: 4 concurrent clients sweep every paper + curated
+/// kernel through a shared server; every artifact byte must equal the
+/// serial CLI's, cold misses must fill the cache, and warm hits (served
+/// to *different* clients) must be byte-identical to the cold copies.
+#[test]
+fn concurrent_server_matches_serial_cli_on_all_kernels() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let dir = scratch_dir("diff");
+    let kernels = corpus();
+    assert!(kernels.len() >= 19, "13 paper + 6 curated kernels");
+
+    // Phase 1: serial CLI references (the provenance enable guard
+    // inside the CLI must not overlap the server's, so all CLI work
+    // happens before the server starts).
+    let refs: Vec<CliRef> = kernels
+        .iter()
+        .map(|(name, text)| cli_reference(&dir, name, text, 15.0, None))
+        .collect();
+
+    // Phase 2: one server, 4 concurrent clients, each client owns a
+    // quarter of the corpus (cold), then re-requests a *different*
+    // client's quarter (warm).
+    let server = Server::spawn(ServeConfig {
+        workers: 4,
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr();
+    let n_clients = 4;
+    std::thread::scope(|scope| {
+        let kernels = &kernels;
+        let refs = &refs;
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    // Cold pass over this client's quarter.
+                    for i in (c..kernels.len()).step_by(n_clients) {
+                        let (name, text) = &kernels[i];
+                        let (cached, art) = client
+                            .artifacts(customize_request(name, text, None))
+                            .unwrap_or_else(|e| panic!("{name}: customize failed: {e}"));
+                        assert!(!cached, "{name}: first customize must be a cold miss");
+                        assert_eq!(
+                            art.mdes.as_deref(),
+                            Some(refs[i].mdes.as_str()),
+                            "{name}: MDES differs from CLI"
+                        );
+                        assert_eq!(
+                            art.prov.as_deref(),
+                            Some(refs[i].customize_prov.as_str()),
+                            "{name}: customize prov report differs from CLI"
+                        );
+                        assert!(art.degraded.is_empty(), "{name}: ungoverned run degraded");
+                        let (cached, art) = client
+                            .artifacts(compile_request(name, text, &refs[i].mdes, None))
+                            .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+                        assert!(!cached, "{name}: first compile must be a cold miss");
+                        assert_eq!(
+                            art.assembly.as_deref(),
+                            Some(refs[i].assembly.as_str()),
+                            "{name}: assembly differs from CLI"
+                        );
+                        assert_eq!(
+                            art.prov.as_deref(),
+                            Some(refs[i].compile_prov.as_str()),
+                            "{name}: compile prov report differs from CLI"
+                        );
+                        assert!(art.baseline_cycles.is_some() && art.custom_cycles.is_some());
+                    }
+                    (c, client)
+                })
+            })
+            .collect();
+        let mut clients: Vec<(usize, Client)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Warm pass: each client replays the next client's quarter.
+        for (c, client) in clients.iter_mut() {
+            let c = (*c + 1) % n_clients;
+            for i in (c..kernels.len()).step_by(n_clients) {
+                let (name, text) = &kernels[i];
+                let (cached, art) = client
+                    .artifacts(customize_request(name, text, None))
+                    .unwrap_or_else(|e| panic!("{name}: warm customize failed: {e}"));
+                assert!(cached, "{name}: repeat customize must hit the cache");
+                assert_eq!(
+                    art.mdes.as_deref(),
+                    Some(refs[i].mdes.as_str()),
+                    "{name}: warm MDES differs from cold/CLI"
+                );
+                assert_eq!(art.prov.as_deref(), Some(refs[i].customize_prov.as_str()));
+            }
+        }
+    });
+
+    // Phase 3: stats reflect the workload, then graceful shutdown.
+    let mut client = Client::connect(addr).expect("stats client connects");
+    let resp = client.request(Request::Stats).expect("stats succeeds");
+    let Reply::Stats(stats) = resp.reply else {
+        panic!("expected stats reply, got {:?}", resp.reply);
+    };
+    let cache = stats.get("cache").expect("stats.cache");
+    assert_eq!(
+        cache.get("entries").and_then(|v| v.as_u64()),
+        Some(2 * kernels.len() as u64),
+        "one customize + one compile entry per kernel"
+    );
+    let hits = cache.get("hits").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(hits, kernels.len() as u64, "one warm hit per kernel");
+    assert!(cache.get("hit_rate").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    let requests = stats.get("requests").expect("stats.requests");
+    assert_eq!(requests.get("errors").and_then(|v| v.as_u64()), Some(0));
+    assert!(stats.get("queue").and_then(|q| q.get("depth")).is_some());
+    assert!(
+        stats
+            .get("latency_us")
+            .and_then(|l| l.get("analyze"))
+            .and_then(|a| a.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            >= kernels.len() as u64,
+        "per-stage latency must cover every cold analyze"
+    );
+    let resp = client.request(Request::Shutdown).expect("shutdown ack");
+    assert_eq!(resp.reply, Reply::Shutdown);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed, unknown, oversized and truncated frames each produce a
+/// structured error — and the server keeps serving real work after
+/// every one of them.
+#[test]
+fn protocol_errors_are_structured_and_nonfatal() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        max_frame_bytes: 64 * 1024,
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let expect_error = |resp: Result<isax_serve::Response, isax_serve::WireError>,
+                        code: ErrorCode| {
+        let resp = resp.expect("transport survives");
+        match resp.reply {
+            Reply::Error(e) => assert_eq!(e.code, code, "unexpected error: {e}"),
+            other => panic!("expected {code:?} error, got {other:?}"),
+        }
+    };
+
+    // Not JSON at all.
+    expect_error(
+        client.send_raw("this is not json"),
+        ErrorCode::MalformedFrame,
+    );
+    // JSON, but not a request object.
+    expect_error(client.send_raw("[1,2,3]"), ErrorCode::BadRequest);
+    expect_error(client.send_raw("{\"id\":9}"), ErrorCode::BadRequest);
+    // Unknown request kind; the id still echoes back.
+    let resp = client
+        .send_raw("{\"req\":\"frobnicate\",\"id\":7}")
+        .expect("transport survives");
+    assert_eq!(resp.id, 7);
+    assert!(matches!(resp.reply, Reply::Error(ref e) if e.code == ErrorCode::BadRequest));
+    // Missing required fields.
+    expect_error(
+        client.send_raw("{\"req\":\"customize\",\"id\":1}"),
+        ErrorCode::BadRequest,
+    );
+    // Kernel text that is not IR.
+    expect_error(
+        client.request(Request::Customize {
+            kernel: "function { nope".into(),
+            name: "x".into(),
+            budget: 15.0,
+            multifunction: false,
+            work_budget: None,
+        }),
+        ErrorCode::ParseError,
+    );
+    // An MDES that is not an MDES.
+    expect_error(
+        client.request(Request::Compile {
+            kernel: corpus()[0].1.clone(),
+            name: "x".into(),
+            mdes: "{\"not\":\"an mdes\"}".into(),
+            subsumed: false,
+            wildcard: false,
+            work_budget: None,
+        }),
+        ErrorCode::BadMdes,
+    );
+    // A frame over the size cap (the connection keeps working after).
+    let huge = format!(
+        "{{\"req\":\"stats\",\"pad\":\"{}\"}}",
+        "x".repeat(80 * 1024)
+    );
+    expect_error(client.send_raw(&huge), ErrorCode::OversizedFrame);
+
+    // The same connection still serves real work after all that.
+    let (name, text) = &corpus()[0];
+    let (cached, art) = client
+        .artifacts(customize_request(name, text, None))
+        .expect("server still serves after protocol abuse");
+    assert!(!cached);
+    assert!(art.mdes.is_some() && art.prov.is_some());
+
+    // A truncated frame: bytes, then EOF with no newline.
+    let mut trunc = Client::connect(addr).unwrap();
+    trunc.write_bytes(b"{\"req\":\"stats\",\"id\":3").unwrap();
+    trunc.shutdown_write().unwrap();
+    let resp = trunc.read_response().expect("truncation error is sent");
+    assert!(matches!(resp.reply, Reply::Error(ref e) if e.code == ErrorCode::TruncatedFrame));
+
+    // And the server is *still* alive for other connections.
+    let mut last = Client::connect(addr).unwrap();
+    let resp = last.request(Request::Stats).expect("stats after abuse");
+    let Reply::Stats(stats) = resp.reply else {
+        panic!("expected stats");
+    };
+    let errors = stats
+        .get("requests")
+        .and_then(|r| r.get("errors"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(errors >= 8, "every abuse above is counted, got {errors}");
+    server.shutdown();
+}
+
+/// Budget-exhausted requests return sound degraded artifacts with the
+/// `Degradation` records intact — byte-identical to the governed CLI —
+/// whether the budget came from the client or from the server's
+/// admission cap.
+#[test]
+fn budget_exhausted_requests_degrade_like_the_cli() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let dir = scratch_dir("degrade");
+    // A paper kernel, governed so tightly exploration cannot finish.
+    let w = isax_workloads::by_name("crc").unwrap();
+    let text = program_text(&w.program);
+    let tight: u64 = 50;
+    let cli = cli_reference(&dir, "crc", &text, 15.0, Some(tight));
+
+    // Client-requested budget.
+    let server = Server::spawn(ServeConfig {
+        workers: 2,
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (_, art) = client
+        .artifacts(customize_request("crc", &text, Some(tight)))
+        .expect("governed customize succeeds");
+    assert_eq!(art.mdes.as_deref(), Some(cli.mdes.as_str()));
+    assert_eq!(art.prov.as_deref(), Some(cli.customize_prov.as_str()));
+    assert!(
+        !art.degraded.is_empty(),
+        "50 units cannot finish exploration; Degradation records must survive"
+    );
+    for d in &art.degraded {
+        assert!(
+            d.contains("work budget") || d.contains("exhausted") || d.contains("budget"),
+            "degradation record should describe the truncation: {d}"
+        );
+    }
+    let (_, art) = client
+        .artifacts(compile_request("crc", &text, &cli.mdes, Some(tight)))
+        .expect("governed compile succeeds");
+    assert_eq!(art.assembly.as_deref(), Some(cli.assembly.as_str()));
+    assert_eq!(art.prov.as_deref(), Some(cli.compile_prov.as_str()));
+    server.shutdown();
+
+    // Server-side admission cap: an *unbudgeted* request is clamped to
+    // the cap and produces the same bytes as the capped CLI run.
+    let server = Server::spawn(ServeConfig {
+        workers: 2,
+        max_work_units: Some(tight),
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (_, art) = client
+        .artifacts(customize_request("crc", &text, None))
+        .expect("admission-capped customize succeeds");
+    assert_eq!(
+        art.mdes.as_deref(),
+        Some(cli.mdes.as_str()),
+        "admission cap must equal an explicit client budget"
+    );
+    assert!(!art.degraded.is_empty());
+    // A request asking for *more* than the cap is clamped down to it.
+    let (cached, art) = client
+        .artifacts(customize_request("crc", &text, Some(tight * 1000)))
+        .expect("over-cap request is admitted clamped");
+    assert!(cached, "clamped request shares the capped cache entry");
+    assert_eq!(art.mdes.as_deref(), Some(cli.mdes.as_str()));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A zero-capacity queue rejects work with `busy` (backpressure is an
+/// explicit structured error, not a hang), while control requests keep
+/// flowing; and `ISAX_SERVE_STATS=PATH` semantics write the final stats
+/// document at shutdown.
+#[test]
+fn backpressure_and_stats_sink() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let dir = scratch_dir("stats");
+    let stats_path = dir.join("serve_stats.json");
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 0,
+        stats: EnvMode::Path(stats_path.display().to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (name, text) = &corpus()[0];
+    let err = client
+        .artifacts(customize_request(name, text, None))
+        .expect_err("zero-capacity queue must reject work");
+    assert_eq!(err.code, ErrorCode::Busy);
+    // Control plane still answers while the data plane is saturated.
+    let resp = client.request(Request::Stats).expect("stats still served");
+    let Reply::Stats(stats) = resp.reply else {
+        panic!("expected stats");
+    };
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("busy_rejected"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    server.shutdown();
+    let text = std::fs::read_to_string(&stats_path).expect("final stats written at shutdown");
+    let doc = isax_json::parse(&text).expect("stats file is valid JSON");
+    assert!(
+        doc.get("trace_counters").is_some(),
+        "recorder was installed"
+    );
+    assert!(doc.get("cache").is_some() && doc.get("queue").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
