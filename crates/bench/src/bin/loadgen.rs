@@ -4,11 +4,15 @@
 //! Each client replays the corpus `ISAX_LOADGEN_ROUNDS` times (so every
 //! round after a kernel's first service is a content-addressed cache
 //! hit), measuring client-side latency per request. Writes
-//! `BENCH_serve.json` with throughput, p50/p99 latency, the cache hit
-//! rate, and the same `oversubscribed` flag `BENCH_pipeline.json`
-//! carries — on a host where workers outnumber CPUs the throughput
-//! numbers demonstrate determinism and caching, not parallel scaling,
-//! and the report says so.
+//! `BENCH_serve.json` with throughput, histogram-derived
+//! p50/p90/p99/p999 latency, the full client-latency and server
+//! queue-wait histograms, the cache hit rate, and the same
+//! `oversubscribed` flag `BENCH_pipeline.json` carries — on a host
+//! where workers outnumber CPUs the throughput numbers demonstrate
+//! determinism and caching, not parallel scaling, and the report says
+//! so. Percentiles come from the mergeable log-bucketed
+//! [`isax_trace::Hist`]; the exact sorted samples are kept only to
+//! assert the histogram's documented error bound on every run.
 //!
 //! Knobs (all optional):
 //!
@@ -17,7 +21,9 @@
 //! * `ISAX_LOADGEN_KERNELS` — corpus prefix length (default: all).
 //!
 //! Sanity gates (exit status is the CI signal): zero request errors,
-//! and a cache hit rate within tolerance of the blessed baseline in
+//! zero uncounted requests (`received == completed + Σ per-code
+//! errors`), the histogram quantile bound against exact-sort, and a
+//! cache hit rate within tolerance of the blessed baseline in
 //! `results/loadgen_baseline.json`. Re-bless an intentional change with
 //! `ISAX_BLESS=1 loadgen` and commit the new baseline.
 
@@ -26,6 +32,8 @@
 use isax_bench::{extended_corpus, host_cpus, oversubscribed, HEADLINE_BUDGET};
 use isax_graph::par::thread_count;
 use isax_serve::{Client, EnvMode, Request, ServeConfig, Server};
+use isax_trace::hist::{ABS_ERR_SLACK, REL_ERR_BOUND_E9};
+use isax_trace::Hist;
 use std::time::Instant;
 
 const BASELINE: &str = "results/loadgen_baseline.json";
@@ -50,6 +58,50 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
     sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Renders a histogram as JSON: exact aggregates plus the non-empty
+/// buckets as `{lo, hi, count}` (hi is the exclusive upper boundary).
+fn hist_json(h: &Hist) -> isax_json::Value {
+    let buckets: Vec<isax_json::Value> = h
+        .nonzero_buckets()
+        .map(|(idx, count)| {
+            isax_json::object([
+                (
+                    "lo",
+                    isax_json::Value::from(isax_trace::hist::bucket_lower(idx)),
+                ),
+                ("hi", isax_trace::hist::bucket_upper(idx).into()),
+                ("count", count.into()),
+            ])
+        })
+        .collect();
+    isax_json::object([
+        ("count", isax_json::Value::from(h.count())),
+        ("sum", h.sum().into()),
+        ("min", h.min().into()),
+        ("max", h.max().into()),
+        ("buckets", isax_json::Value::Array(buckets)),
+    ])
+}
+
+/// Asserts the histogram estimate for quantile `q` agrees with the
+/// exact sorted value to within the documented bound — the same pure
+/// integer inequality `tests/hist.rs` proves by property testing.
+fn assert_quantile_bound(h: &Hist, sorted_us: &[u64], q: f64) {
+    let rank = isax_trace::hist::quantile_rank(q, sorted_us.len() as u64) as usize;
+    let exact = sorted_us[rank - 1];
+    let est = h.quantile(q);
+    assert!(
+        est <= exact,
+        "hist q{q}: estimate {est} exceeds exact {exact}"
+    );
+    let gap = u128::from(exact - est) * 1_000_000_000;
+    let allowed = u128::from(est) * REL_ERR_BOUND_E9 + ABS_ERR_SLACK * 1_000_000_000;
+    assert!(
+        gap <= allowed,
+        "hist q{q}: exact={exact} est={est} violates the relative-error bound"
+    );
 }
 
 fn main() {
@@ -135,7 +187,22 @@ fn main() {
     latencies.sort_unstable();
     let total_requests = latencies.len() as u64;
 
+    // Merge per-client histograms exactly as a sharded collector would;
+    // the merge algebra makes this equal to one big histogram.
+    let latency_hist = {
+        let mut h = Hist::new();
+        for (client_lat, _) in &per_client {
+            let mut shard = Hist::new();
+            for &us in client_lat {
+                shard.record(us);
+            }
+            h.merge(&shard);
+        }
+        h
+    };
+
     let stats = server.stats_value();
+    let server_hists = server.hists();
     server.shutdown();
     let cache = stats.get("cache").expect("stats.cache");
     let hit_rate = cache
@@ -165,8 +232,12 @@ fn main() {
             "throughput_rps",
             (total_requests as f64 / wall_s.max(1e-9)).into(),
         ),
-        ("p50_us", percentile(&latencies, 0.50).into()),
-        ("p99_us", percentile(&latencies, 0.99).into()),
+        ("p50_us", latency_hist.quantile(0.50).into()),
+        ("p90_us", latency_hist.quantile(0.90).into()),
+        ("p99_us", latency_hist.quantile(0.99).into()),
+        ("p999_us", latency_hist.quantile(0.999).into()),
+        ("latency_hist", hist_json(&latency_hist)),
+        ("queue_wait_hist", hist_json(&server_hists.queue_wait_us)),
         (
             "cache",
             isax_json::object([
@@ -203,6 +274,25 @@ fn main() {
 
     // Gate 1: every request must succeed.
     assert_eq!(errors, 0, "loadgen saw {errors} request error(s)");
+    // Gate 1b: zero uncounted requests — everything the server received
+    // is either completed or attributed to exactly one error code.
+    let req = stats.get("requests").expect("stats.requests");
+    let received = req.get("received").and_then(|v| v.as_u64()).unwrap_or(0);
+    let completed = req.get("completed").and_then(|v| v.as_u64()).unwrap_or(0);
+    let by_code_sum: u64 = match req.get("by_code") {
+        Some(isax_json::Value::Object(pairs)) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+        _ => panic!("stats.requests.by_code missing"),
+    };
+    assert_eq!(
+        received,
+        completed + by_code_sum,
+        "uncounted requests: received {received} != completed {completed} + errors {by_code_sum}"
+    );
+    // Gate 1c: histogram percentiles agree with exact-sort to within
+    // the documented bucket error bound.
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        assert_quantile_bound(&latency_hist, &latencies, q);
+    }
     // Gate 2: the cache must actually serve repeats.
     let expected_hit_rate =
         (total_requests.saturating_sub(entries)) as f64 / (total_requests as f64).max(1.0);

@@ -141,8 +141,9 @@ pub enum Command {
         block: usize,
     },
     /// `serve [--addr A] [--workers N] [--queue-cap N]
-    /// [--admission-budget N]` — run the customization job server until
-    /// a client sends `shutdown`.
+    /// [--admission-budget N] [--access-log V] [--metrics-out PATH]` —
+    /// run the customization job server until a client sends
+    /// `shutdown`.
     Serve {
         /// Bind address (default `127.0.0.1:0`; port 0 picks a free
         /// port, printed on startup).
@@ -153,6 +154,12 @@ pub enum Command {
         queue_cap: Option<usize>,
         /// Per-request admission cap in isax-guard work units.
         admission_budget: Option<u64>,
+        /// Access-log destination (`0`/`off`, `1` for stderr, or a
+        /// path; default: the `ISAX_SERVE_LOG` environment variable).
+        access_log: Option<String>,
+        /// Write the final Prometheus-text metrics exposition here at
+        /// shutdown.
+        metrics_out: Option<String>,
     },
     /// `gen [--seed N] [--domain D] [--blocks B] [--out PATH]`, or
     /// `gen --stress NAME | --curated NAME | --list` — emit a kernel
@@ -202,7 +209,7 @@ USAGE:
     isax dot       <file.isax> [--function FUNC] [--block N]
     isax gen       [--seed N] [--domain graph|dsp|mixed] [--blocks B] [--out out.isax]
     isax gen       --stress NAME | --curated NAME | --list  [--out out.isax]
-    isax serve     [--addr HOST:PORT] [--workers N] [--queue-cap N] [--admission-budget N]
+    isax serve     [--addr HOST:PORT] [--workers N] [--queue-cap N] [--admission-budget N] [--access-log V] [--metrics-out PATH]
 
 `--check` (or the ISAX_CHECK=1 environment variable) runs the isax-check
 invariant passes at every pipeline checkpoint and aborts with IC0xxx
@@ -261,6 +268,17 @@ cache; `--admission-budget N` caps every request at N work units;
 ISAX_SERVE_STATS=1 prints a summary at shutdown, ISAX_SERVE_STATS=PATH
 writes the final stats JSON there (`0`/`off` disable — the same value
 grammar as ISAX_TRACE/ISAX_PROV).
+
+Serve telemetry: `--access-log V` (or ISAX_SERVE_LOG=V) writes one
+compact-JSON line per request — accepted, busy-rejected or malformed —
+with a deterministic request id, stage latencies, cache and admission
+outcome (`1` = stderr, PATH = file). Clients can send a `metrics`
+request at any time for a Prometheus-text exposition (counters, gauges
+and log-bucketed latency histograms); `--metrics-out PATH` writes the
+final exposition at shutdown. ISAX_FLAME=1 prints inferno-compatible
+folded stacks for any traced command to stderr at exit (ISAX_FLAME=PATH
+writes them to PATH); feed them to `inferno-flamegraph` or any
+flamegraph renderer.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -368,6 +386,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             workers: parse_usize("--workers")?,
             queue_cap: parse_usize("--queue-cap")?,
             admission_budget,
+            access_log: flag_value(rest, "--access-log").map(str::to_string),
+            metrics_out: flag_value(rest, "--metrics-out").map(str::to_string),
         });
     }
     let file = args
@@ -1285,6 +1305,8 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             workers,
             queue_cap,
             admission_budget,
+            access_log,
+            metrics_out,
         } => {
             let mut cfg = isax_serve::ServeConfig {
                 addr: addr.clone(),
@@ -1298,6 +1320,12 @@ fn execute_inner(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Stri
             }
             if admission_budget.is_some() {
                 cfg.max_work_units = *admission_budget;
+            }
+            if let Some(v) = access_log {
+                cfg.access_log = isax_serve::parse_env_value(v);
+            }
+            if metrics_out.is_some() {
+                cfg.metrics_out = metrics_out.clone();
             }
             let workers = cfg.workers;
             let queue_cap = cfg.queue_cap;
@@ -1545,11 +1573,14 @@ mod tests {
                 workers: None,
                 queue_cap: None,
                 admission_budget: None,
+                access_log: None,
+                metrics_out: None,
             }
         );
         assert_eq!(
             parse_args(&argv(
-                "serve --addr 127.0.0.1:7777 --workers 4 --queue-cap 16 --admission-budget 100000"
+                "serve --addr 127.0.0.1:7777 --workers 4 --queue-cap 16 --admission-budget 100000 \
+                 --access-log access.jsonl --metrics-out metrics.prom"
             ))
             .unwrap(),
             Command::Serve {
@@ -1557,6 +1588,8 @@ mod tests {
                 workers: Some(4),
                 queue_cap: Some(16),
                 admission_budget: Some(100_000),
+                access_log: Some("access.jsonl".into()),
+                metrics_out: Some("metrics.prom".into()),
             }
         );
         assert!(parse_args(&argv("serve --workers 0")).is_err());

@@ -101,6 +101,9 @@ pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<
     isax_trace::counter("par.workers_spawned", threads as u64);
     let f = &f;
     let next = &next;
+    // Workers inherit the spawning thread's request tag so per-request
+    // attribution survives the fan-out.
+    let req = isax_trace::current_request();
     let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
@@ -110,6 +113,7 @@ pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<
                     // so each lane renders separately in the Chrome
                     // export (track 0 stays the calling thread).
                     isax_trace::set_track(worker as u32 + 1);
+                    isax_trace::set_request(req);
                     let _span = isax_trace::span("par.worker");
                     let mut local = Vec::new();
                     loop {
@@ -242,12 +246,14 @@ pub fn par_try_map_indexed<U: Send>(
     let f = &f;
     let next = &next;
     let stop = &stop;
+    let req = isax_trace::current_request();
     let buckets: Vec<Vec<(usize, Result<U, ParError>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 scope.spawn(move || {
                     IN_PAR_WORKER.with(|flag| flag.set(true));
                     isax_trace::set_track(worker as u32 + 1);
+                    isax_trace::set_request(req);
                     let _span = isax_trace::span("par.worker");
                     let mut local = Vec::new();
                     loop {

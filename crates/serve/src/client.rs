@@ -97,6 +97,22 @@ impl Client {
         }
     }
 
+    /// Fetches the Prometheus-text metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and server error replies.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        match self.request(Request::Metrics)?.reply {
+            Reply::Metrics(text) => Ok(text),
+            Reply::Error(e) => Err(e),
+            other => Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
     /// Half-closes the write side, so the server sees EOF (used by the
     /// truncated-frame tests).
     ///

@@ -18,6 +18,9 @@
 //!   first-insert-wins concurrent map;
 //! - [`server`] — the bounded work queue, worker pool, isax-guard
 //!   admission control and stats endpoint;
+//! - [`telemetry`] — deterministic request ids, the structured access
+//!   log, latency histograms and the metrics registry behind the
+//!   Prometheus-text `metrics` exposition;
 //! - [`client`] — a small blocking client for tests and `loadgen`.
 //!
 //! The correctness claim is external: `tests/serve.rs` (repo root)
@@ -31,6 +34,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{fnv64, kernel_fingerprint, ArtifactCache, CacheKey, ConfigHasher};
 pub use client::Client;
@@ -39,6 +43,7 @@ pub use protocol::{
     ErrorCode, Frame, Reply, Request, Response, WireError, MAX_FRAME_BYTES,
 };
 pub use server::{stats_mode, ServeConfig, Server};
+pub use telemetry::{access_mode, request_id, AccessLog, AccessRecord, HistSet, ServeMetrics};
 
 /// The shared observability env-var grammar (`ISAX_SERVE_STATS` here,
 /// `ISAX_TRACE`/`ISAX_PROV` elsewhere), re-exported from its canonical

@@ -16,6 +16,7 @@
 //! {"req":"compile","id":N,"kernel":S,"name":S,"mdes":S,
 //!  "subsumed":B?,"wildcard":B?,"work_budget":N?}
 //! {"req":"stats","id":N}
+//! {"req":"metrics","id":N}
 //! {"req":"shutdown","id":N}
 //! ```
 //!
@@ -24,6 +25,7 @@
 //! ```text
 //! {"id":N,"ok":true,"cached":B,"artifacts":{...}}
 //! {"id":N,"ok":true,"stats":{...}}
+//! {"id":N,"ok":true,"metrics":S}
 //! {"id":N,"ok":true,"shutdown":true}
 //! {"id":N,"ok":false,"error":{"code":S,"message":S}}
 //! ```
@@ -69,6 +71,8 @@ pub enum Request {
     },
     /// Live server statistics.
     Stats,
+    /// A metrics snapshot in Prometheus text exposition format.
+    Metrics,
     /// Graceful shutdown: the server acknowledges, drains the queue and
     /// stops accepting.
     Shutdown,
@@ -105,6 +109,27 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every error code, in a fixed order (used for per-code counters
+    /// and deterministic exposition line order).
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::MalformedFrame,
+        ErrorCode::BadRequest,
+        ErrorCode::OversizedFrame,
+        ErrorCode::TruncatedFrame,
+        ErrorCode::Busy,
+        ErrorCode::ParseError,
+        ErrorCode::BadMdes,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The code's position in [`ErrorCode::ALL`].
+    pub fn index(self) -> usize {
+        ErrorCode::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every code is in ALL")
+    }
+
     /// The wire spelling.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -198,6 +223,8 @@ pub enum Reply {
     },
     /// A statistics snapshot.
     Stats(Value),
+    /// A metrics snapshot: Prometheus text exposition.
+    Metrics(String),
     /// Shutdown acknowledged.
     Shutdown,
     /// The request failed.
@@ -277,6 +304,10 @@ pub fn encode_request(frame: &Frame) -> String {
             fields.push(("req", Value::from("stats")));
             fields.push(("id", Value::from(frame.id)));
         }
+        Request::Metrics => {
+            fields.push(("req", Value::from("metrics")));
+            fields.push(("id", Value::from(frame.id)));
+        }
         Request::Shutdown => {
             fields.push(("req", Value::from("shutdown")));
             fields.push(("id", Value::from(frame.id)));
@@ -331,6 +362,7 @@ pub fn decode_request(line: &str) -> Result<Frame, WireError> {
             work_budget: opt_u64(&v, "work_budget"),
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(WireError::new(
@@ -403,6 +435,11 @@ pub fn encode_response(resp: &Response) -> String {
             ("ok", Value::Bool(true)),
             ("stats", stats.clone()),
         ]),
+        Reply::Metrics(text) => object([
+            ("id", Value::from(resp.id)),
+            ("ok", Value::Bool(true)),
+            ("metrics", Value::from(text.clone())),
+        ]),
         Reply::Shutdown => object([
             ("id", Value::from(resp.id)),
             ("ok", Value::Bool(true)),
@@ -463,6 +500,8 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         }
     } else if let Some(s) = v.get("stats") {
         Reply::Stats(s.clone())
+    } else if let Some(m) = v.get("metrics").and_then(Value::as_str) {
+        Reply::Metrics(m.to_string())
     } else if opt_bool(&v, "shutdown", false) {
         Reply::Shutdown
     } else {

@@ -23,14 +23,15 @@
 //! the server's whole lifetime — per-request logs ride on stage return
 //! values, so concurrent requests never interleave.
 
-use crate::cache::{kernel_fingerprint, ArtifactCache, CacheKey, ConfigHasher};
+use crate::cache::{fnv64, kernel_fingerprint, ArtifactCache, CacheKey, ConfigHasher};
 use crate::protocol::{
     decode_request, encode_response, frame_id, Artifacts, ErrorCode, Frame, Reply, Request,
     Response, WireError, MAX_FRAME_BYTES,
 };
+use crate::telemetry::{access_mode, request_id, AccessLog, AccessRecord, HistSet, ServeMetrics};
 use isax::{Customizer, MatchMode, MatchOptions, Mdes, SharedContext};
 use isax_json::{object, Value};
-use isax_trace::EnvMode;
+use isax_trace::{EnvMode, Expo, Section};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +46,16 @@ use std::time::Instant;
 /// final stats JSON is written to.
 pub fn stats_mode() -> EnvMode {
     match std::env::var("ISAX_SERVE_STATS") {
+        Ok(v) => isax_trace::parse_env_value(&v),
+        Err(_) => EnvMode::Off,
+    }
+}
+
+/// Parses `ISAX_FLAME` with the shared observability grammar: when the
+/// server runs with stats recording, a path here gets the folded-stack
+/// flamegraph of the server's whole life written at shutdown.
+pub fn flame_mode() -> EnvMode {
+    match std::env::var("ISAX_FLAME") {
         Ok(v) => isax_trace::parse_env_value(&v),
         Err(_) => EnvMode::Off,
     }
@@ -70,6 +81,12 @@ pub struct ServeConfig {
     pub max_frame_bytes: usize,
     /// What to do with final stats at shutdown (`ISAX_SERVE_STATS`).
     pub stats: EnvMode,
+    /// Access-log destination (`--access-log` / `ISAX_SERVE_LOG`): one
+    /// JSON line per request, exactly once.
+    pub access_log: EnvMode,
+    /// Path the Prometheus metrics snapshot is written to at shutdown
+    /// (`--metrics-out`).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +98,8 @@ impl Default for ServeConfig {
             max_work_units: None,
             max_frame_bytes: MAX_FRAME_BYTES,
             stats: stats_mode(),
+            access_log: access_mode(),
+            metrics_out: None,
         }
     }
 }
@@ -117,6 +136,21 @@ struct StatsAgg {
 struct Job {
     frame: Frame,
     reply: mpsc::Sender<String>,
+    /// Arrival sequence number (doubles as the trace request tag).
+    seq: u64,
+    /// Deterministic request id for the access log.
+    rid: String,
+    /// When the frame was read off the socket (end-to-end latency base).
+    received_at: Instant,
+    /// When the job entered the queue (queue-wait base).
+    enqueued_at: Instant,
+}
+
+/// Per-request work telemetry, filled while the request runs.
+#[derive(Debug, Default)]
+struct WorkInfo {
+    stages: Vec<(&'static str, u64)>,
+    admitted: Option<u64>,
 }
 
 struct Shared {
@@ -133,10 +167,12 @@ struct Shared {
     busy_rejected: AtomicU64,
     clamped: AtomicU64,
     recorder: Option<Arc<isax_trace::Recorder>>,
+    metrics: ServeMetrics,
+    access: Option<AccessLog>,
 }
 
 impl Shared {
-    fn record_stage(&self, stage: &'static str, us: u64) {
+    fn record_stage(&self, info: &mut WorkInfo, stage: &'static str, us: u64) {
         self.stats
             .lock()
             .expect("stats lock")
@@ -144,6 +180,23 @@ impl Shared {
             .entry(stage)
             .or_default()
             .add(us);
+        self.metrics
+            .with_hists(|h| h.stages.entry(stage).or_default().record(us));
+        info.stages.push((stage, us));
+    }
+
+    /// Writes one access-log record (no-op when the log is off).
+    fn log_access(&self, rec: &AccessRecord) {
+        if let Some(log) = &self.access {
+            log.write(rec);
+        }
+    }
+
+    /// Counts one protocol/pipeline error, both in the legacy total and
+    /// the per-code counter (their sum equality is a tested invariant).
+    fn count_error(&self, code: ErrorCode) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.count_error(code);
     }
 
     /// The live statistics snapshot the `stats` request returns.
@@ -157,13 +210,21 @@ impl Shared {
             .iter()
             .map(|(k, v)| ((*k).to_string(), v.to_value()))
             .collect();
+        let by_code = object(
+            self.metrics
+                .by_code()
+                .into_iter()
+                .map(|(c, n)| (c.as_str().to_string(), Value::from(n))),
+        );
         let mut fields = vec![
+            ("uptime_s", Value::Float(self.metrics.uptime_s())),
             (
                 "queue",
                 object([
                     ("depth", Value::from(queue_depth as u64)),
                     ("capacity", Value::from(self.cfg.queue_cap as u64)),
                     ("workers", Value::from(self.cfg.workers as u64)),
+                    ("high_water", Value::from(self.metrics.queue_high_water())),
                 ]),
             ),
             (
@@ -182,6 +243,8 @@ impl Shared {
                         "busy_rejected",
                         Value::from(self.busy_rejected.load(Ordering::Relaxed)),
                     ),
+                    ("inflight", Value::from(self.metrics.inflight())),
+                    ("by_code", by_code),
                 ]),
             ),
             (
@@ -230,9 +293,129 @@ impl Shared {
         object(fields)
     }
 
-    /// Clamps a requested work budget to the admission cap.
+    /// The Prometheus text exposition. Metric families are emitted in
+    /// a fixed (alphabetical) order within each section; everything
+    /// before [`isax_trace::WALL_MARKER`] is fed only from
+    /// request-derived values, so for the same request stream it is
+    /// byte-identical at any worker count (`tests/serve.rs` asserts
+    /// this serial-vs-4-workers).
+    fn metrics_text(&self) -> String {
+        let hists = self.metrics.hists();
+        let mut e = Expo::new();
+        let det = Section::Deterministic;
+        let wall = Section::WallClock;
+        e.counter(
+            det,
+            "isax_serve_admission_clamped_total",
+            "Requests whose work budget was clamped to the admission cap",
+            self.clamped.load(Ordering::Relaxed),
+        );
+        e.hist(
+            det,
+            "isax_serve_admitted_units",
+            "Admitted (post-clamp) per-request work-unit budgets (0 = ungoverned)",
+            &hists.admitted_units,
+        );
+        e.gauge(
+            det,
+            "isax_serve_cache_entries",
+            "Artifact-cache entries",
+            self.cache.len() as u64,
+        );
+        e.counter(
+            det,
+            "isax_serve_cache_hits_total",
+            "Artifact-cache hits",
+            self.cache.hits(),
+        );
+        e.counter(
+            det,
+            "isax_serve_cache_misses_total",
+            "Artifact-cache misses",
+            self.cache.misses(),
+        );
+        let by_code = self.metrics.by_code();
+        let pairs: Vec<(&str, u64)> = by_code.iter().map(|(c, n)| (c.as_str(), *n)).collect();
+        e.counter_by_label(
+            det,
+            "isax_serve_errors_total",
+            "Failed requests by wire error code",
+            "code",
+            &pairs,
+        );
+        e.counter(
+            det,
+            "isax_serve_requests_completed_total",
+            "Successfully answered requests (work and control)",
+            self.completed.load(Ordering::Relaxed),
+        );
+        e.counter(
+            det,
+            "isax_serve_requests_received_total",
+            "Frames read off client sockets",
+            self.received.load(Ordering::Relaxed),
+        );
+        e.hist(
+            wall,
+            "isax_serve_e2e_us",
+            "Receipt-to-response-ready latency of queued work, microseconds",
+            &hists.e2e_us,
+        );
+        e.gauge(
+            wall,
+            "isax_serve_inflight",
+            "Work requests currently being processed",
+            self.metrics.inflight(),
+        );
+        e.gauge(
+            wall,
+            "isax_serve_queue_capacity",
+            "Bounded-queue capacity",
+            self.cfg.queue_cap as u64,
+        );
+        e.gauge(
+            wall,
+            "isax_serve_queue_depth",
+            "Jobs currently queued",
+            self.queue.lock().expect("queue lock").len() as u64,
+        );
+        e.gauge(
+            wall,
+            "isax_serve_queue_high_water",
+            "Highest observed queue depth",
+            self.metrics.queue_high_water(),
+        );
+        e.hist(
+            wall,
+            "isax_serve_queue_wait_us",
+            "Time jobs spent queued, microseconds",
+            &hists.queue_wait_us,
+        );
+        for (stage, h) in &hists.stages {
+            let name = format!("isax_serve_stage_{stage}_us");
+            let help = format!("Service time of the {stage} stage, microseconds");
+            e.hist(wall, &name, &help, h);
+        }
+        e.gauge_f64(
+            wall,
+            "isax_serve_uptime_seconds",
+            "Seconds since the server started",
+            self.metrics.uptime_s(),
+        );
+        e.gauge(
+            wall,
+            "isax_serve_workers",
+            "Worker threads draining the queue",
+            self.cfg.workers as u64,
+        );
+        e.render()
+    }
+
+    /// Clamps a requested work budget to the admission cap. The
+    /// admitted value is request-derived (no clocks), so its histogram
+    /// lands in the deterministic exposition section.
     fn admit(&self, requested: Option<u64>) -> Option<u64> {
-        match (requested, self.cfg.max_work_units) {
+        let admitted = match (requested, self.cfg.max_work_units) {
             (Some(r), Some(cap)) => {
                 if r > cap {
                     self.clamped.fetch_add(1, Ordering::Relaxed);
@@ -242,14 +425,17 @@ impl Shared {
             (Some(r), None) => Some(r),
             (None, Some(cap)) => Some(cap),
             (None, None) => None,
-        }
+        };
+        self.metrics
+            .with_hists(|h| h.admitted_units.record(admitted.unwrap_or(0)));
+        admitted
     }
 
     /// Runs one admitted work request, mirroring the CLI code paths
     /// byte for byte.
-    fn process(&self, frame: Frame) -> Response {
+    fn process(&self, frame: Frame, info: &mut WorkInfo) -> Response {
         let id = frame.id;
-        match self.try_process(frame) {
+        match self.try_process(frame, info) {
             Ok((cached, artifacts)) => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 Response {
@@ -258,7 +444,7 @@ impl Shared {
                 }
             }
             Err(e) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.count_error(e.code);
                 Response {
                     id,
                     reply: Reply::Error(e),
@@ -267,7 +453,11 @@ impl Shared {
         }
     }
 
-    fn try_process(&self, frame: Frame) -> Result<(bool, Artifacts), WireError> {
+    fn try_process(
+        &self,
+        frame: Frame,
+        info: &mut WorkInfo,
+    ) -> Result<(bool, Artifacts), WireError> {
         match frame.request {
             Request::Customize {
                 kernel,
@@ -279,8 +469,9 @@ impl Shared {
                 let t = Instant::now();
                 let program = isax_ir::parse_program(&kernel)
                     .map_err(|e| WireError::new(ErrorCode::ParseError, e.to_string()))?;
-                self.record_stage("parse", t.elapsed().as_micros() as u64);
+                self.record_stage(info, "parse", t.elapsed().as_micros() as u64);
                 let admitted = self.admit(work_budget);
+                info.admitted = admitted;
                 let key = CacheKey {
                     kernel: kernel_fingerprint(&program),
                     config: ConfigHasher::new("customize")
@@ -299,14 +490,14 @@ impl Shared {
                 }
                 let t = Instant::now();
                 let analysis = cz.analyze(&program);
-                self.record_stage("analyze", t.elapsed().as_micros() as u64);
+                self.record_stage(info, "analyze", t.elapsed().as_micros() as u64);
                 let t = Instant::now();
                 let (mdes, sel) = if multifunction {
                     cz.select_multifunction(&name, &analysis, budget)
                 } else {
                     cz.select(&name, &analysis, budget)
                 };
-                self.record_stage("select", t.elapsed().as_micros() as u64);
+                self.record_stage(info, "select", t.elapsed().as_micros() as u64);
                 let mdes_json = mdes
                     .to_json()
                     .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
@@ -339,10 +530,11 @@ impl Shared {
                 let t = Instant::now();
                 let program = isax_ir::parse_program(&kernel)
                     .map_err(|e| WireError::new(ErrorCode::ParseError, e.to_string()))?;
-                self.record_stage("parse", t.elapsed().as_micros() as u64);
+                self.record_stage(info, "parse", t.elapsed().as_micros() as u64);
                 let parsed_mdes = Mdes::from_json(&mdes)
                     .map_err(|e| WireError::new(ErrorCode::BadMdes, e.to_string()))?;
                 let admitted = self.admit(work_budget);
+                info.admitted = admitted;
                 let key = CacheKey {
                     kernel: kernel_fingerprint(&program),
                     config: ConfigHasher::new("compile")
@@ -370,7 +562,7 @@ impl Shared {
                 };
                 let t = Instant::now();
                 let ev = cz.evaluate(&program, &parsed_mdes, matching);
-                self.record_stage("evaluate", t.elapsed().as_micros() as u64);
+                self.record_stage(info, "evaluate", t.elapsed().as_micros() as u64);
                 let assembly: String = ev
                     .compiled
                     .program
@@ -397,7 +589,7 @@ impl Shared {
                 Ok((false, (*self.cache.insert(key, artifacts)).clone()))
             }
             // Control requests never reach the queue.
-            Request::Stats | Request::Shutdown => Err(WireError::new(
+            Request::Stats | Request::Metrics | Request::Shutdown => Err(WireError::new(
                 ErrorCode::BadRequest,
                 "control request on the work queue",
             )),
@@ -443,6 +635,7 @@ impl Server {
             _ => Some(isax_trace::Recorder::install()),
         };
         let workers_n = cfg.workers.max(1);
+        let access = AccessLog::open(&cfg.access_log)?;
         let shared = Arc::new(Shared {
             ctx,
             cfg,
@@ -457,6 +650,8 @@ impl Server {
             busy_rejected: AtomicU64::new(0),
             clamped: AtomicU64::new(0),
             recorder,
+            metrics: ServeMetrics::default(),
+            access,
         });
         let workers = (0..workers_n)
             .map(|_| {
@@ -486,6 +681,24 @@ impl Server {
     /// request returns).
     pub fn stats_value(&self) -> Value {
         self.shared.stats_value()
+    }
+
+    /// A host-side metrics snapshot (same text the `metrics` request
+    /// returns): Prometheus text exposition, deterministic section
+    /// first.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// A host-side snapshot of the latency histograms (queue wait,
+    /// end-to-end, per-stage, admitted units).
+    pub fn hists(&self) -> HistSet {
+        self.shared.metrics.hists()
+    }
+
+    /// Access-log records written so far (0 when the log is off).
+    pub fn access_log_lines(&self) -> u64 {
+        self.shared.access.as_ref().map_or(0, AccessLog::lines)
     }
 
     /// Asks the server to stop: no new work is admitted, queued work
@@ -547,7 +760,21 @@ impl Server {
                     }
                 }
             }
-            if self.shared.recorder.is_some() {
+            if let Some(path) = &self.shared.cfg.metrics_out {
+                if let Err(e) = std::fs::write(path, self.shared.metrics_text()) {
+                    eprintln!("isax serve: could not write metrics to {path}: {e}");
+                }
+            }
+            if let Some(rec) = &self.shared.recorder {
+                match flame_mode() {
+                    EnvMode::Off => {}
+                    EnvMode::Summary => eprint!("{}", rec.folded_stacks()),
+                    EnvMode::Path(p) => {
+                        if let Err(e) = std::fs::write(&p, rec.folded_stacks()) {
+                            eprintln!("isax serve: could not write folded stacks to {p}: {e}");
+                        }
+                    }
+                }
                 isax_trace::uninstall();
             }
         }
@@ -586,7 +813,46 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        let resp = shared.process(job.frame);
+        let queue_us = job.enqueued_at.elapsed().as_micros() as u64;
+        let kind = match &job.frame.request {
+            Request::Customize { .. } => "customize",
+            Request::Compile { .. } => "compile",
+            _ => "control",
+        };
+        let name = match &job.frame.request {
+            Request::Customize { name, .. } | Request::Compile { name, .. } => Some(name.clone()),
+            _ => None,
+        };
+        shared.metrics.enter();
+        // Tag every span/counter the pipeline emits with this request.
+        isax_trace::set_request(job.seq);
+        let mut info = WorkInfo::default();
+        let resp = shared.process(job.frame, &mut info);
+        isax_trace::set_request(0);
+        shared.metrics.leave();
+        let total_us = job.received_at.elapsed().as_micros() as u64;
+        shared.metrics.with_hists(|h| {
+            h.queue_wait_us.record(queue_us);
+            h.e2e_us.record(total_us);
+        });
+        let (outcome, cached, degraded) = match &resp.reply {
+            Reply::Artifacts { cached, artifacts } => ("ok", *cached, artifacts.degraded.len()),
+            Reply::Error(e) => (e.code.as_str(), false, 0),
+            _ => ("ok", false, 0),
+        };
+        shared.log_access(&AccessRecord {
+            seq: job.seq,
+            id: job.rid,
+            kind,
+            name,
+            outcome,
+            cached,
+            admitted: info.admitted,
+            degraded: degraded as u64,
+            queue_us,
+            stages: info.stages,
+            total_us,
+        });
         // A closed reply channel means the client hung up; the work
         // (and its cache entry) is still done.
         let _ = job.reply.send(encode_response(&resp));
@@ -663,6 +929,31 @@ fn read_frame(reader: &mut BufReader<TcpStream>, cap: usize) -> std::io::Result<
     }
 }
 
+/// Writes an access-log record for a request the connection thread
+/// finished itself (control requests and protocol errors).
+fn log_inline(
+    shared: &Arc<Shared>,
+    seq: u64,
+    rid: &str,
+    kind: &'static str,
+    outcome: &'static str,
+    received_at: Instant,
+) {
+    shared.log_access(&AccessRecord {
+        seq,
+        id: rid.to_string(),
+        kind,
+        name: None,
+        outcome,
+        cached: false,
+        admitted: None,
+        degraded: 0,
+        queue_us: 0,
+        stages: Vec::new(),
+        total_us: received_at.elapsed().as_micros() as u64,
+    });
+}
+
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -670,53 +961,90 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
-        let frame = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
-            Ok(FrameRead::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                shared.received.fetch_add(1, Ordering::Relaxed);
-                match decode_request(&line) {
-                    Ok(frame) => frame,
-                    Err(e) => {
-                        shared.errors.fetch_add(1, Ordering::Relaxed);
-                        if respond(&mut writer, frame_id(&line), Reply::Error(e)).is_err() {
-                            return;
-                        }
+        // Every non-empty frame gets an arrival sequence number (the
+        // `received` counter) and a deterministic request id derived
+        // from that sequence plus a content fingerprint — no clocks,
+        // no randomness, so a request script replays to the same ids.
+        let (seq, rid, frame, received_at) =
+            match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+                Ok(FrameRead::Line(line)) => {
+                    if line.trim().is_empty() {
                         continue;
                     }
+                    let received_at = Instant::now();
+                    let seq = shared.received.fetch_add(1, Ordering::Relaxed) + 1;
+                    let rid = request_id(seq, fnv64(line.as_bytes()));
+                    match decode_request(&line) {
+                        Ok(frame) => (seq, rid, frame, received_at),
+                        Err(e) => {
+                            shared.count_error(e.code);
+                            log_inline(shared, seq, &rid, "frame", e.code.as_str(), received_at);
+                            if respond(&mut writer, frame_id(&line), Reply::Error(e)).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
                 }
-            }
-            Ok(FrameRead::Oversized) => {
-                shared.received.fetch_add(1, Ordering::Relaxed);
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                let e = WireError::new(
-                    ErrorCode::OversizedFrame,
-                    format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
-                );
-                if respond(&mut writer, 0, Reply::Error(e)).is_err() {
+                Ok(FrameRead::Oversized) => {
+                    let received_at = Instant::now();
+                    let seq = shared.received.fetch_add(1, Ordering::Relaxed) + 1;
+                    let rid = request_id(seq, 0);
+                    shared.count_error(ErrorCode::OversizedFrame);
+                    log_inline(
+                        shared,
+                        seq,
+                        &rid,
+                        "frame",
+                        ErrorCode::OversizedFrame.as_str(),
+                        received_at,
+                    );
+                    let e = WireError::new(
+                        ErrorCode::OversizedFrame,
+                        format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+                    );
+                    if respond(&mut writer, 0, Reply::Error(e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(FrameRead::Truncated) => {
+                    let received_at = Instant::now();
+                    let seq = shared.received.fetch_add(1, Ordering::Relaxed) + 1;
+                    let rid = request_id(seq, 0);
+                    shared.count_error(ErrorCode::TruncatedFrame);
+                    log_inline(
+                        shared,
+                        seq,
+                        &rid,
+                        "frame",
+                        ErrorCode::TruncatedFrame.as_str(),
+                        received_at,
+                    );
+                    let e = WireError::new(ErrorCode::TruncatedFrame, "stream ended mid-frame");
+                    let _ = respond(&mut writer, 0, Reply::Error(e));
                     return;
                 }
-                continue;
-            }
-            Ok(FrameRead::Truncated) => {
-                shared.received.fetch_add(1, Ordering::Relaxed);
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                let e = WireError::new(ErrorCode::TruncatedFrame, "stream ended mid-frame");
-                let _ = respond(&mut writer, 0, Reply::Error(e));
-                return;
-            }
-            Ok(FrameRead::Eof) | Err(_) => return,
-        };
+                Ok(FrameRead::Eof) | Err(_) => return,
+            };
         match frame.request {
             Request::Stats => {
-                self_completed(shared);
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                log_inline(shared, seq, &rid, "stats", "ok", received_at);
                 if respond(&mut writer, frame.id, Reply::Stats(shared.stats_value())).is_err() {
                     return;
                 }
             }
+            Request::Metrics => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                log_inline(shared, seq, &rid, "metrics", "ok", received_at);
+                if respond(&mut writer, frame.id, Reply::Metrics(shared.metrics_text())).is_err() {
+                    return;
+                }
+            }
             Request::Shutdown => {
-                self_completed(shared);
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                log_inline(shared, seq, &rid, "shutdown", "ok", received_at);
                 let _ = respond(&mut writer, frame.id, Reply::Shutdown);
                 // The accepted socket's local address is the listener's
                 // address, which the shutdown self-connect needs.
@@ -727,8 +1055,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
             _ => {
+                let kind = match &frame.request {
+                    Request::Customize { .. } => "customize",
+                    _ => "compile",
+                };
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.count_error(ErrorCode::ShuttingDown);
+                    log_inline(
+                        shared,
+                        seq,
+                        &rid,
+                        kind,
+                        ErrorCode::ShuttingDown.as_str(),
+                        received_at,
+                    );
                     let e = WireError::new(ErrorCode::ShuttingDown, "server is shutting down");
                     if respond(&mut writer, frame.id, Reply::Error(e)).is_err() {
                         return;
@@ -747,13 +1087,26 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                                 request: frame.request,
                             },
                             reply: tx,
+                            seq,
+                            rid: rid.clone(),
+                            received_at,
+                            enqueued_at: Instant::now(),
                         });
+                        shared.metrics.observe_queue_depth(q.len() as u64);
                         true
                     }
                 };
                 if !enqueued {
                     shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.count_error(ErrorCode::Busy);
+                    log_inline(
+                        shared,
+                        seq,
+                        &rid,
+                        kind,
+                        ErrorCode::Busy.as_str(),
+                        received_at,
+                    );
                     let e = WireError::new(ErrorCode::Busy, "work queue is full");
                     if respond(&mut writer, frame.id, Reply::Error(e)).is_err() {
                         return;
@@ -767,8 +1120,19 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                             return;
                         }
                     }
-                    // Worker pool went away mid-request (shutdown race).
+                    // Worker pool went away mid-request (shutdown race):
+                    // the job was dropped unprocessed, so the worker
+                    // never logged it — account for it here.
                     Err(_) => {
+                        shared.count_error(ErrorCode::ShuttingDown);
+                        log_inline(
+                            shared,
+                            seq,
+                            &rid,
+                            kind,
+                            ErrorCode::ShuttingDown.as_str(),
+                            received_at,
+                        );
                         let e = WireError::new(ErrorCode::ShuttingDown, "server stopped");
                         let _ = respond(&mut writer, frame.id, Reply::Error(e));
                         return;
@@ -777,11 +1141,6 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
         }
     }
-}
-
-fn self_completed(shared: &Arc<Shared>) {
-    shared.received.fetch_add(1, Ordering::Relaxed);
-    shared.completed.fetch_add(1, Ordering::Relaxed);
 }
 
 fn respond(writer: &mut TcpStream, id: u64, reply: Reply) -> std::io::Result<()> {

@@ -62,7 +62,7 @@ fn finite_f64() -> impl Strategy<Value = f64> {
 
 fn any_request() -> impl Strategy<Value = Request> {
     (
-        0usize..4,
+        0usize..5,
         any_string(),
         any_string(),
         any_string(),
@@ -87,6 +87,7 @@ fn any_request() -> impl Strategy<Value = Request> {
                     work_budget,
                 },
                 2 => Request::Stats,
+                3 => Request::Metrics,
                 _ => Request::Shutdown,
             },
         )
@@ -169,7 +170,7 @@ fn any_stats() -> impl Strategy<Value = Value> {
 
 fn any_reply() -> impl Strategy<Value = Reply> {
     (
-        0usize..4,
+        0usize..5,
         any::<bool>(),
         any_artifacts(),
         any_stats(),
@@ -181,6 +182,7 @@ fn any_reply() -> impl Strategy<Value = Reply> {
                 0 => Reply::Artifacts { cached, artifacts },
                 1 => Reply::Stats(stats),
                 2 => Reply::Shutdown,
+                3 => Reply::Metrics(message.clone()),
                 _ => Reply::Error(WireError {
                     code: ALL_CODES[code],
                     message,

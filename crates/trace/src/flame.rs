@@ -1,0 +1,200 @@
+//! Folded-stack (inferno/FlameGraph-compatible) export from recorded
+//! span events.
+//!
+//! A folded-stack file has one line per unique call stack:
+//!
+//! ```text
+//! main;pipeline;pipeline.analyze 1523
+//! worker-2;par.worker;grow 88
+//! ```
+//!
+//! where the value is the stack's **self time** in microseconds (the
+//! span's duration minus the durations of its direct children). Such a
+//! file feeds directly into `inferno-flamegraph`, `flamegraph.pl`, or
+//! speedscope to render a profile of any traced run.
+//!
+//! Reconstruction: spans are recorded at *close* time, so the event
+//! stream is not nesting-ordered. Per track, spans are sorted by
+//! (start ascending, end descending) and swept with a stack: a span's
+//! parent is the deepest still-open span whose interval contains it —
+//! i.e. the sweep pops every open span that ends before the new span
+//! does, which removes finished siblings and keeps ancestors. Ties
+//! (identical intervals, possible for zero-duration spans) fall back
+//! to reverse record order so the later-closing span is the parent.
+
+use crate::Event;
+use std::collections::BTreeMap;
+
+/// Renders recorded events as folded stacks, sorted by stack path.
+/// Counter events are ignored; tracks become root frames (`main` for
+/// track 0, `worker-N` otherwise). Lines with zero self time are kept
+/// so every traced span contributes a frame.
+#[must_use]
+pub fn folded_stacks(events: &[Event]) -> String {
+    struct S {
+        name: &'static str,
+        track: u32,
+        start: u64,
+        end: u64,
+        dur: u64,
+    }
+    let mut spans: Vec<(usize, S)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span {
+                name,
+                track,
+                start_us,
+                dur_us,
+                ..
+            } => Some(S {
+                name,
+                track: *track,
+                start: *start_us,
+                end: start_us.saturating_add(*dur_us),
+                dur: *dur_us,
+            }),
+            _ => None,
+        })
+        .enumerate()
+        .collect();
+    spans.sort_by(|(ia, a), (ib, b)| {
+        a.track
+            .cmp(&b.track)
+            .then(a.start.cmp(&b.start))
+            .then(b.end.cmp(&a.end))
+            .then(ib.cmp(ia))
+    });
+
+    let mut paths: Vec<String> = Vec::with_capacity(spans.len());
+    let mut child_sum: Vec<u64> = vec![0; spans.len()];
+    // Open ancestors of the current sweep position: (slot, end).
+    let mut open: Vec<(usize, u64)> = Vec::new();
+    let mut cur_track: Option<u32> = None;
+    for (slot, (_, s)) in spans.iter().enumerate() {
+        if cur_track != Some(s.track) {
+            open.clear();
+            cur_track = Some(s.track);
+        }
+        // An open span that ends before this one does cannot contain
+        // it: it is a finished sibling (or sibling's ancestor). Spans
+        // that end at or after s.end are ancestors (start <= s.start
+        // holds by sort order).
+        while let Some(&(_, end)) = open.last() {
+            if end < s.end || (end == s.end && end <= s.start) {
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        let path = match open.last() {
+            Some(&(parent, _)) => {
+                child_sum[parent] += s.dur;
+                format!("{};{}", paths[parent], s.name)
+            }
+            None => {
+                if s.track == 0 {
+                    format!("main;{}", s.name)
+                } else {
+                    format!("worker-{};{}", s.track, s.name)
+                }
+            }
+        };
+        paths.push(path);
+        open.push((slot, s.end));
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (slot, (_, s)) in spans.iter().enumerate() {
+        let self_time = s.dur.saturating_sub(child_sum[slot]);
+        *folded.entry(paths[slot].clone()).or_insert(0) += self_time;
+    }
+    let mut out = String::new();
+    for (path, v) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, track: u32, start: u64, dur: u64) -> Event {
+        Event::Span {
+            name,
+            track,
+            start_us: start,
+            dur_us: dur,
+            req: 0,
+        }
+    }
+
+    #[test]
+    fn nesting_is_reconstructed_and_self_time_subtracts_children() {
+        // outer [0, 100) contains inner [10, 40) and inner2 [50, 70).
+        // Record order is close order: inner, inner2, outer.
+        let events = vec![
+            span("inner", 0, 10, 30),
+            span("inner2", 0, 50, 20),
+            span("outer", 0, 0, 100),
+        ];
+        let text = folded_stacks(&events);
+        assert!(text.contains("main;outer 50\n"), "{text}");
+        assert!(text.contains("main;outer;inner 30\n"), "{text}");
+        assert!(text.contains("main;outer;inner2 20\n"), "{text}");
+    }
+
+    #[test]
+    fn tracks_get_separate_roots() {
+        let events = vec![span("a", 0, 0, 5), span("b", 3, 0, 7)];
+        let text = folded_stacks(&events);
+        assert!(text.contains("main;a 5\n"));
+        assert!(text.contains("worker-3;b 7\n"));
+    }
+
+    #[test]
+    fn deep_nesting_builds_full_paths() {
+        let events = vec![span("c", 0, 2, 1), span("b", 0, 1, 3), span("a", 0, 0, 10)];
+        let text = folded_stacks(&events);
+        assert!(text.contains("main;a 7\n"), "{text}");
+        assert!(text.contains("main;a;b 2\n"), "{text}");
+        assert!(text.contains("main;a;b;c 1\n"), "{text}");
+    }
+
+    #[test]
+    fn sequential_siblings_do_not_nest() {
+        let events = vec![
+            span("first", 0, 0, 10),
+            span("second", 0, 10, 10),
+            span("third", 0, 25, 5),
+        ];
+        let text = folded_stacks(&events);
+        assert!(text.contains("main;first 10\n"), "{text}");
+        assert!(text.contains("main;second 10\n"), "{text}");
+        assert!(text.contains("main;third 5\n"), "{text}");
+    }
+
+    #[test]
+    fn counters_are_ignored_and_empty_input_is_empty_output() {
+        let events = vec![Event::Counter {
+            name: "n",
+            track: 0,
+            ts_us: 0,
+            value: 3,
+            req: 0,
+        }];
+        assert_eq!(folded_stacks(&events), "");
+        assert_eq!(folded_stacks(&[]), "");
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate() {
+        let events = vec![span("a", 0, 0, 5), span("a", 0, 10, 7)];
+        let text = folded_stacks(&events);
+        assert_eq!(text, "main;a 12\n");
+    }
+}

@@ -1,0 +1,345 @@
+//! A deterministic, mergeable, log-bucketed latency histogram.
+//!
+//! [`Hist`] buckets non-negative integer samples (microseconds, work
+//! units, bytes — any `u64`) into **power-of-2^(1/4) buckets**: four
+//! sub-buckets per octave, so consecutive bucket boundaries are a
+//! factor of 2^(1/4) ≈ 1.189 apart. That gives quantile estimates a
+//! *proven* relative-error bound (see below) from a fixed 257-slot
+//! table — no per-sample allocation, no sorting, O(1) record.
+//!
+//! # Determinism
+//!
+//! Everything is integer arithmetic on hardcoded fixed-point constants:
+//! no floating-point `log`, no platform-dependent rounding. Two
+//! histograms built from the same multiset of samples are equal
+//! (`PartialEq` on the struct), and [`Hist::merge`] is plain
+//! element-wise addition — commutative and associative — so merging
+//! per-worker histograms **at a join point in input order** yields
+//! byte-identical totals at any thread count, the same discipline
+//! `isax-trace` counters follow. The `crates/trace/tests/hist.rs`
+//! proptests pin both claims.
+//!
+//! # The error bound
+//!
+//! For a sample `v ≥ 1`, let `m = ⌊log2 v⌋` and pick the largest
+//! sub-bucket `j ∈ 0..4` with `v ≥ ⌊2^m · 2^(j/4)⌋`. The bucket's
+//! integer boundaries `[lower, upper)` then satisfy
+//! `upper_real / lower_real = 2^(1/4)` exactly, and the integer
+//! flooring loses at most 1 on each side plus `2^(m-32)` from the
+//! 32-bit fixed-point constants. [`Hist::quantile`] returns the lower
+//! boundary of the bucket containing the requested rank, so for the
+//! exact (sort-derived) quantile `x` and the estimate `e`:
+//!
+//! ```text
+//! e ≤ x   and   (x − e) · 10^9 ≤ e · 189_207_117 + 3·10^9
+//! ```
+//!
+//! i.e. relative error strictly below `2^(1/4) − 1 ≈ 18.92%` plus an
+//! absolute slack of 3 for integer rounding at tiny values. The
+//! proptest in `crates/trace/tests/hist.rs` asserts exactly this
+//! integer inequality over the full `u64` range.
+
+/// Number of buckets: one zero bucket plus 4 sub-buckets × 64 octaves.
+pub const HIST_BUCKETS: usize = 257;
+
+/// `⌊2^(j/4) · 2^32⌋` for `j = 0..4` — the fixed-point sub-bucket
+/// multipliers. Verified against `f64::powf` by a unit test.
+const SUBBUCKET: [u64; 4] = [4_294_967_296, 5_107_605_667, 6_074_000_999, 7_223_245_205];
+
+/// Numerator of the relative-error bound `2^(1/4) − 1`, scaled by 10^9
+/// and rounded *up* (the true value is ≈ 0.189207115): used by callers
+/// asserting the quantile bound in pure integer arithmetic.
+pub const REL_ERR_BOUND_E9: u128 = 189_207_117;
+
+/// Absolute slack (in sample units) the quantile bound allows on top of
+/// the relative term, covering integer flooring at tiny values.
+pub const ABS_ERR_SLACK: u128 = 3;
+
+/// Bucket index of a sample (0 is the dedicated zero bucket).
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let m = 63 - v.leading_zeros() as usize;
+    let mut j = 3;
+    while j > 0 && u128::from(v) < (u128::from(SUBBUCKET[j]) << m) >> 32 {
+        j -= 1;
+    }
+    1 + 4 * m + j
+}
+
+/// Inclusive lower boundary of bucket `idx`: the smallest sample the
+/// bucket can hold.
+#[must_use]
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let m = (idx - 1) / 4;
+    let j = (idx - 1) % 4;
+    (((u128::from(SUBBUCKET[j])) << m) >> 32) as u64
+}
+
+/// Exclusive upper boundary of bucket `idx` (saturating to `u64::MAX`
+/// for the top bucket).
+#[must_use]
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1)
+    }
+}
+
+/// A deterministic, mergeable, log-bucketed histogram with exact count
+/// and sum. See the module docs for the determinism and error-bound
+/// arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Hist {
+        Hist {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self`: element-wise bucket addition plus
+    /// exact count/sum/min/max combination. Commutative and
+    /// associative, so any merge order over the same inputs produces
+    /// the same histogram.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact (saturating) sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`0` when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets, ascending: `(index, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`: the lower boundary of
+    /// the bucket containing the `⌈q · count⌉`-th smallest sample
+    /// (clamped to at least rank 1). Returns 0 for an empty histogram.
+    ///
+    /// The estimate `e` and the exact sort-derived quantile `x` (same
+    /// rank rule) satisfy `e ≤ x` and the integer inequality
+    /// `(x − e)·10^9 ≤ e·`[`REL_ERR_BOUND_E9`]` + `[`ABS_ERR_SLACK`]`·10^9`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(idx) = self.quantile_bucket(q) else {
+            return 0;
+        };
+        bucket_lower(idx)
+    }
+
+    /// The bucket index [`Hist::quantile`] would report, or `None` when
+    /// empty. Exposed so callers can reason about both boundaries.
+    #[must_use]
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = quantile_rank(q, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(i);
+            }
+        }
+        // Unreachable: cum reaches self.count which is >= rank.
+        None
+    }
+}
+
+/// The 1-based rank of the `q`-quantile among `count` samples:
+/// `⌈q·count⌉` clamped to `[1, count]`.
+#[must_use]
+pub fn quantile_rank(q: f64, count: u64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    let raw = (q * count as f64).ceil() as u64;
+    raw.clamp(1, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_constants_match_their_real_values() {
+        for (j, &c) in SUBBUCKET.iter().enumerate() {
+            let real = 2f64.powf(j as f64 / 4.0) * 4_294_967_296.0;
+            assert_eq!(c, real.floor() as u64, "sub-bucket constant {j}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_consistent_with_boundaries() {
+        let probes: Vec<u64> = (0..=4096)
+            .chain((1..63).flat_map(|m| {
+                let b = 1u64 << m;
+                [b - 1, b, b + 1, b * 3 / 2]
+            }))
+            .chain([u64::MAX / 2, u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut prev = 0usize;
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket_index must be monotone at {v}");
+            assert!(bucket_lower(idx) <= v, "lower({idx}) <= {v}");
+            assert!(
+                v < bucket_upper(idx) || idx + 1 >= HIST_BUCKETS,
+                "{v} < upper({idx})"
+            );
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn boundaries_are_nondecreasing() {
+        for idx in 0..HIST_BUCKETS - 1 {
+            assert!(
+                bucket_lower(idx) <= bucket_lower(idx + 1),
+                "boundary order at {idx}"
+            );
+            assert!(bucket_lower(idx) <= bucket_upper(idx));
+        }
+    }
+
+    #[test]
+    fn record_and_exact_aggregates() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 7, 7, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_000_115);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert!(!h.is_empty());
+        let total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn quantile_brackets_the_exact_value() {
+        let samples: Vec<u64> = (1..=1000).map(|i| i * i).collect();
+        let mut h = Hist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = quantile_rank(q, samples.len() as u64) as usize;
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            assert!(est <= exact, "q={q}: {est} <= {exact}");
+            let idx = h.quantile_bucket(q).unwrap();
+            assert!(exact < bucket_upper(idx) || idx + 1 >= HIST_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut whole = Hist::new();
+        for v in 0..500u64 {
+            if v % 3 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            whole.record(v * 17);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole, "merge is commutative");
+    }
+}

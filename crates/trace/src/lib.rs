@@ -59,6 +59,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flame;
+pub mod hist;
+pub mod metrics;
+
+pub use flame::folded_stacks;
+pub use hist::Hist;
+pub use metrics::{deterministic_section, Expo, Section, WALL_MARKER};
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -77,6 +85,9 @@ pub enum Event {
         start_us: u64,
         /// Duration in microseconds.
         dur_us: u64,
+        /// Request id the span is attributed to (0 = none). Set via
+        /// [`set_request`] by services that process tagged work.
+        req: u64,
     },
     /// An additive counter contribution (a delta, not an absolute).
     Counter {
@@ -89,6 +100,8 @@ pub enum Event {
         /// The contribution. Summed per name by the summary; the Chrome
         /// export emits running totals.
         value: u64,
+        /// Request id the counter is attributed to (0 = none).
+        req: u64,
     },
 }
 
@@ -108,6 +121,8 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 thread_local! {
     /// The track id events from this thread are tagged with.
     static TRACK: Cell<u32> = const { Cell::new(0) };
+    /// The request id events from this thread are tagged with.
+    static REQUEST: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Installs a sink process-wide and enables instrumentation.
@@ -140,6 +155,20 @@ pub fn current_track() -> u32 {
     TRACK.with(Cell::get)
 }
 
+/// Tags this thread's subsequent events with request id `r` (0 = none).
+/// `isax serve` workers set the deterministic per-request sequence
+/// number here before running the pipeline, and `isax_graph::par`
+/// propagates the calling thread's tag into its workers, so every span
+/// and counter a request produces is attributable to it.
+pub fn set_request(r: u64) {
+    REQUEST.with(|c| c.set(r));
+}
+
+/// The current thread's request id (0 = none).
+pub fn current_request() -> u64 {
+    REQUEST.with(Cell::get)
+}
+
 fn now_us() -> u64 {
     EPOCH
         .get_or_init(Instant::now)
@@ -166,6 +195,7 @@ pub fn span(name: &'static str) -> Span {
     Span(Some(SpanInner {
         name,
         track: current_track(),
+        req: current_request(),
         start_us: now_us(),
     }))
 }
@@ -183,6 +213,7 @@ pub fn counter(name: &'static str, value: u64) {
         track: current_track(),
         ts_us: now_us(),
         value,
+        req: current_request(),
     };
     with_sink(|s| s.record(ev.clone()));
 }
@@ -190,6 +221,7 @@ pub fn counter(name: &'static str, value: u64) {
 struct SpanInner {
     name: &'static str,
     track: u32,
+    req: u64,
     start_us: u64,
 }
 
@@ -207,6 +239,7 @@ impl Drop for Span {
             track: inner.track,
             start_us: inner.start_us,
             dur_us: now_us().saturating_sub(inner.start_us),
+            req: inner.req,
         };
         with_sink(|s| s.record(ev.clone()));
     }
@@ -298,23 +331,40 @@ impl Recorder {
                     track,
                     start_us,
                     dur_us,
-                } => push(
-                    format!(
-                        "{{\"name\":{},\"cat\":\"isax\",\"ph\":\"X\",\"ts\":{start_us},\
-                         \"dur\":{dur_us},\"pid\":1,\"tid\":{track}}}",
-                        json_str(name)
-                    ),
-                    &mut first,
-                ),
+                    req,
+                } => {
+                    let args = if *req == 0 {
+                        String::new()
+                    } else {
+                        format!(",\"args\":{{\"req\":{req}}}")
+                    };
+                    push(
+                        format!(
+                            "{{\"name\":{},\"cat\":\"isax\",\"ph\":\"X\",\"ts\":{start_us},\
+                             \"dur\":{dur_us},\"pid\":1,\"tid\":{track}{args}}}",
+                            json_str(name)
+                        ),
+                        &mut first,
+                    );
+                }
                 Event::Counter {
-                    name, ts_us, value, ..
+                    name,
+                    ts_us,
+                    value,
+                    req,
+                    ..
                 } => {
                     let total = totals.entry(name).or_insert(0);
                     *total += value;
+                    let req_arg = if *req == 0 {
+                        String::new()
+                    } else {
+                        format!(",\"req\":{req}")
+                    };
                     push(
                         format!(
                             "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"tid\":0,\
-                             \"args\":{{\"value\":{total}}}}}",
+                             \"args\":{{\"value\":{total}{req_arg}}}}}",
                             json_str(name)
                         ),
                         &mut first,
@@ -324,6 +374,12 @@ impl Recorder {
         }
         out.push_str("]}");
         out
+    }
+
+    /// Renders recorded spans as folded stacks (inferno/FlameGraph
+    /// input) — see [`crate::flame::folded_stacks`].
+    pub fn folded_stacks(&self) -> String {
+        crate::flame::folded_stacks(&self.events())
     }
 
     /// Renders the human-readable stage summary: per span name the call
@@ -433,30 +489,45 @@ pub fn parse_env_value(v: &str) -> EnvMode {
     }
 }
 
-/// A trace session configured from the `ISAX_TRACE` environment
-/// variable, used by binaries: `ISAX_TRACE=1` (or `on`/`true`/`yes`)
-/// prints the stage summary to stderr on [`EnvTrace::finish`]; any
-/// other non-disabling value is treated as a path to write the Chrome
-/// trace to (the summary still goes to stderr).
+/// A trace session configured from the `ISAX_TRACE` and `ISAX_FLAME`
+/// environment variables, used by binaries: `ISAX_TRACE=1` (or
+/// `on`/`true`/`yes`) prints the stage summary to stderr on
+/// [`EnvTrace::finish`]; any other non-disabling value is treated as a
+/// path to write the Chrome trace to (the summary still goes to
+/// stderr). `ISAX_FLAME` uses the same grammar for the folded-stack
+/// flamegraph export: `1` prints folded stacks to stderr, a path
+/// writes them to that file. Either variable alone activates the
+/// recorder.
 pub struct EnvTrace {
     recorder: Arc<Recorder>,
+    summary: bool,
     out: Option<String>,
+    flame: EnvMode,
 }
 
-/// Starts tracing if `ISAX_TRACE` requests it ([`parse_env_value`] on
-/// the variable; unset, `0`, `off`, `false`, `no` and empty all mean
-/// disabled). Binaries call this first thing and [`EnvTrace::finish`]
-/// last thing.
+/// Starts tracing if `ISAX_TRACE` or `ISAX_FLAME` requests it
+/// ([`parse_env_value`] on each; unset, `0`, `off`, `false`, `no` and
+/// empty all mean disabled). Binaries call this first thing and
+/// [`EnvTrace::finish`] last thing.
 pub fn init_from_env() -> Option<EnvTrace> {
-    let v = std::env::var("ISAX_TRACE").ok()?;
-    let out = match parse_env_value(&v) {
-        EnvMode::Off => return None,
-        EnvMode::Summary => None,
-        EnvMode::Path(p) => Some(p),
+    let trace = std::env::var("ISAX_TRACE")
+        .map(|v| parse_env_value(&v))
+        .unwrap_or(EnvMode::Off);
+    let flame = std::env::var("ISAX_FLAME")
+        .map(|v| parse_env_value(&v))
+        .unwrap_or(EnvMode::Off);
+    if trace == EnvMode::Off && flame == EnvMode::Off {
+        return None;
+    }
+    let out = match trace {
+        EnvMode::Path(ref p) => Some(p.clone()),
+        _ => None,
     };
     Some(EnvTrace {
         recorder: Recorder::install(),
+        summary: trace != EnvMode::Off,
         out,
+        flame,
     })
 }
 
@@ -476,12 +547,22 @@ impl EnvTrace {
 impl Drop for EnvTrace {
     fn drop(&mut self) {
         uninstall();
-        eprint!("{}", self.recorder.summary());
+        if self.summary {
+            eprint!("{}", self.recorder.summary());
+        }
         if let Some(path) = &self.out {
             match std::fs::write(path, self.recorder.chrome_trace()) {
                 Ok(()) => eprintln!("chrome trace written to {path} (open in Perfetto)"),
                 Err(e) => eprintln!("failed to write trace {path}: {e}"),
             }
+        }
+        match &self.flame {
+            EnvMode::Off => {}
+            EnvMode::Summary => eprint!("{}", self.recorder.folded_stacks()),
+            EnvMode::Path(path) => match std::fs::write(path, self.recorder.folded_stacks()) {
+                Ok(()) => eprintln!("folded stacks written to {path} (inferno/FlameGraph input)"),
+                Err(e) => eprintln!("failed to write folded stacks {path}: {e}"),
+            },
         }
     }
 }
@@ -589,6 +670,35 @@ mod tests {
     fn json_escaping_covers_specials() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn request_tag_lands_on_spans_and_counters() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let rec = Recorder::install();
+        set_request(42);
+        {
+            let _s = span("tagged");
+            counter("tagged.count", 1);
+        }
+        set_request(0);
+        {
+            let _s = span("untagged");
+        }
+        uninstall();
+        let reqs: Vec<u64> = rec
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Span { req, .. } | Event::Counter { req, .. } => *req,
+            })
+            .collect();
+        assert_eq!(reqs, vec![42, 42, 0]);
+        let doc = rec.chrome_trace();
+        assert!(doc.contains("\"req\":42"));
+        std::thread::spawn(|| assert_eq!(current_request(), 0))
+            .join()
+            .unwrap();
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Prometheus text-exposition rendering with deterministic line order.
+//!
+//! [`Expo`] builds a metrics snapshot in the Prometheus text format
+//! (`# HELP` / `# TYPE` / sample lines). It keeps two sections:
+//!
+//! * the **deterministic** section — counters and histograms fed only
+//!   from input-order aggregates, byte-identical for the same request
+//!   stream at any worker count;
+//! * the **wall-clock / host** section — uptime, inflight, queue
+//!   depth, latency histograms, host configuration: anything whose
+//!   value depends on timing or the machine.
+//!
+//! The rendered text emits the deterministic section first, then
+//! [`WALL_MARKER`], then the rest. Tests compare only the text before
+//! the marker (via [`deterministic_section`]), which is what makes the
+//! 1-vs-N-worker byte-identity assertion in `tests/serve.rs` possible
+//! without exempting individual lines.
+//!
+//! Callers are responsible for adding metrics in a fixed order
+//! (alphabetical by metric name, by convention); `Expo` is a plain
+//! append-only builder and does not sort.
+
+use crate::hist::{bucket_upper, Hist, HIST_BUCKETS};
+
+/// Marker comment separating the deterministic exposition section from
+/// wall-clock/host-dependent lines. Everything *before* this line is
+/// expected to be byte-identical for the same request stream at any
+/// worker count.
+pub const WALL_MARKER: &str =
+    "# -- wall-clock/host section: lines below are not compared for determinism --";
+
+/// The deterministic prefix of a rendered exposition: the text before
+/// [`WALL_MARKER`] (the whole text if the marker is absent).
+#[must_use]
+pub fn deterministic_section(text: &str) -> &str {
+    match text.find(WALL_MARKER) {
+        Some(pos) => &text[..pos],
+        None => text,
+    }
+}
+
+/// Append-only builder for Prometheus text exposition with a
+/// deterministic and a wall-clock section. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct Expo {
+    det: String,
+    wall: String,
+}
+
+/// Which section of the exposition a metric belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Byte-identical for the same request stream at any worker count.
+    Deterministic,
+    /// Timing- or host-dependent; excluded from determinism diffs.
+    WallClock,
+}
+
+impl Expo {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Expo {
+        Expo::default()
+    }
+
+    fn buf(&mut self, section: Section) -> &mut String {
+        match section {
+            Section::Deterministic => &mut self.det,
+            Section::WallClock => &mut self.wall,
+        }
+    }
+
+    fn header(&mut self, section: Section, name: &str, help: &str, kind: &str) {
+        let buf = self.buf(section);
+        buf.push_str("# HELP ");
+        buf.push_str(name);
+        buf.push(' ');
+        buf.push_str(help);
+        buf.push('\n');
+        buf.push_str("# TYPE ");
+        buf.push_str(name);
+        buf.push(' ');
+        buf.push_str(kind);
+        buf.push('\n');
+    }
+
+    /// Adds a `counter` metric with an integer value.
+    pub fn counter(&mut self, section: Section, name: &str, help: &str, value: u64) {
+        self.header(section, name, help, "counter");
+        let buf = self.buf(section);
+        buf.push_str(name);
+        buf.push(' ');
+        buf.push_str(&value.to_string());
+        buf.push('\n');
+    }
+
+    /// Adds a `counter` metric family with one sample line per label
+    /// value. `pairs` must already be in the caller's fixed order.
+    pub fn counter_by_label(
+        &mut self,
+        section: Section,
+        name: &str,
+        help: &str,
+        label: &str,
+        pairs: &[(&str, u64)],
+    ) {
+        self.header(section, name, help, "counter");
+        let buf = self.buf(section);
+        for (lv, value) in pairs {
+            buf.push_str(name);
+            buf.push('{');
+            buf.push_str(label);
+            buf.push_str("=\"");
+            buf.push_str(lv);
+            buf.push_str("\"} ");
+            buf.push_str(&value.to_string());
+            buf.push('\n');
+        }
+    }
+
+    /// Adds a `gauge` metric with an integer value.
+    pub fn gauge(&mut self, section: Section, name: &str, help: &str, value: u64) {
+        self.header(section, name, help, "gauge");
+        let buf = self.buf(section);
+        buf.push_str(name);
+        buf.push(' ');
+        buf.push_str(&value.to_string());
+        buf.push('\n');
+    }
+
+    /// Adds a `gauge` metric with a fractional value rendered with
+    /// six decimal places (fixed formatting keeps the line stable for
+    /// a given value).
+    pub fn gauge_f64(&mut self, section: Section, name: &str, help: &str, value: f64) {
+        self.header(section, name, help, "gauge");
+        let buf = self.buf(section);
+        buf.push_str(name);
+        buf.push(' ');
+        buf.push_str(&format!("{value:.6}"));
+        buf.push('\n');
+    }
+
+    /// Adds a [`Hist`] as a Prometheus `histogram`: cumulative
+    /// `_bucket{le="..."}` lines for every non-empty bucket (the `le`
+    /// bound is the bucket's inclusive upper sample value), a `+Inf`
+    /// bucket, then exact `_sum` and `_count`.
+    pub fn hist(&mut self, section: Section, name: &str, help: &str, h: &Hist) {
+        self.header(section, name, help, "histogram");
+        let count = h.count();
+        let sum = h.sum();
+        let mut cum = 0u64;
+        let lines: Vec<(u64, u64)> = h
+            .nonzero_buckets()
+            .map(|(idx, c)| {
+                cum += c;
+                (inclusive_upper(idx), cum)
+            })
+            .collect();
+        let buf = self.buf(section);
+        for (le, cum) in lines {
+            buf.push_str(name);
+            buf.push_str("_bucket{le=\"");
+            buf.push_str(&le.to_string());
+            buf.push_str("\"} ");
+            buf.push_str(&cum.to_string());
+            buf.push('\n');
+        }
+        buf.push_str(name);
+        buf.push_str("_bucket{le=\"+Inf\"} ");
+        buf.push_str(&count.to_string());
+        buf.push('\n');
+        buf.push_str(name);
+        buf.push_str("_sum ");
+        buf.push_str(&sum.to_string());
+        buf.push('\n');
+        buf.push_str(name);
+        buf.push_str("_count ");
+        buf.push_str(&count.to_string());
+        buf.push('\n');
+    }
+
+    /// Renders the exposition: deterministic section, [`WALL_MARKER`],
+    /// wall-clock section.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.det.len() + self.wall.len() + 96);
+        out.push_str(&self.det);
+        out.push_str(WALL_MARKER);
+        out.push('\n');
+        out.push_str(&self.wall);
+        out
+    }
+}
+
+/// Inclusive upper sample value for a bucket (`upper − 1`, since the
+/// stored boundary is exclusive; the top bucket saturates).
+fn inclusive_upper(idx: usize) -> u64 {
+    if idx + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_upper(idx) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_render_in_order_with_marker() {
+        let mut e = Expo::new();
+        e.counter(Section::Deterministic, "isax_a_total", "det counter", 3);
+        e.gauge(Section::WallClock, "isax_z_depth", "wall gauge", 7);
+        let text = e.render();
+        let det = deterministic_section(&text);
+        assert!(det.contains("isax_a_total 3"));
+        assert!(!det.contains("isax_z_depth"));
+        assert!(text.contains(WALL_MARKER));
+        assert!(text.contains("isax_z_depth 7"));
+    }
+
+    #[test]
+    fn histogram_lines_are_cumulative_and_exact() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let mut e = Expo::new();
+        e.hist(Section::Deterministic, "isax_lat_us", "latency", &h);
+        let text = e.render();
+        assert!(text.contains("isax_lat_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("isax_lat_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("isax_lat_us_sum 1007\n"));
+        assert!(text.contains("isax_lat_us_count 5\n"));
+        // Cumulative counts never decrease.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= prev, "cumulative: {line}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn label_families_render_one_line_per_value() {
+        let mut e = Expo::new();
+        e.counter_by_label(
+            Section::Deterministic,
+            "isax_err_total",
+            "errors by code",
+            "code",
+            &[("busy", 2), ("parse-error", 1)],
+        );
+        let text = e.render();
+        assert!(text.contains("isax_err_total{code=\"busy\"} 2\n"));
+        assert!(text.contains("isax_err_total{code=\"parse-error\"} 1\n"));
+    }
+
+    #[test]
+    fn deterministic_section_of_markerless_text_is_whole() {
+        assert_eq!(deterministic_section("abc"), "abc");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the deterministic log-bucketed histogram: the
+//! quantile relative-error bound, merge algebra (associativity and
+//! commutativity — equal results for any merge grouping over the same
+//! inputs), and exact count/sum bookkeeping.
+
+use isax_trace::hist::{
+    bucket_index, bucket_lower, bucket_upper, quantile_rank, Hist, ABS_ERR_SLACK, HIST_BUCKETS,
+    REL_ERR_BOUND_E9,
+};
+use proptest::prelude::*;
+
+/// Samples spanning the full `u64` range with a bias toward small
+/// values (where integer-rounding effects are sharpest).
+fn sample() -> impl Strategy<Value = u64> {
+    (0u8..10, any::<u64>()).prop_map(|(sel, raw)| match sel {
+        0..=3 => raw % 4096,
+        4..=6 => raw % 1_000_000,
+        7 | 8 => raw & 0xFFFF_FFFF,
+        _ => raw,
+    })
+}
+
+fn hist_of(samples: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// The documented error bound, in pure integer arithmetic over the
+    /// full u64 range: the estimate never exceeds the exact quantile,
+    /// and the gap is below (2^(1/4)−1)·est plus a constant slack.
+    #[test]
+    fn quantile_error_bound_holds(
+        samples in proptest::collection::vec(sample(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = quantile_rank(q, sorted.len() as u64) as usize;
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(est <= exact, "estimate {est} must not exceed exact {exact}");
+        let gap = u128::from(exact - est) * 1_000_000_000;
+        let allowed = u128::from(est) * REL_ERR_BOUND_E9 + ABS_ERR_SLACK * 1_000_000_000;
+        prop_assert!(
+            gap <= allowed,
+            "q={q}: exact={exact} est={est} violates the relative-error bound"
+        );
+    }
+
+    /// Every sample lands in a bucket whose boundaries bracket it.
+    #[test]
+    fn bucket_brackets_sample(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < HIST_BUCKETS);
+        prop_assert!(bucket_lower(idx) <= v);
+        prop_assert!(v < bucket_upper(idx) || idx + 1 >= HIST_BUCKETS);
+    }
+
+    /// Merging per-chunk histograms — for ANY split and either merge
+    /// grouping — equals recording everything into one histogram:
+    /// merge is associative and commutative, so join-point merges in
+    /// input order are byte-identical at any thread count.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        samples in proptest::collection::vec(sample(), 0..120),
+        cut1 in 0usize..=120,
+        cut2 in 0usize..=120,
+    ) {
+        let a_end = cut1.min(samples.len());
+        let b_end = cut2.min(samples.len()).max(a_end);
+        let a = hist_of(&samples[..a_end]);
+        let b = hist_of(&samples[a_end..b_end]);
+        let c = hist_of(&samples[b_end..]);
+        let whole = hist_of(&samples);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ⊕ b ⊕ a
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+
+        prop_assert_eq!(&left, &whole, "grouped left-to-right");
+        prop_assert_eq!(&right, &whole, "grouped right-to-left");
+        prop_assert_eq!(&rev, &whole, "reversed merge order");
+    }
+
+    /// Count and min/max are exact; sum is exact absent u64 overflow.
+    #[test]
+    fn aggregates_are_exact(samples in proptest::collection::vec(0u64..1u64 << 48, 0..100)) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), samples.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(h.max(), samples.iter().max().copied().unwrap_or(0));
+        let bucket_total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, h.count());
+    }
+
+    /// Two histograms over the same multiset are equal regardless of
+    /// the order samples were recorded in.
+    #[test]
+    fn record_order_is_irrelevant(samples in proptest::collection::vec(sample(), 0..100)) {
+        let fwd = hist_of(&samples);
+        let mut rev_samples = samples.clone();
+        rev_samples.reverse();
+        let rev = hist_of(&rev_samples);
+        prop_assert_eq!(fwd, rev);
+    }
+}

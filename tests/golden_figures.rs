@@ -129,3 +129,41 @@ fn figure7_and_figure8_9_speedup_tables_are_stable() {
     );
     check_golden("figure8_9.txt", &bars);
 }
+
+/// The Prometheus text renderer behind `isax serve`'s `metrics`
+/// request, pinned byte-for-byte: section split, HELP/TYPE comments,
+/// label rendering, float formatting, and cumulative histogram buckets
+/// with exact `_sum`/`_count`. Fed with fixed values so the snapshot is
+/// fully deterministic.
+#[test]
+fn metrics_exposition_renderer_is_stable() {
+    use isax_trace::{Expo, Hist, Section};
+    let mut h = Hist::new();
+    for v in [0, 1, 2, 3, 5, 8, 13, 100, 1000, 65_536, 1_000_000] {
+        h.record(v);
+    }
+    let mut e = Expo::new();
+    e.counter(
+        Section::Deterministic,
+        "isax_requests_total",
+        "Requests received",
+        42,
+    );
+    e.counter_by_label(
+        Section::Deterministic,
+        "isax_errors_total",
+        "Errors by code",
+        "code",
+        &[("busy", 2), ("parse-error", 0)],
+    );
+    e.hist(
+        Section::Deterministic,
+        "isax_admitted_units",
+        "Admitted work units",
+        &h,
+    );
+    e.gauge(Section::WallClock, "isax_inflight", "Requests in flight", 3);
+    e.gauge_f64(Section::WallClock, "isax_uptime_seconds", "Uptime", 12.5);
+    e.hist(Section::WallClock, "isax_e2e_us", "End-to-end latency", &h);
+    check_golden("metrics_expo.txt", &e.render());
+}

@@ -484,3 +484,265 @@ fn backpressure_and_stats_sink() {
     assert!(doc.get("cache").is_some() && doc.get("queue").is_some());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Runs one fixed request script against a server and returns the
+/// metrics exposition it reports at the end, plus the final
+/// (received, completed, per-code-sum) counters from `stats`.
+fn run_metrics_script(server: &Server, kernels: &[(String, String)]) -> (String, u64, u64, u64) {
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    // Two cold customizes, then a repeat (a cache hit).
+    for (name, text) in &kernels[..2] {
+        let (cached, art) = client
+            .artifacts(customize_request(name, text, None))
+            .unwrap_or_else(|e| panic!("{name}: customize failed: {e}"));
+        assert!(!cached);
+        assert!(art.mdes.is_some());
+    }
+    let (name, text) = &kernels[0];
+    let (cached, _) = client
+        .artifacts(customize_request(name, text, None))
+        .expect("warm customize succeeds");
+    assert!(cached);
+    // One malformed frame and one parse error, so per-code counters
+    // have something to count.
+    let resp = client.send_raw("this is not json").expect("transport ok");
+    assert!(matches!(resp.reply, Reply::Error(ref e) if e.code == ErrorCode::MalformedFrame));
+    let resp = client
+        .request(Request::Customize {
+            kernel: "function { nope".into(),
+            name: "x".into(),
+            budget: 15.0,
+            multifunction: false,
+            work_budget: None,
+        })
+        .expect("transport ok");
+    assert!(matches!(resp.reply, Reply::Error(ref e) if e.code == ErrorCode::ParseError));
+    let metrics = client.metrics().expect("metrics reply");
+    let resp = client.request(Request::Stats).expect("stats reply");
+    let Reply::Stats(stats) = resp.reply else {
+        panic!("expected stats");
+    };
+    let req = stats.get("requests").expect("stats.requests");
+    let received = req.get("received").and_then(|v| v.as_u64()).unwrap();
+    let completed = req.get("completed").and_then(|v| v.as_u64()).unwrap();
+    let by_code_sum = match req.get("by_code") {
+        Some(isax_json::Value::Object(pairs)) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+        _ => panic!("stats.requests.by_code missing"),
+    };
+    (metrics, received, completed, by_code_sum)
+}
+
+/// The tentpole determinism claim: for the same request script, the
+/// deterministic section of the metrics exposition is byte-identical
+/// whether the server runs 1 worker or 4 — only lines below the
+/// wall-clock marker (latency histograms, uptime, worker config) may
+/// differ. Also proves the counting invariant `received == completed +
+/// Σ per-code errors` on both servers.
+#[test]
+fn metrics_deterministic_section_is_worker_count_invariant() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let kernels = corpus();
+
+    let run = |workers: usize| {
+        let server = Server::spawn(ServeConfig {
+            workers,
+            stats: EnvMode::Off,
+            ..ServeConfig::default()
+        })
+        .expect("server spawns");
+        let out = run_metrics_script(&server, &kernels);
+        server.shutdown();
+        out
+    };
+    let (serial, r1, c1, e1) = run(1);
+    let (concurrent, r4, c4, e4) = run(4);
+
+    assert_eq!(r1, c1 + e1, "1-worker: uncounted requests");
+    assert_eq!(r4, c4 + e4, "4-worker: uncounted requests");
+
+    let det1 = isax_trace::deterministic_section(&serial);
+    let det4 = isax_trace::deterministic_section(&concurrent);
+    assert!(!det1.is_empty(), "deterministic section must be non-empty");
+    assert_eq!(
+        det1, det4,
+        "deterministic exposition section must be byte-identical at any worker count"
+    );
+    // The wall-clock section exists and is where the timing lives.
+    assert!(serial.contains(isax_trace::WALL_MARKER));
+    assert!(serial.contains("isax_serve_e2e_us_bucket"));
+    assert!(det1.contains("isax_serve_requests_received_total"));
+    assert!(det1.contains("isax_serve_errors_total{code=\"malformed-frame\"} 1"));
+    assert!(det1.contains("isax_serve_errors_total{code=\"parse-error\"} 1"));
+    assert!(det1.contains("isax_serve_cache_hits_total 1"));
+}
+
+/// Every request the server receives — accepted work, cache hits,
+/// malformed frames, busy rejections, control requests — produces
+/// exactly one access-log line, with the outcome and deterministic
+/// request id on it.
+#[test]
+fn access_log_records_every_request_exactly_once() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let dir = scratch_dir("access");
+    let log_path = dir.join("access.jsonl");
+    let server = Server::spawn(ServeConfig {
+        workers: 2,
+        access_log: EnvMode::Path(log_path.display().to_string()),
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (name, text) = &corpus()[0];
+    client
+        .artifacts(customize_request(name, text, None))
+        .expect("cold customize");
+    let (cached, _) = client
+        .artifacts(customize_request(name, text, None))
+        .expect("warm customize");
+    assert!(cached);
+    let _ = client.send_raw("not json").expect("transport ok");
+    let resp = client.request(Request::Stats).expect("stats reply");
+    let Reply::Stats(stats) = resp.reply else {
+        panic!("expected stats");
+    };
+    let received = stats
+        .get("requests")
+        .and_then(|r| r.get("received"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(received, 4, "4 frames sent");
+    assert_eq!(server.access_log_lines(), received);
+    server.shutdown();
+
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<isax_json::Value> = log
+        .lines()
+        .map(|l| isax_json::parse(l).expect("access-log line is valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), 4, "one line per received frame");
+    let mut seqs: Vec<u64> = lines
+        .iter()
+        .map(|l| l.get("seq").and_then(|v| v.as_u64()).unwrap())
+        .collect();
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        vec![1, 2, 3, 4],
+        "sequence numbers are dense and unique"
+    );
+    for l in &lines {
+        let seq = l.get("seq").and_then(|v| v.as_u64()).unwrap();
+        let id = l.get("id").and_then(|v| v.as_str()).unwrap();
+        assert!(
+            id.starts_with(&format!("{seq}-")),
+            "request id embeds the sequence number: {id}"
+        );
+        assert!(l.get("outcome").is_some() && l.get("total_us").is_some());
+    }
+    let outcomes: Vec<&str> = lines
+        .iter()
+        .map(|l| l.get("outcome").and_then(|v| v.as_str()).unwrap())
+        .collect();
+    assert_eq!(outcomes.iter().filter(|o| **o == "ok").count(), 3);
+    assert_eq!(
+        outcomes.iter().filter(|o| **o == "malformed-frame").count(),
+        1
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.get("cached") == Some(&isax_json::Value::Bool(true)))
+            .count(),
+        1,
+        "exactly one request was served from cache"
+    );
+    assert!(
+        lines
+            .iter()
+            .filter(|l| l.get("outcome").and_then(|v| v.as_str()) == Some("ok")
+                && l.get("req").and_then(|v| v.as_str()) == Some("customize"))
+            .all(|l| l.get("stages_us").is_some()),
+        "worker-served requests carry per-stage latencies"
+    );
+
+    // Busy rejections are logged too: a zero-capacity queue.
+    let log2 = dir.join("access2.jsonl");
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 0,
+        access_log: EnvMode::Path(log2.display().to_string()),
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client
+        .artifacts(customize_request(name, text, None))
+        .expect_err("zero-capacity queue rejects");
+    assert_eq!(err.code, ErrorCode::Busy);
+    assert_eq!(server.access_log_lines(), 1);
+    server.shutdown();
+    let log = std::fs::read_to_string(&log2).expect("access log written");
+    let rec = isax_json::parse(log.lines().next().unwrap()).unwrap();
+    assert_eq!(rec.get("outcome").and_then(|v| v.as_str()), Some("busy"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Telemetry must be invisible to the artifact plane: the same request
+/// returns byte-identical artifacts with the access log and metrics
+/// sink on or off. `--metrics-out` writes a final parseable exposition
+/// at shutdown.
+#[test]
+fn telemetry_never_changes_artifacts_and_metrics_out_is_written() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let dir = scratch_dir("telemetry");
+    let (name, text) = &corpus()[0];
+
+    // Telemetry fully off.
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        stats: EnvMode::Off,
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (_, plain) = client
+        .artifacts(customize_request(name, text, None))
+        .expect("customize without telemetry");
+    server.shutdown();
+
+    // Access log + metrics sink on.
+    let metrics_path = dir.join("metrics.prom");
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        stats: EnvMode::Off,
+        access_log: EnvMode::Path(dir.join("access.jsonl").display().to_string()),
+        metrics_out: Some(metrics_path.display().to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("server spawns");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (_, traced) = client
+        .artifacts(customize_request(name, text, None))
+        .expect("customize with telemetry");
+    server.shutdown();
+
+    assert_eq!(plain.mdes, traced.mdes, "telemetry changed the MDES bytes");
+    assert_eq!(plain.prov, traced.prov, "telemetry changed the prov bytes");
+
+    let expo = std::fs::read_to_string(&metrics_path).expect("metrics-out written at shutdown");
+    assert!(expo.contains(isax_trace::WALL_MARKER));
+    assert!(!isax_trace::deterministic_section(&expo).is_empty());
+    assert!(expo.contains("isax_serve_requests_received_total 1"));
+    for line in expo.lines() {
+        assert!(
+            line.starts_with('#')
+                || line
+                    .split_once(' ')
+                    .is_some_and(|(name, v)| !name.is_empty() && !v.is_empty()),
+            "exposition line must be `name value` or a comment: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -97,7 +97,62 @@ fn tracing_is_invisible_in_every_compared_artifact() {
             )),
             "{name}: no pipeline.analyze span"
         );
+        // Deriving the latency histogram and the folded stacks from
+        // the recorded events is read-only and deterministic — the
+        // artifact comparison above already proved recording them
+        // changed nothing.
+        let mut h = isax_trace::Hist::new();
+        let mut spans = 0u64;
+        for e in &events {
+            if let isax_trace::Event::Span { dur_us, .. } = e {
+                h.record(*dur_us);
+                spans += 1;
+            }
+        }
+        assert_eq!(h.count(), spans, "{name}: histogram loses span samples");
+        assert!(spans > 0 && h.quantile(0.5) <= h.max());
+        let folded = rec.folded_stacks();
+        assert!(!folded.is_empty(), "{name}: no folded stacks");
+        assert_eq!(
+            folded,
+            rec.folded_stacks(),
+            "{name}: folded export not deterministic"
+        );
     }
+}
+
+/// Folded-stack export: any traced run yields inferno-compatible
+/// `path value` lines, rooted at thread tracks, with one aggregated
+/// line per distinct stack.
+#[test]
+fn folded_stacks_export_is_inferno_compatible() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let rec = Recorder::install();
+    let _ = run_pipeline("crc");
+    isax_trace::uninstall();
+    let folded = rec.folded_stacks();
+    assert!(!folded.is_empty(), "traced run must yield folded stacks");
+    let mut seen = std::collections::HashSet::new();
+    for line in folded.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`path value` line shape");
+        assert!(!path.is_empty(), "empty stack path");
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("value must be integer microseconds: {line}"));
+        let root = path.split(';').next().unwrap();
+        assert!(
+            root == "main" || root.starts_with("worker-"),
+            "stack must be rooted at a thread track: {root}"
+        );
+        assert!(
+            seen.insert(path.to_string()),
+            "stacks must be aggregated; duplicate path {path}"
+        );
+    }
+    assert!(
+        folded.lines().any(|l| l.contains("pipeline.analyze")),
+        "pipeline spans must appear in the stacks"
+    );
 }
 
 /// Walks a parsed Chrome trace and asserts the invariants every
